@@ -1,0 +1,89 @@
+"""X4 — abstraction-level ablation: expanded vs. abstracted interfaces.
+
+Parameter extraction (§4) replaces an interface's clusters by process
+modes.  This bench simulates the Figure 3 system both ways — expanded
+(the chosen cluster spliced in) and abstracted (ConfiguredProcess) —
+and checks the behaviors agree: same end-to-end token counts, and the
+abstracted per-firing latency stays within the extracted interval.
+Also compares the two extraction detail levels.
+"""
+
+from repro.apps import figure3
+from repro.report.tables import render_table
+from repro.sim.engine import simulate
+
+from .conftest import write_artifact
+
+STREAM = 10
+
+
+def run_comparison():
+    rows = []
+    for variant, cluster in (("V1", "cluster1"), ("V2", "cluster2")):
+        vgraph = figure3.build_variant_graph(variant, stream_tokens=STREAM)
+        expanded_trace = simulate(vgraph.bind({"theta1": cluster}))
+        for detail in ("per_entry", "single"):
+            abstract_trace, graph = figure3.simulate_runtime_selection(
+                variant, stream_tokens=STREAM, detail=detail
+            )
+            bounds = graph.process("theta1").latency_bounds()
+            firings = abstract_trace.firings_of("theta1")
+            latencies = [
+                f.latency - f.reconfiguration_latency for f in firings
+            ]
+            rows.append(
+                [
+                    variant,
+                    detail,
+                    len(expanded_trace.produced_on("COut")),
+                    len(abstract_trace.produced_on("COut")),
+                    min(latencies) if latencies else 0.0,
+                    max(latencies) if latencies else 0.0,
+                    repr(bounds),
+                ]
+            )
+    return rows
+
+
+def test_extraction_behavioral_agreement(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=2, iterations=1)
+    text = render_table(
+        [
+            "variant",
+            "detail",
+            "expanded out",
+            "abstract out",
+            "lat min",
+            "lat max",
+            "extracted bounds",
+        ],
+        rows,
+        title="X4: expanded vs. abstracted interface simulation",
+    )
+    write_artifact("extraction_ablation.txt", text)
+    print("\n" + text)
+
+    for row in rows:
+        variant, detail, expanded_out, abstract_out, lat_min, lat_max, _ = row
+        # token behavior agrees at both detail levels
+        assert expanded_out == abstract_out, row
+    # per-firing latencies stay within the extracted interval
+    for variant, cluster in (("V1", "cluster1"), ("V2", "cluster2")):
+        trace, graph = figure3.simulate_runtime_selection(
+            variant, stream_tokens=STREAM
+        )
+        bounds = graph.process("theta1").latency_bounds()
+        for firing in trace.firings_of("theta1"):
+            effective = firing.latency - firing.reconfiguration_latency
+            assert bounds.lo - 1e-9 <= effective <= bounds.hi + 1e-9
+
+
+def test_extraction_speed(benchmark):
+    """Extraction itself is cheap enough to run inside a DSE loop."""
+    from repro.variants.extraction import extract_interface
+
+    vgraph = figure3.build_variant_graph("V1")
+    interface = vgraph.interface("theta1")
+    bindings = vgraph.port_bindings("theta1")
+    process = benchmark(lambda: extract_interface(interface, bindings))
+    assert len(process.modes) >= 2

@@ -1,0 +1,80 @@
+"""F1 — regenerate Figure 1: the SPI example and its semantics.
+
+Reproduced series: the parameter intervals annotated in the figure, and
+the token-flow behavior under the three tag regimes the paper
+discusses — tag 'a' (determinate in m1), tag 'b' (determinate in m2),
+and untagged tokens (p2 never activated).
+"""
+
+from repro.apps import figure1
+from repro.report.tables import render_table
+from repro.spi.semantics import StepSemantics
+
+from .conftest import write_artifact
+
+INPUT_TOKENS = 12
+
+
+def run_tag_regimes():
+    rows = []
+    for tag in ("a", "b", None):
+        graph = figure1.build_graph(p1_tag=tag, input_tokens=INPUT_TOKENS)
+        semantics = StepSemantics(graph)
+        semantics.run(max_steps=500)
+        modes = sorted(
+            {f.mode for f in semantics.history if f.process == "p2"}
+        )
+        rows.append(
+            [
+                tag or "(none)",
+                semantics.firing_counts["p1"],
+                semantics.firing_counts["p2"],
+                ",".join(modes) or "-",
+                semantics.occupancy()["c1"],
+                semantics.firing_counts["p3"],
+            ]
+        )
+    return rows
+
+
+def test_figure1_token_flow(benchmark):
+    rows = benchmark.pedantic(run_tag_regimes, rounds=3, iterations=1)
+    text = render_table(
+        ["p1 tag", "p1 fired", "p2 fired", "p2 modes", "c1 left", "p3 fired"],
+        rows,
+        title="Figure 1: token flow per tag regime",
+    )
+    write_artifact("figure1_flow.txt", text)
+    print("\n" + text)
+
+    by_tag = {row[0]: row for row in rows}
+    # tag 'a': p2 consumes 1 at a time in m1 -> fires 2x per p1 firing.
+    assert by_tag["a"][3] == "m1"
+    assert by_tag["a"][2] == 2 * INPUT_TOKENS
+    # tag 'b': m2 consumes 3 -> 24 tokens / 3.
+    assert by_tag["b"][3] == "m2"
+    assert by_tag["b"][2] == (2 * INPUT_TOKENS) // 3
+    # untagged: "no activation rule is enabled" -> p2 never fires.
+    assert by_tag["(none)"][2] == 0
+    assert by_tag["(none)"][4] == 2 * INPUT_TOKENS
+
+
+def test_figure1_interval_annotations(benchmark):
+    def compute():
+        graph = figure1.build_graph()
+        return figure1.interval_summary(graph)
+
+    summary = benchmark.pedantic(compute, rounds=3, iterations=1)
+    expected = figure1.expected_intervals()
+    rows = [
+        [name, repr(summary[name]), repr(expected[name])]
+        for name in sorted(expected)
+    ]
+    text = render_table(
+        ["parameter", "measured", "paper"],
+        rows,
+        title="Figure 1: parameter intervals",
+    )
+    write_artifact("figure1_intervals.txt", text)
+    print("\n" + text)
+    assert summary == expected

@@ -1,0 +1,76 @@
+"""F3 — regenerate Figure 3: selection of run-time variants.
+
+Reproduced series: for both user choices ('V1' / 'V2'), the selected
+cluster, the single configuration step with its t_conf, and the
+steady-state behavior of the configured variant.
+"""
+
+from repro.apps import figure3
+from repro.report.tables import render_table
+
+from .conftest import write_artifact
+
+STREAM = 12
+
+
+def run_both_variants():
+    rows = []
+    for variant in ("V1", "V2"):
+        trace, _ = figure3.simulate_runtime_selection(
+            variant, stream_tokens=STREAM
+        )
+        report = figure3.selection_report(trace)
+        rows.append(
+            [
+                variant,
+                report["selected"],
+                report["configuration_steps"],
+                report["t_conf_paid"],
+                report["interface_firings"],
+                report["output_tokens"],
+            ]
+        )
+    return rows
+
+
+def test_figure3_runtime_selection(benchmark):
+    rows = benchmark.pedantic(run_both_variants, rounds=2, iterations=1)
+    text = render_table(
+        [
+            "user tag",
+            "selected",
+            "config steps",
+            "t_conf",
+            "firings",
+            "outputs",
+        ],
+        rows,
+        title="Figure 3: run-time variant selection",
+    )
+    write_artifact("figure3_selection.txt", text)
+    print("\n" + text)
+
+    by_variant = {row[0]: row for row in rows}
+    # the tag drives the selection rules
+    assert by_variant["V1"][1] == "conf_cluster1"
+    assert by_variant["V2"][1] == "conf_cluster2"
+    # exactly one configuration step, paid once, with the right t_conf
+    for variant, cluster in (("V1", "cluster1"), ("V2", "cluster2")):
+        assert by_variant[variant][2] == 1
+        assert by_variant[variant][3] == figure3.CONFIG_LATENCY[cluster]
+    # steady state: cluster1 doubles the stream, cluster2 passes it
+    assert by_variant["V1"][5] == 2 * STREAM
+    assert by_variant["V2"][5] == STREAM
+
+
+def test_figure3_selection_is_start_up_only(benchmark):
+    def run():
+        trace, _ = figure3.simulate_runtime_selection(
+            "V1", stream_tokens=30
+        )
+        return trace
+
+    trace = benchmark.pedantic(run, rounds=2, iterations=1)
+    # Run-time variants: selected once, then fixed for the whole run.
+    assert len(trace.reconfigurations_of("theta1")) == 1
+    assert trace.reconfigurations_of("theta1")[0].time == 0.0

@@ -1,0 +1,137 @@
+"""X1 — scaling of the variant-aware advantage (§5 extension).
+
+The paper's quantitative evidence is one two-variant example; this
+bench sweeps the number of variants and the common/variant overlap on
+generated systems and reports cost and design time per flow.  The
+paper's qualitative claims that must hold:
+
+* variant-aware cost <= superposition cost, with the gap growing as
+  variants are added (hardware duplication grows linearly while the
+  shared-processor solution does not);
+* design-time saving grows with the number of variants (common units
+  are considered once instead of n times);
+* the mutual-exclusion credit is *the* mechanism: switching it off
+  (ablation) collapses the cost advantage.
+"""
+
+from repro.apps.generators import generate_system
+from repro.report.series import Series, render_series
+from repro.synth.explorer import BranchBoundExplorer
+from repro.synth.methods import (
+    independent_flow,
+    superposition_flow,
+    variant_aware_flow,
+)
+
+from .conftest import write_artifact
+
+
+def sweep_variants(n_variants_range=(2, 3, 4, 5), seed=11):
+    explorer = BranchBoundExplorer()
+    superposition_cost = Series("superposition")
+    variant_cost = Series("with_variants")
+    no_exclusion_cost = Series("no_exclusion (ablation)")
+    independent_time = Series("independent time")
+    variant_time = Series("variant time")
+    for n_variants in n_variants_range:
+        system = generate_system(
+            seed=seed, n_variants=n_variants, common_fraction=0.5
+        )
+        independent = independent_flow(
+            system.applications(), system.library, system.architecture,
+            explorer,
+        )
+        superposed = superposition_flow(
+            independent, system.library, system.architecture
+        )
+        variant = variant_aware_flow(
+            system.vgraph, system.library, system.architecture, explorer
+        )
+        ablated = variant_aware_flow(
+            system.vgraph,
+            system.library,
+            system.architecture,
+            explorer,
+            use_exclusion=False,
+        )
+        superposition_cost.add(n_variants, superposed.total_cost)
+        variant_cost.add(n_variants, variant.total_cost)
+        no_exclusion_cost.add(n_variants, ablated.total_cost)
+        independent_time.add(n_variants, superposed.design_time)
+        variant_time.add(n_variants, variant.design_time)
+    return (
+        [superposition_cost, variant_cost, no_exclusion_cost],
+        [independent_time, variant_time],
+    )
+
+
+def test_scaling_with_variant_count(benchmark):
+    cost_series, time_series = benchmark.pedantic(
+        sweep_variants, rounds=1, iterations=1
+    )
+    text = render_series(
+        cost_series, x_label="variants", title="X1: total cost vs. variants"
+    )
+    text += "\n\n" + render_series(
+        time_series,
+        x_label="variants",
+        title="X1: design time vs. variants",
+    )
+    write_artifact("scaling_variants.txt", text)
+    print("\n" + text)
+
+    superposed, variant, ablated = cost_series
+    for (_, sup), (_, var) in zip(superposed.points, variant.points):
+        assert var <= sup + 1e-9
+    # gap grows with the number of variants
+    gaps = [sup - var for (_, sup), (_, var) in
+            zip(superposed.points, variant.points)]
+    assert gaps[-1] >= gaps[0]
+    # the exclusion credit is the mechanism
+    for (_, var), (_, abl) in zip(variant.points, ablated.points):
+        assert var <= abl + 1e-9
+    # design-time saving grows
+    independent_time, variant_time = time_series
+    savings = [
+        ind - var
+        for (_, ind), (_, var) in zip(
+            independent_time.points, variant_time.points
+        )
+    ]
+    assert savings == sorted(savings)
+
+
+def sweep_overlap(fractions=(0.2, 0.4, 0.6, 0.8), seed=23):
+    explorer = BranchBoundExplorer()
+    saving = Series("design time saving")
+    for fraction in fractions:
+        system = generate_system(
+            seed=seed, n_variants=3, common_fraction=fraction,
+            common_processes=3,
+        )
+        independent = independent_flow(
+            system.applications(), system.library, system.architecture,
+            explorer,
+        )
+        total_independent = sum(
+            r.outcome.design_time for r in independent.values()
+        )
+        variant = variant_aware_flow(
+            system.vgraph, system.library, system.architecture, explorer
+        )
+        saving.add(fraction, total_independent - variant.design_time)
+    return saving
+
+
+def test_design_time_saving_vs_overlap(benchmark):
+    saving = benchmark.pedantic(sweep_overlap, rounds=1, iterations=1)
+    text = render_series(
+        [saving],
+        x_label="common fraction",
+        title="X1: design-time saving vs. overlap",
+    )
+    write_artifact("scaling_overlap.txt", text)
+    print("\n" + text)
+    # More overlap -> more shared effort -> larger saving.
+    values = list(saving.ys)
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))

@@ -1,0 +1,59 @@
+"""T1 — regenerate the paper's Table 1 (system cost).
+
+Paper values:
+
+    Application 1   SW{PA,PB}=15  HW{γ1}=19      total 34   time  67
+    Application 2   SW{PA,PB}=15  HW{γ2}=23      total 38   time  73
+    Superposition   SW{PA,PB}=15  HW{γ1,γ2}=42   total 57   time 140
+    With variants   SW{γ1,γ2,PB}=15  HW{PA}=26   total 41   time 118
+
+The branch-and-bound DSE must *discover* these mappings on the rebuilt
+benchmark (see repro.apps.figure2 for the calibration).
+"""
+
+from repro.apps import figure2
+from repro.report.tables import render_dict_rows
+
+from .conftest import write_artifact
+
+
+def run_table1():
+    return figure2.table1_rows()
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=2, iterations=1)
+
+    text = render_dict_rows(rows, title="Table 1: System Cost")
+    write_artifact("table1.txt", text)
+    print("\n" + text)
+
+    paper = figure2.PAPER_TABLE1
+    order = ["application1", "application2", "superposition", "with_variants"]
+    for row, key in zip(rows, order):
+        assert row["sw_cost"] == paper[key]["sw_cost"], (key, row)
+        assert row["hw_cost"] == paper[key]["hw_cost"], (key, row)
+        assert row["total"] == paper[key]["total"], (key, row)
+        assert row["design_time"] == paper[key]["design_time"], (key, row)
+
+    # Qualitative shape (holds independent of calibration):
+    totals = {key: row["total"] for key, row in zip(order, rows)}
+    assert totals["with_variants"] < totals["superposition"]
+    assert totals["with_variants"] > totals["application1"]
+    times = {key: row["design_time"] for key, row in zip(order, rows)}
+    assert times["with_variants"] < times["superposition"]
+
+
+def test_table1_design_time_identity(benchmark):
+    """The design-time saving equals the shared (common) effort."""
+
+    def compute():
+        outcomes = figure2.table1_outcomes()
+        return (
+            outcomes["superposition"].design_time
+            - outcomes["with_variants"].design_time
+        )
+
+    saving = benchmark.pedantic(compute, rounds=2, iterations=1)
+    # PA (12) + PB (10) are considered once instead of twice.
+    assert saving == 22.0

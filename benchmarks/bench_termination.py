@@ -1,0 +1,100 @@
+"""X5 — cluster termination: immediate vs. graceful switching.
+
+Paper §4: terminating a running cluster "results in the loss of all
+data on the internal channels"; some systems instead "require to
+complete part of their functionality before they may be terminated",
+at the price of a delayed switch whose termination delay "has to be
+accounted for in the corresponding configuration latency".
+
+This bench runs the expanded-interface simulation (all clusters
+instantiated; router/merger; engine flush rules) under both policies
+and reports the trade-off: data lost vs. switch delay.
+"""
+
+from repro.report.tables import render_table
+from repro.sim.engine import simulate
+
+from .conftest import write_artifact
+from tests.test_expansion import build_host, slow_tail_interface
+
+
+def run_policies():
+    rows = []
+    for graceful in (False, True):
+        graph, expanded = build_host(
+            slow_tail_interface(),
+            input_tokens=8,
+            request_tag="sel:v1",
+            request_time=10.0,
+            period=3.0,
+            graceful=graceful,
+        )
+        trace = simulate(graph, flush_rules=expanded.flush_rules)
+        switch = next(
+            f
+            for f in trace.firings_of("dyn.route")
+            if f.mode.startswith("switch")
+        )
+        rows.append(
+            [
+                "graceful (complete first)" if graceful else "immediate",
+                trace.tokens_lost(),
+                len(trace.produced_on("COut")),
+                switch.start,
+                switch.start - 10.0,
+            ]
+        )
+    return rows
+
+
+def test_termination_policy_tradeoff(benchmark):
+    rows = benchmark.pedantic(run_policies, rounds=2, iterations=1)
+    text = render_table(
+        [
+            "policy",
+            "tokens lost",
+            "frames displayed",
+            "switch time",
+            "termination delay",
+        ],
+        rows,
+        title="X5: cluster termination policy trade-off (8-frame stream, "
+        "request at t=10)",
+    )
+    write_artifact("termination_policy.txt", text)
+    print("\n" + text)
+
+    immediate, graceful = rows
+    # Immediate termination loses in-flight data; graceful loses none.
+    assert immediate[1] > 0
+    assert graceful[1] == 0
+    # Graceful preserves every frame; immediate drops the lost ones.
+    assert graceful[2] == 8
+    assert immediate[2] < 8
+    # The price of gracefulness: the switch happens later.
+    assert graceful[4] > immediate[4]
+
+
+def test_expanded_matches_abstracted_confirmations(benchmark):
+    """The expanded form drives the same request/confirm protocol."""
+
+    def run():
+        graph, expanded = build_host(
+            slow_tail_interface(),
+            input_tokens=6,
+            request_tag="sel:v1",
+            request_time=10.0,
+            period=3.0,
+        )
+        return simulate(graph, flush_rules=expanded.flush_rules)
+
+    trace = benchmark.pedantic(run, rounds=2, iterations=1)
+    confirmations = trace.produced_on("CCon")
+    assert len(confirmations) == 1
+    assert confirmations[0].has_tag("done:dyn")
+    # The switch paid the configuration latency of the target cluster.
+    switch = next(
+        f for f in trace.firings_of("dyn.route")
+        if f.mode.startswith("switch")
+    )
+    assert switch.latency == 20.0

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md), asserts the qualitative shape the paper
+reports, and writes the rendered rows/series to ``benchmarks/out/`` so
+EXPERIMENTS.md can be checked against fresh artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_artifact(name: str, text: str) -> pathlib.Path:
+    """Persist one rendered table/series under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text + ("\n" if not text.endswith("\n") else ""))
+    return path

@@ -1,0 +1,74 @@
+"""Figure 4 walk-through: the industrial reconfigurable video system.
+
+Simulates a 100-frame stream through the PIn -> P1 -> P2 -> POut chain
+while the user requests two variant switches mid-stream.  Shows the
+complete suspend / reconfigure / confirm / resume protocol and the
+invalid-image guarantee of the valve processes — then repeats the run
+with the valves removed to show why they exist.
+
+Run:  python examples/video_reconfiguration.py
+"""
+
+from collections import Counter
+
+from repro.apps import video
+from repro.report.tables import render_table
+
+
+def describe(trace, label: str) -> dict:
+    report = video.video_report(trace)
+    print(f"\n=== {label} ===")
+    print(f"frames captured         : {report['frames_captured']}")
+    print(f"frames displayed        : {report['frames_displayed']}")
+    print(f"frames dropped at valve : {report['frames_dropped_at_valve']}")
+    print(f"frames repeated by POut : {report['frames_repeated']}")
+    print(f"fresh frames after resume: {report['frames_fresh_after_resume']}")
+    print(f"INVALID frames displayed: {report['invalid_frames_displayed']}")
+    print(f"total reconfig latency  : {report['reconfiguration_time']} ms")
+    return report
+
+
+def main() -> None:
+    print("building the Figure 4 system:")
+    print(f"  P1 variants: {dict(video.P1_VARIANTS)}")
+    print(f"  P2 variants: {dict(video.P2_VARIANTS)}")
+    print(f"  t_conf     : {dict(video.CONFIG_LATENCY)}")
+    print(f"  requests   : {list(video.DEFAULT_REQUESTS)} "
+          f"(at t=1200ms and t=2800ms)")
+
+    trace, _ = video.run_video(n_frames=100)
+    report = describe(trace, "with valves (paper protocol)")
+
+    rows = [
+        [r.process, r.from_configuration, r.to_configuration, r.time, r.latency]
+        for r in trace.reconfigurations
+    ]
+    print()
+    print(
+        render_table(
+            ["process", "from", "to", "time", "t_conf"],
+            rows,
+            title="reconfiguration timeline",
+        )
+    )
+
+    print("\ncontroller activity:",
+          dict(Counter(trace.modes_used("PControl"))))
+    print("input valve activity:", dict(Counter(trace.modes_used("PIn"))))
+    print("output valve activity:", dict(Counter(trace.modes_used("POut"))))
+
+    trace2, _ = video.run_video(n_frames=100, with_valves=False)
+    report2 = describe(trace2, "without valves (ablation)")
+
+    assert report["invalid_frames_displayed"] == 0
+    assert report2["invalid_frames_displayed"] > 0
+    print(
+        "\nConclusion: the valves convert would-be invalid frames into "
+        "repeats of the last good image; removing them lets "
+        f"{report2['invalid_frames_displayed']} invalid frame(s) reach "
+        "the display."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — reproduction of Richter et al., "Representation of Function
+Variants for Embedded System Optimization and Synthesis" (DAC 1999).
+
+Layers
+------
+* :mod:`repro.spi` — the SPI design representation the paper builds on:
+  processes with interval parameters and modes, queue/register
+  channels, activation functions, timing constraints, MoC adapters.
+* :mod:`repro.variants` — the paper's contribution: clusters,
+  interfaces, cluster selection, configurations, parameter extraction
+  and the variant-graph transformations.
+* :mod:`repro.sim` — discrete-event execution with reconfiguration
+  semantics and token lineage traces.
+* :mod:`repro.synth` — hardware/software co-synthesis: component
+  libraries, mutual-exclusion-aware cost model, DSE, the paper's flows
+  and the literature baselines.
+* :mod:`repro.apps` — the paper's example systems (Figures 1-4,
+  Table 1) and a synthetic workload generator.
+
+Quickstart
+----------
+>>> from repro.apps import figure2
+>>> rows = figure2.table1_rows()       # reproduces the paper's Table 1
+>>> rows[0]['total']
+34.0
+"""
+
+from . import apps, report, sim, spi, synth, variants
+from .errors import (
+    ActivationError,
+    ExtractionError,
+    ModelError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    SynthesisError,
+    TimingViolation,
+    ValidationError,
+    VariantError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivationError",
+    "ExtractionError",
+    "ModelError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "SynthesisError",
+    "TimingViolation",
+    "ValidationError",
+    "VariantError",
+    "apps",
+    "report",
+    "sim",
+    "spi",
+    "synth",
+    "variants",
+]

@@ -1,0 +1,117 @@
+"""Command-line front-end: regenerate the paper's results from a shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure1 [--tag a|b|none]
+    python -m repro figure3 [--variant V1|V2]
+    python -m repro figure4 [--no-valves] [--frames N]
+    python -m repro stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .apps import figure2
+    from .report.tables import render_dict_rows
+
+    rows = figure2.table1_rows()
+    print(render_dict_rows(rows, title="Table 1: System Cost"))
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from .apps import figure1
+    from .spi.semantics import StepSemantics
+
+    tag = None if args.tag == "none" else args.tag
+    graph = figure1.build_graph(p1_tag=tag, input_tokens=args.tokens)
+    for name, interval in figure1.interval_summary(graph).items():
+        print(f"{name:<16} {interval!r}")
+    semantics = StepSemantics(graph)
+    semantics.run(max_steps=1000)
+    print(f"\nfirings: {dict(sorted(semantics.firing_counts.items()))}")
+    print(f"occupancy: {semantics.occupancy()}")
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    from .apps import figure3
+
+    trace, _ = figure3.simulate_runtime_selection(
+        args.variant, stream_tokens=args.tokens
+    )
+    for key, value in figure3.selection_report(trace).items():
+        print(f"{key:<20} {value}")
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    from .apps import video
+
+    trace, _ = video.run_video(
+        n_frames=args.frames, with_valves=not args.no_valves
+    )
+    for key, value in video.video_report(trace).items():
+        print(f"{key:<26} {value}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .apps import figure2
+
+    stats = figure2.build_variant_graph().stats()
+    print("common part          :", stats["common"])
+    for name, iface in stats["interfaces"].items():
+        for cluster, counts in iface["clusters"].items():
+            print(f"{name}/{cluster:<14}:", counts)
+    print("variant representation:", stats["variant_representation_size"])
+    print("enumeration           :", stats["enumeration_size"])
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Representation of Function Variants for "
+            "Embedded System Optimization and Synthesis' (DAC 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="reproduce Table 1").set_defaults(
+        run=_cmd_table1
+    )
+
+    fig1 = sub.add_parser("figure1", help="run the Figure 1 SPI example")
+    fig1.add_argument("--tag", choices=["a", "b", "none"], default="a")
+    fig1.add_argument("--tokens", type=int, default=12)
+    fig1.set_defaults(run=_cmd_figure1)
+
+    fig3 = sub.add_parser("figure3", help="run-time variant selection")
+    fig3.add_argument("--variant", choices=["V1", "V2"], default="V1")
+    fig3.add_argument("--tokens", type=int, default=10)
+    fig3.set_defaults(run=_cmd_figure3)
+
+    fig4 = sub.add_parser("figure4", help="reconfigurable video system")
+    fig4.add_argument("--frames", type=int, default=100)
+    fig4.add_argument("--no-valves", action="store_true")
+    fig4.set_defaults(run=_cmd_figure4)
+
+    sub.add_parser(
+        "stats", help="Figure 2 representation accounting"
+    ).set_defaults(run=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""The paper's example systems and the synthetic workload generator.
+
+* :mod:`~repro.apps.figure1` — the introductory SPI example;
+* :mod:`~repro.apps.figure2` — the two-variant system behind Table 1,
+  with the calibrated component library;
+* :mod:`~repro.apps.figure3` — run-time variant selection;
+* :mod:`~repro.apps.video` — the reconfigurable video system;
+* :mod:`~repro.apps.generators` — seeded synthetic variant systems for
+  the scaling/ordering benches.
+"""
+
+from . import figure1, figure2, figure3, generators, video
+
+__all__ = ["figure1", "figure2", "figure3", "generators", "video"]

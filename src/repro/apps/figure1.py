@@ -1,0 +1,117 @@
+"""The paper's Figure 1: the introductory SPI example.
+
+A three-process chain ``p1 -> c1 -> p2 -> c2 -> p3``:
+
+* ``p1`` is completely determinate: it consumes 1 token (from the
+  environment channel ``c0``), produces 2 tokens on ``c1``, latency
+  1 ms.  It attaches one of the virtual mode tags ``'a'`` / ``'b'`` to
+  every token it produces.
+* ``p2`` is specified with intervals — consumption [1, 3] from ``c1``,
+  production [2, 5] on ``c2``, latency [3, 5] ms — made precise by two
+  modes::
+
+      m1   3 ms   consume 1   produce 2
+      m2   5 ms   consume 3   produce 5
+
+  and the activation rules of the paper::
+
+      a1 : c1.num >= 1  and  'a' in c1.tag  ->  m1
+      a2 : c1.num >= 3  and  'b' in c1.tag  ->  m2
+
+* ``p3`` consumes 1 token from ``c2``, latency 3 ms (environment sink
+  side of the example).
+
+``build_graph`` exposes the tag regime so the determinacy story is
+testable: with ``p1_tag='a'`` the system is completely determinate in
+mode ``m1``; with ``'b'`` in mode ``m2``; with ``p1_tag=None`` no
+activation rule of ``p2`` is ever enabled and ``p2`` never executes
+(paper: "if there is no tag on the first visible token on channel c1,
+no activation rule is enabled and the process is not activated").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..spi.activation import rules
+from ..spi.builder import GraphBuilder
+from ..spi.graph import ModelGraph
+from ..spi.intervals import Interval
+from ..spi.modes import ProcessMode
+from ..spi.predicates import tokens_with_tag
+from ..spi.process import Process, simple_process
+from ..spi.tokens import make_tokens
+
+#: Mode table of p2, exactly as printed in the paper.
+P2_MODES = {
+    "m1": {"latency": 3.0, "consume": 1, "produce": 2},
+    "m2": {"latency": 5.0, "consume": 3, "produce": 5},
+}
+
+
+def build_p2() -> Process:
+    """Process ``p2`` with its two modes and activation rules a1/a2."""
+    m1 = ProcessMode(
+        name="m1",
+        latency=P2_MODES["m1"]["latency"],
+        consumes={"c1": P2_MODES["m1"]["consume"]},
+        produces={"c2": P2_MODES["m1"]["produce"]},
+    )
+    m2 = ProcessMode(
+        name="m2",
+        latency=P2_MODES["m2"]["latency"],
+        consumes={"c1": P2_MODES["m2"]["consume"]},
+        produces={"c2": P2_MODES["m2"]["produce"]},
+    )
+    activation = rules(
+        ("a1", tokens_with_tag("c1", 1, "a"), "m1"),
+        ("a2", tokens_with_tag("c1", 3, "b"), "m2"),
+    )
+    return Process(name="p2", modes={"m1": m1, "m2": m2}, activation=activation)
+
+
+def build_graph(
+    p1_tag: Optional[str] = "a", input_tokens: int = 12
+) -> ModelGraph:
+    """The Figure 1 chain, fed with ``input_tokens`` environment tokens.
+
+    ``p1_tag`` controls which tag ``p1`` attaches to produced tokens
+    (``'a'``, ``'b'``, or None for untagged tokens).
+    """
+    builder = GraphBuilder("figure1")
+    builder.queue("c0", initial_tokens=make_tokens(input_tokens))
+    builder.queue("c1")
+    builder.queue("c2")
+    builder.simple(
+        "p1",
+        latency=1.0,
+        consumes={"c0": 1},
+        produces={"c1": 2},
+        out_tags={"c1": p1_tag} if p1_tag is not None else None,
+    )
+    builder.process(build_p2())
+    builder.simple("p3", latency=3.0, consumes={"c2": 1}, virtual=True)
+    return builder.build(validate=False)
+
+
+def interval_summary(graph: ModelGraph) -> dict:
+    """The abstract (interval) behavior the paper annotates in Figure 1."""
+    p2 = graph.process("p2")
+    return {
+        "p1_latency": graph.process("p1").latency_bounds(),
+        "p2_latency": p2.latency_bounds(),
+        "p2_consumes_c1": p2.consumption_bounds("c1"),
+        "p2_produces_c2": p2.production_bounds("c2"),
+        "p3_latency": graph.process("p3").latency_bounds(),
+    }
+
+
+def expected_intervals() -> dict:
+    """The parameter intervals printed in the paper's Figure 1."""
+    return {
+        "p1_latency": Interval.point(1.0),
+        "p2_latency": Interval(3.0, 5.0),
+        "p2_consumes_c1": Interval(1, 3),
+        "p2_produces_c2": Interval(2, 5),
+        "p3_latency": Interval.point(3.0),
+    }

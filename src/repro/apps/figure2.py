@@ -1,0 +1,256 @@
+"""The paper's Figure 2 / Table 1 benchmark: a system with two variants.
+
+Structure (Figure 2): common processes ``PA`` and ``PB`` around one
+interface ``theta1`` whose two clusters ``gamma1`` (two processes, two
+extractable modes) and ``gamma2`` (three processes, three extractable
+modes) are the function variants.  Data flows
+
+    VSrc -> CA -> PA -> CB -> [theta1] -> CC -> PB -> CD -> VSnk
+
+Calibrated component library
+----------------------------
+The paper reports Table 1 without the underlying component numbers, so
+this module *rebuilds the benchmark* (see DESIGN.md, substitutions): a
+library calibrated such that an actual design-space exploration — not
+hard-coded answers — discovers the paper's mappings and reproduces the
+table exactly:
+
+===========  ===========  ========  =======
+unit         utilization  hw cost   effort
+===========  ===========  ========  =======
+PA           0.55         26        12
+PB           0.30         30        10
+gamma1.f1    0.35         10        20
+gamma1.f2    0.25          9        25
+gamma2.g1    0.20          8        17
+gamma2.g2    0.25          8        17
+gamma2.g3    0.20          7        17
+===========  ===========  ========  =======
+
+Architecture: one core processor (cost 15, capacity 1.0) plus ASICs —
+the TriMedia-style template the paper cites.  Derived identities:
+
+* Application 1 (γ1): best = SW{PA, PB} + HW{γ1} = 15 + 19 = **34**,
+  design time 12 + 10 + 45 = **67**.
+* Application 2 (γ2): best = SW{PA, PB} + HW{γ2} = 15 + 23 = **38**,
+  design time 12 + 10 + 51 = **73**.
+* Superposition: SW reused, HW adds up: 15 + 42 = **57**, time **140**.
+* With variants: γ1/γ2 mutually exclusive ⇒ SW{γ1, γ2, PB} fits one
+  processor (0.30 + max(0.60, 0.65) = 0.95), PA moves to HW:
+  15 + 26 = **41**, design time 118 = 140 − (12 + 10) (common
+  processes considered once).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ..spi.activation import rules
+from ..spi.builder import GraphBuilder
+from ..spi.graph import ModelGraph
+from ..spi.modes import ProcessMode
+from ..spi.predicates import NumAvailable
+from ..spi.process import Process
+from ..spi.virtuality import sink, source
+from ..synth.architecture import ArchitectureTemplate
+from ..synth.explorer import Explorer
+from ..synth.library import ComponentLibrary
+from ..synth.methods import (
+    independent_flow,
+    superposition_flow,
+    variant_aware_flow,
+)
+from ..synth.results import FlowOutcome, to_table_row
+from ..variants.cluster import Cluster
+from ..variants.interface import Interface
+from ..variants.types import VariantKind
+from ..variants.vgraph import VariantGraph
+
+#: Display labels used when rendering Table 1 rows.
+CLUSTER_LABELS = {
+    "theta1.gamma1": "gamma1",
+    "theta1.gamma2": "gamma2",
+}
+
+#: The values printed in the paper's Table 1.
+PAPER_TABLE1 = {
+    "application1": {"sw_cost": 15, "hw_cost": 19, "total": 34, "design_time": 67},
+    "application2": {"sw_cost": 15, "hw_cost": 23, "total": 38, "design_time": 73},
+    "superposition": {"sw_cost": 15, "hw_cost": 42, "total": 57, "design_time": 140},
+    "with_variants": {"sw_cost": 15, "hw_cost": 26, "total": 41, "design_time": 118},
+}
+
+
+def build_gamma1() -> Cluster:
+    """Variant cluster γ1: a two-process pipeline, entry has two modes."""
+    builder = GraphBuilder("gamma1")
+    builder.queue("i")
+    builder.queue("o")
+    builder.queue("x1")
+    f1_small = ProcessMode(
+        name="small", latency=3.0, consumes={"i": 1}, produces={"x1": 1}
+    )
+    f1_large = ProcessMode(
+        name="large", latency=5.0, consumes={"i": 2}, produces={"x1": 2}
+    )
+    builder.process(
+        Process(
+            name="f1",
+            modes={"large": f1_large, "small": f1_small},
+            activation=rules(
+                ("r_large", NumAvailable("i", 2), "large"),
+                ("r_small", NumAvailable("i", 1), "small"),
+            ),
+        )
+    )
+    builder.simple("f2", latency=2.0, consumes={"x1": 1}, produces={"o": 1})
+    return Cluster(
+        name="gamma1",
+        inputs=("i",),
+        outputs=("o",),
+        graph=builder.build(validate=False),
+    )
+
+
+def build_gamma2() -> Cluster:
+    """Variant cluster γ2: a three-process pipeline, entry has three modes."""
+    builder = GraphBuilder("gamma2")
+    builder.queue("i")
+    builder.queue("o")
+    builder.queue("y1")
+    builder.queue("y2")
+    g1_modes = {
+        "triple": ProcessMode(
+            name="triple", latency=4.0, consumes={"i": 3}, produces={"y1": 2}
+        ),
+        "double": ProcessMode(
+            name="double", latency=3.0, consumes={"i": 2}, produces={"y1": 1}
+        ),
+        "single": ProcessMode(
+            name="single", latency=2.0, consumes={"i": 1}, produces={"y1": 1}
+        ),
+    }
+    builder.process(
+        Process(
+            name="g1",
+            modes=g1_modes,
+            activation=rules(
+                ("r_triple", NumAvailable("i", 3), "triple"),
+                ("r_double", NumAvailable("i", 2), "double"),
+                ("r_single", NumAvailable("i", 1), "single"),
+            ),
+        )
+    )
+    builder.simple("g2", latency=1.0, consumes={"y1": 1}, produces={"y2": 1})
+    builder.simple("g3", latency=2.0, consumes={"y2": 1}, produces={"o": 1})
+    return Cluster(
+        name="gamma2",
+        inputs=("i",),
+        outputs=("o",),
+        graph=builder.build(validate=False),
+    )
+
+
+def build_variant_graph(stream_tokens: int = 16) -> VariantGraph:
+    """The complete Figure 2 system as a variant graph."""
+    vgraph = VariantGraph("figure2")
+    base = vgraph.base
+    builder = GraphBuilder("figure2.common")
+    builder.queue("CA")
+    builder.queue("CB")
+    builder.queue("CC")
+    builder.queue("CD")
+    builder.process(
+        source("VSrc", "CA", max_firings=stream_tokens)
+    )
+    builder.simple("PA", latency=2.0, consumes={"CA": 1}, produces={"CB": 1})
+    builder.simple("PB", latency=2.0, consumes={"CC": 1}, produces={"CD": 1})
+    builder.process(sink("VSnk", "CD"))
+    vgraph.base = builder.build(validate=False)
+
+    interface = Interface(
+        name="theta1",
+        inputs=("i",),
+        outputs=("o",),
+        clusters={"gamma1": build_gamma1(), "gamma2": build_gamma2()},
+        kind=VariantKind.PRODUCTION,
+    )
+    vgraph.add_interface(interface, {"i": "CB", "o": "CC"})
+    return vgraph
+
+
+def table1_library() -> ComponentLibrary:
+    """The calibrated component library (see module docstring)."""
+    library = ComponentLibrary()
+    library.component("PA", sw_utilization=0.55, hw_cost=26, effort=12)
+    library.component("PB", sw_utilization=0.30, hw_cost=30, effort=10)
+    library.component(
+        "theta1.gamma1.f1", sw_utilization=0.35, hw_cost=10, effort=20
+    )
+    library.component(
+        "theta1.gamma1.f2", sw_utilization=0.25, hw_cost=9, effort=25
+    )
+    library.component(
+        "theta1.gamma2.g1", sw_utilization=0.20, hw_cost=8, effort=17
+    )
+    library.component(
+        "theta1.gamma2.g2", sw_utilization=0.25, hw_cost=8, effort=17
+    )
+    library.component(
+        "theta1.gamma2.g3", sw_utilization=0.20, hw_cost=7, effort=17
+    )
+    return library
+
+
+def table1_architecture() -> ArchitectureTemplate:
+    """One core processor plus ASICs (TriMedia-style template)."""
+    return ArchitectureTemplate(
+        name="core-plus-asics",
+        max_processors=1,
+        processor_cost=15.0,
+        processor_capacity=1.0,
+    )
+
+
+def applications(
+    vgraph: Optional[VariantGraph] = None,
+) -> Dict[str, ModelGraph]:
+    """The two applications derived by binding each variant (§5)."""
+    vgraph = vgraph or build_variant_graph()
+    return {
+        "application1": vgraph.bind(
+            {"theta1": "gamma1"}, name="application1"
+        ),
+        "application2": vgraph.bind(
+            {"theta1": "gamma2"}, name="application2"
+        ),
+    }
+
+
+def table1_outcomes(
+    explorer: Optional[Explorer] = None,
+) -> Dict[str, FlowOutcome]:
+    """Run all four flows of Table 1; keys match :data:`PAPER_TABLE1`."""
+    vgraph = build_variant_graph()
+    library = table1_library()
+    architecture = table1_architecture()
+    apps = applications(vgraph)
+
+    independent = independent_flow(apps, library, architecture, explorer)
+    outcomes: Dict[str, FlowOutcome] = {
+        name: result.outcome for name, result in independent.items()
+    }
+    outcomes["superposition"] = superposition_flow(
+        independent, library, architecture
+    )
+    outcomes["with_variants"] = variant_aware_flow(
+        vgraph, library, architecture, explorer
+    )
+    return outcomes
+
+
+def table1_rows(explorer: Optional[Explorer] = None) -> List[Dict[str, object]]:
+    """Table 1 as a list of rendered rows (paper order)."""
+    outcomes = table1_outcomes(explorer)
+    order = ["application1", "application2", "superposition", "with_variants"]
+    return [to_table_row(outcomes[name], CLUSTER_LABELS) for name in order]

@@ -1,0 +1,147 @@
+"""The paper's Figure 3: selection of run-time variants.
+
+"Process PUser models the user who selects the function variant.  It
+writes a token on channel CV that has an associated tag which is either
+'V1' or 'V2' indicating the desired function variant.  This tag is
+evaluated by the cluster selection rules of the interface and the
+interface is replaced by the corresponding cluster":
+
+    rule 1 : 'V1' in CV.tag  ->  cluster 1
+    rule 2 : 'V2' in CV.tag  ->  cluster 2
+
+``PUser`` executes exactly once at the beginning — the constraining
+modeling element the paper mentions it omitted — and ``CV`` is a
+register, so the one-time choice stays observable for every subsequent
+activation.  Each cluster has a configuration latency ``t_conf`` that
+is paid exactly once, when the first activation configures the
+interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.trace import Trace
+from ..spi.builder import GraphBuilder
+from ..spi.graph import ModelGraph
+from ..spi.virtuality import one_shot_source, sink, source
+from ..variants.cluster import Cluster
+from ..variants.interface import Interface
+from ..variants.selection import ClusterSelectionFunction
+from ..variants.types import VariantKind
+from ..variants.vgraph import VariantGraph
+
+#: Configuration latencies (t_conf) per cluster, in ms.
+CONFIG_LATENCY = {"cluster1": 3.0, "cluster2": 4.0}
+
+#: Processing latency per stage, in ms.
+STAGE_LATENCY = {"cluster1": (2.0, 2.0), "cluster2": (5.0,)}
+
+
+def build_cluster1() -> Cluster:
+    """Variant 1: a two-stage pipeline (1 token in, 2 tokens out)."""
+    builder = GraphBuilder("cluster1")
+    builder.queue("i")
+    builder.queue("o")
+    builder.queue("m")
+    builder.simple(
+        "s1", latency=STAGE_LATENCY["cluster1"][0],
+        consumes={"i": 1}, produces={"m": 2},
+    )
+    builder.simple(
+        "s2", latency=STAGE_LATENCY["cluster1"][1],
+        consumes={"m": 1}, produces={"o": 1},
+    )
+    return Cluster(
+        name="cluster1",
+        inputs=("i",),
+        outputs=("o",),
+        graph=builder.build(validate=False),
+    )
+
+
+def build_cluster2() -> Cluster:
+    """Variant 2: a single-stage filter (1 token in, 1 token out)."""
+    builder = GraphBuilder("cluster2")
+    builder.queue("i")
+    builder.queue("o")
+    builder.simple(
+        "t1", latency=STAGE_LATENCY["cluster2"][0],
+        consumes={"i": 1}, produces={"o": 1},
+    )
+    return Cluster(
+        name="cluster2",
+        inputs=("i",),
+        outputs=("o",),
+        graph=builder.build(validate=False),
+    )
+
+
+def build_interface() -> Interface:
+    """Interface Θ1 with the paper's two selection rules."""
+    return Interface(
+        name="theta1",
+        inputs=("i",),
+        outputs=("o",),
+        clusters={"cluster1": build_cluster1(), "cluster2": build_cluster2()},
+        selection=ClusterSelectionFunction.by_tag(
+            "CV", {"V1": "cluster1", "V2": "cluster2"}
+        ),
+        config_latency=dict(CONFIG_LATENCY),
+        kind=VariantKind.RUNTIME,
+    )
+
+
+def build_variant_graph(
+    variant: str = "V1", stream_tokens: int = 10
+) -> VariantGraph:
+    """The Figure 3 system with the user's start-up choice baked in.
+
+    ``variant`` is the tag PUser writes ('V1' or 'V2');
+    ``stream_tokens`` bounds the input stream so runs terminate.
+    """
+    if variant not in {"V1", "V2"}:
+        raise ValueError(f"variant must be 'V1' or 'V2', got {variant!r}")
+    vgraph = VariantGraph("figure3")
+    builder = GraphBuilder("figure3.common")
+    builder.queue("CIn")
+    builder.queue("COut")
+    builder.register("CV")
+    builder.process(one_shot_source("PUser", "CV", tags=variant))
+    builder.process(source("VIn", "CIn", max_firings=stream_tokens))
+    builder.process(sink("VOut", "COut"))
+    vgraph.base = builder.build(validate=False)
+    vgraph.add_interface(build_interface(), {"i": "CIn", "o": "COut"})
+    return vgraph
+
+
+def simulate_runtime_selection(
+    variant: str = "V1",
+    stream_tokens: int = 10,
+    detail: str = "per_entry",
+) -> Tuple[Trace, ModelGraph]:
+    """Abstract the interface and simulate the start-up selection.
+
+    Returns the trace and the abstracted graph; the trace shows exactly
+    one configuration step (to the chosen cluster, with its t_conf)
+    followed by steady-state execution of that cluster's modes only.
+    """
+    vgraph = build_variant_graph(variant, stream_tokens)
+    graph = vgraph.abstract(detail=detail)
+    simulator = Simulator(graph)
+    trace = simulator.run()
+    return trace, graph
+
+
+def selection_report(trace: Trace) -> Dict[str, object]:
+    """Headline facts of a Figure 3 run."""
+    reconfigs = trace.reconfigurations_of("theta1")
+    return {
+        "configuration_steps": len(reconfigs),
+        "selected": reconfigs[0].to_configuration if reconfigs else None,
+        "t_conf_paid": reconfigs[0].latency if reconfigs else 0.0,
+        "interface_firings": trace.firing_count("theta1"),
+        "modes_used": sorted(set(trace.modes_used("theta1"))),
+        "output_tokens": len(trace.produced_on("COut")),
+    }

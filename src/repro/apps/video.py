@@ -1,0 +1,512 @@
+"""The paper's Figure 4: an industrial reconfigurable video system.
+
+Rebuilt from the paper's description (the original is an internal
+TU Braunschweig image-engine platform report, ref [3]; see DESIGN.md
+substitutions):
+
+* a processing chain ``VIn -> PIn -> P1 -> P2 -> POut -> VOut`` over a
+  synthetic video stream;
+* ``P1`` and ``P2`` each carry a set of function variants, abstracted
+  to configured processes via
+  :func:`repro.variants.extraction.extract_dynamic_interface`;
+* ``PControl`` reacts to user requests: it sends 'suspend' requests to
+  the valves ``PIn``/``POut`` and reconfiguration requests (tagged
+  tokens) to ``P1``/``P2``, awaits both confirmations, then sends
+  'resume' to ``PIn``; ``PIn`` tags the first image passed after
+  resuming and ``POut`` returns to its normal mode when that tag
+  arrives;
+* the valves guarantee that no *invalid* image — one whose processing
+  overlapped a reconfiguration of ``P1`` or ``P2`` — reaches the
+  display: while suspended, ``PIn`` destroys all input data and
+  ``POut`` replaces chain output by the last completely modified image
+  (tagged ``'repeat'`` here);
+* ``PControl`` keeps its state on the feedback register ``CCTRL``
+  exactly as the paper describes.
+
+``build_video_system(with_valves=False)`` is the Figure 4 ablation: the
+valves become plain pass-through stages and invalid images reach the
+display during reconfiguration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.monitors import FrameValidityMonitor
+from ..sim.trace import Trace
+from ..spi.activation import ActivationFunction, ActivationRule
+from ..spi.builder import GraphBuilder
+from ..spi.graph import ModelGraph
+from ..spi.modes import ProcessMode
+from ..spi.predicates import HasTag, NumAvailable
+from ..spi.process import Process
+from ..spi.tags import TagSet
+from ..spi.tokens import Token
+from ..spi.virtuality import sink, source
+from ..variants.cluster import Cluster
+from ..variants.extraction import (
+    ExtractionOptions,
+    extract_dynamic_interface,
+)
+from ..variants.interface import Interface
+from ..variants.selection import ClusterSelectionFunction
+from ..variants.types import VariantKind
+
+#: Variant sets of the two chain stages (name -> processing latency, ms).
+P1_VARIANTS = {"v1a": 8.0, "v1b": 12.0}
+P2_VARIANTS = {"v2a": 8.0, "v2b": 10.0}
+
+#: Reconfiguration latencies t_conf per variant, ms.
+CONFIG_LATENCY = {"v1a": 20.0, "v1b": 25.0, "v2a": 15.0, "v2b": 18.0}
+
+#: Default stimulus: two user requests mid-stream.
+DEFAULT_REQUESTS: Tuple[Tuple[str, str], ...] = (
+    ("v1b", "v2b"),
+    ("v1a", "v2a"),
+)
+
+
+def _stage_cluster(name: str, latency: float) -> Cluster:
+    """A single-process variant cluster for one chain stage."""
+    builder = GraphBuilder(name)
+    builder.queue("i")
+    builder.queue("o")
+    builder.simple(
+        "proc",
+        latency=latency,
+        consumes={"i": 1},
+        produces={"o": 1},
+        out_tags={"o": "img"},
+        pass_tags=("o",),
+    )
+    return Cluster(
+        name=name,
+        inputs=("i",),
+        outputs=("o",),
+        graph=builder.build(validate=False),
+    )
+
+
+def _stage_interface(
+    name: str,
+    variants: Dict[str, float],
+    request_channel: str,
+    initial: str,
+) -> Interface:
+    """The variant set of one chain stage as a dynamic interface."""
+    clusters = {
+        variant: _stage_cluster(variant, latency)
+        for variant, latency in variants.items()
+    }
+    selection = ClusterSelectionFunction.by_tag(
+        request_channel,
+        {f"sel:{variant}": variant for variant in variants},
+    )
+    return Interface(
+        name=name,
+        inputs=("i",),
+        outputs=("o",),
+        clusters=clusters,
+        selection=selection,
+        config_latency={v: CONFIG_LATENCY[v] for v in variants},
+        initial_cluster=initial,
+        kind=VariantKind.DYNAMIC,
+    )
+
+
+def _valve_in() -> Tuple[Process, List[str]]:
+    """The input valve PIn with its normal/suspended/resuming modes."""
+    state = "PInState"
+    modes = {
+        "ctl_suspend": ProcessMode(
+            name="ctl_suspend",
+            latency=0.5,
+            consumes={"CSusIn": 1},
+            produces={state: 1},
+            out_tags={state: TagSet.of("suspended")},
+        ),
+        "ctl_resume": ProcessMode(
+            name="ctl_resume",
+            latency=0.5,
+            consumes={"CSusIn": 1},
+            produces={state: 1},
+            out_tags={state: TagSet.of("resuming")},
+        ),
+        "pass_first": ProcessMode(
+            name="pass_first",
+            latency=0.5,
+            consumes={"CVin": 1},
+            produces={"CV1": 1, state: 1},
+            out_tags={
+                "CV1": TagSet.of("img", "fresh"),
+                state: TagSet.of("normal"),
+            },
+        ),
+        "pass": ProcessMode(
+            name="pass",
+            latency=0.5,
+            consumes={"CVin": 1},
+            produces={"CV1": 1},
+            out_tags={"CV1": TagSet.of("img")},
+        ),
+        "drop": ProcessMode(
+            name="drop",
+            latency=0.5,
+            consumes={"CVin": 1},
+        ),
+    }
+    activation = ActivationFunction.of(
+        ActivationRule(
+            "r_suspend",
+            NumAvailable("CSusIn", 1) & HasTag("CSusIn", "suspend"),
+            "ctl_suspend",
+        ),
+        ActivationRule(
+            "r_resume",
+            NumAvailable("CSusIn", 1) & HasTag("CSusIn", "resume"),
+            "ctl_resume",
+        ),
+        ActivationRule(
+            "r_first",
+            NumAvailable("CVin", 1) & HasTag(state, "resuming"),
+            "pass_first",
+        ),
+        ActivationRule(
+            "r_pass",
+            NumAvailable("CVin", 1) & HasTag(state, "normal"),
+            "pass",
+        ),
+        ActivationRule(
+            "r_drop",
+            NumAvailable("CVin", 1) & HasTag(state, "suspended"),
+            "drop",
+        ),
+    )
+    process = Process(name="PIn", modes=modes, activation=activation)
+    return process, [state]
+
+
+def _valve_out() -> Tuple[Process, List[str]]:
+    """The output valve POut: pass / repeat-last / resume-on-tag."""
+    state = "POutState"
+    modes = {
+        "ctl_suspend": ProcessMode(
+            name="ctl_suspend",
+            latency=0.5,
+            consumes={"CSusOut": 1},
+            produces={state: 1},
+            out_tags={state: TagSet.of("suspended")},
+        ),
+        "resume_pass": ProcessMode(
+            name="resume_pass",
+            latency=0.5,
+            consumes={"CV3": 1},
+            produces={"CVout": 1, state: 1},
+            out_tags={
+                "CVout": TagSet.of("img", "fresh"),
+                state: TagSet.of("normal"),
+            },
+        ),
+        "pass": ProcessMode(
+            name="pass",
+            latency=0.5,
+            consumes={"CV3": 1},
+            produces={"CVout": 1},
+            out_tags={"CVout": TagSet.of("img")},
+        ),
+        "repeat_last": ProcessMode(
+            name="repeat_last",
+            latency=0.5,
+            consumes={"CV3": 1},
+            produces={"CVout": 1},
+            out_tags={"CVout": TagSet.of("img", "repeat")},
+        ),
+    }
+    activation = ActivationFunction.of(
+        ActivationRule(
+            "r_suspend",
+            NumAvailable("CSusOut", 1) & HasTag("CSusOut", "suspend"),
+            "ctl_suspend",
+        ),
+        ActivationRule(
+            "r_fresh",
+            NumAvailable("CV3", 1)
+            & HasTag("CV3", "fresh")
+            & HasTag(state, "suspended"),
+            "resume_pass",
+        ),
+        ActivationRule(
+            "r_pass",
+            NumAvailable("CV3", 1) & HasTag(state, "normal"),
+            "pass",
+        ),
+        ActivationRule(
+            "r_repeat",
+            NumAvailable("CV3", 1) & HasTag(state, "suspended"),
+            "repeat_last",
+        ),
+    )
+    process = Process(name="POut", modes=modes, activation=activation)
+    return process, [state]
+
+
+def _controller(
+    combos: Sequence[Tuple[str, str]], with_valves: bool
+) -> Process:
+    """PControl: dispatch requests, await confirmations, resume.
+
+    One dispatch mode per possible (P1 variant, P2 variant) combination
+    plus the finish mode; state is kept on the CCTRL feedback register
+    (idle / waiting) exactly as in the paper.
+    """
+    modes: Dict[str, ProcessMode] = {}
+    rules: List[ActivationRule] = []
+    for p1_variant, p2_variant in combos:
+        name = f"dispatch_{p1_variant}_{p2_variant}"
+        tag = f"cfg:{p1_variant}|{p2_variant}"
+        produces = {
+            "CReq1": 1,
+            "CReq2": 1,
+            "CCTRL": 1,
+        }
+        out_tags = {
+            "CReq1": TagSet.of(f"sel:{p1_variant}"),
+            "CReq2": TagSet.of(f"sel:{p2_variant}"),
+            "CCTRL": TagSet.of("waiting"),
+        }
+        if with_valves:
+            produces["CSusIn"] = 1
+            produces["CSusOut"] = 1
+            out_tags["CSusIn"] = TagSet.of("suspend")
+            out_tags["CSusOut"] = TagSet.of("suspend")
+        modes[name] = ProcessMode(
+            name=name,
+            latency=0.5,
+            consumes={"CUser": 1},
+            produces=produces,
+            out_tags=out_tags,
+        )
+        rules.append(
+            ActivationRule(
+                f"r_{name}",
+                NumAvailable("CUser", 1)
+                & HasTag("CUser", tag)
+                & HasTag("CCTRL", "idle"),
+                name,
+            )
+        )
+
+    finish_produces = {"CCTRL": 1}
+    finish_tags = {"CCTRL": TagSet.of("idle")}
+    if with_valves:
+        finish_produces["CSusIn"] = 1
+        finish_tags["CSusIn"] = TagSet.of("resume")
+    modes["finish"] = ProcessMode(
+        name="finish",
+        latency=0.5,
+        consumes={"CCon1": 1, "CCon2": 1},
+        produces=finish_produces,
+        out_tags=finish_tags,
+    )
+    rules.append(
+        ActivationRule(
+            "r_finish",
+            NumAvailable("CCon1", 1)
+            & NumAvailable("CCon2", 1)
+            & HasTag("CCTRL", "waiting"),
+            "finish",
+        )
+    )
+    return Process(
+        name="PControl",
+        modes=modes,
+        activation=ActivationFunction(tuple(rules)),
+    )
+
+
+def _user(
+    requests: Sequence[Tuple[str, str]],
+    start: float,
+    gap: float,
+) -> Process:
+    """PUser: issues the request sequence at fixed times.
+
+    State is a phase token on a self-loop queue (the CSDF encoding), so
+    each firing emits the next request of the script.
+    """
+    modes: Dict[str, ProcessMode] = {}
+    rules: List[ActivationRule] = []
+    for index, (p1_variant, p2_variant) in enumerate(requests):
+        name = f"req{index}"
+        modes[name] = ProcessMode(
+            name=name,
+            latency=0.0,
+            consumes={"CUserPhase": 1},
+            produces={"CUser": 1, "CUserPhase": 1},
+            out_tags={
+                "CUser": TagSet.of(f"cfg:{p1_variant}|{p2_variant}"),
+                "CUserPhase": TagSet.of(f"rq{index + 1}"),
+            },
+        )
+        rules.append(
+            ActivationRule(
+                f"r_req{index}",
+                NumAvailable("CUserPhase", 1)
+                & HasTag("CUserPhase", f"rq{index}"),
+                name,
+            )
+        )
+    return Process(
+        name="PUser",
+        modes=modes,
+        activation=ActivationFunction(tuple(rules)),
+        virtual=True,
+        period=gap,
+        release_time=start,
+        max_firings=len(requests),
+    )
+
+
+def build_video_system(
+    n_frames: int = 100,
+    frame_period: float = 40.0,
+    requests: Sequence[Tuple[str, str]] = DEFAULT_REQUESTS,
+    request_start: float = 1200.0,
+    request_gap: float = 1600.0,
+    with_valves: bool = True,
+) -> ModelGraph:
+    """Assemble the complete Figure 4 model graph."""
+    builder = GraphBuilder("figure4" if with_valves else "figure4.novalves")
+    # Stream channels.
+    builder.queue("CVin")
+    builder.queue("CV1")
+    builder.queue("CV2")
+    builder.queue("CV3")
+    builder.queue("CVout")
+    # Control channels.
+    builder.queue("CUser")
+    builder.queue(
+        "CUserPhase", initial_tokens=[Token(tags=TagSet.of("rq0"))]
+    )
+    builder.queue("CReq1")
+    builder.queue("CCon1")
+    builder.queue("CReq2")
+    builder.queue("CCon2")
+    builder.register(
+        "CCTRL", initial_tokens=[Token(tags=TagSet.of("idle"))]
+    )
+    if with_valves:
+        builder.queue("CSusIn")
+        builder.queue("CSusOut")
+        builder.register(
+            "PInState", initial_tokens=[Token(tags=TagSet.of("normal"))]
+        )
+        builder.register(
+            "POutState", initial_tokens=[Token(tags=TagSet.of("normal"))]
+        )
+
+    # Environment.
+    builder.process(
+        source(
+            "VIn",
+            "CVin",
+            tags="img",
+            period=frame_period,
+            max_firings=n_frames,
+        )
+    )
+    builder.process(sink("VOut", "CVout"))
+    builder.process(_user(requests, request_start, request_gap))
+
+    # Valves (or plain pass-through stages for the ablation).
+    if with_valves:
+        valve_in, _ = _valve_in()
+        builder.process(valve_in)
+        valve_out, _ = _valve_out()
+        builder.process(valve_out)
+    else:
+        builder.simple(
+            "PIn",
+            latency=0.5,
+            consumes={"CVin": 1},
+            produces={"CV1": 1},
+            out_tags={"CV1": "img"},
+        )
+        builder.simple(
+            "POut",
+            latency=0.5,
+            consumes={"CV3": 1},
+            produces={"CVout": 1},
+            out_tags={"CVout": "img"},
+        )
+
+    # The two reconfigurable chain stages.
+    options = ExtractionOptions(name="P1")
+    extraction1 = extract_dynamic_interface(
+        _stage_interface("thetaP1", P1_VARIANTS, "CReq1", "v1a"),
+        {"i": "CV1", "o": "CV2"},
+        request_channel="CReq1",
+        confirm_channel="CCon1",
+        options=options,
+    )
+    builder.channel(extraction1.state_channel)
+    builder.process(extraction1.process)
+
+    extraction2 = extract_dynamic_interface(
+        _stage_interface("thetaP2", P2_VARIANTS, "CReq2", "v2a"),
+        {"i": "CV2", "o": "CV3"},
+        request_channel="CReq2",
+        confirm_channel="CCon2",
+        options=ExtractionOptions(name="P2"),
+    )
+    builder.channel(extraction2.state_channel)
+    builder.process(extraction2.process)
+
+    builder.process(
+        _controller(
+            list(itertools.product(P1_VARIANTS, P2_VARIANTS)), with_valves
+        )
+    )
+    return builder.build(validate=False)
+
+
+def run_video(
+    n_frames: int = 100,
+    with_valves: bool = True,
+    **kwargs,
+) -> Tuple[Trace, ModelGraph]:
+    """Build and simulate the video system; returns (trace, graph)."""
+    graph = build_video_system(
+        n_frames=n_frames, with_valves=with_valves, **kwargs
+    )
+    simulator = Simulator(graph)
+    trace = simulator.run()
+    return trace, graph
+
+
+def video_report(trace: Trace) -> Dict[str, object]:
+    """Frame accounting and reconfiguration summary of one run."""
+    monitor = FrameValidityMonitor(
+        "CVout", ["P1", "P2"], repeat_tag="repeat"
+    )
+    reports = monitor.analyze(trace)
+    invalid = [r for r in reports if not r.valid]
+    repeats = [r for r in reports if r.is_repeat]
+    fresh = [r for r in reports if "fresh" in r.token.tags]
+    return {
+        "frames_captured": trace.firing_count("VIn"),
+        "frames_displayed": len(reports),
+        "frames_dropped_at_valve": len(
+            [f for f in trace.firings_of("PIn") if f.mode == "drop"]
+        ),
+        "frames_repeated": len(repeats),
+        "frames_fresh_after_resume": len(fresh),
+        "invalid_frames_displayed": len(invalid),
+        "reconfigurations": [
+            (r.process, r.to_configuration, r.time, r.latency)
+            for r in trace.reconfigurations
+        ],
+        "reconfiguration_time": trace.total_reconfiguration_time(),
+    }

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything coming out of the library with a single
+``except`` clause while still being able to discriminate the failure
+domain (model construction, activation semantics, simulation, variant
+handling, synthesis).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """An SPI model element or graph is structurally invalid."""
+
+
+class ValidationError(ModelError):
+    """A whole-model validation pass found one or more violations.
+
+    The individual findings are kept in :attr:`issues` so tooling can
+    report all of them at once instead of failing on the first.
+    """
+
+    def __init__(self, issues):
+        self.issues = list(issues)
+        joined = "; ".join(str(issue) for issue in self.issues)
+        super().__init__(f"model validation failed: {joined}")
+
+
+class ActivationError(ReproError):
+    """An activation function is ill-formed or evaluated ambiguously."""
+
+
+class VariantError(ReproError):
+    """A cluster, interface or selection construct is invalid."""
+
+
+class ExtractionError(VariantError):
+    """Parameter extraction from a cluster could not be performed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SchedulingError(ReproError):
+    """A schedule could not be constructed for the given binding."""
+
+
+class SynthesisError(ReproError):
+    """A synthesis flow failed (no feasible implementation, bad library)."""
+
+
+class TimingViolation(ReproError):
+    """A timing constraint was provably violated."""

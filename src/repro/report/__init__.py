@@ -1,0 +1,6 @@
+"""Reporting helpers shared by benches, examples and tests."""
+
+from .series import Series, render_series
+from .tables import render_dict_rows, render_table
+
+__all__ = ["Series", "render_dict_rows", "render_series", "render_table"]

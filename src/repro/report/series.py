@@ -1,0 +1,57 @@
+"""Named (x, y) series for the scaling and ablation benches.
+
+A :class:`Series` is the figure-shaped counterpart of the table rows:
+benches that sweep a parameter report one series per flow, and the
+harness renders them side by side for eyeball comparison against the
+paper's qualitative claims (who wins, where the gap grows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from .tables import render_table
+
+
+@dataclass
+class Series:
+    """One named sequence of (x, y) points."""
+
+    name: str
+    points: List[Tuple[object, float]] = field(default_factory=list)
+
+    def add(self, x: object, y: float) -> "Series":
+        """Append one point."""
+        self.points.append((x, y))
+        return self
+
+    @property
+    def xs(self) -> Tuple[object, ...]:
+        return tuple(x for x, _ in self.points)
+
+    @property
+    def ys(self) -> Tuple[float, ...]:
+        return tuple(y for _, y in self.points)
+
+
+def render_series(
+    series: Sequence[Series], x_label: str = "x", title: str = ""
+) -> str:
+    """Render several series over a shared x axis as one table."""
+    if not series:
+        return title or "(no series)"
+    xs: List[object] = []
+    for s in series:
+        for x in s.xs:
+            if x not in xs:
+                xs.append(x)
+    headers = [x_label] + [s.name for s in series]
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for s in series:
+            lookup = dict(s.points)
+            row.append(lookup.get(x, ""))
+        rows.append(row)
+    return render_table(headers, rows, title=title or None)

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the bench harness.
+
+The benches print the same rows the paper's tables report; this module
+keeps the formatting in one place (fixed-width ASCII, right-aligned
+numbers) so outputs diff cleanly across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value):
+            return str(int(value))
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    cells: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(
+            value.ljust(widths[index]) for index, value in enumerate(row)
+        )
+
+    rule = "-+-".join("-" * width for width in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(list(headers)))
+    lines.append(rule)
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_dict_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows, inferring columns from the first row."""
+    if not rows:
+        return title or "(empty table)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    body = [[row.get(col, "") for col in cols] for row in rows]
+    return render_table(cols, body, title=title)

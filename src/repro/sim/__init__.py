@@ -1,0 +1,32 @@
+"""Discrete-event simulation of SPI models with variants.
+
+:class:`Simulator` executes graphs under time with full reconfiguration
+semantics; :class:`Trace` records firings, tokens (with lineage) and
+reconfigurations; :mod:`~repro.sim.monitors` derives invariants such as
+Figure 4's invalid-image check from traces.
+"""
+
+from .engine import ResourceBinding, Simulator, simulate
+from .monitors import (
+    ChannelBoundReport,
+    FrameReport,
+    FrameValidityMonitor,
+    check_channel_bounds,
+    peak_occupancy,
+)
+from .trace import FiringRecord, FlushRecord, ReconfigurationRecord, Trace
+
+__all__ = [
+    "ChannelBoundReport",
+    "FiringRecord",
+    "FlushRecord",
+    "FrameReport",
+    "FrameValidityMonitor",
+    "ReconfigurationRecord",
+    "ResourceBinding",
+    "Simulator",
+    "Trace",
+    "check_channel_bounds",
+    "peak_occupancy",
+    "simulate",
+]

@@ -1,0 +1,396 @@
+"""Timed discrete-event simulation of SPI model graphs.
+
+The engine executes the SPI update rules under time: activation
+functions are evaluated on the live channel states, consumption happens
+at activation, production at completion after the mode's latency, and —
+for :class:`~repro.variants.configuration.ConfiguredProcess` nodes —
+the Def.-4 reconfiguration rule is applied:
+
+    "it can be analyzed whether a newly activated mode belongs to the
+    current configuration [...] if not, a new configuration is selected
+    [...] the old configuration is destroyed including all internal
+    buffers.  After the reconfiguration latency, the process is executed
+    in the newly activated mode.  From the higher level point of view,
+    the reconfiguration latency is simply added to the process execution
+    latency for this execution."
+
+Optionally a :class:`ResourceBinding` serializes processes mapped to the
+same processor, which is how synthesis results are validated against
+the timing behavior they promise.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import SimulationError
+from ..spi.channels import ChannelState
+from ..spi.graph import ModelGraph
+from ..spi.modes import ProcessMode
+from ..spi.process import Process
+from ..spi.semantics import RateResolver
+from ..spi.tags import TagSet
+from ..spi.tokens import Token
+from ..variants.configuration import ConfiguredProcess
+from .trace import FiringRecord, FlushRecord, ReconfigurationRecord, Trace
+
+
+@dataclass(frozen=True)
+class ResourceBinding:
+    """Assignment of processes to single-threaded resources.
+
+    Processes bound to the same resource name execute mutually
+    exclusively; unbound processes run unconstrained (dedicated
+    hardware).
+    """
+
+    assignment: Mapping[str, str]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assignment", dict(self.assignment))
+
+    def resource_of(self, process: str) -> Optional[str]:
+        """The resource ``process`` is bound to, or None."""
+        return self.assignment.get(process)
+
+
+@dataclass
+class _Running:
+    """Bookkeeping for one in-flight execution."""
+
+    process: str
+    mode: ProcessMode
+    start: float
+    end: float
+    consumed: List[Tuple[str, Tuple[Token, ...]]]
+    reconfiguration_latency: float
+
+
+class _EngineChannelView:
+    """ChannelView over the engine's channel states."""
+
+    def __init__(self, states: Mapping[str, ChannelState]) -> None:
+        self._states = states
+
+    def available(self, channel: str) -> int:
+        state = self._states.get(channel)
+        return 0 if state is None else state.available()
+
+    def first_tags(self, channel: str):
+        state = self._states.get(channel)
+        return None if state is None else state.first_tags()
+
+
+class Simulator:
+    """Event-driven executor for one model graph."""
+
+    def __init__(
+        self,
+        graph: ModelGraph,
+        resolver: Optional[RateResolver] = None,
+        binding: Optional[ResourceBinding] = None,
+        strict_activation: bool = False,
+        max_events: int = 1_000_000,
+        flush_rules: Optional[
+            Mapping[Tuple[str, str], Tuple[str, ...]]
+        ] = None,
+    ) -> None:
+        """See class docstring.
+
+        ``flush_rules`` maps ``(process, mode)`` to the channels whose
+        content is destroyed when that mode activates — the engine-side
+        mechanism behind cluster termination (paper §4: terminating a
+        running cluster loses all data on its internal channels).
+        """
+        self.graph = graph
+        self.resolver = resolver or RateResolver()
+        self.binding = binding
+        self.strict_activation = strict_activation
+        self.max_events = max_events
+        self.flush_rules = {
+            key: tuple(channels)
+            for key, channels in (flush_rules or {}).items()
+        }
+
+        self.time = 0.0
+        self.trace = Trace()
+        self.states: Dict[str, ChannelState] = {
+            name: channel.new_state()
+            for name, channel in graph.channels.items()
+        }
+        self.view = _EngineChannelView(self.states)
+
+        self._running: Dict[str, _Running] = {}
+        self._busy_resources: Set[str] = set()
+        self._firing_counts: Dict[str, int] = {
+            name: 0 for name in graph.processes
+        }
+        self._next_allowed_start: Dict[str, float] = {
+            name: process.release_time
+            for name, process in graph.processes.items()
+        }
+        self._current_configuration: Dict[str, Optional[str]] = {}
+        for name, process in graph.processes.items():
+            if isinstance(process, ConfiguredProcess):
+                self._current_configuration[name] = (
+                    process.initial_configuration
+                )
+        # (time, seq, process) completion events.
+        self._events: List[Tuple[float, int, str]] = []
+        self._seq = itertools.count()
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def occupancy(self) -> Dict[str, int]:
+        """Tokens currently visible per channel."""
+        return {name: st.available() for name, st in self.states.items()}
+
+    def configuration_of(self, process: str) -> Optional[str]:
+        """Current ``conf_cur`` of a configured process."""
+        if process not in self._current_configuration:
+            raise SimulationError(
+                f"process {process!r} carries no configurations"
+            )
+        return self._current_configuration[process]
+
+    def firing_count(self, process: str) -> int:
+        """Completed firings of one process."""
+        return self._firing_counts[process]
+
+    # ------------------------------------------------------------------
+    # Readiness
+    # ------------------------------------------------------------------
+    def _ready_mode(self, process: Process) -> Optional[ProcessMode]:
+        name = process.name
+        if name in self._running:
+            return None
+        if (
+            process.max_firings is not None
+            and self._firing_counts[name] >= process.max_firings
+        ):
+            return None
+        if self.time < self._next_allowed_start[name] - 1e-12:
+            return None
+        resource = (
+            self.binding.resource_of(name) if self.binding else None
+        )
+        if resource is not None and resource in self._busy_resources:
+            return None
+        rule = process.activation.select(
+            self.view, strict=self.strict_activation
+        )
+        if rule is None:
+            return None
+        mode = process.mode(rule.mode)
+        for channel, amount in mode.consumes.items():
+            state = self.states.get(channel)
+            if state is None:
+                raise SimulationError(
+                    f"process {name!r} consumes from unknown channel "
+                    f"{channel!r}"
+                )
+            if state.available() < amount.lo:
+                return None
+        return mode
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _start(self, process: Process, mode: ProcessMode) -> None:
+        name = process.name
+        for channel in self.flush_rules.get((name, mode.name), ()):
+            state = self.states.get(channel)
+            if state is None:
+                raise SimulationError(
+                    f"flush rule of {name!r}/{mode.name!r} names unknown "
+                    f"channel {channel!r}"
+                )
+            dropped = tuple(state.clear())
+            if dropped:
+                self.trace.record_flush(
+                    FlushRecord(
+                        process=name,
+                        mode=mode.name,
+                        time=self.time,
+                        channel=channel,
+                        dropped=dropped,
+                    )
+                )
+        consumed: List[Tuple[str, Tuple[Token, ...]]] = []
+        for channel, amount in sorted(mode.consumes.items()):
+            state = self.states[channel]
+            count = self.resolver.resolve_amount(amount)
+            count = min(count, state.available())
+            count = max(count, int(amount.lo))
+            tokens = tuple(state.read(count))
+            consumed.append((channel, tokens))
+
+        reconf_latency = 0.0
+        if isinstance(process, ConfiguredProcess):
+            target = process.configuration_of_mode(mode.name)
+            current = self._current_configuration[name]
+            if current != target.name:
+                reconf_latency = target.latency
+                self.trace.record_reconfiguration(
+                    ReconfigurationRecord(
+                        process=name,
+                        time=self.time,
+                        from_configuration=current,
+                        to_configuration=target.name,
+                        latency=reconf_latency,
+                    )
+                )
+                self._current_configuration[name] = target.name
+
+        latency = self.resolver.resolve_latency(mode.latency)
+        end = self.time + reconf_latency + latency
+        self._running[name] = _Running(
+            process=name,
+            mode=mode,
+            start=self.time,
+            end=end,
+            consumed=consumed,
+            reconfiguration_latency=reconf_latency,
+        )
+        resource = (
+            self.binding.resource_of(name) if self.binding else None
+        )
+        if resource is not None:
+            self._busy_resources.add(resource)
+        if process.period is not None:
+            self._next_allowed_start[name] = self.time + process.period
+        heapq.heappush(self._events, (end, next(self._seq), name))
+        self._event_count += 1
+        if self._event_count > self.max_events:
+            raise SimulationError(
+                f"simulation exceeded {self.max_events} events; "
+                f"the model likely contains an unguarded zero-latency loop"
+            )
+
+    def _complete(self, name: str) -> None:
+        running = self._running.pop(name)
+        process = self.graph.process(name)
+        inherited = None
+        if running.mode.pass_tags:
+            inherited = TagSet.empty()
+            for _, tokens in running.consumed:
+                for token in tokens:
+                    inherited = inherited | token.tags
+        produced: List[Tuple[str, Tuple[Token, ...]]] = []
+        for channel, amount in sorted(running.mode.produces.items()):
+            state = self.states.get(channel)
+            if state is None:
+                raise SimulationError(
+                    f"process {name!r} produces on unknown channel "
+                    f"{channel!r}"
+                )
+            count = self.resolver.resolve_amount(amount)
+            tags = running.mode.tags_for(channel)
+            if inherited is not None and channel in running.mode.pass_tags:
+                tags = tags | inherited
+            tokens = tuple(
+                Token(tags=tags, producer=name, produced_at=self.time)
+                for _ in range(count)
+            )
+            state.write(list(tokens))
+            produced.append((channel, tokens))
+        resource = (
+            self.binding.resource_of(name) if self.binding else None
+        )
+        if resource is not None:
+            self._busy_resources.discard(resource)
+        self._firing_counts[name] += 1
+        self.trace.record_firing(
+            FiringRecord(
+                process=name,
+                mode=running.mode.name,
+                start=running.start,
+                end=running.end,
+                consumed=tuple(running.consumed),
+                produced=tuple(produced),
+                reconfiguration_latency=running.reconfiguration_latency,
+            )
+        )
+
+    def _start_all_ready(self) -> int:
+        """Start every ready process; returns how many were started.
+
+        Iterates to a fixed point because starting one process can make
+        a resource busy (blocking others) but never *enables* another
+        start at the same instant (consumption only removes tokens).
+        """
+        started = 0
+        for name in sorted(self.graph.processes):
+            process = self.graph.process(name)
+            mode = self._ready_mode(process)
+            if mode is not None:
+                self._start(process, mode)
+                started += 1
+        return started
+
+    def _next_wakeup(self) -> Optional[float]:
+        """Earliest future time at which something could change."""
+        times: List[float] = []
+        if self._events:
+            times.append(self._events[0][0])
+        for name, process in self.graph.processes.items():
+            if name in self._running:
+                continue
+            if (
+                process.max_firings is not None
+                and self._firing_counts[name] >= process.max_firings
+            ):
+                continue
+            allowed = self._next_allowed_start[name]
+            if allowed > self.time + 1e-12:
+                times.append(allowed)
+        return min(times) if times else None
+
+    def run(self, until: Optional[float] = None) -> Trace:
+        """Run to quiescence (or up to model time ``until``)."""
+        self._start_all_ready()
+        while True:
+            if until is not None and self.time > until:
+                break
+            progressed = False
+            # Complete every event scheduled at the current time.
+            while self._events and self._events[0][0] <= self.time + 1e-12:
+                _, _, name = heapq.heappop(self._events)
+                self._complete(name)
+                progressed = True
+            if self._start_all_ready() > 0:
+                progressed = True
+            if progressed:
+                continue
+            wake = self._next_wakeup()
+            if wake is None:
+                break
+            if until is not None and wake > until:
+                self.time = until + 1e-9
+                break
+            self.time = wake
+        return self.trace
+
+
+def simulate(
+    graph: ModelGraph,
+    until: Optional[float] = None,
+    resolver: Optional[RateResolver] = None,
+    binding: Optional[ResourceBinding] = None,
+    strict_activation: bool = False,
+    flush_rules: Optional[Mapping[Tuple[str, str], Tuple[str, ...]]] = None,
+) -> Trace:
+    """One-call convenience wrapper around :class:`Simulator`."""
+    simulator = Simulator(
+        graph,
+        resolver=resolver,
+        binding=binding,
+        strict_activation=strict_activation,
+        flush_rules=flush_rules,
+    )
+    return simulator.run(until=until)

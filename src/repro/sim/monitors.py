@@ -1,0 +1,134 @@
+"""Trace monitors and invariant checks.
+
+Monitors inspect a finished :class:`~repro.sim.trace.Trace` (simpler
+and more robust than callback hooks, and sufficient because traces keep
+full token lineage).  The video-system bench builds its invalid-image
+analysis on :class:`FrameValidityMonitor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..spi.tokens import Token
+from .trace import Trace
+
+
+@dataclass
+class ChannelBoundReport:
+    """Result of checking channel occupancy against bounds."""
+
+    channel: str
+    bound: int
+    peak: int
+
+    @property
+    def satisfied(self) -> bool:
+        """True if the peak occupancy stayed within the bound."""
+        return self.peak <= self.bound
+
+
+def peak_occupancy(trace: Trace, channel: str, initial: int = 0) -> int:
+    """Maximum number of tokens simultaneously on ``channel``.
+
+    Reconstructed from the trace: production at firing end, consumption
+    at firing start, replayed in time order.
+    """
+    events: List[Tuple[float, int, int]] = []  # (time, order, delta)
+    for firing in trace.firings:
+        consumed = len(firing.consumed_on(channel))
+        produced = len(firing.produced_on(channel))
+        if consumed:
+            # Production precedes consumption at equal times: a consumer
+            # cannot take a token before it exists.
+            events.append((firing.start, 1, -consumed))
+        if produced:
+            events.append((firing.end, 0, +produced))
+    events.sort()
+    level = initial
+    peak = initial
+    for _, _, delta in events:
+        level += delta
+        peak = max(peak, level)
+    return peak
+
+
+def check_channel_bounds(
+    trace: Trace, bounds: Dict[str, int]
+) -> List[ChannelBoundReport]:
+    """Check several channels at once."""
+    return [
+        ChannelBoundReport(
+            channel=channel, bound=bound, peak=peak_occupancy(trace, channel)
+        )
+        for channel, bound in sorted(bounds.items())
+    ]
+
+
+@dataclass
+class FrameReport:
+    """Validity verdict for one output frame of a processing chain."""
+
+    index: int
+    token: Token
+    produced_at: float
+    valid: bool
+    overlapped_reconfigurations: Tuple[str, ...] = ()
+    is_repeat: bool = False
+
+
+class FrameValidityMonitor:
+    """Detects output frames whose processing overlapped reconfiguration.
+
+    Paper §5: "An image becomes invalid if either P1 or P2 or both are
+    reconfigured during processing that image."  For every token that
+    reached ``output_channel`` the monitor computes its processing span
+    (from the first ancestor consumption to its production) via token
+    lineage and intersects it with the reconfiguration records of the
+    watched processes.
+    """
+
+    def __init__(
+        self,
+        output_channel: str,
+        watched_processes: Sequence[str],
+        repeat_tag: Optional[str] = None,
+    ) -> None:
+        self.output_channel = output_channel
+        self.watched = tuple(watched_processes)
+        self.repeat_tag = repeat_tag
+
+    def analyze(self, trace: Trace) -> List[FrameReport]:
+        """Classify every output frame."""
+        reports: List[FrameReport] = []
+        for index, token in enumerate(trace.produced_on(self.output_channel)):
+            is_repeat = (
+                self.repeat_tag is not None and self.repeat_tag in token.tags
+            )
+            span = trace.span(token)
+            overlapped: List[str] = []
+            if span is not None and not is_repeat:
+                start, end = span
+                for record in trace.reconfigurations:
+                    if record.process not in self.watched:
+                        continue
+                    reconf_start = record.time
+                    reconf_end = record.time + record.latency
+                    if reconf_start < end and reconf_end > start:
+                        overlapped.append(record.process)
+            reports.append(
+                FrameReport(
+                    index=index,
+                    token=token,
+                    produced_at=token.produced_at or 0.0,
+                    valid=not overlapped,
+                    overlapped_reconfigurations=tuple(sorted(set(overlapped))),
+                    is_repeat=is_repeat,
+                )
+            )
+        return reports
+
+    def invalid_frames(self, trace: Trace) -> List[FrameReport]:
+        """Only the frames that violate the validity invariant."""
+        return [r for r in self.analyze(trace) if not r.valid]

@@ -1,0 +1,250 @@
+"""Execution traces.
+
+The simulator records every firing, token production and
+reconfiguration.  Traces are the raw material for the paper's
+behavioral claims: Figure 3's one-time configuration step, Figure 4's
+suspend/resume protocol and its invalid-image accounting all reduce to
+queries over these records.
+
+Token *lineage* is preserved: each firing record holds the actual token
+objects consumed and produced, so a bench can follow a video frame from
+the camera through the processing chain to the display and ask whether
+a reconfiguration overlapped its journey.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..spi.tokens import Token
+
+
+@dataclass(frozen=True)
+class FiringRecord:
+    """One completed process execution."""
+
+    process: str
+    mode: str
+    start: float
+    end: float
+    consumed: Tuple[Tuple[str, Tuple[Token, ...]], ...]
+    produced: Tuple[Tuple[str, Tuple[Token, ...]], ...]
+    reconfiguration_latency: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        """Total time including any reconfiguration step."""
+        return self.end - self.start
+
+    def consumed_on(self, channel: str) -> Tuple[Token, ...]:
+        """Tokens consumed from ``channel`` in this firing."""
+        for name, tokens in self.consumed:
+            if name == channel:
+                return tokens
+        return ()
+
+    def produced_on(self, channel: str) -> Tuple[Token, ...]:
+        """Tokens produced on ``channel`` in this firing."""
+        for name, tokens in self.produced:
+            if name == channel:
+                return tokens
+        return ()
+
+    def all_consumed(self) -> Tuple[Token, ...]:
+        """All consumed tokens across channels."""
+        result: List[Token] = []
+        for _, tokens in self.consumed:
+            result.extend(tokens)
+        return tuple(result)
+
+    def all_produced(self) -> Tuple[Token, ...]:
+        """All produced tokens across channels."""
+        result: List[Token] = []
+        for _, tokens in self.produced:
+            result.extend(tokens)
+        return tuple(result)
+
+
+@dataclass(frozen=True)
+class ReconfigurationRecord:
+    """One reconfiguration step inserted by the Def.-4 rule."""
+
+    process: str
+    time: float
+    from_configuration: Optional[str]
+    to_configuration: str
+    latency: float
+
+
+@dataclass(frozen=True)
+class FlushRecord:
+    """Internal channel data destroyed by a cluster termination.
+
+    Paper §4: "the termination of a running cluster results in the loss
+    of all data on the internal channels."  Each record documents one
+    flushed channel at one switch.
+    """
+
+    process: str
+    mode: str
+    time: float
+    channel: str
+    dropped: Tuple[Token, ...]
+
+    @property
+    def lost_tokens(self) -> int:
+        """How many tokens were destroyed on this channel."""
+        return len(self.dropped)
+
+
+@dataclass
+class Trace:
+    """All records of one simulation run, with query helpers."""
+
+    firings: List[FiringRecord] = field(default_factory=list)
+    reconfigurations: List[ReconfigurationRecord] = field(
+        default_factory=list
+    )
+    flushes: List[FlushRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording (used by the engine)
+    # ------------------------------------------------------------------
+    def record_firing(self, record: FiringRecord) -> None:
+        """Append a firing record."""
+        self.firings.append(record)
+
+    def record_reconfiguration(self, record: ReconfigurationRecord) -> None:
+        """Append a reconfiguration record."""
+        self.reconfigurations.append(record)
+
+    def record_flush(self, record: FlushRecord) -> None:
+        """Append a flush (termination data loss) record."""
+        self.flushes.append(record)
+
+    def tokens_lost(self, channel: Optional[str] = None) -> int:
+        """Total tokens destroyed by cluster terminations."""
+        return sum(
+            record.lost_tokens
+            for record in self.flushes
+            if channel is None or record.channel == channel
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def firings_of(self, process: str) -> List[FiringRecord]:
+        """All firings of one process, in completion order."""
+        return [f for f in self.firings if f.process == process]
+
+    def firing_count(self, process: Optional[str] = None) -> int:
+        """Number of firings (of one process, or overall)."""
+        if process is None:
+            return len(self.firings)
+        return len(self.firings_of(process))
+
+    def reconfigurations_of(self, process: str) -> List[ReconfigurationRecord]:
+        """All reconfigurations of one process."""
+        return [r for r in self.reconfigurations if r.process == process]
+
+    def produced_on(self, channel: str) -> List[Token]:
+        """Every token ever produced on ``channel``, in order."""
+        result: List[Token] = []
+        for firing in self.firings:
+            result.extend(firing.produced_on(channel))
+        return result
+
+    def consumed_from(self, channel: str) -> List[Token]:
+        """Every token ever consumed from ``channel``, in order."""
+        result: List[Token] = []
+        for firing in self.firings:
+            result.extend(firing.consumed_on(channel))
+        return result
+
+    def modes_used(self, process: str) -> List[str]:
+        """Mode sequence of one process's firings."""
+        return [f.mode for f in self.firings_of(process)]
+
+    def end_time(self) -> float:
+        """Completion time of the last firing (0.0 if none)."""
+        return max((f.end for f in self.firings), default=0.0)
+
+    def total_reconfiguration_time(self, process: Optional[str] = None) -> float:
+        """Accumulated reconfiguration latency."""
+        records = (
+            self.reconfigurations
+            if process is None
+            else self.reconfigurations_of(process)
+        )
+        return sum(r.latency for r in records)
+
+    # ------------------------------------------------------------------
+    # Token lineage
+    # ------------------------------------------------------------------
+    def producing_firing(self, token: Token) -> Optional[FiringRecord]:
+        """The firing that produced ``token`` (by object identity)."""
+        for firing in self.firings:
+            for produced in firing.all_produced():
+                if produced is token:
+                    return firing
+        return None
+
+    def ancestry(self, token: Token) -> List[Token]:
+        """All transitive input tokens behind ``token``.
+
+        Follows lineage edges firing-by-firing: a produced token's
+        parents are every token consumed by the producing firing.
+        Returns tokens with no producing firing (environment inputs or
+        initial tokens) and intermediate ancestors alike.
+        """
+        seen: List[Token] = []
+        frontier: List[Token] = [token]
+        while frontier:
+            current = frontier.pop()
+            producer = self.producing_firing(current)
+            if producer is None:
+                continue
+            for parent in producer.all_consumed():
+                if not any(parent is t for t in seen):
+                    seen.append(parent)
+                    frontier.append(parent)
+        return seen
+
+    def span(self, token: Token) -> Optional[Tuple[float, float]]:
+        """Processing span [first ancestor consumption, production time].
+
+        None when the token was never produced by a recorded firing.
+        """
+        producer = self.producing_firing(token)
+        if producer is None:
+            return None
+        start = producer.start
+        frontier: List[Token] = list(producer.all_consumed())
+        visited: List[Token] = []
+        while frontier:
+            current = frontier.pop()
+            if any(current is t for t in visited):
+                continue
+            visited.append(current)
+            upstream = self.producing_firing(current)
+            if upstream is None:
+                continue
+            start = min(start, upstream.start)
+            frontier.extend(upstream.all_consumed())
+        return (start, producer.end)
+
+    def summary(self) -> Dict[str, object]:
+        """Headline statistics of the run."""
+        per_process: Dict[str, int] = {}
+        for firing in self.firings:
+            per_process[firing.process] = (
+                per_process.get(firing.process, 0) + 1
+            )
+        return {
+            "firings": len(self.firings),
+            "per_process": dict(sorted(per_process.items())),
+            "reconfigurations": len(self.reconfigurations),
+            "reconfiguration_time": self.total_reconfiguration_time(),
+            "end_time": self.end_time(),
+        }

@@ -1,0 +1,104 @@
+"""The SPI (System Property Intervals) model substrate.
+
+This package rebuilds the design representation the paper's
+contribution extends (paper refs [8, 9]): concurrent processes
+communicating over unidirectional queue/register channels, with process
+behavior abstracted to interval-valued parameters, correlated through
+process modes, and steered by activation functions over input-token
+predicates.
+"""
+
+from .activation import ActivationFunction, ActivationRule, rules
+from .builder import GraphBuilder
+from .channels import (
+    Channel,
+    ChannelKind,
+    ChannelState,
+    QueueState,
+    RegisterState,
+    queue,
+    register,
+)
+from .graph import ModelGraph
+from .intervals import Interval, as_interval, hull_all, sum_all
+from .modes import ProcessMode, mode_latency_bounds, mode_rate_bounds
+from .predicates import (
+    And,
+    ChannelView,
+    HasAnyTag,
+    HasTag,
+    MappingView,
+    Not,
+    NumAvailable,
+    Or,
+    Predicate,
+    TruePredicate,
+    tokens_with_tag,
+)
+from .process import Process, simple_process
+from .semantics import Firing, RateResolver, StepSemantics
+from .tags import TagSet, as_tagset
+from .timing import (
+    CheckResult,
+    DeadlineConstraint,
+    LatencyConstraint,
+    RateConstraint,
+    TimingReport,
+    check,
+    worst_case_path_latency,
+)
+from .tokens import Token, make_tokens
+from .virtuality import one_shot_source, sink, source, system_part
+
+__all__ = [
+    "ActivationFunction",
+    "ActivationRule",
+    "And",
+    "Channel",
+    "ChannelKind",
+    "ChannelState",
+    "ChannelView",
+    "CheckResult",
+    "DeadlineConstraint",
+    "Firing",
+    "GraphBuilder",
+    "HasAnyTag",
+    "HasTag",
+    "Interval",
+    "LatencyConstraint",
+    "MappingView",
+    "ModelGraph",
+    "Not",
+    "NumAvailable",
+    "Or",
+    "Predicate",
+    "Process",
+    "ProcessMode",
+    "QueueState",
+    "RateConstraint",
+    "RateResolver",
+    "RegisterState",
+    "StepSemantics",
+    "TagSet",
+    "TimingReport",
+    "Token",
+    "TruePredicate",
+    "as_interval",
+    "as_tagset",
+    "check",
+    "hull_all",
+    "make_tokens",
+    "mode_latency_bounds",
+    "mode_rate_bounds",
+    "one_shot_source",
+    "queue",
+    "register",
+    "rules",
+    "simple_process",
+    "sink",
+    "source",
+    "sum_all",
+    "system_part",
+    "tokens_with_tag",
+    "worst_case_path_latency",
+]

@@ -1,0 +1,135 @@
+"""Activation functions.
+
+An **activation function** is associated with each process and maps
+input token predicates to modes (paper §2).  When a rule's predicate
+holds on the current channel state, the process is activated in that
+rule's mode.  If no rule is enabled the process is simply not activated
+— the paper notes such situations "can be ignored due to the assumption
+of correct models", but this library optionally flags *ambiguous*
+activations (several rules with different modes enabled at once) because
+they make the model nondeterminate in a way that is usually a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ActivationError
+from .predicates import ChannelView, Predicate, TruePredicate
+
+
+@dataclass(frozen=True)
+class ActivationRule:
+    """One rule: ``predicate -> mode``.
+
+    ``name`` is used in traces and error messages; the paper labels its
+    rules ``a1``, ``a2``, …
+    """
+
+    name: str
+    predicate: Predicate
+    mode: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ActivationError("activation rule name must be non-empty")
+        if not self.mode:
+            raise ActivationError(
+                f"activation rule {self.name!r} must name a mode"
+            )
+
+    def enabled(self, view: ChannelView) -> bool:
+        """True if this rule's predicate holds on the observed state."""
+        return self.predicate.evaluate(view)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}: {self.predicate!r} -> {self.mode}"
+
+
+@dataclass(frozen=True)
+class ActivationFunction:
+    """An ordered rule set mapping channel observations to modes."""
+
+    rules: Tuple[ActivationRule, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ActivationError("activation rule names must be unique")
+
+    @staticmethod
+    def of(*rules: ActivationRule) -> "ActivationFunction":
+        """Variadic constructor."""
+        return ActivationFunction(rules)
+
+    @staticmethod
+    def always(mode: str) -> "ActivationFunction":
+        """Single unconditional rule activating ``mode``.
+
+        Note that even an "always" rule only fires once the simulator
+        has verified that enough input tokens are available for the
+        mode's consumption — see
+        :meth:`repro.sim.engine.Simulator`'s readiness check.
+        """
+        return ActivationFunction(
+            (ActivationRule("always", TruePredicate(), mode),)
+        )
+
+    # ------------------------------------------------------------------
+    def enabled_rules(self, view: ChannelView) -> List[ActivationRule]:
+        """All rules whose predicates hold on the observed state."""
+        return [rule for rule in self.rules if rule.enabled(view)]
+
+    def select(
+        self, view: ChannelView, strict: bool = False
+    ) -> Optional[ActivationRule]:
+        """The rule to fire, or None if no rule is enabled.
+
+        With ``strict=True``, raise :class:`ActivationError` if several
+        enabled rules disagree on the mode (ambiguous model).  With
+        ``strict=False`` (the default, matching the paper's
+        correct-model assumption) the first enabled rule in declaration
+        order wins.
+        """
+        enabled = self.enabled_rules(view)
+        if not enabled:
+            return None
+        if strict:
+            modes = {rule.mode for rule in enabled}
+            if len(modes) > 1:
+                names = ", ".join(rule.name for rule in enabled)
+                raise ActivationError(
+                    f"ambiguous activation: rules [{names}] select "
+                    f"different modes {sorted(modes)}"
+                )
+        return enabled[0]
+
+    def modes_named(self) -> Tuple[str, ...]:
+        """All mode names reachable through this activation function."""
+        seen: List[str] = []
+        for rule in self.rules:
+            if rule.mode not in seen:
+                seen.append(rule.mode)
+        return tuple(seen)
+
+    def channels(self) -> Tuple[str, ...]:
+        """All channels observed by any rule (sorted, unique)."""
+        merged = set()
+        for rule in self.rules:
+            merged.update(rule.predicate.channels())
+        return tuple(sorted(merged))
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+def rules(*pairs: Tuple[str, Predicate, str]) -> ActivationFunction:
+    """Build an activation function from ``(name, predicate, mode)`` triples."""
+    return ActivationFunction(
+        tuple(ActivationRule(name, pred, mode) for name, pred, mode in pairs)
+    )

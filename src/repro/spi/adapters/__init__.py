@@ -1,0 +1,45 @@
+"""Adapters embedding other models of computation into SPI.
+
+The paper's prerequisite for generality is that "SPI can be used as a
+common representation for very different models of computation" (paper
+§1, citing refs [8, 9]).  These adapters substantiate that claim for the
+four families the paper names — static and dynamic data flow, real-time
+operating system process models, and state-based models:
+
+* :mod:`~repro.spi.adapters.sdf` — static (synchronous) dataflow;
+* :mod:`~repro.spi.adapters.csdf` — cyclo-static dataflow, encoded with
+  phase tags on a self-loop channel;
+* :mod:`~repro.spi.adapters.fsm` — finite state machines, encoded with
+  state tags on a self-loop register;
+* :mod:`~repro.spi.adapters.tasks` — periodic RTOS task sets with
+  timer-driven virtual sources and deadline constraints.
+"""
+
+from .bdf import IfThenElse, if_then_else, select_actor, switch_actor
+from .csdf import CsdfActor, csdf_actor_to_spi
+from .fsm import StateMachine, Transition, fsm_to_spi
+from .rtl import Netlist, RtlBlock, RtlRegister, rtl_to_spi
+from .sdf import SdfActor, SdfEdge, SdfGraph, sdf_to_spi
+from .tasks import PeriodicTask, task_set_to_spi
+
+__all__ = [
+    "CsdfActor",
+    "IfThenElse",
+    "Netlist",
+    "PeriodicTask",
+    "RtlBlock",
+    "RtlRegister",
+    "SdfActor",
+    "SdfEdge",
+    "SdfGraph",
+    "StateMachine",
+    "Transition",
+    "csdf_actor_to_spi",
+    "fsm_to_spi",
+    "if_then_else",
+    "rtl_to_spi",
+    "sdf_to_spi",
+    "select_actor",
+    "switch_actor",
+    "task_set_to_spi",
+]

@@ -1,0 +1,196 @@
+"""Boolean (dynamic) dataflow → SPI.
+
+The paper claims SPI captures "static **and dynamic** data flow
+models" (§2).  The canonical dynamic-dataflow primitives are the
+Boolean dataflow SWITCH and SELECT actors (Buck/Lee): a control token
+steers each data token to one of two branches (SWITCH) or picks which
+branch to read from (SELECT).  Their data-dependent rates are exactly
+what SPI modes + tag predicates express:
+
+* the control token carries a ``'true'`` / ``'false'`` tag,
+* SWITCH has two modes (route-to-true / route-to-false) keyed on the
+  control tag,
+* SELECT mirrors them on the consumption side.
+
+:func:`if_then_else` assembles the classic conditional schema
+(switch → branch actors → select) as a reusable subgraph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ...errors import ModelError
+from ..activation import ActivationFunction, ActivationRule
+from ..builder import GraphBuilder
+from ..modes import ProcessMode
+from ..predicates import HasTag, NumAvailable
+from ..process import Process
+from ..tags import TagSet
+
+#: Tags expected on control tokens.
+TRUE_TAG = "true"
+FALSE_TAG = "false"
+
+
+def switch_actor(
+    name: str,
+    control: str,
+    data_in: str,
+    out_true: str,
+    out_false: str,
+    latency: float = 0.0,
+) -> Process:
+    """The BDF SWITCH: route one data token per control token."""
+    mode_true = ProcessMode(
+        name="route_true",
+        latency=latency,
+        consumes={control: 1, data_in: 1},
+        produces={out_true: 1},
+        pass_tags=(out_true,),
+    )
+    mode_false = ProcessMode(
+        name="route_false",
+        latency=latency,
+        consumes={control: 1, data_in: 1},
+        produces={out_false: 1},
+        pass_tags=(out_false,),
+    )
+    activation = ActivationFunction.of(
+        ActivationRule(
+            "r_true",
+            NumAvailable(control, 1)
+            & HasTag(control, TRUE_TAG)
+            & NumAvailable(data_in, 1),
+            "route_true",
+        ),
+        ActivationRule(
+            "r_false",
+            NumAvailable(control, 1)
+            & HasTag(control, FALSE_TAG)
+            & NumAvailable(data_in, 1),
+            "route_false",
+        ),
+    )
+    return Process(
+        name=name,
+        modes={"route_true": mode_true, "route_false": mode_false},
+        activation=activation,
+    )
+
+
+def select_actor(
+    name: str,
+    control: str,
+    in_true: str,
+    in_false: str,
+    data_out: str,
+    latency: float = 0.0,
+) -> Process:
+    """The BDF SELECT: read from the branch named by the control token."""
+    mode_true = ProcessMode(
+        name="take_true",
+        latency=latency,
+        consumes={control: 1, in_true: 1},
+        produces={data_out: 1},
+        pass_tags=(data_out,),
+    )
+    mode_false = ProcessMode(
+        name="take_false",
+        latency=latency,
+        consumes={control: 1, in_false: 1},
+        produces={data_out: 1},
+        pass_tags=(data_out,),
+    )
+    activation = ActivationFunction.of(
+        ActivationRule(
+            "r_true",
+            NumAvailable(control, 1)
+            & HasTag(control, TRUE_TAG)
+            & NumAvailable(in_true, 1),
+            "take_true",
+        ),
+        ActivationRule(
+            "r_false",
+            NumAvailable(control, 1)
+            & HasTag(control, FALSE_TAG)
+            & NumAvailable(in_false, 1),
+            "take_false",
+        ),
+    )
+    return Process(
+        name=name,
+        modes={"take_true": mode_true, "take_false": mode_false},
+        activation=activation,
+    )
+
+
+@dataclass(frozen=True)
+class IfThenElse:
+    """Handles of an assembled conditional subgraph."""
+
+    switch: str
+    select: str
+    then_branch: str
+    else_branch: str
+
+
+def if_then_else(
+    builder: GraphBuilder,
+    name: str,
+    control: str,
+    data_in: str,
+    data_out: str,
+    then_latency: float = 1.0,
+    else_latency: float = 1.0,
+) -> IfThenElse:
+    """Assemble switch -> {then|else} -> select on ``builder``.
+
+    ``control`` must be declared twice-readable — BDF duplicates the
+    control stream to switch and select; here the caller provides two
+    channels named ``<control>_sw`` and ``<control>_sel`` (both must be
+    declared) carrying identical control tokens.
+    """
+    control_sw = f"{control}_sw"
+    control_sel = f"{control}_sel"
+    for channel in (control_sw, control_sel, data_in, data_out):
+        if not builder.graph.has_channel(channel):
+            raise ModelError(
+                f"if_then_else requires channel {channel!r} to be declared"
+            )
+    then_in = f"{name}__then_in"
+    then_out = f"{name}__then_out"
+    else_in = f"{name}__else_in"
+    else_out = f"{name}__else_out"
+    for channel in (then_in, then_out, else_in, else_out):
+        builder.queue(channel)
+
+    builder.process(
+        switch_actor(f"{name}.switch", control_sw, data_in, then_in, else_in)
+    )
+    builder.simple(
+        f"{name}.then",
+        latency=then_latency,
+        consumes={then_in: 1},
+        produces={then_out: 1},
+        pass_tags=(then_out,),
+    )
+    builder.simple(
+        f"{name}.else",
+        latency=else_latency,
+        consumes={else_in: 1},
+        produces={else_out: 1},
+        pass_tags=(else_out,),
+    )
+    builder.process(
+        select_actor(
+            f"{name}.select", control_sel, then_out, else_out, data_out
+        )
+    )
+    return IfThenElse(
+        switch=f"{name}.switch",
+        select=f"{name}.select",
+        then_branch=f"{name}.then",
+        else_branch=f"{name}.else",
+    )

@@ -1,0 +1,135 @@
+"""Cyclo-static dataflow → SPI.
+
+A CSDF actor cycles deterministically through *phases* with per-phase
+rates.  SPI has no built-in phase counter, but the paper's tag
+machinery expresses one naturally: the actor carries a **self-loop
+queue** holding a single token tagged with the current phase; each
+phase is a process mode whose activation rule tests the phase tag, and
+each mode writes the successor phase's tag back onto the loop.
+
+This encoding exercises exactly the mode/tag features the paper builds
+variant selection on, which is why it is kept as a library adapter
+rather than test-only code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ...errors import ModelError
+from ..activation import ActivationFunction, ActivationRule
+from ..builder import GraphBuilder
+from ..graph import ModelGraph
+from ..modes import ProcessMode
+from ..predicates import HasTag, NumAvailable
+from ..process import Process
+from ..tags import TagSet
+from ..tokens import Token
+
+
+@dataclass(frozen=True)
+class CsdfActor:
+    """A cyclo-static actor.
+
+    ``consume_phases`` / ``produce_phases`` map channel name to the
+    per-phase rate sequence; all sequences must share one length (the
+    number of phases).  ``execution_times`` optionally gives a per-phase
+    latency.
+    """
+
+    name: str
+    consume_phases: Mapping[str, Sequence[int]]
+    produce_phases: Mapping[str, Sequence[int]]
+    execution_times: Sequence[float] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("CSDF actor name must be non-empty")
+        lengths = {
+            len(seq)
+            for seq in list(self.consume_phases.values())
+            + list(self.produce_phases.values())
+        }
+        if self.execution_times:
+            lengths.add(len(self.execution_times))
+        if len(lengths) != 1:
+            raise ModelError(
+                f"CSDF actor {self.name!r}: all phase sequences must have "
+                f"the same length, got lengths {sorted(lengths)}"
+            )
+        if next(iter(lengths)) < 1:
+            raise ModelError(
+                f"CSDF actor {self.name!r}: needs at least one phase"
+            )
+
+    @property
+    def phase_count(self) -> int:
+        """Number of phases in the actor's cycle."""
+        for seq in self.consume_phases.values():
+            return len(seq)
+        for seq in self.produce_phases.values():
+            return len(seq)
+        return len(self.execution_times)
+
+
+def csdf_actor_to_spi(actor: CsdfActor) -> Tuple[Process, str, Token]:
+    """Embed one CSDF actor as an SPI process plus its phase loop.
+
+    Returns ``(process, loop_channel_name, initial_phase_token)``.  The
+    caller (or :func:`attach_csdf_actor`) must declare the loop channel
+    as a queue initialized with the returned token and wire it as both
+    input and output of the process.
+    """
+    loop = f"{actor.name}__phase"
+    phases = actor.phase_count
+    modes: List[ProcessMode] = []
+    rule_list: List[ActivationRule] = []
+    for index in range(phases):
+        tag = f"phase{index}"
+        next_tag = f"phase{(index + 1) % phases}"
+        consumes: Dict[str, int] = {loop: 1}
+        produces: Dict[str, int] = {loop: 1}
+        for channel, rates in actor.consume_phases.items():
+            if rates[index]:
+                consumes[channel] = rates[index]
+        for channel, rates in actor.produce_phases.items():
+            if rates[index]:
+                produces[channel] = rates[index]
+        latency = (
+            actor.execution_times[index] if actor.execution_times else 0.0
+        )
+        mode = ProcessMode(
+            name=f"m{index}",
+            latency=latency,
+            consumes=consumes,
+            produces=produces,
+            out_tags={loop: TagSet.of(next_tag)},
+        )
+        modes.append(mode)
+        rule_list.append(
+            ActivationRule(
+                name=f"a{index}",
+                predicate=NumAvailable(loop, 1) & HasTag(loop, tag),
+                mode=mode.name,
+            )
+        )
+    process = Process(
+        name=actor.name,
+        modes={mode.name: mode for mode in modes},
+        activation=ActivationFunction(tuple(rule_list)),
+    )
+    initial = Token(tags=TagSet.of("phase0"))
+    return process, loop, initial
+
+
+def attach_csdf_actor(builder: GraphBuilder, actor: CsdfActor) -> Process:
+    """Declare the actor's phase loop on ``builder`` and add the process.
+
+    Data channels referenced by the actor's phase tables must already be
+    declared on the builder.
+    """
+    process, loop, initial = csdf_actor_to_spi(actor)
+    builder.queue(loop, initial_tokens=[initial])
+    builder.process(process)
+    return process

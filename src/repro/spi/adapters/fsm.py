@@ -1,0 +1,144 @@
+"""State machines → SPI.
+
+A (Mealy-style) finite state machine reacts to an input event by
+emitting an output event and moving to a successor state.  The SPI
+embedding mirrors the paper's own treatment of stateful control
+(Figure 4's ``PControl`` keeps "state information from one execution to
+the next" by sending tokens to itself via a feedback channel):
+
+* the current state is a tag on a token in a **self-loop queue**;
+* each transition becomes a process mode consuming one input token and
+  one state token, producing the output token (tagged with the
+  transition's output symbol) and the successor state token;
+* the activation function tests input symbol and state tag together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...errors import ModelError
+from ..activation import ActivationFunction, ActivationRule
+from ..builder import GraphBuilder
+from ..graph import ModelGraph
+from ..modes import ProcessMode
+from ..predicates import HasTag, NumAvailable
+from ..process import Process
+from ..tags import TagSet
+from ..tokens import Token
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One FSM transition: (state, input symbol) -> (next state, output)."""
+
+    source: str
+    input_symbol: str
+    target: str
+    output_symbol: Optional[str] = None
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise ModelError("transition states must be non-empty")
+        if not self.input_symbol:
+            raise ModelError("transition input symbol must be non-empty")
+        if self.latency < 0:
+            raise ModelError("transition latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class StateMachine:
+    """A deterministic FSM over tag alphabets."""
+
+    name: str
+    initial_state: str
+    transitions: Tuple[Transition, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "transitions", tuple(self.transitions))
+        if not self.transitions:
+            raise ModelError(f"FSM {self.name!r} needs at least one transition")
+        states = {t.source for t in self.transitions} | {
+            t.target for t in self.transitions
+        }
+        if self.initial_state not in states:
+            raise ModelError(
+                f"FSM {self.name!r}: initial state {self.initial_state!r} "
+                f"not used by any transition"
+            )
+        keys = [(t.source, t.input_symbol) for t in self.transitions]
+        if len(set(keys)) != len(keys):
+            raise ModelError(
+                f"FSM {self.name!r} is nondeterministic: duplicate "
+                f"(state, input) pairs"
+            )
+
+    @property
+    def states(self) -> Tuple[str, ...]:
+        """All states, sorted."""
+        names = {t.source for t in self.transitions} | {
+            t.target for t in self.transitions
+        }
+        return tuple(sorted(names))
+
+
+def fsm_to_spi(
+    fsm: StateMachine,
+    input_channel: str,
+    output_channel: Optional[str] = None,
+) -> Tuple[Process, str, Token]:
+    """Embed an FSM as an SPI process plus its state loop.
+
+    Returns ``(process, state_loop_channel, initial_state_token)``.
+    Input symbols are expected as tags on ``input_channel`` tokens;
+    output symbols appear as tags on ``output_channel`` tokens.
+    """
+    loop = f"{fsm.name}__state"
+    modes: List[ProcessMode] = []
+    rule_list: List[ActivationRule] = []
+    for index, transition in enumerate(fsm.transitions):
+        produces: Dict[str, int] = {loop: 1}
+        out_tags: Dict[str, TagSet] = {
+            loop: TagSet.of(f"state:{transition.target}")
+        }
+        if output_channel and transition.output_symbol:
+            produces[output_channel] = 1
+            out_tags[output_channel] = TagSet.of(transition.output_symbol)
+        mode = ProcessMode(
+            name=f"t{index}_{transition.source}_{transition.input_symbol}",
+            latency=transition.latency,
+            consumes={input_channel: 1, loop: 1},
+            produces=produces,
+            out_tags=out_tags,
+        )
+        modes.append(mode)
+        predicate = (
+            NumAvailable(input_channel, 1)
+            & HasTag(input_channel, transition.input_symbol)
+            & HasTag(loop, f"state:{transition.source}")
+        )
+        rule_list.append(
+            ActivationRule(name=f"a{index}", predicate=predicate, mode=mode.name)
+        )
+    process = Process(
+        name=fsm.name,
+        modes={mode.name: mode for mode in modes},
+        activation=ActivationFunction(tuple(rule_list)),
+    )
+    initial = Token(tags=TagSet.of(f"state:{fsm.initial_state}"))
+    return process, loop, initial
+
+
+def attach_fsm(
+    builder: GraphBuilder,
+    fsm: StateMachine,
+    input_channel: str,
+    output_channel: Optional[str] = None,
+) -> Process:
+    """Declare the FSM's state loop on ``builder`` and add the process."""
+    process, loop, initial = fsm_to_spi(fsm, input_channel, output_channel)
+    builder.queue(loop, initial_tokens=[initial])
+    builder.process(process)
+    return process

@@ -1,0 +1,198 @@
+"""Clocked register-transfer netlists → SPI.
+
+The paper lists "hardware description languages" among the models SPI
+captures (§2).  The structural essence of a synthesizable HDL design is
+a clocked netlist: combinational blocks between registers, advanced by
+a global clock.  The SPI embedding:
+
+* every **register** becomes an SPI register channel (destructive
+  write — exactly a hardware register's behavior) initialized with its
+  reset value tag;
+* every **combinational block** becomes a process that reads its input
+  registers (non-destructively) and writes its output register, with
+  the block's propagation delay as latency;
+* the **clock** becomes a virtual periodic source whose tick tokens
+  gate every block, so all blocks evaluate once per cycle.
+
+This gives cycle-accurate dataflow at the abstraction level SPI cares
+about (amounts and timing, not values); values can still be traced
+through tags if a block declares output tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...errors import ModelError
+from ..builder import GraphBuilder
+from ..graph import ModelGraph
+from ..tags import TagSet
+from ..tokens import Token
+from ..virtuality import source
+
+
+@dataclass(frozen=True)
+class RtlRegister:
+    """A clocked register with a symbolic reset value."""
+
+    name: str
+    reset_value: str = "reset"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("register name must be non-empty")
+
+
+@dataclass(frozen=True)
+class RtlBlock:
+    """A combinational block between registers.
+
+    ``reads`` are source registers, ``writes`` is the single target
+    register (single-assignment form; fan-in is free, fan-out happens
+    by reading a register from several blocks).
+    """
+
+    name: str
+    reads: Tuple[str, ...]
+    writes: str
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("block name must be non-empty")
+        object.__setattr__(self, "reads", tuple(self.reads))
+        if not self.writes:
+            raise ModelError(f"block {self.name!r} must write a register")
+        if self.delay < 0:
+            raise ModelError(f"block {self.name!r}: delay must be >= 0")
+
+
+@dataclass
+class Netlist:
+    """A complete clocked design."""
+
+    name: str = "rtl"
+    clock_period: float = 10.0
+    registers: Dict[str, RtlRegister] = field(default_factory=dict)
+    blocks: Dict[str, RtlBlock] = field(default_factory=dict)
+
+    def register(self, name: str, reset_value: str = "reset") -> RtlRegister:
+        """Declare a register."""
+        if name in self.registers:
+            raise ModelError(f"register {name!r} already declared")
+        created = RtlRegister(name, reset_value)
+        self.registers[name] = created
+        return created
+
+    def block(
+        self,
+        name: str,
+        reads: Sequence[str],
+        writes: str,
+        delay: float = 0.0,
+    ) -> RtlBlock:
+        """Declare a combinational block between declared registers."""
+        if name in self.blocks:
+            raise ModelError(f"block {name!r} already declared")
+        for reg in list(reads) + [writes]:
+            if reg not in self.registers:
+                raise ModelError(
+                    f"block {name!r} references unknown register {reg!r}"
+                )
+        writers = [b for b in self.blocks.values() if b.writes == writes]
+        if writers:
+            raise ModelError(
+                f"register {writes!r} already written by "
+                f"{writers[0].name!r} (single-assignment form)"
+            )
+        created = RtlBlock(name, tuple(reads), writes, delay)
+        self.blocks[name] = created
+        return created
+
+    def validate_timing(self) -> List[str]:
+        """Blocks whose propagation delay exceeds the clock period."""
+        return [
+            block.name
+            for block in self.blocks.values()
+            if block.delay > self.clock_period
+        ]
+
+
+def rtl_to_spi(netlist: Netlist, cycles: Optional[int] = None) -> ModelGraph:
+    """Embed a clocked netlist into an SPI model graph.
+
+    ``cycles`` bounds the clock source (None = free-running).  Each
+    block gets a private clock-tick queue, and a register read by
+    several blocks is materialized as one shadow register channel per
+    reader (SPI channels are point-to-point); the writing block updates
+    every shadow in the same execution, so all readers observe the same
+    value each cycle.
+    """
+    if not netlist.blocks:
+        raise ModelError("netlist has no blocks")
+    too_slow = netlist.validate_timing()
+    if too_slow:
+        raise ModelError(
+            f"blocks {too_slow} exceed the clock period "
+            f"{netlist.clock_period}"
+        )
+    builder = GraphBuilder(netlist.name)
+
+    # Which blocks read each register; fan-out > 1 needs shadows.
+    readers: Dict[str, List[str]] = {name: [] for name in netlist.registers}
+    for block in netlist.blocks.values():
+        for reg in block.reads:
+            readers[reg].append(block.name)
+
+    def channel_of(reg: str, reader: Optional[str]) -> str:
+        if len(readers[reg]) <= 1:
+            return reg
+        return f"{reg}__to_{reader}" if reader else reg
+
+    # Registers: SPI register channels with their reset token (one
+    # shadow per reader when fanned out).
+    for reg in netlist.registers.values():
+        reset = [Token(tags=TagSet.of(reg.reset_value))]
+        if len(readers[reg.name]) <= 1:
+            builder.register(reg.name, initial_tokens=list(reset))
+        else:
+            for reader in readers[reg.name]:
+                builder.register(
+                    channel_of(reg.name, reader), initial_tokens=list(reset)
+                )
+
+    # Clock: one virtual periodic source per block (point-to-point).
+    for block_name in netlist.blocks:
+        builder.queue(f"{block_name}__clk", capacity=1)
+        builder.process(
+            source(
+                f"{block_name}__clock",
+                f"{block_name}__clk",
+                period=netlist.clock_period,
+                tags="tick",
+                max_firings=cycles,
+            )
+        )
+
+    # Combinational blocks: read registers, write the target register
+    # (all its shadows at once when fanned out).
+    for block in netlist.blocks.values():
+        consumes = {f"{block.name}__clk": 1}
+        for reg in block.reads:
+            # register read is non-destructive
+            consumes[channel_of(reg, block.name)] = 1
+        produces = {}
+        target_readers = readers[block.writes]
+        if len(target_readers) <= 1:
+            produces[block.writes] = 1
+        else:
+            for reader in target_readers:
+                produces[channel_of(block.writes, reader)] = 1
+        builder.simple(
+            block.name,
+            latency=block.delay,
+            consumes=consumes,
+            produces=produces,
+        )
+    return builder.build(validate=False)

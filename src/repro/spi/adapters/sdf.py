@@ -1,0 +1,122 @@
+"""Static (synchronous) dataflow → SPI.
+
+An SDF actor consumes and produces fixed token amounts per firing; an
+SDF edge is a FIFO with optional initial tokens.  The embedding into
+SPI is direct: every actor becomes a determinate single-mode process,
+every edge a queue channel with the same initial tokens (paper §2 notes
+SPI captures "static and dynamic data flow models").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import ModelError
+from ..builder import GraphBuilder
+from ..graph import ModelGraph
+from ..tokens import make_tokens
+
+
+@dataclass(frozen=True)
+class SdfActor:
+    """An SDF actor: fixed rates, fixed execution time."""
+
+    name: str
+    execution_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("SDF actor name must be non-empty")
+        if self.execution_time < 0:
+            raise ModelError("SDF execution time must be non-negative")
+
+
+@dataclass(frozen=True)
+class SdfEdge:
+    """A FIFO edge ``source --produce/consume--> target``."""
+
+    name: str
+    source: str
+    target: str
+    produce: int
+    consume: int
+    initial_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if self.produce < 1 or self.consume < 1:
+            raise ModelError(
+                f"SDF edge {self.name!r}: rates must be >= 1"
+            )
+        if self.initial_tokens < 0:
+            raise ModelError(
+                f"SDF edge {self.name!r}: initial tokens must be >= 0"
+            )
+
+
+@dataclass
+class SdfGraph:
+    """A complete SDF graph (actors + edges)."""
+
+    name: str = "sdf"
+    actors: Dict[str, SdfActor] = field(default_factory=dict)
+    edges: List[SdfEdge] = field(default_factory=list)
+
+    def actor(self, name: str, execution_time: float = 0.0) -> SdfActor:
+        """Declare an actor."""
+        if name in self.actors:
+            raise ModelError(f"SDF actor {name!r} already declared")
+        created = SdfActor(name, execution_time)
+        self.actors[name] = created
+        return created
+
+    def edge(
+        self,
+        source: str,
+        target: str,
+        produce: int,
+        consume: int,
+        initial_tokens: int = 0,
+        name: Optional[str] = None,
+    ) -> SdfEdge:
+        """Declare an edge between two declared actors."""
+        for endpoint in (source, target):
+            if endpoint not in self.actors:
+                raise ModelError(f"SDF edge references unknown actor {endpoint!r}")
+        edge_name = name or f"e_{source}_{target}_{len(self.edges)}"
+        created = SdfEdge(
+            edge_name, source, target, produce, consume, initial_tokens
+        )
+        self.edges.append(created)
+        return created
+
+
+def sdf_to_spi(sdf: SdfGraph) -> ModelGraph:
+    """Embed an SDF graph into an SPI model graph.
+
+    The result is in SPI's determinate single-mode subset, so
+    :func:`repro.spi.analysis.balance_equations` recovers exactly the
+    SDF repetition vector — the property tests pin this down.
+    """
+    builder = GraphBuilder(sdf.name)
+    for edge in sdf.edges:
+        builder.queue(
+            edge.name, initial_tokens=make_tokens(edge.initial_tokens)
+        )
+
+    consumes: Dict[str, Dict[str, int]] = {name: {} for name in sdf.actors}
+    produces: Dict[str, Dict[str, int]] = {name: {} for name in sdf.actors}
+    for edge in sdf.edges:
+        produces[edge.source][edge.name] = edge.produce
+        consumes[edge.target][edge.name] = edge.consume
+
+    for name, actor in sdf.actors.items():
+        builder.simple(
+            name,
+            latency=actor.execution_time,
+            consumes=consumes[name],
+            produces=produces[name],
+        )
+    # Environment ends (pure sources/sinks) are legitimate in SDF;
+    # validation of dangling channels is therefore skipped here.
+    return builder.build(validate=False)

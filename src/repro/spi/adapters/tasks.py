@@ -1,0 +1,103 @@
+"""Periodic RTOS task models → SPI.
+
+A periodic task releases a job every ``period`` time units; the job
+executes between ``bcet`` and ``wcet`` and must finish within
+``deadline`` of its release.  The SPI embedding (paper §2 lists "real
+time operating system's process models" among the captured models):
+
+* each task becomes a process with latency interval ``[bcet, wcet]``,
+* job releases are tokens on an activation queue written by a virtual
+  periodic timer source,
+* the deadline becomes a :class:`repro.spi.timing.DeadlineConstraint`
+  on the task process (checked constructively, no simulation needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ...errors import ModelError
+from ..builder import GraphBuilder
+from ..graph import ModelGraph
+from ..timing import DeadlineConstraint
+from ..virtuality import source
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """One periodic task with execution-time bounds and a deadline."""
+
+    name: str
+    period: float
+    wcet: float
+    bcet: float = 0.0
+    deadline: float = 0.0  # 0 means implicit deadline (= period)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("task name must be non-empty")
+        if self.period <= 0:
+            raise ModelError(f"task {self.name!r}: period must be positive")
+        if not (0 <= self.bcet <= self.wcet):
+            raise ModelError(
+                f"task {self.name!r}: need 0 <= bcet <= wcet, "
+                f"got bcet={self.bcet}, wcet={self.wcet}"
+            )
+        if self.deadline < 0:
+            raise ModelError(f"task {self.name!r}: deadline must be >= 0")
+
+    @property
+    def effective_deadline(self) -> float:
+        """Deadline, defaulting to the period when not given."""
+        return self.deadline if self.deadline > 0 else self.period
+
+    @property
+    def utilization(self) -> float:
+        """The task's processor share ``wcet / period``."""
+        return self.wcet / self.period
+
+
+def task_set_to_spi(
+    tasks: Sequence[PeriodicTask], name: str = "taskset"
+) -> Tuple[ModelGraph, List[DeadlineConstraint]]:
+    """Embed a task set as an SPI graph plus deadline constraints.
+
+    Each task gets a virtual timer process ``<task>__timer`` releasing
+    one token per period on queue ``<task>__release``; the task process
+    consumes one release token per execution.
+    """
+    if not tasks:
+        raise ModelError("task set must not be empty")
+    names = [task.name for task in tasks]
+    if len(set(names)) != len(names):
+        raise ModelError("task names must be unique")
+
+    from ..intervals import Interval
+
+    builder = GraphBuilder(name)
+    constraints: List[DeadlineConstraint] = []
+    for task in tasks:
+        release = f"{task.name}__release"
+        builder.queue(release)
+        builder.process(
+            source(
+                f"{task.name}__timer",
+                release,
+                period=task.period,
+            )
+        )
+        builder.simple(
+            task.name,
+            latency=Interval(task.bcet, task.wcet),
+            consumes={release: 1},
+        )
+        constraints.append(
+            DeadlineConstraint(task.name, task.effective_deadline)
+        )
+    return builder.build(validate=False), constraints
+
+
+def total_utilization(tasks: Sequence[PeriodicTask]) -> float:
+    """Sum of task utilizations — the classical feasibility headline."""
+    return sum(task.utilization for task in tasks)

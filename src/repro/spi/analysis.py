@@ -1,0 +1,206 @@
+"""Structural analyses over SPI model graphs.
+
+These are the model-level checks a synthesis front-end runs before
+investing in optimization:
+
+* reachability and topological structure of the process graph,
+* rate consistency (balance equations / repetition vector) for the
+  determinate static-dataflow subset of SPI,
+* boundedness hints and dangling-element detection.
+
+The balance-equation solver uses exact rational arithmetic from the
+standard library, so the repetition vector of a consistent graph is
+exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ModelError
+from .graph import ModelGraph
+
+
+def reachable_from(graph: ModelGraph, start: str) -> Set[str]:
+    """Processes reachable from ``start`` via channel paths (incl. start)."""
+    graph.process(start)
+    seen: Set[str] = set()
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(graph.successors(node))
+    return seen
+
+
+def process_components(graph: ModelGraph) -> List[Set[str]]:
+    """Weakly connected components of the process graph (sorted)."""
+    remaining = set(graph.processes)
+    components: List[Set[str]] = []
+    while remaining:
+        seed = min(remaining)
+        component: Set[str] = set()
+        frontier = [seed]
+        while frontier:
+            node = frontier.pop()
+            if node in component:
+                continue
+            component.add(node)
+            neighbors = set(graph.successors(node)) | set(
+                graph.predecessors(node)
+            )
+            frontier.extend(neighbors - component)
+        components.append(component)
+        remaining -= component
+    return sorted(components, key=min)
+
+
+def topological_order(graph: ModelGraph) -> Optional[List[str]]:
+    """Topological order of processes, or None if cyclic.
+
+    Channel direction induces the order; feedback loops (e.g. Figure 4's
+    ``CCTRL`` self-loop) make the graph cyclic and yield None.
+    Self-loops on a single process are ignored: they model internal
+    state, not inter-process precedence.
+    """
+    in_degree: Dict[str, int] = {name: 0 for name in graph.processes}
+    successors: Dict[str, List[str]] = {name: [] for name in graph.processes}
+    for name in graph.processes:
+        for succ in graph.successors(name):
+            if succ == name:
+                continue
+            successors[name].append(succ)
+            in_degree[succ] += 1
+    ready = sorted(name for name, deg in in_degree.items() if deg == 0)
+    order: List[str] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for succ in successors[node]:
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                ready.append(succ)
+        ready.sort()
+    if len(order) != len(in_degree):
+        return None
+    return order
+
+
+def is_determinate_dataflow(graph: ModelGraph) -> bool:
+    """True if every process has exactly one fully determinate mode.
+
+    On this subset SPI coincides with static (synchronous) dataflow and
+    the balance equations below are meaningful.
+    """
+    return all(
+        process.is_determinate for process in graph.processes.values()
+    )
+
+
+def balance_equations(
+    graph: ModelGraph,
+) -> Optional[Dict[str, int]]:
+    """Solve the SDF balance equations on the determinate subset.
+
+    For every channel with writer ``w`` producing ``p`` tokens and
+    reader ``r`` consuming ``c`` tokens per firing, a consistent graph
+    satisfies ``rate(w) * p == rate(r) * c``.  Returns the minimal
+    positive integer repetition vector, or None if the graph is
+    inconsistent (no bounded-memory periodic schedule exists).
+
+    Channels without writer or reader (environment ends) impose no
+    constraint.  Raises :class:`ModelError` when called on a graph
+    outside the determinate subset.
+    """
+    if not is_determinate_dataflow(graph):
+        raise ModelError(
+            "balance equations require a determinate single-mode graph"
+        )
+    rate: Dict[str, Fraction] = {}
+    for component in process_components(graph):
+        seed = min(component)
+        rate[seed] = Fraction(1)
+        frontier = [seed]
+        while frontier:
+            node = frontier.pop()
+            node_mode = graph.process(node).single_mode
+            for channel in graph.output_channels(node):
+                reader = graph.reader_of(channel)
+                if reader is None:
+                    continue
+                produced = node_mode.production(channel).lo
+                consumed = (
+                    graph.process(reader).single_mode.consumption(channel).lo
+                )
+                if produced == 0 or consumed == 0:
+                    continue
+                implied = rate[node] * Fraction(produced) / Fraction(consumed)
+                if reader in rate:
+                    if rate[reader] != implied:
+                        return None
+                else:
+                    rate[reader] = implied
+                    frontier.append(reader)
+            for channel in graph.input_channels(node):
+                writer = graph.writer_of(channel)
+                if writer is None:
+                    continue
+                consumed = node_mode.consumption(channel).lo
+                produced = (
+                    graph.process(writer).single_mode.production(channel).lo
+                )
+                if produced == 0 or consumed == 0:
+                    continue
+                implied = rate[node] * Fraction(consumed) / Fraction(produced)
+                if writer in rate:
+                    if rate[writer] != implied:
+                        return None
+                else:
+                    rate[writer] = implied
+                    frontier.append(writer)
+        # Processes in the component never reached through a rated
+        # channel (pure guards) default to rate 1.
+        for node in component:
+            rate.setdefault(node, Fraction(1))
+
+    # Scale to the minimal integer vector per connected component.
+    result: Dict[str, int] = {}
+    for component in process_components(graph):
+        denominators = [rate[node].denominator for node in component]
+        scale = 1
+        for den in denominators:
+            scale = scale * den // _gcd(scale, den)
+        scaled = {node: rate[node] * scale for node in component}
+        numerators = [int(value) for value in scaled.values()]
+        common = 0
+        for value in numerators:
+            common = _gcd(common, value)
+        common = common or 1
+        for node in component:
+            result[node] = int(scaled[node]) // common
+    return result
+
+
+def consistency_report(graph: ModelGraph) -> Dict[str, object]:
+    """Bundle of the structural facts used by front-end checks."""
+    determinate = is_determinate_dataflow(graph)
+    repetition = None
+    if determinate:
+        repetition = balance_equations(graph)
+    return {
+        "determinate": determinate,
+        "consistent": repetition is not None if determinate else None,
+        "repetition_vector": repetition,
+        "topological_order": topological_order(graph),
+        "components": [sorted(c) for c in process_components(graph)],
+        "issues": graph.issues(),
+    }
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return abs(a)

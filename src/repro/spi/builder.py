@@ -1,0 +1,164 @@
+"""Compact construction API for SPI model graphs.
+
+:class:`GraphBuilder` removes the add-then-connect boilerplate of
+:class:`~repro.spi.graph.ModelGraph`: processes declare their channel
+usage in their modes, so the builder can wire edges automatically from
+the mode tables.
+
+Example — Figure 1 of the paper::
+
+    b = GraphBuilder('figure1')
+    b.queue('c1')
+    b.queue('c2')
+    b.process(simple_process('p1', latency=1.0,
+                             consumes={'c0': 1}, produces={'c1': 2}))
+    ...
+    graph = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..errors import ModelError
+from .activation import ActivationFunction
+from .channels import Channel, queue as make_queue, register as make_register
+from .graph import ModelGraph
+from .modes import ProcessMode
+from .process import Process, simple_process
+from .tokens import Token
+
+
+class GraphBuilder:
+    """Fluent builder that auto-wires edges from mode tables."""
+
+    def __init__(self, name: str = "system") -> None:
+        self._graph = ModelGraph(name)
+
+    # ------------------------------------------------------------------
+    # Channels
+    # ------------------------------------------------------------------
+    def queue(
+        self,
+        name: str,
+        capacity: Optional[int] = None,
+        initial_tokens: Sequence[Token] = (),
+        virtual: bool = False,
+    ) -> "GraphBuilder":
+        """Declare a FIFO queue channel."""
+        self._graph.add_channel(
+            make_queue(name, capacity, initial_tokens, virtual)
+        )
+        return self
+
+    def register(
+        self,
+        name: str,
+        initial_tokens: Sequence[Token] = (),
+        virtual: bool = False,
+    ) -> "GraphBuilder":
+        """Declare a register channel."""
+        self._graph.add_channel(make_register(name, initial_tokens, virtual))
+        return self
+
+    def channel(self, channel: Channel) -> "GraphBuilder":
+        """Add a pre-built channel declaration."""
+        self._graph.add_channel(channel)
+        return self
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def process(self, process: Process) -> "GraphBuilder":
+        """Add a process and wire edges for every channel its modes use.
+
+        Channels referenced by the process must have been declared
+        before the process is added.
+        """
+        self._graph.add_process(process)
+        for channel in process.input_channels():
+            self._require_channel(channel, process.name)
+            self._graph.connect(channel, process.name)
+        for channel in process.output_channels():
+            self._require_channel(channel, process.name)
+            self._graph.connect(process.name, channel)
+        # Activation may observe channels the process never consumes
+        # from in any mode (pure guards); those get reader edges when
+        # the slot is free.  Observation is non-destructive, so a
+        # channel already read by another process may still be watched
+        # without an edge (e.g. a drain guard over a cluster's internal
+        # channels).
+        for channel in process.activation.channels():
+            self._require_channel(channel, process.name)
+            if self._graph.reader_of(channel) is None:
+                self._graph.connect(channel, process.name)
+        return self
+
+    def simple(
+        self,
+        name: str,
+        latency: object = 0,
+        consumes: Optional[Mapping[str, object]] = None,
+        produces: Optional[Mapping[str, object]] = None,
+        out_tags: Optional[Mapping[str, object]] = None,
+        pass_tags: Sequence[str] = (),
+        virtual: bool = False,
+        period: Optional[float] = None,
+        max_firings: Optional[int] = None,
+        release_time: float = 0.0,
+    ) -> "GraphBuilder":
+        """Declare a single-mode process inline (see ``simple_process``)."""
+        return self.process(
+            simple_process(
+                name,
+                latency=latency,
+                consumes=consumes,
+                produces=produces,
+                out_tags=out_tags,
+                pass_tags=pass_tags,
+                virtual=virtual,
+                period=period,
+                max_firings=max_firings,
+                release_time=release_time,
+            )
+        )
+
+    def modal(
+        self,
+        name: str,
+        modes: Iterable[ProcessMode],
+        activation: ActivationFunction,
+        virtual: bool = False,
+        period: Optional[float] = None,
+        max_firings: Optional[int] = None,
+    ) -> "GraphBuilder":
+        """Declare a multi-mode process inline."""
+        return self.process(
+            Process(
+                name=name,
+                modes={mode.name: mode for mode in modes},
+                activation=activation,
+                virtual=virtual,
+                period=period,
+                max_firings=max_firings,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _require_channel(self, channel: str, process: str) -> None:
+        if not self._graph.has_channel(channel):
+            raise ModelError(
+                f"process {process!r} references channel {channel!r} which "
+                f"has not been declared; declare channels before processes"
+            )
+
+    def build(self, validate: bool = True) -> ModelGraph:
+        """Finish construction, optionally running whole-model validation."""
+        if validate:
+            self._graph.validate()
+        return self._graph
+
+    @property
+    def graph(self) -> ModelGraph:
+        """The graph under construction (not yet validated)."""
+        return self._graph

@@ -1,0 +1,273 @@
+"""Channels — queues and registers.
+
+SPI systems communicate exclusively over unidirectional point-to-point
+channels of two kinds (paper §2):
+
+* **queue** — FIFO-ordered with *destructive read*: consuming removes
+  tokens, every produced token is eventually visible, unbounded unless a
+  capacity is declared.
+* **register** — *destructive write*: a newly written token replaces the
+  current content; reads do not consume.  A register holds at most one
+  visible token.
+
+This module provides both the static declaration (:class:`Channel`, a
+node of the model graph) and the runtime state used by the simulator and
+the untimed step semantics (:class:`QueueState`, :class:`RegisterState`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ModelError, SimulationError
+from .tags import TagSet
+from .tokens import Token
+
+
+class ChannelKind(enum.Enum):
+    """The two SPI channel semantics."""
+
+    QUEUE = "queue"
+    REGISTER = "register"
+
+
+@dataclass(frozen=True)
+class Channel:
+    """Static declaration of a channel node in the model graph.
+
+    Parameters
+    ----------
+    name:
+        Unique channel name within its graph.
+    kind:
+        Queue (FIFO, destructive read) or register (destructive write).
+    capacity:
+        Optional bound on queue occupancy; ``None`` means unbounded.
+        Registers always hold at most one token and ignore this field.
+    initial_tokens:
+        Tokens present before the system starts (initial delays in
+        dataflow terminology).
+    virtual:
+        True if the channel belongs to the modeled *environment* rather
+        than the system under design (paper §2, concept of virtuality).
+    """
+
+    name: str
+    kind: ChannelKind = ChannelKind.QUEUE
+    capacity: Optional[int] = None
+    initial_tokens: Tuple[Token, ...] = ()
+    virtual: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("channel name must be non-empty")
+        if self.capacity is not None and self.capacity < 1:
+            raise ModelError(
+                f"channel {self.name!r}: capacity must be >= 1 or None"
+            )
+        if not isinstance(self.initial_tokens, tuple):
+            object.__setattr__(
+                self, "initial_tokens", tuple(self.initial_tokens)
+            )
+        if self.kind is ChannelKind.REGISTER and len(self.initial_tokens) > 1:
+            raise ModelError(
+                f"register {self.name!r} cannot hold more than one initial token"
+            )
+        if (
+            self.capacity is not None
+            and len(self.initial_tokens) > self.capacity
+        ):
+            raise ModelError(
+                f"channel {self.name!r}: initial tokens exceed capacity"
+            )
+
+    def new_state(self) -> "ChannelState":
+        """Create a fresh runtime state preloaded with initial tokens."""
+        if self.kind is ChannelKind.QUEUE:
+            return QueueState(self)
+        return RegisterState(self)
+
+
+class ChannelState:
+    """Abstract runtime state shared by queue and register semantics.
+
+    The interface is exactly what activation predicates need: how many
+    tokens are visible (``available``) and the tag set of the first
+    visible token (``first_tags``), plus ``read``/``write`` for firing.
+    """
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+
+    # -- observation ----------------------------------------------------
+    def available(self) -> int:
+        """Number of tokens currently visible on the channel."""
+        raise NotImplementedError
+
+    def first_token(self) -> Optional[Token]:
+        """The first visible token, or None if the channel is empty."""
+        raise NotImplementedError
+
+    def first_tags(self) -> Optional[TagSet]:
+        """Tag set of the first visible token, or None if empty."""
+        token = self.first_token()
+        return None if token is None else token.tags
+
+    def peek(self, count: int) -> List[Token]:
+        """The first ``count`` visible tokens without consuming them."""
+        raise NotImplementedError
+
+    # -- mutation -------------------------------------------------------
+    def read(self, count: int) -> List[Token]:
+        """Consume ``count`` tokens according to the channel semantics."""
+        raise NotImplementedError
+
+    def write(self, tokens: Sequence[Token]) -> None:
+        """Produce tokens onto the channel."""
+        raise NotImplementedError
+
+    def clear(self) -> List[Token]:
+        """Drop all content (used when a cluster is terminated).
+
+        Returns the dropped tokens so traces can record the data loss
+        that the paper warns about when terminating a running cluster.
+        """
+        raise NotImplementedError
+
+    def snapshot(self) -> Tuple[Token, ...]:
+        """Immutable copy of the current content, oldest first."""
+        raise NotImplementedError
+
+
+class QueueState(ChannelState):
+    """FIFO queue with destructive read."""
+
+    __slots__ = ("_fifo",)
+
+    def __init__(self, channel: Channel) -> None:
+        super().__init__(channel)
+        self._fifo: List[Token] = list(channel.initial_tokens)
+
+    def available(self) -> int:
+        return len(self._fifo)
+
+    def first_token(self) -> Optional[Token]:
+        return self._fifo[0] if self._fifo else None
+
+    def peek(self, count: int) -> List[Token]:
+        if count < 0:
+            raise SimulationError("cannot peek a negative token count")
+        return list(self._fifo[:count])
+
+    def read(self, count: int) -> List[Token]:
+        if count < 0:
+            raise SimulationError("cannot read a negative token count")
+        if count > len(self._fifo):
+            raise SimulationError(
+                f"queue {self.channel.name!r}: read of {count} tokens "
+                f"with only {len(self._fifo)} available"
+            )
+        taken, self._fifo = self._fifo[:count], self._fifo[count:]
+        return taken
+
+    def write(self, tokens: Sequence[Token]) -> None:
+        capacity = self.channel.capacity
+        if capacity is not None and len(self._fifo) + len(tokens) > capacity:
+            raise SimulationError(
+                f"queue {self.channel.name!r}: writing {len(tokens)} tokens "
+                f"overflows capacity {capacity} "
+                f"(currently {len(self._fifo)})"
+            )
+        self._fifo.extend(tokens)
+
+    def clear(self) -> List[Token]:
+        dropped, self._fifo = self._fifo, []
+        return dropped
+
+    def snapshot(self) -> Tuple[Token, ...]:
+        return tuple(self._fifo)
+
+
+class RegisterState(ChannelState):
+    """Single-place register with destructive write, non-destructive read."""
+
+    __slots__ = ("_current",)
+
+    def __init__(self, channel: Channel) -> None:
+        super().__init__(channel)
+        self._current: Optional[Token] = (
+            channel.initial_tokens[0] if channel.initial_tokens else None
+        )
+
+    def available(self) -> int:
+        return 0 if self._current is None else 1
+
+    def first_token(self) -> Optional[Token]:
+        return self._current
+
+    def peek(self, count: int) -> List[Token]:
+        if count < 0:
+            raise SimulationError("cannot peek a negative token count")
+        if count == 0 or self._current is None:
+            return []
+        # Reading a register repeatedly yields the same value; a request
+        # for n tokens observes the current value n times.
+        return [self._current] * count
+
+    def read(self, count: int) -> List[Token]:
+        if count < 0:
+            raise SimulationError("cannot read a negative token count")
+        if count > 0 and self._current is None:
+            raise SimulationError(
+                f"register {self.channel.name!r}: read before first write"
+            )
+        # Non-destructive: the value remains in place.
+        return [self._current] * count if count else []
+
+    def write(self, tokens: Sequence[Token]) -> None:
+        if not tokens:
+            return
+        # Destructive write: only the newest token survives.
+        self._current = tokens[-1]
+
+    def clear(self) -> List[Token]:
+        dropped = [] if self._current is None else [self._current]
+        self._current = None
+        return dropped
+
+    def snapshot(self) -> Tuple[Token, ...]:
+        return () if self._current is None else (self._current,)
+
+
+def queue(
+    name: str,
+    capacity: Optional[int] = None,
+    initial_tokens: Sequence[Token] = (),
+    virtual: bool = False,
+) -> Channel:
+    """Shorthand for declaring a FIFO queue channel."""
+    return Channel(
+        name=name,
+        kind=ChannelKind.QUEUE,
+        capacity=capacity,
+        initial_tokens=tuple(initial_tokens),
+        virtual=virtual,
+    )
+
+
+def register(
+    name: str,
+    initial_tokens: Sequence[Token] = (),
+    virtual: bool = False,
+) -> Channel:
+    """Shorthand for declaring a register channel."""
+    return Channel(
+        name=name,
+        kind=ChannelKind.REGISTER,
+        initial_tokens=tuple(initial_tokens),
+        virtual=virtual,
+    )

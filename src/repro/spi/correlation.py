@@ -1,0 +1,137 @@
+"""Mode-correlation analysis — how much precision do modes buy?
+
+SPI's motivation for process modes (paper §2, elaborating ref [9],
+"Representation of process mode correlation for scheduling"): process
+parameters "are not independent from each other but strongly
+correlated", and capturing the correlation as modes gives much tighter
+behavior bounds than independent per-parameter intervals.
+
+This module quantifies that claim for a process: it compares
+
+* the **uncorrelated** view — every parameter hulled independently over
+  all modes (what a mode-less annotation would carry), against
+* the **correlated** view — per-mode exact values,
+
+and derives the *infeasible corner volume*: parameter combinations the
+uncorrelated intervals admit but no actual mode exhibits.  The classic
+example is Figure 1's ``p2``: the uncorrelated view allows "consume 1,
+produce 5, take 5 ms", a behavior the real process never shows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .intervals import Interval, hull_all
+from .process import Process
+
+
+@dataclass(frozen=True)
+class ParameterPoint:
+    """One concrete (latency, rates) combination."""
+
+    latency: float
+    consumption: Tuple[Tuple[str, float], ...]
+    production: Tuple[Tuple[str, float], ...]
+
+
+@dataclass(frozen=True)
+class CorrelationReport:
+    """Comparison of correlated and uncorrelated parameter views."""
+
+    process: str
+    uncorrelated_latency: Interval
+    uncorrelated_consumption: Dict[str, Interval]
+    uncorrelated_production: Dict[str, Interval]
+    mode_points: Tuple[ParameterPoint, ...]
+    corner_points: int
+    feasible_corners: int
+
+    @property
+    def infeasible_corners(self) -> int:
+        """Corner combinations admitted by hulls but shown by no mode."""
+        return self.corner_points - self.feasible_corners
+
+    @property
+    def tightening_ratio(self) -> float:
+        """Fraction of hull corners that are spurious (0 = no benefit).
+
+        A mode-less annotation admits every corner of the parameter
+        hyper-box; the modes admit only the actual points.  The closer
+        to 1, the more precision the mode representation buys.
+        """
+        if self.corner_points == 0:
+            return 0.0
+        return self.infeasible_corners / self.corner_points
+
+
+def analyze_correlation(process: Process) -> CorrelationReport:
+    """Compare per-mode parameters with their independent hulls."""
+    modes = process.mode_list
+    in_channels = process.input_channels()
+    out_channels = process.output_channels()
+
+    uncorrelated_latency = hull_all(m.latency for m in modes)
+    uncorrelated_consumption = {
+        c: hull_all(m.consumption(c) for m in modes) for c in in_channels
+    }
+    uncorrelated_production = {
+        c: hull_all(m.production(c) for m in modes) for c in out_channels
+    }
+
+    mode_points = tuple(
+        ParameterPoint(
+            latency=mode.latency.midpoint,
+            consumption=tuple(
+                (c, mode.consumption(c).midpoint) for c in in_channels
+            ),
+            production=tuple(
+                (c, mode.production(c).midpoint) for c in out_channels
+            ),
+        )
+        for mode in modes
+    )
+
+    # Corners of the uncorrelated hyper-box: every combination of
+    # per-parameter {lo, hi}.
+    axes: List[Tuple[float, float]] = [
+        (uncorrelated_latency.lo, uncorrelated_latency.hi)
+    ]
+    axes.extend(
+        (interval.lo, interval.hi)
+        for interval in uncorrelated_consumption.values()
+    )
+    axes.extend(
+        (interval.lo, interval.hi)
+        for interval in uncorrelated_production.values()
+    )
+    corners = set(itertools.product(*[set(axis) for axis in axes]))
+
+    feasible = set()
+    for mode in modes:
+        # a fully determinate mode occupies exactly one corner; an
+        # interval-valued mode covers all corners within its own box.
+        mode_axes = [
+            {mode.latency.lo, mode.latency.hi}
+        ]
+        for channel in in_channels:
+            interval = mode.consumption(channel)
+            mode_axes.append({interval.lo, interval.hi})
+        for channel in out_channels:
+            interval = mode.production(channel)
+            mode_axes.append({interval.lo, interval.hi})
+        for candidate in itertools.product(*mode_axes):
+            if candidate in corners:
+                feasible.add(candidate)
+
+    return CorrelationReport(
+        process=process.name,
+        uncorrelated_latency=uncorrelated_latency,
+        uncorrelated_consumption=uncorrelated_consumption,
+        uncorrelated_production=uncorrelated_production,
+        mode_points=mode_points,
+        corner_points=len(corners),
+        feasible_corners=len(feasible),
+    )

@@ -1,0 +1,96 @@
+"""Graphviz DOT export for SPI graphs (and variant graphs).
+
+The paper's figures are model diagrams; this module regenerates them as
+DOT text so `dot -Tpng` can render the same pictures.  Processes are
+drawn as boxes, channels as ellipses (registers double-lined), virtual
+elements dashed, and — when exporting a variant graph — interfaces as
+octagons containing their cluster alternatives as subgraph clusters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .graph import ModelGraph
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def graph_to_dot(graph: ModelGraph, title: Optional[str] = None) -> str:
+    """Render a plain model graph as DOT text."""
+    lines: List[str] = [f"digraph {_quote(title or graph.name)} {{"]
+    lines.append("  rankdir=LR;")
+    for name, process in sorted(graph.processes.items()):
+        style = ' style="dashed"' if process.virtual else ""
+        label = name
+        if len(process.modes) > 1:
+            label = f"{name}\\n({len(process.modes)} modes)"
+        lines.append(
+            f"  {_quote(name)} [shape=box label={_quote(label)}{style}];"
+        )
+    for name, channel in sorted(graph.channels.items()):
+        peripheries = ' peripheries=2' if channel.kind.value == "register" else ""
+        style = ' style="dashed"' if channel.virtual else ""
+        lines.append(
+            f"  {_quote(name)} [shape=ellipse{peripheries}{style}];"
+        )
+    for source, target in graph.edges():
+        lines.append(f"  {_quote(source)} -> {_quote(target)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def variant_graph_to_dot(vgraph, title: Optional[str] = None) -> str:
+    """Render a variant graph: base elements plus interface clusters.
+
+    Accepts a :class:`repro.variants.vgraph.VariantGraph`; typed loosely
+    to keep :mod:`repro.spi` free of upward dependencies.
+    """
+    base = vgraph.base
+    lines: List[str] = [f"digraph {_quote(title or vgraph.name)} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append("  compound=true;")
+    for name, process in sorted(base.processes.items()):
+        style = ' style="dashed"' if process.virtual else ""
+        lines.append(f"  {_quote(name)} [shape=box{style}];")
+    for name, channel in sorted(base.channels.items()):
+        peripheries = ' peripheries=2' if channel.kind.value == "register" else ""
+        lines.append(f"  {_quote(name)} [shape=ellipse{peripheries}];")
+    for source, target in base.edges():
+        lines.append(f"  {_quote(source)} -> {_quote(target)};")
+
+    for iface_name, interface in sorted(vgraph.interfaces.items()):
+        lines.append(f"  subgraph cluster_{iface_name} {{")
+        lines.append(f"    label={_quote('interface ' + iface_name)};")
+        lines.append("    style=dashed;")
+        anchor = f"{iface_name}__anchor"
+        lines.append(
+            f"    {_quote(anchor)} [shape=octagon label={_quote(iface_name)}];"
+        )
+        for cluster_name, cluster in sorted(interface.clusters.items()):
+            sub = f"cluster_{iface_name}_{cluster_name}"
+            lines.append(f"    subgraph {sub} {{")
+            lines.append(f"      label={_quote('variant ' + cluster_name)};")
+            lines.append("      style=solid;")
+            for pname in sorted(cluster.graph.processes):
+                node = f"{iface_name}.{cluster_name}.{pname}"
+                lines.append(f"      {_quote(node)} [shape=box];")
+            for cname in sorted(cluster.graph.channels):
+                node = f"{iface_name}.{cluster_name}.{cname}"
+                lines.append(f"      {_quote(node)} [shape=ellipse];")
+            for source, target in cluster.graph.edges():
+                s = f"{iface_name}.{cluster_name}.{source}"
+                t = f"{iface_name}.{cluster_name}.{target}"
+                lines.append(f"      {_quote(s)} -> {_quote(t)};")
+            lines.append("    }")
+        lines.append("  }")
+        for port, channel in sorted(vgraph.port_bindings(iface_name).items()):
+            if vgraph.is_input_port(iface_name, port):
+                lines.append(f"  {_quote(channel)} -> {_quote(anchor)};")
+            else:
+                lines.append(f"  {_quote(anchor)} -> {_quote(channel)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,310 @@
+"""The SPI model graph.
+
+A model graph is a directed, *bipartite* graph of process nodes and
+channel nodes (paper §2): edges only connect processes to channels and
+channels to processes.  Channels are unidirectional and point-to-point,
+so every channel has at most one writer edge and at most one reader
+edge.  All functionality lives in the processes; channels only transfer
+data.
+
+The class is a container with structural operations only — semantics
+live in :mod:`repro.spi.semantics` and :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import ModelError, ValidationError
+from .channels import Channel
+from .process import Process
+
+
+class ModelGraph:
+    """A bipartite process/channel graph.
+
+    Use :meth:`add_process` / :meth:`add_channel` / :meth:`connect` to
+    build, then :meth:`validate` to check whole-model consistency.  The
+    higher-level :class:`repro.spi.builder.GraphBuilder` wraps this with
+    a more compact construction API.
+    """
+
+    def __init__(self, name: str = "system") -> None:
+        if not name:
+            raise ModelError("graph name must be non-empty")
+        self.name = name
+        self._processes: Dict[str, Process] = {}
+        self._channels: Dict[str, Channel] = {}
+        # Edges keyed by channel name: writer process and reader process.
+        self._writer: Dict[str, str] = {}
+        self._reader: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_process(self, process: Process) -> Process:
+        """Add a process node; names must be unique across node kinds."""
+        self._check_fresh_name(process.name)
+        self._processes[process.name] = process
+        return process
+
+    def add_channel(self, channel: Channel) -> Channel:
+        """Add a channel node; names must be unique across node kinds."""
+        self._check_fresh_name(channel.name)
+        self._channels[channel.name] = channel
+        return channel
+
+    def connect(self, source: str, target: str) -> None:
+        """Add a directed edge process->channel or channel->process."""
+        if source in self._processes and target in self._channels:
+            if target in self._writer:
+                raise ModelError(
+                    f"channel {target!r} already has writer "
+                    f"{self._writer[target]!r}"
+                )
+            self._writer[target] = source
+        elif source in self._channels and target in self._processes:
+            if source in self._reader:
+                raise ModelError(
+                    f"channel {source!r} already has reader "
+                    f"{self._reader[source]!r}"
+                )
+            self._reader[source] = target
+        elif source in self._processes and target in self._processes:
+            raise ModelError(
+                f"edge {source!r} -> {target!r} connects two processes; "
+                f"SPI graphs are bipartite (insert a channel)"
+            )
+        elif source in self._channels and target in self._channels:
+            raise ModelError(
+                f"edge {source!r} -> {target!r} connects two channels; "
+                f"SPI graphs are bipartite (insert a process)"
+            )
+        else:
+            missing = [n for n in (source, target)
+                       if n not in self._processes and n not in self._channels]
+            raise ModelError(f"unknown node(s) in edge: {missing}")
+
+    def remove_process(self, name: str) -> Process:
+        """Remove a process and all edges touching it."""
+        try:
+            process = self._processes.pop(name)
+        except KeyError:
+            raise ModelError(f"no process named {name!r}") from None
+        self._writer = {c: p for c, p in self._writer.items() if p != name}
+        self._reader = {c: p for c, p in self._reader.items() if p != name}
+        return process
+
+    def remove_channel(self, name: str) -> Channel:
+        """Remove a channel and its writer/reader edges."""
+        try:
+            channel = self._channels.pop(name)
+        except KeyError:
+            raise ModelError(f"no channel named {name!r}") from None
+        self._writer.pop(name, None)
+        self._reader.pop(name, None)
+        return channel
+
+    def _check_fresh_name(self, name: str) -> None:
+        if name in self._processes or name in self._channels:
+            raise ModelError(f"node name {name!r} already used in graph")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> Dict[str, Process]:
+        """Read-only view of processes by name."""
+        return dict(self._processes)
+
+    @property
+    def channels(self) -> Dict[str, Channel]:
+        """Read-only view of channels by name."""
+        return dict(self._channels)
+
+    def process(self, name: str) -> Process:
+        """Look up a process by name."""
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise ModelError(f"no process named {name!r}") from None
+
+    def channel(self, name: str) -> Channel:
+        """Look up a channel by name."""
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise ModelError(f"no channel named {name!r}") from None
+
+    def has_process(self, name: str) -> bool:
+        """True if a process with this name exists."""
+        return name in self._processes
+
+    def has_channel(self, name: str) -> bool:
+        """True if a channel with this name exists."""
+        return name in self._channels
+
+    def writer_of(self, channel: str) -> Optional[str]:
+        """The process writing to ``channel``, or None (environment)."""
+        self.channel(channel)
+        return self._writer.get(channel)
+
+    def reader_of(self, channel: str) -> Optional[str]:
+        """The process reading from ``channel``, or None (environment)."""
+        self.channel(channel)
+        return self._reader.get(channel)
+
+    def input_channels(self, process: str) -> Tuple[str, ...]:
+        """Channels whose reader is ``process`` (sorted)."""
+        self.process(process)
+        return tuple(
+            sorted(c for c, p in self._reader.items() if p == process)
+        )
+
+    def output_channels(self, process: str) -> Tuple[str, ...]:
+        """Channels whose writer is ``process`` (sorted)."""
+        self.process(process)
+        return tuple(
+            sorted(c for c, p in self._writer.items() if p == process)
+        )
+
+    def predecessors(self, process: str) -> Tuple[str, ...]:
+        """Processes feeding ``process`` through one channel (sorted)."""
+        result = set()
+        for channel in self.input_channels(process):
+            writer = self._writer.get(channel)
+            if writer is not None:
+                result.add(writer)
+        return tuple(sorted(result))
+
+    def successors(self, process: str) -> Tuple[str, ...]:
+        """Processes fed by ``process`` through one channel (sorted)."""
+        result = set()
+        for channel in self.output_channels(process):
+            reader = self._reader.get(channel)
+            if reader is not None:
+                result.add(reader)
+        return tuple(sorted(result))
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All edges as (source, target) pairs, deterministically ordered."""
+        result: List[Tuple[str, str]] = []
+        for channel in sorted(self._writer):
+            result.append((self._writer[channel], channel))
+        for channel in sorted(self._reader):
+            result.append((channel, self._reader[channel]))
+        return result
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._processes or name in self._channels
+
+    def __len__(self) -> int:
+        return len(self._processes) + len(self._channels)
+
+    # ------------------------------------------------------------------
+    # Whole-model validation
+    # ------------------------------------------------------------------
+    def issues(self) -> List[str]:
+        """Collect structural problems without raising."""
+        found: List[str] = []
+        for name, process in sorted(self._processes.items()):
+            declared_in = set(process.input_channels())
+            declared_out = set(process.output_channels())
+            wired_in = set(self.input_channels(name))
+            wired_out = set(self.output_channels(name))
+            for channel in declared_in - wired_in:
+                found.append(
+                    f"process {name!r} consumes from {channel!r} but no such "
+                    f"input edge exists"
+                )
+            for channel in declared_out - wired_out:
+                found.append(
+                    f"process {name!r} produces on {channel!r} but no such "
+                    f"output edge exists"
+                )
+            observed = set(process.activation.channels())
+            for channel in observed:
+                if channel not in self._channels:
+                    found.append(
+                        f"process {name!r} activation observes unknown "
+                        f"channel {channel!r}"
+                    )
+        for name in sorted(self._channels):
+            if name not in self._writer and not self._channels[name].virtual \
+                    and not self._channels[name].initial_tokens:
+                found.append(
+                    f"channel {name!r} has no writer, is not virtual and "
+                    f"holds no initial tokens"
+                )
+            if name not in self._reader and not self._channels[name].virtual:
+                found.append(f"channel {name!r} has no reader and is not virtual")
+        return found
+
+    def validate(self) -> "ModelGraph":
+        """Raise :class:`ValidationError` if any structural issue exists."""
+        found = self.issues()
+        if found:
+            raise ValidationError(found)
+        return self
+
+    # ------------------------------------------------------------------
+    # Transformation support
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "ModelGraph":
+        """Shallow structural copy (nodes are immutable, edges copied)."""
+        clone = ModelGraph(name or self.name)
+        clone._processes = dict(self._processes)
+        clone._channels = dict(self._channels)
+        clone._writer = dict(self._writer)
+        clone._reader = dict(self._reader)
+        return clone
+
+    def merge(self, other: "ModelGraph") -> "ModelGraph":
+        """Add all nodes and edges of ``other`` into this graph."""
+        for process in other._processes.values():
+            self.add_process(process)
+        for channel in other._channels.values():
+            self.add_channel(channel)
+        for channel, writer in other._writer.items():
+            self._writer[channel] = writer
+        for channel, reader in other._reader.items():
+            self._reader[channel] = reader
+        return self
+
+    def replace_process(self, name: str, process: Process) -> None:
+        """Swap the process object behind ``name`` keeping the wiring.
+
+        The replacement must keep the same name; it is the caller's job
+        to ensure the new process's channel references stay consistent
+        (``validate`` will check).
+        """
+        if process.name != name:
+            raise ModelError(
+                f"replacement process is named {process.name!r}, "
+                f"expected {name!r}"
+            )
+        self.process(name)
+        self._processes[name] = process
+
+    def same_structure(self, other: "ModelGraph") -> bool:
+        """True if node names and edges coincide (parameters ignored)."""
+        return (
+            set(self._processes) == set(other._processes)
+            and set(self._channels) == set(other._channels)
+            and self._writer == other._writer
+            and self._reader == other._reader
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Element counts used by the Figure 2 accounting bench."""
+        return {
+            "processes": len(self._processes),
+            "channels": len(self._channels),
+            "edges": len(self._writer) + len(self._reader),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ModelGraph({self.name!r}, {len(self._processes)} processes, "
+            f"{len(self._channels)} channels)"
+        )

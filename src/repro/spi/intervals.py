@@ -1,0 +1,192 @@
+"""Closed numeric intervals — the "property intervals" of the SPI model.
+
+The SPI model (System Property Intervals, paper refs [8, 9]) represents
+uncertain or data-dependent process behavior by *lower and upper bounds*
+on the modeled quantities: communicated token amounts, execution
+latencies and so on.  This module provides the single interval type used
+throughout the library, together with the arithmetic needed by parameter
+extraction (summing latencies along paths, scaling rates, hulling the
+behavior of alternative modes).
+
+An :class:`Interval` is closed and never empty: ``lo <= hi`` always
+holds.  Point intervals (``lo == hi``) model completely determinate
+parameters, such as process ``p1`` in Figure 1 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from ..errors import ModelError
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True, order=False)
+class Interval:
+    """A closed interval ``[lo, hi]`` over the reals (or integers).
+
+    Instances are immutable and hashable so they can be used freely in
+    mode tables and as dictionary values describing per-channel rates.
+    """
+
+    lo: Number
+    hi: Number
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ModelError("interval bounds must not be NaN")
+        if self.lo > self.hi:
+            raise ModelError(
+                f"interval lower bound {self.lo} exceeds upper bound {self.hi}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def point(value: Number) -> "Interval":
+        """Return the degenerate interval ``[value, value]``."""
+        return Interval(value, value)
+
+    @staticmethod
+    def zero() -> "Interval":
+        """Return the point interval ``[0, 0]``."""
+        return Interval(0, 0)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_point(self) -> bool:
+        """True if the interval pins the parameter to a single value."""
+        return self.lo == self.hi
+
+    @property
+    def width(self) -> Number:
+        """The uncertainty ``hi - lo`` captured by this interval."""
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        """The arithmetic center of the interval."""
+        return (self.lo + self.hi) / 2
+
+    def __contains__(self, value: object) -> bool:
+        if isinstance(value, Interval):
+            return self.lo <= value.lo and value.hi <= self.hi
+        if isinstance(value, (int, float)):
+            return self.lo <= value <= self.hi
+        return NotImplemented
+
+    def contains(self, other: "Interval") -> bool:
+        """True if ``other`` lies entirely within this interval."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the two intervals share at least one value."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    # ------------------------------------------------------------------
+    # Arithmetic — used by parameter extraction and timing analysis
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Interval | Number") -> "Interval":
+        other = as_interval(other)
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Interval | Number") -> "Interval":
+        other = as_interval(other)
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def __mul__(self, other: "Interval | Number") -> "Interval":
+        other = as_interval(other)
+        products = (
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        )
+        return Interval(min(products), max(products))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def hull(self, other: "Interval | Number") -> "Interval":
+        """Smallest interval containing both operands.
+
+        Hulling is how alternative process modes are merged back into a
+        single abstract behavior bound (paper §2: intervals "combine many
+        variants in a single abstract process").
+        """
+        other = as_interval(other)
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def intersect(self, other: "Interval | Number") -> "Interval | None":
+        """Intersection of the two intervals, or None if disjoint."""
+        other = as_interval(other)
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def scaled(self, factor: Number) -> "Interval":
+        """Interval with both bounds multiplied by a non-negative factor."""
+        if factor < 0:
+            raise ModelError("scaling factor must be non-negative")
+        return Interval(self.lo * factor, self.hi * factor)
+
+    def clamp(self, value: Number) -> Number:
+        """The closest value inside the interval to ``value``."""
+        return min(max(value, self.lo), self.hi)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Number]:
+        yield self.lo
+        yield self.hi
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_point:
+            return f"[{self.lo}]"
+        return f"[{self.lo}, {self.hi}]"
+
+
+def as_interval(value: "Interval | Number") -> Interval:
+    """Coerce a bare number to a point interval.
+
+    All mode-table entry points accept either form so determinate
+    parameters (Figure 1's ``p1``) read naturally.
+    """
+    if isinstance(value, Interval):
+        return value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ModelError(f"cannot interpret {value!r} as an interval")
+    return Interval.point(value)
+
+
+def hull_all(intervals) -> Interval:
+    """Hull of a non-empty iterable of intervals (or numbers)."""
+    iterator = iter(intervals)
+    try:
+        result = as_interval(next(iterator))
+    except StopIteration:
+        raise ModelError("hull_all requires at least one interval") from None
+    for item in iterator:
+        result = result.hull(as_interval(item))
+    return result
+
+
+def sum_all(intervals) -> Interval:
+    """Interval sum of an iterable of intervals (empty sum is [0, 0])."""
+    result = Interval.zero()
+    for item in intervals:
+        result = result + as_interval(item)
+    return result

@@ -1,0 +1,181 @@
+"""Process modes.
+
+A process's externally visible behavior is captured by a small set of
+parameters: per-channel consumption and production amounts and the
+execution latency, all given as intervals.  Because these parameters are
+usually strongly correlated, SPI groups consistent combinations into
+**process modes** (paper §2): e.g. Figure 1's ``p2`` has
+
+====  =======  ========  ========
+mode  latency  consumes  produces
+====  =======  ========  ========
+m1    3 ms     1 @ c1    2 @ c2
+m2    5 ms     3 @ c1    5 @ c2
+====  =======  ========  ========
+
+A mode may also declare the virtual mode tags attached to the tokens it
+produces on each channel (``out_tags``), which is how downstream
+activation functions are steered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from .intervals import Interval, as_interval, hull_all
+from .tags import TagSet, as_tagset
+
+
+def _freeze_rates(rates: Optional[Mapping[str, object]]) -> Mapping[str, Interval]:
+    frozen = {}
+    for channel, amount in (rates or {}).items():
+        interval = as_interval(amount)
+        if interval.lo < 0:
+            raise ModelError(
+                f"rate on channel {channel!r} must be non-negative, "
+                f"got {interval}"
+            )
+        frozen[channel] = interval
+    return MappingProxyType(frozen)
+
+
+def _freeze_tags(tags: Optional[Mapping[str, object]]) -> Mapping[str, TagSet]:
+    return MappingProxyType(
+        {channel: as_tagset(value) for channel, value in (tags or {}).items()}
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class ProcessMode:
+    """One consistent combination of process parameters.
+
+    Parameters
+    ----------
+    name:
+        Mode name, unique within its process.
+    latency:
+        Execution latency interval (time from activation to completion).
+    consumes:
+        Mapping from input channel name to token amount interval.
+    produces:
+        Mapping from output channel name to token amount interval.
+    out_tags:
+        Mapping from output channel name to the tag set attached to
+        every token produced on that channel in this mode.
+    pass_tags:
+        Output channels whose produced tokens additionally inherit the
+        union of the tags of all tokens consumed in the same execution.
+        This models content information traveling with the data — the
+        mechanism behind Figure 4's "adds a certain tag to the first
+        image [...] when this tag reaches POut".
+    """
+
+    name: str
+    latency: Interval = field(default_factory=Interval.zero)
+    consumes: Mapping[str, Interval] = field(default_factory=dict)
+    produces: Mapping[str, Interval] = field(default_factory=dict)
+    out_tags: Mapping[str, TagSet] = field(default_factory=dict)
+    pass_tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("mode name must be non-empty")
+        object.__setattr__(self, "latency", as_interval(self.latency))
+        if self.latency.lo < 0:
+            raise ModelError(
+                f"mode {self.name!r}: latency must be non-negative"
+            )
+        object.__setattr__(self, "consumes", _freeze_rates(self.consumes))
+        object.__setattr__(self, "produces", _freeze_rates(self.produces))
+        object.__setattr__(self, "out_tags", _freeze_tags(self.out_tags))
+        object.__setattr__(self, "pass_tags", tuple(self.pass_tags))
+        unknown = set(self.out_tags) - set(self.produces)
+        if unknown:
+            raise ModelError(
+                f"mode {self.name!r}: out_tags for channels it does not "
+                f"produce on: {sorted(unknown)}"
+            )
+        unknown_pass = set(self.pass_tags) - set(self.produces)
+        if unknown_pass:
+            raise ModelError(
+                f"mode {self.name!r}: pass_tags for channels it does not "
+                f"produce on: {sorted(unknown_pass)}"
+            )
+
+    # ------------------------------------------------------------------
+    def consumption(self, channel: str) -> Interval:
+        """Consumption interval on ``channel`` (zero if not consumed)."""
+        return self.consumes.get(channel, Interval.zero())
+
+    def production(self, channel: str) -> Interval:
+        """Production interval on ``channel`` (zero if not produced)."""
+        return self.produces.get(channel, Interval.zero())
+
+    def tags_for(self, channel: str) -> TagSet:
+        """Tags attached to tokens produced on ``channel`` in this mode."""
+        return self.out_tags.get(channel, TagSet.empty())
+
+    @property
+    def is_determinate(self) -> bool:
+        """True if every parameter of the mode is a point interval."""
+        rates = list(self.consumes.values()) + list(self.produces.values())
+        return self.latency.is_point and all(rate.is_point for rate in rates)
+
+    def renamed(self, name: str) -> "ProcessMode":
+        """Copy of this mode under a different name (used by extraction)."""
+        return ProcessMode(
+            name=name,
+            latency=self.latency,
+            consumes=dict(self.consumes),
+            produces=dict(self.produces),
+            out_tags=dict(self.out_tags),
+            pass_tags=self.pass_tags,
+        )
+
+    def with_channels_renamed(
+        self, mapping: Mapping[str, str]
+    ) -> "ProcessMode":
+        """Copy with channel names substituted per ``mapping``.
+
+        Channels absent from the mapping keep their names.  Used when a
+        cluster is instantiated and its port names are replaced by the
+        concrete external channel names.
+        """
+
+        def rename(channel: str) -> str:
+            return mapping.get(channel, channel)
+
+        return ProcessMode(
+            name=self.name,
+            latency=self.latency,
+            consumes={rename(c): v for c, v in self.consumes.items()},
+            produces={rename(c): v for c, v in self.produces.items()},
+            out_tags={rename(c): v for c, v in self.out_tags.items()},
+            pass_tags=tuple(rename(c) for c in self.pass_tags),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessMode({self.name!r}, latency={self.latency!r}, "
+            f"consumes={dict(self.consumes)!r}, "
+            f"produces={dict(self.produces)!r})"
+        )
+
+
+def mode_latency_bounds(modes: Iterable[ProcessMode]) -> Interval:
+    """Hull of the latency intervals of a set of modes."""
+    return hull_all(mode.latency for mode in modes)
+
+
+def mode_rate_bounds(
+    modes: Iterable[ProcessMode], channel: str, direction: str
+) -> Interval:
+    """Hull of per-mode consumption ('in') or production ('out') rates."""
+    if direction == "in":
+        return hull_all(mode.consumption(channel) for mode in modes)
+    if direction == "out":
+        return hull_all(mode.production(channel) for mode in modes)
+    raise ModelError(f"direction must be 'in' or 'out', got {direction!r}")

@@ -1,0 +1,249 @@
+"""Input token predicates.
+
+Activation rules and cluster selection rules are guarded by predicates
+over the observable state of a process's (or interface's) input
+channels.  Per the paper (§2), a predicate is 'true' or 'false'
+depending on
+
+* the **number of tokens** available on an input channel, and
+* the **tag set of the first visible token** on that channel.
+
+The example rules from the paper read, in this library::
+
+    a1 = NumAvailable('c1', 1) & HasTag('c1', 'a')
+    a2 = NumAvailable('c1', 3) & HasTag('c1', 'b')
+
+Predicates are evaluated against any object implementing the
+:class:`ChannelView` protocol (the simulator's channel states, the
+untimed step semantics, or a hand-built mapping for tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Protocol, Tuple, runtime_checkable
+
+from ..errors import ModelError
+from .tags import TagSet, as_tagset
+
+
+@runtime_checkable
+class ChannelView(Protocol):
+    """What a predicate may observe: token counts and first-token tags."""
+
+    def available(self, channel: str) -> int:
+        """Number of tokens currently visible on ``channel``."""
+        ...
+
+    def first_tags(self, channel: str) -> Optional[TagSet]:
+        """Tag set of the first visible token, or None if empty."""
+        ...
+
+
+class MappingView:
+    """A ChannelView over plain dictionaries, for tests and analysis.
+
+    ``counts`` maps channel name to available token count; ``tags`` maps
+    channel name to the tag set of the first visible token.
+    """
+
+    def __init__(
+        self,
+        counts: Optional[Mapping[str, int]] = None,
+        tags: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self._counts = dict(counts or {})
+        self._tags = {
+            channel: as_tagset(value) for channel, value in (tags or {}).items()
+        }
+
+    def available(self, channel: str) -> int:
+        return self._counts.get(channel, 0)
+
+    def first_tags(self, channel: str) -> Optional[TagSet]:
+        if self._counts.get(channel, 0) <= 0:
+            return None
+        return self._tags.get(channel, TagSet.empty())
+
+
+class Predicate:
+    """Base class for input token predicates.
+
+    Predicates are immutable expression trees combinable with ``&``
+    (and), ``|`` (or) and ``~`` (not).
+    """
+
+    def evaluate(self, view: ChannelView) -> bool:
+        """Evaluate the predicate against a channel observation."""
+        raise NotImplementedError
+
+    def channels(self) -> Tuple[str, ...]:
+        """All channel names the predicate observes (sorted, unique)."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def __call__(self, view: ChannelView) -> bool:
+        return self.evaluate(view)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Always true — the guard of unconditional activation rules."""
+
+    def evaluate(self, view: ChannelView) -> bool:
+        return True
+
+    def channels(self) -> Tuple[str, ...]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "true"
+
+
+@dataclass(frozen=True)
+class NumAvailable(Predicate):
+    """``available(channel) >= minimum`` — the paper's ``num(c) >= k``."""
+
+    channel: str
+    minimum: int
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0:
+            raise ModelError("NumAvailable minimum must be non-negative")
+
+    def evaluate(self, view: ChannelView) -> bool:
+        return view.available(self.channel) >= self.minimum
+
+    def channels(self) -> Tuple[str, ...]:
+        return (self.channel,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"num({self.channel}) >= {self.minimum}"
+
+
+@dataclass(frozen=True)
+class HasTag(Predicate):
+    """``tag in first_visible_token(channel).tags``.
+
+    False when the channel is empty: a tag cannot be observed without a
+    token to carry it.
+    """
+
+    channel: str
+    tag: str
+
+    def __post_init__(self) -> None:
+        if not self.tag:
+            raise ModelError("HasTag tag must be non-empty")
+
+    def evaluate(self, view: ChannelView) -> bool:
+        tags = view.first_tags(self.channel)
+        return tags is not None and self.tag in tags
+
+    def channels(self) -> Tuple[str, ...]:
+        return (self.channel,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.tag!r} in {self.channel}.tag"
+
+
+@dataclass(frozen=True)
+class HasAnyTag(Predicate):
+    """True if the first visible token carries any of the given tags."""
+
+    channel: str
+    tags: TagSet
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", as_tagset(self.tags))
+        if not self.tags:
+            raise ModelError("HasAnyTag requires at least one tag")
+
+    def evaluate(self, view: ChannelView) -> bool:
+        observed = view.first_tags(self.channel)
+        return observed is not None and not self.tags.isdisjoint(observed)
+
+    def channels(self) -> Tuple[str, ...]:
+        return (self.channel,)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of sub-predicates."""
+
+    operands: Tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+        if not self.operands:
+            raise ModelError("And requires at least one operand")
+
+    def evaluate(self, view: ChannelView) -> bool:
+        return all(operand.evaluate(view) for operand in self.operands)
+
+    def channels(self) -> Tuple[str, ...]:
+        return _merged_channels(self.operands)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + " and ".join(map(repr, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of sub-predicates."""
+
+    operands: Tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+        if not self.operands:
+            raise ModelError("Or requires at least one operand")
+
+    def evaluate(self, view: ChannelView) -> bool:
+        return any(operand.evaluate(view) for operand in self.operands)
+
+    def channels(self) -> Tuple[str, ...]:
+        return _merged_channels(self.operands)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + " or ".join(map(repr, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a sub-predicate."""
+
+    operand: Predicate
+
+    def evaluate(self, view: ChannelView) -> bool:
+        return not self.operand.evaluate(view)
+
+    def channels(self) -> Tuple[str, ...]:
+        return self.operand.channels()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"not {self.operand!r}"
+
+
+def tokens_with_tag(channel: str, minimum: int, tag: str) -> Predicate:
+    """The paper's canonical rule guard: count threshold plus tag test.
+
+    ``tokens_with_tag('c1', 3, 'b')`` is rule ``a2`` of the paper:
+    at least 3 tokens on ``c1`` and 'b' in the first token's tag set.
+    """
+    return And((NumAvailable(channel, minimum), HasTag(channel, tag)))
+
+
+def _merged_channels(operands: Iterable[Predicate]) -> Tuple[str, ...]:
+    merged = set()
+    for operand in operands:
+        merged.update(operand.channels())
+    return tuple(sorted(merged))

@@ -1,0 +1,224 @@
+"""SPI processes.
+
+A process node maps input data to output data at each execution; its
+internal function is deliberately *not* modeled.  What is modeled (paper
+§2) is the set of :class:`~repro.spi.modes.ProcessMode` behaviors, the
+:class:`~repro.spi.activation.ActivationFunction` selecting among them,
+and — for environment modeling — whether the process is *virtual* and
+whether it is time-triggered (``period``) rather than data-triggered.
+
+``max_firings`` is the small "constraining modeling element" the paper
+mentions but elides in its Figure 3 discussion ("we omitted certain
+modeling elements needed to constrain the behavior of some system parts,
+in this case PUser to execute only once in the beginning"): it bounds
+how often a process may execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from .activation import ActivationFunction
+from .intervals import Interval, hull_all
+from .modes import ProcessMode
+
+
+@dataclass(frozen=True, eq=False)
+class Process:
+    """A process node of an SPI model graph.
+
+    Parameters
+    ----------
+    name:
+        Unique process name within its graph.
+    modes:
+        The process's behavior alternatives.  At least one is required.
+    activation:
+        Rules selecting a mode from input channel observations.  If
+        omitted, a single-mode process gets an implicit unconditional
+        rule for its only mode; multi-mode processes must specify one.
+    virtual:
+        True if the process models the environment, not the system.
+    period:
+        If set, the process is additionally time-triggered: it can start
+        an execution at most every ``period`` time units (used for
+        sources such as a camera delivering frames at a fixed rate).
+    max_firings:
+        Upper bound on the number of executions, or None for unbounded.
+    release_time:
+        Earliest model time at which the process may first execute
+        (e.g. a user issuing a reconfiguration request mid-stream).
+    """
+
+    name: str
+    modes: Mapping[str, ProcessMode]
+    activation: Optional[ActivationFunction] = None
+    virtual: bool = False
+    period: Optional[float] = None
+    max_firings: Optional[int] = None
+    release_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("process name must be non-empty")
+        modes = self.modes
+        if isinstance(modes, (list, tuple)):
+            modes = {mode.name: mode for mode in modes}
+        if not modes:
+            raise ModelError(f"process {self.name!r} needs at least one mode")
+        for key, mode in modes.items():
+            if key != mode.name:
+                raise ModelError(
+                    f"process {self.name!r}: mode dict key {key!r} does not "
+                    f"match mode name {mode.name!r}"
+                )
+        object.__setattr__(self, "modes", MappingProxyType(dict(modes)))
+
+        activation = self.activation
+        if activation is None:
+            if len(self.modes) == 1:
+                only = next(iter(self.modes))
+                activation = ActivationFunction.always(only)
+            else:
+                raise ModelError(
+                    f"process {self.name!r} has {len(self.modes)} modes and "
+                    f"therefore needs an explicit activation function"
+                )
+        object.__setattr__(self, "activation", activation)
+
+        missing = set(self.activation.modes_named()) - set(self.modes)
+        if missing:
+            raise ModelError(
+                f"process {self.name!r}: activation rules reference unknown "
+                f"modes {sorted(missing)}"
+            )
+        if self.period is not None and self.period <= 0:
+            raise ModelError(
+                f"process {self.name!r}: period must be positive"
+            )
+        if self.max_firings is not None and self.max_firings < 0:
+            raise ModelError(
+                f"process {self.name!r}: max_firings must be >= 0"
+            )
+        if self.release_time < 0:
+            raise ModelError(
+                f"process {self.name!r}: release_time must be >= 0"
+            )
+
+    # ------------------------------------------------------------------
+    # Mode access
+    # ------------------------------------------------------------------
+    def mode(self, name: str) -> ProcessMode:
+        """Look up a mode by name."""
+        try:
+            return self.modes[name]
+        except KeyError:
+            raise ModelError(
+                f"process {self.name!r} has no mode {name!r}"
+            ) from None
+
+    @property
+    def mode_list(self) -> Tuple[ProcessMode, ...]:
+        """The modes in insertion order."""
+        return tuple(self.modes.values())
+
+    @property
+    def single_mode(self) -> ProcessMode:
+        """The only mode of a single-mode process."""
+        if len(self.modes) != 1:
+            raise ModelError(
+                f"process {self.name!r} has {len(self.modes)} modes; "
+                f"single_mode is only defined for one"
+            )
+        return next(iter(self.modes.values()))
+
+    # ------------------------------------------------------------------
+    # Derived abstract behavior (interval hulls over all modes)
+    # ------------------------------------------------------------------
+    def latency_bounds(self) -> Interval:
+        """Hull of all mode latencies — the process's latency interval."""
+        return hull_all(mode.latency for mode in self.modes.values())
+
+    def consumption_bounds(self, channel: str) -> Interval:
+        """Hull of per-mode consumption on ``channel``."""
+        return hull_all(
+            mode.consumption(channel) for mode in self.modes.values()
+        )
+
+    def production_bounds(self, channel: str) -> Interval:
+        """Hull of per-mode production on ``channel``."""
+        return hull_all(
+            mode.production(channel) for mode in self.modes.values()
+        )
+
+    def input_channels(self) -> Tuple[str, ...]:
+        """Channels consumed from in at least one mode (sorted)."""
+        channels = set()
+        for mode in self.modes.values():
+            channels.update(mode.consumes)
+        return tuple(sorted(channels))
+
+    def output_channels(self) -> Tuple[str, ...]:
+        """Channels produced on in at least one mode (sorted)."""
+        channels = set()
+        for mode in self.modes.values():
+            channels.update(mode.produces)
+        return tuple(sorted(channels))
+
+    @property
+    def is_determinate(self) -> bool:
+        """True if the process has one fully determinate mode."""
+        return len(self.modes) == 1 and self.single_mode.is_determinate
+
+    @property
+    def is_source(self) -> bool:
+        """True if the process consumes from no channel in any mode."""
+        return not self.input_channels()
+
+    @property
+    def is_sink(self) -> bool:
+        """True if the process produces on no channel in any mode."""
+        return not self.output_channels()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Process({self.name!r}, modes={list(self.modes)!r})"
+
+
+def simple_process(
+    name: str,
+    latency: object = 0,
+    consumes: Optional[Mapping[str, object]] = None,
+    produces: Optional[Mapping[str, object]] = None,
+    out_tags: Optional[Mapping[str, object]] = None,
+    pass_tags: Sequence[str] = (),
+    virtual: bool = False,
+    period: Optional[float] = None,
+    max_firings: Optional[int] = None,
+    release_time: float = 0.0,
+) -> Process:
+    """Build a single-mode process with an implicit activation rule.
+
+    This covers determinate processes like Figure 1's ``p1`` in one call::
+
+        p1 = simple_process('p1', latency=1.0,
+                            consumes={'c0': 1}, produces={'c1': 2})
+    """
+    mode = ProcessMode(
+        name="run",
+        latency=latency,
+        consumes=consumes or {},
+        produces=produces or {},
+        out_tags=out_tags or {},
+        pass_tags=tuple(pass_tags),
+    )
+    return Process(
+        name=name,
+        modes={"run": mode},
+        virtual=virtual,
+        period=period,
+        max_firings=max_firings,
+        release_time=release_time,
+    )

@@ -1,0 +1,221 @@
+"""Untimed step semantics — the SPI update rules.
+
+The SPI model's formal definition (paper refs [8, 9]) includes *update
+rules* that describe how a modeling evolves: a process whose activation
+function enables a mode, and whose input channels hold the tokens that
+mode consumes, may execute; execution removes the consumed tokens and
+adds the produced tokens (with the mode's output tags).
+
+This module implements those rules **without time**: each call to
+:meth:`StepSemantics.step` fires a maximal set of simultaneously ready
+processes once.  The untimed semantics is what structural reasoning,
+parameter extraction validation and the Figure 1 token-flow bench use;
+the *timed* behavior (latencies, reconfiguration delays, resource
+contention) lives in :mod:`repro.sim`.
+
+Interval-valued rates are resolved through a :class:`RateResolver`
+policy, making the nondeterminism explicit and reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from .channels import ChannelState
+from .graph import ModelGraph
+from .intervals import Interval
+from .modes import ProcessMode
+from .process import Process
+from .tokens import Token
+
+
+class RateResolver:
+    """Policy choosing a concrete value from an interval-valued rate.
+
+    SPI intervals express uncertainty; executing a model requires
+    committing to concrete amounts.  The built-in policies are:
+
+    * ``lower`` / ``upper`` — always the bound (worst/best-case style),
+    * ``midpoint`` — the rounded center,
+    * ``random`` — uniform over the integer range, seeded for
+      reproducibility.
+    """
+
+    def __init__(self, policy: str = "lower", seed: Optional[int] = None) -> None:
+        if policy not in {"lower", "upper", "midpoint", "random"}:
+            raise SimulationError(f"unknown rate policy {policy!r}")
+        self.policy = policy
+        self._rng = random.Random(seed)
+
+    def resolve_amount(self, interval: Interval) -> int:
+        """Pick a concrete token amount from ``interval``."""
+        if self.policy == "lower":
+            value = interval.lo
+        elif self.policy == "upper":
+            value = interval.hi
+        elif self.policy == "midpoint":
+            value = round(interval.midpoint)
+        else:
+            value = self._rng.randint(int(interval.lo), int(interval.hi))
+        return int(value)
+
+    def resolve_latency(self, interval: Interval) -> float:
+        """Pick a concrete latency from ``interval``."""
+        if self.policy == "lower":
+            return float(interval.lo)
+        if self.policy == "upper":
+            return float(interval.hi)
+        if self.policy == "midpoint":
+            return float(interval.midpoint)
+        return self._rng.uniform(float(interval.lo), float(interval.hi))
+
+
+@dataclass
+class Firing:
+    """Record of one untimed process execution."""
+
+    process: str
+    mode: str
+    consumed: Dict[str, int] = field(default_factory=dict)
+    produced: Dict[str, int] = field(default_factory=dict)
+
+
+class GraphChannelView:
+    """ChannelView over the live channel states of a graph execution."""
+
+    def __init__(self, states: Mapping[str, ChannelState]) -> None:
+        self._states = states
+
+    def available(self, channel: str) -> int:
+        state = self._states.get(channel)
+        return 0 if state is None else state.available()
+
+    def first_tags(self, channel: str):
+        state = self._states.get(channel)
+        return None if state is None else state.first_tags()
+
+
+class StepSemantics:
+    """Executable untimed update rules for a model graph."""
+
+    def __init__(
+        self,
+        graph: ModelGraph,
+        resolver: Optional[RateResolver] = None,
+        strict_activation: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.resolver = resolver or RateResolver()
+        self.strict_activation = strict_activation
+        self.states: Dict[str, ChannelState] = {
+            name: channel.new_state()
+            for name, channel in graph.channels.items()
+        }
+        self.view = GraphChannelView(self.states)
+        self.firing_counts: Dict[str, int] = {
+            name: 0 for name in graph.processes
+        }
+        self.history: List[Firing] = []
+
+    # ------------------------------------------------------------------
+    def ready_mode(self, process: Process) -> Optional[ProcessMode]:
+        """The mode ``process`` would fire in now, or None.
+
+        A process is ready iff (a) an activation rule is enabled, and
+        (b) every input channel holds at least the mode's lower
+        consumption bound (the activation condition "only ensures that
+        there are enough available tokens", paper §4), and (c) its
+        ``max_firings`` budget is not exhausted.
+        """
+        if (
+            process.max_firings is not None
+            and self.firing_counts[process.name] >= process.max_firings
+        ):
+            return None
+        rule = process.activation.select(
+            self.view, strict=self.strict_activation
+        )
+        if rule is None:
+            return None
+        mode = process.mode(rule.mode)
+        for channel, amount in mode.consumes.items():
+            state = self.states.get(channel)
+            if state is None:
+                raise SimulationError(
+                    f"process {process.name!r} consumes from unknown "
+                    f"channel {channel!r}"
+                )
+            if state.available() < amount.lo:
+                return None
+        return mode
+
+    def fire(self, process: Process, mode: ProcessMode) -> Firing:
+        """Execute one firing: consume, then produce with output tags."""
+        firing = Firing(process=process.name, mode=mode.name)
+        inherited = None
+        for channel, amount in mode.consumes.items():
+            count = self.resolver.resolve_amount(amount)
+            count = min(count, self.states[channel].available())
+            count = max(count, int(amount.lo))
+            taken = self.states[channel].read(count)
+            if mode.pass_tags:
+                for token in taken:
+                    inherited = (
+                        token.tags
+                        if inherited is None
+                        else inherited | token.tags
+                    )
+            firing.consumed[channel] = count
+        for channel, amount in mode.produces.items():
+            count = self.resolver.resolve_amount(amount)
+            tags = mode.tags_for(channel)
+            if inherited is not None and channel in mode.pass_tags:
+                tags = tags | inherited
+            tokens = [
+                Token(tags=tags, producer=process.name) for _ in range(count)
+            ]
+            self.states[channel].write(tokens)
+            firing.produced[channel] = count
+        self.firing_counts[process.name] += 1
+        self.history.append(firing)
+        return firing
+
+    def step(self) -> List[Firing]:
+        """Fire every currently ready process once (two-phase).
+
+        Readiness is evaluated against the state at the beginning of the
+        step for all processes, then all firings are applied; a process
+        therefore cannot consume tokens produced within the same step,
+        which keeps steps order-independent.
+        """
+        ready: List[Tuple[Process, ProcessMode]] = []
+        for name in sorted(self.graph.processes):
+            process = self.graph.process(name)
+            mode = self.ready_mode(process)
+            if mode is not None:
+                ready.append((process, mode))
+        return [self.fire(process, mode) for process, mode in ready]
+
+    def run(self, max_steps: int = 1000) -> List[List[Firing]]:
+        """Step until quiescence or ``max_steps``; returns per-step firings."""
+        rounds: List[List[Firing]] = []
+        for _ in range(max_steps):
+            fired = self.step()
+            if not fired:
+                break
+            rounds.append(fired)
+        return rounds
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> Dict[str, int]:
+        """Current token count per channel."""
+        return {
+            name: state.available() for name, state in self.states.items()
+        }
+
+    def total_fired(self) -> int:
+        """Total number of firings so far."""
+        return len(self.history)

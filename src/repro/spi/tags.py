@@ -1,0 +1,124 @@
+"""Virtual mode tags.
+
+In SPI the *content* of communicated data is abstracted away; only the
+amount of data is modeled.  To still let receiving processes adapt their
+behavior to data content, producing processes may attach **virtual mode
+tags** to the tokens they emit (paper §2).  Activation rules then test
+for the presence of tags on the first visible token of a channel.
+
+Tags are plain strings; a :class:`TagSet` is an immutable set of them
+with set algebra that reads well in model construction code.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator
+
+from ..errors import ModelError
+
+
+class TagSet:
+    """An immutable set of virtual mode tags.
+
+    The empty tag set is the default for all produced tokens; the paper's
+    example attaches ``'a'`` / ``'b'`` tags from process ``p1`` and
+    ``'V1'`` / ``'V2'`` variant-selector tags from ``PUser``.
+    """
+
+    __slots__ = ("_tags",)
+
+    def __init__(self, tags: Iterable[str] = ()) -> None:
+        frozen = frozenset(tags)
+        for tag in frozen:
+            if not isinstance(tag, str) or not tag:
+                raise ModelError(f"tags must be non-empty strings, got {tag!r}")
+        self._tags: FrozenSet[str] = frozen
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty() -> "TagSet":
+        """The tag set carried by plain, untagged tokens."""
+        return _EMPTY
+
+    @staticmethod
+    def of(*tags: str) -> "TagSet":
+        """Convenience variadic constructor: ``TagSet.of('a', 'b')``."""
+        return TagSet(tags)
+
+    # ------------------------------------------------------------------
+    # Set protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._tags
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._tags))
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __bool__(self) -> bool:
+        return bool(self._tags)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TagSet):
+            return self._tags == other._tags
+        if isinstance(other, (set, frozenset)):
+            return self._tags == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._tags)
+
+    def __or__(self, other: "TagSet | Iterable[str]") -> "TagSet":
+        return TagSet(self._tags | frozenset(_tags_of(other)))
+
+    def __and__(self, other: "TagSet | Iterable[str]") -> "TagSet":
+        return TagSet(self._tags & frozenset(_tags_of(other)))
+
+    def __sub__(self, other: "TagSet | Iterable[str]") -> "TagSet":
+        return TagSet(self._tags - frozenset(_tags_of(other)))
+
+    def union(self, other: "TagSet | Iterable[str]") -> "TagSet":
+        """Alias of ``|`` for call-style code."""
+        return self | other
+
+    def isdisjoint(self, other: "TagSet | Iterable[str]") -> bool:
+        """True if the two tag sets share no tag."""
+        return self._tags.isdisjoint(frozenset(_tags_of(other)))
+
+    def issubset(self, other: "TagSet | Iterable[str]") -> bool:
+        """True if every tag here is also in ``other``."""
+        return self._tags.issubset(frozenset(_tags_of(other)))
+
+    def as_frozenset(self) -> FrozenSet[str]:
+        """The underlying frozenset, for interop with plain-set code."""
+        return self._tags
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self._tags:
+            return "TagSet()"
+        inner = ", ".join(repr(tag) for tag in sorted(self._tags))
+        return f"TagSet.of({inner})"
+
+
+def _tags_of(value: "TagSet | Iterable[str]") -> Iterable[str]:
+    if isinstance(value, TagSet):
+        return value.as_frozenset()
+    return value
+
+
+def as_tagset(value: "TagSet | Iterable[str] | str | None") -> TagSet:
+    """Coerce loose user input (str, iterable, None) to a TagSet."""
+    if value is None:
+        return _EMPTY
+    if isinstance(value, TagSet):
+        return value
+    if isinstance(value, str):
+        return TagSet((value,))
+    return TagSet(value)
+
+
+_EMPTY = TagSet()

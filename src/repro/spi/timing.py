@@ -1,0 +1,199 @@
+"""Timing constraints and their constructive compliance check.
+
+The SPI model "defines timing constraints as well as a constructive
+method to check their compliance" (paper §2).  This module provides the
+three constraint forms the examples need and a conservative structural
+checker based on interval latency propagation:
+
+* :class:`LatencyConstraint` — the end-to-end latency from one process
+  to another along channel paths must not exceed a bound;
+* :class:`DeadlineConstraint` — a single process's execution latency
+  must not exceed a bound;
+* :class:`RateConstraint` — a (periodic) process must be able to keep
+  up with its input period, i.e. worst-case latency <= period.
+
+The checker is *constructive* in the paper's sense: it derives
+worst-case bounds bottom-up from the mode tables (no simulation), and
+is conservative — a PASS is a guarantee under the model's assumptions,
+a FAIL pinpoints the worst-case witness path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError, TimingViolation
+from .graph import ModelGraph
+from .intervals import Interval
+
+
+@dataclass(frozen=True)
+class LatencyConstraint:
+    """Bound on worst-case path latency from ``source`` to ``target``."""
+
+    source: str
+    target: str
+    bound: float
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise ModelError("latency bound must be non-negative")
+
+
+@dataclass(frozen=True)
+class DeadlineConstraint:
+    """Bound on a single process's worst-case execution latency."""
+
+    process: str
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if self.deadline < 0:
+            raise ModelError("deadline must be non-negative")
+
+
+@dataclass(frozen=True)
+class RateConstraint:
+    """A periodic process must finish within its period."""
+
+    process: str
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ModelError("period must be positive")
+
+
+@dataclass
+class CheckResult:
+    """Outcome of checking one constraint."""
+
+    constraint: object
+    satisfied: bool
+    worst_case: float
+    witness: Tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+
+@dataclass
+class TimingReport:
+    """Aggregated verdicts for a constraint set."""
+
+    results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        """True if every constraint passed."""
+        return all(result.satisfied for result in self.results)
+
+    def violations(self) -> List[CheckResult]:
+        """The failing results only."""
+        return [result for result in self.results if not result.satisfied]
+
+    def raise_on_violation(self) -> "TimingReport":
+        """Raise :class:`TimingViolation` if any constraint failed."""
+        failing = self.violations()
+        if failing:
+            parts = []
+            for result in failing:
+                parts.append(
+                    f"{result.constraint} worst-case {result.worst_case}"
+                )
+            raise TimingViolation("; ".join(parts))
+        return self
+
+
+def process_latency_bounds(graph: ModelGraph, process: str) -> Interval:
+    """Latency interval of a process = hull over its modes."""
+    return graph.process(process).latency_bounds()
+
+
+def worst_case_path_latency(
+    graph: ModelGraph, source: str, target: str
+) -> Tuple[float, Tuple[str, ...]]:
+    """Worst-case accumulated latency along any process path.
+
+    Uses longest-path search over the process graph (channels add no
+    latency in SPI; they only transfer data).  Cycles are handled by
+    forbidding node revisits — SPI feedback loops (like Figure 4's
+    ``CCTRL``) carry state between *iterations* and do not extend the
+    latency of a single stimulus-to-response path.
+
+    Returns the latency and the witness path.  Raises
+    :class:`ModelError` if target is unreachable from source.
+    """
+    graph.process(source)
+    graph.process(target)
+
+    best: Dict[str, float] = {}
+    best_path: Dict[str, Tuple[str, ...]] = {}
+
+    def visit(node: str, acc: float, path: Tuple[str, ...]) -> None:
+        latency = graph.process(node).latency_bounds().hi
+        total = acc + latency
+        full_path = path + (node,)
+        if node == target:
+            if total > best.get(target, float("-inf")):
+                best[target] = total
+                best_path[target] = full_path
+            return
+        for successor in graph.successors(node):
+            if successor in full_path:
+                continue
+            visit(successor, total, full_path)
+
+    visit(source, 0.0, ())
+    if target not in best:
+        raise ModelError(
+            f"no channel path from process {source!r} to {target!r}"
+        )
+    return best[target], best_path[target]
+
+
+def check(
+    graph: ModelGraph, constraints: Sequence[object]
+) -> TimingReport:
+    """Check all constraints; never raises for violations (see report)."""
+    report = TimingReport()
+    for constraint in constraints:
+        if isinstance(constraint, LatencyConstraint):
+            worst, witness = worst_case_path_latency(
+                graph, constraint.source, constraint.target
+            )
+            report.results.append(
+                CheckResult(
+                    constraint=constraint,
+                    satisfied=worst <= constraint.bound,
+                    worst_case=worst,
+                    witness=witness,
+                )
+            )
+        elif isinstance(constraint, DeadlineConstraint):
+            worst = process_latency_bounds(graph, constraint.process).hi
+            report.results.append(
+                CheckResult(
+                    constraint=constraint,
+                    satisfied=worst <= constraint.deadline,
+                    worst_case=worst,
+                    witness=(constraint.process,),
+                )
+            )
+        elif isinstance(constraint, RateConstraint):
+            process = graph.process(constraint.process)
+            worst = process.latency_bounds().hi
+            report.results.append(
+                CheckResult(
+                    constraint=constraint,
+                    satisfied=worst <= constraint.period,
+                    witness=(constraint.process,),
+                    worst_case=worst,
+                )
+            )
+        else:
+            raise ModelError(
+                f"unknown timing constraint type: {type(constraint).__name__}"
+            )
+    return report

@@ -1,0 +1,75 @@
+"""Tokens — the unit of communicated data in SPI.
+
+Because SPI abstracts data *content* to data *amount*, a token carries
+no payload; it carries only a :class:`~repro.spi.tags.TagSet` of virtual
+mode tags (paper §2) plus bookkeeping fields that the simulator uses for
+traces (the producing process and the production time).  The bookkeeping
+fields do not take part in equality: two tokens with the same tag set
+are interchangeable as far as the model semantics are concerned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .tags import TagSet, as_tagset
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single communicated data token.
+
+    Parameters
+    ----------
+    tags:
+        The virtual mode tags attached by the producing process.
+    producer:
+        Name of the producing process (trace bookkeeping; excluded from
+        equality so semantics depend only on tags).
+    produced_at:
+        Model time at which the token appeared on its channel.
+    """
+
+    tags: TagSet = field(default_factory=TagSet.empty)
+    producer: Optional[str] = field(default=None, compare=False)
+    produced_at: Optional[float] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tags, TagSet):
+            object.__setattr__(self, "tags", as_tagset(self.tags))
+
+    def has_tag(self, tag: str) -> bool:
+        """True if ``tag`` is in this token's tag set."""
+        return tag in self.tags
+
+    def with_tags(self, extra: "TagSet | Iterable[str] | str") -> "Token":
+        """A copy of this token with additional tags attached.
+
+        Used by Figure 4's valve process ``PIn``, which adds a marker tag
+        to the first image passed after resuming.
+        """
+        return Token(
+            tags=self.tags | as_tagset(extra),
+            producer=self.producer,
+            produced_at=self.produced_at,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.tags:
+            return f"Token({set(self.tags)!r})"
+        return "Token()"
+
+
+def make_tokens(
+    count: int,
+    tags: "TagSet | Iterable[str] | str | None" = None,
+    producer: Optional[str] = None,
+    produced_at: Optional[float] = None,
+) -> list:
+    """Build ``count`` identical tokens with the given tag set."""
+    tagset = as_tagset(tags)
+    return [
+        Token(tags=tagset, producer=producer, produced_at=produced_at)
+        for _ in range(count)
+    ]

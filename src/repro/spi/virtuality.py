@@ -1,0 +1,116 @@
+"""Virtual processes and channels — coherent environment modeling.
+
+SPI's *virtuality* concept (paper §2) lets the system and its
+environment be expressed in the same model: environment behavior (a
+camera emitting frames, a user flipping a switch, a display consuming
+images) is modeled by processes and channels marked ``virtual``.
+Synthesis ignores virtual elements when costing the implementation but
+honors the token traffic they generate.
+
+This module provides the canonical environment building blocks used by
+the paper's examples:
+
+* :func:`source` — a virtual producer (``PUser``, ``VIn``);
+* :func:`sink` — a virtual consumer (``VOut``);
+* :func:`one_shot_source` — a producer firing exactly once, which is the
+  constraint the paper applies to ``PUser`` in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from .graph import ModelGraph
+from .process import Process, simple_process
+
+
+def source(
+    name: str,
+    channel: str,
+    tokens_per_firing: int = 1,
+    tags: object = None,
+    period: Optional[float] = None,
+    max_firings: Optional[int] = None,
+    latency: float = 0.0,
+    release_time: float = 0.0,
+) -> Process:
+    """A virtual environment process producing onto one channel."""
+    return simple_process(
+        name,
+        latency=latency,
+        produces={channel: tokens_per_firing},
+        out_tags={channel: tags} if tags is not None else None,
+        virtual=True,
+        period=period,
+        max_firings=max_firings,
+        release_time=release_time,
+    )
+
+
+def one_shot_source(
+    name: str,
+    channel: str,
+    tokens_per_firing: int = 1,
+    tags: object = None,
+    latency: float = 0.0,
+) -> Process:
+    """A virtual producer that executes exactly once (Figure 3's PUser)."""
+    return source(
+        name,
+        channel,
+        tokens_per_firing=tokens_per_firing,
+        tags=tags,
+        max_firings=1,
+        latency=latency,
+    )
+
+
+def sink(
+    name: str,
+    channel: str,
+    tokens_per_firing: int = 1,
+    latency: float = 0.0,
+) -> Process:
+    """A virtual environment process consuming from one channel."""
+    return simple_process(
+        name,
+        latency=latency,
+        consumes={channel: tokens_per_firing},
+        virtual=True,
+    )
+
+
+def system_part(graph: ModelGraph) -> ModelGraph:
+    """The non-virtual subgraph — what synthesis actually implements.
+
+    Edges to/from virtual elements are dropped together with those
+    elements; the remaining channels keep their declarations.
+    """
+    result = ModelGraph(f"{graph.name}.system")
+    for name, process in graph.processes.items():
+        if not process.virtual:
+            result.add_process(process)
+    for name, channel in graph.channels.items():
+        if channel.virtual:
+            continue
+        writer = graph.writer_of(name)
+        reader = graph.reader_of(name)
+        writer_real = writer is not None and not graph.process(writer).virtual
+        reader_real = reader is not None and not graph.process(reader).virtual
+        if not (writer_real or reader_real):
+            continue
+        result.add_channel(channel)
+        if writer_real:
+            result.connect(writer, name)
+        if reader_real:
+            result.connect(name, reader)
+    return result
+
+
+def virtual_part(graph: ModelGraph) -> Mapping[str, Process]:
+    """The virtual processes of a graph, by name."""
+    return {
+        name: process
+        for name, process in graph.processes.items()
+        if process.virtual
+    }

@@ -1,0 +1,115 @@
+"""Synthesis substrate: libraries, cost model, DSE and the paper's flows.
+
+The decision space is hardware/software co-synthesis over the units of
+a (variant) model graph; the variant-aware flow exploits run-time
+mutual exclusion of clusters when costing shared processors — the
+mechanism behind Table 1's "With variants" row.
+"""
+
+from .architecture import ArchitectureTemplate
+from .baselines import (
+    IncrementalResult,
+    incremental_flow,
+    incremental_order_spread,
+    serialization_flow,
+)
+from .cost import (
+    Evaluation,
+    evaluate,
+    lower_bound,
+    processor_memory,
+    processor_utilization,
+)
+from .design_time import (
+    design_time_of_units,
+    independent_design_time,
+    sharing_saving,
+    variant_aware_design_time,
+)
+from .explorer import (
+    AnnealingExplorer,
+    BranchBoundExplorer,
+    ExhaustiveExplorer,
+    ExplorationResult,
+    Explorer,
+)
+from .library import (
+    ComponentEntry,
+    ComponentLibrary,
+    HardwareOption,
+    ImplKind,
+    SoftwareOption,
+)
+from .mapping import (
+    Mapping,
+    SynthesisProblem,
+    Target,
+    VariantOrigin,
+    origin_from_name,
+    origins_of_graph,
+    problem_for_graph,
+    units_of_graph,
+)
+from .methods import (
+    ApplicationResult,
+    independent_flow,
+    superposition_flow,
+    synthesize_application,
+    variant_aware_flow,
+    variant_units,
+)
+from .results import FlowOutcome, collapse_units, to_table_row
+from .schedule import (
+    Schedule,
+    ScheduledTask,
+    durations_from_graph,
+    list_schedule,
+)
+
+__all__ = [
+    "AnnealingExplorer",
+    "ApplicationResult",
+    "ArchitectureTemplate",
+    "BranchBoundExplorer",
+    "ComponentEntry",
+    "ComponentLibrary",
+    "Evaluation",
+    "ExhaustiveExplorer",
+    "ExplorationResult",
+    "Explorer",
+    "FlowOutcome",
+    "HardwareOption",
+    "ImplKind",
+    "IncrementalResult",
+    "Mapping",
+    "Schedule",
+    "ScheduledTask",
+    "SoftwareOption",
+    "SynthesisProblem",
+    "Target",
+    "VariantOrigin",
+    "collapse_units",
+    "design_time_of_units",
+    "durations_from_graph",
+    "evaluate",
+    "incremental_flow",
+    "incremental_order_spread",
+    "independent_design_time",
+    "independent_flow",
+    "list_schedule",
+    "lower_bound",
+    "origin_from_name",
+    "origins_of_graph",
+    "problem_for_graph",
+    "processor_memory",
+    "processor_utilization",
+    "serialization_flow",
+    "sharing_saving",
+    "superposition_flow",
+    "synthesize_application",
+    "to_table_row",
+    "units_of_graph",
+    "variant_aware_design_time",
+    "variant_aware_flow",
+    "variant_units",
+]

@@ -1,0 +1,236 @@
+"""Cost model and feasibility evaluation.
+
+Total implementation cost = processor cost (one unit of
+``processor_cost`` per *allocated* processor) + the sum of hardware
+costs of the HW-mapped units.  A mapping is feasible when every
+processor's utilization stays within capacity.
+
+The variant-aware twist (paper §5, Table 1 "With variants" row): units
+originating from different clusters of the same interface never run at
+the same time, so their utilization on a shared processor combines as a
+**maximum over clusters** rather than a sum.  ``use_exclusion=False``
+reproduces what superposition or serialization-based flows must assume
+(everything potentially concurrent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping as TMapping, Optional, Tuple
+
+from ..errors import SynthesisError
+from .mapping import Mapping, SynthesisProblem, Target, VariantOrigin
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Feasibility and cost of one mapping."""
+
+    feasible: bool
+    total_cost: float
+    software_cost: float
+    hardware_cost: float
+    processors_used: int
+    utilizations: Tuple[float, ...]
+    violation: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+def processor_utilization(
+    problem: SynthesisProblem,
+    mapping: Mapping,
+    processor: int,
+) -> float:
+    """Utilization of one processor under the exclusion rule.
+
+    ``common + Σ_interfaces max_cluster Σ_units`` with exclusion on,
+    plain sum with exclusion off.
+    """
+    common = 0.0
+    per_variant: Dict[Tuple[str, str], float] = {}
+    for unit in problem.units:
+        target = mapping.target_of(unit)
+        if not (target.is_software and target.processor == processor):
+            continue
+        entry = problem.entry(unit)
+        if entry.software is None:
+            raise SynthesisError(
+                f"unit {unit!r} mapped to software without a software option"
+            )
+        load = entry.software.utilization
+        origin = problem.origins.get(unit)
+        if origin is None or not problem.use_exclusion:
+            common += load
+        else:
+            key = (origin.interface, origin.cluster)
+            per_variant[key] = per_variant.get(key, 0.0) + load
+
+    by_interface: Dict[str, float] = {}
+    for (interface, _cluster), load in per_variant.items():
+        by_interface[interface] = max(
+            by_interface.get(interface, 0.0), load
+        )
+    return common + sum(by_interface.values())
+
+
+def processor_memory(
+    problem: SynthesisProblem,
+    mapping: Mapping,
+    processor: int,
+    variants_resident: bool = True,
+) -> float:
+    """Memory footprint of one processor's software partition.
+
+    Unlike execution time, memory is *not* shared by mutual exclusion
+    when variants must stay resident (run-time variants selected at
+    boot: all variants live in flash/EPROM simultaneously):
+    ``variants_resident=True`` (default) sums every unit's memory.
+    With ``variants_resident=False`` (production variants: exactly one
+    variant is ever downloaded), cluster memory combines as a maximum
+    per interface, mirroring the utilization rule.
+    """
+    common = 0.0
+    per_variant = {}
+    for unit in problem.units:
+        target = mapping.target_of(unit)
+        if not (target.is_software and target.processor == processor):
+            continue
+        entry = problem.entry(unit)
+        if entry.software is None:
+            raise SynthesisError(
+                f"unit {unit!r} mapped to software without a software option"
+            )
+        footprint = entry.software.memory
+        origin = problem.origins.get(unit)
+        if origin is None or variants_resident:
+            common += footprint
+        else:
+            key = (origin.interface, origin.cluster)
+            per_variant[key] = per_variant.get(key, 0.0) + footprint
+    by_interface: Dict[str, float] = {}
+    for (interface, _cluster), footprint in per_variant.items():
+        by_interface[interface] = max(
+            by_interface.get(interface, 0.0), footprint
+        )
+    return common + sum(by_interface.values())
+
+
+def evaluate(problem: SynthesisProblem, mapping: Mapping) -> Evaluation:
+    """Cost and feasibility of one complete mapping."""
+    missing = [u for u in problem.units if u not in mapping.assignment]
+    if missing:
+        raise SynthesisError(f"mapping does not cover units {missing}")
+
+    arch = problem.architecture
+    hardware_cost = 0.0
+    for unit in mapping.hardware_units():
+        if unit not in problem.units:
+            continue
+        entry = problem.entry(unit)
+        if entry.hardware is None:
+            return _infeasible(
+                mapping, f"unit {unit!r} has no hardware option"
+            )
+        hardware_cost += entry.hardware.cost
+
+    processors = [
+        p
+        for p in mapping.processors_used()
+        if any(
+            mapping.target_of(u).is_software
+            and mapping.target_of(u).processor == p
+            for u in problem.units
+        )
+    ]
+    if len(processors) > arch.max_processors:
+        return _infeasible(
+            mapping,
+            f"{len(processors)} processors used, template allows "
+            f"{arch.max_processors}",
+        )
+
+    utilizations: List[float] = []
+    for processor in processors:
+        load = processor_utilization(problem, mapping, processor)
+        utilizations.append(load)
+        if load > arch.processor_capacity + 1e-9:
+            return _infeasible(
+                mapping,
+                f"processor {processor} utilization {load:.3f} exceeds "
+                f"capacity {arch.processor_capacity:.3f}",
+                partial_hw=hardware_cost,
+                utilizations=tuple(utilizations),
+            )
+        if arch.memory_capacity > 0:
+            footprint = processor_memory(problem, mapping, processor)
+            if footprint > arch.memory_capacity + 1e-9:
+                return _infeasible(
+                    mapping,
+                    f"processor {processor} memory {footprint:.3f} exceeds "
+                    f"capacity {arch.memory_capacity:.3f}",
+                    partial_hw=hardware_cost,
+                    utilizations=tuple(utilizations),
+                )
+
+    software_cost = len(processors) * arch.processor_cost
+    return Evaluation(
+        feasible=True,
+        total_cost=software_cost + hardware_cost,
+        software_cost=software_cost,
+        hardware_cost=hardware_cost,
+        processors_used=len(processors),
+        utilizations=tuple(utilizations),
+    )
+
+
+def _infeasible(
+    mapping: Mapping,
+    reason: str,
+    partial_hw: float = 0.0,
+    utilizations: Tuple[float, ...] = (),
+) -> Evaluation:
+    return Evaluation(
+        feasible=False,
+        total_cost=float("inf"),
+        software_cost=0.0,
+        hardware_cost=partial_hw,
+        processors_used=len(mapping.processors_used()),
+        utilizations=utilizations,
+        violation=reason,
+    )
+
+
+def lower_bound(
+    problem: SynthesisProblem, partial: TMapping[str, Target]
+) -> float:
+    """Admissible lower bound on total cost of any completion.
+
+    Counts hardware already committed, the cheapest possible hardware
+    for remaining hardware-only units, and one processor if any unit is
+    already (or must be) software.  Never overestimates, so
+    branch-and-bound with this bound returns the true optimum.
+    """
+    arch = problem.architecture
+    hw = 0.0
+    needs_processor = False
+    for unit in problem.units:
+        entry = problem.entry(unit)
+        target = partial.get(unit)
+        if target is None:
+            if entry.software is None and entry.hardware is not None:
+                hw += entry.hardware.cost
+            elif entry.hardware is None:
+                needs_processor = True
+            continue
+        if target.is_hardware:
+            if entry.hardware is None:
+                return float("inf")
+            hw += entry.hardware.cost
+        else:
+            if entry.software is None:
+                return float("inf")
+            needs_processor = True
+    processor_floor = arch.processor_cost if needs_processor else 0.0
+    return hw + processor_floor

@@ -1,0 +1,281 @@
+"""Design-space exploration.
+
+Three interchangeable optimizers over :class:`SynthesisProblem`:
+
+* :class:`ExhaustiveExplorer` — enumerates every mapping (with
+  processor-symmetry breaking); ground truth for the others.
+* :class:`BranchBoundExplorer` — depth-first search pruned by the
+  admissible bound of :func:`repro.synth.cost.lower_bound`; provably
+  optimal, far fewer nodes.
+* :class:`AnnealingExplorer` — simulated annealing for spaces where
+  enumeration is hopeless; returns the best feasible mapping found.
+
+The synthesis *flows* (paper reproduction) are optimizer-agnostic —
+bench X3 demonstrates all three find the same optimum on the Table 1
+space.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SynthesisError
+from .cost import Evaluation, evaluate, lower_bound
+from .mapping import Mapping, SynthesisProblem, Target
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exploration run."""
+
+    problem: SynthesisProblem
+    mapping: Optional[Mapping]
+    evaluation: Optional[Evaluation]
+    nodes_explored: int
+    optimal: bool
+
+    @property
+    def feasible(self) -> bool:
+        """True if a feasible mapping was found."""
+        return self.evaluation is not None and self.evaluation.feasible
+
+    @property
+    def cost(self) -> float:
+        """Total cost of the best mapping (inf if none)."""
+        if not self.feasible:
+            return float("inf")
+        return self.evaluation.total_cost
+
+    def require_feasible(self) -> "ExplorationResult":
+        """Raise :class:`SynthesisError` when nothing feasible was found."""
+        if not self.feasible:
+            raise SynthesisError(
+                f"no feasible implementation for problem "
+                f"{self.problem.name!r}"
+            )
+        return self
+
+
+class Explorer:
+    """Common interface of the optimizers."""
+
+    def explore(self, problem: SynthesisProblem) -> ExplorationResult:
+        """Search the mapping space of ``problem``."""
+        raise NotImplementedError
+
+
+def _candidate_targets(
+    problem: SynthesisProblem,
+    unit: str,
+    partial: Dict[str, Target],
+) -> Tuple[Target, ...]:
+    """Admissible targets with processor-symmetry breaking.
+
+    Identical processors make ``sw:0 / sw:1`` swaps equivalent; only
+    the first unused processor index is offered in addition to the
+    already-populated ones.
+    """
+    used = sorted(
+        {
+            target.processor
+            for target in partial.values()
+            if target.is_software
+        }
+    )
+    cap = problem.architecture.max_processors
+    allowed_cpus = [cpu for cpu in used if cpu < cap]
+    fresh = (max(used) + 1) if used else 0
+    if fresh < cap and fresh not in allowed_cpus:
+        allowed_cpus.append(fresh)
+    entry = problem.entry(unit)
+    result: List[Target] = []
+    if entry.software is not None:
+        result.extend(Target.sw(cpu) for cpu in allowed_cpus)
+    if entry.hardware is not None:
+        result.append(Target.hw())
+    if not result:
+        raise SynthesisError(f"unit {unit!r} has no admissible target")
+    return tuple(result)
+
+
+class ExhaustiveExplorer(Explorer):
+    """Complete enumeration; optimal by construction."""
+
+    def explore(self, problem: SynthesisProblem) -> ExplorationResult:
+        free = problem.free_units
+        best: Optional[Mapping] = None
+        best_eval: Optional[Evaluation] = None
+        nodes = 0
+
+        def recurse(index: int, partial: Dict[str, Target]) -> None:
+            nonlocal best, best_eval, nodes
+            nodes += 1
+            if index == len(free):
+                mapping = Mapping(dict(partial))
+                result = evaluate(problem, mapping)
+                if result.feasible and (
+                    best_eval is None
+                    or result.total_cost < best_eval.total_cost
+                ):
+                    best, best_eval = mapping, result
+                return
+            unit = free[index]
+            for target in _candidate_targets(problem, unit, partial):
+                partial[unit] = target
+                recurse(index + 1, partial)
+                del partial[unit]
+
+        recurse(0, dict(problem.fixed))
+        return ExplorationResult(
+            problem=problem,
+            mapping=best,
+            evaluation=best_eval,
+            nodes_explored=nodes,
+            optimal=True,
+        )
+
+
+class BranchBoundExplorer(Explorer):
+    """Depth-first search with admissible lower-bound pruning."""
+
+    def explore(self, problem: SynthesisProblem) -> ExplorationResult:
+        # Deciding expensive units first tightens the bound early.
+        free = sorted(
+            problem.free_units,
+            key=lambda u: -(
+                problem.entry(u).hardware.cost
+                if problem.entry(u).hardware
+                else 0.0
+            ),
+        )
+        best: Optional[Mapping] = None
+        best_eval: Optional[Evaluation] = None
+        nodes = 0
+
+        def recurse(index: int, partial: Dict[str, Target]) -> None:
+            nonlocal best, best_eval, nodes
+            nodes += 1
+            if (
+                best_eval is not None
+                and lower_bound(problem, partial) >= best_eval.total_cost
+            ):
+                return
+            if index == len(free):
+                mapping = Mapping(dict(partial))
+                result = evaluate(problem, mapping)
+                if result.feasible and (
+                    best_eval is None
+                    or result.total_cost < best_eval.total_cost
+                ):
+                    best, best_eval = mapping, result
+                return
+            unit = free[index]
+            for target in _candidate_targets(problem, unit, partial):
+                partial[unit] = target
+                recurse(index + 1, partial)
+                del partial[unit]
+
+        recurse(0, dict(problem.fixed))
+        return ExplorationResult(
+            problem=problem,
+            mapping=best,
+            evaluation=best_eval,
+            nodes_explored=nodes,
+            optimal=True,
+        )
+
+
+class AnnealingExplorer(Explorer):
+    """Simulated annealing with an infeasibility penalty.
+
+    Deterministic for a given ``seed``.  ``optimal`` is reported False:
+    the result is a (usually excellent) heuristic solution.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        iterations: int = 5000,
+        initial_temperature: float = 10.0,
+        cooling: float = 0.995,
+        penalty: float = 1000.0,
+    ) -> None:
+        if iterations < 1:
+            raise SynthesisError("iterations must be >= 1")
+        if not 0 < cooling < 1:
+            raise SynthesisError("cooling must be in (0, 1)")
+        self.seed = seed
+        self.iterations = iterations
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.penalty = penalty
+
+    def _energy(
+        self, problem: SynthesisProblem, mapping: Mapping
+    ) -> Tuple[float, Evaluation]:
+        result = evaluate(problem, mapping)
+        if result.feasible:
+            return result.total_cost, result
+        overload = 0.0
+        capacity = problem.architecture.processor_capacity
+        for load in result.utilizations:
+            overload += max(0.0, load - capacity)
+        return self.penalty * (1.0 + overload) + result.hardware_cost, result
+
+    def explore(self, problem: SynthesisProblem) -> ExplorationResult:
+        rng = random.Random(self.seed)
+        free = list(problem.free_units)
+        current: Dict[str, Target] = dict(problem.fixed)
+        for unit in free:
+            current[unit] = rng.choice(
+                _candidate_targets(problem, unit, current)
+            )
+        current_mapping = Mapping(dict(current))
+        current_energy, current_eval = self._energy(problem, current_mapping)
+        best_mapping, best_eval = (
+            (current_mapping, current_eval)
+            if current_eval.feasible
+            else (None, None)
+        )
+        best_energy = current_energy if current_eval.feasible else float("inf")
+        temperature = self.initial_temperature
+        nodes = 1
+
+        for _ in range(self.iterations):
+            if not free:
+                break
+            unit = rng.choice(free)
+            old = current[unit]
+            options = [
+                t
+                for t in _candidate_targets(problem, unit, current)
+                if t != old
+            ]
+            if not options:
+                continue
+            current[unit] = rng.choice(options)
+            candidate = Mapping(dict(current))
+            energy, evaluation = self._energy(problem, candidate)
+            nodes += 1
+            accept = energy <= current_energy or rng.random() < math.exp(
+                (current_energy - energy) / max(temperature, 1e-9)
+            )
+            if accept:
+                current_energy = energy
+                if evaluation.feasible and energy < best_energy:
+                    best_mapping, best_eval = candidate, evaluation
+                    best_energy = energy
+            else:
+                current[unit] = old
+            temperature *= self.cooling
+
+        return ExplorationResult(
+            problem=problem,
+            mapping=best_mapping,
+            evaluation=best_eval,
+            nodes_explored=nodes,
+            optimal=False,
+        )

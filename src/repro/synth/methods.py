@@ -1,0 +1,230 @@
+"""The three synthesis flows compared in Table 1.
+
+* :func:`independent_flow` — synthesize each application (each fully
+  bound variant combination) on its own; one architecture per
+  application (Table 1 rows "Application 1" / "Application 2").
+* :func:`superposition_flow` — merge the independent implementations
+  into one architecture: software is reused, distinct hardware adds up
+  (row "Superposition"); "optimization is limited to single
+  applications without considering the final superposition step".
+* :func:`variant_aware_flow` — the paper's approach: one joint
+  optimization over the variant representation, exploiting run-time
+  mutual exclusion of clusters (row "With variants").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SynthesisError
+from ..spi.graph import ModelGraph
+from ..variants.vgraph import VariantGraph
+from .architecture import ArchitectureTemplate
+from .design_time import design_time_of_units
+from .explorer import BranchBoundExplorer, ExplorationResult, Explorer
+from .library import ComponentLibrary
+from .mapping import (
+    SynthesisProblem,
+    VariantOrigin,
+    problem_for_graph,
+    units_of_graph,
+)
+from .results import FlowOutcome
+
+
+@dataclass
+class ApplicationResult:
+    """Per-application outcome of the independent flow."""
+
+    name: str
+    exploration: ExplorationResult
+    outcome: FlowOutcome
+
+
+def _default_explorer(explorer: Optional[Explorer]) -> Explorer:
+    return explorer if explorer is not None else BranchBoundExplorer()
+
+
+def _outcome_from_exploration(
+    flow: str,
+    exploration: ExplorationResult,
+    design_time: float,
+    notes: str = "",
+) -> FlowOutcome:
+    exploration.require_feasible()
+    mapping = exploration.mapping
+    evaluation = exploration.evaluation
+    return FlowOutcome(
+        flow=flow,
+        software_parts=mapping.software_units(),
+        hardware_parts=mapping.hardware_units(),
+        software_cost=evaluation.software_cost,
+        hardware_cost=evaluation.hardware_cost,
+        total_cost=evaluation.total_cost,
+        design_time=design_time,
+        notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Independent synthesis
+# ----------------------------------------------------------------------
+def synthesize_application(
+    name: str,
+    graph: ModelGraph,
+    library: ComponentLibrary,
+    architecture: ArchitectureTemplate,
+    explorer: Optional[Explorer] = None,
+) -> ApplicationResult:
+    """Optimal implementation of one fully bound application."""
+    problem = problem_for_graph(name, graph, library, architecture)
+    exploration = _default_explorer(explorer).explore(problem)
+    design_time = design_time_of_units(library, problem.units)
+    outcome = _outcome_from_exploration(
+        flow=name, exploration=exploration, design_time=design_time
+    )
+    return ApplicationResult(
+        name=name, exploration=exploration, outcome=outcome
+    )
+
+
+def independent_flow(
+    apps: Mapping[str, ModelGraph],
+    library: ComponentLibrary,
+    architecture: ArchitectureTemplate,
+    explorer: Optional[Explorer] = None,
+) -> Dict[str, ApplicationResult]:
+    """Synthesize every application separately."""
+    if not apps:
+        raise SynthesisError("independent flow needs at least one application")
+    return {
+        name: synthesize_application(
+            name, graph, library, architecture, explorer
+        )
+        for name, graph in apps.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Superposition
+# ----------------------------------------------------------------------
+def superposition_flow(
+    independent: Mapping[str, ApplicationResult],
+    library: ComponentLibrary,
+    architecture: ArchitectureTemplate,
+) -> FlowOutcome:
+    """Merge independent implementations into one architecture.
+
+    Software parts shared between applications are reused directly (the
+    processor is paid once); hardware parts are distinct per variant and
+    add up — the structural reason superposition costs more than the
+    variant-aware result.
+    """
+    if not independent:
+        raise SynthesisError("superposition needs independent results")
+    software: Dict[str, None] = {}
+    hardware: Dict[str, None] = {}
+    processors = 0
+    design_time = 0.0
+    for result in independent.values():
+        result.exploration.require_feasible()
+        mapping = result.exploration.mapping
+        for unit in mapping.software_units():
+            software[unit] = None
+        for unit in mapping.hardware_units():
+            hardware[unit] = None
+        processors = max(
+            processors, result.exploration.evaluation.processors_used
+        )
+        design_time += result.outcome.design_time
+
+    hardware_cost = sum(
+        library.entry(unit).hardware.cost for unit in hardware
+    )
+    software_cost = processors * architecture.processor_cost
+    return FlowOutcome(
+        flow="superposition",
+        software_parts=tuple(sorted(software)),
+        hardware_parts=tuple(sorted(hardware)),
+        software_cost=software_cost,
+        hardware_cost=hardware_cost,
+        total_cost=software_cost + hardware_cost,
+        design_time=design_time,
+        notes="union of independently optimized implementations",
+    )
+
+
+# ----------------------------------------------------------------------
+# Variant-aware joint synthesis (the paper's approach)
+# ----------------------------------------------------------------------
+def variant_units(
+    vgraph: VariantGraph,
+) -> Tuple[Tuple[str, ...], Dict[str, VariantOrigin]]:
+    """All synthesis units of a variant graph, with their origins.
+
+    Common-part units keep their names; every cluster of every
+    interface contributes its processes under
+    ``<interface>.<cluster>.<process>`` namespacing — each considered
+    exactly once, which is where the design-time saving comes from.
+    Nested interfaces recurse with path-extended names.
+    """
+    units: List[str] = list(units_of_graph(vgraph.base))
+    origins: Dict[str, VariantOrigin] = {}
+
+    def add_cluster(prefix: str, interface_name: str, cluster) -> None:
+        for process_name, process in sorted(cluster.graph.processes.items()):
+            if process.virtual:
+                continue
+            unit = f"{prefix}{cluster.name}.{process_name}"
+            units.append(unit)
+            origins[unit] = VariantOrigin(
+                interface=interface_name, cluster=cluster.name
+            )
+        for nested_name, nested in sorted(cluster.interfaces.items()):
+            for nested_cluster_name in nested.cluster_names():
+                add_cluster(
+                    f"{prefix}{cluster.name}.{nested_name}.",
+                    nested_name,
+                    nested.cluster(nested_cluster_name),
+                )
+
+    for iface_name in sorted(vgraph.interfaces):
+        interface = vgraph.interface(iface_name)
+        for cluster_name in interface.cluster_names():
+            add_cluster(
+                f"{iface_name}.", iface_name, interface.cluster(cluster_name)
+            )
+    return tuple(units), origins
+
+
+def variant_aware_flow(
+    vgraph: VariantGraph,
+    library: ComponentLibrary,
+    architecture: ArchitectureTemplate,
+    explorer: Optional[Explorer] = None,
+    use_exclusion: bool = True,
+) -> FlowOutcome:
+    """Joint synthesis over the whole variant representation.
+
+    With ``use_exclusion=False`` the flow degenerates to treating all
+    variants as concurrent (the X1 ablation) — structurally the
+    assumption serialization-based approaches are stuck with.
+    """
+    units, origins = variant_units(vgraph)
+    problem = SynthesisProblem(
+        name=f"{vgraph.name}.variant_aware",
+        units=units,
+        library=library,
+        architecture=architecture,
+        origins=origins,
+        use_exclusion=use_exclusion,
+    )
+    exploration = _default_explorer(explorer).explore(problem)
+    design_time = design_time_of_units(library, units)
+    return _outcome_from_exploration(
+        flow="with_variants" if use_exclusion else "with_variants_no_exclusion",
+        exploration=exploration,
+        design_time=design_time,
+        notes="joint optimization over the variant representation",
+    )

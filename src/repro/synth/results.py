@@ -1,0 +1,86 @@
+"""Result records and Table-1-style row formatting.
+
+A :class:`FlowOutcome` is the uniform record all synthesis flows
+produce; :func:`to_table_row` renders it in the shape of the paper's
+Table 1 (software parts, processor cost, hardware parts, ASIC cost,
+total, design time), collapsing namespaced cluster units to cluster
+labels the way the paper writes "γ1" for the whole cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FlowOutcome:
+    """Outcome of one synthesis flow on one (set of) application(s)."""
+
+    flow: str
+    software_parts: Tuple[str, ...]
+    hardware_parts: Tuple[str, ...]
+    software_cost: float
+    hardware_cost: float
+    total_cost: float
+    design_time: float
+    feasible: bool = True
+    notes: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for reports."""
+        return {
+            "flow": self.flow,
+            "software_parts": list(self.software_parts),
+            "hardware_parts": list(self.hardware_parts),
+            "software_cost": self.software_cost,
+            "hardware_cost": self.hardware_cost,
+            "total_cost": self.total_cost,
+            "design_time": self.design_time,
+            "feasible": self.feasible,
+        }
+
+
+def collapse_units(
+    units: Sequence[str],
+    labels: Optional[Mapping[str, str]] = None,
+) -> Tuple[str, ...]:
+    """Group cluster units under their cluster name for display.
+
+    Units named ``<iface>.<cluster>.<process>`` are summarized as
+    ``<iface>.<cluster>`` (then relabeled via ``labels`` if given); a
+    cluster split across software and hardware therefore shows up on
+    both sides of a table row.  Unclustered units pass through (with
+    labeling).
+    """
+    labels = dict(labels or {})
+    clusters: Dict[str, List[str]] = {}
+    plain: List[str] = []
+    for unit in units:
+        parts = unit.split(".")
+        if len(parts) >= 3:
+            clusters.setdefault(".".join(parts[:2]), []).append(unit)
+        else:
+            plain.append(unit)
+    collapsed: List[str] = []
+    for cluster in sorted(clusters):
+        collapsed.append(labels.get(cluster, cluster))
+    for unit in sorted(plain):
+        collapsed.append(labels.get(unit, unit))
+    return tuple(sorted(collapsed))
+
+
+def to_table_row(
+    outcome: FlowOutcome,
+    labels: Optional[Mapping[str, str]] = None,
+) -> Dict[str, object]:
+    """One Table-1 row: parts collapsed, costs and design time plain."""
+    return {
+        "flow": outcome.flow,
+        "software": ", ".join(collapse_units(outcome.software_parts, labels)),
+        "sw_cost": round(outcome.software_cost, 6),
+        "hardware": ", ".join(collapse_units(outcome.hardware_parts, labels)),
+        "hw_cost": round(outcome.hardware_cost, 6),
+        "total": round(outcome.total_cost, 6),
+        "design_time": round(outcome.design_time, 6),
+    }

@@ -1,0 +1,55 @@
+"""Function variant representation — the paper's contribution.
+
+Clusters (Def. 1) package exchangeable subgraphs behind ports;
+interfaces (Def. 2) group the clusters of one variant set; cluster
+selection functions (Def. 3) model run-time and dynamic selection;
+configurations (Def. 4) carry the variant structure onto abstracted
+processes.  :class:`VariantGraph` holds a whole system with its variant
+sets; extraction and binding map between the variant representation and
+plain SPI graphs.
+"""
+
+from .cluster import Cluster
+from .configuration import Configuration, ConfigurationSet, ConfiguredProcess
+from .expansion import ExpandedInterface, attach_expanded_interface
+from .extraction import (
+    DynamicExtraction,
+    ExtractionOptions,
+    extract_cluster_modes,
+    extract_dynamic_interface,
+    extract_interface,
+)
+from .flatten import abstract_interfaces, bind_variants, derive_applications
+from .interface import Interface
+from .ports import Port, PortDirection, PortSignature
+from .selection import ClusterSelectionFunction, SelectionRule
+from .types import VariantKind
+from .variant_space import SelectionGroup, VariantSpace
+from .vgraph import VariantGraph
+
+__all__ = [
+    "Cluster",
+    "ClusterSelectionFunction",
+    "Configuration",
+    "ConfigurationSet",
+    "ConfiguredProcess",
+    "DynamicExtraction",
+    "ExpandedInterface",
+    "ExtractionOptions",
+    "Interface",
+    "Port",
+    "PortDirection",
+    "PortSignature",
+    "SelectionGroup",
+    "SelectionRule",
+    "VariantGraph",
+    "VariantKind",
+    "VariantSpace",
+    "abstract_interfaces",
+    "attach_expanded_interface",
+    "bind_variants",
+    "derive_applications",
+    "extract_cluster_modes",
+    "extract_dynamic_interface",
+    "extract_interface",
+]

@@ -1,0 +1,175 @@
+"""Clusters — Definition 1 of the paper.
+
+A cluster is a tuple ``(I, O, P, C, E, F)``: input ports, output ports,
+embedded processes, embedded channels, embedded edges, and embedded
+interfaces (allowing variant sets to nest).  "Clustering does not add
+functionality to the model and is only a structuring concept"; the one
+restriction is that a cluster, like a process, can only be connected to
+channels, and that the out-degree of input ports and the in-degree of
+output ports is at most one.
+
+Representation choice: the embedded elements are held in an ordinary
+:class:`~repro.spi.graph.ModelGraph`, and the ports are *boundary
+channels* of that graph — channels named like the port, with no
+internal writer (input ports) or no internal reader (output ports).
+When the cluster is instantiated (static binding or simulation), each
+boundary channel is merged with the external channel bound to that
+port, which implements "connected to channels only" directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import VariantError
+from ..spi.graph import ModelGraph
+from ..spi.intervals import Interval
+from .ports import PortSignature
+
+
+@dataclass(frozen=True, eq=False)
+class Cluster:
+    """One function variant: a subgraph exchangeable at an interface.
+
+    Parameters
+    ----------
+    name:
+        Cluster name, unique within its interface.
+    inputs / outputs:
+        Port names.  Each must exist in ``graph`` as a boundary channel
+        (see module docstring).
+    graph:
+        The embedded processes, channels and edges.
+    interfaces:
+        Embedded interfaces (the ``F`` component of Def. 1) for nested
+        variant sets, mapped to their port→channel bindings inside this
+        cluster.  Stored loosely to avoid import cycles; the
+        :class:`~repro.variants.vgraph.VariantGraph` machinery resolves
+        them during binding.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    graph: ModelGraph
+    interfaces: Mapping[str, object] = field(default_factory=dict)
+    interface_bindings: Mapping[str, Mapping[str, str]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise VariantError("cluster name must be non-empty")
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "outputs", tuple(self.outputs))
+        object.__setattr__(
+            self, "interfaces", MappingProxyType(dict(self.interfaces))
+        )
+        object.__setattr__(
+            self,
+            "interface_bindings",
+            MappingProxyType(
+                {k: dict(v) for k, v in dict(self.interface_bindings).items()}
+            ),
+        )
+        # Signature sanity (uniqueness across inputs/outputs).
+        PortSignature(self.inputs, self.outputs)
+        self._check_ports()
+        missing = set(self.interface_bindings) - set(self.interfaces)
+        if missing:
+            raise VariantError(
+                f"cluster {self.name!r}: bindings for unknown embedded "
+                f"interfaces {sorted(missing)}"
+            )
+
+    def _check_ports(self) -> None:
+        for port in self.inputs:
+            if not self.graph.has_channel(port):
+                raise VariantError(
+                    f"cluster {self.name!r}: input port {port!r} has no "
+                    f"boundary channel in the embedded graph"
+                )
+            if self.graph.writer_of(port) is not None:
+                raise VariantError(
+                    f"cluster {self.name!r}: input port {port!r} must not "
+                    f"have an internal writer"
+                )
+        for port in self.outputs:
+            if not self.graph.has_channel(port):
+                raise VariantError(
+                    f"cluster {self.name!r}: output port {port!r} has no "
+                    f"boundary channel in the embedded graph"
+                )
+            if self.graph.reader_of(port) is not None:
+                raise VariantError(
+                    f"cluster {self.name!r}: output port {port!r} must not "
+                    f"have an internal reader"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def signature(self) -> PortSignature:
+        """The cluster's exchangeability contract."""
+        return PortSignature(self.inputs, self.outputs)
+
+    @property
+    def ports(self) -> Tuple[str, ...]:
+        """All port names, inputs first."""
+        return self.inputs + self.outputs
+
+    def entry_process(self, port: str) -> Optional[str]:
+        """The process reading from input port ``port`` (or None)."""
+        if port not in self.inputs:
+            raise VariantError(
+                f"cluster {self.name!r} has no input port {port!r}"
+            )
+        return self.graph.reader_of(port)
+
+    def exit_process(self, port: str) -> Optional[str]:
+        """The process writing to output port ``port`` (or None)."""
+        if port not in self.outputs:
+            raise VariantError(
+                f"cluster {self.name!r} has no output port {port!r}"
+            )
+        return self.graph.writer_of(port)
+
+    def internal_channels(self) -> Tuple[str, ...]:
+        """Embedded channels that are not boundary (port) channels."""
+        ports = set(self.ports)
+        return tuple(
+            sorted(c for c in self.graph.channels if c not in ports)
+        )
+
+    def process_names(self) -> Tuple[str, ...]:
+        """Embedded process names, sorted."""
+        return tuple(sorted(self.graph.processes))
+
+    def latency_bounds(self) -> Interval:
+        """Hull of the latency intervals of all embedded processes.
+
+        A crude cluster-level bound used for quick feasibility screens;
+        parameter extraction computes tighter per-mode values.
+        """
+        processes = list(self.graph.processes.values())
+        if not processes:
+            return Interval.zero()
+        result = processes[0].latency_bounds()
+        for process in processes[1:]:
+            result = result.hull(process.latency_bounds())
+        return result
+
+    def stats(self) -> Dict[str, int]:
+        """Element counts (used by the Figure 2 accounting bench)."""
+        counts = self.graph.stats()
+        counts["ports"] = len(self.ports)
+        counts["embedded_interfaces"] = len(self.interfaces)
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cluster({self.name!r}, in={list(self.inputs)}, "
+            f"out={list(self.outputs)}, "
+            f"processes={list(self.process_names())})"
+        )

@@ -1,0 +1,188 @@
+"""Configurations — Definition 4 of the paper.
+
+When an interface with dynamically exchangeable clusters is abstracted
+to a single SPI process, each cluster maps to a **configuration**: a set
+of process modes extracted from that cluster.  Associated with each
+configuration is a (re)configuration latency ``t_conf``; the process
+carries a ``conf_cur`` parameter denoting its current configuration.
+
+The runtime rule (paper §4): when a newly activated mode does *not*
+belong to the current configuration, a reconfiguration step is inserted
+before the execution — the old configuration is destroyed including all
+internal buffers, ``conf_cur`` is updated, and "from the higher level
+point of view, the reconfiguration latency is simply added to the
+process execution latency for this execution".  The simulator
+(:mod:`repro.sim.engine`) implements exactly that rule for
+:class:`ConfiguredProcess` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import VariantError
+from ..spi.activation import ActivationFunction
+from ..spi.modes import ProcessMode
+from ..spi.process import Process
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One configuration: modes extracted from one cluster.
+
+    Parameters
+    ----------
+    name:
+        Configuration name (``conf1``, ``conf2``, … in the paper).
+    modes:
+        Names of the process modes belonging to this configuration.
+    latency:
+        (Re)configuration latency ``t_conf`` for entering this
+        configuration.
+    source_cluster:
+        The cluster the modes were extracted from, for traceability to
+        the structural representation (optional).
+    """
+
+    name: str
+    modes: Tuple[str, ...]
+    latency: float = 0.0
+    source_cluster: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise VariantError("configuration name must be non-empty")
+        object.__setattr__(self, "modes", tuple(self.modes))
+        if not self.modes:
+            raise VariantError(
+                f"configuration {self.name!r} needs at least one mode"
+            )
+        if len(set(self.modes)) != len(self.modes):
+            raise VariantError(
+                f"configuration {self.name!r} lists duplicate modes"
+            )
+        if self.latency < 0:
+            raise VariantError(
+                f"configuration {self.name!r}: latency must be non-negative"
+            )
+
+    def __contains__(self, mode: str) -> bool:
+        return mode in self.modes
+
+
+@dataclass(frozen=True)
+class ConfigurationSet:
+    """All configurations of one process, with the mode partition.
+
+    Per Def. 4, all modes within one configuration are extracted from
+    the same cluster; consequently a mode belongs to *exactly one*
+    configuration, which is what makes the "newly activated mode is not
+    in ``conf_cur``" test well-defined.
+    """
+
+    configurations: Tuple[Configuration, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "configurations", tuple(self.configurations)
+        )
+        if not self.configurations:
+            raise VariantError(
+                "a configuration set needs at least one configuration"
+            )
+        names = [conf.name for conf in self.configurations]
+        if len(set(names)) != len(names):
+            raise VariantError("configuration names must be unique")
+        seen: Dict[str, str] = {}
+        for conf in self.configurations:
+            for mode in conf.modes:
+                if mode in seen:
+                    raise VariantError(
+                        f"mode {mode!r} appears in configurations "
+                        f"{seen[mode]!r} and {conf.name!r}; the mode "
+                        f"partition must be disjoint (Def. 4)"
+                    )
+                seen[mode] = conf.name
+
+    # ------------------------------------------------------------------
+    def configuration(self, name: str) -> Configuration:
+        """Look up a configuration by name."""
+        for conf in self.configurations:
+            if conf.name == name:
+                return conf
+        raise VariantError(f"no configuration named {name!r}")
+
+    def configuration_of_mode(self, mode: str) -> Configuration:
+        """The unique configuration containing ``mode``."""
+        for conf in self.configurations:
+            if mode in conf.modes:
+                return conf
+        raise VariantError(f"mode {mode!r} belongs to no configuration")
+
+    def names(self) -> Tuple[str, ...]:
+        """All configuration names, in declaration order."""
+        return tuple(conf.name for conf in self.configurations)
+
+    def all_modes(self) -> Tuple[str, ...]:
+        """All partitioned mode names, in declaration order."""
+        result = []
+        for conf in self.configurations:
+            result.extend(conf.modes)
+        return tuple(result)
+
+    def __iter__(self):
+        return iter(self.configurations)
+
+    def __len__(self) -> int:
+        return len(self.configurations)
+
+
+@dataclass(frozen=True, eq=False)
+class ConfiguredProcess(Process):
+    """A process carrying a configuration set (Def. 4).
+
+    This is what interface abstraction produces: an ordinary SPI
+    process — modes, activation function — plus the partition of its
+    modes into configurations and the initial value of ``conf_cur``.
+
+    All its modes must be covered by the partition; otherwise the
+    reconfiguration test would be undefined for the uncovered modes.
+    """
+
+    configurations: Optional[ConfigurationSet] = None
+    initial_configuration: Optional[str] = None
+    source_interface: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.configurations is None:
+            raise VariantError(
+                f"configured process {self.name!r} needs a configuration set"
+            )
+        covered = set(self.configurations.all_modes())
+        declared = set(self.modes)
+        if covered != declared:
+            missing = sorted(declared - covered)
+            extra = sorted(covered - declared)
+            raise VariantError(
+                f"configured process {self.name!r}: configuration partition "
+                f"mismatch (uncovered modes {missing}, unknown modes {extra})"
+            )
+        if self.initial_configuration is not None:
+            self.configurations.configuration(self.initial_configuration)
+
+    def configuration_of_mode(self, mode: str) -> Configuration:
+        """The configuration owning ``mode`` (never None)."""
+        return self.configurations.configuration_of_mode(mode)
+
+    def reconfiguration_latency(self, target: str) -> float:
+        """``t_conf`` for entering configuration ``target``."""
+        return self.configurations.configuration(target).latency
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConfiguredProcess({self.name!r}, "
+            f"configurations={list(self.configurations.names())})"
+        )

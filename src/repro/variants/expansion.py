@@ -1,0 +1,249 @@
+"""Expanded simulation of dynamically reconfigured interfaces.
+
+Interface abstraction (:mod:`repro.variants.extraction`) replaces a
+variant set by one process — the right representation for optimization.
+For *validation*, however, one sometimes wants to watch the clusters
+themselves run: which tokens sit on which internal channel, and what is
+destroyed when a cluster is terminated mid-flight.  Paper §4:
+
+    "Since parts of the cluster to be replaced may be in execution,
+    this may include terminating the running cluster and then
+    instantiating the new cluster.  Evidently, the termination of a
+    running cluster results in the loss of all data on the internal
+    channels.  Although this might be acceptable in certain situations,
+    it may not be desired in others [...]  Hence, clusters may
+    sometimes require to complete part of their functionality before
+    they may be terminated."
+
+:func:`attach_expanded_interface` instantiates *all* clusters of a
+dynamic interface into a host graph, adds a **router** (feeding the
+currently selected cluster), a **merger** (collecting its output) and a
+selection register; switching is driven by request tokens exactly as in
+the abstracted form, and terminates the outgoing cluster by flushing
+its internal channels (the engine's flush rules, recorded in the
+trace).  ``graceful=True`` instead delays the switch until the pipeline
+has drained, preserving all data at the price of a longer switch
+latency — the design trade-off the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import VariantError
+from ..spi.activation import ActivationFunction, ActivationRule
+from ..spi.builder import GraphBuilder
+from ..spi.intervals import Interval
+from ..spi.modes import ProcessMode
+from ..spi.predicates import And, HasTag, Not, NumAvailable, Predicate
+from ..spi.tags import TagSet
+from ..spi.process import Process
+from ..spi.tokens import Token
+from .interface import Interface
+from .vgraph import _splice_cluster
+
+
+@dataclass(frozen=True)
+class ExpandedInterface:
+    """Handles produced by :func:`attach_expanded_interface`.
+
+    ``flush_rules`` must be passed to the simulator; ``internal_channels``
+    maps each cluster to its (namespaced) internal channels for
+    occupancy inspection.
+    """
+
+    interface: str
+    router: str
+    merger: str
+    selection_channel: str
+    flush_rules: Mapping[Tuple[str, str], Tuple[str, ...]]
+    internal_channels: Mapping[str, Tuple[str, ...]]
+
+
+def attach_expanded_interface(
+    builder: GraphBuilder,
+    interface: Interface,
+    bindings: Mapping[str, str],
+    request_channel: str,
+    confirm_channel: str,
+    graceful: bool = False,
+    request_tag_prefix: str = "sel:",
+) -> ExpandedInterface:
+    """Instantiate a dynamic interface with all clusters expanded.
+
+    The host ``builder`` must already declare the externally bound
+    channels plus ``request_channel`` and ``confirm_channel``.  Only
+    single-input/single-output interfaces are supported (the router and
+    merger are per-stream processes); this covers the paper's examples.
+    """
+    if interface.initial_cluster is None:
+        raise VariantError(
+            f"interface {interface.name!r}: expanded simulation needs an "
+            f"initial cluster"
+        )
+    if len(interface.inputs) != 1 or len(interface.outputs) != 1:
+        raise VariantError(
+            f"interface {interface.name!r}: expanded simulation supports "
+            f"exactly one input and one output port"
+        )
+    in_channel = bindings[interface.inputs[0]]
+    out_channel = bindings[interface.outputs[0]]
+    name = interface.name
+    selection_channel = f"{name}__sel"
+
+    # Per-cluster entry/exit channels feeding the spliced clusters.
+    entry_channel = {
+        cluster: f"{name}.{cluster}.__entry"
+        for cluster in interface.cluster_names()
+    }
+    exit_channel = {
+        cluster: f"{name}.{cluster}.__exit"
+        for cluster in interface.cluster_names()
+    }
+    builder.register(
+        selection_channel,
+        initial_tokens=[
+            Token(tags=TagSet.of(f"cur:{interface.initial_cluster}"))
+        ],
+    )
+    for cluster in interface.cluster_names():
+        builder.queue(entry_channel[cluster])
+        builder.queue(exit_channel[cluster])
+
+    # Splice every cluster, bound to its private entry/exit channels.
+    internal_channels: Dict[str, Tuple[str, ...]] = {}
+    for cluster_name in interface.cluster_names():
+        cluster = interface.cluster(cluster_name)
+        _splice_cluster(
+            builder.graph,
+            name,
+            cluster,
+            {
+                interface.inputs[0]: entry_channel[cluster_name],
+                interface.outputs[0]: exit_channel[cluster_name],
+            },
+            selection={},
+        )
+        internal_channels[cluster_name] = tuple(
+            f"{name}.{cluster_name}.{channel}"
+            for channel in cluster.internal_channels()
+        )
+
+    # Merger: forward whichever cluster produced output.
+    merger_name = f"{name}.merge"
+    merger_modes: Dict[str, ProcessMode] = {}
+    merger_rules: List[ActivationRule] = []
+    for cluster_name in interface.cluster_names():
+        mode_name = f"from_{cluster_name}"
+        merger_modes[mode_name] = ProcessMode(
+            name=mode_name,
+            latency=Interval.zero(),
+            consumes={exit_channel[cluster_name]: 1},
+            produces={out_channel: 1},
+            pass_tags=(out_channel,),
+        )
+        merger_rules.append(
+            ActivationRule(
+                name=f"r_{mode_name}",
+                predicate=NumAvailable(exit_channel[cluster_name], 1),
+                mode=mode_name,
+            )
+        )
+    builder.process(
+        Process(
+            name=merger_name,
+            modes=merger_modes,
+            activation=ActivationFunction(tuple(merger_rules)),
+        )
+    )
+
+    # Router: route data to the selected cluster; switch on requests.
+    router_name = f"{name}.route"
+    router_modes: Dict[str, ProcessMode] = {}
+    switch_rules: List[ActivationRule] = []
+    route_rules: List[ActivationRule] = []
+    flush_rules: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+    all_internal: List[str] = []
+    for channels in internal_channels.values():
+        all_internal.extend(channels)
+
+    for cluster_name in interface.cluster_names():
+        switch_mode = f"switch_{cluster_name}"
+        router_modes[switch_mode] = ProcessMode(
+            name=switch_mode,
+            latency=Interval.point(interface.latency_of(cluster_name)),
+            consumes={request_channel: 1},
+            produces={selection_channel: 1, confirm_channel: 1},
+            out_tags={
+                selection_channel: TagSet.of(f"cur:{cluster_name}"),
+                confirm_channel: TagSet.of(f"done:{name}"),
+            },
+        )
+        guards: List[Predicate] = [
+            NumAvailable(request_channel, 1),
+            HasTag(request_channel, f"{request_tag_prefix}{cluster_name}"),
+        ]
+        if graceful:
+            # Completion before termination: wait until every internal
+            # channel (and every pending exit) has drained.
+            for channel in all_internal:
+                guards.append(Not(NumAvailable(channel, 1)))
+            for channel in exit_channel.values():
+                guards.append(Not(NumAvailable(channel, 1)))
+        else:
+            # Immediate termination destroys in-flight cluster data.
+            flush_rules[(router_name, switch_mode)] = tuple(
+                all_internal + list(exit_channel.values())
+            )
+        switch_rules.append(
+            ActivationRule(
+                name=f"r_{switch_mode}",
+                predicate=_conjoin(guards),
+                mode=switch_mode,
+            )
+        )
+
+        route_mode = f"to_{cluster_name}"
+        router_modes[route_mode] = ProcessMode(
+            name=route_mode,
+            latency=Interval.zero(),
+            consumes={in_channel: 1},
+            produces={entry_channel[cluster_name]: 1},
+            pass_tags=(entry_channel[cluster_name],),
+        )
+        route_rules.append(
+            ActivationRule(
+                name=f"r_{route_mode}",
+                predicate=(
+                    NumAvailable(in_channel, 1)
+                    & HasTag(selection_channel, f"cur:{cluster_name}")
+                ),
+                mode=route_mode,
+            )
+        )
+
+    builder.process(
+        Process(
+            name=router_name,
+            modes=router_modes,
+            activation=ActivationFunction(
+                tuple(switch_rules + route_rules)
+            ),
+        )
+    )
+
+    return ExpandedInterface(
+        interface=name,
+        router=router_name,
+        merger=merger_name,
+        selection_channel=selection_channel,
+        flush_rules=flush_rules,
+        internal_channels=internal_channels,
+    )
+
+
+def _conjoin(guards: List[Predicate]) -> Predicate:
+    if len(guards) == 1:
+        return guards[0]
+    return And(tuple(guards))

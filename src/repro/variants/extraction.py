@@ -1,0 +1,616 @@
+"""Parameter extraction: abstracting clusters to process modes.
+
+The paper's approach to dynamic function variant selection (§4) is "to
+abstract clusters to processes and to use the concept of process modes
+to represent dynamic function variant selection": the set of clusters
+of an interface is mapped to a set of process modes, grouped into
+configurations (Def. 4), and an activation function is derived that
+combines the interface's cluster selection rules with per-mode token
+availability guards — the paper's
+
+    a1 : CIn.num >= x  and  CV.num >= 1  and  'V1' in CV.tag  -> conf1
+
+where "x and y result from the parameter extraction process".
+
+Two levels of abstraction detail are provided ("additional designer
+knowledge allows abstraction at different levels of detail", §4):
+
+* ``single`` — one mode per cluster; rates aggregate one full cluster
+  iteration (via the balance equations when the cluster is determinate)
+  and the latency interval conservatively brackets the critical path.
+* ``per_entry`` — one mode per mode of the cluster's *entry process*
+  (the paper's example extracts two modes from cluster 1 and three from
+  cluster 2 this way); supported for pipeline-shaped clusters, with
+  interval dataflow propagation along the chain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ExtractionError
+from ..spi.activation import ActivationFunction, ActivationRule
+from ..spi.analysis import balance_equations, is_determinate_dataflow, topological_order
+from ..spi.channels import Channel, ChannelKind, register
+from ..spi.intervals import Interval, hull_all
+from ..spi.modes import ProcessMode
+from ..spi.predicates import And, HasTag, NumAvailable, Predicate
+from ..spi.tags import TagSet
+from ..spi.tokens import Token
+from .cluster import Cluster
+from .configuration import Configuration, ConfigurationSet, ConfiguredProcess
+from .interface import Interface
+
+
+@dataclass(frozen=True)
+class ExtractionOptions:
+    """Knobs for the extraction process.
+
+    ``detail`` selects the abstraction level; with ``fallback=True``
+    (default) clusters that do not fit the ``per_entry`` shape degrade
+    gracefully to ``single`` instead of failing.
+    """
+
+    detail: str = "per_entry"
+    fallback: bool = True
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.detail not in {"per_entry", "single"}:
+            raise ExtractionError(
+                f"unknown extraction detail {self.detail!r} "
+                f"(use 'per_entry' or 'single')"
+            )
+
+
+# ----------------------------------------------------------------------
+# Cluster-level extraction
+# ----------------------------------------------------------------------
+def extract_cluster_modes(
+    cluster: Cluster,
+    bindings: Mapping[str, str],
+    options: ExtractionOptions = ExtractionOptions(),
+) -> List[ProcessMode]:
+    """Extract the external-behavior modes of one cluster.
+
+    ``bindings`` maps the cluster's port names to the external channel
+    names the extracted modes should reference.  Mode names are
+    ``<cluster>.<entry-mode>`` (``per_entry``) or ``<cluster>``
+    (``single``).
+    """
+    missing = set(cluster.ports) - set(bindings)
+    if missing:
+        raise ExtractionError(
+            f"cluster {cluster.name!r}: no binding for ports "
+            f"{sorted(missing)}"
+        )
+    if options.detail == "per_entry":
+        try:
+            return _per_entry_modes(cluster, bindings)
+        except ExtractionError:
+            if not options.fallback:
+                raise
+    return [_single_mode(cluster, bindings)]
+
+
+def _single_mode(
+    cluster: Cluster, bindings: Mapping[str, str]
+) -> ProcessMode:
+    """One mode summarizing a full cluster iteration."""
+    graph = cluster.graph
+    if not graph.processes:
+        raise ExtractionError(
+            f"cluster {cluster.name!r} embeds no processes"
+        )
+    repetition: Optional[Dict[str, int]] = None
+    if is_determinate_dataflow(graph):
+        repetition = balance_equations(graph)
+
+    consumes: Dict[str, object] = {}
+    produces: Dict[str, object] = {}
+    out_tags: Dict[str, TagSet] = {}
+
+    for port in cluster.inputs:
+        reader = cluster.entry_process(port)
+        if reader is None:
+            continue
+        process = graph.process(reader)
+        per_firing = process.consumption_bounds(port)
+        factor = repetition.get(reader, 1) if repetition else 1
+        consumes[bindings[port]] = per_firing.scaled(factor)
+    for port in cluster.outputs:
+        writer = cluster.exit_process(port)
+        if writer is None:
+            continue
+        process = graph.process(writer)
+        per_firing = process.production_bounds(port)
+        factor = repetition.get(writer, 1) if repetition else 1
+        produces[bindings[port]] = per_firing.scaled(factor)
+        tags = _port_tags(cluster, port)
+        if tags:
+            out_tags[bindings[port]] = tags
+
+    return ProcessMode(
+        name=cluster.name,
+        latency=_iteration_latency(cluster, repetition),
+        consumes=consumes,
+        produces=produces,
+        out_tags=out_tags,
+    )
+
+
+def _per_entry_modes(
+    cluster: Cluster, bindings: Mapping[str, str]
+) -> List[ProcessMode]:
+    """One extracted mode per entry-process mode (pipeline clusters)."""
+    chain = _chain_of(cluster)
+    entry = cluster.graph.process(chain[0])
+    modes: List[ProcessMode] = []
+    for entry_mode in entry.mode_list:
+        modes.append(
+            _propagate_chain(cluster, chain, entry_mode, bindings)
+        )
+    return modes
+
+
+def _chain_of(cluster: Cluster) -> List[str]:
+    """The linear process chain of a pipeline cluster, entry first.
+
+    Raises :class:`ExtractionError` when the cluster is not a pipeline:
+    multiple entry processes, branching, or disconnected parts.
+    """
+    graph = cluster.graph
+    if not graph.processes:
+        raise ExtractionError(
+            f"cluster {cluster.name!r} embeds no processes"
+        )
+    if len(cluster.inputs) != 1 or len(cluster.outputs) != 1:
+        raise ExtractionError(
+            f"cluster {cluster.name!r}: per-entry extraction needs exactly "
+            f"one input and one output port"
+        )
+    entry = cluster.entry_process(cluster.inputs[0])
+    exit_ = cluster.exit_process(cluster.outputs[0])
+    if entry is None or exit_ is None:
+        raise ExtractionError(
+            f"cluster {cluster.name!r}: ports must be wired to processes"
+        )
+    order = topological_order(graph)
+    if order is None:
+        raise ExtractionError(
+            f"cluster {cluster.name!r}: internal feedback loops prevent "
+            f"per-entry extraction"
+        )
+    chain: List[str] = [entry]
+    current = entry
+    while current != exit_:
+        successors = graph.successors(current)
+        if len(successors) != 1:
+            raise ExtractionError(
+                f"cluster {cluster.name!r}: process {current!r} has "
+                f"{len(successors)} successors; per-entry extraction "
+                f"supports linear pipelines"
+            )
+        current = successors[0]
+        if current in chain:
+            raise ExtractionError(
+                f"cluster {cluster.name!r}: cycle at {current!r}"
+            )
+        chain.append(current)
+    if set(chain) != set(graph.processes):
+        stray = sorted(set(graph.processes) - set(chain))
+        raise ExtractionError(
+            f"cluster {cluster.name!r}: processes {stray} are not on the "
+            f"entry-to-exit chain"
+        )
+    return chain
+
+
+def _propagate_chain(
+    cluster: Cluster,
+    chain: Sequence[str],
+    entry_mode: ProcessMode,
+    bindings: Mapping[str, str],
+) -> ProcessMode:
+    """Interval dataflow propagation of one entry mode down the chain."""
+    graph = cluster.graph
+    in_port = cluster.inputs[0]
+    out_port = cluster.outputs[0]
+
+    consumption = entry_mode.consumption(in_port)
+    latency = entry_mode.latency
+    # Token count flowing on the channel between consecutive stages.
+    if len(chain) == 1:
+        production = entry_mode.production(out_port)
+    else:
+        first_link = _link_channel(graph, chain[0], chain[1])
+        count = entry_mode.production(first_link)
+        for index in range(1, len(chain)):
+            stage = graph.process(chain[index])
+            link_in = _link_channel(graph, chain[index - 1], chain[index])
+            cons = stage.consumption_bounds(link_in)
+            if cons.lo <= 0:
+                raise ExtractionError(
+                    f"cluster {cluster.name!r}: stage {stage.name!r} does "
+                    f"not consume from {link_in!r}"
+                )
+            firings = Interval(
+                math.ceil(count.lo / cons.hi) if cons.hi else 0,
+                math.ceil(count.hi / cons.lo),
+            )
+            latency = latency + Interval(
+                firings.lo * stage.latency_bounds().lo,
+                firings.hi * stage.latency_bounds().hi,
+            )
+            out_channel = (
+                out_port
+                if index == len(chain) - 1
+                else _link_channel(graph, chain[index], chain[index + 1])
+            )
+            prod = stage.production_bounds(out_channel)
+            count = Interval(
+                firings.lo * prod.lo, firings.hi * prod.hi
+            )
+        production = count
+
+    consumes: Dict[str, object] = {}
+    if consumption.hi > 0:
+        consumes[bindings[in_port]] = consumption
+    produces: Dict[str, object] = {}
+    out_tags: Dict[str, TagSet] = {}
+    pass_tags = ()
+    if production.hi > 0:
+        produces[bindings[out_port]] = production
+        tags = _port_tags(cluster, out_port)
+        if tags:
+            out_tags[bindings[out_port]] = tags
+        if _chain_propagates_tags(cluster, chain, entry_mode):
+            pass_tags = (bindings[out_port],)
+
+    return ProcessMode(
+        name=f"{cluster.name}.{entry_mode.name}",
+        latency=latency,
+        consumes=consumes,
+        produces=produces,
+        out_tags=out_tags,
+        pass_tags=pass_tags,
+    )
+
+
+def _chain_propagates_tags(
+    cluster: Cluster, chain: Sequence[str], entry_mode: ProcessMode
+) -> bool:
+    """True if input tags flow through every stage to the output port.
+
+    The entry mode and every mode of every downstream stage must
+    declare tag pass-through on their respective output channel; then
+    the abstracted mode faithfully inherits the cluster's end-to-end
+    tag propagation.
+    """
+    graph = cluster.graph
+    out_port = cluster.outputs[0]
+    first_out = (
+        out_port
+        if len(chain) == 1
+        else _link_channel(graph, chain[0], chain[1])
+    )
+    if first_out not in entry_mode.pass_tags:
+        return False
+    for index in range(1, len(chain)):
+        stage = graph.process(chain[index])
+        stage_out = (
+            out_port
+            if index == len(chain) - 1
+            else _link_channel(graph, chain[index], chain[index + 1])
+        )
+        for mode in stage.mode_list:
+            if stage_out not in mode.pass_tags:
+                return False
+    return True
+
+
+def _link_channel(graph, source: str, target: str) -> str:
+    """The unique channel connecting two chain stages."""
+    for channel in graph.output_channels(source):
+        if graph.reader_of(channel) == target:
+            return channel
+    raise ExtractionError(
+        f"no channel connects {source!r} to {target!r}"
+    )
+
+
+def _port_tags(cluster: Cluster, port: str) -> TagSet:
+    """Union of tags the exit process may attach on ``port``."""
+    writer = cluster.exit_process(port)
+    if writer is None:
+        return TagSet.empty()
+    tags = TagSet.empty()
+    for mode in cluster.graph.process(writer).mode_list:
+        tags = tags | mode.tags_for(port)
+    return tags
+
+
+def _iteration_latency(
+    cluster: Cluster, repetition: Optional[Dict[str, int]]
+) -> Interval:
+    """Conservative latency interval for one cluster iteration.
+
+    Lower bound: the cheapest entry-to-exit path using per-process lower
+    bounds (maximum over ports so that the bound is a true minimum
+    makespan witness).  Upper bound: fully serialized execution — every
+    process fires its repetition count at its upper latency.
+    """
+    graph = cluster.graph
+    upper = 0.0
+    for name, process in graph.processes.items():
+        factor = repetition.get(name, 1) if repetition else 1
+        upper += factor * process.latency_bounds().hi
+
+    lower = 0.0
+    for in_port in cluster.inputs:
+        entry = cluster.entry_process(in_port)
+        if entry is None:
+            continue
+        for out_port in cluster.outputs:
+            exit_ = cluster.exit_process(out_port)
+            if exit_ is None:
+                continue
+            path_lower = _shortest_path_lower(graph, entry, exit_)
+            if path_lower is not None:
+                lower = max(lower, path_lower)
+    lower = min(lower, upper)
+    return Interval(lower, upper)
+
+
+def _shortest_path_lower(graph, source: str, target: str) -> Optional[float]:
+    """Minimal sum of lower-bound latencies along any source→target path."""
+    best: Dict[str, float] = {source: graph.process(source).latency_bounds().lo}
+    frontier = [source]
+    while frontier:
+        node = frontier.pop(0)
+        for successor in graph.successors(node):
+            cost = best[node] + graph.process(successor).latency_bounds().lo
+            if successor not in best or cost < best[successor]:
+                best[successor] = cost
+                frontier.append(successor)
+    return best.get(target)
+
+
+# ----------------------------------------------------------------------
+# Interface-level extraction
+# ----------------------------------------------------------------------
+def extract_interface(
+    interface: Interface,
+    bindings: Mapping[str, str],
+    options: ExtractionOptions = ExtractionOptions(),
+) -> ConfiguredProcess:
+    """Abstract an interface to a single configured process (paper §4).
+
+    Requires a cluster selection function (run-time or dynamic variant
+    sets); production variants are *bound*, not abstracted.  The
+    derived activation rules conjoin, per extracted mode,
+
+    * the interface's selection predicate for the mode's cluster, and
+    * a token-availability guard ``num(c) >= x`` per consumed channel,
+      where ``x`` is the mode's worst-case consumption — the paper's
+      "x and y result from the parameter extraction process".
+    """
+    if interface.selection is None:
+        raise ExtractionError(
+            f"interface {interface.name!r} has no cluster selection "
+            f"function; production variants are bound statically instead"
+        )
+
+    modes: Dict[str, ProcessMode] = {}
+    rules: List[ActivationRule] = []
+    configurations: List[Configuration] = []
+
+    for cluster_name in interface.cluster_names():
+        cluster = interface.cluster(cluster_name)
+        selection_rule = interface.selection.rule_for(cluster_name)
+        if selection_rule is None:
+            raise ExtractionError(
+                f"interface {interface.name!r}: no selection rule for "
+                f"cluster {cluster_name!r}"
+            )
+        extracted = extract_cluster_modes(cluster, bindings, options)
+        mode_names: List[str] = []
+        for mode in extracted:
+            if mode.name in modes:
+                raise ExtractionError(
+                    f"duplicate extracted mode name {mode.name!r}"
+                )
+            modes[mode.name] = mode
+            mode_names.append(mode.name)
+            rules.append(
+                ActivationRule(
+                    name=f"a_{mode.name}",
+                    predicate=_guarded(selection_rule.predicate, mode),
+                    mode=mode.name,
+                )
+            )
+        configurations.append(
+            Configuration(
+                name=f"conf_{cluster_name}",
+                modes=tuple(mode_names),
+                latency=interface.latency_of(cluster_name),
+                source_cluster=cluster_name,
+            )
+        )
+
+    initial = (
+        f"conf_{interface.initial_cluster}"
+        if interface.initial_cluster is not None
+        else None
+    )
+    return ConfiguredProcess(
+        name=options.name or interface.name,
+        modes=modes,
+        activation=ActivationFunction(tuple(rules)),
+        configurations=ConfigurationSet(tuple(configurations)),
+        initial_configuration=initial,
+        source_interface=interface.name,
+    )
+
+
+def _guarded(selection_predicate: Predicate, mode: ProcessMode) -> Predicate:
+    """Conjoin the selection predicate with consumption guards."""
+    guards: List[Predicate] = []
+    for channel, amount in sorted(mode.consumes.items()):
+        needed = int(math.ceil(amount.hi))
+        if needed > 0:
+            guards.append(NumAvailable(channel, needed))
+    if not guards:
+        return selection_predicate
+    return And(tuple([*guards, selection_predicate]))
+
+
+# ----------------------------------------------------------------------
+# Dynamic (request/confirm) extraction — the Figure 4 protocol shape
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DynamicExtraction:
+    """Result of :func:`extract_dynamic_interface`.
+
+    ``process`` is the abstracted configured process; ``state_channel``
+    is the self-loop register (paper: "to keep state information from
+    one execution to the next, [the process] sends tokens to itself")
+    that the caller must add to the graph and wire as both input and
+    output of the process.
+    """
+
+    process: ConfiguredProcess
+    state_channel: Channel
+
+
+def extract_dynamic_interface(
+    interface: Interface,
+    bindings: Mapping[str, str],
+    request_channel: str,
+    confirm_channel: str,
+    options: ExtractionOptions = ExtractionOptions(),
+    request_tag_prefix: str = "sel:",
+    state_tag_prefix: str = "cur:",
+) -> DynamicExtraction:
+    """Abstract a dynamically reconfigured interface (Figure 4 style).
+
+    The controller writes request tokens tagged
+    ``<request_tag_prefix><cluster>`` on ``request_channel`` (a queue).
+    Per cluster ``v`` the extraction derives:
+
+    * an **enter** mode — consumes the request token, emits the
+      confirmation token on ``confirm_channel`` ("the generation of
+      this token is not part of the reconfiguration step but part of
+      the selected mode", §5) and records ``cur:v`` on the state
+      register; it deliberately touches no data channels, so the
+      subsystem can acknowledge a reconfiguration even while the
+      upstream valve has cut the stream off;
+    * one **run** mode per extracted processing mode — guarded by the
+      state register holding ``cur:v`` and the absence of a pending
+      request (requests take priority through rule ordering).
+
+    All modes of cluster ``v`` belong to configuration ``conf_v``, so
+    the simulator's Def.-4 rule inserts the reconfiguration latency
+    exactly when a request switches clusters.
+    """
+    if interface.initial_cluster is None:
+        raise ExtractionError(
+            f"interface {interface.name!r}: dynamic extraction needs an "
+            f"initial cluster (the architecture boots configured)"
+        )
+    state_name = f"{interface.name}__state"
+    modes: Dict[str, ProcessMode] = {}
+    rules_priority: List[ActivationRule] = []
+    rules_normal: List[ActivationRule] = []
+    configurations: List[Configuration] = []
+
+    for cluster_name in interface.cluster_names():
+        cluster = interface.cluster(cluster_name)
+        extracted = extract_cluster_modes(cluster, bindings, options)
+        enter_name = f"{cluster_name}.enter"
+        enter = ProcessMode(
+            name=enter_name,
+            latency=Interval.zero(),
+            consumes={request_channel: Interval.point(1)},
+            produces={
+                confirm_channel: Interval.point(1),
+                state_name: Interval.point(1),
+            },
+            out_tags={
+                state_name: TagSet.of(f"{state_tag_prefix}{cluster_name}"),
+                confirm_channel: TagSet.of(f"done:{interface.name}"),
+            },
+        )
+        modes[enter.name] = enter
+        mode_names = [enter.name]
+        enter_guards: List[Predicate] = [
+            NumAvailable(request_channel, 1),
+            HasTag(request_channel, f"{request_tag_prefix}{cluster_name}"),
+        ]
+        rules_priority.append(
+            ActivationRule(
+                name=f"a_{enter.name}",
+                predicate=And(tuple(enter_guards)),
+                mode=enter.name,
+            )
+        )
+
+        for mode in extracted:
+            run_name = f"{cluster_name}.run.{mode.name.split('.')[-1]}"
+            run = ProcessMode(
+                name=run_name,
+                latency=mode.latency,
+                consumes=dict(mode.consumes),
+                produces=dict(mode.produces),
+                out_tags=dict(mode.out_tags),
+                pass_tags=mode.pass_tags,
+            )
+            modes[run.name] = run
+            mode_names.append(run.name)
+            run_guards: List[Predicate] = [
+                HasTag(state_name, f"{state_tag_prefix}{cluster_name}"),
+            ]
+            for channel, amount in sorted(mode.consumes.items()):
+                needed = int(math.ceil(amount.hi))
+                if needed > 0:
+                    run_guards.append(NumAvailable(channel, needed))
+            rules_normal.append(
+                ActivationRule(
+                    name=f"a_{run.name}",
+                    predicate=And(tuple(run_guards)),
+                    mode=run.name,
+                )
+            )
+
+        configurations.append(
+            Configuration(
+                name=f"conf_{cluster_name}",
+                modes=tuple(mode_names),
+                latency=interface.latency_of(cluster_name),
+                source_cluster=cluster_name,
+            )
+        )
+
+    process = ConfiguredProcess(
+        name=options.name or interface.name,
+        modes=modes,
+        activation=ActivationFunction(
+            tuple(rules_priority + rules_normal)
+        ),
+        configurations=ConfigurationSet(tuple(configurations)),
+        initial_configuration=f"conf_{interface.initial_cluster}",
+        source_interface=interface.name,
+    )
+    state_channel = register(
+        state_name,
+        initial_tokens=[
+            Token(
+                tags=TagSet.of(
+                    f"{state_tag_prefix}{interface.initial_cluster}"
+                )
+            )
+        ],
+    )
+    return DynamicExtraction(process=process, state_channel=state_channel)

@@ -1,0 +1,48 @@
+"""Convenience transformations between variant graphs and plain SPI.
+
+Thin wrappers over :class:`~repro.variants.vgraph.VariantGraph` methods
+plus the application-derivation helper used throughout the benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..spi.graph import ModelGraph
+from .vgraph import VariantGraph
+
+
+def bind_variants(
+    vgraph: VariantGraph,
+    selection: Mapping[str, str],
+    name: Optional[str] = None,
+) -> ModelGraph:
+    """Statically bind one cluster per interface (production variants)."""
+    return vgraph.bind(selection, name=name)
+
+
+def abstract_interfaces(
+    vgraph: VariantGraph,
+    detail: str = "per_entry",
+    name: Optional[str] = None,
+) -> ModelGraph:
+    """Replace all interfaces by extracted configured processes."""
+    return vgraph.abstract(name=name, detail=detail)
+
+
+def derive_applications(
+    vgraph: VariantGraph,
+) -> List[Tuple[Dict[str, str], ModelGraph]]:
+    """Bind every combination of the variant cross product.
+
+    Returns ``(selection, bound graph)`` pairs, one per application, in
+    deterministic order.  For related selections use
+    :class:`repro.variants.variant_space.VariantSpace` instead.
+    """
+    result = []
+    for index, selection in enumerate(
+        vgraph.enumerate_selections(), start=1
+    ):
+        graph = vgraph.bind(selection, name=f"{vgraph.name}.app{index}")
+        result.append((selection, graph))
+    return result

@@ -1,0 +1,185 @@
+"""Interfaces — Definition 2 of the paper.
+
+An interface is a tuple ``(I, O, Γ)``: input ports, output ports, and
+the set of clusters associated with it, every one of which matches the
+interface's port signature.  A system part with function variants is
+represented by one interface with one cluster per variant.
+
+Definition 3 attaches the selection machinery: an optional
+:class:`~repro.variants.selection.ClusterSelectionFunction`, a
+configuration latency ``t_conf`` per cluster, and the ``cur`` parameter
+(the currently selected cluster) whose *initial* value lives here while
+its evolution over time lives in the simulator state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import VariantError
+from .cluster import Cluster
+from .ports import PortSignature
+from .selection import ClusterSelectionFunction
+from .types import VariantKind
+
+
+@dataclass(frozen=True, eq=False)
+class Interface:
+    """A variant set: port signature plus exchangeable clusters.
+
+    Parameters
+    ----------
+    name:
+        Interface name, unique within its variant graph.
+    inputs / outputs:
+        The port signature every associated cluster must match.
+    clusters:
+        The variants, keyed by cluster name.
+    selection:
+        Cluster selection function (required for run-time and dynamic
+        variants, meaningless for production variants).
+    config_latency:
+        ``t_conf`` per cluster name — the time needed to configure the
+        interface with that cluster (Def. 3).  Missing entries default
+        to 0.
+    initial_cluster:
+        Initial value of the ``cur`` parameter, or None when the system
+        starts unconfigured (Figure 3: the first selection configures).
+    kind:
+        Production / run-time / dynamic (see
+        :class:`~repro.variants.types.VariantKind`).
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    clusters: Mapping[str, Cluster]
+    selection: Optional[ClusterSelectionFunction] = None
+    config_latency: Mapping[str, float] = field(default_factory=dict)
+    initial_cluster: Optional[str] = None
+    kind: VariantKind = VariantKind.PRODUCTION
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise VariantError("interface name must be non-empty")
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "outputs", tuple(self.outputs))
+
+        clusters = self.clusters
+        if isinstance(clusters, (list, tuple)):
+            clusters = {cluster.name: cluster for cluster in clusters}
+        if not clusters:
+            raise VariantError(
+                f"interface {self.name!r} needs at least one cluster"
+            )
+        for key, cluster in clusters.items():
+            if key != cluster.name:
+                raise VariantError(
+                    f"interface {self.name!r}: cluster dict key {key!r} "
+                    f"does not match cluster name {cluster.name!r}"
+                )
+        object.__setattr__(self, "clusters", MappingProxyType(dict(clusters)))
+
+        signature = self.signature
+        for cluster in self.clusters.values():
+            if not cluster.signature.matches(signature):
+                raise VariantError(
+                    f"interface {self.name!r}: cluster {cluster.name!r} "
+                    f"signature {cluster.signature!r} does not match "
+                    f"interface signature {signature!r}"
+                )
+
+        object.__setattr__(
+            self,
+            "config_latency",
+            MappingProxyType(dict(self.config_latency)),
+        )
+        unknown = set(self.config_latency) - set(self.clusters)
+        if unknown:
+            raise VariantError(
+                f"interface {self.name!r}: configuration latencies for "
+                f"unknown clusters {sorted(unknown)}"
+            )
+        for cluster, latency in self.config_latency.items():
+            if latency < 0:
+                raise VariantError(
+                    f"interface {self.name!r}: configuration latency for "
+                    f"{cluster!r} must be non-negative"
+                )
+
+        if self.selection is not None:
+            dangling = set(self.selection.clusters_named()) - set(
+                self.clusters
+            )
+            if dangling:
+                raise VariantError(
+                    f"interface {self.name!r}: selection rules reference "
+                    f"unknown clusters {sorted(dangling)}"
+                )
+        if self.kind.needs_selection_function and self.selection is None:
+            raise VariantError(
+                f"interface {self.name!r} is a {self.kind.value} variant "
+                f"set and therefore needs a cluster selection function"
+            )
+
+        if (
+            self.initial_cluster is not None
+            and self.initial_cluster not in self.clusters
+        ):
+            raise VariantError(
+                f"interface {self.name!r}: initial cluster "
+                f"{self.initial_cluster!r} is not one of its clusters"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def signature(self) -> PortSignature:
+        """The interface's port signature."""
+        return PortSignature(self.inputs, self.outputs)
+
+    @property
+    def ports(self) -> Tuple[str, ...]:
+        """All port names, inputs first."""
+        return self.inputs + self.outputs
+
+    def cluster(self, name: str) -> Cluster:
+        """Look up an associated cluster by name."""
+        try:
+            return self.clusters[name]
+        except KeyError:
+            raise VariantError(
+                f"interface {self.name!r} has no cluster {name!r}"
+            ) from None
+
+    def latency_of(self, cluster: str) -> float:
+        """``t_conf`` for configuring this interface with ``cluster``."""
+        self.cluster(cluster)
+        return float(self.config_latency.get(cluster, 0.0))
+
+    def cluster_names(self) -> Tuple[str, ...]:
+        """All cluster names, sorted."""
+        return tuple(sorted(self.clusters))
+
+    @property
+    def variant_count(self) -> int:
+        """How many variants this interface offers."""
+        return len(self.clusters)
+
+    def stats(self) -> Dict[str, object]:
+        """Per-cluster element accounting (Figure 2 bench)."""
+        return {
+            "name": self.name,
+            "variants": self.variant_count,
+            "clusters": {
+                name: cluster.stats()
+                for name, cluster in sorted(self.clusters.items())
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Interface({self.name!r}, clusters={list(self.cluster_names())},"
+            f" kind={self.kind.value})"
+        )

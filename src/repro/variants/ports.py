@@ -1,0 +1,88 @@
+"""Ports and port signatures.
+
+Clusters communicate through the cluster border via input and output
+ports (paper Def. 1).  An interface is usable by a set of clusters only
+if every cluster *matches the interface in terms of input and output
+ports* (paper Def. 2) — otherwise the clusters "could not be reasonably
+exchanged by each other".  A :class:`PortSignature` captures exactly
+that exchangeability contract.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from ..errors import VariantError
+
+
+class PortDirection(enum.Enum):
+    """Whether data flows into or out of the cluster."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Port:
+    """A named, directed port on a cluster or interface border."""
+
+    name: str
+    direction: PortDirection
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise VariantError("port name must be non-empty")
+
+
+@dataclass(frozen=True)
+class PortSignature:
+    """The (inputs, outputs) contract shared by interface and clusters."""
+
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "outputs", tuple(self.outputs))
+        all_ports = self.inputs + self.outputs
+        if len(set(all_ports)) != len(all_ports):
+            raise VariantError(
+                f"port names must be unique within a signature, "
+                f"got {all_ports}"
+            )
+
+    def matches(self, other: "PortSignature") -> bool:
+        """True if both signatures expose the same ports.
+
+        Port *names* and directions must coincide; order is irrelevant
+        because connections are made by name.
+        """
+        return set(self.inputs) == set(other.inputs) and set(
+            self.outputs
+        ) == set(other.outputs)
+
+    @property
+    def ports(self) -> Tuple[Port, ...]:
+        """All ports as :class:`Port` objects, inputs first."""
+        return tuple(
+            [Port(name, PortDirection.INPUT) for name in self.inputs]
+            + [Port(name, PortDirection.OUTPUT) for name in self.outputs]
+        )
+
+    def direction_of(self, port: str) -> PortDirection:
+        """Direction of a named port."""
+        if port in self.inputs:
+            return PortDirection.INPUT
+        if port in self.outputs:
+            return PortDirection.OUTPUT
+        raise VariantError(f"no port named {port!r} in signature")
+
+    def __contains__(self, port: str) -> bool:
+        return port in self.inputs or port in self.outputs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PortSignature(in={list(self.inputs)}, out={list(self.outputs)})"
+        )

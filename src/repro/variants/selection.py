@@ -1,0 +1,119 @@
+"""Cluster selection functions — Definition 3 of the paper.
+
+Associated with an interface there may be a **cluster selection
+function**, a finite set of rules, each mapping an input token predicate
+to one dedicated cluster.  The predicate is a function on the tag sets
+of the first available token on some input channels — structurally the
+same machinery as process activation, which is precisely the similarity
+the paper exploits when abstracting interfaces to processes.
+
+Figure 3's rules read, in this library::
+
+    v1 = SelectionRule('r1', HasTag('CV', 'V1'), 'cluster1')
+    v2 = SelectionRule('r2', HasTag('CV', 'V2'), 'cluster2')
+    fn = ClusterSelectionFunction((v1, v2))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import VariantError
+from ..spi.predicates import ChannelView, Predicate
+
+
+@dataclass(frozen=True)
+class SelectionRule:
+    """One rule: ``predicate -> cluster``."""
+
+    name: str
+    predicate: Predicate
+    cluster: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise VariantError("selection rule name must be non-empty")
+        if not self.cluster:
+            raise VariantError(
+                f"selection rule {self.name!r} must name a cluster"
+            )
+
+    def enabled(self, view: ChannelView) -> bool:
+        """True if the rule's predicate holds on the observed state."""
+        return self.predicate.evaluate(view)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}: {self.predicate!r} -> {self.cluster}"
+
+
+@dataclass(frozen=True)
+class ClusterSelectionFunction:
+    """An ordered rule set selecting a cluster from channel observations."""
+
+    rules: Tuple[SelectionRule, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        if not self.rules:
+            raise VariantError(
+                "a cluster selection function needs at least one rule"
+            )
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise VariantError("selection rule names must be unique")
+
+    @staticmethod
+    def by_tag(channel: str, mapping: dict) -> "ClusterSelectionFunction":
+        """Common case: one tag on one channel per cluster.
+
+        ``by_tag('CV', {'V1': 'cluster1', 'V2': 'cluster2'})`` builds
+        exactly the Figure 3 rule set.
+        """
+        from ..spi.predicates import HasTag, NumAvailable
+
+        rules = tuple(
+            SelectionRule(
+                name=f"sel_{tag}",
+                predicate=NumAvailable(channel, 1) & HasTag(channel, tag),
+                cluster=cluster,
+            )
+            for tag, cluster in mapping.items()
+        )
+        return ClusterSelectionFunction(rules)
+
+    # ------------------------------------------------------------------
+    def select(self, view: ChannelView) -> Optional[SelectionRule]:
+        """First enabled rule in declaration order, or None."""
+        for rule in self.rules:
+            if rule.enabled(view):
+                return rule
+        return None
+
+    def clusters_named(self) -> Tuple[str, ...]:
+        """All clusters reachable through this selection function."""
+        seen: List[str] = []
+        for rule in self.rules:
+            if rule.cluster not in seen:
+                seen.append(rule.cluster)
+        return tuple(seen)
+
+    def channels(self) -> Tuple[str, ...]:
+        """All channels observed by any rule (sorted, unique)."""
+        merged = set()
+        for rule in self.rules:
+            merged.update(rule.predicate.channels())
+        return tuple(sorted(merged))
+
+    def rule_for(self, cluster: str) -> Optional[SelectionRule]:
+        """The first rule selecting ``cluster``, or None."""
+        for rule in self.rules:
+            if rule.cluster == cluster:
+                return rule
+        return None
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)

@@ -1,0 +1,41 @@
+"""The paper's taxonomy of function variant types (§1, §4).
+
+* **Production variants** are selected by the designer at production
+  time (e.g. downloading one software variant into an EPROM); the final
+  product contains a single variant and *no* selection mechanism, so
+  the selection "is not part of the system's functionality and does not
+  have to be modeled".
+* **Run-time variants** are selected once at system start-up (boot
+  switches, flash parameters) and then remain fixed.
+* **Dynamic variants** are (re)selected during operation by a higher
+  level component, as in reconfigurable architectures — what appears as
+  a variant at the subsystem level becomes a system mode at the
+  controller level.
+
+The same representational constructs (interface + clusters) cover all
+three; the kind determines which transformations are legal:
+production → static binding only; run-time → selection evaluated once;
+dynamic → full reconfiguration semantics with configuration latencies.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class VariantKind(enum.Enum):
+    """When in the product's life time the variant is selected."""
+
+    PRODUCTION = "production"
+    RUNTIME = "runtime"
+    DYNAMIC = "dynamic"
+
+    @property
+    def needs_selection_function(self) -> bool:
+        """Whether this kind requires selection rules in the model."""
+        return self is not VariantKind.PRODUCTION
+
+    @property
+    def reconfigurable(self) -> bool:
+        """Whether the selection may change during system operation."""
+        return self is VariantKind.DYNAMIC

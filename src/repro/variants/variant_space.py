@@ -1,0 +1,136 @@
+"""Variant combination spaces with related and independent selections.
+
+"There may be several of those variant sets in one embedded system,
+e.g. for different input and output standards of a multi-media device.
+The variant selection for these sets may be related or independent."
+(paper §1.)
+
+A :class:`SelectionGroup` ties several interfaces together: only the
+listed combinations are valid (e.g. a TV set where the input decoder
+variant and the output encoder variant must implement the *same*
+standard).  Interfaces outside any group vary independently; the
+:class:`VariantSpace` enumerates exactly the consistent selections.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from ..errors import VariantError
+from .vgraph import VariantGraph
+
+
+@dataclass(frozen=True)
+class SelectionGroup:
+    """A set of interfaces whose variants are selected together.
+
+    ``choices`` lists the valid joint selections; each entry maps every
+    interface of the group to a cluster name.
+    """
+
+    name: str
+    choices: Tuple[Mapping[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise VariantError("selection group name must be non-empty")
+        object.__setattr__(
+            self, "choices", tuple(dict(choice) for choice in self.choices)
+        )
+        if not self.choices:
+            raise VariantError(
+                f"selection group {self.name!r} needs at least one choice"
+            )
+        keys = {frozenset(choice) for choice in self.choices}
+        if len(keys) != 1:
+            raise VariantError(
+                f"selection group {self.name!r}: all choices must cover the "
+                f"same interfaces"
+            )
+
+    @property
+    def interfaces(self) -> Tuple[str, ...]:
+        """The interfaces governed by this group (sorted)."""
+        return tuple(sorted(self.choices[0]))
+
+
+class VariantSpace:
+    """Enumerable space of consistent variant selections."""
+
+    def __init__(
+        self,
+        vgraph: VariantGraph,
+        groups: Sequence[SelectionGroup] = (),
+    ) -> None:
+        self.vgraph = vgraph
+        self.groups = tuple(groups)
+        governed: Dict[str, str] = {}
+        for group in self.groups:
+            for iface in group.interfaces:
+                if iface not in vgraph.interfaces:
+                    raise VariantError(
+                        f"selection group {group.name!r} references unknown "
+                        f"interface {iface!r}"
+                    )
+                if iface in governed:
+                    raise VariantError(
+                        f"interface {iface!r} appears in groups "
+                        f"{governed[iface]!r} and {group.name!r}"
+                    )
+                governed[iface] = group.name
+            for choice in group.choices:
+                for iface, cluster in choice.items():
+                    vgraph.interface(iface).cluster(cluster)
+        self._governed = governed
+        self._free = tuple(
+            sorted(set(vgraph.interfaces) - set(governed))
+        )
+
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Number of consistent selections."""
+        total = 1
+        for group in self.groups:
+            total *= len(group.choices)
+        for iface in self._free:
+            total *= self.vgraph.interface(iface).variant_count
+        return total
+
+    def selections(self) -> Iterator[Dict[str, str]]:
+        """Yield every consistent selection as one flat mapping."""
+        group_axes: List[List[Mapping[str, str]]] = [
+            list(group.choices) for group in self.groups
+        ]
+        free_axes: List[List[Tuple[str, str]]] = [
+            [
+                (iface, cluster)
+                for cluster in self.vgraph.interface(iface).cluster_names()
+            ]
+            for iface in self._free
+        ]
+        for group_combo in itertools.product(*group_axes) if group_axes else [()]:
+            for free_combo in itertools.product(*free_axes) if free_axes else [()]:
+                selection: Dict[str, str] = {}
+                for choice in group_combo:
+                    selection.update(choice)
+                selection.update(dict(free_combo))
+                yield selection
+
+    def applications(self) -> List[Tuple[Dict[str, str], object]]:
+        """Bind every consistent selection; returns (selection, graph) pairs.
+
+        This is the §5 derivation: "each of those can be simply derived
+        by replacing the interface by either cluster 1 or cluster 2."
+        """
+        result = []
+        for index, selection in enumerate(self.selections(), start=1):
+            graph = self.vgraph.bind(
+                selection, name=f"{self.vgraph.name}.app{index}"
+            )
+            result.append((selection, graph))
+        return result
+
+    def __len__(self) -> int:
+        return self.count()

@@ -1,0 +1,76 @@
+"""Shared fixtures and model-construction helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spi.builder import GraphBuilder
+from repro.spi.graph import ModelGraph
+from repro.spi.tokens import make_tokens
+from repro.variants.cluster import Cluster
+
+
+def chain_graph(
+    name: str = "chain",
+    stages: int = 3,
+    latency: float = 1.0,
+    input_tokens: int = 6,
+) -> ModelGraph:
+    """A linear determinate chain c0 -> s0 -> c1 -> s1 -> ... (rates 1)."""
+    builder = GraphBuilder(name)
+    builder.queue("c0", initial_tokens=make_tokens(input_tokens))
+    for index in range(stages):
+        builder.queue(f"c{index + 1}")
+    for index in range(stages):
+        builder.simple(
+            f"s{index}",
+            latency=latency,
+            consumes={f"c{index}": 1},
+            produces={f"c{index + 1}": 1},
+        )
+    return builder.build(validate=False)
+
+
+def pipeline_cluster(
+    name: str = "cl",
+    stages: int = 2,
+    latency: float = 1.0,
+    rates: tuple = (1, 1),
+) -> Cluster:
+    """A pipeline cluster with ports i/o and ``stages`` processes.
+
+    ``rates`` is (consume, produce) applied at every stage.
+    """
+    consume, produce = rates
+    builder = GraphBuilder(name)
+    builder.queue("i")
+    builder.queue("o")
+    for index in range(stages - 1):
+        builder.queue(f"m{index}")
+    for index in range(stages):
+        inp = "i" if index == 0 else f"m{index - 1}"
+        out = "o" if index == stages - 1 else f"m{index}"
+        builder.simple(
+            f"s{index}",
+            latency=latency,
+            consumes={inp: consume},
+            produces={out: produce},
+        )
+    return Cluster(
+        name=name,
+        inputs=("i",),
+        outputs=("o",),
+        graph=builder.build(validate=False),
+    )
+
+
+@pytest.fixture
+def simple_chain() -> ModelGraph:
+    """Three-stage determinate chain with six input tokens."""
+    return chain_graph()
+
+
+@pytest.fixture
+def two_stage_cluster() -> Cluster:
+    """A two-stage pipeline cluster with unit rates."""
+    return pipeline_cluster()

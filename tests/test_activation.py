@@ -1,0 +1,108 @@
+"""Unit tests for repro.spi.activation."""
+
+import pytest
+
+from repro.errors import ActivationError
+from repro.spi.activation import (
+    ActivationFunction,
+    ActivationRule,
+    rules,
+)
+from repro.spi.predicates import HasTag, MappingView, NumAvailable, TruePredicate
+
+
+def view(counts=None, tags=None):
+    return MappingView(counts or {}, tags or {})
+
+
+class TestRule:
+    def test_enabled_delegates_to_predicate(self):
+        rule = ActivationRule("a1", NumAvailable("c", 1), "m1")
+        assert rule.enabled(view({"c": 1}))
+        assert not rule.enabled(view({"c": 0}))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ActivationError):
+            ActivationRule("", TruePredicate(), "m")
+
+    def test_empty_mode_rejected(self):
+        with pytest.raises(ActivationError):
+            ActivationRule("a", TruePredicate(), "")
+
+
+class TestFunction:
+    def test_always(self):
+        fn = ActivationFunction.always("run")
+        assert fn.select(view()).mode == "run"
+        assert fn.modes_named() == ("run",)
+
+    def test_rules_builder(self):
+        fn = rules(
+            ("a1", HasTag("c", "x"), "m1"),
+            ("a2", HasTag("c", "y"), "m2"),
+        )
+        assert len(fn) == 2
+        assert fn.select(view({"c": 1}, {"c": "y"})).mode == "m2"
+
+    def test_no_rule_enabled_returns_none(self):
+        fn = rules(("a1", HasTag("c", "x"), "m1"))
+        assert fn.select(view({"c": 1}, {"c": "z"})) is None
+
+    def test_first_match_wins_by_declaration_order(self):
+        fn = rules(
+            ("hi", NumAvailable("c", 2), "big"),
+            ("lo", NumAvailable("c", 1), "small"),
+        )
+        assert fn.select(view({"c": 3})).mode == "big"
+        assert fn.select(view({"c": 1})).mode == "small"
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ActivationError):
+            rules(
+                ("a", TruePredicate(), "m1"),
+                ("a", TruePredicate(), "m2"),
+            )
+
+    def test_strict_flags_ambiguity_across_modes(self):
+        fn = rules(
+            ("a1", NumAvailable("c", 1), "m1"),
+            ("a2", NumAvailable("c", 1), "m2"),
+        )
+        with pytest.raises(ActivationError):
+            fn.select(view({"c": 2}), strict=True)
+
+    def test_strict_allows_agreeing_rules(self):
+        fn = rules(
+            ("a1", NumAvailable("c", 1), "m1"),
+            ("a2", NumAvailable("c", 2), "m1"),
+        )
+        assert fn.select(view({"c": 3}), strict=True).mode == "m1"
+
+    def test_enabled_rules_lists_all(self):
+        fn = rules(
+            ("a1", NumAvailable("c", 1), "m1"),
+            ("a2", NumAvailable("c", 2), "m2"),
+        )
+        assert [r.name for r in fn.enabled_rules(view({"c": 5}))] == [
+            "a1",
+            "a2",
+        ]
+
+    def test_channels_collected(self):
+        fn = rules(
+            ("a1", HasTag("cv", "v"), "m1"),
+            ("a2", NumAvailable("cin", 1), "m2"),
+        )
+        assert fn.channels() == ("cin", "cv")
+
+    def test_modes_named_deduplicated_in_order(self):
+        fn = rules(
+            ("a1", TruePredicate(), "m2"),
+            ("a2", TruePredicate(), "m1"),
+            ("a3", TruePredicate(), "m2"),
+        )
+        assert fn.modes_named() == ("m2", "m1")
+
+    def test_iteration(self):
+        fn = rules(("a1", TruePredicate(), "m1"))
+        assert [rule.name for rule in fn] == ["a1"]

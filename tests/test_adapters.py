@@ -1,0 +1,199 @@
+"""Unit tests for the model-of-computation adapters."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.spi.adapters.csdf import CsdfActor, attach_csdf_actor
+from repro.spi.adapters.fsm import StateMachine, Transition, attach_fsm
+from repro.spi.adapters.sdf import SdfGraph, sdf_to_spi
+from repro.spi.adapters.tasks import (
+    PeriodicTask,
+    task_set_to_spi,
+    total_utilization,
+)
+from repro.spi.analysis import balance_equations
+from repro.spi.builder import GraphBuilder
+from repro.spi.semantics import StepSemantics
+from repro.spi.tags import TagSet
+from repro.spi.timing import check
+from repro.spi.tokens import Token, make_tokens
+
+
+class TestSdf:
+    def test_embedding_structure(self):
+        sdf = SdfGraph("s")
+        sdf.actor("A", 1.0)
+        sdf.actor("B", 2.0)
+        sdf.edge("A", "B", 2, 3, initial_tokens=1)
+        graph = sdf_to_spi(sdf)
+        assert set(graph.processes) == {"A", "B"}
+        channel = next(iter(graph.channels))
+        assert len(graph.channel(channel).initial_tokens) == 1
+
+    def test_repetition_vector_recovered(self):
+        sdf = SdfGraph()
+        sdf.actor("A")
+        sdf.actor("B")
+        sdf.actor("C")
+        sdf.edge("A", "B", 2, 3)
+        sdf.edge("B", "C", 1, 2)
+        graph = sdf_to_spi(sdf)
+        assert balance_equations(graph) == {"A": 3, "B": 2, "C": 1}
+
+    def test_duplicate_actor_rejected(self):
+        sdf = SdfGraph()
+        sdf.actor("A")
+        with pytest.raises(ModelError):
+            sdf.actor("A")
+
+    def test_edge_to_unknown_actor_rejected(self):
+        sdf = SdfGraph()
+        sdf.actor("A")
+        with pytest.raises(ModelError):
+            sdf.edge("A", "ghost", 1, 1)
+
+    def test_invalid_rates_rejected(self):
+        sdf = SdfGraph()
+        sdf.actor("A")
+        sdf.actor("B")
+        with pytest.raises(ModelError):
+            sdf.edge("A", "B", 0, 1)
+        with pytest.raises(ModelError):
+            sdf.edge("A", "B", 1, 1, initial_tokens=-1)
+
+
+class TestCsdf:
+    def test_phase_cycling(self):
+        builder = GraphBuilder()
+        builder.queue("inp", initial_tokens=make_tokens(10))
+        builder.queue("out")
+        actor = CsdfActor(
+            name="cs",
+            consume_phases={"inp": [1, 2]},
+            produce_phases={"out": [2, 1]},
+        )
+        attach_csdf_actor(builder, actor)
+        semantics = StepSemantics(builder.build(validate=False))
+        semantics.run()
+        # phases alternate: (1 in, 2 out), (2 in, 1 out), ...
+        modes = [f.mode for f in semantics.history if f.process == "cs"]
+        assert modes[:4] == ["m0", "m1", "m0", "m1"]
+
+    def test_phase_token_conservation(self):
+        builder = GraphBuilder()
+        builder.queue("inp", initial_tokens=make_tokens(6))
+        builder.queue("out")
+        actor = CsdfActor(
+            name="cs",
+            consume_phases={"inp": [1, 1]},
+            produce_phases={"out": [1, 1]},
+        )
+        attach_csdf_actor(builder, actor)
+        semantics = StepSemantics(builder.build(validate=False))
+        semantics.run()
+        assert semantics.occupancy()["cs__phase"] == 1
+
+    def test_mismatched_phase_lengths_rejected(self):
+        with pytest.raises(ModelError):
+            CsdfActor(
+                name="cs",
+                consume_phases={"i": [1, 2]},
+                produce_phases={"o": [1]},
+            )
+
+
+class TestFsm:
+    def make_toggle(self):
+        return StateMachine(
+            name="toggle",
+            initial_state="off",
+            transitions=(
+                Transition("off", "press", "on", output_symbol="lit"),
+                Transition("on", "press", "off", output_symbol="dark"),
+            ),
+        )
+
+    def test_fsm_steps_through_inputs(self):
+        builder = GraphBuilder()
+        builder.queue(
+            "events", initial_tokens=make_tokens(3, tags="press")
+        )
+        builder.queue("out")
+        attach_fsm(builder, self.make_toggle(), "events", "out")
+        semantics = StepSemantics(builder.build(validate=False))
+        semantics.run()
+        produced = semantics.states["out"]
+        assert produced.available() == 3
+        tags = [t.tags for t in produced.snapshot()]
+        assert tags == [
+            TagSet.of("lit"),
+            TagSet.of("dark"),
+            TagSet.of("lit"),
+        ]
+
+    def test_nondeterministic_fsm_rejected(self):
+        with pytest.raises(ModelError):
+            StateMachine(
+                name="bad",
+                initial_state="s",
+                transitions=(
+                    Transition("s", "x", "a"),
+                    Transition("s", "x", "b"),
+                ),
+            )
+
+    def test_unknown_initial_state_rejected(self):
+        with pytest.raises(ModelError):
+            StateMachine(
+                name="bad",
+                initial_state="ghost",
+                transitions=(Transition("a", "x", "b"),),
+            )
+
+    def test_states_listing(self):
+        assert self.make_toggle().states == ("off", "on")
+
+
+class TestTasks:
+    def test_task_validation(self):
+        with pytest.raises(ModelError):
+            PeriodicTask("t", period=0, wcet=1)
+        with pytest.raises(ModelError):
+            PeriodicTask("t", period=10, wcet=1, bcet=2)
+
+    def test_effective_deadline_defaults_to_period(self):
+        task = PeriodicTask("t", period=10, wcet=2)
+        assert task.effective_deadline == 10
+        explicit = PeriodicTask("t", period=10, wcet=2, deadline=5)
+        assert explicit.effective_deadline == 5
+
+    def test_utilization(self):
+        task = PeriodicTask("t", period=10, wcet=2)
+        assert task.utilization == 0.2
+        assert total_utilization([task, task]) == 0.4
+
+    def test_embedding_and_deadline_check(self):
+        tasks = [
+            PeriodicTask("fast", period=10, wcet=2, bcet=1),
+            PeriodicTask("slow", period=100, wcet=30, deadline=25),
+        ]
+        graph, constraints = task_set_to_spi(tasks)
+        assert graph.has_process("fast")
+        assert graph.has_process("slow__timer")
+        report = check(graph, constraints)
+        # 'slow' misses its 25ms deadline with wcet 30.
+        assert not report.satisfied
+        failing = report.violations()[0]
+        assert failing.constraint.process == "slow"
+
+    def test_duplicate_task_names_rejected(self):
+        tasks = [
+            PeriodicTask("t", period=10, wcet=1),
+            PeriodicTask("t", period=20, wcet=1),
+        ]
+        with pytest.raises(ModelError):
+            task_set_to_spi(tasks)
+
+    def test_empty_task_set_rejected(self):
+        with pytest.raises(ModelError):
+            task_set_to_spi([])

@@ -1,0 +1,127 @@
+"""Tests for the Boolean (dynamic) dataflow adapter."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.spi.adapters.bdf import (
+    if_then_else,
+    select_actor,
+    switch_actor,
+)
+from repro.spi.builder import GraphBuilder
+from repro.spi.semantics import StepSemantics
+from repro.spi.tags import TagSet
+from repro.spi.tokens import Token, make_tokens
+
+
+def control_tokens(pattern):
+    return [
+        Token(tags=TagSet.of("true" if bit else "false")) for bit in pattern
+    ]
+
+
+class TestSwitch:
+    def build(self, pattern, data_count):
+        builder = GraphBuilder()
+        builder.queue("ctl", initial_tokens=control_tokens(pattern))
+        builder.queue("din", initial_tokens=make_tokens(data_count))
+        builder.queue("out_t")
+        builder.queue("out_f")
+        builder.process(switch_actor("sw", "ctl", "din", "out_t", "out_f"))
+        return builder.build(validate=False)
+
+    def test_routing_follows_control_stream(self):
+        graph = self.build([1, 0, 1, 1], 4)
+        semantics = StepSemantics(graph)
+        semantics.run()
+        assert semantics.occupancy()["out_t"] == 3
+        assert semantics.occupancy()["out_f"] == 1
+
+    def test_no_control_no_firing(self):
+        graph = self.build([], 3)
+        semantics = StepSemantics(graph)
+        semantics.run()
+        assert semantics.firing_counts["sw"] == 0
+        assert semantics.occupancy()["din"] == 3
+
+    def test_no_data_no_firing(self):
+        graph = self.build([1, 1], 0)
+        semantics = StepSemantics(graph)
+        semantics.run()
+        assert semantics.firing_counts["sw"] == 0
+
+
+class TestSelect:
+    def test_select_reads_named_branch(self):
+        builder = GraphBuilder()
+        builder.queue("ctl", initial_tokens=control_tokens([1, 0]))
+        builder.queue(
+            "in_t", initial_tokens=make_tokens(1, tags="from_true")
+        )
+        builder.queue(
+            "in_f", initial_tokens=make_tokens(1, tags="from_false")
+        )
+        builder.queue("dout")
+        builder.process(select_actor("sel", "ctl", "in_t", "in_f", "dout"))
+        semantics = StepSemantics(builder.build(validate=False))
+        semantics.run()
+        produced = semantics.states["dout"].snapshot()
+        assert produced[0].has_tag("from_true")
+        assert produced[1].has_tag("from_false")
+
+    def test_select_blocks_on_empty_branch(self):
+        builder = GraphBuilder()
+        builder.queue("ctl", initial_tokens=control_tokens([1]))
+        builder.queue("in_t")  # empty — select must wait
+        builder.queue("in_f", initial_tokens=make_tokens(5))
+        builder.queue("dout")
+        builder.process(select_actor("sel", "ctl", "in_t", "in_f", "dout"))
+        semantics = StepSemantics(builder.build(validate=False))
+        semantics.run()
+        assert semantics.firing_counts["sel"] == 0
+
+
+class TestIfThenElse:
+    def build_conditional(self, pattern, data_count):
+        builder = GraphBuilder()
+        builder.queue("c_sw", initial_tokens=control_tokens(pattern))
+        builder.queue("c_sel", initial_tokens=control_tokens(pattern))
+        builder.queue("din", initial_tokens=make_tokens(data_count, tags="d"))
+        builder.queue("dout")
+        handles = if_then_else(
+            builder, "cond", "c", "din", "dout",
+            then_latency=1.0, else_latency=2.0,
+        )
+        return builder.build(validate=False), handles
+
+    def test_conditional_processes_every_token(self):
+        graph, handles = self.build_conditional([1, 0, 0, 1], 4)
+        semantics = StepSemantics(graph)
+        semantics.run()
+        assert semantics.occupancy()["dout"] == 4
+        assert semantics.firing_counts[handles.then_branch] == 2
+        assert semantics.firing_counts[handles.else_branch] == 2
+
+    def test_tags_flow_through_branches(self):
+        graph, _ = self.build_conditional([1], 1)
+        semantics = StepSemantics(graph)
+        semantics.run()
+        token = semantics.states["dout"].first_token()
+        assert token.has_tag("d")
+
+    def test_requires_declared_channels(self):
+        builder = GraphBuilder()
+        builder.queue("din")
+        builder.queue("dout")
+        with pytest.raises(ModelError, match="requires channel"):
+            if_then_else(builder, "cond", "c", "din", "dout")
+
+    def test_timed_simulation_latencies_differ_by_branch(self):
+        from repro.sim.engine import simulate
+
+        graph, handles = self.build_conditional([1, 0], 2)
+        trace = simulate(graph)
+        then_firing = trace.firings_of(handles.then_branch)[0]
+        else_firing = trace.firings_of(handles.else_branch)[0]
+        assert then_firing.latency == 1.0
+        assert else_firing.latency == 2.0

@@ -1,0 +1,99 @@
+"""Tests for the clocked-netlist (HDL) adapter."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.sim.engine import simulate
+from repro.spi.adapters.rtl import Netlist, rtl_to_spi
+
+
+def counter_netlist(period=10.0):
+    """A register fed back through an 'increment' block."""
+    netlist = Netlist(name="counter", clock_period=period)
+    netlist.register("count", reset_value="zero")
+    netlist.register("next", reset_value="zero")
+    netlist.block("inc", reads=("count",), writes="next", delay=2.0)
+    netlist.block("commit", reads=("next",), writes="count", delay=1.0)
+    return netlist
+
+
+class TestNetlistConstruction:
+    def test_declarations(self):
+        netlist = counter_netlist()
+        assert set(netlist.registers) == {"count", "next"}
+        assert set(netlist.blocks) == {"inc", "commit"}
+
+    def test_duplicate_register_rejected(self):
+        netlist = Netlist()
+        netlist.register("r")
+        with pytest.raises(ModelError):
+            netlist.register("r")
+
+    def test_unknown_register_reference_rejected(self):
+        netlist = Netlist()
+        netlist.register("r")
+        with pytest.raises(ModelError, match="unknown register"):
+            netlist.block("b", reads=("ghost",), writes="r")
+
+    def test_single_assignment_enforced(self):
+        netlist = Netlist()
+        netlist.register("a")
+        netlist.register("r")
+        netlist.block("b1", reads=("a",), writes="r")
+        with pytest.raises(ModelError, match="already written"):
+            netlist.block("b2", reads=("a",), writes="r")
+
+    def test_timing_validation(self):
+        netlist = Netlist(clock_period=5.0)
+        netlist.register("a")
+        netlist.register("r")
+        netlist.block("slow", reads=("a",), writes="r", delay=9.0)
+        assert netlist.validate_timing() == ["slow"]
+        with pytest.raises(ModelError, match="exceed the clock"):
+            rtl_to_spi(netlist)
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(ModelError, match="no blocks"):
+            rtl_to_spi(Netlist())
+
+
+class TestEmbedding:
+    def test_structure(self):
+        graph = rtl_to_spi(counter_netlist(), cycles=3)
+        assert graph.has_process("inc")
+        assert graph.has_process("commit")
+        assert graph.has_channel("count")
+        assert graph.channel("count").kind.value == "register"
+        assert graph.has_process("inc__clock")
+
+    def test_one_evaluation_per_cycle(self):
+        graph = rtl_to_spi(counter_netlist(period=10.0), cycles=4)
+        trace = simulate(graph)
+        assert trace.firing_count("inc") == 4
+        assert trace.firing_count("commit") == 4
+        starts = [f.start for f in trace.firings_of("inc")]
+        assert starts == [0.0, 10.0, 20.0, 30.0]
+
+    def test_block_delay_is_latency(self):
+        graph = rtl_to_spi(counter_netlist(), cycles=1)
+        trace = simulate(graph)
+        inc = trace.firings_of("inc")[0]
+        assert inc.end - inc.start == 2.0
+
+    def test_register_values_persist_across_cycles(self):
+        # registers are non-destructive reads: both blocks can read the
+        # same register every cycle without starving each other.
+        netlist = Netlist(name="fanout", clock_period=10.0)
+        netlist.register("shared")
+        netlist.register("out_a")
+        netlist.register("out_b")
+        netlist.block("a", reads=("shared",), writes="out_a", delay=1.0)
+        netlist.block("b", reads=("shared",), writes="out_b", delay=1.0)
+        trace = simulate(rtl_to_spi(netlist, cycles=3))
+        assert trace.firing_count("a") == 3
+        assert trace.firing_count("b") == 3
+
+    def test_free_running_clock_with_until(self):
+        graph = rtl_to_spi(counter_netlist(period=10.0))
+        trace = simulate(graph, until=45.0)
+        assert trace.firing_count("inc") == 5  # t = 0,10,20,30,40

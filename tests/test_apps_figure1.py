@@ -1,0 +1,70 @@
+"""Tests for the Figure 1 reproduction: graph, intervals, determinacy."""
+
+import pytest
+
+from repro.apps import figure1
+from repro.sim.engine import simulate
+from repro.spi.semantics import StepSemantics
+
+
+class TestStructure:
+    def test_parameter_intervals_match_paper(self):
+        graph = figure1.build_graph()
+        assert figure1.interval_summary(graph) == figure1.expected_intervals()
+
+    def test_mode_table(self):
+        p2 = figure1.build_p2()
+        assert p2.mode("m1").latency.lo == 3.0
+        assert p2.mode("m2").latency.hi == 5.0
+        assert p2.mode("m2").consumption("c1").lo == 3
+
+    def test_activation_rules_named_like_paper(self):
+        p2 = figure1.build_p2()
+        assert [rule.name for rule in p2.activation.rules] == ["a1", "a2"]
+
+
+class TestBehavior:
+    def test_tag_a_drives_mode_m1(self):
+        graph = figure1.build_graph(p1_tag="a", input_tokens=6)
+        semantics = StepSemantics(graph)
+        semantics.run()
+        p2_modes = {
+            f.mode for f in semantics.history if f.process == "p2"
+        }
+        assert p2_modes == {"m1"}
+        # 6 inputs -> p1 produces 12 on c1 -> p2 fires 12x in m1 -> 24 on c2
+        assert semantics.firing_counts["p2"] == 12
+
+    def test_tag_b_drives_mode_m2(self):
+        graph = figure1.build_graph(p1_tag="b", input_tokens=6)
+        semantics = StepSemantics(graph)
+        semantics.run()
+        p2_modes = {
+            f.mode for f in semantics.history if f.process == "p2"
+        }
+        assert p2_modes == {"m2"}
+        # 12 tokens on c1 consumed 3 at a time -> 4 firings producing 5.
+        assert semantics.firing_counts["p2"] == 4
+
+    def test_untagged_tokens_never_activate_p2(self):
+        graph = figure1.build_graph(p1_tag=None, input_tokens=6)
+        semantics = StepSemantics(graph)
+        semantics.run()
+        assert semantics.firing_counts["p2"] == 0
+        assert semantics.occupancy()["c1"] == 12
+
+    def test_timed_simulation_latencies(self):
+        graph = figure1.build_graph(p1_tag="a", input_tokens=1)
+        trace = simulate(graph)
+        p1 = trace.firings_of("p1")[0]
+        assert p1.end - p1.start == 1.0
+        p2_first = trace.firings_of("p2")[0]
+        assert p2_first.end - p2_first.start == 3.0
+
+    def test_worst_case_chain_latency(self):
+        from repro.spi.timing import worst_case_path_latency
+
+        graph = figure1.build_graph()
+        worst, path = worst_case_path_latency(graph, "p1", "p3")
+        assert worst == 1.0 + 5.0 + 3.0
+        assert path == ("p1", "p2", "p3")

@@ -1,0 +1,124 @@
+"""Tests for the Figure 2 / Table 1 reproduction — the headline result.
+
+These tests assert the *exact* values of the paper's Table 1: the
+calibrated library is documented in repro.apps.figure2, and the DSE has
+to discover the paper's mappings on its own.
+"""
+
+import pytest
+
+from repro.apps import figure2
+from repro.synth.explorer import ExhaustiveExplorer
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return figure2.table1_outcomes()
+
+
+class TestTable1Exact:
+    def test_application1_row(self, outcomes):
+        paper = figure2.PAPER_TABLE1["application1"]
+        outcome = outcomes["application1"]
+        assert outcome.software_cost == paper["sw_cost"]
+        assert outcome.hardware_cost == paper["hw_cost"]
+        assert outcome.total_cost == paper["total"]
+        assert outcome.design_time == paper["design_time"]
+
+    def test_application2_row(self, outcomes):
+        paper = figure2.PAPER_TABLE1["application2"]
+        outcome = outcomes["application2"]
+        assert outcome.total_cost == paper["total"]
+        assert outcome.design_time == paper["design_time"]
+
+    def test_superposition_row(self, outcomes):
+        paper = figure2.PAPER_TABLE1["superposition"]
+        outcome = outcomes["superposition"]
+        assert outcome.software_cost == paper["sw_cost"]
+        assert outcome.hardware_cost == paper["hw_cost"]
+        assert outcome.total_cost == paper["total"]
+        assert outcome.design_time == paper["design_time"]
+
+    def test_with_variants_row(self, outcomes):
+        paper = figure2.PAPER_TABLE1["with_variants"]
+        outcome = outcomes["with_variants"]
+        assert outcome.total_cost == paper["total"]
+        assert outcome.design_time == paper["design_time"]
+
+    def test_paper_mappings_discovered(self, outcomes):
+        # Applications keep PA/PB in software and their cluster in HW.
+        assert outcomes["application1"].software_parts == ("PA", "PB")
+        # The variant-aware flow moves PA to hardware and shares the
+        # processor between PB and the mutually exclusive clusters.
+        assert outcomes["with_variants"].hardware_parts == ("PA",)
+        sw = set(outcomes["with_variants"].software_parts)
+        assert {"PB", "theta1.gamma1.f1", "theta1.gamma2.g1"} <= sw
+
+
+class TestTable1Shape:
+    """The qualitative claims, independent of the calibration."""
+
+    def test_variant_aware_beats_superposition(self, outcomes):
+        assert (
+            outcomes["with_variants"].total_cost
+            < outcomes["superposition"].total_cost
+        )
+
+    def test_variant_aware_costs_more_than_single_apps(self, outcomes):
+        assert (
+            outcomes["with_variants"].total_cost
+            > outcomes["application1"].total_cost
+        )
+        assert (
+            outcomes["with_variants"].total_cost
+            > outcomes["application2"].total_cost
+        )
+
+    def test_design_time_saving_is_common_effort(self, outcomes):
+        saving = (
+            outcomes["superposition"].design_time
+            - outcomes["with_variants"].design_time
+        )
+        # PA (12) + PB (10) considered once instead of twice.
+        assert saving == 22.0
+
+    def test_rows_render(self):
+        rows = figure2.table1_rows()
+        assert len(rows) == 4
+        assert rows[0]["flow"] == "application1"
+        assert rows[3]["total"] == 41.0
+
+
+class TestStructure:
+    def test_variant_graph_shape(self):
+        vgraph = figure2.build_variant_graph()
+        assert vgraph.variant_counts() == {"theta1": 2}
+        gamma1 = vgraph.interface("theta1").cluster("gamma1")
+        gamma2 = vgraph.interface("theta1").cluster("gamma2")
+        assert len(gamma1.process_names()) == 2
+        assert len(gamma2.process_names()) == 3
+
+    def test_entry_mode_counts_match_paper_extraction(self):
+        # "the extraction process results in two process modes for
+        # cluster 1 and three modes for cluster 2"
+        from repro.variants.extraction import extract_cluster_modes
+
+        vgraph = figure2.build_variant_graph()
+        interface = vgraph.interface("theta1")
+        bindings = vgraph.port_bindings("theta1")
+        modes1 = extract_cluster_modes(interface.cluster("gamma1"), bindings)
+        modes2 = extract_cluster_modes(interface.cluster("gamma2"), bindings)
+        assert len(modes1) == 2
+        assert len(modes2) == 3
+
+    def test_applications_simulate(self):
+        apps = figure2.applications()
+        from repro.sim import simulate
+
+        for graph in apps.values():
+            trace = simulate(graph)
+            assert trace.firing_count("PB") > 0
+
+    def test_exhaustive_explorer_agrees(self):
+        rows = figure2.table1_rows(explorer=ExhaustiveExplorer())
+        assert [row["total"] for row in rows] == [34.0, 38.0, 57.0, 41.0]

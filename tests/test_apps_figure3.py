@@ -1,0 +1,71 @@
+"""Tests for the Figure 3 reproduction: run-time variant selection."""
+
+import pytest
+
+from repro.apps import figure3
+from repro.sim.engine import simulate
+
+
+class TestSelection:
+    def test_v1_selects_cluster1(self):
+        trace, _ = figure3.simulate_runtime_selection("V1", stream_tokens=8)
+        report = figure3.selection_report(trace)
+        assert report["configuration_steps"] == 1
+        assert report["selected"] == "conf_cluster1"
+        assert report["t_conf_paid"] == figure3.CONFIG_LATENCY["cluster1"]
+
+    def test_v2_selects_cluster2(self):
+        trace, _ = figure3.simulate_runtime_selection("V2", stream_tokens=8)
+        report = figure3.selection_report(trace)
+        assert report["selected"] == "conf_cluster2"
+        assert report["t_conf_paid"] == figure3.CONFIG_LATENCY["cluster2"]
+
+    def test_selection_is_stable_after_startup(self):
+        # Run-time variants are selected once and remain fixed.
+        trace, _ = figure3.simulate_runtime_selection("V1", stream_tokens=20)
+        assert len(trace.reconfigurations_of("theta1")) == 1
+        modes = set(trace.modes_used("theta1"))
+        assert all(mode.startswith("cluster1") for mode in modes)
+
+    def test_all_stream_tokens_processed(self):
+        trace, _ = figure3.simulate_runtime_selection("V1", stream_tokens=8)
+        assert trace.firing_count("theta1") == 8
+        # cluster1 produces 2 tokens per input
+        assert len(trace.produced_on("COut")) == 16
+
+    def test_cluster2_output_rate(self):
+        trace, _ = figure3.simulate_runtime_selection("V2", stream_tokens=8)
+        assert len(trace.produced_on("COut")) == 8
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            figure3.build_variant_graph("V3")
+
+
+class TestAbstractionVsBinding:
+    def test_bound_graph_matches_abstracted_output_counts(self):
+        """X4 ablation: expanded cluster simulation vs abstraction."""
+        vgraph = figure3.build_variant_graph("V1", stream_tokens=8)
+        bound = vgraph.bind({"theta1": "cluster1"})
+        bound_trace = simulate(bound)
+        abstract_trace, _ = figure3.simulate_runtime_selection(
+            "V1", stream_tokens=8
+        )
+        assert len(bound_trace.produced_on("COut")) == len(
+            abstract_trace.produced_on("COut")
+        )
+
+    def test_latency_within_extracted_bounds(self):
+        trace, graph = figure3.simulate_runtime_selection(
+            "V1", stream_tokens=4
+        )
+        process = graph.process("theta1")
+        bounds = process.latency_bounds()
+        for firing in trace.firings_of("theta1"):
+            effective = firing.latency - firing.reconfiguration_latency
+            assert bounds.lo - 1e-9 <= effective <= bounds.hi + 1e-9
+
+    def test_paper_selection_rules_present(self):
+        interface = figure3.build_interface()
+        rules = interface.selection.rules
+        assert {rule.cluster for rule in rules} == {"cluster1", "cluster2"}

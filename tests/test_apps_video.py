@@ -1,0 +1,125 @@
+"""Tests for the Figure 4 reproduction: the reconfigurable video system."""
+
+import pytest
+
+from repro.apps import video
+from repro.sim.monitors import FrameValidityMonitor
+
+
+@pytest.fixture(scope="module")
+def valved_run():
+    return video.run_video(n_frames=100)
+
+
+@pytest.fixture(scope="module")
+def unvalved_run():
+    return video.run_video(n_frames=100, with_valves=False)
+
+
+class TestProtocol:
+    def test_all_requested_reconfigurations_happen(self, valved_run):
+        trace, _ = valved_run
+        # 2 user requests x 2 stages
+        assert len(trace.reconfigurations) == 4
+        targets = [
+            (r.process, r.to_configuration) for r in trace.reconfigurations
+        ]
+        assert ("P1", "conf_v1b") in targets
+        assert ("P2", "conf_v2b") in targets
+        assert ("P1", "conf_v1a") in targets
+        assert ("P2", "conf_v2a") in targets
+
+    def test_reconfiguration_latencies_accounted(self, valved_run):
+        trace, _ = valved_run
+        expected = (
+            video.CONFIG_LATENCY["v1b"]
+            + video.CONFIG_LATENCY["v2b"]
+            + video.CONFIG_LATENCY["v1a"]
+            + video.CONFIG_LATENCY["v2a"]
+        )
+        assert trace.total_reconfiguration_time() == expected
+
+    def test_confirmations_close_the_loop(self, valved_run):
+        trace, _ = valved_run
+        # PControl fired one dispatch + one finish per request.
+        modes = trace.modes_used("PControl")
+        assert modes.count("finish") == 2
+        assert sum(1 for m in modes if m.startswith("dispatch")) == 2
+
+    def test_valves_suspend_and_resume(self, valved_run):
+        trace, _ = valved_run
+        pin_modes = trace.modes_used("PIn")
+        assert pin_modes.count("ctl_suspend") == 2
+        assert pin_modes.count("ctl_resume") == 2
+        assert pin_modes.count("pass_first") == 2
+        pout_modes = trace.modes_used("POut")
+        assert pout_modes.count("ctl_suspend") == 2
+        assert pout_modes.count("resume_pass") == 2
+
+    def test_controller_state_returns_to_idle(self, valved_run):
+        trace, graph = valved_run
+        # After the last finish, CCTRL holds 'idle' again.
+        from repro.sim.engine import Simulator
+
+        simulator = Simulator(video.build_video_system(n_frames=100))
+        simulator.run()
+        assert simulator.states["CCTRL"].first_tags() == {"idle"}
+
+
+class TestValidityInvariant:
+    def test_no_invalid_frames_with_valves(self, valved_run):
+        trace, _ = valved_run
+        report = video.video_report(trace)
+        assert report["invalid_frames_displayed"] == 0
+
+    def test_invalid_frames_without_valves(self, unvalved_run):
+        trace, _ = unvalved_run
+        report = video.video_report(trace)
+        assert report["invalid_frames_displayed"] > 0
+
+    def test_straddling_frames_replaced_not_dropped(self, valved_run):
+        trace, _ = valved_run
+        report = video.video_report(trace)
+        # The display never starves: every captured frame that reaches
+        # POut yields an output frame (repeat or fresh or normal).
+        assert report["frames_displayed"] > 0
+        assert report["frames_repeated"] > 0
+
+    def test_fresh_tag_reaches_display(self, valved_run):
+        trace, _ = valved_run
+        fresh = [
+            token
+            for token in trace.produced_on("CVout")
+            if token.has_tag("fresh")
+        ]
+        assert len(fresh) == 2  # one per resume
+
+    def test_stream_flows_before_and_after(self, valved_run):
+        trace, _ = valved_run
+        report = video.video_report(trace)
+        assert report["frames_captured"] == 100
+        assert report["frames_displayed"] >= 90
+
+
+class TestAblations:
+    def test_single_request_run(self):
+        trace, _ = video.run_video(
+            n_frames=60,
+            requests=[("v1b", "v2a")],
+            request_start=800.0,
+        )
+        assert len(trace.reconfigurations) == 1  # only P1 changes
+        report = video.video_report(trace)
+        assert report["invalid_frames_displayed"] == 0
+
+    def test_rerequesting_current_variant_causes_no_reconfiguration(self):
+        trace, _ = video.run_video(
+            n_frames=60,
+            requests=[("v1a", "v2a")],  # already the initial variants
+            request_start=800.0,
+        )
+        assert len(trace.reconfigurations) == 0
+        # but the protocol still confirms and resumes
+        assert trace.modes_used("PControl").count("finish") == 1
+        report = video.video_report(trace)
+        assert report["invalid_frames_displayed"] == 0

@@ -1,0 +1,144 @@
+"""Unit tests for repro.spi.channels (queue and register semantics)."""
+
+import pytest
+
+from repro.errors import ModelError, SimulationError
+from repro.spi.channels import Channel, ChannelKind, queue, register
+from repro.spi.tags import TagSet
+from repro.spi.tokens import Token, make_tokens
+
+
+class TestDeclarations:
+    def test_queue_shorthand(self):
+        channel = queue("c1", capacity=4)
+        assert channel.kind is ChannelKind.QUEUE
+        assert channel.capacity == 4
+
+    def test_register_shorthand(self):
+        channel = register("r1")
+        assert channel.kind is ChannelKind.REGISTER
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            queue("")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            queue("c", capacity=0)
+
+    def test_register_rejects_multiple_initial_tokens(self):
+        with pytest.raises(ModelError):
+            register("r", initial_tokens=make_tokens(2))
+
+    def test_initial_tokens_exceeding_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            queue("c", capacity=1, initial_tokens=make_tokens(2))
+
+
+class TestQueueSemantics:
+    def test_fifo_order(self):
+        state = queue("c").new_state()
+        first = Token(tags=TagSet.of("1"))
+        second = Token(tags=TagSet.of("2"))
+        state.write([first, second])
+        assert state.read(1) == [first]
+        assert state.read(1) == [second]
+
+    def test_destructive_read(self):
+        state = queue("c", initial_tokens=make_tokens(3)).new_state()
+        state.read(2)
+        assert state.available() == 1
+
+    def test_read_more_than_available_fails(self):
+        state = queue("c", initial_tokens=make_tokens(1)).new_state()
+        with pytest.raises(SimulationError):
+            state.read(2)
+
+    def test_negative_read_rejected(self):
+        state = queue("c").new_state()
+        with pytest.raises(SimulationError):
+            state.read(-1)
+
+    def test_capacity_overflow_raises(self):
+        state = queue("c", capacity=2).new_state()
+        state.write(make_tokens(2))
+        with pytest.raises(SimulationError):
+            state.write(make_tokens(1))
+
+    def test_peek_does_not_consume(self):
+        state = queue("c", initial_tokens=make_tokens(3)).new_state()
+        assert len(state.peek(2)) == 2
+        assert state.available() == 3
+
+    def test_first_tags(self):
+        state = queue("c").new_state()
+        assert state.first_tags() is None
+        state.write([Token(tags=TagSet.of("a"))])
+        assert state.first_tags() == TagSet.of("a")
+
+    def test_clear_returns_dropped_tokens(self):
+        state = queue("c", initial_tokens=make_tokens(3)).new_state()
+        dropped = state.clear()
+        assert len(dropped) == 3
+        assert state.available() == 0
+
+    def test_snapshot_preserves_order(self):
+        state = queue("c").new_state()
+        tokens = [Token(tags=TagSet.of(str(i))) for i in range(3)]
+        state.write(tokens)
+        assert list(state.snapshot()) == tokens
+
+    def test_initial_tokens_preloaded(self):
+        state = queue("c", initial_tokens=make_tokens(2)).new_state()
+        assert state.available() == 2
+
+
+class TestRegisterSemantics:
+    def test_destructive_write_keeps_newest(self):
+        state = register("r").new_state()
+        state.write([Token(tags=TagSet.of("old"))])
+        state.write([Token(tags=TagSet.of("new"))])
+        assert state.available() == 1
+        assert state.first_tags() == TagSet.of("new")
+
+    def test_write_of_batch_keeps_last(self):
+        state = register("r").new_state()
+        state.write([Token(tags=TagSet.of("a")), Token(tags=TagSet.of("b"))])
+        assert state.first_tags() == TagSet.of("b")
+
+    def test_nondestructive_read(self):
+        state = register(
+            "r", initial_tokens=[Token(tags=TagSet.of("v"))]
+        ).new_state()
+        assert state.read(1)[0].has_tag("v")
+        assert state.available() == 1
+        assert state.read(1)[0].has_tag("v")
+
+    def test_read_before_write_fails(self):
+        state = register("r").new_state()
+        with pytest.raises(SimulationError):
+            state.read(1)
+
+    def test_zero_read_is_noop(self):
+        state = register("r").new_state()
+        assert state.read(0) == []
+
+    def test_peek_replicates_current_value(self):
+        state = register(
+            "r", initial_tokens=[Token(tags=TagSet.of("v"))]
+        ).new_state()
+        assert len(state.peek(3)) == 3
+
+    def test_clear_empties_register(self):
+        state = register(
+            "r", initial_tokens=[Token(tags=TagSet.of("v"))]
+        ).new_state()
+        assert len(state.clear()) == 1
+        assert state.available() == 0
+
+    def test_empty_write_is_noop(self):
+        state = register(
+            "r", initial_tokens=[Token(tags=TagSet.of("v"))]
+        ).new_state()
+        state.write([])
+        assert state.first_tags() == TagSet.of("v")

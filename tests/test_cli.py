@@ -1,0 +1,49 @@
+"""Tests for the command-line front-end (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "with_variants" in out
+        assert "41" in out
+        assert "118" in out
+
+    def test_figure1_default_tag(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "p2_latency" in out
+        assert "firings" in out
+
+    def test_figure1_untagged(self, capsys):
+        assert main(["figure1", "--tag", "none", "--tokens", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "'p2': 0" in out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3", "--variant", "V2", "--tokens", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "conf_cluster2" in out
+
+    def test_figure4_small(self, capsys):
+        assert main(["figure4", "--frames", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "invalid_frames_displayed" in out
+        assert " 0" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "variant representation" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

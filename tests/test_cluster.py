@@ -1,0 +1,111 @@
+"""Unit tests for repro.variants.cluster (Definition 1)."""
+
+import pytest
+
+from repro.errors import VariantError
+from repro.spi.builder import GraphBuilder
+from repro.variants.cluster import Cluster
+from tests.conftest import pipeline_cluster
+
+
+class TestConstruction:
+    def test_pipeline_cluster(self, two_stage_cluster):
+        assert two_stage_cluster.inputs == ("i",)
+        assert two_stage_cluster.outputs == ("o",)
+        assert two_stage_cluster.process_names() == ("s0", "s1")
+
+    def test_missing_boundary_channel_rejected(self):
+        builder = GraphBuilder()
+        builder.queue("o")
+        builder.simple("p", produces={"o": 1})
+        with pytest.raises(VariantError, match="input port"):
+            Cluster(
+                name="c",
+                inputs=("i",),
+                outputs=("o",),
+                graph=builder.build(validate=False),
+            )
+
+    def test_input_port_with_internal_writer_rejected(self):
+        builder = GraphBuilder()
+        builder.queue("i")
+        builder.queue("o")
+        builder.simple("p", consumes={"i": 1}, produces={"o": 1})
+        builder.simple("rogue", produces={"i": 1})
+        with pytest.raises(VariantError, match="internal writer"):
+            Cluster(
+                name="c",
+                inputs=("i",),
+                outputs=("o",),
+                graph=builder.build(validate=False),
+            )
+
+    def test_output_port_with_internal_reader_rejected(self):
+        builder = GraphBuilder()
+        builder.queue("i")
+        builder.queue("o")
+        builder.simple("p", consumes={"i": 1}, produces={"o": 1})
+        builder.simple("rogue", consumes={"o": 1})
+        with pytest.raises(VariantError, match="internal reader"):
+            Cluster(
+                name="c",
+                inputs=("i",),
+                outputs=("o",),
+                graph=builder.build(validate=False),
+            )
+
+    def test_duplicate_port_names_rejected(self):
+        builder = GraphBuilder()
+        builder.queue("i")
+        with pytest.raises(VariantError):
+            Cluster(
+                name="c",
+                inputs=("i",),
+                outputs=("i",),
+                graph=builder.build(validate=False),
+            )
+
+    def test_unknown_nested_binding_rejected(self):
+        builder = GraphBuilder()
+        builder.queue("i")
+        builder.queue("o")
+        builder.simple("p", consumes={"i": 1}, produces={"o": 1})
+        with pytest.raises(VariantError, match="unknown embedded"):
+            Cluster(
+                name="c",
+                inputs=("i",),
+                outputs=("o",),
+                graph=builder.build(validate=False),
+                interface_bindings={"ghost": {"i": "x"}},
+            )
+
+
+class TestQueries:
+    def test_entry_and_exit(self, two_stage_cluster):
+        assert two_stage_cluster.entry_process("i") == "s0"
+        assert two_stage_cluster.exit_process("o") == "s1"
+
+    def test_entry_unknown_port_rejected(self, two_stage_cluster):
+        with pytest.raises(VariantError):
+            two_stage_cluster.entry_process("ghost")
+        with pytest.raises(VariantError):
+            two_stage_cluster.exit_process("i")
+
+    def test_internal_channels_exclude_ports(self, two_stage_cluster):
+        assert two_stage_cluster.internal_channels() == ("m0",)
+
+    def test_signature(self, two_stage_cluster):
+        signature = two_stage_cluster.signature
+        assert signature.inputs == ("i",)
+        assert signature.outputs == ("o",)
+
+    def test_latency_bounds(self):
+        cluster = pipeline_cluster(latency=2.0)
+        bounds = cluster.latency_bounds()
+        assert bounds.lo == 2.0 and bounds.hi == 2.0
+
+    def test_stats(self, two_stage_cluster):
+        stats = two_stage_cluster.stats()
+        assert stats["processes"] == 2
+        assert stats["ports"] == 2
+        assert stats["embedded_interfaces"] == 0

@@ -1,0 +1,155 @@
+"""Unit tests for repro.variants.configuration (Definition 4)."""
+
+import pytest
+
+from repro.errors import VariantError
+from repro.spi.activation import rules
+from repro.spi.modes import ProcessMode
+from repro.spi.predicates import HasTag, NumAvailable
+from repro.variants.configuration import (
+    Configuration,
+    ConfigurationSet,
+    ConfiguredProcess,
+)
+
+
+def make_modes():
+    return {
+        "a1": ProcessMode(name="a1", consumes={"c": 1}),
+        "a2": ProcessMode(name="a2", consumes={"c": 2}),
+        "b1": ProcessMode(name="b1", consumes={"c": 1}),
+    }
+
+
+def make_confset():
+    return ConfigurationSet(
+        (
+            Configuration("confA", ("a1", "a2"), latency=5.0,
+                          source_cluster="A"),
+            Configuration("confB", ("b1",), latency=7.0, source_cluster="B"),
+        )
+    )
+
+
+class TestConfiguration:
+    def test_construction(self):
+        conf = Configuration("c", ("m1",), latency=2.0)
+        assert "m1" in conf
+        assert conf.latency == 2.0
+
+    def test_requires_modes(self):
+        with pytest.raises(VariantError):
+            Configuration("c", ())
+
+    def test_duplicate_modes_rejected(self):
+        with pytest.raises(VariantError):
+            Configuration("c", ("m", "m"))
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(VariantError):
+            Configuration("c", ("m",), latency=-1.0)
+
+
+class TestConfigurationSet:
+    def test_partition_must_be_disjoint(self):
+        with pytest.raises(VariantError, match="disjoint"):
+            ConfigurationSet(
+                (
+                    Configuration("x", ("m1",)),
+                    Configuration("y", ("m1",)),
+                )
+            )
+
+    def test_lookup_by_name_and_mode(self):
+        confset = make_confset()
+        assert confset.configuration("confA").latency == 5.0
+        assert confset.configuration_of_mode("a2").name == "confA"
+        assert confset.configuration_of_mode("b1").name == "confB"
+
+    def test_unknown_lookups_raise(self):
+        confset = make_confset()
+        with pytest.raises(VariantError):
+            confset.configuration("ghost")
+        with pytest.raises(VariantError):
+            confset.configuration_of_mode("ghost")
+
+    def test_names_and_all_modes(self):
+        confset = make_confset()
+        assert confset.names() == ("confA", "confB")
+        assert confset.all_modes() == ("a1", "a2", "b1")
+
+    def test_duplicate_configuration_names_rejected(self):
+        with pytest.raises(VariantError):
+            ConfigurationSet(
+                (
+                    Configuration("c", ("m1",)),
+                    Configuration("c", ("m2",)),
+                )
+            )
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(VariantError):
+            ConfigurationSet(())
+
+
+class TestConfiguredProcess:
+    def make_activation(self):
+        return rules(
+            ("r1", NumAvailable("c", 1) & HasTag("c", "A"), "a1"),
+            ("r2", NumAvailable("c", 2) & HasTag("c", "A"), "a2"),
+            ("r3", NumAvailable("c", 1) & HasTag("c", "B"), "b1"),
+        )
+
+    def test_construction(self):
+        process = ConfiguredProcess(
+            name="p",
+            modes=make_modes(),
+            activation=self.make_activation(),
+            configurations=make_confset(),
+            initial_configuration="confA",
+        )
+        assert process.configuration_of_mode("b1").name == "confB"
+        assert process.reconfiguration_latency("confB") == 7.0
+
+    def test_partition_must_cover_all_modes(self):
+        partial = ConfigurationSet((Configuration("confA", ("a1", "a2")),))
+        with pytest.raises(VariantError, match="partition mismatch"):
+            ConfiguredProcess(
+                name="p",
+                modes=make_modes(),
+                activation=self.make_activation(),
+                configurations=partial,
+            )
+
+    def test_partition_must_not_invent_modes(self):
+        confset = ConfigurationSet(
+            (
+                Configuration("confA", ("a1", "a2", "ghost")),
+                Configuration("confB", ("b1",)),
+            )
+        )
+        with pytest.raises(VariantError, match="partition mismatch"):
+            ConfiguredProcess(
+                name="p",
+                modes=make_modes(),
+                activation=self.make_activation(),
+                configurations=confset,
+            )
+
+    def test_configurations_required(self):
+        with pytest.raises(VariantError):
+            ConfiguredProcess(
+                name="p",
+                modes=make_modes(),
+                activation=self.make_activation(),
+            )
+
+    def test_initial_configuration_must_exist(self):
+        with pytest.raises(VariantError):
+            ConfiguredProcess(
+                name="p",
+                modes=make_modes(),
+                activation=self.make_activation(),
+                configurations=make_confset(),
+                initial_configuration="ghost",
+            )

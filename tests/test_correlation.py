@@ -1,0 +1,81 @@
+"""Tests for the mode-correlation analysis."""
+
+from repro.apps import figure1
+from repro.spi.correlation import analyze_correlation
+from repro.spi.intervals import Interval
+from repro.spi.process import simple_process
+
+
+class TestPaperExample:
+    def test_p2_hulls_match_figure1_annotations(self):
+        report = analyze_correlation(figure1.build_p2())
+        assert report.uncorrelated_latency == Interval(3.0, 5.0)
+        assert report.uncorrelated_consumption["c1"] == Interval(1, 3)
+        assert report.uncorrelated_production["c2"] == Interval(2, 5)
+
+    def test_p2_modes_rule_out_spurious_corners(self):
+        # The hull box has 2^3 = 8 corners; p2's two modes occupy 2.
+        report = analyze_correlation(figure1.build_p2())
+        assert report.corner_points == 8
+        assert report.feasible_corners == 2
+        assert report.infeasible_corners == 6
+        assert report.tightening_ratio == 0.75
+
+    def test_mode_points_enumerated(self):
+        report = analyze_correlation(figure1.build_p2())
+        assert len(report.mode_points) == 2
+        latencies = sorted(p.latency for p in report.mode_points)
+        assert latencies == [3.0, 5.0]
+
+
+class TestDegenerateCases:
+    def test_single_mode_process_has_no_spurious_corners(self):
+        process = simple_process(
+            "p", latency=2.0, consumes={"a": 1}, produces={"b": 3}
+        )
+        report = analyze_correlation(process)
+        # all parameters are points: the "box" is a single corner.
+        assert report.corner_points == 1
+        assert report.feasible_corners == 1
+        assert report.tightening_ratio == 0.0
+
+    def test_interval_mode_covers_its_own_box(self):
+        from repro.spi.modes import ProcessMode
+        from repro.spi.process import Process
+
+        mode = ProcessMode(
+            name="fuzzy",
+            latency=Interval(1.0, 2.0),
+            consumes={"a": Interval(1, 2)},
+        )
+        process = Process(name="p", modes={"fuzzy": mode})
+        report = analyze_correlation(process)
+        # one mode spanning the whole hull: nothing is spurious.
+        assert report.infeasible_corners == 0
+
+    def test_correlated_modes_on_two_channels(self):
+        # fast mode: cheap on both; slow mode: expensive on both.
+        # Mixed corners (cheap latency, expensive rate) are spurious.
+        from repro.spi.activation import rules
+        from repro.spi.modes import ProcessMode
+        from repro.spi.predicates import NumAvailable
+        from repro.spi.process import Process
+
+        fast = ProcessMode(
+            name="fast", latency=1.0, consumes={"a": 1}, produces={"b": 1}
+        )
+        slow = ProcessMode(
+            name="slow", latency=9.0, consumes={"a": 4}, produces={"b": 4}
+        )
+        process = Process(
+            name="p",
+            modes={"fast": fast, "slow": slow},
+            activation=rules(
+                ("r1", NumAvailable("a", 4), "slow"),
+                ("r2", NumAvailable("a", 1), "fast"),
+            ),
+        )
+        report = analyze_correlation(process)
+        assert report.corner_points == 8
+        assert report.feasible_corners == 2
+        assert report.tightening_ratio == 0.75

@@ -1,0 +1,46 @@
+"""Tests for Graphviz DOT export."""
+
+from repro.apps import figure2, figure3
+from repro.spi.dot import graph_to_dot, variant_graph_to_dot
+from tests.conftest import chain_graph
+
+
+class TestGraphExport:
+    def test_nodes_and_edges_present(self):
+        dot = graph_to_dot(chain_graph(stages=2))
+        assert '"s0" [shape=box' in dot
+        assert '"c1" [shape=ellipse' in dot
+        assert '"s0" -> "c1";' in dot
+        assert dot.startswith("digraph")
+
+    def test_register_double_ellipse(self):
+        graph = figure3.build_variant_graph().base
+        dot = graph_to_dot(graph)
+        assert "peripheries=2" in dot  # the CV register
+
+    def test_virtual_dashed(self):
+        graph = figure3.build_variant_graph().base
+        dot = graph_to_dot(graph)
+        assert 'style="dashed"' in dot
+
+    def test_multimode_label(self):
+        from repro.apps import figure1
+
+        dot = graph_to_dot(figure1.build_graph())
+        assert "2 modes" in dot
+
+
+class TestVariantExport:
+    def test_interfaces_rendered_as_clusters(self):
+        vgraph = figure2.build_variant_graph()
+        dot = variant_graph_to_dot(vgraph)
+        assert "subgraph cluster_theta1" in dot
+        assert "variant gamma1" in dot
+        assert "variant gamma2" in dot
+        assert '"theta1.gamma1.f1"' in dot
+
+    def test_port_edges_drawn(self):
+        vgraph = figure2.build_variant_graph()
+        dot = variant_graph_to_dot(vgraph)
+        assert '"CB" -> "theta1__anchor";' in dot
+        assert '"theta1__anchor" -> "CC";' in dot

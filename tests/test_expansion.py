@@ -1,0 +1,254 @@
+"""Tests for expanded interface simulation and cluster termination."""
+
+import pytest
+
+from repro.errors import VariantError
+from repro.sim.engine import Simulator, simulate
+from repro.spi.builder import GraphBuilder
+from repro.spi.tags import TagSet
+from repro.spi.tokens import Token, make_tokens
+from repro.spi.virtuality import sink, source
+from repro.variants.expansion import attach_expanded_interface
+from repro.variants.interface import Interface
+from repro.variants.selection import ClusterSelectionFunction
+from repro.variants.types import VariantKind
+from tests.conftest import pipeline_cluster
+
+
+def make_interface(stages=(2, 1), latencies=(4.0, 6.0)):
+    clusters = {}
+    for index, (stage_count, latency) in enumerate(zip(stages, latencies)):
+        name = f"v{index}"
+        clusters[name] = pipeline_cluster(
+            name, stages=stage_count, latency=latency
+        )
+    return Interface(
+        name="dyn",
+        inputs=("i",),
+        outputs=("o",),
+        clusters=clusters,
+        selection=ClusterSelectionFunction.by_tag(
+            "CReq", {f"sel:v{i}": f"v{i}" for i in range(len(stages))}
+        ),
+        config_latency={f"v{i}": 10.0 * (i + 1) for i in range(len(stages))},
+        initial_cluster="v0",
+        kind=VariantKind.DYNAMIC,
+    )
+
+
+def build_host(
+    interface,
+    input_tokens=6,
+    request_tag=None,
+    request_time=None,
+    graceful=False,
+    period=5.0,
+):
+    builder = GraphBuilder("host")
+    builder.queue("CIn")
+    builder.queue("COut")
+    builder.queue("CReq")
+    builder.queue("CCon")
+    builder.process(
+        source(
+            "cam", "CIn", tags="img", period=period,
+            max_firings=input_tokens,
+        )
+    )
+    builder.process(sink("snk", "COut"))
+    if request_tag is not None:
+        builder.process(
+            source(
+                "requester",
+                "CReq",
+                tags=request_tag,
+                max_firings=1,
+                latency=0.0,
+                release_time=request_time or 0.0,
+            )
+        )
+    expanded = attach_expanded_interface(
+        builder,
+        interface,
+        {"i": "CIn", "o": "COut"},
+        request_channel="CReq",
+        confirm_channel="CCon",
+        graceful=graceful,
+    )
+    return builder.build(validate=False), expanded
+
+
+class TestSteadyState:
+    def test_initial_cluster_processes_stream(self):
+        graph, expanded = build_host(make_interface(), input_tokens=5)
+        trace = simulate(graph, flush_rules=expanded.flush_rules)
+        # all tokens routed to v0 and forwarded to COut
+        assert len(trace.produced_on("COut")) == 5
+        assert trace.firing_count("dyn.v0.s0") == 5
+        assert trace.firing_count("dyn.v1.s0") == 0
+
+    def test_router_and_merger_pass_tags(self):
+        graph, expanded = build_host(make_interface(), input_tokens=1)
+        trace = simulate(graph, flush_rules=expanded.flush_rules)
+        # 'img' flows through router -> cluster -> merger because the
+        # cluster stages in pipeline_cluster don't pass tags; the
+        # router/merger themselves must.
+        routed = trace.produced_on("dyn.v0.__entry")
+        assert routed[0].has_tag("img")
+
+
+class TestSwitching:
+    def test_switch_selects_other_cluster(self):
+        graph, expanded = build_host(
+            make_interface(), input_tokens=6,
+            request_tag="sel:v1", request_time=9.0,
+        )
+        trace = simulate(graph, flush_rules=expanded.flush_rules)
+        assert trace.firing_count("dyn.v1.s0") > 0
+        switches = [
+            f for f in trace.firings_of("dyn.route")
+            if f.mode.startswith("switch")
+        ]
+        assert len(switches) == 1
+        # switch latency = the cluster's configuration latency
+        assert switches[0].latency == 20.0
+
+    def test_confirmation_token_emitted(self):
+        graph, expanded = build_host(
+            make_interface(), input_tokens=4,
+            request_tag="sel:v1", request_time=9.0,
+        )
+        trace = simulate(graph, flush_rules=expanded.flush_rules)
+        confirmations = trace.produced_on("CCon")
+        assert len(confirmations) == 1
+        assert confirmations[0].has_tag("done:dyn")
+
+
+def slow_tail_interface():
+    """v0: fast head (2 ms) feeding a slow tail (7 ms) — tokens pile up
+    on the internal channel, so a mid-stream switch catches them."""
+    builder = GraphBuilder("v0")
+    builder.queue("i")
+    builder.queue("o")
+    builder.queue("m0")
+    builder.simple("s0", latency=2.0, consumes={"i": 1}, produces={"m0": 1})
+    builder.simple("s1", latency=7.0, consumes={"m0": 1}, produces={"o": 1})
+    from repro.variants.cluster import Cluster
+
+    v0 = Cluster(
+        name="v0", inputs=("i",), outputs=("o",),
+        graph=builder.build(validate=False),
+    )
+    v1 = pipeline_cluster("v1", stages=1, latency=3.0)
+    return Interface(
+        name="dyn",
+        inputs=("i",),
+        outputs=("o",),
+        clusters={"v0": v0, "v1": v1},
+        selection=ClusterSelectionFunction.by_tag(
+            "CReq", {"sel:v0": "v0", "sel:v1": "v1"}
+        ),
+        config_latency={"v0": 10.0, "v1": 20.0},
+        initial_cluster="v0",
+        kind=VariantKind.DYNAMIC,
+    )
+
+
+class TestTermination:
+    def test_immediate_switch_loses_in_flight_data(self):
+        # Frames every 3 ms against a 7 ms tail: the internal channel
+        # holds tokens when the request lands at t=10.
+        graph, expanded = build_host(
+            slow_tail_interface(), input_tokens=6,
+            request_tag="sel:v1", request_time=10.0, period=3.0,
+        )
+        trace = simulate(graph, flush_rules=expanded.flush_rules)
+        assert trace.tokens_lost() > 0
+        # lost tokens never reach the display: output < input
+        assert len(trace.produced_on("COut")) < 6
+
+    def test_graceful_switch_preserves_all_data(self):
+        graph, expanded = build_host(
+            slow_tail_interface(), input_tokens=6,
+            request_tag="sel:v1", request_time=10.0, period=3.0,
+            graceful=True,
+        )
+        assert expanded.flush_rules == {}
+        trace = simulate(graph, flush_rules=expanded.flush_rules)
+        assert trace.tokens_lost() == 0
+        assert len(trace.produced_on("COut")) == 6
+
+    def test_graceful_switch_happens_later_than_immediate(self):
+        immediate_graph, immediate = build_host(
+            slow_tail_interface(), input_tokens=6,
+            request_tag="sel:v1", request_time=10.0, period=3.0,
+        )
+        immediate_trace = simulate(
+            immediate_graph, flush_rules=immediate.flush_rules
+        )
+        graceful_graph, graceful = build_host(
+            slow_tail_interface(), input_tokens=6,
+            request_tag="sel:v1", request_time=10.0, period=3.0,
+            graceful=True,
+        )
+        graceful_trace = simulate(
+            graceful_graph, flush_rules=graceful.flush_rules
+        )
+
+        def switch_time(trace):
+            return next(
+                f.start
+                for f in trace.firings_of("dyn.route")
+                if f.mode.startswith("switch")
+            )
+
+        assert switch_time(graceful_trace) > switch_time(immediate_trace)
+
+    def test_flush_records_name_channels(self):
+        graph, expanded = build_host(
+            slow_tail_interface(), input_tokens=6,
+            request_tag="sel:v1", request_time=10.0, period=3.0,
+        )
+        trace = simulate(graph, flush_rules=expanded.flush_rules)
+        assert trace.flushes
+        flushed_channels = {record.channel for record in trace.flushes}
+        assert flushed_channels <= set(
+            list(expanded.internal_channels["v0"])
+            + list(expanded.internal_channels["v1"])
+            + ["dyn.v0.__exit", "dyn.v1.__exit"]
+        )
+
+
+class TestValidation:
+    def test_requires_initial_cluster(self):
+        interface = Interface(
+            name="dyn",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={"v0": pipeline_cluster("v0")},
+            selection=ClusterSelectionFunction.by_tag(
+                "CReq", {"sel:v0": "v0"}
+            ),
+            kind=VariantKind.DYNAMIC,
+        )
+        builder = GraphBuilder("host")
+        builder.queue("CIn")
+        builder.queue("COut")
+        builder.queue("CReq")
+        builder.queue("CCon")
+        with pytest.raises(VariantError, match="initial cluster"):
+            attach_expanded_interface(
+                builder, interface, {"i": "CIn", "o": "COut"},
+                request_channel="CReq", confirm_channel="CCon",
+            )
+
+    def test_flush_rule_unknown_channel_rejected(self):
+        from repro.errors import SimulationError
+        from tests.conftest import chain_graph
+
+        graph = chain_graph(stages=1, input_tokens=1)
+        simulator = Simulator(
+            graph, flush_rules={("s0", "run"): ("ghost",)}
+        )
+        with pytest.raises(SimulationError, match="unknown"):
+            simulator.run()

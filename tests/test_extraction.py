@@ -1,0 +1,303 @@
+"""Unit tests for repro.variants.extraction (parameter extraction)."""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.spi.activation import rules
+from repro.spi.builder import GraphBuilder
+from repro.spi.intervals import Interval
+from repro.spi.modes import ProcessMode
+from repro.spi.predicates import NumAvailable
+from repro.spi.process import Process
+from repro.variants.cluster import Cluster
+from repro.variants.extraction import (
+    ExtractionOptions,
+    extract_cluster_modes,
+    extract_dynamic_interface,
+    extract_interface,
+)
+from repro.variants.interface import Interface
+from repro.variants.selection import ClusterSelectionFunction
+from repro.variants.types import VariantKind
+from tests.conftest import pipeline_cluster
+
+
+def multimode_entry_cluster() -> Cluster:
+    """Pipeline whose entry process has two modes (per-entry extraction)."""
+    builder = GraphBuilder("mm")
+    builder.queue("i")
+    builder.queue("o")
+    builder.queue("x")
+    small = ProcessMode(name="small", latency=2.0, consumes={"i": 1}, produces={"x": 1})
+    large = ProcessMode(name="large", latency=3.0, consumes={"i": 2}, produces={"x": 3})
+    builder.process(
+        Process(
+            name="head",
+            modes={"small": small, "large": large},
+            activation=rules(
+                ("rl", NumAvailable("i", 2), "large"),
+                ("rs", NumAvailable("i", 1), "small"),
+            ),
+        )
+    )
+    builder.simple("tail", latency=1.0, consumes={"x": 1}, produces={"o": 2})
+    return Cluster(
+        name="mm", inputs=("i",), outputs=("o",),
+        graph=builder.build(validate=False),
+    )
+
+
+class TestClusterModes:
+    def test_per_entry_one_mode_per_entry_mode(self):
+        modes = extract_cluster_modes(
+            multimode_entry_cluster(), {"i": "CIn", "o": "COut"}
+        )
+        assert [m.name for m in modes] == ["mm.small", "mm.large"]
+
+    def test_per_entry_rate_propagation(self):
+        modes = extract_cluster_modes(
+            multimode_entry_cluster(), {"i": "CIn", "o": "COut"}
+        )
+        small = next(m for m in modes if m.name == "mm.small")
+        large = next(m for m in modes if m.name == "mm.large")
+        # small: 1 in -> 1 on x -> tail fires once -> 2 out
+        assert small.consumption("CIn") == Interval.point(1)
+        assert small.production("COut") == Interval.point(2)
+        # large: 2 in -> 3 on x -> tail fires 3x -> 6 out
+        assert large.consumption("CIn") == Interval.point(2)
+        assert large.production("COut") == Interval.point(6)
+
+    def test_per_entry_latency_propagation(self):
+        modes = extract_cluster_modes(
+            multimode_entry_cluster(), {"i": "CIn", "o": "COut"}
+        )
+        small = next(m for m in modes if m.name == "mm.small")
+        large = next(m for m in modes if m.name == "mm.large")
+        # small: head 2.0 + 1 tail firing (1.0)
+        assert small.latency == Interval.point(3.0)
+        # large: head 3.0 + 3 tail firings (3.0)
+        assert large.latency == Interval.point(6.0)
+
+    def test_single_mode_aggregates_one_iteration(self):
+        cluster = pipeline_cluster("pl", stages=2, latency=2.0)
+        modes = extract_cluster_modes(
+            cluster,
+            {"i": "CIn", "o": "COut"},
+            ExtractionOptions(detail="single"),
+        )
+        assert len(modes) == 1
+        mode = modes[0]
+        assert mode.name == "pl"
+        assert mode.consumption("CIn") == Interval.point(1)
+        assert mode.production("COut") == Interval.point(1)
+        # lower = path latency (4.0), upper = serialized total (4.0)
+        assert mode.latency == Interval(4.0, 4.0)
+
+    def test_single_mode_uses_repetition_vector(self):
+        builder = GraphBuilder("up")
+        builder.queue("i")
+        builder.queue("o")
+        builder.queue("x")
+        builder.simple("a", latency=1.0, consumes={"i": 1}, produces={"x": 2})
+        builder.simple("b", latency=1.0, consumes={"x": 1}, produces={"o": 1})
+        cluster = Cluster(
+            name="up", inputs=("i",), outputs=("o",),
+            graph=builder.build(validate=False),
+        )
+        mode = extract_cluster_modes(
+            cluster, {"i": "I", "o": "O"}, ExtractionOptions(detail="single")
+        )[0]
+        # one iteration: a fires once, b twice
+        assert mode.consumption("I") == Interval.point(1)
+        assert mode.production("O") == Interval.point(2)
+        assert mode.latency.hi == 1.0 + 2 * 1.0
+
+    def test_missing_binding_rejected(self):
+        with pytest.raises(ExtractionError, match="no binding"):
+            extract_cluster_modes(pipeline_cluster(), {"i": "CIn"})
+
+    def test_branching_cluster_falls_back_to_single(self):
+        builder = GraphBuilder("branchy")
+        builder.queue("i")
+        builder.queue("o")
+        builder.queue("l")
+        builder.queue("r")
+        builder.simple("split", consumes={"i": 1}, produces={"l": 1, "r": 1})
+        builder.simple("left", consumes={"l": 1})
+        builder.simple("join", consumes={"r": 1}, produces={"o": 1})
+        cluster = Cluster(
+            name="branchy", inputs=("i",), outputs=("o",),
+            graph=builder.build(validate=False),
+        )
+        modes = extract_cluster_modes(cluster, {"i": "I", "o": "O"})
+        assert len(modes) == 1  # fell back to 'single'
+        with pytest.raises(ExtractionError):
+            extract_cluster_modes(
+                cluster, {"i": "I", "o": "O"},
+                ExtractionOptions(fallback=False),
+            )
+
+    def test_invalid_detail_rejected(self):
+        with pytest.raises(ExtractionError):
+            ExtractionOptions(detail="telepathy")
+
+
+class TestInterfaceExtraction:
+    def make_interface(self):
+        return Interface(
+            name="theta",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={
+                "c1": multimode_entry_cluster(),
+                "c2": pipeline_cluster("c2", stages=1, latency=5.0),
+            },
+            selection=ClusterSelectionFunction.by_tag(
+                "CV", {"V1": "mm", "V2": "c2"}
+            ),
+            config_latency={"mm": 3.0, "c2": 4.0},
+            initial_cluster=None,
+            kind=VariantKind.RUNTIME,
+        )
+
+    def make_bindings(self):
+        return {"i": "CIn", "o": "COut"}
+
+    def test_requires_selection_function(self):
+        interface = Interface(
+            name="t",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={"c": pipeline_cluster("c")},
+            kind=VariantKind.PRODUCTION,
+        )
+        with pytest.raises(ExtractionError, match="selection"):
+            extract_interface(interface, {"i": "I", "o": "O"})
+
+    def test_configured_process_structure(self):
+        interface = Interface(
+            name="theta",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={
+                "mm": multimode_entry_cluster(),
+                "c2": pipeline_cluster("c2", stages=1, latency=5.0),
+            },
+            selection=ClusterSelectionFunction.by_tag(
+                "CV", {"V1": "mm", "V2": "c2"}
+            ),
+            config_latency={"mm": 3.0, "c2": 4.0},
+            kind=VariantKind.RUNTIME,
+        )
+        process = extract_interface(interface, self.make_bindings())
+        # per-entry: mm contributes 2 modes, c2 one.
+        assert set(process.modes) == {"mm.small", "mm.large", "c2.run"}
+        confs = process.configurations
+        assert confs.configuration("conf_mm").latency == 3.0
+        assert confs.configuration_of_mode("c2.run").name == "conf_c2"
+        assert process.source_interface == "theta"
+
+    def test_activation_guards_include_consumption_threshold(self):
+        interface = Interface(
+            name="theta",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={"mm": multimode_entry_cluster()},
+            selection=ClusterSelectionFunction.by_tag("CV", {"V1": "mm"}),
+            kind=VariantKind.RUNTIME,
+        )
+        process = extract_interface(interface, self.make_bindings())
+        # The rule for mm.large must require 2 tokens on CIn ("x results
+        # from the parameter extraction process").
+        rule = next(
+            r for r in process.activation.rules if r.mode == "mm.large"
+        )
+        assert "num(CIn) >= 2" in repr(rule.predicate)
+        assert "CV" in repr(rule.predicate)
+
+
+class TestDynamicExtraction:
+    def make_dynamic_interface(self):
+        return Interface(
+            name="P1",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={
+                "va": pipeline_cluster("va", stages=1, latency=8.0),
+                "vb": pipeline_cluster("vb", stages=1, latency=12.0),
+            },
+            selection=ClusterSelectionFunction.by_tag(
+                "CReq", {"sel:va": "va", "sel:vb": "vb"}
+            ),
+            config_latency={"va": 20.0, "vb": 25.0},
+            initial_cluster="va",
+            kind=VariantKind.DYNAMIC,
+        )
+
+    def test_structure(self):
+        extraction = extract_dynamic_interface(
+            self.make_dynamic_interface(),
+            {"i": "CV1", "o": "CV2"},
+            request_channel="CReq",
+            confirm_channel="CCon",
+        )
+        process = extraction.process
+        assert set(process.modes) == {
+            "va.enter",
+            "va.run.run",
+            "vb.enter",
+            "vb.run.run",
+        }
+        assert process.initial_configuration == "conf_va"
+        # enter modes consume only the request and confirm.
+        enter = process.mode("vb.enter")
+        assert set(enter.consumes) == {"CReq"}
+        assert set(enter.produces) == {"CCon", "P1__state"}
+        # run modes process data.
+        run = process.mode("vb.run.run")
+        assert set(run.consumes) == {"CV1"}
+        assert set(run.produces) == {"CV2"}
+
+    def test_state_register_initialized_to_initial_cluster(self):
+        extraction = extract_dynamic_interface(
+            self.make_dynamic_interface(),
+            {"i": "CV1", "o": "CV2"},
+            request_channel="CReq",
+            confirm_channel="CCon",
+        )
+        channel = extraction.state_channel
+        assert channel.name == "P1__state"
+        assert channel.kind.value == "register"
+        assert channel.initial_tokens[0].has_tag("cur:va")
+
+    def test_requires_initial_cluster(self):
+        interface = Interface(
+            name="P1",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={"va": pipeline_cluster("va", stages=1)},
+            selection=ClusterSelectionFunction.by_tag(
+                "CReq", {"sel:va": "va"}
+            ),
+            kind=VariantKind.DYNAMIC,
+        )
+        with pytest.raises(ExtractionError, match="initial cluster"):
+            extract_dynamic_interface(
+                interface,
+                {"i": "a", "o": "b"},
+                request_channel="CReq",
+                confirm_channel="CCon",
+            )
+
+    def test_enter_rules_have_priority(self):
+        extraction = extract_dynamic_interface(
+            self.make_dynamic_interface(),
+            {"i": "CV1", "o": "CV2"},
+            request_channel="CReq",
+            confirm_channel="CCon",
+        )
+        rule_modes = [r.mode for r in extraction.process.activation.rules]
+        enters = [m for m in rule_modes if m.endswith(".enter")]
+        runs = [m for m in rule_modes if ".run." in m]
+        assert rule_modes[: len(enters)] == enters
+        assert rule_modes[len(enters):] == runs

@@ -1,0 +1,34 @@
+"""Unit tests for repro.variants.flatten."""
+
+from repro.variants.flatten import (
+    abstract_interfaces,
+    bind_variants,
+    derive_applications,
+)
+from tests.test_vgraph import make_vgraph
+
+
+class TestFlattenHelpers:
+    def test_bind_variants_delegates(self):
+        vgraph = make_vgraph()
+        graph = bind_variants(vgraph, {"theta": "v0"}, name="custom")
+        assert graph.name == "custom"
+        assert graph.has_process("theta.v0.s0")
+
+    def test_derive_applications_covers_cross_product(self):
+        vgraph = make_vgraph()
+        apps = derive_applications(vgraph)
+        assert len(apps) == 2
+        names = [graph.name for _, graph in apps]
+        assert names == ["sys.app1", "sys.app2"]
+        selections = [selection for selection, _ in apps]
+        assert {s["theta"] for s in selections} == {"v0", "v1"}
+
+    def test_abstract_interfaces_requires_selection(self):
+        import pytest
+
+        from repro.errors import ExtractionError
+
+        vgraph = make_vgraph()  # production kind, no selection function
+        with pytest.raises(ExtractionError):
+            abstract_interfaces(vgraph)

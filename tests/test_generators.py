@@ -1,0 +1,114 @@
+"""Tests for the synthetic variant-system generator."""
+
+import pytest
+
+from repro.apps.generators import generate_system
+from repro.synth.explorer import BranchBoundExplorer
+from repro.synth.methods import (
+    independent_flow,
+    superposition_flow,
+    variant_aware_flow,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_system(self):
+        first = generate_system(seed=5, n_variants=3)
+        second = generate_system(seed=5, n_variants=3)
+        assert first.library.names() == second.library.names()
+        for name in first.library.names():
+            a = first.library.entry(name)
+            b = second.library.entry(name)
+            assert a.software.utilization == b.software.utilization
+            assert a.hardware.cost == b.hardware.cost
+
+    def test_different_seed_different_numbers(self):
+        first = generate_system(seed=1)
+        second = generate_system(seed=2)
+        diffs = [
+            first.library.entry(n).software.utilization
+            != second.library.entry(n).software.utilization
+            for n in first.library.names()
+            if n in [m for m in second.library.names()]
+        ]
+        assert any(diffs)
+
+
+class TestStructure:
+    def test_variant_count(self):
+        system = generate_system(n_variants=4)
+        assert system.vgraph.variant_counts() == {"theta": 4}
+        assert len(system.applications()) == 4
+
+    def test_library_covers_all_units(self):
+        from repro.synth.methods import variant_units
+
+        system = generate_system(n_variants=3, cluster_size=3)
+        units, _ = variant_units(system.vgraph)
+        for unit in units:
+            assert unit in system.library
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate_system(n_variants=0)
+        with pytest.raises(ValueError):
+            generate_system(common_processes=0)
+
+
+class TestFeasibilityAndShape:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_flows_feasible(self, seed):
+        system = generate_system(seed=seed, n_variants=2)
+        explorer = BranchBoundExplorer()
+        independent = independent_flow(
+            system.applications(),
+            system.library,
+            system.architecture,
+            explorer,
+        )
+        superposed = superposition_flow(
+            independent, system.library, system.architecture
+        )
+        variant = variant_aware_flow(
+            system.vgraph, system.library, system.architecture, explorer
+        )
+        assert superposed.total_cost < float("inf")
+        assert variant.total_cost < float("inf")
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_variant_aware_never_worse_than_superposition(self, seed):
+        system = generate_system(seed=seed, n_variants=3)
+        explorer = BranchBoundExplorer()
+        independent = independent_flow(
+            system.applications(),
+            system.library,
+            system.architecture,
+            explorer,
+        )
+        superposed = superposition_flow(
+            independent, system.library, system.architecture
+        )
+        variant = variant_aware_flow(
+            system.vgraph, system.library, system.architecture, explorer
+        )
+        assert variant.total_cost <= superposed.total_cost + 1e-9
+
+    def test_design_time_saving_grows_with_variants(self):
+        explorer = BranchBoundExplorer()
+        savings = []
+        for n_variants in (2, 4):
+            system = generate_system(seed=9, n_variants=n_variants)
+            independent = independent_flow(
+                system.applications(),
+                system.library,
+                system.architecture,
+                explorer,
+            )
+            total_independent = sum(
+                r.outcome.design_time for r in independent.values()
+            )
+            variant = variant_aware_flow(
+                system.vgraph, system.library, system.architecture, explorer
+            )
+            savings.append(total_independent - variant.design_time)
+        assert savings[1] > savings[0]

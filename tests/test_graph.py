@@ -1,0 +1,180 @@
+"""Unit tests for repro.spi.graph."""
+
+import pytest
+
+from repro.errors import ModelError, ValidationError
+from repro.spi.channels import queue
+from repro.spi.graph import ModelGraph
+from repro.spi.process import simple_process
+
+
+def tiny_graph() -> ModelGraph:
+    graph = ModelGraph("tiny")
+    graph.add_channel(queue("c1"))
+    graph.add_process(simple_process("p1", produces={"c1": 1}, virtual=True))
+    graph.add_process(simple_process("p2", consumes={"c1": 1}, virtual=True))
+    graph.connect("p1", "c1")
+    graph.connect("c1", "p2")
+    return graph
+
+
+class TestConstruction:
+    def test_node_names_must_be_unique_across_kinds(self):
+        graph = ModelGraph()
+        graph.add_channel(queue("x"))
+        with pytest.raises(ModelError):
+            graph.add_process(simple_process("x"))
+
+    def test_process_to_process_edge_rejected(self):
+        graph = ModelGraph()
+        graph.add_process(simple_process("a", virtual=True))
+        graph.add_process(simple_process("b", virtual=True))
+        with pytest.raises(ModelError):
+            graph.connect("a", "b")
+
+    def test_channel_to_channel_edge_rejected(self):
+        graph = ModelGraph()
+        graph.add_channel(queue("c1"))
+        graph.add_channel(queue("c2"))
+        with pytest.raises(ModelError):
+            graph.connect("c1", "c2")
+
+    def test_unknown_nodes_rejected(self):
+        graph = ModelGraph()
+        with pytest.raises(ModelError):
+            graph.connect("ghost", "spook")
+
+    def test_single_writer_enforced(self):
+        graph = tiny_graph()
+        graph.add_process(simple_process("p3", produces={"c1": 1}))
+        with pytest.raises(ModelError):
+            graph.connect("p3", "c1")
+
+    def test_single_reader_enforced(self):
+        graph = tiny_graph()
+        graph.add_process(simple_process("p3", consumes={"c1": 1}))
+        with pytest.raises(ModelError):
+            graph.connect("c1", "p3")
+
+    def test_empty_graph_name_rejected(self):
+        with pytest.raises(ModelError):
+            ModelGraph("")
+
+
+class TestQueries:
+    def test_writer_reader(self):
+        graph = tiny_graph()
+        assert graph.writer_of("c1") == "p1"
+        assert graph.reader_of("c1") == "p2"
+
+    def test_neighbors(self):
+        graph = tiny_graph()
+        assert graph.successors("p1") == ("p2",)
+        assert graph.predecessors("p2") == ("p1",)
+        assert graph.predecessors("p1") == ()
+
+    def test_channel_listings(self):
+        graph = tiny_graph()
+        assert graph.output_channels("p1") == ("c1",)
+        assert graph.input_channels("p2") == ("c1",)
+
+    def test_contains_and_len(self):
+        graph = tiny_graph()
+        assert "p1" in graph and "c1" in graph and "nope" not in graph
+        assert len(graph) == 3
+
+    def test_edges_deterministic(self):
+        graph = tiny_graph()
+        assert graph.edges() == [("p1", "c1"), ("c1", "p2")]
+
+    def test_missing_lookups_raise(self):
+        graph = tiny_graph()
+        with pytest.raises(ModelError):
+            graph.process("nope")
+        with pytest.raises(ModelError):
+            graph.channel("nope")
+
+    def test_stats(self):
+        assert tiny_graph().stats() == {
+            "processes": 2,
+            "channels": 1,
+            "edges": 2,
+        }
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        assert tiny_graph().validate() is not None
+
+    def test_missing_edge_for_declared_consumption(self):
+        graph = ModelGraph()
+        graph.add_channel(queue("c1"))
+        graph.add_process(simple_process("p", consumes={"c1": 1}))
+        issues = graph.issues()
+        assert any("no such input edge" in issue for issue in issues)
+        with pytest.raises(ValidationError):
+            graph.validate()
+
+    def test_unwritten_unread_channel_flagged(self):
+        graph = ModelGraph()
+        graph.add_channel(queue("lonely"))
+        issues = graph.issues()
+        assert any("no writer" in issue for issue in issues)
+        assert any("no reader" in issue for issue in issues)
+
+    def test_validation_error_collects_all_issues(self):
+        graph = ModelGraph()
+        graph.add_channel(queue("lonely"))
+        try:
+            graph.validate()
+        except ValidationError as error:
+            assert len(error.issues) >= 2
+        else:  # pragma: no cover
+            pytest.fail("expected ValidationError")
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        graph = tiny_graph()
+        clone = graph.copy()
+        clone.remove_process("p1")
+        assert graph.has_process("p1")
+        assert not clone.has_process("p1")
+
+    def test_merge(self):
+        graph = tiny_graph()
+        other = ModelGraph("other")
+        other.add_channel(queue("c2"))
+        other.add_process(simple_process("p3", consumes={"c2": 1}))
+        other.connect("c2", "p3")
+        graph.merge(other)
+        assert graph.has_process("p3")
+        assert graph.reader_of("c2") == "p3"
+
+    def test_remove_process_drops_edges(self):
+        graph = tiny_graph()
+        graph.remove_process("p2")
+        assert graph.reader_of("c1") is None
+
+    def test_remove_channel_drops_edges(self):
+        graph = tiny_graph()
+        graph.remove_channel("c1")
+        assert not graph.has_channel("c1")
+
+    def test_replace_process_keeps_wiring(self):
+        graph = tiny_graph()
+        replacement = simple_process("p2", consumes={"c1": 2}, virtual=True)
+        graph.replace_process("p2", replacement)
+        assert graph.process("p2").consumption_bounds("c1").lo == 2
+        assert graph.reader_of("c1") == "p2"
+
+    def test_replace_process_name_mismatch_rejected(self):
+        graph = tiny_graph()
+        with pytest.raises(ModelError):
+            graph.replace_process("p2", simple_process("other"))
+
+    def test_same_structure(self):
+        assert tiny_graph().same_structure(tiny_graph())
+        other = tiny_graph()
+        other.remove_process("p2")
+        assert not tiny_graph().same_structure(other)

@@ -1,0 +1,105 @@
+"""End-to-end integration tests across all layers."""
+
+import pytest
+
+from repro.apps import figure2, figure3
+from repro.sim.engine import ResourceBinding, Simulator, simulate
+from repro.synth.explorer import BranchBoundExplorer
+from repro.synth.mapping import problem_for_graph
+from repro.synth.methods import variant_aware_flow
+from repro.synth.schedule import list_schedule
+
+
+class TestModelToSynthesisPipeline:
+    """variant graph -> bind -> synthesize -> schedule -> simulate."""
+
+    def test_full_pipeline_application1(self):
+        vgraph = figure2.build_variant_graph()
+        library = figure2.table1_library()
+        architecture = figure2.table1_architecture()
+        bound = vgraph.bind({"theta1": "gamma1"}, name="app1")
+
+        problem = problem_for_graph("app1", bound, library, architecture)
+        result = BranchBoundExplorer().explore(problem).require_feasible()
+
+        # The chosen mapping yields a valid static schedule...
+        schedule = list_schedule(bound, result.mapping)
+        assert schedule.verify_no_overlap()
+        assert schedule.makespan > 0
+
+        # ...and the bound graph executes under the mapping's resource
+        # constraints without deadlock.
+        binding = ResourceBinding(
+            {
+                unit: (
+                    f"cpu{result.mapping.target_of(unit).processor}"
+                    if result.mapping.target_of(unit).is_software
+                    else f"hw:{unit}"
+                )
+                for unit in problem.units
+            }
+        )
+        trace = simulate(bound, binding=binding)
+        assert trace.firing_count("PB") > 0
+
+    def test_flow_outcomes_consistent_with_problem_costs(self):
+        vgraph = figure2.build_variant_graph()
+        library = figure2.table1_library()
+        architecture = figure2.table1_architecture()
+        outcome = variant_aware_flow(vgraph, library, architecture)
+        assert outcome.total_cost == (
+            outcome.software_cost + outcome.hardware_cost
+        )
+
+
+class TestAbstractionConsistency:
+    """X4: abstracted interface behaves like the expanded cluster."""
+
+    @pytest.mark.parametrize("variant", ["V1", "V2"])
+    def test_output_counts_agree(self, variant):
+        tokens = 6
+        vgraph = figure3.build_variant_graph(variant, stream_tokens=tokens)
+        cluster = {"V1": "cluster1", "V2": "cluster2"}[variant]
+        bound = vgraph.bind({"theta1": cluster})
+        bound_trace = simulate(bound)
+        abstract_trace, _ = figure3.simulate_runtime_selection(
+            variant, stream_tokens=tokens
+        )
+        assert len(bound_trace.produced_on("COut")) == len(
+            abstract_trace.produced_on("COut")
+        )
+
+    @pytest.mark.parametrize("variant", ["V1", "V2"])
+    def test_abstract_end_time_within_conservative_bounds(self, variant):
+        tokens = 5
+        abstract_trace, graph = figure3.simulate_runtime_selection(
+            variant, stream_tokens=tokens
+        )
+        process = graph.process("theta1")
+        per_firing_upper = process.latency_bounds().hi
+        reconfig = abstract_trace.total_reconfiguration_time()
+        upper = tokens * per_firing_upper + reconfig
+        assert abstract_trace.end_time() <= upper + 1e-9
+
+
+class TestCrossLayerTrace:
+    def test_synthesized_system_reconfigures_in_simulation(self):
+        """Run-time selection + resource binding together."""
+        vgraph = figure3.build_variant_graph("V2", stream_tokens=4)
+        graph = vgraph.abstract()
+        binding = ResourceBinding({"theta1": "cpu0"})
+        simulator = Simulator(graph, binding=binding)
+        trace = simulator.run()
+        assert len(trace.reconfigurations) == 1
+        assert simulator.configuration_of("theta1") == "conf_cluster2"
+
+    def test_library_completeness_check_catches_variant_units(self):
+        from repro.errors import SynthesisError
+        from repro.synth.library import ComponentLibrary
+
+        vgraph = figure2.build_variant_graph()
+        bound = vgraph.bind({"theta1": "gamma1"})
+        incomplete = ComponentLibrary()
+        incomplete.component("PA", sw_utilization=0.5)
+        with pytest.raises(SynthesisError, match="gamma1"):
+            incomplete.for_graph(bound)

@@ -1,0 +1,149 @@
+"""Unit tests for repro.variants.interface (Definition 2) and selection
+(Definition 3)."""
+
+import pytest
+
+from repro.errors import VariantError
+from repro.spi.predicates import HasTag, MappingView, NumAvailable
+from repro.variants.interface import Interface
+from repro.variants.selection import ClusterSelectionFunction, SelectionRule
+from repro.variants.types import VariantKind
+from tests.conftest import pipeline_cluster
+
+
+def two_cluster_interface(**kwargs):
+    defaults = dict(
+        name="theta",
+        inputs=("i",),
+        outputs=("o",),
+        clusters={
+            "c1": pipeline_cluster("c1", stages=1),
+            "c2": pipeline_cluster("c2", stages=2),
+        },
+    )
+    defaults.update(kwargs)
+    return Interface(**defaults)
+
+
+class TestInterface:
+    def test_basic_construction(self):
+        interface = two_cluster_interface()
+        assert interface.cluster_names() == ("c1", "c2")
+        assert interface.variant_count == 2
+        assert interface.kind is VariantKind.PRODUCTION
+
+    def test_clusters_must_match_signature(self):
+        bad = pipeline_cluster("bad", stages=1)
+        with pytest.raises(VariantError, match="does not match"):
+            Interface(
+                name="theta",
+                inputs=("different",),
+                outputs=("o",),
+                clusters={"bad": bad},
+            )
+
+    def test_cluster_list_accepted(self):
+        interface = Interface(
+            name="theta",
+            inputs=("i",),
+            outputs=("o",),
+            clusters=[pipeline_cluster("only")],
+        )
+        assert interface.cluster_names() == ("only",)
+
+    def test_empty_clusters_rejected(self):
+        with pytest.raises(VariantError):
+            Interface(name="t", inputs=("i",), outputs=("o",), clusters={})
+
+    def test_config_latency_lookup(self):
+        interface = two_cluster_interface(
+            config_latency={"c1": 3.0},
+        )
+        assert interface.latency_of("c1") == 3.0
+        assert interface.latency_of("c2") == 0.0
+
+    def test_config_latency_for_unknown_cluster_rejected(self):
+        with pytest.raises(VariantError):
+            two_cluster_interface(config_latency={"ghost": 1.0})
+
+    def test_negative_config_latency_rejected(self):
+        with pytest.raises(VariantError):
+            two_cluster_interface(config_latency={"c1": -1.0})
+
+    def test_runtime_kind_requires_selection(self):
+        with pytest.raises(VariantError, match="selection"):
+            two_cluster_interface(kind=VariantKind.RUNTIME)
+
+    def test_selection_referencing_unknown_cluster_rejected(self):
+        selection = ClusterSelectionFunction.by_tag("CV", {"V9": "ghost"})
+        with pytest.raises(VariantError):
+            two_cluster_interface(selection=selection)
+
+    def test_initial_cluster_must_exist(self):
+        with pytest.raises(VariantError):
+            two_cluster_interface(initial_cluster="ghost")
+
+    def test_cluster_lookup(self):
+        interface = two_cluster_interface()
+        assert interface.cluster("c1").name == "c1"
+        with pytest.raises(VariantError):
+            interface.cluster("ghost")
+
+    def test_stats(self):
+        stats = two_cluster_interface().stats()
+        assert stats["variants"] == 2
+        assert stats["clusters"]["c2"]["processes"] == 2
+
+
+class TestSelectionFunction:
+    def test_by_tag_matches_paper_rules(self):
+        fn = ClusterSelectionFunction.by_tag(
+            "CV", {"V1": "cluster1", "V2": "cluster2"}
+        )
+        view = MappingView({"CV": 1}, {"CV": "V2"})
+        assert fn.select(view).cluster == "cluster2"
+
+    def test_no_rule_enabled_returns_none(self):
+        fn = ClusterSelectionFunction.by_tag("CV", {"V1": "c1"})
+        assert fn.select(MappingView({"CV": 1}, {"CV": "zzz"})) is None
+
+    def test_first_match_order(self):
+        fn = ClusterSelectionFunction(
+            (
+                SelectionRule("r1", NumAvailable("c", 1), "first"),
+                SelectionRule("r2", NumAvailable("c", 1), "second"),
+            )
+        )
+        assert fn.select(MappingView({"c": 1})).cluster == "first"
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(VariantError):
+            ClusterSelectionFunction(
+                (
+                    SelectionRule("r", NumAvailable("c", 1), "a"),
+                    SelectionRule("r", NumAvailable("c", 1), "b"),
+                )
+            )
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(VariantError):
+            ClusterSelectionFunction(())
+
+    def test_clusters_named_and_rule_for(self):
+        fn = ClusterSelectionFunction.by_tag("CV", {"V1": "a", "V2": "b"})
+        assert set(fn.clusters_named()) == {"a", "b"}
+        assert fn.rule_for("a").cluster == "a"
+        assert fn.rule_for("ghost") is None
+
+    def test_channels(self):
+        fn = ClusterSelectionFunction.by_tag("CV", {"V1": "a"})
+        assert fn.channels() == ("CV",)
+
+
+class TestVariantKind:
+    def test_kind_properties(self):
+        assert not VariantKind.PRODUCTION.needs_selection_function
+        assert VariantKind.RUNTIME.needs_selection_function
+        assert VariantKind.DYNAMIC.needs_selection_function
+        assert VariantKind.DYNAMIC.reconfigurable
+        assert not VariantKind.RUNTIME.reconfigurable

@@ -1,0 +1,148 @@
+"""Unit tests for repro.spi.intervals."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.spi.intervals import Interval, as_interval, hull_all, sum_all
+
+
+class TestConstruction:
+    def test_point_interval(self):
+        interval = Interval.point(3)
+        assert interval.lo == 3
+        assert interval.hi == 3
+        assert interval.is_point
+
+    def test_zero(self):
+        assert Interval.zero() == Interval(0, 0)
+
+    def test_ordered_bounds_required(self):
+        with pytest.raises(ModelError):
+            Interval(5, 2)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ModelError):
+            Interval(float("nan"), 1.0)
+        with pytest.raises(ModelError):
+            Interval(0.0, float("nan"))
+
+    def test_equal_bounds_allowed(self):
+        assert Interval(2, 2).is_point
+
+    def test_width_and_midpoint(self):
+        interval = Interval(2, 6)
+        assert interval.width == 4
+        assert interval.midpoint == 4.0
+
+    def test_repr_point_and_range(self):
+        assert repr(Interval.point(3)) == "[3]"
+        assert repr(Interval(1, 2)) == "[1, 2]"
+
+
+class TestMembership:
+    def test_scalar_containment(self):
+        interval = Interval(1, 3)
+        assert 1 in interval
+        assert 3 in interval
+        assert 2.5 in interval
+        assert 0.99 not in interval
+
+    def test_interval_containment(self):
+        outer = Interval(0, 10)
+        inner = Interval(2, 5)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert inner in outer
+
+    def test_overlap(self):
+        assert Interval(0, 2).overlaps(Interval(2, 4))
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert Interval(1, 2) + Interval(3, 5) == Interval(4, 7)
+
+    def test_addition_with_scalar(self):
+        assert Interval(1, 2) + 3 == Interval(4, 5)
+        assert 3 + Interval(1, 2) == Interval(4, 5)
+
+    def test_subtraction_widens(self):
+        assert Interval(5, 8) - Interval(1, 2) == Interval(3, 7)
+
+    def test_multiplication_positive(self):
+        assert Interval(2, 3) * Interval(4, 5) == Interval(8, 15)
+
+    def test_multiplication_with_negatives(self):
+        assert Interval(-2, 3) * Interval(4, 5) == Interval(-10, 15)
+
+    def test_negation(self):
+        assert -Interval(1, 4) == Interval(-4, -1)
+
+    def test_scaled(self):
+        assert Interval(1, 3).scaled(2) == Interval(2, 6)
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ModelError):
+            Interval(1, 3).scaled(-1)
+
+
+class TestHullIntersect:
+    def test_hull(self):
+        assert Interval(1, 2).hull(Interval(5, 6)) == Interval(1, 6)
+
+    def test_hull_with_scalar(self):
+        assert Interval(1, 2).hull(7) == Interval(1, 7)
+
+    def test_intersect_overlapping(self):
+        assert Interval(1, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+
+    def test_intersect_disjoint_is_none(self):
+        assert Interval(1, 2).intersect(Interval(5, 9)) is None
+
+    def test_intersect_touching(self):
+        assert Interval(1, 3).intersect(Interval(3, 5)) == Interval(3, 3)
+
+    def test_clamp(self):
+        interval = Interval(2, 5)
+        assert interval.clamp(1) == 2
+        assert interval.clamp(7) == 5
+        assert interval.clamp(3) == 3
+
+
+class TestHelpers:
+    def test_as_interval_passthrough(self):
+        interval = Interval(1, 2)
+        assert as_interval(interval) is interval
+
+    def test_as_interval_from_number(self):
+        assert as_interval(4) == Interval(4, 4)
+        assert as_interval(2.5) == Interval(2.5, 2.5)
+
+    def test_as_interval_rejects_bool_and_strings(self):
+        with pytest.raises(ModelError):
+            as_interval(True)
+        with pytest.raises(ModelError):
+            as_interval("3")
+
+    def test_hull_all(self):
+        assert hull_all([Interval(1, 2), 5, Interval(0, 1)]) == Interval(0, 5)
+
+    def test_hull_all_empty_rejected(self):
+        with pytest.raises(ModelError):
+            hull_all([])
+
+    def test_sum_all(self):
+        assert sum_all([Interval(1, 2), Interval(3, 4)]) == Interval(4, 6)
+
+    def test_sum_all_empty_is_zero(self):
+        assert sum_all([]) == Interval.zero()
+
+    def test_iteration_unpacking(self):
+        lo, hi = Interval(3, 7)
+        assert (lo, hi) == (3, 7)
+
+    def test_hashable(self):
+        assert len({Interval(1, 2), Interval(1, 2), Interval(1, 3)}) == 2

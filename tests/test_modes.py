@@ -1,0 +1,113 @@
+"""Unit tests for repro.spi.modes."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.spi.intervals import Interval
+from repro.spi.modes import (
+    ProcessMode,
+    mode_latency_bounds,
+    mode_rate_bounds,
+)
+from repro.spi.tags import TagSet
+
+
+def paper_p2_modes():
+    """The mode table of the paper's p2."""
+    m1 = ProcessMode(
+        name="m1", latency=3.0, consumes={"c1": 1}, produces={"c2": 2}
+    )
+    m2 = ProcessMode(
+        name="m2", latency=5.0, consumes={"c1": 3}, produces={"c2": 5}
+    )
+    return m1, m2
+
+
+class TestConstruction:
+    def test_rates_coerced_to_intervals(self):
+        mode = ProcessMode(name="m", consumes={"c": 2})
+        assert mode.consumption("c") == Interval.point(2)
+
+    def test_interval_rates_accepted(self):
+        mode = ProcessMode(name="m", consumes={"c": Interval(1, 3)})
+        assert mode.consumption("c") == Interval(1, 3)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            ProcessMode(name="")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ModelError):
+            ProcessMode(name="m", latency=-1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError):
+            ProcessMode(name="m", consumes={"c": Interval(-1, 2)})
+
+    def test_out_tags_must_reference_produced_channels(self):
+        with pytest.raises(ModelError):
+            ProcessMode(name="m", out_tags={"c": TagSet.of("a")})
+
+    def test_pass_tags_must_reference_produced_channels(self):
+        with pytest.raises(ModelError):
+            ProcessMode(name="m", pass_tags=("c",))
+
+    def test_unknown_channel_defaults_to_zero(self):
+        mode = ProcessMode(name="m")
+        assert mode.consumption("nope") == Interval.zero()
+        assert mode.production("nope") == Interval.zero()
+
+
+class TestQueries:
+    def test_tags_for(self):
+        mode = ProcessMode(
+            name="m", produces={"c": 1}, out_tags={"c": TagSet.of("a")}
+        )
+        assert mode.tags_for("c") == TagSet.of("a")
+        assert mode.tags_for("other") == TagSet.empty()
+
+    def test_is_determinate(self):
+        m1, _ = paper_p2_modes()
+        assert m1.is_determinate
+        fuzzy = ProcessMode(name="f", latency=Interval(1, 2))
+        assert not fuzzy.is_determinate
+
+    def test_renamed_preserves_everything_else(self):
+        m1, _ = paper_p2_modes()
+        renamed = m1.renamed("other")
+        assert renamed.name == "other"
+        assert renamed.latency == m1.latency
+        assert renamed.consumes == dict(m1.consumes)
+
+    def test_with_channels_renamed(self):
+        mode = ProcessMode(
+            name="m",
+            consumes={"i": 1},
+            produces={"o": 2},
+            out_tags={"o": TagSet.of("x")},
+            pass_tags=("o",),
+        )
+        renamed = mode.with_channels_renamed({"i": "CIn", "o": "COut"})
+        assert renamed.consumption("CIn") == Interval.point(1)
+        assert renamed.production("COut") == Interval.point(2)
+        assert renamed.tags_for("COut") == TagSet.of("x")
+        assert renamed.pass_tags == ("COut",)
+
+    def test_with_channels_renamed_keeps_unmapped(self):
+        mode = ProcessMode(name="m", consumes={"keep": 1})
+        assert "keep" in mode.with_channels_renamed({"other": "x"}).consumes
+
+
+class TestAggregation:
+    def test_latency_hull_matches_paper_interval(self):
+        modes = paper_p2_modes()
+        assert mode_latency_bounds(modes) == Interval(3.0, 5.0)
+
+    def test_rate_hull_matches_paper_intervals(self):
+        modes = paper_p2_modes()
+        assert mode_rate_bounds(modes, "c1", "in") == Interval(1, 3)
+        assert mode_rate_bounds(modes, "c2", "out") == Interval(2, 5)
+
+    def test_rate_hull_rejects_bad_direction(self):
+        with pytest.raises(ModelError):
+            mode_rate_bounds(paper_p2_modes(), "c1", "sideways")

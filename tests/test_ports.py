@@ -1,0 +1,56 @@
+"""Unit tests for repro.variants.ports."""
+
+import pytest
+
+from repro.errors import VariantError
+from repro.variants.ports import Port, PortDirection, PortSignature
+
+
+class TestPort:
+    def test_construction(self):
+        port = Port("i", PortDirection.INPUT)
+        assert port.name == "i"
+        assert port.direction is PortDirection.INPUT
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(VariantError):
+            Port("", PortDirection.INPUT)
+
+
+class TestSignature:
+    def test_matches_ignores_order(self):
+        first = PortSignature(("a", "b"), ("o",))
+        second = PortSignature(("b", "a"), ("o",))
+        assert first.matches(second)
+
+    def test_mismatch_on_missing_port(self):
+        first = PortSignature(("a",), ("o",))
+        second = PortSignature(("a", "b"), ("o",))
+        assert not first.matches(second)
+
+    def test_mismatch_on_direction_swap(self):
+        first = PortSignature(("a",), ("o",))
+        second = PortSignature(("o",), ("a",))
+        assert not first.matches(second)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(VariantError):
+            PortSignature(("a", "a"), ())
+        with pytest.raises(VariantError):
+            PortSignature(("a",), ("a",))
+
+    def test_direction_of(self):
+        signature = PortSignature(("i",), ("o",))
+        assert signature.direction_of("i") is PortDirection.INPUT
+        assert signature.direction_of("o") is PortDirection.OUTPUT
+        with pytest.raises(VariantError):
+            signature.direction_of("ghost")
+
+    def test_contains(self):
+        signature = PortSignature(("i",), ("o",))
+        assert "i" in signature and "o" in signature
+        assert "x" not in signature
+
+    def test_ports_listing(self):
+        signature = PortSignature(("i",), ("o",))
+        assert [p.name for p in signature.ports] == ["i", "o"]

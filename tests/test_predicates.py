@@ -1,0 +1,132 @@
+"""Unit tests for repro.spi.predicates."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.spi.predicates import (
+    And,
+    HasAnyTag,
+    HasTag,
+    MappingView,
+    Not,
+    NumAvailable,
+    Or,
+    TruePredicate,
+    tokens_with_tag,
+)
+from repro.spi.tags import TagSet
+
+
+def view(counts=None, tags=None) -> MappingView:
+    return MappingView(counts or {}, tags or {})
+
+
+class TestAtoms:
+    def test_true_predicate(self):
+        assert TruePredicate().evaluate(view())
+        assert TruePredicate().channels() == ()
+
+    def test_num_available_threshold(self):
+        predicate = NumAvailable("c1", 3)
+        assert predicate.evaluate(view({"c1": 3}))
+        assert predicate.evaluate(view({"c1": 5}))
+        assert not predicate.evaluate(view({"c1": 2}))
+
+    def test_num_available_missing_channel_is_zero(self):
+        assert not NumAvailable("ghost", 1).evaluate(view())
+
+    def test_num_available_rejects_negative(self):
+        with pytest.raises(ModelError):
+            NumAvailable("c", -1)
+
+    def test_has_tag_requires_token(self):
+        predicate = HasTag("c1", "a")
+        assert not predicate.evaluate(view({"c1": 0}, {"c1": "a"}))
+        assert predicate.evaluate(view({"c1": 1}, {"c1": "a"}))
+
+    def test_has_tag_checks_first_token_tags(self):
+        predicate = HasTag("c1", "a")
+        assert not predicate.evaluate(view({"c1": 1}, {"c1": "b"}))
+
+    def test_has_tag_rejects_empty_tag(self):
+        with pytest.raises(ModelError):
+            HasTag("c", "")
+
+    def test_has_any_tag(self):
+        predicate = HasAnyTag("c1", TagSet.of("a", "b"))
+        assert predicate.evaluate(view({"c1": 1}, {"c1": "b"}))
+        assert not predicate.evaluate(view({"c1": 1}, {"c1": "z"}))
+
+    def test_has_any_tag_requires_tags(self):
+        with pytest.raises(ModelError):
+            HasAnyTag("c1", TagSet.empty())
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = NumAvailable("c", 1) & HasTag("c", "a")
+        assert predicate.evaluate(view({"c": 1}, {"c": "a"}))
+        assert not predicate.evaluate(view({"c": 1}, {"c": "b"}))
+        assert not predicate.evaluate(view({"c": 0}))
+
+    def test_or(self):
+        predicate = HasTag("c", "a") | HasTag("c", "b")
+        assert predicate.evaluate(view({"c": 1}, {"c": "b"}))
+        assert not predicate.evaluate(view({"c": 1}, {"c": "z"}))
+
+    def test_not(self):
+        predicate = ~NumAvailable("c", 1)
+        assert predicate.evaluate(view({"c": 0}))
+        assert not predicate.evaluate(view({"c": 1}))
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(ModelError):
+            And(())
+        with pytest.raises(ModelError):
+            Or(())
+
+    def test_channels_merged_and_sorted(self):
+        predicate = NumAvailable("z", 1) & (
+            HasTag("a", "t") | NumAvailable("m", 2)
+        )
+        assert predicate.channels() == ("a", "m", "z")
+
+    def test_callable_shorthand(self):
+        assert NumAvailable("c", 1)(view({"c": 2}))
+
+
+class TestPaperRules:
+    def test_rule_a1_of_the_paper(self):
+        a1 = tokens_with_tag("c1", 1, "a")
+        assert a1.evaluate(view({"c1": 1}, {"c1": "a"}))
+        assert not a1.evaluate(view({"c1": 0}, {"c1": "a"}))
+
+    def test_rule_a2_of_the_paper(self):
+        a2 = tokens_with_tag("c1", 3, "b")
+        assert a2.evaluate(view({"c1": 3}, {"c1": "b"}))
+        assert not a2.evaluate(view({"c1": 2}, {"c1": "b"}))
+        assert not a2.evaluate(view({"c1": 3}, {"c1": "a"}))
+
+    def test_untagged_token_enables_no_rule(self):
+        # Paper: "if there is no tag on the first visible token [...]
+        # no activation rule is enabled".
+        a1 = tokens_with_tag("c1", 1, "a")
+        a2 = tokens_with_tag("c1", 3, "b")
+        state = view({"c1": 5}, {"c1": TagSet.empty()})
+        assert not a1.evaluate(state)
+        assert not a2.evaluate(state)
+
+
+class TestMappingView:
+    def test_defaults(self):
+        v = MappingView()
+        assert v.available("c") == 0
+        assert v.first_tags("c") is None
+
+    def test_tags_only_visible_with_tokens(self):
+        v = MappingView({"c": 0}, {"c": "a"})
+        assert v.first_tags("c") is None
+
+    def test_empty_tagset_default_when_tokens_present(self):
+        v = MappingView({"c": 2})
+        assert v.first_tags("c") == TagSet.empty()

@@ -1,0 +1,108 @@
+"""Unit tests for repro.spi.process."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.spi.activation import rules
+from repro.spi.intervals import Interval
+from repro.spi.modes import ProcessMode
+from repro.spi.predicates import NumAvailable
+from repro.spi.process import Process, simple_process
+
+
+def two_mode_process() -> Process:
+    m1 = ProcessMode(name="m1", latency=3.0, consumes={"c1": 1}, produces={"c2": 2})
+    m2 = ProcessMode(name="m2", latency=5.0, consumes={"c1": 3}, produces={"c2": 5})
+    activation = rules(
+        ("a1", NumAvailable("c1", 1), "m1"),
+        ("a2", NumAvailable("c1", 3), "m2"),
+    )
+    return Process(name="p2", modes={"m1": m1, "m2": m2}, activation=activation)
+
+
+class TestConstruction:
+    def test_simple_process_has_implicit_activation(self):
+        process = simple_process("p", latency=1.0, consumes={"c": 1})
+        assert process.activation.select.__self__ is process.activation
+        assert process.activation.modes_named() == ("run",)
+
+    def test_modes_list_accepted(self):
+        mode = ProcessMode(name="only")
+        process = Process(name="p", modes=[mode])
+        assert list(process.modes) == ["only"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            simple_process("")
+
+    def test_no_modes_rejected(self):
+        with pytest.raises(ModelError):
+            Process(name="p", modes={})
+
+    def test_mode_key_mismatch_rejected(self):
+        mode = ProcessMode(name="real")
+        with pytest.raises(ModelError):
+            Process(name="p", modes={"alias": mode})
+
+    def test_multi_mode_requires_activation(self):
+        m1 = ProcessMode(name="m1")
+        m2 = ProcessMode(name="m2")
+        with pytest.raises(ModelError):
+            Process(name="p", modes={"m1": m1, "m2": m2})
+
+    def test_activation_must_reference_known_modes(self):
+        mode = ProcessMode(name="m1")
+        activation = rules(("a", NumAvailable("c", 1), "ghost"))
+        with pytest.raises(ModelError):
+            Process(name="p", modes={"m1": mode}, activation=activation)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ModelError):
+            simple_process("p", period=0.0)
+
+    def test_negative_max_firings_rejected(self):
+        with pytest.raises(ModelError):
+            simple_process("p", max_firings=-1)
+
+    def test_negative_release_time_rejected(self):
+        with pytest.raises(ModelError):
+            simple_process("p", release_time=-1.0)
+
+
+class TestQueries:
+    def test_mode_lookup(self):
+        process = two_mode_process()
+        assert process.mode("m1").latency == Interval.point(3.0)
+        with pytest.raises(ModelError):
+            process.mode("ghost")
+
+    def test_single_mode_guard(self):
+        process = two_mode_process()
+        with pytest.raises(ModelError):
+            _ = process.single_mode
+        assert simple_process("p").single_mode.name == "run"
+
+    def test_latency_bounds_hull(self):
+        assert two_mode_process().latency_bounds() == Interval(3.0, 5.0)
+
+    def test_rate_bounds_hull(self):
+        process = two_mode_process()
+        assert process.consumption_bounds("c1") == Interval(1, 3)
+        assert process.production_bounds("c2") == Interval(2, 5)
+
+    def test_channel_listings(self):
+        process = two_mode_process()
+        assert process.input_channels() == ("c1",)
+        assert process.output_channels() == ("c2",)
+
+    def test_is_determinate(self):
+        assert simple_process("p", latency=1.0).is_determinate
+        assert not two_mode_process().is_determinate
+        fuzzy = simple_process("p", latency=Interval(1.0, 2.0))
+        assert not fuzzy.is_determinate
+
+    def test_source_sink_detection(self):
+        source = simple_process("s", produces={"c": 1})
+        sink = simple_process("k", consumes={"c": 1})
+        assert source.is_source and not source.is_sink
+        assert sink.is_sink and not sink.is_source

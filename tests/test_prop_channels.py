@@ -1,0 +1,85 @@
+"""Property-based tests for channel semantics (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.spi.channels import queue, register
+from repro.spi.tags import TagSet
+from repro.spi.tokens import Token
+
+
+def tagged(index: int) -> Token:
+    return Token(tags=TagSet.of(f"t{index}"))
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(min_value=1, max_value=4)),
+        st.tuples(st.just("read"), st.integers(min_value=1, max_value=4)),
+    ),
+    max_size=30,
+)
+
+
+class TestQueueProperties:
+    @given(operations)
+    def test_fifo_order_preserved(self, ops):
+        state = queue("c").new_state()
+        written = []
+        read = []
+        counter = 0
+        for op, amount in ops:
+            if op == "write":
+                batch = [tagged(counter + i) for i in range(amount)]
+                counter += amount
+                state.write(batch)
+                written.extend(batch)
+            else:
+                amount = min(amount, state.available())
+                read.extend(state.read(amount))
+        # What was read is a prefix of what was written, in order.
+        assert read == written[: len(read)]
+        # What remains is the suffix.
+        assert list(state.snapshot()) == written[len(read):]
+
+    @given(operations)
+    def test_conservation(self, ops):
+        state = queue("c").new_state()
+        produced = consumed = 0
+        for op, amount in ops:
+            if op == "write":
+                state.write([Token() for _ in range(amount)])
+                produced += amount
+            else:
+                take = min(amount, state.available())
+                state.read(take)
+                consumed += take
+        assert state.available() == produced - consumed
+
+
+class TestRegisterProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=20))
+    def test_last_write_wins(self, writes):
+        state = register("r").new_state()
+        last = None
+        for index in writes:
+            token = tagged(index)
+            state.write([token])
+            last = token
+        if last is None:
+            assert state.available() == 0
+        else:
+            assert state.available() == 1
+            assert state.first_token() == last
+
+    @given(
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_reads_never_deplete(self, write_count, read_count):
+        state = register("r").new_state()
+        for index in range(write_count):
+            state.write([tagged(index)])
+        if write_count:
+            for _ in range(read_count):
+                assert len(state.read(1)) == 1
+            assert state.available() == 1

@@ -1,0 +1,111 @@
+"""Property-based tests for interval arithmetic (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.spi.intervals import Interval, hull_all, sum_all
+
+bounds = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(bounds)
+    hi = draw(st.integers(min_value=lo, max_value=1000))
+    return Interval(lo, hi)
+
+
+@st.composite
+def members(draw):
+    interval = draw(intervals())
+    value = draw(
+        st.integers(min_value=int(interval.lo), max_value=int(interval.hi))
+    )
+    return interval, value
+
+
+class TestAlgebraicLaws:
+    @given(intervals(), intervals())
+    def test_addition_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(intervals(), intervals(), intervals())
+    def test_addition_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(intervals())
+    def test_zero_is_additive_identity(self, a):
+        assert a + Interval.zero() == a
+
+    @given(intervals(), intervals())
+    def test_hull_commutative(self, a, b):
+        assert a.hull(b) == b.hull(a)
+
+    @given(intervals(), intervals())
+    def test_hull_contains_both(self, a, b):
+        hull = a.hull(b)
+        assert hull.contains(a)
+        assert hull.contains(b)
+
+    @given(intervals())
+    def test_hull_idempotent(self, a):
+        assert a.hull(a) == a
+
+    @given(intervals(), intervals())
+    def test_intersection_within_both(self, a, b):
+        result = a.intersect(b)
+        if result is not None:
+            assert a.contains(result)
+            assert b.contains(result)
+        else:
+            assert not a.overlaps(b)
+
+
+class TestSoundness:
+    """Interval arithmetic must over-approximate pointwise arithmetic."""
+
+    @given(members(), members())
+    def test_addition_sound(self, first, second):
+        ia, va = first
+        ib, vb = second
+        assert va + vb in ia + ib
+
+    @given(members(), members())
+    def test_subtraction_sound(self, first, second):
+        ia, va = first
+        ib, vb = second
+        assert va - vb in ia - ib
+
+    @given(members(), members())
+    def test_multiplication_sound(self, first, second):
+        ia, va = first
+        ib, vb = second
+        assert va * vb in ia * ib
+
+    @given(members())
+    def test_negation_sound(self, member):
+        interval, value = member
+        assert -value in -interval
+
+    @given(members(), st.integers(min_value=0, max_value=50))
+    def test_scaling_sound(self, member, factor):
+        interval, value = member
+        assert value * factor in interval.scaled(factor)
+
+    @given(members())
+    def test_clamp_is_member(self, member):
+        interval, value = member
+        assert interval.clamp(value - 5000) in interval
+        assert interval.clamp(value + 5000) in interval
+
+
+class TestAggregates:
+    @given(st.lists(intervals(), min_size=1, max_size=8))
+    def test_hull_all_contains_each(self, items):
+        hull = hull_all(items)
+        assert all(hull.contains(item) for item in items)
+
+    @given(st.lists(intervals(), max_size=8))
+    def test_sum_all_bounds(self, items):
+        total = sum_all(items)
+        assert total.lo == sum(item.lo for item in items)
+        assert total.hi == sum(item.hi for item in items)

@@ -1,0 +1,126 @@
+"""Property-based tests for the static list scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spi.builder import GraphBuilder
+from repro.synth.mapping import Mapping, Target
+from repro.synth.schedule import list_schedule
+
+
+@st.composite
+def layered_dags(draw):
+    """A random layered DAG with unit-rate channels plus durations."""
+    n_layers = draw(st.integers(min_value=1, max_value=3))
+    layers = [
+        [
+            f"l{layer}n{node}"
+            for node in range(draw(st.integers(min_value=1, max_value=3)))
+        ]
+        for layer in range(n_layers)
+    ]
+    durations = {}
+    edges = []
+    for layer_index in range(n_layers - 1):
+        for src in layers[layer_index]:
+            # each node feeds at least one node of the next layer
+            targets = draw(
+                st.lists(
+                    st.sampled_from(layers[layer_index + 1]),
+                    min_size=1,
+                    max_size=len(layers[layer_index + 1]),
+                    unique=True,
+                )
+            )
+            for dst in targets:
+                edges.append((src, dst))
+    all_nodes = [node for layer in layers for node in layer]
+    for node in all_nodes:
+        durations[node] = float(draw(st.integers(min_value=1, max_value=9)))
+    # mapping: each node randomly SW (cpu0/cpu1) or HW
+    mapping = {}
+    for node in all_nodes:
+        mapping[node] = draw(
+            st.sampled_from([Target.sw(0), Target.sw(1), Target.hw()])
+        )
+    return layers, edges, durations, mapping
+
+
+def build_graph(layers, edges):
+    builder = GraphBuilder("dag")
+    consumes = {}
+    produces = {}
+    for index, (src, dst) in enumerate(edges):
+        channel = f"e{index}"
+        builder.queue(channel)
+        produces.setdefault(src, {})[channel] = 1
+        consumes.setdefault(dst, {})[channel] = 1
+    for layer in layers:
+        for node in layer:
+            builder.simple(
+                node,
+                consumes=consumes.get(node, {}),
+                produces=produces.get(node, {}),
+            )
+    return builder.build(validate=False)
+
+
+class TestScheduleProperties:
+    @given(layered_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_no_resource_overlap(self, dag):
+        layers, edges, durations, mapping = dag
+        graph = build_graph(layers, edges)
+        schedule = list_schedule(graph, Mapping(mapping), durations)
+        assert schedule.verify_no_overlap()
+
+    @given(layered_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_precedence_respected(self, dag):
+        layers, edges, durations, mapping = dag
+        graph = build_graph(layers, edges)
+        schedule = list_schedule(graph, Mapping(mapping), durations)
+        for src, dst in edges:
+            assert (
+                schedule.task_of(dst).start >= schedule.task_of(src).end
+            )
+
+    @given(layered_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_at_least_critical_path(self, dag):
+        layers, edges, durations, mapping = dag
+        graph = build_graph(layers, edges)
+        schedule = list_schedule(graph, Mapping(mapping), durations)
+
+        # longest path through the DAG by durations
+        successors = {}
+        for src, dst in edges:
+            successors.setdefault(src, set()).add(dst)
+
+        def longest_from(node):
+            best = 0.0
+            for nxt in successors.get(node, ()):
+                best = max(best, longest_from(nxt))
+            return durations[node] + best
+
+        critical = max(
+            longest_from(node) for layer in layers for node in layer
+        )
+        assert schedule.makespan >= critical - 1e-9
+
+    @given(layered_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_at_most_serialized_total(self, dag):
+        layers, edges, durations, mapping = dag
+        graph = build_graph(layers, edges)
+        schedule = list_schedule(graph, Mapping(mapping), durations)
+        assert schedule.makespan <= sum(durations.values()) + 1e-9
+
+    @given(layered_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_every_unit_scheduled_once(self, dag):
+        layers, edges, durations, mapping = dag
+        graph = build_graph(layers, edges)
+        schedule = list_schedule(graph, Mapping(mapping), durations)
+        scheduled = [task.unit for task in schedule.tasks]
+        expected = [node for layer in layers for node in layer]
+        assert sorted(scheduled) == sorted(expected)

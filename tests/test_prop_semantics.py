@@ -1,0 +1,132 @@
+"""Property-based tests of the untimed update rules on random pipelines."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spi.adapters.sdf import SdfGraph, sdf_to_spi
+from repro.spi.analysis import balance_equations
+from repro.spi.builder import GraphBuilder
+from repro.spi.semantics import StepSemantics
+from repro.spi.tokens import make_tokens
+
+
+@st.composite
+def pipelines(draw):
+    """A random determinate pipeline with unit-consistent rates."""
+    stages = draw(st.integers(min_value=1, max_value=4))
+    rates = [
+        (
+            draw(st.integers(min_value=1, max_value=3)),  # consume
+            draw(st.integers(min_value=1, max_value=3)),  # produce
+        )
+        for _ in range(stages)
+    ]
+    tokens = draw(st.integers(min_value=0, max_value=12))
+    return stages, rates, tokens
+
+
+def build(stages, rates, tokens):
+    builder = GraphBuilder("pipe")
+    builder.queue("c0", initial_tokens=make_tokens(tokens))
+    for index in range(stages):
+        builder.queue(f"c{index + 1}")
+    for index, (consume, produce) in enumerate(rates):
+        builder.simple(
+            f"s{index}",
+            consumes={f"c{index}": consume},
+            produces={f"c{index + 1}": produce},
+        )
+    return builder.build(validate=False)
+
+
+class TestTokenConservation:
+    @given(pipelines())
+    @settings(max_examples=60, deadline=None)
+    def test_channel_balance(self, pipeline):
+        """occupancy(c) = initial + produced - consumed, per channel."""
+        stages, rates, tokens = pipeline
+        graph = build(stages, rates, tokens)
+        semantics = StepSemantics(graph)
+        semantics.run(max_steps=2000)
+        produced = {name: 0 for name in graph.channels}
+        consumed = {name: 0 for name in graph.channels}
+        for firing in semantics.history:
+            for channel, count in firing.produced.items():
+                produced[channel] += count
+            for channel, count in firing.consumed.items():
+                consumed[channel] += count
+        occupancy = semantics.occupancy()
+        initial = {name: 0 for name in graph.channels}
+        initial["c0"] = tokens
+        for channel in graph.channels:
+            assert occupancy[channel] == (
+                initial[channel] + produced[channel] - consumed[channel]
+            )
+
+    @given(pipelines())
+    @settings(max_examples=60, deadline=None)
+    def test_quiescent_state_has_no_ready_process(self, pipeline):
+        stages, rates, tokens = pipeline
+        graph = build(stages, rates, tokens)
+        semantics = StepSemantics(graph)
+        semantics.run(max_steps=2000)
+        for process in graph.processes.values():
+            assert semantics.ready_mode(process) is None
+
+    @given(pipelines())
+    @settings(max_examples=40, deadline=None)
+    def test_firing_counts_monotone_along_chain(self, pipeline):
+        """Upstream stages fire at least as much as they feed downstream."""
+        stages, rates, tokens = pipeline
+        graph = build(stages, rates, tokens)
+        semantics = StepSemantics(graph)
+        semantics.run(max_steps=2000)
+        for index, (consume, produce) in enumerate(rates):
+            fired = semantics.firing_counts[f"s{index}"]
+            if index == 0:
+                assert fired == tokens // consume
+            else:
+                upstream_out = (
+                    semantics.firing_counts[f"s{index - 1}"]
+                    * rates[index - 1][1]
+                )
+                assert fired == upstream_out // consume
+
+
+@st.composite
+def consistent_sdf(draw):
+    """A random 2-3 actor consistent SDF chain."""
+    sdf = SdfGraph("rand")
+    count = draw(st.integers(min_value=2, max_value=3))
+    for index in range(count):
+        sdf.actor(f"a{index}")
+    for index in range(count - 1):
+        produce = draw(st.integers(min_value=1, max_value=4))
+        consume = draw(st.integers(min_value=1, max_value=4))
+        sdf.edge(f"a{index}", f"a{index + 1}", produce, consume)
+    return sdf
+
+
+class TestRepetitionVectorProperty:
+    @given(consistent_sdf())
+    @settings(max_examples=60, deadline=None)
+    def test_balance_equations_hold(self, sdf):
+        graph = sdf_to_spi(sdf)
+        repetition = balance_equations(graph)
+        assert repetition is not None
+        for edge in sdf.edges:
+            assert (
+                repetition[edge.source] * edge.produce
+                == repetition[edge.target] * edge.consume
+            )
+
+    @given(consistent_sdf())
+    @settings(max_examples=40, deadline=None)
+    def test_repetition_vector_minimal(self, sdf):
+        graph = sdf_to_spi(sdf)
+        repetition = balance_equations(graph)
+        values = list(repetition.values())
+        gcd = 0
+        for value in values:
+            while value:
+                gcd, value = value, gcd % value
+        assert gcd == 1

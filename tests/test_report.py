@@ -1,0 +1,60 @@
+"""Tests for table and series rendering."""
+
+from repro.report.series import Series, render_series
+from repro.report.tables import render_dict_rows, render_table
+
+
+class TestTables:
+    def test_alignment_and_rule(self):
+        text = render_table(
+            ["name", "cost"], [["app1", 34], ["superposition", 57]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert "superposition" in lines[3]
+        # columns aligned: same pipe positions
+        assert lines[0].index("|") == lines[2].index("|")
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.5], [2.0]])
+        assert "1.500" in text
+        assert "\n2 " in text or text.endswith("2")
+
+    def test_dict_rows(self):
+        rows = [{"flow": "a", "total": 1}, {"flow": "b", "total": 2}]
+        text = render_dict_rows(rows)
+        assert "flow" in text and "total" in text
+        assert "b" in text
+
+    def test_dict_rows_column_selection(self):
+        rows = [{"flow": "a", "total": 1, "junk": "x"}]
+        text = render_dict_rows(rows, columns=["flow", "total"])
+        assert "junk" not in text
+
+    def test_empty_rows(self):
+        assert "empty" in render_dict_rows([])
+
+
+class TestSeries:
+    def test_add_and_accessors(self):
+        series = Series("cost").add(2, 10.0).add(3, 12.0)
+        assert series.xs == (2, 3)
+        assert series.ys == (10.0, 12.0)
+
+    def test_render_shared_axis(self):
+        a = Series("flow_a").add(1, 10).add(2, 20)
+        b = Series("flow_b").add(1, 11)
+        text = render_series([a, b], x_label="variants")
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "variants"
+        assert "flow_a" in lines[0] and "flow_b" in lines[0]
+        # missing point renders empty
+        assert len(lines) == 4
+
+    def test_render_empty(self):
+        assert "no series" in render_series([])

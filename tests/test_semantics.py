@@ -1,0 +1,100 @@
+"""Unit tests for the untimed step semantics (SPI update rules)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.spi.builder import GraphBuilder
+from repro.spi.intervals import Interval
+from repro.spi.semantics import RateResolver, StepSemantics
+from repro.spi.tokens import make_tokens
+from tests.conftest import chain_graph
+
+
+class TestRateResolver:
+    def test_lower_policy(self):
+        resolver = RateResolver("lower")
+        assert resolver.resolve_amount(Interval(2, 5)) == 2
+        assert resolver.resolve_latency(Interval(1.0, 3.0)) == 1.0
+
+    def test_upper_policy(self):
+        resolver = RateResolver("upper")
+        assert resolver.resolve_amount(Interval(2, 5)) == 5
+        assert resolver.resolve_latency(Interval(1.0, 3.0)) == 3.0
+
+    def test_midpoint_policy(self):
+        resolver = RateResolver("midpoint")
+        assert resolver.resolve_amount(Interval(2, 4)) == 3
+        assert resolver.resolve_latency(Interval(1.0, 3.0)) == 2.0
+
+    def test_random_policy_stays_in_bounds_and_reproduces(self):
+        first = RateResolver("random", seed=42)
+        second = RateResolver("random", seed=42)
+        interval = Interval(1, 10)
+        values = [first.resolve_amount(interval) for _ in range(20)]
+        assert values == [second.resolve_amount(interval) for _ in range(20)]
+        assert all(1 <= v <= 10 for v in values)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            RateResolver("vibes")
+
+
+class TestStepSemantics:
+    def test_chain_drains_input(self):
+        semantics = StepSemantics(chain_graph(stages=2, input_tokens=4))
+        semantics.run()
+        occupancy = semantics.occupancy()
+        assert occupancy["c0"] == 0
+        assert occupancy["c2"] == 4
+        assert semantics.firing_counts["s0"] == 4
+        assert semantics.firing_counts["s1"] == 4
+
+    def test_two_phase_step_no_same_step_consumption(self):
+        # s1 cannot consume the token s0 produces within the same step.
+        semantics = StepSemantics(chain_graph(stages=2, input_tokens=1))
+        first_round = semantics.step()
+        assert [f.process for f in first_round] == ["s0"]
+        second_round = semantics.step()
+        assert [f.process for f in second_round] == ["s1"]
+
+    def test_max_firings_respected(self):
+        builder = GraphBuilder()
+        builder.queue("c", initial_tokens=make_tokens(5))
+        builder.simple("p", consumes={"c": 1}, max_firings=2)
+        semantics = StepSemantics(builder.build(validate=False))
+        semantics.run()
+        assert semantics.firing_counts["p"] == 2
+        assert semantics.occupancy()["c"] == 3
+
+    def test_quiescence_terminates_run(self):
+        semantics = StepSemantics(chain_graph(stages=1, input_tokens=2))
+        rounds = semantics.run(max_steps=100)
+        assert len(rounds) == 2
+
+    def test_firing_records(self):
+        semantics = StepSemantics(chain_graph(stages=1, input_tokens=1))
+        semantics.run()
+        assert len(semantics.history) == 1
+        firing = semantics.history[0]
+        assert firing.process == "s0"
+        assert firing.consumed == {"c0": 1}
+        assert firing.produced == {"c1": 1}
+
+    def test_insufficient_tokens_block_firing(self):
+        builder = GraphBuilder()
+        builder.queue("c", initial_tokens=make_tokens(1))
+        builder.simple("p", consumes={"c": 2})
+        semantics = StepSemantics(builder.build(validate=False))
+        assert semantics.run() == []
+
+    def test_tag_passthrough_in_step_semantics(self):
+        builder = GraphBuilder()
+        builder.queue("a", initial_tokens=make_tokens(1, tags="fresh"))
+        builder.queue("b")
+        builder.simple(
+            "p", consumes={"a": 1}, produces={"b": 1}, pass_tags=("b",)
+        )
+        semantics = StepSemantics(builder.build(validate=False))
+        semantics.run()
+        token = semantics.states["b"].first_token()
+        assert token.has_tag("fresh")

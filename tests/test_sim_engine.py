@@ -1,0 +1,182 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import ResourceBinding, Simulator, simulate
+from repro.spi.builder import GraphBuilder
+from repro.spi.intervals import Interval
+from repro.spi.semantics import RateResolver
+from repro.spi.tokens import make_tokens
+from repro.spi.virtuality import source
+from tests.conftest import chain_graph
+
+
+class TestTimedExecution:
+    def test_chain_latency_accumulates(self):
+        graph = chain_graph(stages=2, latency=3.0, input_tokens=1)
+        trace = simulate(graph)
+        s0 = trace.firings_of("s0")[0]
+        s1 = trace.firings_of("s1")[0]
+        assert (s0.start, s0.end) == (0.0, 3.0)
+        assert (s1.start, s1.end) == (3.0, 6.0)
+
+    def test_pipeline_overlap(self):
+        graph = chain_graph(stages=2, latency=3.0, input_tokens=3)
+        trace = simulate(graph)
+        # stage 0 processes back-to-back; stage 1 is pipelined behind it.
+        starts = [f.start for f in trace.firings_of("s0")]
+        assert starts == [0.0, 3.0, 6.0]
+        assert trace.end_time() == 12.0
+
+    def test_interval_latency_resolution(self):
+        builder = GraphBuilder()
+        builder.queue("c", initial_tokens=make_tokens(1))
+        builder.simple("p", latency=Interval(2.0, 8.0), consumes={"c": 1})
+        graph = builder.build(validate=False)
+        lower = simulate(graph, resolver=RateResolver("lower"))
+        assert lower.firings_of("p")[0].end == 2.0
+        upper = simulate(
+            builder.graph, resolver=RateResolver("upper")
+        )
+        assert upper.firings_of("p")[0].end == 8.0
+
+    def test_until_bound_stops_simulation(self):
+        builder = GraphBuilder()
+        builder.queue("c")
+        builder.process(source("tick", "c", period=10.0))
+        graph = builder.build(validate=False)
+        trace = simulate(graph, until=35.0)
+        assert trace.firing_count("tick") == 4  # t = 0, 10, 20, 30
+
+    def test_quiescence_detection(self):
+        graph = chain_graph(stages=1, input_tokens=2)
+        trace = simulate(graph)
+        assert trace.firing_count("s0") == 2
+
+
+class TestTriggering:
+    def test_period_enforced(self):
+        builder = GraphBuilder()
+        builder.queue("c")
+        builder.process(source("tick", "c", period=5.0, max_firings=3))
+        trace = simulate(builder.build(validate=False))
+        starts = [f.start for f in trace.firings_of("tick")]
+        assert starts == [0.0, 5.0, 10.0]
+
+    def test_release_time(self):
+        builder = GraphBuilder()
+        builder.queue("c")
+        builder.process(
+            source("late", "c", max_firings=1, release_time=42.0)
+        )
+        trace = simulate(builder.build(validate=False))
+        assert trace.firings_of("late")[0].start == 42.0
+
+    def test_max_firings(self):
+        builder = GraphBuilder()
+        builder.queue("c", initial_tokens=make_tokens(10))
+        builder.simple("p", latency=1.0, consumes={"c": 1}, max_firings=4)
+        trace = simulate(builder.build(validate=False))
+        assert trace.firing_count("p") == 4
+
+    def test_data_triggering_waits_for_tokens(self):
+        builder = GraphBuilder()
+        builder.queue("c")
+        builder.process(source("slow", "c", period=10.0, max_firings=2))
+        builder.simple("fast", latency=1.0, consumes={"c": 1})
+        trace = simulate(builder.build(validate=False))
+        starts = [f.start for f in trace.firings_of("fast")]
+        assert starts == [0.0, 10.0]
+
+
+class TestResourceBinding:
+    def test_shared_resource_serializes(self):
+        builder = GraphBuilder()
+        builder.queue("a", initial_tokens=make_tokens(1))
+        builder.queue("b", initial_tokens=make_tokens(1))
+        builder.simple("p", latency=4.0, consumes={"a": 1})
+        builder.simple("q", latency=4.0, consumes={"b": 1})
+        graph = builder.build(validate=False)
+        binding = ResourceBinding({"p": "cpu0", "q": "cpu0"})
+        trace = simulate(graph, binding=binding)
+        spans = sorted(
+            (f.start, f.end) for f in trace.firings
+        )
+        assert spans == [(0.0, 4.0), (4.0, 8.0)]
+
+    def test_distinct_resources_parallel(self):
+        builder = GraphBuilder()
+        builder.queue("a", initial_tokens=make_tokens(1))
+        builder.queue("b", initial_tokens=make_tokens(1))
+        builder.simple("p", latency=4.0, consumes={"a": 1})
+        builder.simple("q", latency=4.0, consumes={"b": 1})
+        graph = builder.build(validate=False)
+        binding = ResourceBinding({"p": "cpu0", "q": "hw"})
+        trace = simulate(graph, binding=binding)
+        assert all(f.start == 0.0 for f in trace.firings)
+
+    def test_unbound_processes_unconstrained(self):
+        builder = GraphBuilder()
+        builder.queue("a", initial_tokens=make_tokens(2))
+        builder.simple("p", latency=1.0, consumes={"a": 1})
+        trace = simulate(builder.build(validate=False))
+        assert trace.firing_count("p") == 2
+
+
+class TestGuards:
+    def test_runaway_zero_latency_loop_detected(self):
+        builder = GraphBuilder()
+        builder.queue("c", initial_tokens=make_tokens(1))
+        # consumes and reproduces its own token at zero latency forever
+        builder.simple("loop", latency=0.0, consumes={"c": 1}, produces={"c": 1})
+        simulator = Simulator(builder.build(validate=False), max_events=500)
+        with pytest.raises(SimulationError, match="exceeded"):
+            simulator.run()
+
+    def test_unknown_configuration_query_rejected(self):
+        simulator = Simulator(chain_graph())
+        with pytest.raises(SimulationError):
+            simulator.configuration_of("s0")
+
+    def test_occupancy_snapshot(self):
+        simulator = Simulator(chain_graph(stages=1, input_tokens=3))
+        assert simulator.occupancy()["c0"] == 3
+        simulator.run()
+        assert simulator.occupancy()["c0"] == 0
+        assert simulator.occupancy()["c1"] == 3
+
+
+class TestTagFlow:
+    def test_out_tags_attached(self):
+        builder = GraphBuilder()
+        builder.queue("a", initial_tokens=make_tokens(1))
+        builder.queue("b")
+        builder.simple(
+            "p", consumes={"a": 1}, produces={"b": 1}, out_tags={"b": "x"}
+        )
+        trace = simulate(builder.build(validate=False))
+        assert trace.produced_on("b")[0].has_tag("x")
+
+    def test_pass_tags_inherit_consumed_tags(self):
+        builder = GraphBuilder()
+        builder.queue("a", initial_tokens=make_tokens(1, tags="fresh"))
+        builder.queue("b")
+        builder.simple(
+            "p",
+            consumes={"a": 1},
+            produces={"b": 1},
+            out_tags={"b": "img"},
+            pass_tags=("b",),
+        )
+        trace = simulate(builder.build(validate=False))
+        token = trace.produced_on("b")[0]
+        assert token.has_tag("fresh") and token.has_tag("img")
+
+    def test_without_pass_tags_no_inheritance(self):
+        builder = GraphBuilder()
+        builder.queue("a", initial_tokens=make_tokens(1, tags="fresh"))
+        builder.queue("b")
+        builder.simple("p", consumes={"a": 1}, produces={"b": 1})
+        trace = simulate(builder.build(validate=False))
+        assert not trace.produced_on("b")[0].has_tag("fresh")

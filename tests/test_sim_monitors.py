@@ -1,0 +1,112 @@
+"""Unit tests for trace monitors."""
+
+from repro.sim.engine import simulate
+from repro.sim.monitors import (
+    FrameValidityMonitor,
+    check_channel_bounds,
+    peak_occupancy,
+)
+from repro.sim.trace import (
+    FiringRecord,
+    ReconfigurationRecord,
+    Trace,
+)
+from repro.spi.builder import GraphBuilder
+from repro.spi.tags import TagSet
+from repro.spi.tokens import Token, make_tokens
+from tests.conftest import chain_graph
+
+
+class TestOccupancy:
+    def test_peak_occupancy_of_burst(self):
+        builder = GraphBuilder()
+        builder.queue("a", initial_tokens=make_tokens(1))
+        builder.queue("mid")
+        builder.queue("done")
+        builder.simple("burst", latency=1.0, consumes={"a": 1}, produces={"mid": 5})
+        builder.simple("drain", latency=2.0, consumes={"mid": 1}, produces={"done": 1})
+        trace = simulate(builder.build(validate=False))
+        assert peak_occupancy(trace, "mid") == 5
+
+    def test_initial_tokens_counted(self):
+        trace = simulate(chain_graph(stages=1, input_tokens=3))
+        assert peak_occupancy(trace, "c0", initial=3) == 3
+
+    def test_check_channel_bounds(self):
+        trace = simulate(chain_graph(stages=1, input_tokens=2))
+        reports = check_channel_bounds(trace, {"c1": 1, "c0": 5})
+        by_channel = {r.channel: r for r in reports}
+        assert not by_channel["c1"].satisfied  # 2 tokens pile up
+        assert by_channel["c0"].satisfied
+
+
+def crafted_trace() -> Trace:
+    """Hand-built trace: one frame processed across a reconfiguration."""
+    trace = Trace()
+    raw = Token(tags=TagSet.of("img"))
+    mid = Token(tags=TagSet.of("img"), producer="P1", produced_at=5.0)
+    out = Token(tags=TagSet.of("img"), producer="P2", produced_at=30.0)
+    trace.record_firing(
+        FiringRecord(
+            process="P1", mode="run", start=0.0, end=5.0,
+            consumed=(("cv1", (raw,)),), produced=(("cv2", (mid,)),),
+        )
+    )
+    trace.record_firing(
+        FiringRecord(
+            process="P2", mode="run", start=25.0, end=30.0,
+            consumed=(("cv2", (mid,)),), produced=(("cvout", (out,)),),
+        )
+    )
+    trace.record_reconfiguration(
+        ReconfigurationRecord(
+            process="P2", time=10.0, from_configuration="a",
+            to_configuration="b", latency=10.0,
+        )
+    )
+    return trace
+
+
+class TestFrameValidity:
+    def test_straddling_frame_flagged_invalid(self):
+        monitor = FrameValidityMonitor("cvout", ["P1", "P2"])
+        reports = monitor.analyze(crafted_trace())
+        assert len(reports) == 1
+        assert not reports[0].valid
+        assert reports[0].overlapped_reconfigurations == ("P2",)
+
+    def test_unwatched_process_ignored(self):
+        monitor = FrameValidityMonitor("cvout", ["P1"])
+        reports = monitor.analyze(crafted_trace())
+        assert reports[0].valid
+
+    def test_repeat_tag_short_circuits(self):
+        trace = crafted_trace()
+        # mark the displayed token as a valve replacement
+        out = trace.produced_on("cvout")[0]
+        replaced = Token(tags=out.tags | TagSet.of("repeat"))
+        trace.firings[-1] = FiringRecord(
+            process="P2", mode="run",
+            start=trace.firings[-1].start, end=trace.firings[-1].end,
+            consumed=trace.firings[-1].consumed,
+            produced=(("cvout", (replaced,)),),
+        )
+        monitor = FrameValidityMonitor(
+            "cvout", ["P1", "P2"], repeat_tag="repeat"
+        )
+        reports = monitor.analyze(trace)
+        assert reports[0].is_repeat
+        assert reports[0].valid
+
+    def test_invalid_frames_helper(self):
+        monitor = FrameValidityMonitor("cvout", ["P1", "P2"])
+        assert len(monitor.invalid_frames(crafted_trace())) == 1
+
+    def test_reconfig_outside_span_is_valid(self):
+        trace = crafted_trace()
+        trace.reconfigurations[0] = ReconfigurationRecord(
+            process="P2", time=50.0, from_configuration="a",
+            to_configuration="b", latency=10.0,
+        )
+        monitor = FrameValidityMonitor("cvout", ["P1", "P2"])
+        assert monitor.analyze(trace)[0].valid

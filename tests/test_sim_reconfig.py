@@ -1,0 +1,98 @@
+"""Unit tests for the Def.-4 reconfiguration rule in the simulator."""
+
+import pytest
+
+from repro.sim.engine import Simulator, simulate
+from repro.spi.activation import rules
+from repro.spi.builder import GraphBuilder
+from repro.spi.modes import ProcessMode
+from repro.spi.predicates import HasTag, NumAvailable
+from repro.spi.tags import TagSet
+from repro.spi.tokens import Token, make_tokens
+from repro.variants.configuration import (
+    Configuration,
+    ConfigurationSet,
+    ConfiguredProcess,
+)
+
+
+def configured_graph(
+    token_tags, initial_configuration="confA", latency_a=2.0, latency_b=3.0
+):
+    """A configured process whose mode follows the input token's tag."""
+    builder = GraphBuilder()
+    tokens = [Token(tags=TagSet.of(tag)) for tag in token_tags]
+    builder.queue("cin", initial_tokens=tokens)
+    builder.queue("cout")
+    mode_a = ProcessMode(
+        name="mA", latency=latency_a, consumes={"cin": 1}, produces={"cout": 1}
+    )
+    mode_b = ProcessMode(
+        name="mB", latency=latency_b, consumes={"cin": 1}, produces={"cout": 1}
+    )
+    process = ConfiguredProcess(
+        name="p",
+        modes={"mA": mode_a, "mB": mode_b},
+        activation=rules(
+            ("ra", NumAvailable("cin", 1) & HasTag("cin", "a"), "mA"),
+            ("rb", NumAvailable("cin", 1) & HasTag("cin", "b"), "mB"),
+        ),
+        configurations=ConfigurationSet(
+            (
+                Configuration("confA", ("mA",), latency=10.0),
+                Configuration("confB", ("mB",), latency=20.0),
+            )
+        ),
+        initial_configuration=initial_configuration,
+    )
+    builder.process(process)
+    return builder.build(validate=False)
+
+
+class TestReconfigurationRule:
+    def test_same_configuration_no_reconfiguration(self):
+        trace = simulate(configured_graph(["a", "a", "a"]))
+        assert len(trace.reconfigurations) == 0
+        assert trace.end_time() == 6.0
+
+    def test_switch_inserts_latency_before_execution(self):
+        trace = simulate(configured_graph(["a", "b"]))
+        assert len(trace.reconfigurations) == 1
+        record = trace.reconfigurations[0]
+        assert record.from_configuration == "confA"
+        assert record.to_configuration == "confB"
+        assert record.latency == 20.0
+        # Second firing: starts at 2.0, reconfig 20 + mode 3 -> ends 25.
+        second = trace.firings_of("p")[1]
+        assert second.start == 2.0
+        assert second.end == 25.0
+        assert second.reconfiguration_latency == 20.0
+
+    def test_unconfigured_start_pays_first_configuration(self):
+        trace = simulate(
+            configured_graph(["a"], initial_configuration=None)
+        )
+        assert len(trace.reconfigurations) == 1
+        record = trace.reconfigurations[0]
+        assert record.from_configuration is None
+        assert record.to_configuration == "confA"
+        assert record.latency == 10.0
+
+    def test_switch_back_and_forth(self):
+        trace = simulate(configured_graph(["a", "b", "a"]))
+        assert [r.to_configuration for r in trace.reconfigurations] == [
+            "confB",
+            "confA",
+        ]
+        assert trace.total_reconfiguration_time() == 30.0
+
+    def test_conf_cur_tracked(self):
+        simulator = Simulator(configured_graph(["a", "b"]))
+        assert simulator.configuration_of("p") == "confA"
+        simulator.run()
+        assert simulator.configuration_of("p") == "confB"
+
+    def test_reconfiguration_latency_not_charged_within_config(self):
+        trace = simulate(configured_graph(["b", "b"], initial_configuration="confB"))
+        assert not trace.reconfigurations
+        assert trace.end_time() == 6.0

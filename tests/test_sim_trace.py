@@ -1,0 +1,87 @@
+"""Unit tests for trace queries and token lineage."""
+
+from repro.sim.engine import simulate
+from repro.sim.trace import FiringRecord, Trace
+from repro.spi.builder import GraphBuilder
+from repro.spi.tokens import Token, make_tokens
+from tests.conftest import chain_graph
+
+
+class TestQueries:
+    def test_firings_of_and_counts(self):
+        trace = simulate(chain_graph(stages=2, input_tokens=3))
+        assert trace.firing_count("s0") == 3
+        assert trace.firing_count() == 6
+        assert len(trace.firings_of("s1")) == 3
+
+    def test_produced_and_consumed(self):
+        trace = simulate(chain_graph(stages=1, input_tokens=2))
+        assert len(trace.produced_on("c1")) == 2
+        assert len(trace.consumed_from("c0")) == 2
+
+    def test_modes_used(self):
+        trace = simulate(chain_graph(stages=1, input_tokens=2))
+        assert trace.modes_used("s0") == ["run", "run"]
+
+    def test_summary(self):
+        trace = simulate(chain_graph(stages=2, input_tokens=2))
+        summary = trace.summary()
+        assert summary["firings"] == 4
+        assert summary["per_process"] == {"s0": 2, "s1": 2}
+        assert summary["reconfigurations"] == 0
+
+    def test_end_time_empty_trace(self):
+        assert Trace().end_time() == 0.0
+
+
+class TestLineage:
+    def test_producing_firing_identity(self):
+        trace = simulate(chain_graph(stages=2, input_tokens=1))
+        out_token = trace.produced_on("c2")[0]
+        firing = trace.producing_firing(out_token)
+        assert firing.process == "s1"
+
+    def test_ancestry_walks_back_to_input(self):
+        trace = simulate(chain_graph(stages=3, input_tokens=1))
+        final = trace.produced_on("c3")[0]
+        ancestors = trace.ancestry(final)
+        # one intermediate token per stage boundary plus the initial token
+        producers = {t.producer for t in ancestors}
+        assert producers == {"s0", "s1", None}
+
+    def test_span_covers_whole_pipeline(self):
+        trace = simulate(chain_graph(stages=3, latency=2.0, input_tokens=1))
+        final = trace.produced_on("c3")[0]
+        assert trace.span(final) == (0.0, 6.0)
+
+    def test_span_of_unproduced_token_is_none(self):
+        trace = simulate(chain_graph(stages=1, input_tokens=1))
+        assert trace.span(Token()) is None
+
+    def test_lineage_distinguishes_identical_tokens(self):
+        # Tokens compare equal on tags but lineage works by identity.
+        trace = simulate(chain_graph(stages=1, input_tokens=2))
+        first, second = trace.produced_on("c1")
+        assert first == second
+        assert trace.producing_firing(first) is not trace.producing_firing(
+            second
+        )
+
+
+class TestRecordHelpers:
+    def test_firing_record_channel_accessors(self):
+        token = Token()
+        record = FiringRecord(
+            process="p",
+            mode="m",
+            start=0.0,
+            end=1.0,
+            consumed=(("a", (token,)),),
+            produced=(("b", (token,)),),
+        )
+        assert record.consumed_on("a") == (token,)
+        assert record.consumed_on("zz") == ()
+        assert record.produced_on("b") == (token,)
+        assert record.latency == 1.0
+        assert record.all_consumed() == (token,)
+        assert record.all_produced() == (token,)

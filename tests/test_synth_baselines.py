@@ -1,0 +1,147 @@
+"""Unit tests for the literature baselines ([5] incremental, [6] serialization)."""
+
+import pytest
+
+from repro.apps import figure2
+from repro.synth.baselines import (
+    incremental_flow,
+    incremental_order_spread,
+    serialization_flow,
+)
+from repro.synth.library import ComponentLibrary
+from repro.synth.architecture import ArchitectureTemplate
+from repro.variants.interface import Interface
+from repro.variants.vgraph import VariantGraph
+from repro.spi.builder import GraphBuilder
+from tests.conftest import pipeline_cluster
+
+
+@pytest.fixture(scope="module")
+def setup():
+    vgraph = figure2.build_variant_graph()
+    return {
+        "vgraph": vgraph,
+        "library": figure2.table1_library(),
+        "architecture": figure2.table1_architecture(),
+        "apps": figure2.applications(vgraph),
+    }
+
+
+class TestSerialization:
+    def test_no_exclusion_credit(self, setup):
+        outcome = serialization_flow(
+            setup["vgraph"], setup["library"], setup["architecture"]
+        )
+        # Must carry both variants as concurrent load: ends at the
+        # superposition cost on this benchmark.
+        assert outcome.total_cost == 57.0
+        assert outcome.flow == "serialization[6]"
+
+    def test_worse_or_equal_to_variant_aware(self, setup):
+        from repro.synth.methods import variant_aware_flow
+
+        serialized = serialization_flow(
+            setup["vgraph"], setup["library"], setup["architecture"]
+        )
+        variant = variant_aware_flow(
+            setup["vgraph"], setup["library"], setup["architecture"]
+        )
+        assert serialized.total_cost >= variant.total_cost
+
+
+class TestIncremental:
+    def test_shared_decisions_frozen(self, setup):
+        apps = list(setup["apps"].items())
+        result = incremental_flow(
+            apps, setup["library"], setup["architecture"]
+        )
+        # first app decides PA, PB (software); second must keep that.
+        assert "PA" in result.outcome.software_parts
+        assert "PB" in result.outcome.software_parts
+        assert result.order == ("application1", "application2")
+        assert len(result.steps) == 2
+
+    def test_union_cost_on_table1_benchmark(self, setup):
+        apps = list(setup["apps"].items())
+        result = incremental_flow(
+            apps, setup["library"], setup["architecture"]
+        )
+        # Incremental cannot exploit exclusion: gamma1 HW + gamma2 HW.
+        assert result.outcome.total_cost == 57.0
+
+    def test_design_time_counts_new_units_only(self, setup):
+        apps = list(setup["apps"].items())
+        result = incremental_flow(
+            apps, setup["library"], setup["architecture"]
+        )
+        # PA and PB are considered once -> same distinct-unit total as
+        # the variant-aware flow.
+        assert result.outcome.design_time == 118.0
+
+    def test_empty_sequence_rejected(self, setup):
+        from repro.errors import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            incremental_flow([], setup["library"], setup["architecture"])
+
+
+def order_sensitive_instance():
+    """Two-app instance where the shared process K makes order matter.
+
+    App 'a' alone must move K to hardware (cheap, cost 8) because its
+    cluster is heavy; app 'b' alone keeps everything in software.
+    Synthesizing 'b' first freezes K in software, forcing app 'a' to buy
+    its expensive cluster ASIC (cost 40) later; the 'a'-first order
+    reuses K's cheap ASIC for both.
+    """
+    vgraph = VariantGraph("order")
+    builder = GraphBuilder("common")
+    builder.queue("cin")
+    builder.queue("cmid")
+    builder.queue("cout")
+    builder.simple("K", consumes={"cin": 1}, produces={"cmid": 1})
+    vgraph.base = builder.build(validate=False)
+    interface = Interface(
+        name="theta",
+        inputs=("i",),
+        outputs=("o",),
+        clusters={
+            "a": pipeline_cluster("a", stages=1),
+            "b": pipeline_cluster("b", stages=1),
+        },
+    )
+    vgraph.add_interface(interface, {"i": "cmid", "o": "cout"})
+    library = ComponentLibrary()
+    library.component("K", sw_utilization=0.5, hw_cost=8, effort=1)
+    library.component("theta.a.s0", sw_utilization=0.6, hw_cost=40, effort=1)
+    library.component("theta.b.s0", sw_utilization=0.4, hw_cost=35, effort=1)
+    architecture = ArchitectureTemplate(
+        max_processors=1, processor_cost=10, processor_capacity=1.0
+    )
+    apps = {
+        f"app_{cluster}": vgraph.bind(
+            {"theta": cluster}, name=f"app_{cluster}"
+        )
+        for cluster in ("a", "b")
+    }
+    return apps, library, architecture
+
+
+class TestOrderDependence:
+    def test_order_changes_result_quality(self):
+        apps, library, architecture = order_sensitive_instance()
+        spread = incremental_order_spread(apps, library, architecture)
+        costs = {order: r.outcome.total_cost for order, r in spread.items()}
+        # a-first: K goes HW (8), both clusters fit SW -> 18.
+        assert costs[("app_a", "app_b")] == 18.0
+        # b-first: K frozen SW, app_a must buy its 40-cost ASIC -> 50.
+        assert costs[("app_b", "app_a")] == 50.0
+
+    def test_all_orders_feasible(self):
+        apps, library, architecture = order_sensitive_instance()
+        spread = incremental_order_spread(apps, library, architecture)
+        assert len(spread) == 2
+        assert all(
+            result.outcome.total_cost < float("inf")
+            for result in spread.values()
+        )

@@ -1,0 +1,177 @@
+"""Unit tests for the cost model — exclusion-aware utilization included."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth.architecture import ArchitectureTemplate
+from repro.synth.cost import (
+    evaluate,
+    lower_bound,
+    processor_utilization,
+)
+from repro.synth.library import ComponentLibrary
+from repro.synth.mapping import (
+    Mapping,
+    SynthesisProblem,
+    Target,
+    VariantOrigin,
+)
+
+
+def variant_problem(use_exclusion=True, capacity=1.0, max_processors=1):
+    """Common unit K plus two mutually exclusive cluster units."""
+    library = ComponentLibrary()
+    library.component("K", sw_utilization=0.3, hw_cost=30, effort=1)
+    library.component("A1", sw_utilization=0.5, hw_cost=10, effort=1)
+    library.component("B1", sw_utilization=0.6, hw_cost=12, effort=1)
+    return SynthesisProblem(
+        name="p",
+        units=("K", "A1", "B1"),
+        library=library,
+        architecture=ArchitectureTemplate(
+            max_processors=max_processors,
+            processor_cost=15,
+            processor_capacity=capacity,
+        ),
+        origins={
+            "A1": VariantOrigin("theta", "A"),
+            "B1": VariantOrigin("theta", "B"),
+        },
+        use_exclusion=use_exclusion,
+    )
+
+
+def all_sw(problem):
+    return Mapping({unit: Target.sw(0) for unit in problem.units})
+
+
+class TestUtilization:
+    def test_exclusion_takes_max_over_clusters(self):
+        problem = variant_problem(use_exclusion=True)
+        load = processor_utilization(problem, all_sw(problem), 0)
+        assert load == pytest.approx(0.3 + max(0.5, 0.6))
+
+    def test_no_exclusion_sums_everything(self):
+        problem = variant_problem(use_exclusion=False)
+        load = processor_utilization(problem, all_sw(problem), 0)
+        assert load == pytest.approx(0.3 + 0.5 + 0.6)
+
+    def test_same_cluster_units_add_up(self):
+        library = ComponentLibrary()
+        library.component("A1", sw_utilization=0.3)
+        library.component("A2", sw_utilization=0.4)
+        problem = SynthesisProblem(
+            name="p",
+            units=("A1", "A2"),
+            library=library,
+            architecture=ArchitectureTemplate(processor_cost=1),
+            origins={
+                "A1": VariantOrigin("theta", "A"),
+                "A2": VariantOrigin("theta", "A"),
+            },
+        )
+        mapping = Mapping({"A1": Target.sw(0), "A2": Target.sw(0)})
+        assert processor_utilization(problem, mapping, 0) == pytest.approx(0.7)
+
+    def test_only_counts_this_processor(self):
+        problem = variant_problem(max_processors=2)
+        mapping = Mapping(
+            {"K": Target.sw(0), "A1": Target.sw(1), "B1": Target.sw(1)}
+        )
+        assert processor_utilization(problem, mapping, 0) == pytest.approx(0.3)
+        assert processor_utilization(problem, mapping, 1) == pytest.approx(0.6)
+
+
+class TestEvaluate:
+    def test_feasible_all_software_with_exclusion(self):
+        problem = variant_problem(use_exclusion=True)
+        result = evaluate(problem, all_sw(problem))
+        assert result.feasible
+        assert result.total_cost == 15.0
+        assert result.processors_used == 1
+
+    def test_infeasible_without_exclusion(self):
+        problem = variant_problem(use_exclusion=False)
+        result = evaluate(problem, all_sw(problem))
+        assert not result.feasible
+        assert "utilization" in result.violation
+        assert result.total_cost == float("inf")
+
+    def test_hardware_cost_accumulates(self):
+        problem = variant_problem()
+        mapping = Mapping(
+            {"K": Target.hw(), "A1": Target.hw(), "B1": Target.hw()}
+        )
+        result = evaluate(problem, mapping)
+        assert result.feasible
+        assert result.hardware_cost == 52
+        assert result.software_cost == 0
+        assert result.processors_used == 0
+
+    def test_mixed_mapping(self):
+        problem = variant_problem()
+        mapping = Mapping(
+            {"K": Target.hw(), "A1": Target.sw(0), "B1": Target.sw(0)}
+        )
+        result = evaluate(problem, mapping)
+        assert result.feasible
+        assert result.total_cost == 15 + 30
+
+    def test_too_many_processors_rejected(self):
+        problem = variant_problem(max_processors=1)
+        mapping = Mapping(
+            {"K": Target.sw(0), "A1": Target.sw(1), "B1": Target.hw()}
+        )
+        result = evaluate(problem, mapping)
+        assert not result.feasible
+        assert "processors" in result.violation
+
+    def test_incomplete_mapping_rejected(self):
+        problem = variant_problem()
+        with pytest.raises(SynthesisError):
+            evaluate(problem, Mapping({"K": Target.sw(0)}))
+
+    def test_hw_without_option_infeasible(self):
+        library = ComponentLibrary()
+        library.component("swonly", sw_utilization=0.2)
+        problem = SynthesisProblem(
+            name="p",
+            units=("swonly",),
+            library=library,
+            architecture=ArchitectureTemplate(processor_cost=5),
+        )
+        result = evaluate(problem, Mapping({"swonly": Target.hw()}))
+        assert not result.feasible
+
+
+class TestLowerBound:
+    def test_bound_counts_committed_hardware(self):
+        problem = variant_problem()
+        partial = {"K": Target.hw()}
+        assert lower_bound(problem, partial) == 30
+
+    def test_bound_adds_processor_floor_for_software(self):
+        problem = variant_problem()
+        partial = {"A1": Target.sw(0)}
+        assert lower_bound(problem, partial) == 15
+
+    def test_bound_is_admissible_for_complete_mappings(self):
+        problem = variant_problem()
+        mapping = Mapping(
+            {"K": Target.hw(), "A1": Target.sw(0), "B1": Target.sw(0)}
+        )
+        result = evaluate(problem, mapping)
+        assert lower_bound(problem, dict(mapping.assignment)) <= (
+            result.total_cost
+        )
+
+    def test_bound_handles_sw_only_units(self):
+        library = ComponentLibrary()
+        library.component("swonly", sw_utilization=0.2)
+        problem = SynthesisProblem(
+            name="p",
+            units=("swonly",),
+            library=library,
+            architecture=ArchitectureTemplate(processor_cost=7),
+        )
+        assert lower_bound(problem, {}) == 7

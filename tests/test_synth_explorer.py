@@ -1,0 +1,149 @@
+"""Unit tests for the design-space explorers."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth.architecture import ArchitectureTemplate
+from repro.synth.explorer import (
+    AnnealingExplorer,
+    BranchBoundExplorer,
+    ExhaustiveExplorer,
+)
+from repro.synth.library import ComponentLibrary
+from repro.synth.mapping import SynthesisProblem, Target, VariantOrigin
+
+
+def toy_problem(**overrides):
+    library = ComponentLibrary()
+    library.component("a", sw_utilization=0.6, hw_cost=8)
+    library.component("b", sw_utilization=0.7, hw_cost=12)
+    library.component("c", sw_utilization=0.2, hw_cost=30)
+    params = dict(
+        name="toy",
+        units=("a", "b", "c"),
+        library=library,
+        architecture=ArchitectureTemplate(
+            max_processors=1, processor_cost=10, processor_capacity=1.0
+        ),
+    )
+    params.update(overrides)
+    return SynthesisProblem(**params)
+
+
+class TestExhaustive:
+    def test_finds_optimum(self):
+        result = ExhaustiveExplorer().explore(toy_problem())
+        # all-SW infeasible (1.5); cheapest: hw{a} -> sw util 0.9, cost 18
+        assert result.feasible
+        assert result.cost == 18.0
+        assert result.mapping.hardware_units() == ("a",)
+        assert result.optimal
+
+    def test_respects_fixed_assignments(self):
+        problem = toy_problem(fixed={"b": Target.hw()})
+        result = ExhaustiveExplorer().explore(problem)
+        assert result.mapping.target_of("b").is_hardware
+        assert result.cost == 10 + 12  # b in HW, a and c in SW (0.8)
+
+    def test_infeasible_problem_reports_gracefully(self):
+        library = ComponentLibrary()
+        library.component("x", sw_utilization=2.0)  # SW-only, never fits
+        problem = SynthesisProblem(
+            name="impossible",
+            units=("x",),
+            library=library,
+            architecture=ArchitectureTemplate(processor_cost=1),
+        )
+        result = ExhaustiveExplorer().explore(problem)
+        assert not result.feasible
+        with pytest.raises(SynthesisError):
+            result.require_feasible()
+
+
+class TestBranchBound:
+    def test_matches_exhaustive_optimum(self):
+        problem = toy_problem()
+        exhaustive = ExhaustiveExplorer().explore(problem)
+        bnb = BranchBoundExplorer().explore(problem)
+        assert bnb.cost == exhaustive.cost
+        assert bnb.optimal
+
+    def test_prunes_nodes(self):
+        problem = toy_problem()
+        exhaustive = ExhaustiveExplorer().explore(problem)
+        bnb = BranchBoundExplorer().explore(problem)
+        assert bnb.nodes_explored <= exhaustive.nodes_explored
+
+    def test_multiprocessor_symmetry_breaking(self):
+        problem = toy_problem(
+            architecture=ArchitectureTemplate(
+                max_processors=2, processor_cost=10, processor_capacity=1.0
+            )
+        )
+        result = BranchBoundExplorer().explore(problem)
+        # two CPUs (cost 20) beat one CPU + cheapest HW (18)? No: 18 < 20,
+        # optimum stays hw{a}.
+        assert result.cost == 18.0
+
+
+class TestAnnealing:
+    def test_finds_feasible_solution(self):
+        result = AnnealingExplorer(seed=1, iterations=2000).explore(
+            toy_problem()
+        )
+        assert result.feasible
+        assert not result.optimal
+
+    def test_reaches_optimum_on_small_problem(self):
+        result = AnnealingExplorer(seed=3, iterations=4000).explore(
+            toy_problem()
+        )
+        assert result.cost == 18.0
+
+    def test_deterministic_for_seed(self):
+        first = AnnealingExplorer(seed=7, iterations=500).explore(
+            toy_problem()
+        )
+        second = AnnealingExplorer(seed=7, iterations=500).explore(
+            toy_problem()
+        )
+        assert first.cost == second.cost
+        assert dict(first.mapping.assignment) == dict(
+            second.mapping.assignment
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SynthesisError):
+            AnnealingExplorer(iterations=0)
+        with pytest.raises(SynthesisError):
+            AnnealingExplorer(cooling=1.5)
+
+
+class TestExclusionInExploration:
+    def test_exclusion_unlocks_cheaper_solutions(self):
+        library = ComponentLibrary()
+        library.component("K", sw_utilization=0.3, hw_cost=50)
+        library.component("A", sw_utilization=0.6, hw_cost=20)
+        library.component("B", sw_utilization=0.65, hw_cost=25)
+        origins = {
+            "A": VariantOrigin("t", "A"),
+            "B": VariantOrigin("t", "B"),
+        }
+        base = dict(
+            units=("K", "A", "B"),
+            library=library,
+            architecture=ArchitectureTemplate(
+                max_processors=1, processor_cost=15
+            ),
+            origins=origins,
+        )
+        with_exclusion = BranchBoundExplorer().explore(
+            SynthesisProblem(name="yes", use_exclusion=True, **base)
+        )
+        without = BranchBoundExplorer().explore(
+            SynthesisProblem(name="no", use_exclusion=False, **base)
+        )
+        # with exclusion everything fits in SW (0.3 + max = 0.95)
+        assert with_exclusion.cost == 15.0
+        # without, something must move to HW
+        assert without.cost > with_exclusion.cost

@@ -1,0 +1,165 @@
+"""Unit tests for repro.synth.mapping."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth.architecture import ArchitectureTemplate
+from repro.synth.library import ComponentLibrary, ImplKind
+from repro.synth.mapping import (
+    Mapping,
+    SynthesisProblem,
+    Target,
+    VariantOrigin,
+    origin_from_name,
+    problem_for_graph,
+    units_of_graph,
+)
+from tests.conftest import chain_graph
+
+
+def small_library(*names):
+    library = ComponentLibrary()
+    for name in names:
+        library.component(name, sw_utilization=0.2, hw_cost=10, effort=1)
+    return library
+
+
+class TestTarget:
+    def test_constructors(self):
+        assert Target.hw().is_hardware
+        assert Target.sw().is_software
+        assert Target.sw(2).processor == 2
+
+    def test_negative_processor_rejected(self):
+        with pytest.raises(SynthesisError):
+            Target(ImplKind.SOFTWARE, -1)
+
+    def test_repr(self):
+        assert repr(Target.hw()) == "hw"
+        assert repr(Target.sw(1)) == "sw:1"
+
+
+class TestOriginParsing:
+    def test_namespaced_unit(self):
+        origin = origin_from_name("theta1.gamma1.f1")
+        assert origin == VariantOrigin("theta1", "gamma1")
+
+    def test_common_unit_has_no_origin(self):
+        assert origin_from_name("PA") is None
+        assert origin_from_name("a.b") is None
+
+    def test_nested_uses_outermost(self):
+        origin = origin_from_name("outer.big.inner.y.s0")
+        assert origin == VariantOrigin("outer", "big")
+
+
+class TestMapping:
+    def test_partition_queries(self):
+        mapping = Mapping(
+            {"a": Target.sw(0), "b": Target.hw(), "c": Target.sw(1)}
+        )
+        assert mapping.software_units() == ("a", "c")
+        assert mapping.hardware_units() == ("b",)
+        assert mapping.processors_used() == (0, 1)
+
+    def test_target_of_unknown_unit(self):
+        with pytest.raises(SynthesisError):
+            Mapping({}).target_of("ghost")
+
+    def test_merge_agreeing(self):
+        first = Mapping({"a": Target.sw(0)})
+        second = Mapping({"b": Target.hw(), "a": Target.sw(0)})
+        merged = first.merged_with(second)
+        assert len(merged) == 2
+
+    def test_merge_conflict_rejected(self):
+        first = Mapping({"a": Target.sw(0)})
+        second = Mapping({"a": Target.hw()})
+        with pytest.raises(SynthesisError, match="conflict"):
+            first.merged_with(second)
+
+
+class TestProblem:
+    def test_problem_for_graph(self):
+        graph = chain_graph(stages=2)
+        library = small_library("s0", "s1")
+        problem = problem_for_graph(
+            "p", graph, library, ArchitectureTemplate(processor_cost=10)
+        )
+        assert problem.units == ("s0", "s1")
+        assert problem.free_units == ("s0", "s1")
+
+    def test_units_must_have_library_entries(self):
+        graph = chain_graph(stages=2)
+        library = small_library("s0")
+        with pytest.raises(SynthesisError):
+            problem_for_graph("p", graph, library, ArchitectureTemplate())
+
+    def test_duplicate_units_rejected(self):
+        library = small_library("a")
+        with pytest.raises(SynthesisError):
+            SynthesisProblem(
+                name="p",
+                units=("a", "a"),
+                library=library,
+                architecture=ArchitectureTemplate(),
+            )
+
+    def test_fixed_targets_reduce_free_units(self):
+        library = small_library("a", "b")
+        problem = SynthesisProblem(
+            name="p",
+            units=("a", "b"),
+            library=library,
+            architecture=ArchitectureTemplate(),
+            fixed={"a": Target.hw()},
+        )
+        assert problem.free_units == ("b",)
+
+    def test_targets_for_respects_architecture(self):
+        library = small_library("a")
+        problem = SynthesisProblem(
+            name="p",
+            units=("a",),
+            library=library,
+            architecture=ArchitectureTemplate(max_processors=2),
+        )
+        targets = problem.targets_for("a")
+        assert Target.sw(0) in targets
+        assert Target.sw(1) in targets
+        assert Target.hw() in targets
+
+    def test_origins_of_bound_graph(self):
+        from tests.test_vgraph import make_vgraph
+
+        bound = make_vgraph().bind({"theta": "v1"})
+        units = units_of_graph(bound)
+        assert "theta.v1.s0" in units
+        library = small_library(*units)
+        problem = problem_for_graph(
+            "p", bound, library, ArchitectureTemplate()
+        )
+        assert problem.origins["theta.v1.s0"] == VariantOrigin(
+            "theta", "v1"
+        )
+
+    def test_origin_for_unknown_unit_rejected(self):
+        library = small_library("a")
+        with pytest.raises(SynthesisError):
+            SynthesisProblem(
+                name="p",
+                units=("a",),
+                library=library,
+                architecture=ArchitectureTemplate(),
+                origins={"ghost": VariantOrigin("i", "c")},
+            )
+
+    def test_total_effort(self):
+        library = small_library("a", "b")
+        problem = SynthesisProblem(
+            name="p",
+            units=("a", "b"),
+            library=library,
+            architecture=ArchitectureTemplate(),
+        )
+        assert problem.total_effort() == 2.0

@@ -1,0 +1,96 @@
+"""Tests for the memory dimension of the cost model."""
+
+import pytest
+
+from repro.synth.architecture import ArchitectureTemplate
+from repro.synth.cost import evaluate, processor_memory
+from repro.synth.explorer import BranchBoundExplorer
+from repro.synth.library import ComponentLibrary
+from repro.synth.mapping import (
+    Mapping,
+    SynthesisProblem,
+    Target,
+    VariantOrigin,
+)
+
+
+def memory_problem(memory_capacity=0.0, variants=True):
+    library = ComponentLibrary()
+    library.component("K", sw_utilization=0.1, hw_cost=30, sw_memory=4.0)
+    library.component("A1", sw_utilization=0.2, hw_cost=10, sw_memory=6.0)
+    library.component("B1", sw_utilization=0.2, hw_cost=12, sw_memory=7.0)
+    origins = {}
+    if variants:
+        origins = {
+            "A1": VariantOrigin("theta", "A"),
+            "B1": VariantOrigin("theta", "B"),
+        }
+    return SynthesisProblem(
+        name="mem",
+        units=("K", "A1", "B1"),
+        library=library,
+        architecture=ArchitectureTemplate(
+            max_processors=1,
+            processor_cost=15,
+            processor_capacity=1.0,
+            memory_capacity=memory_capacity,
+        ),
+        origins=origins,
+    )
+
+
+def all_sw(problem):
+    return Mapping({unit: Target.sw(0) for unit in problem.units})
+
+
+class TestProcessorMemory:
+    def test_resident_variants_sum(self):
+        problem = memory_problem()
+        footprint = processor_memory(problem, all_sw(problem), 0)
+        # run-time variants stay resident: 4 + 6 + 7
+        assert footprint == pytest.approx(17.0)
+
+    def test_production_variants_take_max(self):
+        problem = memory_problem()
+        footprint = processor_memory(
+            problem, all_sw(problem), 0, variants_resident=False
+        )
+        # only one variant is ever downloaded: 4 + max(6, 7)
+        assert footprint == pytest.approx(11.0)
+
+    def test_hardware_units_use_no_memory(self):
+        problem = memory_problem()
+        mapping = Mapping(
+            {"K": Target.sw(0), "A1": Target.hw(), "B1": Target.hw()}
+        )
+        assert processor_memory(problem, mapping, 0) == pytest.approx(4.0)
+
+
+class TestMemoryFeasibility:
+    def test_unconstrained_by_default(self):
+        problem = memory_problem(memory_capacity=0.0)
+        assert evaluate(problem, all_sw(problem)).feasible
+
+    def test_memory_violation_detected(self):
+        problem = memory_problem(memory_capacity=10.0)
+        result = evaluate(problem, all_sw(problem))
+        assert not result.feasible
+        assert "memory" in result.violation
+
+    def test_memory_fits(self):
+        problem = memory_problem(memory_capacity=20.0)
+        assert evaluate(problem, all_sw(problem)).feasible
+
+    def test_explorer_respects_memory(self):
+        tight = memory_problem(memory_capacity=12.0)
+        result = BranchBoundExplorer().explore(tight).require_feasible()
+        # all-SW (17 memory) is out; something must move to hardware.
+        assert len(result.mapping.hardware_units()) >= 1
+        check = evaluate(tight, result.mapping)
+        assert check.feasible
+
+    def test_negative_capacity_rejected(self):
+        from repro.errors import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            ArchitectureTemplate(memory_capacity=-1.0)

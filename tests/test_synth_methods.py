@@ -1,0 +1,148 @@
+"""Unit tests for the synthesis flows (independent/superposition/variant)."""
+
+import pytest
+
+from repro.apps import figure2
+from repro.synth.design_time import (
+    independent_design_time,
+    sharing_saving,
+    variant_aware_design_time,
+)
+from repro.synth.explorer import ExhaustiveExplorer
+from repro.synth.methods import (
+    independent_flow,
+    superposition_flow,
+    synthesize_application,
+    variant_aware_flow,
+    variant_units,
+)
+from repro.synth.results import collapse_units, to_table_row
+
+
+@pytest.fixture(scope="module")
+def setup():
+    vgraph = figure2.build_variant_graph()
+    return {
+        "vgraph": vgraph,
+        "library": figure2.table1_library(),
+        "architecture": figure2.table1_architecture(),
+        "apps": figure2.applications(vgraph),
+    }
+
+
+class TestIndependent:
+    def test_application1_optimum(self, setup):
+        result = synthesize_application(
+            "application1",
+            setup["apps"]["application1"],
+            setup["library"],
+            setup["architecture"],
+        )
+        assert result.outcome.total_cost == 34.0
+        assert result.outcome.software_parts == ("PA", "PB")
+        assert result.outcome.hardware_parts == (
+            "theta1.gamma1.f1",
+            "theta1.gamma1.f2",
+        )
+
+    def test_application2_optimum(self, setup):
+        result = synthesize_application(
+            "application2",
+            setup["apps"]["application2"],
+            setup["library"],
+            setup["architecture"],
+        )
+        assert result.outcome.total_cost == 38.0
+
+    def test_independent_flow_covers_all_apps(self, setup):
+        results = independent_flow(
+            setup["apps"], setup["library"], setup["architecture"]
+        )
+        assert set(results) == {"application1", "application2"}
+
+
+class TestSuperposition:
+    def test_costs_add_for_hardware_only(self, setup):
+        independent = independent_flow(
+            setup["apps"], setup["library"], setup["architecture"]
+        )
+        outcome = superposition_flow(
+            independent, setup["library"], setup["architecture"]
+        )
+        assert outcome.total_cost == 57.0
+        assert outcome.software_cost == 15.0
+        assert outcome.hardware_cost == 42.0
+        assert outcome.design_time == 140.0
+
+
+class TestVariantAware:
+    def test_joint_optimum_exploits_exclusion(self, setup):
+        outcome = variant_aware_flow(
+            setup["vgraph"], setup["library"], setup["architecture"]
+        )
+        assert outcome.total_cost == 41.0
+        assert outcome.hardware_parts == ("PA",)
+        assert outcome.design_time == 118.0
+
+    def test_without_exclusion_degrades_to_superposition_cost(self, setup):
+        outcome = variant_aware_flow(
+            setup["vgraph"],
+            setup["library"],
+            setup["architecture"],
+            use_exclusion=False,
+        )
+        assert outcome.total_cost == 57.0
+
+    def test_variant_units_enumeration(self, setup):
+        units, origins = variant_units(setup["vgraph"])
+        assert "PA" in units and "PB" in units
+        assert "theta1.gamma1.f1" in units
+        assert "theta1.gamma2.g3" in units
+        assert origins["theta1.gamma1.f1"].cluster == "gamma1"
+        assert "PA" not in origins
+
+    def test_explorer_agnostic(self, setup):
+        outcome = variant_aware_flow(
+            setup["vgraph"],
+            setup["library"],
+            setup["architecture"],
+            explorer=ExhaustiveExplorer(),
+        )
+        assert outcome.total_cost == 41.0
+
+
+class TestDesignTime:
+    def test_identities(self, setup):
+        apps_units = {
+            name: [
+                unit
+                for unit, process in graph.processes.items()
+                if not process.virtual
+            ]
+            for name, graph in setup["apps"].items()
+        }
+        library = setup["library"]
+        independent = independent_design_time(library, apps_units)
+        variant = variant_aware_design_time(library, apps_units)
+        assert independent == 140.0
+        assert variant == 118.0
+        # the saving equals the shared effort counted once instead of twice
+        assert sharing_saving(library, apps_units) == 22.0
+
+
+class TestResultRendering:
+    def test_collapse_units_groups_whole_clusters(self):
+        collapsed = collapse_units(
+            ("theta1.gamma1.f1", "theta1.gamma1.f2", "PB"),
+            labels={"theta1.gamma1": "gamma1"},
+        )
+        assert collapsed == ("PB", "gamma1")
+
+    def test_to_table_row_shape(self, setup):
+        outcome = variant_aware_flow(
+            setup["vgraph"], setup["library"], setup["architecture"]
+        )
+        row = to_table_row(outcome, figure2.CLUSTER_LABELS)
+        assert row["hardware"] == "PA"
+        assert row["total"] == 41.0
+        assert "gamma1" in row["software"]

@@ -1,0 +1,118 @@
+"""Unit tests for the static list scheduler."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.spi.builder import GraphBuilder
+from repro.synth.mapping import Mapping, Target
+from repro.synth.schedule import (
+    durations_from_graph,
+    list_schedule,
+    resource_of,
+)
+from tests.conftest import chain_graph
+
+
+def fork_join_graph():
+    builder = GraphBuilder("forkjoin")
+    for channel in ("cab", "cac", "cbd", "ccd"):
+        builder.queue(channel)
+    builder.simple("a", latency=1.0, produces={"cab": 1, "cac": 1})
+    builder.simple("b", latency=3.0, consumes={"cab": 1}, produces={"cbd": 1})
+    builder.simple("c", latency=2.0, consumes={"cac": 1}, produces={"ccd": 1})
+    builder.simple("d", latency=1.0, consumes={"cbd": 1, "ccd": 1})
+    return builder.build(validate=False)
+
+
+class TestListSchedule:
+    def test_chain_on_one_cpu(self):
+        graph = chain_graph(stages=3, latency=2.0)
+        mapping = Mapping({f"s{i}": Target.sw(0) for i in range(3)})
+        schedule = list_schedule(graph, mapping)
+        assert schedule.makespan == 6.0
+        assert schedule.verify_no_overlap()
+
+    def test_parallel_branches_on_hw(self):
+        graph = fork_join_graph()
+        mapping = Mapping(
+            {
+                "a": Target.sw(0),
+                "b": Target.hw(),
+                "c": Target.hw(),
+                "d": Target.sw(0),
+            }
+        )
+        schedule = list_schedule(graph, mapping)
+        # b and c overlap on dedicated hardware; d waits for the slower.
+        b = schedule.task_of("b")
+        c = schedule.task_of("c")
+        assert b.start == c.start == 1.0
+        assert schedule.task_of("d").start == 4.0
+        assert schedule.makespan == 5.0
+
+    def test_shared_cpu_serializes_branches(self):
+        graph = fork_join_graph()
+        mapping = Mapping(
+            {name: Target.sw(0) for name in ("a", "b", "c", "d")}
+        )
+        schedule = list_schedule(graph, mapping)
+        assert schedule.makespan == 7.0  # 1 + 3 + 2 + 1 serialized
+        assert schedule.verify_no_overlap()
+
+    def test_explicit_durations_override(self):
+        graph = chain_graph(stages=2, latency=1.0)
+        mapping = Mapping({"s0": Target.sw(0), "s1": Target.sw(0)})
+        schedule = list_schedule(
+            graph, mapping, durations={"s0": 5.0, "s1": 5.0}
+        )
+        assert schedule.makespan == 10.0
+
+    def test_missing_duration_rejected(self):
+        graph = chain_graph(stages=2)
+        mapping = Mapping({"s0": Target.sw(0), "s1": Target.sw(0)})
+        with pytest.raises(SchedulingError, match="no duration"):
+            list_schedule(graph, mapping, durations={"s0": 1.0})
+
+    def test_cyclic_graph_rejected(self):
+        builder = GraphBuilder()
+        builder.queue("f")
+        builder.queue("b")
+        builder.simple("x", consumes={"b": 1}, produces={"f": 1})
+        builder.simple("y", consumes={"f": 1}, produces={"b": 1})
+        graph = builder.build(validate=False)
+        mapping = Mapping({"x": Target.sw(0), "y": Target.sw(0)})
+        with pytest.raises(SchedulingError, match="feedback"):
+            list_schedule(graph, mapping)
+
+    def test_virtual_processes_not_scheduled(self):
+        from repro.spi.virtuality import source
+
+        builder = GraphBuilder()
+        builder.queue("c")
+        builder.process(source("env", "c"))
+        builder.simple("core", latency=2.0, consumes={"c": 1})
+        graph = builder.build(validate=False)
+        schedule = list_schedule(graph, Mapping({"core": Target.sw(0)}))
+        assert [task.unit for task in schedule.tasks] == ["core"]
+
+    def test_durations_from_graph_uses_worst_case(self):
+        from repro.spi.intervals import Interval
+
+        builder = GraphBuilder()
+        builder.queue("c")
+        builder.simple("p", latency=Interval(1.0, 4.0), consumes={"c": 1})
+        graph = builder.build(validate=False)
+        assert durations_from_graph(graph) == {"p": 4.0}
+
+    def test_resource_naming(self):
+        assert resource_of("u", Target.sw(1)) == "cpu1"
+        assert resource_of("u", Target.hw()) == "hw:u"
+
+    def test_task_lookup_and_resource_listing(self):
+        graph = chain_graph(stages=2, latency=1.0)
+        mapping = Mapping({"s0": Target.sw(0), "s1": Target.sw(0)})
+        schedule = list_schedule(graph, mapping)
+        assert schedule.task_of("s0").resource == "cpu0"
+        assert len(schedule.on_resource("cpu0")) == 2
+        with pytest.raises(SchedulingError):
+            schedule.task_of("ghost")

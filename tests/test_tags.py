@@ -1,0 +1,76 @@
+"""Unit tests for repro.spi.tags."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.spi.tags import TagSet, as_tagset
+
+
+class TestConstruction:
+    def test_empty_singleton_behavior(self):
+        assert len(TagSet.empty()) == 0
+        assert not TagSet.empty()
+
+    def test_of_variadic(self):
+        tags = TagSet.of("a", "b")
+        assert "a" in tags
+        assert "b" in tags
+        assert len(tags) == 2
+
+    def test_duplicates_collapse(self):
+        assert len(TagSet(["a", "a", "b"])) == 2
+
+    def test_rejects_empty_string(self):
+        with pytest.raises(ModelError):
+            TagSet([""])
+
+    def test_rejects_non_strings(self):
+        with pytest.raises(ModelError):
+            TagSet([3])
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        assert TagSet.of("a") | TagSet.of("b") == TagSet.of("a", "b")
+
+    def test_union_with_iterable(self):
+        assert TagSet.of("a") | ["b", "c"] == TagSet.of("a", "b", "c")
+
+    def test_intersection(self):
+        assert TagSet.of("a", "b") & TagSet.of("b", "c") == TagSet.of("b")
+
+    def test_difference(self):
+        assert TagSet.of("a", "b") - TagSet.of("b") == TagSet.of("a")
+
+    def test_isdisjoint(self):
+        assert TagSet.of("a").isdisjoint(TagSet.of("b"))
+        assert not TagSet.of("a", "b").isdisjoint(TagSet.of("b"))
+
+    def test_issubset(self):
+        assert TagSet.of("a").issubset(TagSet.of("a", "b"))
+        assert not TagSet.of("a", "c").issubset(TagSet.of("a", "b"))
+
+    def test_equality_with_plain_sets(self):
+        assert TagSet.of("a", "b") == {"a", "b"}
+        assert TagSet.of("a") == frozenset({"a"})
+
+    def test_hashable(self):
+        assert len({TagSet.of("a"), TagSet.of("a"), TagSet.of("b")}) == 2
+
+    def test_iteration_is_sorted(self):
+        assert list(TagSet.of("z", "a", "m")) == ["a", "m", "z"]
+
+
+class TestCoercion:
+    def test_as_tagset_none(self):
+        assert as_tagset(None) == TagSet.empty()
+
+    def test_as_tagset_string_is_single_tag(self):
+        assert as_tagset("V1") == TagSet.of("V1")
+
+    def test_as_tagset_iterable(self):
+        assert as_tagset(["a", "b"]) == TagSet.of("a", "b")
+
+    def test_as_tagset_passthrough(self):
+        tags = TagSet.of("x")
+        assert as_tagset(tags) is tags

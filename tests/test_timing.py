@@ -1,0 +1,114 @@
+"""Unit tests for repro.spi.timing."""
+
+import pytest
+
+from repro.errors import ModelError, TimingViolation
+from repro.spi.builder import GraphBuilder
+from repro.spi.intervals import Interval
+from repro.spi.timing import (
+    DeadlineConstraint,
+    LatencyConstraint,
+    RateConstraint,
+    check,
+    worst_case_path_latency,
+)
+from tests.conftest import chain_graph
+
+
+def diamond_graph():
+    """a fans out to b (slow) and c (fast), both join at d."""
+    builder = GraphBuilder("diamond")
+    for name in ("cab", "cac", "cbd", "ccd"):
+        builder.queue(name)
+    builder.simple("a", latency=1.0, produces={"cab": 1, "cac": 1})
+    builder.simple("b", latency=10.0, consumes={"cab": 1}, produces={"cbd": 1})
+    builder.simple("c", latency=2.0, consumes={"cac": 1}, produces={"ccd": 1})
+    builder.simple("d", latency=1.0, consumes={"cbd": 1, "ccd": 1})
+    return builder.build(validate=False)
+
+
+class TestWorstCasePath:
+    def test_chain_sums_upper_latencies(self):
+        graph = chain_graph(stages=3, latency=2.0)
+        worst, witness = worst_case_path_latency(graph, "s0", "s2")
+        assert worst == 6.0
+        assert witness == ("s0", "s1", "s2")
+
+    def test_diamond_takes_slow_branch(self):
+        worst, witness = worst_case_path_latency(diamond_graph(), "a", "d")
+        assert worst == 12.0
+        assert witness == ("a", "b", "d")
+
+    def test_interval_latencies_use_upper_bound(self):
+        builder = GraphBuilder()
+        builder.queue("c")
+        builder.simple("x", latency=Interval(1.0, 4.0), produces={"c": 1})
+        builder.simple("y", latency=1.0, consumes={"c": 1})
+        graph = builder.build(validate=False)
+        worst, _ = worst_case_path_latency(graph, "x", "y")
+        assert worst == 5.0
+
+    def test_unreachable_target_rejected(self):
+        graph = chain_graph(stages=2)
+        with pytest.raises(ModelError):
+            worst_case_path_latency(graph, "s1", "s0")
+
+    def test_cycle_does_not_diverge(self):
+        builder = GraphBuilder("loop")
+        builder.queue("fwd")
+        builder.queue("back")
+        builder.simple(
+            "x", latency=1.0, consumes={"back": 1}, produces={"fwd": 1}
+        )
+        builder.simple(
+            "y", latency=1.0, consumes={"fwd": 1}, produces={"back": 1}
+        )
+        graph = builder.build(validate=False)
+        worst, _ = worst_case_path_latency(graph, "x", "y")
+        assert worst == 2.0
+
+
+class TestConstraints:
+    def test_latency_constraint_pass_and_fail(self):
+        graph = chain_graph(stages=3, latency=2.0)
+        report = check(
+            graph,
+            [
+                LatencyConstraint("s0", "s2", 6.0),
+                LatencyConstraint("s0", "s2", 5.9),
+            ],
+        )
+        assert report.results[0].satisfied
+        assert not report.results[1].satisfied
+        assert not report.satisfied
+        assert len(report.violations()) == 1
+
+    def test_deadline_constraint(self):
+        graph = chain_graph(stages=1, latency=3.0)
+        report = check(graph, [DeadlineConstraint("s0", 3.0)])
+        assert report.satisfied
+        report = check(graph, [DeadlineConstraint("s0", 2.0)])
+        assert not report.satisfied
+
+    def test_rate_constraint(self):
+        graph = chain_graph(stages=1, latency=3.0)
+        assert check(graph, [RateConstraint("s0", 4.0)]).satisfied
+        assert not check(graph, [RateConstraint("s0", 2.0)]).satisfied
+
+    def test_raise_on_violation(self):
+        graph = chain_graph(stages=1, latency=3.0)
+        report = check(graph, [DeadlineConstraint("s0", 1.0)])
+        with pytest.raises(TimingViolation):
+            report.raise_on_violation()
+
+    def test_unknown_constraint_type_rejected(self):
+        with pytest.raises(ModelError):
+            check(chain_graph(), ["not a constraint"])
+
+    def test_constraint_validation(self):
+        with pytest.raises(ModelError):
+            LatencyConstraint("a", "b", -1.0)
+        with pytest.raises(ModelError):
+            DeadlineConstraint("a", -0.1)
+        with pytest.raises(ModelError):
+            RateConstraint("a", 0.0)

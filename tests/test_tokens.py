@@ -1,0 +1,51 @@
+"""Unit tests for repro.spi.tokens."""
+
+from repro.spi.tags import TagSet
+from repro.spi.tokens import Token, make_tokens
+
+
+class TestToken:
+    def test_default_token_is_untagged(self):
+        token = Token()
+        assert not token.tags
+        assert token.producer is None
+        assert token.produced_at is None
+
+    def test_tag_coercion_from_loose_input(self):
+        assert Token(tags="a").tags == TagSet.of("a")
+        assert Token(tags=["a", "b"]).tags == TagSet.of("a", "b")
+
+    def test_has_tag(self):
+        token = Token(tags=TagSet.of("V1"))
+        assert token.has_tag("V1")
+        assert not token.has_tag("V2")
+
+    def test_equality_ignores_bookkeeping(self):
+        first = Token(tags=TagSet.of("a"), producer="p1", produced_at=1.0)
+        second = Token(tags=TagSet.of("a"), producer="p2", produced_at=9.0)
+        assert first == second
+
+    def test_equality_depends_on_tags(self):
+        assert Token(tags=TagSet.of("a")) != Token(tags=TagSet.of("b"))
+
+    def test_with_tags_adds_without_mutating(self):
+        original = Token(tags=TagSet.of("img"), producer="PIn")
+        extended = original.with_tags("fresh")
+        assert extended.has_tag("fresh")
+        assert extended.has_tag("img")
+        assert not original.has_tag("fresh")
+        assert extended.producer == "PIn"
+
+
+class TestMakeTokens:
+    def test_count_and_tags(self):
+        tokens = make_tokens(3, tags="a", producer="p")
+        assert len(tokens) == 3
+        assert all(t.has_tag("a") for t in tokens)
+        assert all(t.producer == "p" for t in tokens)
+
+    def test_zero_tokens(self):
+        assert make_tokens(0) == []
+
+    def test_untagged_by_default(self):
+        assert all(not t.tags for t in make_tokens(2))

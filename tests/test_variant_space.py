@@ -1,0 +1,145 @@
+"""Unit tests for repro.variants.variant_space (related selections)."""
+
+import pytest
+
+from repro.errors import VariantError
+from repro.spi.builder import GraphBuilder
+from repro.variants.interface import Interface
+from repro.variants.variant_space import SelectionGroup, VariantSpace
+from repro.variants.vgraph import VariantGraph
+from tests.conftest import pipeline_cluster
+
+
+def tv_like_vgraph() -> VariantGraph:
+    """Two interfaces (input decoder, output encoder), two standards."""
+    vgraph = VariantGraph("tv")
+    builder = GraphBuilder("common")
+    for channel in ("cin", "cmid", "cout"):
+        builder.queue(channel)
+    vgraph.base = builder.build(validate=False)
+    decoder = Interface(
+        name="decoder",
+        inputs=("i",),
+        outputs=("o",),
+        clusters={
+            "pal_in": pipeline_cluster("pal_in"),
+            "ntsc_in": pipeline_cluster("ntsc_in"),
+        },
+    )
+    encoder = Interface(
+        name="encoder",
+        inputs=("i",),
+        outputs=("o",),
+        clusters={
+            "pal_out": pipeline_cluster("pal_out"),
+            "ntsc_out": pipeline_cluster("ntsc_out"),
+        },
+    )
+    vgraph.add_interface(decoder, {"i": "cin", "o": "cmid"})
+    vgraph.add_interface(encoder, {"i": "cmid", "o": "cout"})
+    return vgraph
+
+
+def standards_group() -> SelectionGroup:
+    return SelectionGroup(
+        name="standard",
+        choices=(
+            {"decoder": "pal_in", "encoder": "pal_out"},
+            {"decoder": "ntsc_in", "encoder": "ntsc_out"},
+        ),
+    )
+
+
+class TestSelectionGroup:
+    def test_interfaces_listing(self):
+        assert standards_group().interfaces == ("decoder", "encoder")
+
+    def test_choices_must_cover_same_interfaces(self):
+        with pytest.raises(VariantError, match="same interfaces"):
+            SelectionGroup(
+                name="bad",
+                choices=(
+                    {"decoder": "pal_in"},
+                    {"decoder": "ntsc_in", "encoder": "ntsc_out"},
+                ),
+            )
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(VariantError):
+            SelectionGroup(name="bad", choices=())
+
+
+class TestVariantSpace:
+    def test_independent_space_is_cross_product(self):
+        space = VariantSpace(tv_like_vgraph())
+        assert space.count() == 4
+        assert len(list(space.selections())) == 4
+
+    def test_related_selection_restricts_space(self):
+        space = VariantSpace(tv_like_vgraph(), [standards_group()])
+        selections = list(space.selections())
+        assert space.count() == 2
+        assert len(selections) == 2
+        for selection in selections:
+            is_pal = selection["decoder"] == "pal_in"
+            assert selection["encoder"] == (
+                "pal_out" if is_pal else "ntsc_out"
+            )
+
+    def test_mixed_related_and_free(self):
+        vgraph = tv_like_vgraph()
+        # Hang a third, independent interface off a new channel.
+        vgraph.base.add_channel(
+            __import__("repro.spi.channels", fromlist=["queue"]).queue("extra")
+        )
+        vgraph.base.add_channel(
+            __import__("repro.spi.channels", fromlist=["queue"]).queue("extra2")
+        )
+        audio = Interface(
+            name="audio",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={
+                "stereo": pipeline_cluster("stereo"),
+                "mono": pipeline_cluster("mono"),
+            },
+        )
+        vgraph.add_interface(audio, {"i": "extra", "o": "extra2"})
+        space = VariantSpace(vgraph, [standards_group()])
+        assert space.count() == 4  # 2 standards x 2 audio variants
+
+    def test_group_referencing_unknown_interface_rejected(self):
+        group = SelectionGroup(
+            name="bad", choices=({"ghost": "pal_in"},)
+        )
+        with pytest.raises(VariantError, match="unknown interface"):
+            VariantSpace(tv_like_vgraph(), [group])
+
+    def test_interface_in_two_groups_rejected(self):
+        group_a = SelectionGroup(
+            name="a", choices=({"decoder": "pal_in"},)
+        )
+        group_b = SelectionGroup(
+            name="b", choices=({"decoder": "ntsc_in"},)
+        )
+        with pytest.raises(VariantError, match="appears in groups"):
+            VariantSpace(tv_like_vgraph(), [group_a, group_b])
+
+    def test_group_with_unknown_cluster_rejected(self):
+        group = SelectionGroup(
+            name="bad",
+            choices=({"decoder": "ghost", "encoder": "pal_out"},),
+        )
+        with pytest.raises(VariantError):
+            VariantSpace(tv_like_vgraph(), [group])
+
+    def test_applications_bind_every_selection(self):
+        space = VariantSpace(tv_like_vgraph(), [standards_group()])
+        apps = space.applications()
+        assert len(apps) == 2
+        selection, graph = apps[0]
+        cluster = selection["decoder"]
+        assert graph.has_process(f"decoder.{cluster}.s0")
+
+    def test_len_protocol(self):
+        assert len(VariantSpace(tv_like_vgraph())) == 4

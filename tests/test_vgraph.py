@@ -1,0 +1,239 @@
+"""Unit tests for repro.variants.vgraph (variant graphs and binding)."""
+
+import pytest
+
+from repro.errors import VariantError
+from repro.spi.builder import GraphBuilder
+from repro.spi.virtuality import sink, source
+from repro.variants.cluster import Cluster
+from repro.variants.interface import Interface
+from repro.variants.types import VariantKind
+from repro.variants.vgraph import VariantGraph
+from tests.conftest import pipeline_cluster
+
+
+def make_vgraph(n_clusters: int = 2) -> VariantGraph:
+    vgraph = VariantGraph("sys")
+    builder = GraphBuilder("common")
+    builder.queue("cin")
+    builder.queue("cout")
+    builder.process(source("src", "cin", max_firings=4))
+    builder.process(sink("snk", "cout"))
+    vgraph.base = builder.build(validate=False)
+    clusters = {
+        f"v{i}": pipeline_cluster(f"v{i}", stages=i + 1)
+        for i in range(n_clusters)
+    }
+    interface = Interface(
+        name="theta",
+        inputs=("i",),
+        outputs=("o",),
+        clusters=clusters,
+        kind=VariantKind.PRODUCTION,
+    )
+    vgraph.add_interface(interface, {"i": "cin", "o": "cout"})
+    return vgraph
+
+
+class TestEmbedding:
+    def test_bindings_must_cover_ports(self):
+        vgraph = VariantGraph()
+        builder = GraphBuilder()
+        builder.queue("cin")
+        vgraph.base = builder.build(validate=False)
+        interface = Interface(
+            name="t",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={"c": pipeline_cluster("c")},
+        )
+        with pytest.raises(VariantError, match="cover exactly"):
+            vgraph.add_interface(interface, {"i": "cin"})
+
+    def test_binding_to_unknown_channel_rejected(self):
+        vgraph = VariantGraph()
+        interface = Interface(
+            name="t",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={"c": pipeline_cluster("c")},
+        )
+        with pytest.raises(VariantError, match="unknown channel"):
+            vgraph.add_interface(interface, {"i": "ghost", "o": "ghost2"})
+
+    def test_reader_conflict_with_process_rejected(self):
+        vgraph = VariantGraph()
+        builder = GraphBuilder()
+        builder.queue("cin")
+        builder.queue("cout")
+        builder.simple("eater", consumes={"cin": 1})
+        vgraph.base = builder.build(validate=False)
+        interface = Interface(
+            name="t",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={"c": pipeline_cluster("c")},
+        )
+        with pytest.raises(VariantError, match="already has reader"):
+            vgraph.add_interface(interface, {"i": "cin", "o": "cout"})
+
+    def test_two_interfaces_cannot_share_a_reader_slot(self):
+        vgraph = make_vgraph()
+        other = Interface(
+            name="other",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={"c": pipeline_cluster("c")},
+        )
+        builder_channels = vgraph.base
+        with pytest.raises(VariantError, match="already has"):
+            vgraph.add_interface(other, {"i": "cin", "o": "cout"})
+
+    def test_duplicate_interface_name_rejected(self):
+        vgraph = make_vgraph()
+        duplicate = Interface(
+            name="theta",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={"c": pipeline_cluster("c")},
+        )
+        with pytest.raises(VariantError, match="already embedded"):
+            vgraph.add_interface(duplicate, {"i": "cin", "o": "cout"})
+
+    def test_port_binding_queries(self):
+        vgraph = make_vgraph()
+        assert vgraph.port_bindings("theta") == {"i": "cin", "o": "cout"}
+        assert vgraph.is_input_port("theta", "i")
+        assert not vgraph.is_input_port("theta", "o")
+
+
+class TestBinding:
+    def test_bind_splices_namespaced_elements(self):
+        vgraph = make_vgraph()
+        bound = vgraph.bind({"theta": "v1"})
+        assert bound.has_process("theta.v1.s0")
+        assert bound.has_process("theta.v1.s1")
+        assert bound.has_channel("theta.v1.m0")
+        # port channels merged with external ones
+        assert bound.reader_of("cin") == "theta.v1.s0"
+        assert bound.writer_of("cout") == "theta.v1.s1"
+
+    def test_bind_other_variant(self):
+        vgraph = make_vgraph()
+        bound = vgraph.bind({"theta": "v0"})
+        assert bound.has_process("theta.v0.s0")
+        assert not bound.has_process("theta.v1.s0")
+
+    def test_bind_missing_selection_rejected(self):
+        vgraph = make_vgraph()
+        with pytest.raises(VariantError, match="no cluster selected"):
+            vgraph.bind({})
+
+    def test_bind_single_cluster_interface_defaults(self):
+        vgraph = make_vgraph(n_clusters=1)
+        bound = vgraph.bind({})
+        assert bound.has_process("theta.v0.s0")
+
+    def test_bind_uses_initial_cluster_as_default(self):
+        vgraph = VariantGraph("sys")
+        builder = GraphBuilder("common")
+        builder.queue("cin")
+        builder.queue("cout")
+        vgraph.base = builder.build(validate=False)
+        interface = Interface(
+            name="theta",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={
+                "a": pipeline_cluster("a"),
+                "b": pipeline_cluster("b"),
+            },
+            initial_cluster="b",
+        )
+        vgraph.add_interface(interface, {"i": "cin", "o": "cout"})
+        bound = vgraph.bind({})
+        assert bound.has_process("theta.b.s0")
+
+    def test_bound_graph_simulates(self):
+        from repro.sim import simulate
+
+        vgraph = make_vgraph()
+        bound = vgraph.bind({"theta": "v1"})
+        trace = simulate(bound)
+        assert trace.firing_count("theta.v1.s0") == 4
+        assert trace.firing_count("snk") == 4
+
+
+class TestNesting:
+    def test_nested_interface_resolution(self):
+        inner = Interface(
+            name="inner",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={
+                "x": pipeline_cluster("x", stages=1),
+                "y": pipeline_cluster("y", stages=1),
+            },
+        )
+        # Outer cluster embedding the inner interface between two stages.
+        builder = GraphBuilder("outer_cl")
+        builder.queue("i")
+        builder.queue("o")
+        builder.queue("pre")
+        builder.queue("post")
+        builder.simple("front", consumes={"i": 1}, produces={"pre": 1})
+        builder.simple("back", consumes={"post": 1}, produces={"o": 1})
+        outer_cluster = Cluster(
+            name="big",
+            inputs=("i",),
+            outputs=("o",),
+            graph=builder.build(validate=False),
+            interfaces={"inner": inner},
+            interface_bindings={"inner": {"i": "pre", "o": "post"}},
+        )
+        vgraph = VariantGraph("nested")
+        base = GraphBuilder("common")
+        base.queue("cin")
+        base.queue("cout")
+        vgraph.base = base.build(validate=False)
+        outer = Interface(
+            name="outer",
+            inputs=("i",),
+            outputs=("o",),
+            clusters={"big": outer_cluster},
+        )
+        vgraph.add_interface(outer, {"i": "cin", "o": "cout"})
+
+        bound = vgraph.bind({"outer": "big", "inner": "y"})
+        assert bound.has_process("outer.big.front")
+        assert bound.has_process("outer.big.inner.y.s0")
+        assert not any("inner.x" in name for name in bound.processes)
+        # The nested stage is wired between front and back.
+        assert bound.reader_of("outer.big.pre") == "outer.big.inner.y.s0"
+        assert bound.writer_of("outer.big.post") == "outer.big.inner.y.s0"
+
+
+class TestEnumeration:
+    def test_enumerate_selections(self):
+        vgraph = make_vgraph()
+        selections = vgraph.enumerate_selections()
+        assert {frozenset(s.items()) for s in selections} == {
+            frozenset({("theta", "v0")}),
+            frozenset({("theta", "v1")}),
+        }
+
+    def test_total_combinations(self):
+        assert make_vgraph().total_combinations() == 2
+        assert make_vgraph(3).total_combinations() == 3
+
+    def test_variant_counts(self):
+        assert make_vgraph().variant_counts() == {"theta": 2}
+
+    def test_stats_accounting(self):
+        vgraph = make_vgraph()
+        stats = vgraph.stats()
+        # common: src, snk; v0 has 1 process, v1 has 2.
+        assert stats["common"]["processes"] == 2
+        assert stats["variant_representation_size"]["processes"] == 5
+        # enumeration instantiates the common part once per application.
+        assert stats["enumeration_size"]["processes"] == (2 + 1) + (2 + 2)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.spi.virtuality."""
+
+from repro.spi.builder import GraphBuilder
+from repro.spi.virtuality import (
+    one_shot_source,
+    sink,
+    source,
+    system_part,
+    virtual_part,
+)
+
+
+def env_wrapped_graph():
+    builder = GraphBuilder("wrapped")
+    builder.queue("cin")
+    builder.queue("cout")
+    builder.process(source("env_src", "cin", tags="stim"))
+    builder.simple("core", latency=1.0, consumes={"cin": 1}, produces={"cout": 1})
+    builder.process(sink("env_snk", "cout"))
+    return builder.build(validate=False)
+
+
+class TestBuildingBlocks:
+    def test_source_is_virtual_producer(self):
+        process = source("s", "c", tokens_per_firing=2, period=10.0)
+        assert process.virtual
+        assert process.is_source
+        assert process.single_mode.production("c").lo == 2
+        assert process.period == 10.0
+
+    def test_one_shot_source_fires_once(self):
+        process = one_shot_source("PUser", "CV", tags="V1")
+        assert process.max_firings == 1
+        assert "V1" in process.single_mode.tags_for("CV")
+
+    def test_sink_is_virtual_consumer(self):
+        process = sink("k", "c")
+        assert process.virtual
+        assert process.is_sink
+
+
+class TestSystemPart:
+    def test_virtual_elements_stripped(self):
+        graph = env_wrapped_graph()
+        core = system_part(graph)
+        assert set(core.processes) == {"core"}
+        # channels touching the core stay, as open ends
+        assert core.has_channel("cin")
+        assert core.has_channel("cout")
+        assert core.writer_of("cin") is None
+        assert core.reader_of("cin") == "core"
+
+    def test_virtual_part_listing(self):
+        graph = env_wrapped_graph()
+        assert set(virtual_part(graph)) == {"env_src", "env_snk"}
+
+    def test_channel_between_virtuals_dropped(self):
+        builder = GraphBuilder()
+        builder.queue("c")
+        builder.process(source("a", "c"))
+        builder.process(sink("b", "c"))
+        core = system_part(builder.build(validate=False))
+        assert len(core) == 0
