@@ -14,13 +14,18 @@ paper's qualitative claims that must hold:
   (ablation) collapses the cost advantage.
 """
 
+import time
+
 from repro.apps.generators import generate_system
 from repro.report.series import Series, render_series
+from repro.synth.architecture import ArchitectureTemplate
 from repro.synth.explorer import BranchBoundExplorer
+from repro.synth.mapping import SynthesisProblem
 from repro.synth.methods import (
     independent_flow,
     superposition_flow,
     variant_aware_flow,
+    variant_units,
 )
 
 from .conftest import write_artifact
@@ -135,3 +140,88 @@ def test_design_time_saving_vs_overlap(benchmark):
     # More overlap -> more shared effort -> larger saving.
     values = list(saving.ys)
     assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def _constrained_problem(n_variants, cluster_size=4, capacity=0.5):
+    """A hardware-selection workload that forces a real search."""
+    system = generate_system(
+        seed=17, n_variants=n_variants, cluster_size=cluster_size,
+        common_processes=4,
+    )
+    units, origins = variant_units(system.vgraph)
+    architecture = ArchitectureTemplate(
+        name="scaling-tight",
+        max_processors=1,
+        processor_cost=0.0,
+        processor_capacity=capacity,
+    )
+    return SynthesisProblem(
+        name=f"scaling-v{n_variants}",
+        units=units,
+        library=system.library,
+        architecture=architecture,
+        origins=origins,
+    )
+
+
+def sweep_incremental_throughput(
+    n_variants_range=(2, 3, 4, 5), node_budget=8000
+):
+    """Evaluations/sec and nodes/sec, incremental vs. reference path."""
+    inc_nodes = Series("incremental nodes/s")
+    ref_nodes = Series("reference nodes/s")
+    inc_evals = Series("incremental evals/s")
+    ref_evals = Series("reference evals/s")
+    costs = []
+    for n_variants in n_variants_range:
+        problem = _constrained_problem(n_variants)
+        pair = {}
+        for label, explorer in (
+            ("inc", BranchBoundExplorer(node_budget=node_budget)),
+            (
+                "ref",
+                BranchBoundExplorer(
+                    node_budget=node_budget, incremental=False
+                ),
+            ),
+        ):
+            start = time.perf_counter()
+            result = explorer.explore(problem)
+            elapsed = time.perf_counter() - start
+            pair[label] = result
+            nodes_rate = result.nodes_explored / elapsed
+            evals_rate = result.evaluations / elapsed
+            if label == "inc":
+                inc_nodes.add(n_variants, round(nodes_rate))
+                inc_evals.add(n_variants, round(evals_rate))
+            else:
+                ref_nodes.add(n_variants, round(nodes_rate))
+                ref_evals.add(n_variants, round(evals_rate))
+        costs.append((pair["inc"], pair["ref"]))
+    return [inc_nodes, ref_nodes, inc_evals, ref_evals], costs
+
+
+def test_incremental_vs_reference_throughput(benchmark):
+    series, costs = benchmark.pedantic(
+        sweep_incremental_throughput, rounds=1, iterations=1
+    )
+    text = render_series(
+        series[:2],
+        x_label="variants",
+        title="X1: search-node throughput, incremental vs reference",
+    )
+    text += "\n\n" + render_series(
+        series[2:],
+        x_label="variants",
+        title="X1: evaluation throughput, incremental vs reference",
+    )
+    write_artifact("scaling_incremental.txt", text)
+    print("\n" + text)
+    # Correctness: whenever both paths complete the search, they agree.
+    for incremental, reference in costs:
+        if incremental.optimal and reference.optimal:
+            assert incremental.cost == reference.cost
+        # A provably optimal incremental result is never beaten by the
+        # (possibly truncated) reference search.
+        if incremental.optimal and reference.feasible:
+            assert incremental.cost <= reference.cost + 1e-9

@@ -8,9 +8,17 @@ EXPERIMENTS.md can be checked against fresh artifacts.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def quick_mode() -> bool:
+    """Whether the benches should run their reduced CI workloads."""
+    return bool(os.environ.get("BENCH_QUICK"))
 
 
 def write_artifact(name: str, text: str) -> pathlib.Path:
@@ -18,4 +26,21 @@ def write_artifact(name: str, text: str) -> pathlib.Path:
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / name
     path.write_text(text + ("\n" if not text.endswith("\n") else ""))
+    return path
+
+
+def write_json_artifact(
+    name: str, payload: dict, also_repo_root: bool = False
+) -> pathlib.Path:
+    """Persist one JSON artifact; optionally mirror it at the repo root.
+
+    The repo-root mirror is for cross-PR trend tracking (CI uploads it
+    as a build artifact, e.g. ``BENCH_explorer.json``).
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path = OUT_DIR / name
+    path.write_text(text)
+    if also_repo_root:
+        (REPO_ROOT / name).write_text(text)
     return path

@@ -7,6 +7,7 @@ Usage::
     python -m repro figure3 [--variant V1|V2]
     python -m repro figure4 [--no-valves] [--frames N]
     python -m repro stats
+    python -m repro explore [--space figure2|generated] [--explorer E]
 """
 
 from __future__ import annotations
@@ -62,6 +63,73 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_explorer(name: str, reference: bool):
+    from .synth.explorer import (
+        AnnealingExplorer,
+        BranchBoundExplorer,
+        ExhaustiveExplorer,
+        PortfolioExplorer,
+    )
+
+    incremental = not reference
+    factories = {
+        "exhaustive": lambda: ExhaustiveExplorer(incremental=incremental),
+        "bnb": lambda: BranchBoundExplorer(incremental=incremental),
+        "annealing": lambda: AnnealingExplorer(
+            seed=0, iterations=4000, incremental=incremental
+        ),
+        "portfolio": lambda: PortfolioExplorer(incremental=incremental),
+    }
+    return factories[name]()
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .report.tables import render_dict_rows
+    from .synth.methods import ProblemFamily, explore_space
+    from .variants.variant_space import VariantSpace
+
+    if args.space == "figure2":
+        from .apps import figure2
+
+        family = figure2.table1_family()
+        space = figure2.variant_space()
+    else:
+        from .apps.generators import generate_system
+
+        system = generate_system(
+            seed=args.seed,
+            n_variants=args.variants,
+            cluster_size=args.cluster_size,
+        )
+        family = ProblemFamily(
+            name=f"generated(seed={args.seed})",
+            library=system.library,
+            architecture=system.architecture,
+        )
+        space = VariantSpace(system.vgraph)
+
+    explorer = _make_explorer(args.explorer, args.reference)
+    outcome = explore_space(
+        family, space, explorer, warm_start=not args.no_warm_start
+    )
+    title = (
+        f"Variant space of {family.name}: {len(outcome)} selections "
+        f"({args.explorer}{', reference' if args.reference else ''})"
+    )
+    print(render_dict_rows(outcome.summary_rows(), title=title))
+    best = outcome.best()
+    best_selection = ", ".join(
+        f"{iface}={cluster}"
+        for iface, cluster in sorted(best.selection.items())
+    )
+    print()
+    print(f"best selection : {best_selection} (cost {best.cost:g})")
+    print(f"worst selection: cost {outcome.worst().cost:g}")
+    print(f"total nodes    : {outcome.total_nodes}")
+    print(f"total evals    : {outcome.total_evaluations}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .apps import figure2
 
@@ -108,6 +176,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser(
         "stats", help="Figure 2 representation accounting"
     ).set_defaults(run=_cmd_stats)
+
+    explore = sub.add_parser(
+        "explore", help="batch-explore a variant combination space"
+    )
+    explore.add_argument(
+        "--space", choices=["figure2", "generated"], default="figure2"
+    )
+    explore.add_argument(
+        "--explorer",
+        choices=["exhaustive", "bnb", "annealing", "portfolio"],
+        default="bnb",
+    )
+    explore.add_argument("--variants", type=int, default=3)
+    explore.add_argument("--cluster-size", type=int, default=2)
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable warm-start reuse between neighboring selections",
+    )
+    explore.add_argument(
+        "--reference",
+        action="store_true",
+        help="use the full-recompute reference evaluator (seed behavior)",
+    )
+    explore.set_defaults(run=_cmd_explore)
 
     args = parser.parse_args(argv)
     return args.run(args)

@@ -56,6 +56,9 @@ from ..synth.architecture import ArchitectureTemplate
 from ..synth.explorer import Explorer
 from ..synth.library import ComponentLibrary
 from ..synth.methods import (
+    ProblemFamily,
+    SpaceExploration,
+    explore_space,
     independent_flow,
     superposition_flow,
     variant_aware_flow,
@@ -64,6 +67,7 @@ from ..synth.results import FlowOutcome, to_table_row
 from ..variants.cluster import Cluster
 from ..variants.interface import Interface
 from ..variants.types import VariantKind
+from ..variants.variant_space import VariantSpace
 from ..variants.vgraph import VariantGraph
 
 #: Display labels used when rendering Table 1 rows.
@@ -209,6 +213,35 @@ def table1_architecture() -> ArchitectureTemplate:
         max_processors=1,
         processor_cost=15.0,
         processor_capacity=1.0,
+    )
+
+
+def variant_space(
+    vgraph: Optional[VariantGraph] = None,
+) -> VariantSpace:
+    """The Figure 2 system's (two-selection) variant space."""
+    return VariantSpace(vgraph or build_variant_graph())
+
+
+def table1_family() -> ProblemFamily:
+    """The Table 1 benchmark as a shared problem family."""
+    return ProblemFamily(
+        name="table1",
+        library=table1_library(),
+        architecture=table1_architecture(),
+    )
+
+
+def explore_table1_space(
+    explorer: Optional[Explorer] = None,
+    warm_start: bool = True,
+) -> SpaceExploration:
+    """Batch-explore both bound applications of the Figure 2 space."""
+    return explore_space(
+        table1_family(),
+        variant_space(),
+        explorer=explorer,
+        warm_start=warm_start,
     )
 
 

@@ -15,10 +15,13 @@ from .baselines import (
 )
 from .cost import (
     Evaluation,
+    bucket_by_processor,
     evaluate,
     lower_bound,
+    memory_of_units,
     processor_memory,
     processor_utilization,
+    utilization_of_units,
 )
 from .design_time import (
     design_time_of_units,
@@ -32,6 +35,8 @@ from .explorer import (
     ExhaustiveExplorer,
     ExplorationResult,
     Explorer,
+    PortfolioExplorer,
+    SearchExplorer,
 )
 from .library import (
     ComponentEntry,
@@ -52,6 +57,10 @@ from .mapping import (
 )
 from .methods import (
     ApplicationResult,
+    ProblemFamily,
+    SelectionResult,
+    SpaceExploration,
+    explore_space,
     independent_flow,
     superposition_flow,
     synthesize_application,
@@ -59,6 +68,7 @@ from .methods import (
     variant_units,
 )
 from .results import FlowOutcome, collapse_units, to_table_row
+from .state import IncrementalEvaluator, ReferenceSearchState, SearchState
 from .schedule import (
     Schedule,
     ScheduledTask,
@@ -80,24 +90,35 @@ __all__ = [
     "FlowOutcome",
     "HardwareOption",
     "ImplKind",
+    "IncrementalEvaluator",
     "IncrementalResult",
     "Mapping",
+    "PortfolioExplorer",
+    "ProblemFamily",
+    "ReferenceSearchState",
     "Schedule",
     "ScheduledTask",
+    "SearchExplorer",
+    "SearchState",
+    "SelectionResult",
     "SoftwareOption",
+    "SpaceExploration",
     "SynthesisProblem",
     "Target",
     "VariantOrigin",
+    "bucket_by_processor",
     "collapse_units",
     "design_time_of_units",
     "durations_from_graph",
     "evaluate",
+    "explore_space",
     "incremental_flow",
     "incremental_order_spread",
     "independent_design_time",
     "independent_flow",
     "list_schedule",
     "lower_bound",
+    "memory_of_units",
     "origin_from_name",
     "origins_of_graph",
     "problem_for_graph",
@@ -109,6 +130,7 @@ __all__ = [
     "synthesize_application",
     "to_table_row",
     "units_of_graph",
+    "utilization_of_units",
     "variant_aware_design_time",
     "variant_aware_flow",
     "variant_units",

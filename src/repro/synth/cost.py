@@ -11,15 +11,25 @@ the same time, so their utilization on a shared processor combines as a
 **maximum over clusters** rather than a sum.  ``use_exclusion=False``
 reproduces what superposition or serialization-based flows must assume
 (everything potentially concurrent).
+
+:func:`evaluate` is the *reference oracle*: a from-scratch evaluation
+that buckets units by processor once and aggregates each bucket.  The
+delta-maintained counterpart lives in :mod:`repro.synth.state`; both
+paths share the bucket aggregation helpers below so they cannot drift
+apart semantically, and the property suite cross-checks them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping as TMapping, Optional, Tuple
+from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
 from ..errors import SynthesisError
 from .mapping import Mapping, SynthesisProblem, Target, VariantOrigin
+
+#: Slack applied to capacity comparisons so float noise never flips
+#: feasibility; shared with the incremental evaluator.
+CAPACITY_EPS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -38,22 +48,18 @@ class Evaluation:
         return self.feasible
 
 
-def processor_utilization(
-    problem: SynthesisProblem,
-    mapping: Mapping,
-    processor: int,
+def utilization_of_units(
+    problem: SynthesisProblem, units: Sequence[str]
 ) -> float:
-    """Utilization of one processor under the exclusion rule.
+    """Exclusion-aware utilization of one processor's unit bucket.
 
-    ``common + Σ_interfaces max_cluster Σ_units`` with exclusion on,
-    plain sum with exclusion off.
+    ``units`` must be the software units hosted by one processor, in
+    ``problem.units`` order.  ``common + Σ_interfaces max_cluster
+    Σ_units`` with exclusion on, plain sum with exclusion off.
     """
     common = 0.0
     per_variant: Dict[Tuple[str, str], float] = {}
-    for unit in problem.units:
-        target = mapping.target_of(unit)
-        if not (target.is_software and target.processor == processor):
-            continue
+    for unit in units:
         entry = problem.entry(unit)
         if entry.software is None:
             raise SynthesisError(
@@ -75,13 +81,12 @@ def processor_utilization(
     return common + sum(by_interface.values())
 
 
-def processor_memory(
+def memory_of_units(
     problem: SynthesisProblem,
-    mapping: Mapping,
-    processor: int,
+    units: Sequence[str],
     variants_resident: bool = True,
 ) -> float:
-    """Memory footprint of one processor's software partition.
+    """Memory footprint of one processor's unit bucket.
 
     Unlike execution time, memory is *not* shared by mutual exclusion
     when variants must stay resident (run-time variants selected at
@@ -92,11 +97,8 @@ def processor_memory(
     per interface, mirroring the utilization rule.
     """
     common = 0.0
-    per_variant = {}
-    for unit in problem.units:
-        target = mapping.target_of(unit)
-        if not (target.is_software and target.processor == processor):
-            continue
+    per_variant: Dict[Tuple[str, str], float] = {}
+    for unit in units:
         entry = problem.entry(unit)
         if entry.software is None:
             raise SynthesisError(
@@ -117,17 +119,77 @@ def processor_memory(
     return common + sum(by_interface.values())
 
 
-def evaluate(problem: SynthesisProblem, mapping: Mapping) -> Evaluation:
-    """Cost and feasibility of one complete mapping."""
+def bucket_by_processor(
+    problem: SynthesisProblem, mapping: Mapping
+) -> Tuple[Dict[int, List[str]], List[str]]:
+    """Split the problem's units into per-processor buckets + HW list.
+
+    One pass over ``problem.units`` (instead of one pass per
+    processor); bucket order therefore preserves ``problem.units``
+    order, which keeps aggregation bit-identical to a filtered walk.
+    """
+    buckets: Dict[int, List[str]] = {}
+    hardware: List[str] = []
+    for unit in problem.units:
+        target = mapping.target_of(unit)
+        if target.is_software:
+            buckets.setdefault(target.processor, []).append(unit)
+        else:
+            hardware.append(unit)
+    return buckets, hardware
+
+
+def processor_utilization(
+    problem: SynthesisProblem,
+    mapping: Mapping,
+    processor: int,
+) -> float:
+    """Utilization of one processor under the exclusion rule."""
+    bucket = [
+        unit
+        for unit in problem.units
+        if mapping.target_of(unit).is_software
+        and mapping.target_of(unit).processor == processor
+    ]
+    return utilization_of_units(problem, bucket)
+
+
+def processor_memory(
+    problem: SynthesisProblem,
+    mapping: Mapping,
+    processor: int,
+    variants_resident: bool = True,
+) -> float:
+    """Memory footprint of one processor's software partition."""
+    bucket = [
+        unit
+        for unit in problem.units
+        if mapping.target_of(unit).is_software
+        and mapping.target_of(unit).processor == processor
+    ]
+    return memory_of_units(problem, bucket, variants_resident)
+
+
+def evaluate(
+    problem: SynthesisProblem,
+    mapping: Mapping,
+    variants_resident: bool = True,
+) -> Evaluation:
+    """Cost and feasibility of one complete mapping (reference oracle).
+
+    Buckets units by processor in a single pass, then aggregates each
+    bucket — O(units + processors_used) instead of the former
+    O(units × processors).
+    """
     missing = [u for u in problem.units if u not in mapping.assignment]
     if missing:
         raise SynthesisError(f"mapping does not cover units {missing}")
 
     arch = problem.architecture
+    buckets, hardware_units = bucket_by_processor(problem, mapping)
+
     hardware_cost = 0.0
-    for unit in mapping.hardware_units():
-        if unit not in problem.units:
-            continue
+    for unit in sorted(hardware_units):
         entry = problem.entry(unit)
         if entry.hardware is None:
             return _infeasible(
@@ -135,15 +197,7 @@ def evaluate(problem: SynthesisProblem, mapping: Mapping) -> Evaluation:
             )
         hardware_cost += entry.hardware.cost
 
-    processors = [
-        p
-        for p in mapping.processors_used()
-        if any(
-            mapping.target_of(u).is_software
-            and mapping.target_of(u).processor == p
-            for u in problem.units
-        )
-    ]
+    processors = sorted(buckets)
     if len(processors) > arch.max_processors:
         return _infeasible(
             mapping,
@@ -153,9 +207,9 @@ def evaluate(problem: SynthesisProblem, mapping: Mapping) -> Evaluation:
 
     utilizations: List[float] = []
     for processor in processors:
-        load = processor_utilization(problem, mapping, processor)
+        load = utilization_of_units(problem, buckets[processor])
         utilizations.append(load)
-        if load > arch.processor_capacity + 1e-9:
+        if load > arch.processor_capacity + CAPACITY_EPS:
             return _infeasible(
                 mapping,
                 f"processor {processor} utilization {load:.3f} exceeds "
@@ -164,8 +218,10 @@ def evaluate(problem: SynthesisProblem, mapping: Mapping) -> Evaluation:
                 utilizations=tuple(utilizations),
             )
         if arch.memory_capacity > 0:
-            footprint = processor_memory(problem, mapping, processor)
-            if footprint > arch.memory_capacity + 1e-9:
+            footprint = memory_of_units(
+                problem, buckets[processor], variants_resident
+            )
+            if footprint > arch.memory_capacity + CAPACITY_EPS:
                 return _infeasible(
                     mapping,
                     f"processor {processor} memory {footprint:.3f} exceeds "

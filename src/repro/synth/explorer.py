@@ -1,30 +1,48 @@
 """Design-space exploration.
 
-Three interchangeable optimizers over :class:`SynthesisProblem`:
+Four interchangeable optimizers over :class:`SynthesisProblem`, all
+built on the :class:`SearchExplorer` scaffold (candidate-target
+generation, processor-symmetry breaking, node accounting, and the
+delta-cost :class:`~repro.synth.state.SearchState`):
 
 * :class:`ExhaustiveExplorer` — enumerates every mapping (with
   processor-symmetry breaking); ground truth for the others.
-* :class:`BranchBoundExplorer` — depth-first search pruned by the
-  admissible bound of :func:`repro.synth.cost.lower_bound`; provably
-  optimal, far fewer nodes.
+* :class:`BranchBoundExplorer` — depth-first search pruned by an
+  admissible lower bound and by monotone partial-mapping
+  infeasibility; provably optimal, far fewer nodes.  Accepts node/time
+  budgets and a warm-start incumbent.
 * :class:`AnnealingExplorer` — simulated annealing for spaces where
   enumeration is hopeless; returns the best feasible mapping found.
+* :class:`PortfolioExplorer` — races annealing against budgeted
+  branch-and-bound (annealing's best seeds the exact search as its
+  incumbent) and returns the winner with provenance.
+
+Every explorer accepts ``incremental=False`` to run on the
+full-recompute :class:`~repro.synth.state.ReferenceSearchState` (the
+seed behavior) instead — benchmarks use this to *measure* the speedup
+of the incremental evaluator rather than asserting it.  The reported
+best mapping is always re-evaluated by the from-scratch reference
+oracle, whatever path found it.
 
 The synthesis *flows* (paper reproduction) are optimizer-agnostic —
-bench X3 demonstrates all three find the same optimum on the Table 1
-space.
+bench X3 demonstrates the explorers find the same optimum on the
+Table 1 space.
 """
 
 from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping as TMapping, Optional, Tuple, Union
 
 from ..errors import SynthesisError
-from .cost import Evaluation, evaluate, lower_bound
+from .cost import Evaluation, evaluate
 from .mapping import Mapping, SynthesisProblem, Target
+from .state import ReferenceSearchState, SearchState
+
+_SearchStateT = Union[SearchState, ReferenceSearchState]
 
 
 @dataclass
@@ -36,6 +54,8 @@ class ExplorationResult:
     evaluation: Optional[Evaluation]
     nodes_explored: int
     optimal: bool
+    evaluations: int = 0
+    provenance: str = ""
 
     @property
     def feasible(self) -> bool:
@@ -59,25 +79,53 @@ class ExplorationResult:
         return self
 
 
-class Explorer:
-    """Common interface of the optimizers."""
-
-    def explore(self, problem: SynthesisProblem) -> ExplorationResult:
-        """Search the mapping space of ``problem``."""
-        raise NotImplementedError
+class _BudgetExceeded(Exception):
+    """Internal: node/time budget ran out mid-search."""
 
 
-def _candidate_targets(
-    problem: SynthesisProblem,
-    unit: str,
-    partial: Dict[str, Target],
-) -> Tuple[Target, ...]:
-    """Admissible targets with processor-symmetry breaking.
+#: Interned targets — immutable value objects, so search nodes reuse
+#: them instead of constructing dataclass instances per candidate.
+_HW_TARGET = Target.hw()
+_SW_TARGETS: List[Target] = []
+
+
+def _sw_target(processor: int) -> Target:
+    while len(_SW_TARGETS) <= processor:
+        _SW_TARGETS.append(Target.sw(len(_SW_TARGETS)))
+    return _SW_TARGETS[processor]
+
+
+def _targets_from_used(
+    problem: SynthesisProblem, unit: str, used: List[int]
+) -> List[Target]:
+    """Symmetry-broken targets given the sorted used-processor list.
 
     Identical processors make ``sw:0 / sw:1`` swaps equivalent; only
     the first unused processor index is offered in addition to the
     already-populated ones.
     """
+    cap = problem.architecture.max_processors
+    allowed_cpus = [cpu for cpu in used if cpu < cap]
+    fresh = (used[-1] + 1) if used else 0
+    if fresh < cap and fresh not in allowed_cpus:
+        allowed_cpus.append(fresh)
+    entry = problem.entry(unit)
+    result: List[Target] = []
+    if entry.software is not None:
+        result.extend(_sw_target(cpu) for cpu in allowed_cpus)
+    if entry.hardware is not None:
+        result.append(_HW_TARGET)
+    if not result:
+        raise SynthesisError(f"unit {unit!r} has no admissible target")
+    return result
+
+
+def _candidate_targets(
+    problem: SynthesisProblem,
+    unit: str,
+    partial: TMapping[str, Target],
+) -> Tuple[Target, ...]:
+    """Admissible targets with processor-symmetry breaking."""
     used = sorted(
         {
             target.processor
@@ -85,63 +133,230 @@ def _candidate_targets(
             if target.is_software
         }
     )
-    cap = problem.architecture.max_processors
-    allowed_cpus = [cpu for cpu in used if cpu < cap]
-    fresh = (max(used) + 1) if used else 0
-    if fresh < cap and fresh not in allowed_cpus:
-        allowed_cpus.append(fresh)
-    entry = problem.entry(unit)
-    result: List[Target] = []
-    if entry.software is not None:
-        result.extend(Target.sw(cpu) for cpu in allowed_cpus)
-    if entry.hardware is not None:
-        result.append(Target.hw())
-    if not result:
-        raise SynthesisError(f"unit {unit!r} has no admissible target")
-    return tuple(result)
+    return tuple(_targets_from_used(problem, unit, used))
 
 
-class ExhaustiveExplorer(Explorer):
-    """Complete enumeration; optimal by construction."""
+class Explorer:
+    """Common interface of the optimizers."""
 
-    def explore(self, problem: SynthesisProblem) -> ExplorationResult:
-        free = problem.free_units
-        best: Optional[Mapping] = None
-        best_eval: Optional[Evaluation] = None
-        nodes = 0
+    def explore(
+        self,
+        problem: SynthesisProblem,
+        warm_start: Optional[Mapping] = None,
+    ) -> ExplorationResult:
+        """Search the mapping space of ``problem``.
 
-        def recurse(index: int, partial: Dict[str, Target]) -> None:
-            nonlocal best, best_eval, nodes
-            nodes += 1
-            if index == len(free):
-                mapping = Mapping(dict(partial))
-                result = evaluate(problem, mapping)
-                if result.feasible and (
-                    best_eval is None
-                    or result.total_cost < best_eval.total_cost
-                ):
-                    best, best_eval = mapping, result
-                return
-            unit = free[index]
-            for target in _candidate_targets(problem, unit, partial):
-                partial[unit] = target
-                recurse(index + 1, partial)
-                del partial[unit]
+        ``warm_start`` is an optional (possibly partial, possibly
+        stale) mapping from a related problem — e.g. the neighboring
+        selection of a variant space — used to seed the search.
+        Explorers that cannot exploit it ignore it.
+        """
+        raise NotImplementedError
 
-        recurse(0, dict(problem.fixed))
+
+class SearchExplorer(Explorer):
+    """Shared search scaffold.
+
+    Owns candidate-target generation (with processor-symmetry
+    breaking), search-state construction (incremental or reference),
+    warm-start adaptation, node/evaluation accounting, and final
+    re-evaluation of the best mapping by the reference oracle.
+    """
+
+    def __init__(self, incremental: bool = True) -> None:
+        self.incremental = incremental
+
+    # -- state ----------------------------------------------------------
+    def _new_state(
+        self, problem: SynthesisProblem, exact: bool = False
+    ) -> _SearchStateT:
+        if self.incremental:
+            state = SearchState(problem, exact=exact)
+        else:
+            state = ReferenceSearchState(problem)
+        for unit, target in problem.fixed.items():
+            state.assign(unit, target)
+        return state
+
+    # -- candidates -----------------------------------------------------
+    @staticmethod
+    def candidate_targets(
+        problem: SynthesisProblem,
+        unit: str,
+        partial: TMapping[str, Target],
+    ) -> Tuple[Target, ...]:
+        """Admissible targets of ``unit`` given the partial mapping."""
+        return _candidate_targets(problem, unit, partial)
+
+    def state_targets(
+        self,
+        problem: SynthesisProblem,
+        unit: str,
+        state: _SearchStateT,
+    ) -> List[Target]:
+        """Admissible targets read from the search state.
+
+        Same symmetry-broken candidate list (and order) as
+        :meth:`candidate_targets`, but the used-processor set comes
+        from the state's bucket index — O(allocated processors)
+        instead of a scan over every assigned unit.
+        """
+        return _targets_from_used(problem, unit, state.used_processors())
+
+    # -- warm starts ----------------------------------------------------
+    def _warm_assignment(
+        self,
+        problem: SynthesisProblem,
+        warm_start: Optional[Mapping],
+    ) -> Optional[Dict[str, Target]]:
+        """Adapt a warm-start mapping to this problem's unit set.
+
+        Keeps every admissible target the warm mapping has for a
+        problem unit, completes missing units (hardware first — it
+        never violates capacity — else processor 0), and lets
+        ``problem.fixed`` override.  Returns None when no warm start
+        was given.
+        """
+        if warm_start is None:
+            return None
+        source = warm_start.restricted_to(problem.units).assignment
+        assignment: Dict[str, Target] = {}
+        for unit in problem.units:
+            entry = problem.entry(unit)
+            target = source.get(unit)
+            if target is not None:
+                if target.is_software and entry.software is not None:
+                    assignment[unit] = target
+                    continue
+                if target.is_hardware and entry.hardware is not None:
+                    assignment[unit] = target
+                    continue
+            if entry.hardware is not None:
+                assignment[unit] = Target.hw()
+            else:
+                assignment[unit] = Target.sw(0)
+        assignment.update(problem.fixed)
+        return assignment
+
+    def _warm_incumbent(
+        self,
+        problem: SynthesisProblem,
+        warm_start: Optional[Mapping],
+    ) -> Tuple[Optional[Mapping], float]:
+        """Reference-evaluated feasible incumbent from a warm start."""
+        assignment = self._warm_assignment(problem, warm_start)
+        if assignment is None:
+            return None, float("inf")
+        mapping = Mapping(assignment)
+        result = evaluate(problem, mapping)
+        if result.feasible:
+            return mapping, result.total_cost
+        return None, float("inf")
+
+    # -- result assembly ------------------------------------------------
+    def _finish(
+        self,
+        problem: SynthesisProblem,
+        mapping: Optional[Mapping],
+        nodes: int,
+        evaluations: int,
+        optimal: bool,
+        provenance: str,
+    ) -> ExplorationResult:
+        """Re-evaluate the best mapping with the reference oracle."""
+        evaluation = (
+            evaluate(problem, mapping) if mapping is not None else None
+        )
         return ExplorationResult(
             problem=problem,
-            mapping=best,
-            evaluation=best_eval,
+            mapping=mapping,
+            evaluation=evaluation,
             nodes_explored=nodes,
-            optimal=True,
+            optimal=optimal,
+            evaluations=evaluations,
+            provenance=provenance,
         )
 
 
-class BranchBoundExplorer(Explorer):
-    """Depth-first search with admissible lower-bound pruning."""
+class ExhaustiveExplorer(SearchExplorer):
+    """Complete enumeration; optimal by construction.
 
-    def explore(self, problem: SynthesisProblem) -> ExplorationResult:
+    Ground truth for the other explorers, so it never prunes — every
+    symmetry-distinct mapping is visited (``warm_start`` is ignored).
+    """
+
+    def explore(
+        self,
+        problem: SynthesisProblem,
+        warm_start: Optional[Mapping] = None,
+    ) -> ExplorationResult:
+        free = problem.free_units
+        state = self._new_state(problem)
+        best: Optional[Mapping] = None
+        best_cost = float("inf")
+        nodes = 0
+        evaluations = 0
+        state_targets = self.state_targets
+
+        def recurse(index: int) -> None:
+            nonlocal best, best_cost, nodes, evaluations
+            nodes += 1
+            if index == len(free):
+                evaluations += 1
+                feasible, cost = state.leaf()
+                if feasible and cost < best_cost:
+                    best, best_cost = state.to_mapping(), cost
+                return
+            unit = free[index]
+            for target in state_targets(problem, unit, state):
+                state.assign(unit, target)
+                recurse(index + 1)
+                state.unassign(unit)
+
+        recurse(0)
+        return self._finish(
+            problem,
+            best,
+            nodes,
+            evaluations,
+            optimal=True,
+            provenance="exhaustive",
+        )
+
+
+class BranchBoundExplorer(SearchExplorer):
+    """Depth-first search with admissible lower-bound pruning.
+
+    The incremental path additionally prunes on partial-mapping
+    infeasibility (loads are monotone along a search path, so a
+    violated partial has no feasible completion) — the optimum is
+    unchanged, the tree is much smaller.
+
+    ``node_budget`` / ``time_budget`` (seconds) truncate the search;
+    a truncated run reports ``optimal=False`` and the best incumbent
+    found so far.  ``warm_start`` seeds the incumbent, tightening
+    pruning from the first node.
+    """
+
+    def __init__(
+        self,
+        incremental: bool = True,
+        node_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+    ) -> None:
+        super().__init__(incremental=incremental)
+        if node_budget is not None and node_budget < 1:
+            raise SynthesisError("node_budget must be >= 1")
+        if time_budget is not None and time_budget <= 0:
+            raise SynthesisError("time_budget must be positive")
+        self.node_budget = node_budget
+        self.time_budget = time_budget
+
+    def explore(
+        self,
+        problem: SynthesisProblem,
+        warm_start: Optional[Mapping] = None,
+    ) -> ExplorationResult:
         # Deciding expensive units first tightens the bound early.
         free = sorted(
             problem.free_units,
@@ -151,48 +366,76 @@ class BranchBoundExplorer(Explorer):
                 else 0.0
             ),
         )
-        best: Optional[Mapping] = None
-        best_eval: Optional[Evaluation] = None
+        state = self._new_state(problem)
+        best, best_cost = self._warm_incumbent(problem, warm_start)
+        warm_started = best is not None
         nodes = 0
+        evaluations = 0
+        node_budget = self.node_budget
+        deadline = (
+            time.monotonic() + self.time_budget
+            if self.time_budget is not None
+            else None
+        )
+        state_targets = self.state_targets
+        prune_infeasible = state.can_prune_infeasible
 
-        def recurse(index: int, partial: Dict[str, Target]) -> None:
-            nonlocal best, best_eval, nodes
+        def recurse(index: int) -> None:
+            nonlocal best, best_cost, nodes, evaluations
             nodes += 1
+            if node_budget is not None and nodes > node_budget:
+                raise _BudgetExceeded
             if (
-                best_eval is not None
-                and lower_bound(problem, partial) >= best_eval.total_cost
+                deadline is not None
+                and (nodes & 255) == 0
+                and time.monotonic() > deadline
             ):
+                raise _BudgetExceeded
+            if best is not None and state.lower_bound() >= best_cost:
+                return
+            if prune_infeasible and not state.feasible:
                 return
             if index == len(free):
-                mapping = Mapping(dict(partial))
-                result = evaluate(problem, mapping)
-                if result.feasible and (
-                    best_eval is None
-                    or result.total_cost < best_eval.total_cost
-                ):
-                    best, best_eval = mapping, result
+                evaluations += 1
+                feasible, cost = state.leaf()
+                if feasible and cost < best_cost:
+                    best, best_cost = state.to_mapping(), cost
                 return
             unit = free[index]
-            for target in _candidate_targets(problem, unit, partial):
-                partial[unit] = target
-                recurse(index + 1, partial)
-                del partial[unit]
+            for target in state_targets(problem, unit, state):
+                state.assign(unit, target)
+                recurse(index + 1)
+                state.unassign(unit)
 
-        recurse(0, dict(problem.fixed))
-        return ExplorationResult(
-            problem=problem,
-            mapping=best,
-            evaluation=best_eval,
-            nodes_explored=nodes,
-            optimal=True,
+        truncated = False
+        try:
+            recurse(0)
+        except _BudgetExceeded:
+            truncated = True
+        provenance = "branch_and_bound"
+        if warm_started:
+            provenance += "+warm_start"
+        if truncated:
+            provenance += " (budget-truncated)"
+        return self._finish(
+            problem,
+            best,
+            nodes,
+            evaluations,
+            optimal=not truncated,
+            provenance=provenance,
         )
 
 
-class AnnealingExplorer(Explorer):
+class AnnealingExplorer(SearchExplorer):
     """Simulated annealing with an infeasibility penalty.
 
-    Deterministic for a given ``seed``.  ``optimal`` is reported False:
-    the result is a (usually excellent) heuristic solution.
+    Deterministic for a given ``seed``: repeated runs (and separate
+    process invocations) produce byte-identical results.  ``optimal``
+    is reported False: the result is a (usually excellent) heuristic
+    solution.  A ``warm_start`` replaces the random initial
+    configuration; without one the trajectory is identical to the seed
+    implementation's.
     """
 
     def __init__(
@@ -202,7 +445,9 @@ class AnnealingExplorer(Explorer):
         initial_temperature: float = 10.0,
         cooling: float = 0.995,
         penalty: float = 1000.0,
+        incremental: bool = True,
     ) -> None:
+        super().__init__(incremental=incremental)
         if iterations < 1:
             raise SynthesisError("iterations must be >= 1")
         if not 0 < cooling < 1:
@@ -213,69 +458,152 @@ class AnnealingExplorer(Explorer):
         self.cooling = cooling
         self.penalty = penalty
 
-    def _energy(
-        self, problem: SynthesisProblem, mapping: Mapping
-    ) -> Tuple[float, Evaluation]:
-        result = evaluate(problem, mapping)
+    def _energy(self, state: _SearchStateT) -> Tuple[float, Evaluation]:
+        result = state.evaluation()
         if result.feasible:
             return result.total_cost, result
         overload = 0.0
-        capacity = problem.architecture.processor_capacity
+        capacity = state.problem.architecture.processor_capacity
         for load in result.utilizations:
             overload += max(0.0, load - capacity)
         return self.penalty * (1.0 + overload) + result.hardware_cost, result
 
-    def explore(self, problem: SynthesisProblem) -> ExplorationResult:
+    def explore(
+        self,
+        problem: SynthesisProblem,
+        warm_start: Optional[Mapping] = None,
+    ) -> ExplorationResult:
         rng = random.Random(self.seed)
         free = list(problem.free_units)
-        current: Dict[str, Target] = dict(problem.fixed)
-        for unit in free:
-            current[unit] = rng.choice(
-                _candidate_targets(problem, unit, current)
-            )
-        current_mapping = Mapping(dict(current))
-        current_energy, current_eval = self._energy(problem, current_mapping)
-        best_mapping, best_eval = (
-            (current_mapping, current_eval)
-            if current_eval.feasible
-            else (None, None)
+        # Exact mode keeps every float bit-identical to the reference
+        # oracle, so accept/reject decisions reproduce the seed
+        # implementation's trajectory exactly.
+        state = self._new_state(problem, exact=True)
+        warm = self._warm_assignment(problem, warm_start)
+        if warm is not None:
+            for unit in free:
+                state.assign(unit, warm[unit])
+        else:
+            for unit in free:
+                state.assign(
+                    unit, rng.choice(self.state_targets(problem, unit, state))
+                )
+        current_energy, current_eval = self._energy(state)
+        best_mapping: Optional[Mapping] = (
+            state.to_mapping() if current_eval.feasible else None
         )
-        best_energy = current_energy if current_eval.feasible else float("inf")
+        best_energy = (
+            current_energy if current_eval.feasible else float("inf")
+        )
         temperature = self.initial_temperature
         nodes = 1
+        evaluations = 1
 
         for _ in range(self.iterations):
             if not free:
                 break
             unit = rng.choice(free)
-            old = current[unit]
+            old = state.assignment[unit]
             options = [
                 t
-                for t in _candidate_targets(problem, unit, current)
+                for t in self.state_targets(problem, unit, state)
                 if t != old
             ]
             if not options:
                 continue
-            current[unit] = rng.choice(options)
-            candidate = Mapping(dict(current))
-            energy, evaluation = self._energy(problem, candidate)
+            state.reassign(unit, rng.choice(options))
+            energy, evaluation = self._energy(state)
             nodes += 1
+            evaluations += 1
             accept = energy <= current_energy or rng.random() < math.exp(
                 (current_energy - energy) / max(temperature, 1e-9)
             )
             if accept:
                 current_energy = energy
                 if evaluation.feasible and energy < best_energy:
-                    best_mapping, best_eval = candidate, evaluation
+                    best_mapping = state.to_mapping()
                     best_energy = energy
             else:
-                current[unit] = old
+                state.reassign(unit, old)
             temperature *= self.cooling
 
+        return self._finish(
+            problem,
+            best_mapping,
+            nodes,
+            evaluations,
+            optimal=False,
+            provenance=f"annealing(seed={self.seed})",
+        )
+
+
+class PortfolioExplorer(SearchExplorer):
+    """Race annealing against budgeted branch-and-bound.
+
+    Annealing runs first; its best feasible mapping seeds
+    branch-and-bound as the incumbent, tightening pruning from node
+    one.  Branch-and-bound runs under the configured node/time budget;
+    if it completes, the portfolio result is provably optimal.  The
+    returned :class:`ExplorationResult` carries provenance naming the
+    winning member and each member's cost.
+    """
+
+    def __init__(
+        self,
+        node_budget: Optional[int] = 200_000,
+        time_budget: Optional[float] = None,
+        seed: int = 0,
+        iterations: int = 4000,
+        incremental: bool = True,
+    ) -> None:
+        super().__init__(incremental=incremental)
+        self.node_budget = node_budget
+        self.time_budget = time_budget
+        self.seed = seed
+        self.iterations = iterations
+
+    def explore(
+        self,
+        problem: SynthesisProblem,
+        warm_start: Optional[Mapping] = None,
+    ) -> ExplorationResult:
+        annealing = AnnealingExplorer(
+            seed=self.seed,
+            iterations=self.iterations,
+            incremental=self.incremental,
+        )
+        heuristic = annealing.explore(problem, warm_start=warm_start)
+        exact = BranchBoundExplorer(
+            incremental=self.incremental,
+            node_budget=self.node_budget,
+            time_budget=self.time_budget,
+        ).explore(
+            problem,
+            warm_start=heuristic.mapping
+            if heuristic.feasible
+            else warm_start,
+        )
+        members = [("annealing", heuristic), ("branch_and_bound", exact)]
+        winner_name, winner = min(
+            members, key=lambda item: (item[1].cost, item[1].optimal is False)
+        )
+        provenance = (
+            f"portfolio[{winner_name}]: "
+            + ", ".join(
+                f"{name} cost={result.cost:g}" for name, result in members
+            )
+            + (
+                " (branch_and_bound complete)"
+                if exact.optimal
+                else " (branch_and_bound budget-truncated)"
+            )
+        )
         return ExplorationResult(
             problem=problem,
-            mapping=best_mapping,
-            evaluation=best_eval,
-            nodes_explored=nodes,
-            optimal=False,
+            mapping=winner.mapping,
+            evaluation=winner.evaluation,
+            nodes_explored=heuristic.nodes_explored + exact.nodes_explored,
+            optimal=exact.optimal,
+            evaluations=heuristic.evaluations + exact.evaluations,
+            provenance=provenance,
         )

@@ -132,6 +132,29 @@ class SynthesisProblem:
         """Library entry for one unit."""
         return self.library.entry(unit)
 
+    def variant_group(self, unit: str) -> Optional[Tuple[str, str]]:
+        """The ``(interface, cluster)`` a unit was instantiated from.
+
+        None for common-part units.  This is the grouping key of the
+        memory rule (production variants combine as a per-interface
+        maximum) regardless of ``use_exclusion``.
+        """
+        origin = self.origins.get(unit)
+        if origin is None:
+            return None
+        return (origin.interface, origin.cluster)
+
+    def exclusion_group(self, unit: str) -> Optional[Tuple[str, str]]:
+        """The unit's run-time concurrency group for utilization.
+
+        None means always-concurrent load: common-part units, and every
+        unit when ``use_exclusion`` is off (the superposition /
+        serialization assumption).
+        """
+        if not self.use_exclusion:
+            return None
+        return self.variant_group(unit)
+
     def targets_for(self, unit: str) -> Tuple[Target, ...]:
         """All admissible targets of one unit under this architecture."""
         entry = self.entry(unit)
@@ -201,6 +224,22 @@ class Mapping:
                     if target.is_software
                 }
             )
+        )
+
+    def restricted_to(self, units: Iterable[str]) -> "Mapping":
+        """The sub-mapping covering only ``units`` (missing ones skipped).
+
+        The warm-start handoff between neighboring selections of a
+        variant space: the common part and unchanged clusters keep
+        their targets, stale cluster units drop out.
+        """
+        assignment = self.assignment
+        return Mapping(
+            {
+                unit: assignment[unit]
+                for unit in units
+                if unit in assignment
+            }
         )
 
     def merged_with(self, other: "Mapping") -> "Mapping":

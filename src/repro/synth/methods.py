@@ -1,4 +1,4 @@
-"""The three synthesis flows compared in Table 1.
+"""The three synthesis flows compared in Table 1, plus batch exploration.
 
 * :func:`independent_flow` — synthesize each application (each fully
   bound variant combination) on its own; one architecture per
@@ -10,6 +10,10 @@
 * :func:`variant_aware_flow` — the paper's approach: one joint
   optimization over the variant representation, exploiting run-time
   mutual exclusion of clusters (row "With variants").
+* :func:`explore_space` — batch exploration of every consistent
+  selection of a :class:`~repro.variants.variant_space.VariantSpace`
+  under one shared :class:`ProblemFamily`, reusing warm-start mappings
+  between neighboring selections.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SynthesisError
 from ..spi.graph import ModelGraph
+from ..variants.variant_space import VariantSpace
 from ..variants.vgraph import VariantGraph
 from .architecture import ArchitectureTemplate
 from .design_time import design_time_of_units
@@ -26,6 +31,7 @@ from .explorer import BranchBoundExplorer, ExplorationResult, Explorer
 from .library import ComponentLibrary
 from .mapping import (
     SynthesisProblem,
+    Target,
     VariantOrigin,
     problem_for_graph,
     units_of_graph,
@@ -196,6 +202,167 @@ def variant_units(
                 f"{iface_name}.", iface_name, interface.cluster(cluster_name)
             )
     return tuple(units), origins
+
+
+# ----------------------------------------------------------------------
+# Batch variant-space exploration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProblemFamily:
+    """Shared setup of a family of related synthesis problems.
+
+    Every configuration of a variant space shares the component
+    library, the architecture envelope, and the exclusion semantics;
+    bundling them once is what lets :func:`explore_space` amortize
+    setup across thousands of configurations instead of rebuilding it
+    per selection.
+    """
+
+    name: str
+    library: ComponentLibrary
+    architecture: ArchitectureTemplate
+    use_exclusion: bool = True
+
+    def problem_for(
+        self,
+        graph: ModelGraph,
+        name: Optional[str] = None,
+        fixed: Mapping[str, Target] = (),
+    ) -> SynthesisProblem:
+        """The synthesis problem of one bound application graph."""
+        return problem_for_graph(
+            name if name is not None else graph.name,
+            graph,
+            self.library,
+            self.architecture,
+            use_exclusion=self.use_exclusion,
+            fixed=fixed,
+        )
+
+
+@dataclass
+class SelectionResult:
+    """Exploration outcome of one variant selection."""
+
+    selection: Dict[str, str]
+    problem: SynthesisProblem
+    exploration: ExplorationResult
+    warm_started: bool
+
+    @property
+    def key(self) -> Tuple[Tuple[str, str], ...]:
+        """Canonical hashable key of the selection."""
+        return VariantSpace.selection_key(self.selection)
+
+    @property
+    def cost(self) -> float:
+        return self.exploration.cost
+
+
+@dataclass
+class SpaceExploration:
+    """Batch outcome over every consistent selection of a space."""
+
+    family: ProblemFamily
+    results: List[SelectionResult]
+
+    @property
+    def total_nodes(self) -> int:
+        """Search nodes spent across the whole space."""
+        return sum(r.exploration.nodes_explored for r in self.results)
+
+    @property
+    def total_evaluations(self) -> int:
+        """Cost-model evaluations spent across the whole space."""
+        return sum(r.exploration.evaluations for r in self.results)
+
+    def feasible_results(self) -> List[SelectionResult]:
+        """Selections with a feasible implementation."""
+        return [r for r in self.results if r.exploration.feasible]
+
+    def best(self) -> SelectionResult:
+        """Cheapest selection (raises if nothing is feasible)."""
+        feasible = self.feasible_results()
+        if not feasible:
+            raise SynthesisError(
+                f"no selection of family {self.family.name!r} is feasible"
+            )
+        return min(feasible, key=lambda r: r.cost)
+
+    def worst(self) -> SelectionResult:
+        """Most expensive feasible selection."""
+        feasible = self.feasible_results()
+        if not feasible:
+            raise SynthesisError(
+                f"no selection of family {self.family.name!r} is feasible"
+            )
+        return max(feasible, key=lambda r: r.cost)
+
+    def costs(self) -> Dict[Tuple[Tuple[str, str], ...], float]:
+        """Selection key → total cost (inf when infeasible)."""
+        return {r.key: r.cost for r in self.results}
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One renderable row per selection (CLI / reports)."""
+        rows: List[Dict[str, object]] = []
+        for result in self.results:
+            selection = ", ".join(
+                f"{iface}={cluster}"
+                for iface, cluster in sorted(result.selection.items())
+            )
+            exploration = result.exploration
+            rows.append(
+                {
+                    "selection": selection,
+                    "cost": exploration.cost,
+                    "nodes": exploration.nodes_explored,
+                    "evaluations": exploration.evaluations,
+                    "optimal": "yes" if exploration.optimal else "no",
+                    "warm": "yes" if result.warm_started else "no",
+                }
+            )
+        return rows
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def explore_space(
+    problem_family: ProblemFamily,
+    space: VariantSpace,
+    explorer: Optional[Explorer] = None,
+    warm_start: bool = True,
+) -> SpaceExploration:
+    """Explore every consistent selection of a variant space.
+
+    Streams the space's applications (selections are enumerated so
+    that neighbors differ in few interfaces), builds each synthesis
+    problem from the shared ``problem_family`` setup, and — with
+    ``warm_start=True`` — seeds each exploration with the previous
+    selection's best mapping: shared units (the common part plus every
+    unchanged cluster) keep their targets, so the explorer starts from
+    a near-feasible incumbent instead of from scratch.
+    """
+    chosen = _default_explorer(explorer)
+    results: List[SelectionResult] = []
+    previous_best = None
+    for selection, graph in space.iter_applications(
+        prefix=problem_family.name
+    ):
+        problem = problem_family.problem_for(graph)
+        seed_mapping = previous_best if warm_start else None
+        exploration = chosen.explore(problem, warm_start=seed_mapping)
+        results.append(
+            SelectionResult(
+                selection=dict(selection),
+                problem=problem,
+                exploration=exploration,
+                warm_started=seed_mapping is not None,
+            )
+        )
+        if exploration.feasible:
+            previous_best = exploration.mapping
+    return SpaceExploration(family=problem_family, results=results)
 
 
 def variant_aware_flow(

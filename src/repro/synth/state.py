@@ -1,0 +1,643 @@
+"""Incremental (delta-cost) evaluation state for design-space search.
+
+Every explorer in :mod:`repro.synth.explorer` walks the mapping space
+by assigning units to targets one at a time.  The seed implementation
+re-ran the from-scratch :func:`repro.synth.cost.evaluate` at every
+search node — O(units × processors) per node, rebuilding per-processor
+buckets and the per-interface max-exclusion aggregation each time.
+:class:`SearchState` replaces that with O(1)-amortized deltas:
+
+* per-processor utilization under the paper's exclusion rule
+  (``common + Σ_interfaces max_cluster Σ_units``),
+* per-processor memory footprints (``variants_resident`` both ways),
+* hardware cost and allocated-processor count,
+* capacity-violation counters (so feasibility of the current partial
+  mapping is an O(1) read), and
+* an O(1) admissible lower bound for branch-and-bound pruning.
+
+The "amortized" caveat is the interface max: removing the cluster that
+currently dominates an interface's exclusion load re-scans that
+interface's clusters *on that processor* — a handful of entries.
+
+The from-scratch :func:`~repro.synth.cost.evaluate` stays the reference
+oracle: :class:`ReferenceSearchState` wraps it behind the same search
+interface (for benchmarking the speedup instead of asserting it), and
+the property suite cross-checks both paths on randomized problems and
+assign/unassign sequences.
+
+Exact mode
+----------
+With ``exact=True`` every mutation re-aggregates the touched
+processor's bucket in canonical (``problem.units``) order through the
+same helpers the reference oracle uses, so utilization, memory, and
+hardware-cost floats are *bit-identical* to ``evaluate()`` — this is
+what keeps the refactored simulated annealing byte-reproducible against
+the seed implementation.  Delta mode is the fast path for depth-first
+search, where assignments nest LIFO and the 1e-9 capacity slack
+dominates any float residue by seven orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import SynthesisError
+from .cost import (
+    CAPACITY_EPS,
+    Evaluation,
+    evaluate,
+    lower_bound,
+    memory_of_units,
+    utilization_of_units,
+)
+from .mapping import Mapping, SynthesisProblem, Target
+
+#: Grouping key: ``(interface, cluster)`` for exclusion-aware loads,
+#: ``None`` for common (always-concurrent) load.
+_GroupKey = Optional[Tuple[str, str]]
+
+
+class _ExclusionLoad:
+    """Delta-maintained ``common + Σ_iface max_cluster Σ`` aggregate.
+
+    The unit counts per cluster (and for the common part) let each
+    group snap back to exactly ``0.0`` when it empties, and ``total``
+    is derived from the per-group aggregates on read (interfaces per
+    processor are few), so float residue cannot leak between the
+    common part and the exclusion groups.
+    """
+
+    __slots__ = ("common", "ncommon", "groups", "imax")
+
+    def __init__(self) -> None:
+        self.common = 0.0
+        self.ncommon = 0
+        #: interface -> {cluster: [load, unit_count]}
+        self.groups: Dict[str, Dict[str, List[float]]] = {}
+        #: interface -> current max cluster load
+        self.imax: Dict[str, float] = {}
+
+    @property
+    def total(self) -> float:
+        if not self.imax:
+            return self.common
+        return self.common + sum(self.imax.values())
+
+    def add(self, key: _GroupKey, value: float) -> None:
+        if key is None:
+            self.common += value
+            self.ncommon += 1
+            return
+        interface, cluster = key
+        group = self.groups.setdefault(interface, {})
+        slot = group.get(cluster)
+        if slot is None:
+            group[cluster] = [value, 1]
+            new_load = value
+        else:
+            slot[0] += value
+            slot[1] += 1
+            new_load = slot[0]
+        current_max = self.imax.get(interface)
+        if current_max is None or new_load > current_max:
+            self.imax[interface] = new_load
+
+    def remove(self, key: _GroupKey, value: float) -> None:
+        if key is None:
+            self.ncommon -= 1
+            if self.ncommon == 0:
+                self.common = 0.0
+            else:
+                self.common -= value
+            return
+        interface, cluster = key
+        group = self.groups[interface]
+        slot = group[cluster]
+        old_load = slot[0]
+        if slot[1] == 1:
+            del group[cluster]
+        else:
+            slot[0] = old_load - value
+            slot[1] -= 1
+        if old_load >= self.imax[interface]:
+            # The removed-from cluster was (tied for) the interface
+            # max: re-scan this interface's clusters on this processor.
+            if group:
+                self.imax[interface] = max(
+                    slot[0] for slot in group.values()
+                )
+            else:
+                del self.groups[interface]
+                del self.imax[interface]
+
+
+class SearchState:
+    """Delta-cost evaluation state over one :class:`SynthesisProblem`.
+
+    ``assign(unit, target)`` / ``unassign(unit)`` maintain every cost
+    and feasibility aggregate incrementally; ``feasible``, ``leaf()``
+    and ``lower_bound()`` are O(1) reads.  ``evaluation()`` assembles a
+    full :class:`~repro.synth.cost.Evaluation` (reference semantics,
+    including the truncated-utilizations shape on violation) from the
+    maintained aggregates.
+    """
+
+    #: Partial-mapping infeasibility is monotone (loads only grow along
+    #: a search path), so explorers may prune on it.
+    can_prune_infeasible = True
+
+    def __init__(
+        self,
+        problem: SynthesisProblem,
+        variants_resident: bool = True,
+        exact: bool = False,
+    ) -> None:
+        self.problem = problem
+        self.variants_resident = variants_resident
+        self.exact = exact
+        arch = problem.architecture
+        self._pcost = arch.processor_cost
+        self._ucap = arch.processor_capacity + CAPACITY_EPS
+        self._mcap = (
+            arch.memory_capacity + CAPACITY_EPS
+            if arch.memory_capacity > 0
+            else None
+        )
+        self._index: Dict[str, int] = {
+            unit: index for index, unit in enumerate(problem.units)
+        }
+        #: unit -> (sw_load, sw_memory, hw_cost, util_key, mem_key)
+        self._info: Dict[str, tuple] = {}
+        pending_hwonly = 0.0
+        unassigned_swonly = 0
+        for unit in problem.units:
+            entry = problem.entry(unit)
+            load = entry.software.utilization if entry.software else None
+            memory = entry.software.memory if entry.software else None
+            hw_cost = entry.hardware.cost if entry.hardware else None
+            self._info[unit] = (
+                load,
+                memory,
+                hw_cost,
+                problem.exclusion_group(unit),
+                None if variants_resident else problem.variant_group(unit),
+            )
+            if load is None and hw_cost is not None:
+                pending_hwonly += hw_cost
+            if hw_cost is None:
+                unassigned_swonly += 1
+
+        self.assignment: Dict[str, Target] = {}
+        self._buckets: Dict[int, Dict[str, None]] = {}
+        self._uload: Dict[int, _ExclusionLoad] = {}
+        self._mload: Dict[int, _ExclusionLoad] = {}
+        self._uexact: Dict[int, float] = {}
+        self._mexact: Dict[int, float] = {}
+        self._hw_units: Set[str] = set()
+        self._hwcost = 0.0
+        self._pending_hwonly = pending_hwonly
+        self._unassigned_swonly = unassigned_swonly
+        self._util_viol = 0
+        self._mem_viol = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def assign(self, unit: str, target: Target) -> None:
+        """Add one unit→target decision; O(1) amortized."""
+        if unit in self.assignment:
+            raise SynthesisError(f"unit {unit!r} is already assigned")
+        self._add(unit, target)
+        self.assignment[unit] = target
+
+    def unassign(self, unit: str) -> None:
+        """Remove one unit's decision; O(1) amortized."""
+        target = self.assignment.pop(unit, None)
+        if target is None:
+            raise SynthesisError(f"unit {unit!r} is not assigned")
+        self._remove(unit, target)
+
+    def reassign(self, unit: str, target: Target) -> None:
+        """Move one unit to a new target (one aggregate update, not two).
+
+        Equivalent to ``unassign(unit); assign(unit, target)`` but in
+        exact mode each touched processor is re-aggregated only once —
+        the hot operation of simulated annealing moves.
+        """
+        old = self.assignment.get(unit)
+        if old is None:
+            raise SynthesisError(f"unit {unit!r} is not assigned")
+        if not self.exact:
+            self._remove(unit, old)
+            self._add(unit, target)
+            self.assignment[unit] = target
+            return
+        load, memory, hw_cost, _ukey, _mkey = self._info[unit]
+        touched = set()
+        hw_changed = False
+        if old.is_software:
+            processor = old.processor
+            bucket = self._buckets[processor]
+            del bucket[unit]
+            if not bucket:
+                self._drop_processor(processor)
+            else:
+                touched.add(processor)
+        else:
+            self._hw_units.discard(unit)
+            hw_changed = True
+        if target.is_software:
+            if load is None:
+                raise SynthesisError(
+                    f"unit {unit!r} mapped to software without a software "
+                    f"option"
+                )
+            processor = target.processor
+            bucket = self._buckets.get(processor)
+            if bucket is None:
+                bucket = self._buckets[processor] = {}
+            bucket[unit] = None
+            touched.add(processor)
+        else:
+            if hw_cost is None:
+                raise SynthesisError(
+                    f"unit {unit!r} mapped to hardware without a hardware "
+                    f"option"
+                )
+            self._hw_units.add(unit)
+            hw_changed = True
+        for processor in touched:
+            self._refresh(processor)
+        if hw_changed:
+            self._hwcost = self._sorted_hw_cost()
+        self.assignment[unit] = target
+
+    def _add(self, unit: str, target: Target) -> None:
+        info = self._info.get(unit)
+        if info is None:
+            raise SynthesisError(
+                f"problem {self.problem.name!r} has no unit {unit!r}"
+            )
+        load, memory, hw_cost, ukey, mkey = info
+        if target.is_software:
+            if load is None:
+                raise SynthesisError(
+                    f"unit {unit!r} mapped to software without a software "
+                    f"option"
+                )
+            processor = target.processor
+            bucket = self._buckets.get(processor)
+            if bucket is None:
+                bucket = self._buckets[processor] = {}
+            bucket[unit] = None
+            if self.exact:
+                self._refresh(processor)
+            else:
+                uload = self._uload.get(processor)
+                if uload is None:
+                    uload = self._uload[processor] = _ExclusionLoad()
+                    self._mload[processor] = _ExclusionLoad()
+                util_before = uload.total
+                mem_before = self._mload[processor].total
+                uload.add(ukey, load)
+                self._mload[processor].add(mkey, memory)
+                self._update_violations(processor, util_before, mem_before)
+        else:
+            if hw_cost is None:
+                raise SynthesisError(
+                    f"unit {unit!r} mapped to hardware without a hardware "
+                    f"option"
+                )
+            self._hw_units.add(unit)
+            if self.exact:
+                self._hwcost = self._sorted_hw_cost()
+            else:
+                self._hwcost += hw_cost
+        if load is None and hw_cost is not None:
+            self._pending_hwonly -= hw_cost
+        if hw_cost is None:
+            self._unassigned_swonly -= 1
+
+    def _remove(self, unit: str, target: Target) -> None:
+        load, memory, hw_cost, ukey, mkey = self._info[unit]
+        if target.is_software:
+            processor = target.processor
+            bucket = self._buckets[processor]
+            del bucket[unit]
+            if not bucket:
+                self._drop_processor(processor)
+            elif self.exact:
+                self._refresh(processor)
+            else:
+                uload = self._uload[processor]
+                util_before = uload.total
+                mem_before = self._mload[processor].total
+                uload.remove(ukey, load)
+                self._mload[processor].remove(mkey, memory)
+                self._update_violations(processor, util_before, mem_before)
+        else:
+            self._hw_units.discard(unit)
+            if self.exact:
+                self._hwcost = self._sorted_hw_cost()
+            else:
+                self._hwcost -= hw_cost
+                if not self._hw_units:
+                    self._hwcost = 0.0
+        if load is None and hw_cost is not None:
+            self._pending_hwonly += hw_cost
+        if hw_cost is None:
+            self._unassigned_swonly += 1
+
+    def _drop_processor(self, processor: int) -> None:
+        """Forget an emptied processor's aggregates.
+
+        Dropping (instead of decrementing to ~0) resets any float
+        residue exactly to zero, and keeps violation counters honest.
+        """
+        del self._buckets[processor]
+        if self.exact:
+            self._uexact.pop(processor, None)
+            self._mexact.pop(processor, None)
+            return
+        uload = self._uload.pop(processor)
+        mload = self._mload.pop(processor)
+        self._util_viol -= uload.total > self._ucap
+        if self._mcap is not None:
+            self._mem_viol -= mload.total > self._mcap
+
+    def _refresh(self, processor: int) -> None:
+        """Exact mode: re-aggregate one processor in canonical order.
+
+        Memory is aggregated only under an active memory constraint;
+        :meth:`memory` computes it on demand otherwise.
+        """
+        bucket = self._buckets.get(processor)
+        if not bucket:
+            self._uexact.pop(processor, None)
+            self._mexact.pop(processor, None)
+            return
+        ordered = sorted(bucket, key=self._index.__getitem__)
+        self._uexact[processor] = utilization_of_units(self.problem, ordered)
+        if self._mcap is not None:
+            self._mexact[processor] = memory_of_units(
+                self.problem, ordered, self.variants_resident
+            )
+
+    def _sorted_hw_cost(self) -> float:
+        """Hardware cost summed in sorted-unit order (oracle parity)."""
+        info = self._info
+        return sum(info[unit][2] for unit in sorted(self._hw_units))
+
+    def _update_violations(
+        self, processor: int, util_before: float, mem_before: float
+    ) -> None:
+        self._util_viol += (
+            self._uload[processor].total > self._ucap
+        ) - (util_before > self._ucap)
+        if self._mcap is not None:
+            self._mem_viol += (
+                self._mload[processor].total > self._mcap
+            ) - (mem_before > self._mcap)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def utilization(self, processor: int) -> float:
+        """Current software utilization of one processor."""
+        if self.exact:
+            return self._uexact.get(processor, 0.0)
+        uload = self._uload.get(processor)
+        return uload.total if uload is not None else 0.0
+
+    def memory(self, processor: int) -> float:
+        """Current memory footprint of one processor."""
+        if self.exact:
+            cached = self._mexact.get(processor)
+            if cached is not None:
+                return cached
+            bucket = self._buckets.get(processor)
+            if not bucket:
+                return 0.0
+            ordered = sorted(bucket, key=self._index.__getitem__)
+            return memory_of_units(
+                self.problem, ordered, self.variants_resident
+            )
+        mload = self._mload.get(processor)
+        return mload.total if mload is not None else 0.0
+
+    @property
+    def hardware_cost(self) -> float:
+        """Total hardware cost of the HW-assigned units."""
+        return self._hwcost
+
+    @property
+    def software_cost(self) -> float:
+        """Processor-allocation cost of the current partial mapping."""
+        return len(self._buckets) * self._pcost
+
+    @property
+    def processor_count(self) -> int:
+        """Number of processors currently hosting software."""
+        return len(self._buckets)
+
+    def processors_used(self) -> Tuple[int, ...]:
+        """Sorted processor indices currently hosting software."""
+        return tuple(sorted(self._buckets))
+
+    def used_processors(self) -> List[int]:
+        """Sorted processor indices — O(allocated), not O(assigned)."""
+        return sorted(self._buckets)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the current (partial) mapping violates no resource.
+
+        Loads are monotone along a search path, so ``False`` here means
+        no completion of the current partial mapping is feasible.
+        """
+        if len(self._buckets) > self.problem.architecture.max_processors:
+            return False
+        if self.exact:
+            if any(load > self._ucap for load in self._uexact.values()):
+                return False
+            if self._mcap is not None and any(
+                load > self._mcap for load in self._mexact.values()
+            ):
+                return False
+            return True
+        return self._util_viol == 0 and self._mem_viol == 0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every unit of the problem is assigned."""
+        return len(self.assignment) == len(self.problem.units)
+
+    def leaf(self) -> Tuple[bool, float]:
+        """O(1) (feasible, total_cost) of the current complete mapping."""
+        ok = self.feasible
+        if not ok:
+            return False, float("inf")
+        return True, len(self._buckets) * self._pcost + self._hwcost
+
+    def lower_bound(self) -> float:
+        """O(1) admissible lower bound on any completion's total cost.
+
+        Tightens :func:`repro.synth.cost.lower_bound` by paying every
+        *already allocated* processor (assigned units keep their
+        targets in all completions of this subtree), which never
+        overestimates, so branch-and-bound stays provably optimal.
+        """
+        processors = len(self._buckets)
+        if processors == 0 and self._unassigned_swonly:
+            processors = 1
+        return (
+            self._hwcost + self._pending_hwonly + processors * self._pcost
+        )
+
+    def to_mapping(self) -> Mapping:
+        """Snapshot the current assignment as an immutable Mapping."""
+        return Mapping(dict(self.assignment))
+
+    def evaluation(self) -> Evaluation:
+        """Full :class:`Evaluation` of the current complete mapping.
+
+        Mirrors the reference oracle's semantics — including the
+        truncated utilization tuple and violation message of the first
+        offending processor — but reads every aggregate from the
+        incrementally maintained state.
+        """
+        if not self.complete:
+            missing = [
+                u for u in self.problem.units if u not in self.assignment
+            ]
+            raise SynthesisError(f"mapping does not cover units {missing}")
+        arch = self.problem.architecture
+        processors = sorted(self._buckets)
+        if len(processors) > arch.max_processors:
+            return self._infeasible(
+                f"{len(processors)} processors used, template allows "
+                f"{arch.max_processors}"
+            )
+        utilizations: List[float] = []
+        for processor in processors:
+            load = self.utilization(processor)
+            utilizations.append(load)
+            if load > arch.processor_capacity + CAPACITY_EPS:
+                return self._infeasible(
+                    f"processor {processor} utilization {load:.3f} exceeds "
+                    f"capacity {arch.processor_capacity:.3f}",
+                    partial_hw=self._hwcost,
+                    utilizations=tuple(utilizations),
+                )
+            if arch.memory_capacity > 0:
+                footprint = self.memory(processor)
+                if footprint > arch.memory_capacity + CAPACITY_EPS:
+                    return self._infeasible(
+                        f"processor {processor} memory {footprint:.3f} "
+                        f"exceeds capacity {arch.memory_capacity:.3f}",
+                        partial_hw=self._hwcost,
+                        utilizations=tuple(utilizations),
+                    )
+        software_cost = len(processors) * arch.processor_cost
+        return Evaluation(
+            feasible=True,
+            total_cost=software_cost + self._hwcost,
+            software_cost=software_cost,
+            hardware_cost=self._hwcost,
+            processors_used=len(processors),
+            utilizations=tuple(utilizations),
+        )
+
+    def _infeasible(
+        self,
+        reason: str,
+        partial_hw: float = 0.0,
+        utilizations: Tuple[float, ...] = (),
+    ) -> Evaluation:
+        return Evaluation(
+            feasible=False,
+            total_cost=float("inf"),
+            software_cost=0.0,
+            hardware_cost=partial_hw,
+            processors_used=len(self._buckets),
+            utilizations=utilizations,
+            violation=reason,
+        )
+
+
+#: Public alias — the delta-cost search state *is* the incremental
+#: evaluator of the subsystem.
+IncrementalEvaluator = SearchState
+
+
+class ReferenceSearchState:
+    """Full-recompute twin of :class:`SearchState` (the seed behavior).
+
+    Same search interface, but every read runs the from-scratch
+    reference oracle: ``leaf()``/``evaluation()`` rebuild a
+    :class:`Mapping` and call :func:`~repro.synth.cost.evaluate`;
+    ``lower_bound()`` re-walks all units.  Explorers accept it via
+    ``incremental=False`` so benchmarks can *measure* the incremental
+    speedup instead of asserting it.
+    """
+
+    can_prune_infeasible = False
+
+    def __init__(
+        self,
+        problem: SynthesisProblem,
+        variants_resident: bool = True,
+        exact: bool = True,
+    ) -> None:
+        self.problem = problem
+        self.variants_resident = variants_resident
+        self.assignment: Dict[str, Target] = {}
+
+    def assign(self, unit: str, target: Target) -> None:
+        if unit in self.assignment:
+            raise SynthesisError(f"unit {unit!r} is already assigned")
+        self.assignment[unit] = target
+
+    def unassign(self, unit: str) -> None:
+        if unit not in self.assignment:
+            raise SynthesisError(f"unit {unit!r} is not assigned")
+        del self.assignment[unit]
+
+    def reassign(self, unit: str, target: Target) -> None:
+        if unit not in self.assignment:
+            raise SynthesisError(f"unit {unit!r} is not assigned")
+        self.assignment[unit] = target
+
+    @property
+    def feasible(self) -> bool:
+        """Unknown for partial mappings — never claim infeasibility."""
+        return True
+
+    def used_processors(self) -> List[int]:
+        """Sorted processor indices (full scan — the seed behavior)."""
+        return sorted(
+            {
+                target.processor
+                for target in self.assignment.values()
+                if target.is_software
+            }
+        )
+
+    @property
+    def complete(self) -> bool:
+        return len(self.assignment) == len(self.problem.units)
+
+    def leaf(self) -> Tuple[bool, float]:
+        result = self.evaluation()
+        return result.feasible, result.total_cost
+
+    def lower_bound(self) -> float:
+        return lower_bound(self.problem, self.assignment)
+
+    def to_mapping(self) -> Mapping:
+        return Mapping(dict(self.assignment))
+
+    def evaluation(self) -> Evaluation:
+        return evaluate(
+            self.problem, self.to_mapping(), self.variants_resident
+        )

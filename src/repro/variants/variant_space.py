@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import VariantError
 from .vgraph import VariantGraph
@@ -118,19 +118,34 @@ class VariantSpace:
                 selection.update(dict(free_combo))
                 yield selection
 
+    def iter_applications(
+        self, prefix: Optional[str] = None
+    ) -> Iterator[Tuple[Dict[str, str], object]]:
+        """Lazily bind every consistent selection to its application.
+
+        Yields ``(selection, graph)`` pairs one at a time, so batch
+        explorers can stream a large space without materializing every
+        bound graph.  Consecutive selections differ in as few
+        interfaces as possible (the last enumeration axis varies
+        fastest), which makes them good warm-start neighbors.
+        """
+        base = prefix if prefix is not None else self.vgraph.name
+        for index, selection in enumerate(self.selections(), start=1):
+            graph = self.vgraph.bind(selection, name=f"{base}.app{index}")
+            yield selection, graph
+
     def applications(self) -> List[Tuple[Dict[str, str], object]]:
         """Bind every consistent selection; returns (selection, graph) pairs.
 
         This is the §5 derivation: "each of those can be simply derived
         by replacing the interface by either cluster 1 or cluster 2."
         """
-        result = []
-        for index, selection in enumerate(self.selections(), start=1):
-            graph = self.vgraph.bind(
-                selection, name=f"{self.vgraph.name}.app{index}"
-            )
-            result.append((selection, graph))
-        return result
+        return list(self.iter_applications())
+
+    @staticmethod
+    def selection_key(selection: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
+        """Canonical hashable key of one selection (sorted item pairs)."""
+        return tuple(sorted(selection.items()))
 
     def __len__(self) -> int:
         return self.count()

@@ -40,6 +40,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "variant representation" in out
 
+    def test_explore_figure2(self, capsys):
+        assert main(["explore"]) == 0
+        out = capsys.readouterr().out
+        assert "theta1=gamma1" in out
+        assert "34" in out
+        assert "best selection" in out
+
+    def test_explore_generated_portfolio(self, capsys):
+        assert main(
+            ["explore", "--space", "generated", "--variants", "2",
+             "--explorer", "portfolio"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "theta=var0" in out
+        assert "total nodes" in out
+
+    def test_explore_reference_mode(self, capsys):
+        assert main(["explore", "--reference", "--no-warm-start"]) == 0
+        out = capsys.readouterr().out
+        assert "reference" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -1,0 +1,123 @@
+"""Determinism regression: annealing is byte-reproducible.
+
+``AnnealingExplorer(seed=k)`` must yield byte-identical
+``ExplorationResult`` fields across repeated in-process runs *and*
+across separate process invocations (fresh hash randomization, fresh
+float state) — the incremental evaluator's exact mode keeps every
+float bit-identical to the reference oracle, so the trajectory cannot
+drift.
+"""
+
+import hashlib
+import os
+import pathlib
+import subprocess
+import sys
+
+import repro
+from repro.apps.generators import generate_system
+from repro.synth.explorer import AnnealingExplorer
+from repro.synth.mapping import SynthesisProblem
+from repro.synth.methods import variant_units
+
+SEED = 11
+ITERATIONS = 600
+
+
+def _problem():
+    system = generate_system(seed=7, n_variants=3)
+    units, origins = variant_units(system.vgraph)
+    return SynthesisProblem(
+        name="det",
+        units=units,
+        library=system.library,
+        architecture=system.architecture,
+        origins=origins,
+    )
+
+
+def _digest(result):
+    payload = repr(
+        (
+            result.cost,
+            result.nodes_explored,
+            result.evaluations,
+            result.optimal,
+            sorted(
+                (unit, repr(target))
+                for unit, target in result.mapping.assignment.items()
+            ),
+            result.evaluation,
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# Mirrors _problem()/_digest() above — keep the two in sync.
+_SUBPROCESS_SCRIPT = f"""
+import hashlib
+from repro.apps.generators import generate_system
+from repro.synth.explorer import AnnealingExplorer
+from repro.synth.mapping import SynthesisProblem
+from repro.synth.methods import variant_units
+
+system = generate_system(seed=7, n_variants=3)
+units, origins = variant_units(system.vgraph)
+problem = SynthesisProblem(name="det", units=units, library=system.library,
+                           architecture=system.architecture, origins=origins)
+result = AnnealingExplorer(seed={SEED}, iterations={ITERATIONS}).explore(problem)
+payload = repr((result.cost, result.nodes_explored, result.evaluations,
+                result.optimal,
+                sorted((unit, repr(target))
+                       for unit, target in result.mapping.assignment.items()),
+                result.evaluation))
+print(hashlib.sha256(payload.encode("utf-8")).hexdigest())
+"""
+
+
+class TestAnnealingDeterminism:
+    def test_repeated_runs_are_byte_identical(self):
+        problem = _problem()
+        first = AnnealingExplorer(seed=SEED, iterations=ITERATIONS).explore(
+            problem
+        )
+        second = AnnealingExplorer(seed=SEED, iterations=ITERATIONS).explore(
+            problem
+        )
+        assert _digest(first) == _digest(second)
+        assert first.evaluation == second.evaluation
+        assert dict(first.mapping.assignment) == dict(
+            second.mapping.assignment
+        )
+
+    def test_incremental_matches_reference_trajectory(self):
+        problem = _problem()
+        incremental = AnnealingExplorer(
+            seed=SEED, iterations=ITERATIONS
+        ).explore(problem)
+        reference = AnnealingExplorer(
+            seed=SEED, iterations=ITERATIONS, incremental=False
+        ).explore(problem)
+        assert _digest(incremental) == _digest(reference)
+
+    def test_process_invocations_are_byte_identical(self):
+        problem = _problem()
+        expected = _digest(
+            AnnealingExplorer(seed=SEED, iterations=ITERATIONS).explore(
+                problem
+            )
+        )
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_dir] + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).rstrip(os.pathsep)
+        for _ in range(2):
+            output = subprocess.run(
+                [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            ).stdout.strip()
+            assert output == expected

@@ -1,0 +1,217 @@
+"""Tests for batch variant-space exploration and the portfolio explorer."""
+
+import pytest
+
+from repro.apps import figure2
+from repro.apps.generators import generate_system
+from repro.errors import SynthesisError
+from repro.synth.explorer import (
+    AnnealingExplorer,
+    BranchBoundExplorer,
+    ExhaustiveExplorer,
+    PortfolioExplorer,
+)
+from repro.synth.mapping import SynthesisProblem
+from repro.synth.methods import (
+    ProblemFamily,
+    explore_space,
+    variant_units,
+)
+from repro.variants.variant_space import VariantSpace
+
+
+def generated_space(seed=3, n_variants=3):
+    system = generate_system(seed=seed, n_variants=n_variants)
+    family = ProblemFamily(
+        name="gen",
+        library=system.library,
+        architecture=system.architecture,
+    )
+    return family, VariantSpace(system.vgraph)
+
+
+class TestVariantSpaceIteration:
+    def test_iter_applications_is_lazy_and_complete(self):
+        space = figure2.variant_space()
+        iterator = space.iter_applications()
+        assert not isinstance(iterator, list)
+        pairs = list(iterator)
+        assert len(pairs) == space.count() == 2
+        selections = [selection for selection, _ in pairs]
+        assert {"theta1": "gamma1"} in selections
+        assert {"theta1": "gamma2"} in selections
+
+    def test_applications_still_eager(self):
+        space = figure2.variant_space()
+        assert len(space.applications()) == 2
+
+    def test_selection_key_is_canonical(self):
+        key = VariantSpace.selection_key({"b": "y", "a": "x"})
+        assert key == (("a", "x"), ("b", "y"))
+        assert key == VariantSpace.selection_key({"a": "x", "b": "y"})
+
+
+class TestExploreSpace:
+    def test_table1_space_reproduces_application_rows(self):
+        outcome = figure2.explore_table1_space()
+        costs = {
+            result.selection["theta1"]: result.cost
+            for result in outcome.results
+        }
+        assert costs == {"gamma1": 34.0, "gamma2": 38.0}
+        assert outcome.best().cost == 34.0
+        assert outcome.worst().cost == 38.0
+        assert len(outcome) == 2
+
+    def test_warm_start_flags_and_equivalence(self):
+        warm = figure2.explore_table1_space(warm_start=True)
+        cold = figure2.explore_table1_space(warm_start=False)
+        assert [r.cost for r in warm.results] == [
+            r.cost for r in cold.results
+        ]
+        assert [r.warm_started for r in warm.results] == [False, True]
+        assert all(not r.warm_started for r in cold.results)
+        # the warm incumbent can only shrink the search
+        assert warm.total_nodes <= cold.total_nodes
+
+    def test_explorers_agree_across_generated_space(self):
+        family, space = generated_space()
+        bnb = explore_space(family, space, BranchBoundExplorer())
+        exhaustive = explore_space(family, space, ExhaustiveExplorer())
+        assert [r.cost for r in bnb.results] == [
+            r.cost for r in exhaustive.results
+        ]
+        assert len(bnb) == space.count()
+
+    def test_annealing_warm_start_matches_optimum_here(self):
+        family, space = generated_space()
+        annealed = explore_space(
+            family, space, AnnealingExplorer(seed=2, iterations=2000)
+        )
+        optimal = explore_space(family, space, BranchBoundExplorer())
+        for heuristic, exact in zip(annealed.results, optimal.results):
+            assert heuristic.cost >= exact.cost - 1e-9
+
+    def test_summary_rows_and_totals(self):
+        family, space = generated_space()
+        outcome = explore_space(family, space, BranchBoundExplorer())
+        rows = outcome.summary_rows()
+        assert len(rows) == len(outcome)
+        assert all(
+            set(row) == {
+                "selection", "cost", "nodes", "evaluations", "optimal",
+                "warm",
+            }
+            for row in rows
+        )
+        assert outcome.total_nodes == sum(
+            r.exploration.nodes_explored for r in outcome.results
+        )
+        assert outcome.costs()
+
+    def test_best_raises_when_nothing_feasible(self):
+        family, space = generated_space()
+        outcome = explore_space(
+            family, space, BranchBoundExplorer(node_budget=1)
+        )
+        if not outcome.feasible_results():
+            with pytest.raises(SynthesisError):
+                outcome.best()
+
+
+class TestBudgets:
+    def table1_problem(self):
+        vgraph = figure2.build_variant_graph()
+        units, origins = variant_units(vgraph)
+        return SynthesisProblem(
+            name="table1",
+            units=units,
+            library=figure2.table1_library(),
+            architecture=figure2.table1_architecture(),
+            origins=origins,
+        )
+
+    def test_node_budget_truncates_search(self):
+        problem = self.table1_problem()
+        result = BranchBoundExplorer(node_budget=3).explore(problem)
+        assert result.nodes_explored <= 4
+        assert not result.optimal
+        assert "budget-truncated" in result.provenance
+
+    def test_time_budget_accepted(self):
+        problem = self.table1_problem()
+        result = BranchBoundExplorer(time_budget=60.0).explore(problem)
+        assert result.optimal
+        assert result.cost == 41.0
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(SynthesisError):
+            BranchBoundExplorer(node_budget=0)
+        with pytest.raises(SynthesisError):
+            BranchBoundExplorer(time_budget=0.0)
+
+    def test_warm_start_seeds_incumbent(self):
+        problem = self.table1_problem()
+        optimum = BranchBoundExplorer().explore(problem)
+        warm = BranchBoundExplorer().explore(
+            problem, warm_start=optimum.mapping
+        )
+        assert warm.cost == optimum.cost
+        assert warm.nodes_explored <= optimum.nodes_explored
+        assert "warm_start" in warm.provenance
+
+    def test_truncated_search_keeps_warm_incumbent(self):
+        problem = self.table1_problem()
+        optimum = BranchBoundExplorer().explore(problem)
+        truncated = BranchBoundExplorer(node_budget=1).explore(
+            problem, warm_start=optimum.mapping
+        )
+        assert truncated.feasible
+        assert truncated.cost == optimum.cost
+        assert not truncated.optimal
+
+
+class TestPortfolio:
+    def test_matches_branch_bound_optimum_on_table1(self):
+        vgraph = figure2.build_variant_graph()
+        units, origins = variant_units(vgraph)
+        problem = SynthesisProblem(
+            name="table1",
+            units=units,
+            library=figure2.table1_library(),
+            architecture=figure2.table1_architecture(),
+            origins=origins,
+        )
+        exact = BranchBoundExplorer().explore(problem)
+        portfolio = PortfolioExplorer().explore(problem)
+        assert portfolio.cost == exact.cost == 41.0
+        assert portfolio.optimal
+        assert dict(portfolio.mapping.assignment) == dict(
+            exact.mapping.assignment
+        )
+
+    def test_provenance_names_members_and_winner(self):
+        family, space = generated_space()
+        _, graph = next(iter(space.iter_applications()))
+        problem = family.problem_for(graph)
+        result = PortfolioExplorer().explore(problem)
+        assert result.provenance.startswith("portfolio[")
+        assert "annealing cost=" in result.provenance
+        assert "branch_and_bound cost=" in result.provenance
+
+    def test_budget_truncated_portfolio_reports_heuristic(self):
+        family, space = generated_space()
+        _, graph = next(iter(space.iter_applications()))
+        problem = family.problem_for(graph)
+        result = PortfolioExplorer(node_budget=1).explore(problem)
+        assert not result.optimal
+        assert result.feasible  # annealing's solution survives
+        assert "budget-truncated" in result.provenance
+
+    def test_portfolio_in_explore_space(self):
+        family, space = generated_space()
+        outcome = explore_space(family, space, PortfolioExplorer())
+        exact = explore_space(family, space, BranchBoundExplorer())
+        assert [r.cost for r in outcome.results] == [
+            r.cost for r in exact.results
+        ]

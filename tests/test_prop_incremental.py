@@ -1,0 +1,208 @@
+"""Property tests: the incremental evaluator agrees with the oracle.
+
+Strategy note: software utilizations and memories are drawn on a
+``k/64`` grid (exact binary fractions) and costs are integers, so sums
+and maxima are exact in double precision regardless of summation
+order — the incremental (delta) path and the from-scratch reference
+``evaluate()`` must then agree *exactly*, not approximately.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.synth.architecture import ArchitectureTemplate
+from repro.synth.cost import (
+    evaluate,
+    lower_bound,
+    memory_of_units,
+    processor_memory,
+    processor_utilization,
+    utilization_of_units,
+)
+from repro.synth.library import ComponentLibrary
+from repro.synth.mapping import Mapping, SynthesisProblem, Target, VariantOrigin
+from repro.synth.state import SearchState
+
+
+@st.composite
+def problems(draw):
+    """Random problems: grid loads, optional origins, optional memory cap."""
+    n_units = draw(st.integers(min_value=1, max_value=6))
+    library = ComponentLibrary()
+    units = []
+    origins = {}
+    for index in range(n_units):
+        name = f"u{index}"
+        units.append(name)
+        has_sw = draw(st.booleans())
+        has_hw = draw(st.booleans()) or not has_sw
+        library.component(
+            name,
+            sw_utilization=(
+                draw(st.integers(min_value=1, max_value=80)) / 64
+                if has_sw
+                else None
+            ),
+            sw_memory=(
+                draw(st.integers(min_value=0, max_value=80)) / 64
+                if has_sw
+                else 0.0
+            ),
+            hw_cost=(
+                draw(st.integers(min_value=0, max_value=40))
+                if has_hw
+                else None
+            ),
+            effort=1.0,
+        )
+        if draw(st.booleans()):
+            origins[name] = VariantOrigin(
+                draw(st.sampled_from(["t1", "t2"])),
+                draw(st.sampled_from(["A", "B", "C"])),
+            )
+    architecture = ArchitectureTemplate(
+        max_processors=draw(st.integers(min_value=1, max_value=3)),
+        processor_cost=draw(st.integers(min_value=0, max_value=30)),
+        processor_capacity=1.0,
+        memory_capacity=draw(st.sampled_from([0.0, 1.0, 2.0])),
+    )
+    return SynthesisProblem(
+        name="rand",
+        units=tuple(units),
+        library=library,
+        architecture=architecture,
+        origins=origins,
+        use_exclusion=draw(st.booleans()),
+    )
+
+
+def _admissible_targets(problem, unit):
+    """Every target the oracle accepts — including processor indices
+    beyond the template cap (the 'too many processors' infeasible
+    branch must be covered too)."""
+    entry = problem.entry(unit)
+    targets = []
+    if entry.software is not None:
+        for cpu in range(problem.architecture.max_processors + 1):
+            targets.append(Target.sw(cpu))
+    if entry.hardware is not None:
+        targets.append(Target.hw())
+    return targets
+
+
+@st.composite
+def scenarios(draw):
+    """A problem + complete mapping + shuffled build order + moves."""
+    problem = draw(problems())
+    targets = {
+        unit: draw(st.sampled_from(_admissible_targets(problem, unit)))
+        for unit in problem.units
+    }
+    order = list(problem.units)
+    draw(st.randoms(use_true_random=False)).shuffle(order)
+    n_moves = draw(st.integers(min_value=0, max_value=8))
+    moves = []
+    for _ in range(n_moves):
+        unit = draw(st.sampled_from(sorted(problem.units)))
+        moves.append(
+            (unit, draw(st.sampled_from(_admissible_targets(problem, unit))))
+        )
+    return problem, targets, order, moves
+
+
+def _assert_state_matches_reference(state, problem, variants_resident):
+    mapping = state.to_mapping()
+    reference = evaluate(problem, mapping, variants_resident)
+    result = state.evaluation()
+    assert result.feasible == reference.feasible
+    assert result.total_cost == reference.total_cost
+    assert result.software_cost == reference.software_cost
+    assert result.hardware_cost == reference.hardware_cost
+    assert result.processors_used == reference.processors_used
+    assert result.utilizations == reference.utilizations
+    assert result.violation == reference.violation
+    for processor in state.processors_used():
+        assert state.utilization(processor) == processor_utilization(
+            problem, mapping, processor
+        )
+        assert state.memory(processor) == processor_memory(
+            problem, mapping, processor, variants_resident
+        )
+    # fast leaf read agrees with the full evaluation
+    feasible, cost = state.leaf()
+    assert feasible == reference.feasible
+    if feasible:
+        assert cost == reference.total_cost
+    # the O(1) bound is admissible and at least as tight as the oracle's
+    bound = state.lower_bound()
+    assert bound >= lower_bound(problem, state.assignment) - 1e-9
+    if reference.feasible:
+        assert bound <= reference.total_cost + 1e-9
+
+
+class TestIncrementalMatchesReference:
+    @given(scenarios(), st.booleans(), st.booleans())
+    @settings(max_examples=250, deadline=None)
+    def test_cross_check_after_builds_and_moves(
+        self, scenario, variants_resident, exact
+    ):
+        problem, targets, order, moves = scenario
+        state = SearchState(
+            problem, variants_resident=variants_resident, exact=exact
+        )
+        for unit in order:
+            state.assign(unit, targets[unit])
+        _assert_state_matches_reference(state, problem, variants_resident)
+        for unit, new_target in moves:
+            state.reassign(unit, new_target)
+            _assert_state_matches_reference(
+                state, problem, variants_resident
+            )
+
+    @given(scenarios(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_partial_states_match_bucket_aggregation(
+        self, scenario, variants_resident
+    ):
+        """Assign/unassign sequences leave partial aggregates exact."""
+        problem, targets, order, _ = scenario
+        state = SearchState(problem, variants_resident=variants_resident)
+        assigned = []
+        rng = random.Random(1234)
+        for unit in order:
+            state.assign(unit, targets[unit])
+            assigned.append(unit)
+            if len(assigned) > 1 and rng.random() < 0.4:
+                victim = assigned.pop(rng.randrange(len(assigned)))
+                state.unassign(victim)
+            for processor in state.processors_used():
+                bucket = [
+                    u
+                    for u in problem.units
+                    if u in state.assignment
+                    and state.assignment[u].is_software
+                    and state.assignment[u].processor == processor
+                ]
+                assert state.utilization(processor) == utilization_of_units(
+                    problem, bucket
+                )
+                assert state.memory(processor) == memory_of_units(
+                    problem, bucket, variants_resident
+                )
+
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_unassign_all_returns_to_pristine_state(self, scenario):
+        problem, targets, order, _ = scenario
+        state = SearchState(problem)
+        pristine_bound = state.lower_bound()
+        for unit in order:
+            state.assign(unit, targets[unit])
+        for unit in reversed(order):
+            state.unassign(unit)
+        assert state.assignment == {}
+        assert state.processor_count == 0
+        assert state.hardware_cost == 0.0
+        assert state.feasible
+        assert state.lower_bound() == pristine_bound

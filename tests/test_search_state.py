@@ -1,0 +1,308 @@
+"""Unit tests for the incremental search state (delta-cost evaluator)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth.architecture import ArchitectureTemplate
+from repro.synth.cost import (
+    evaluate,
+    lower_bound,
+    processor_memory,
+    processor_utilization,
+)
+from repro.synth.library import ComponentLibrary
+from repro.synth.mapping import Mapping, SynthesisProblem, Target, VariantOrigin
+from repro.synth.state import (
+    IncrementalEvaluator,
+    ReferenceSearchState,
+    SearchState,
+)
+
+
+def variant_problem(**overrides):
+    library = ComponentLibrary()
+    library.component("K", sw_utilization=0.3, hw_cost=30, sw_memory=0.25)
+    library.component("A1", sw_utilization=0.5, hw_cost=10, sw_memory=0.5)
+    library.component("B1", sw_utilization=0.6, hw_cost=12, sw_memory=0.75)
+    params = dict(
+        name="p",
+        units=("K", "A1", "B1"),
+        library=library,
+        architecture=ArchitectureTemplate(
+            max_processors=2, processor_cost=15, processor_capacity=1.0
+        ),
+        origins={
+            "A1": VariantOrigin("theta", "A"),
+            "B1": VariantOrigin("theta", "B"),
+        },
+    )
+    params.update(overrides)
+    return SynthesisProblem(**params)
+
+
+class TestDeltaAggregates:
+    def test_exclusion_takes_max_over_clusters(self):
+        state = SearchState(variant_problem())
+        state.assign("K", Target.sw(0))
+        state.assign("A1", Target.sw(0))
+        state.assign("B1", Target.sw(0))
+        assert state.utilization(0) == pytest.approx(0.3 + max(0.5, 0.6))
+
+    def test_no_exclusion_sums_everything(self):
+        state = SearchState(variant_problem(use_exclusion=False))
+        for unit in ("K", "A1", "B1"):
+            state.assign(unit, Target.sw(0))
+        assert state.utilization(0) == pytest.approx(0.3 + 0.5 + 0.6)
+
+    def test_unassign_restores_previous_loads(self):
+        state = SearchState(variant_problem())
+        state.assign("K", Target.sw(0))
+        before = state.utilization(0)
+        state.assign("B1", Target.sw(0))
+        state.unassign("B1")
+        assert state.utilization(0) == before
+        state.unassign("K")
+        assert state.utilization(0) == 0.0
+        assert state.processor_count == 0
+
+    def test_dominating_cluster_removal_rescans_interface(self):
+        state = SearchState(variant_problem())
+        state.assign("A1", Target.sw(0))
+        state.assign("B1", Target.sw(0))
+        assert state.utilization(0) == pytest.approx(0.6)
+        state.unassign("B1")  # B (0.6) dominated A (0.5)
+        assert state.utilization(0) == pytest.approx(0.5)
+
+    def test_memory_resident_sums_all_variants(self):
+        state = SearchState(variant_problem(), variants_resident=True)
+        for unit in ("K", "A1", "B1"):
+            state.assign(unit, Target.sw(0))
+        assert state.memory(0) == pytest.approx(0.25 + 0.5 + 0.75)
+
+    def test_memory_production_takes_max(self):
+        state = SearchState(variant_problem(), variants_resident=False)
+        for unit in ("K", "A1", "B1"):
+            state.assign(unit, Target.sw(0))
+        assert state.memory(0) == pytest.approx(0.25 + max(0.5, 0.75))
+
+    def test_hardware_cost_and_processor_accounting(self):
+        state = SearchState(variant_problem())
+        state.assign("K", Target.hw())
+        state.assign("A1", Target.sw(1))
+        assert state.hardware_cost == 30
+        assert state.software_cost == 15
+        assert state.processors_used() == (1,)
+        state.unassign("K")
+        assert state.hardware_cost == 0.0
+
+
+class TestFeasibilityAndLeaf:
+    def test_overload_flips_feasibility(self):
+        problem = variant_problem(
+            architecture=ArchitectureTemplate(
+                max_processors=1, processor_cost=15, processor_capacity=1.0
+            ),
+            use_exclusion=False,
+        )
+        state = SearchState(problem)
+        state.assign("K", Target.sw(0))
+        state.assign("A1", Target.sw(0))
+        assert state.feasible
+        state.assign("B1", Target.sw(0))  # 1.4 > 1.0
+        assert not state.feasible
+        state.unassign("B1")
+        assert state.feasible
+
+    def test_leaf_matches_reference_evaluate(self):
+        problem = variant_problem()
+        state = SearchState(problem)
+        targets = {"K": Target.hw(), "A1": Target.sw(0), "B1": Target.sw(0)}
+        for unit, target in targets.items():
+            state.assign(unit, target)
+        feasible, cost = state.leaf()
+        reference = evaluate(problem, Mapping(targets))
+        assert feasible == reference.feasible
+        assert cost == reference.total_cost
+
+    def test_evaluation_raises_on_incomplete_mapping(self):
+        state = SearchState(variant_problem())
+        state.assign("K", Target.sw(0))
+        with pytest.raises(SynthesisError):
+            state.evaluation()
+
+    def test_too_many_processors_infeasible(self):
+        problem = variant_problem(
+            architecture=ArchitectureTemplate(
+                max_processors=1, processor_cost=15, processor_capacity=1.0
+            )
+        )
+        state = SearchState(problem)
+        state.assign("K", Target.sw(0))
+        state.assign("A1", Target.sw(1))
+        state.assign("B1", Target.hw())
+        assert not state.feasible
+        result = state.evaluation()
+        assert not result.feasible
+        assert "processors" in result.violation
+
+
+class TestLowerBound:
+    def test_bound_at_least_module_bound(self):
+        problem = variant_problem()
+        state = SearchState(problem)
+        state.assign("K", Target.hw())
+        state.assign("A1", Target.sw(0))
+        assert state.lower_bound() >= lower_bound(
+            problem, state.assignment
+        ) - 1e-9
+
+    def test_bound_admissible_for_completions(self):
+        problem = variant_problem()
+        state = SearchState(problem)
+        state.assign("K", Target.hw())
+        partial_bound = state.lower_bound()
+        state.assign("A1", Target.sw(0))
+        state.assign("B1", Target.sw(0))
+        result = state.evaluation()
+        assert result.feasible
+        assert partial_bound <= result.total_cost + 1e-9
+        assert state.lower_bound() <= result.total_cost + 1e-9
+
+    def test_bound_counts_allocated_processors(self):
+        problem = variant_problem()
+        state = SearchState(problem)
+        state.assign("A1", Target.sw(0))
+        state.assign("B1", Target.sw(1))
+        # two allocated processors are paid in every completion
+        assert state.lower_bound() >= 2 * 15
+
+    def test_bound_counts_unassigned_hw_only_units(self):
+        library = ComponentLibrary()
+        library.component("hwonly", hw_cost=25)
+        library.component("soft", sw_utilization=0.2, hw_cost=5)
+        problem = SynthesisProblem(
+            name="p",
+            units=("hwonly", "soft"),
+            library=library,
+            architecture=ArchitectureTemplate(processor_cost=7),
+        )
+        state = SearchState(problem)
+        assert state.lower_bound() == pytest.approx(25)
+        state.assign("hwonly", Target.hw())
+        assert state.lower_bound() == pytest.approx(25)
+
+    def test_bound_adds_processor_floor_for_sw_only_units(self):
+        library = ComponentLibrary()
+        library.component("swonly", sw_utilization=0.2)
+        problem = SynthesisProblem(
+            name="p",
+            units=("swonly",),
+            library=library,
+            architecture=ArchitectureTemplate(processor_cost=7),
+        )
+        state = SearchState(problem)
+        assert state.lower_bound() == pytest.approx(7)
+
+
+class TestReassignAndExactMode:
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_reassign_equals_unassign_assign(self, exact):
+        problem = variant_problem()
+        moved = SearchState(problem, exact=exact)
+        stepped = SearchState(problem, exact=exact)
+        for state in (moved, stepped):
+            state.assign("K", Target.sw(0))
+            state.assign("A1", Target.sw(0))
+            state.assign("B1", Target.hw())
+        moved.reassign("A1", Target.sw(1))
+        stepped.unassign("A1")
+        stepped.assign("A1", Target.sw(1))
+        assert moved.assignment == stepped.assignment
+        assert moved.evaluation() == stepped.evaluation()
+
+    def test_exact_mode_matches_reference_bit_for_bit(self):
+        problem = variant_problem()
+        state = SearchState(problem, exact=True)
+        targets = {"K": Target.sw(0), "A1": Target.sw(0), "B1": Target.sw(1)}
+        for unit, target in targets.items():
+            state.assign(unit, target)
+        mapping = Mapping(targets)
+        assert state.evaluation() == evaluate(problem, mapping)
+        for processor in (0, 1):
+            assert state.utilization(processor) == processor_utilization(
+                problem, mapping, processor
+            )
+            assert state.memory(processor) == processor_memory(
+                problem, mapping, processor
+            )
+
+    def test_incremental_evaluator_alias(self):
+        assert IncrementalEvaluator is SearchState
+
+
+class TestValidation:
+    def test_unknown_unit_rejected(self):
+        state = SearchState(variant_problem())
+        with pytest.raises(SynthesisError):
+            state.assign("nope", Target.sw(0))
+
+    def test_double_assignment_rejected(self):
+        state = SearchState(variant_problem())
+        state.assign("K", Target.sw(0))
+        with pytest.raises(SynthesisError):
+            state.assign("K", Target.hw())
+
+    def test_unassign_unassigned_rejected(self):
+        state = SearchState(variant_problem())
+        with pytest.raises(SynthesisError):
+            state.unassign("K")
+
+    def test_software_without_option_rejected(self):
+        library = ComponentLibrary()
+        library.component("hwonly", hw_cost=5)
+        problem = SynthesisProblem(
+            name="p",
+            units=("hwonly",),
+            library=library,
+            architecture=ArchitectureTemplate(processor_cost=1),
+        )
+        state = SearchState(problem)
+        with pytest.raises(SynthesisError):
+            state.assign("hwonly", Target.sw(0))
+
+    def test_hardware_without_option_rejected(self):
+        library = ComponentLibrary()
+        library.component("swonly", sw_utilization=0.2)
+        problem = SynthesisProblem(
+            name="p",
+            units=("swonly",),
+            library=library,
+            architecture=ArchitectureTemplate(processor_cost=1),
+        )
+        state = SearchState(problem)
+        with pytest.raises(SynthesisError):
+            state.assign("swonly", Target.hw())
+
+
+class TestReferenceSearchState:
+    def test_same_interface_same_results(self):
+        problem = variant_problem()
+        incremental = SearchState(problem)
+        reference = ReferenceSearchState(problem)
+        targets = {"K": Target.hw(), "A1": Target.sw(0), "B1": Target.sw(0)}
+        for unit, target in targets.items():
+            incremental.assign(unit, target)
+            reference.assign(unit, target)
+        assert incremental.leaf() == reference.leaf()
+        assert incremental.evaluation() == reference.evaluation()
+        assert incremental.to_mapping().assignment == (
+            reference.to_mapping().assignment
+        )
+
+    def test_reference_never_claims_infeasible_partials(self):
+        reference = ReferenceSearchState(variant_problem(use_exclusion=False))
+        reference.assign("K", Target.sw(0))
+        reference.assign("A1", Target.sw(0))
+        reference.assign("B1", Target.sw(0))
+        assert reference.feasible  # unknown for partials: stays True
+        assert not reference.can_prune_infeasible

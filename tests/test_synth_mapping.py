@@ -24,6 +24,45 @@ def small_library(*names):
     return library
 
 
+class TestGroupingKeys:
+    def problem(self, use_exclusion=True):
+        library = small_library("K", "A1")
+        return SynthesisProblem(
+            name="p",
+            units=("K", "A1"),
+            library=library,
+            architecture=ArchitectureTemplate(processor_cost=1),
+            origins={"A1": VariantOrigin("theta", "A")},
+            use_exclusion=use_exclusion,
+        )
+
+    def test_variant_group_reads_origins(self):
+        problem = self.problem()
+        assert problem.variant_group("A1") == ("theta", "A")
+        assert problem.variant_group("K") is None
+
+    def test_exclusion_group_honors_use_exclusion(self):
+        assert self.problem().exclusion_group("A1") == ("theta", "A")
+        assert self.problem(use_exclusion=False).exclusion_group("A1") is None
+
+    def test_variant_group_ignores_use_exclusion(self):
+        assert self.problem(use_exclusion=False).variant_group("A1") == (
+            "theta",
+            "A",
+        )
+
+
+class TestRestrictedTo:
+    def test_keeps_shared_units_and_drops_stale_ones(self):
+        mapping = Mapping({"K": Target.hw(), "old": Target.sw(0)})
+        restricted = mapping.restricted_to(("K", "new"))
+        assert dict(restricted.assignment) == {"K": Target.hw()}
+
+    def test_empty_restriction(self):
+        mapping = Mapping({"K": Target.hw()})
+        assert len(mapping.restricted_to(())) == 0
+
+
 class TestTarget:
     def test_constructors(self):
         assert Target.hw().is_hardware
