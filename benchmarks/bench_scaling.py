@@ -22,11 +22,14 @@ from repro.synth.architecture import ArchitectureTemplate
 from repro.synth.explorer import BranchBoundExplorer
 from repro.synth.mapping import SynthesisProblem
 from repro.synth.methods import (
+    ProblemFamily,
+    explore_space,
     independent_flow,
     superposition_flow,
     variant_aware_flow,
     variant_units,
 )
+from repro.variants.variant_space import VariantSpace
 
 from .conftest import write_artifact
 
@@ -199,6 +202,61 @@ def sweep_incremental_throughput(
                 ref_evals.add(n_variants, round(evals_rate))
         costs.append((pair["inc"], pair["ref"]))
     return [inc_nodes, ref_nodes, inc_evals, ref_evals], costs
+
+
+def _constrained_space(n_variants=8, cluster_size=6, capacity=0.45):
+    """A hardware-selection space where each selection forces a search."""
+    system = generate_system(
+        seed=17, n_variants=n_variants, cluster_size=cluster_size,
+        common_processes=6,
+    )
+    architecture = ArchitectureTemplate(
+        name="scaling-parallel",
+        max_processors=1,
+        processor_cost=0.0,
+        processor_capacity=capacity,
+    )
+    family = ProblemFamily(
+        name=f"scaling-space-v{n_variants}",
+        library=system.library,
+        architecture=architecture,
+    )
+    return family, VariantSpace(system.vgraph)
+
+
+def sweep_parallel_jobs(jobs_levels=(1, 2, 4), lineage_size=2):
+    """Selections/sec of the identical lineage workload per jobs level."""
+    family, space = _constrained_space()
+    throughput = Series("selections/s")
+    costs_per_level = []
+    for jobs in jobs_levels:
+        start = time.perf_counter()
+        outcome = explore_space(
+            family, space, jobs=jobs, lineage_size=lineage_size
+        )
+        elapsed = time.perf_counter() - start
+        throughput.add(jobs, round(len(outcome) / elapsed, 2))
+        costs_per_level.append([r.cost for r in outcome.results])
+    return throughput, costs_per_level
+
+
+def test_parallel_jobs_scaling(benchmark):
+    throughput, costs_per_level = benchmark.pedantic(
+        sweep_parallel_jobs, rounds=1, iterations=1
+    )
+    text = render_series(
+        [throughput],
+        x_label="jobs",
+        title="X1: batch exploration throughput vs worker processes",
+    )
+    write_artifact("scaling_parallel.txt", text)
+    print("\n" + text)
+    # Correctness invariant of the jobs knob: identical results at
+    # every worker count (speed is asserted in bench_explorer, where
+    # the sweep is recorded with the machine's cpu count).
+    reference = costs_per_level[0]
+    for costs in costs_per_level[1:]:
+        assert costs == reference
 
 
 def test_incremental_vs_reference_throughput(benchmark):

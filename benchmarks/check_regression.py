@@ -1,0 +1,231 @@
+"""CI gate: fail on >Nx throughput regressions vs committed baselines.
+
+``bench_history/`` holds one small JSON baseline per recorded commit
+(written by the CI bench job on pushes to main, or locally with
+``--write``).  The gate compares the freshly produced
+``BENCH_explorer.json`` against the most recent baseline *measured in
+the same mode* (quick CI workload vs full local workload — their rates
+are not comparable) and fails when any throughput metric drops below
+``baseline / max_regression``.
+
+The 2x default is deliberately loose: it tolerates runner-to-runner
+variance while still catching the class of regressions that matter —
+an accidentally quadratic hot path, a lost pruning rule, a serialized
+pool.
+
+Usage::
+
+    python benchmarks/check_regression.py           # gate (CI)
+    python benchmarks/check_regression.py --write   # record a baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import time
+from typing import Dict, Optional
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "BENCH_explorer.json"
+DEFAULT_HISTORY = REPO_ROOT / "bench_history"
+
+#: Throughput metrics under the gate (higher is better).  Keys absent
+#: from either side are skipped, so old baselines stay comparable when
+#: new metrics are added.
+GATED_METRICS = (
+    "bnb_incremental_nodes_per_sec",
+    "bnb_incremental_evals_per_sec",
+    "annealing_incremental_evals_per_sec",
+    "microbench_incremental_evals_per_sec",
+    "parallel_jobs1_selections_per_sec",
+)
+
+
+def extract_metrics(payload: dict) -> Dict[str, float]:
+    """The gated throughput numbers of one BENCH_explorer.json."""
+    metrics: Dict[str, float] = {}
+    explorers = payload.get("explorers", {})
+    bnb = explorers.get("branch_and_bound_incremental", {})
+    if "nodes_per_sec" in bnb:
+        metrics["bnb_incremental_nodes_per_sec"] = bnb["nodes_per_sec"]
+    if "evals_per_sec" in bnb:
+        metrics["bnb_incremental_evals_per_sec"] = bnb["evals_per_sec"]
+    annealing = explorers.get("annealing_incremental", {})
+    if "evals_per_sec" in annealing:
+        metrics["annealing_incremental_evals_per_sec"] = annealing[
+            "evals_per_sec"
+        ]
+    microbench = payload.get("evaluation_microbench", {})
+    if "incremental_evals_per_sec" in microbench:
+        metrics["microbench_incremental_evals_per_sec"] = microbench[
+            "incremental_evals_per_sec"
+        ]
+    for level in payload.get("parallel_jobs_sweep", {}).get("sweep", ()):
+        if level.get("jobs") == 1 and "selections_per_sec" in level:
+            metrics["parallel_jobs1_selections_per_sec"] = level[
+                "selections_per_sec"
+            ]
+    return metrics
+
+
+def _git(args, default: str) -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", *args],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            or default
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return default
+
+
+def baseline_name(sequence: int, commit: str, quick: bool) -> str:
+    suffix = "-quick" if quick else ""
+    return f"{sequence:06d}-{commit[:12]}{suffix}.json"
+
+
+def write_baseline(
+    current: pathlib.Path, history: pathlib.Path
+) -> pathlib.Path:
+    """Record the current bench results as a committed baseline."""
+    payload = json.loads(current.read_text())
+    quick = bool(payload.get("quick_mode"))
+    commit = _git(["rev-parse", "HEAD"], "unknown")
+    sequence = int(_git(["rev-list", "--count", "HEAD"], "0"))
+    history.mkdir(exist_ok=True)
+    baseline = {
+        "commit": commit,
+        "sequence": sequence,
+        "quick_mode": quick,
+        "recorded_unix": int(time.time()),
+        "metrics": extract_metrics(payload),
+    }
+    path = history / baseline_name(sequence, commit, quick)
+    path.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def latest_baseline(
+    history: pathlib.Path, quick: bool
+) -> Optional[dict]:
+    """The newest baseline recorded in the same mode (quick vs full).
+
+    Recency is judged from the baseline *contents* — (sequence,
+    recorded_unix) — not the filename: a shallow CI checkout reports
+    ``rev-list --count`` as 1, so filenames alone could misorder.
+    """
+    if not history.is_dir():
+        return None
+    same_mode = []
+    for path in sorted(history.glob("*.json")):
+        baseline = json.loads(path.read_text())
+        if bool(baseline.get("quick_mode")) == quick:
+            baseline["_path"] = str(path)
+            same_mode.append(baseline)
+    if not same_mode:
+        return None
+    return max(
+        same_mode,
+        key=lambda b: (
+            int(b.get("sequence", 0)),
+            int(b.get("recorded_unix", 0)),
+        ),
+    )
+
+
+def check(
+    current: pathlib.Path,
+    history: pathlib.Path,
+    max_regression: float,
+) -> int:
+    payload = json.loads(current.read_text())
+    quick = bool(payload.get("quick_mode"))
+    baseline = latest_baseline(history, quick)
+    if baseline is None:
+        print(
+            f"check_regression: no {'quick' if quick else 'full'}-mode "
+            f"baseline in {history} — nothing to gate against (record "
+            f"one with --write)."
+        )
+        return 0
+    current_metrics = extract_metrics(payload)
+    print(
+        f"check_regression: comparing against "
+        f"{baseline['_path']} (commit {baseline['commit'][:12]})"
+    )
+    failures = []
+    for name in GATED_METRICS:
+        old = baseline.get("metrics", {}).get(name)
+        new = current_metrics.get(name)
+        if old is None or new is None:
+            continue
+        ratio = new / old if old else float("inf")
+        verdict = "ok"
+        if new * max_regression < old:
+            verdict = f"REGRESSION (>{max_regression:g}x)"
+            failures.append(name)
+        print(f"  {name:<42} {old:>12.1f} -> {new:>12.1f} "
+              f"({ratio:.2f}x)  {verdict}")
+    if failures:
+        print(
+            f"check_regression: FAILED — {len(failures)} metric(s) "
+            f"regressed more than {max_regression:g}x: "
+            f"{', '.join(failures)}"
+        )
+        return 1
+    print("check_regression: ok")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=pathlib.Path,
+        default=DEFAULT_CURRENT,
+        help="freshly produced BENCH_explorer.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--history",
+        type=pathlib.Path,
+        default=DEFAULT_HISTORY,
+        help="committed baseline directory (default: bench_history/)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when a metric drops below baseline/N (default 2.0)",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="record the current results as a new baseline and exit",
+    )
+    args = parser.parse_args(argv)
+    if not args.current.exists():
+        print(
+            f"check_regression: {args.current} not found — run the "
+            f"explorer bench first."
+        )
+        return 2
+    if args.write:
+        path = write_baseline(args.current, args.history)
+        print(f"check_regression: baseline recorded at {path}")
+        return 0
+    return check(args.current, args.history, args.max_regression)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,3 +44,19 @@ def write_json_artifact(
     if also_repo_root:
         (REPO_ROOT / name).write_text(text)
     return path
+
+
+def merge_json_artifact(
+    name: str, extra: dict, also_repo_root: bool = False
+) -> pathlib.Path:
+    """Merge top-level keys into an existing JSON artifact.
+
+    Lets several bench tests contribute sections to one artifact
+    (e.g. the jobs-sweep section of ``BENCH_explorer.json``) without
+    clobbering what an earlier test recorded; creates the artifact
+    when the contributing test runs standalone.
+    """
+    path = OUT_DIR / name
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload.update(extra)
+    return write_json_artifact(name, payload, also_repo_root)

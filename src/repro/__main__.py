@@ -8,6 +8,7 @@ Usage::
     python -m repro figure4 [--no-valves] [--frames N]
     python -m repro stats
     python -m repro explore [--space figure2|generated] [--explorer E]
+                            [--jobs N] [--lineage-size K]
 """
 
 from __future__ import annotations
@@ -70,6 +71,7 @@ def _make_explorer(name: str, reference: bool):
         ExhaustiveExplorer,
         PortfolioExplorer,
     )
+    from .synth.parallel import RacingPortfolioExplorer
 
     incremental = not reference
     factories = {
@@ -79,6 +81,7 @@ def _make_explorer(name: str, reference: bool):
             seed=0, iterations=4000, incremental=incremental
         ),
         "portfolio": lambda: PortfolioExplorer(incremental=incremental),
+        "racing": lambda: RacingPortfolioExplorer(incremental=incremental),
     }
     return factories[name]()
 
@@ -110,11 +113,18 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
     explorer = _make_explorer(args.explorer, args.reference)
     outcome = explore_space(
-        family, space, explorer, warm_start=not args.no_warm_start
+        family,
+        space,
+        explorer,
+        warm_start=not args.no_warm_start,
+        jobs=args.jobs,
+        lineage_size=args.lineage_size,
     )
+    jobs_note = f", jobs={args.jobs}" if args.jobs is not None else ""
     title = (
         f"Variant space of {family.name}: {len(outcome)} selections "
-        f"({args.explorer}{', reference' if args.reference else ''})"
+        f"({args.explorer}{', reference' if args.reference else ''}"
+        f"{jobs_note})"
     )
     print(render_dict_rows(outcome.summary_rows(), title=title))
     best = outcome.best()
@@ -185,12 +195,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     explore.add_argument(
         "--explorer",
-        choices=["exhaustive", "bnb", "annealing", "portfolio"],
+        choices=["exhaustive", "bnb", "annealing", "portfolio", "racing"],
         default="bnb",
     )
     explore.add_argument("--variants", type=int, default=3)
     explore.add_argument("--cluster-size", type=int, default=2)
     explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard the space into warm-start lineages dispatched over "
+            "N worker processes (results are byte-identical for every "
+            "N; default: in-process single chain)"
+        ),
+    )
+    explore.add_argument(
+        "--lineage-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "selections per warm-start lineage (the decomposition — "
+            "not --jobs — defines the results; default 4 when --jobs "
+            "is given)"
+        ),
+    )
     explore.add_argument(
         "--no-warm-start",
         action="store_true",

@@ -39,7 +39,7 @@ from ..spi.graph import ModelGraph
 from ..spi.intervals import Interval
 from ..spi.modes import ProcessMode
 from ..spi.predicates import tokens_with_tag
-from ..spi.process import Process, simple_process
+from ..spi.process import Process
 from ..spi.tokens import make_tokens
 
 #: Mode table of p2, exactly as printed in the paper.

@@ -43,7 +43,7 @@ the TriMedia-style template the paper cites.  Derived identities:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Optional
 
 from ..spi.activation import rules
 from ..spi.builder import GraphBuilder
@@ -235,6 +235,8 @@ def table1_family() -> ProblemFamily:
 def explore_table1_space(
     explorer: Optional[Explorer] = None,
     warm_start: bool = True,
+    jobs: Optional[int] = None,
+    lineage_size: Optional[int] = None,
 ) -> SpaceExploration:
     """Batch-explore both bound applications of the Figure 2 space."""
     return explore_space(
@@ -242,6 +244,8 @@ def explore_table1_space(
         variant_space(),
         explorer=explorer,
         warm_start=warm_start,
+        jobs=jobs,
+        lineage_size=lineage_size,
     )
 
 

@@ -19,7 +19,7 @@ interface.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..sim.engine import Simulator
 from ..sim.trace import Trace

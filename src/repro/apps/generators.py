@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict
 
 from ..spi.builder import GraphBuilder
 from ..spi.graph import ModelGraph

@@ -31,7 +31,7 @@ display during reconfiguration.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..sim.engine import Simulator
 from ..sim.monitors import FrameValidityMonitor

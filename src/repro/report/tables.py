@@ -7,7 +7,7 @@ numbers) so outputs diff cleanly across runs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 
 def _cell(value: object) -> str:

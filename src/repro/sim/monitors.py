@@ -8,7 +8,7 @@ analysis on :class:`FrameValidityMonitor`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..spi.tokens import Token

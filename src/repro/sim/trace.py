@@ -15,7 +15,7 @@ a reconfiguration overlapped its journey.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..spi.tokens import Token
 

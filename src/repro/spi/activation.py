@@ -12,8 +12,8 @@ they make the model nondeterminate in a way that is usually a bug.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..errors import ActivationError
 from .predicates import ChannelView, Predicate, TruePredicate

@@ -19,7 +19,6 @@ what SPI modes + tag predicates express:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 from ...errors import ModelError
 from ..activation import ActivationFunction, ActivationRule
@@ -27,7 +26,6 @@ from ..builder import GraphBuilder
 from ..modes import ProcessMode
 from ..predicates import HasTag, NumAvailable
 from ..process import Process
-from ..tags import TagSet
 
 #: Tags expected on control tokens.
 TRUE_TAG = "true"

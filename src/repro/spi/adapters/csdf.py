@@ -20,7 +20,6 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 from ...errors import ModelError
 from ..activation import ActivationFunction, ActivationRule
 from ..builder import GraphBuilder
-from ..graph import ModelGraph
 from ..modes import ProcessMode
 from ..predicates import HasTag, NumAvailable
 from ..process import Process

@@ -16,12 +16,11 @@ the next" by sending tokens to itself via a feedback channel):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ...errors import ModelError
 from ..activation import ActivationFunction, ActivationRule
 from ..builder import GraphBuilder
-from ..graph import ModelGraph
 from ..modes import ProcessMode
 from ..predicates import HasTag, NumAvailable
 from ..process import Process

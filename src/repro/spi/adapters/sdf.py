@@ -10,7 +10,7 @@ SPI captures "static and dynamic data flow models").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ...errors import ModelError
 from ..builder import GraphBuilder

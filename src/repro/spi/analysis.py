@@ -16,7 +16,7 @@ exact.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..errors import ModelError
 from .graph import ModelGraph

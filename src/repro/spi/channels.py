@@ -18,7 +18,7 @@ the untimed step semantics (:class:`QueueState`, :class:`RegisterState`).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ModelError, SimulationError

@@ -13,7 +13,7 @@ live in :mod:`repro.spi.semantics` and :mod:`repro.sim`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ModelError, ValidationError
 from .channels import Channel

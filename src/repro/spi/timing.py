@@ -21,7 +21,7 @@ a FAIL pinpoints the worst-case witness path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..errors import ModelError, TimingViolation
 from .graph import ModelGraph

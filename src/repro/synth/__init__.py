@@ -8,6 +8,7 @@ mechanism behind Table 1's "With variants" row.
 
 from .architecture import ArchitectureTemplate
 from .baselines import (
+    BoundApplication,
     IncrementalResult,
     incremental_flow,
     incremental_order_spread,
@@ -67,6 +68,16 @@ from .methods import (
     variant_aware_flow,
     variant_units,
 )
+from .parallel import (
+    DEFAULT_LINEAGE_SIZE,
+    Lineage,
+    ParallelSpaceExplorer,
+    RacingPortfolioExplorer,
+    SelectionTask,
+    parallel_map,
+    shard_lineages,
+    tasks_from_space,
+)
 from .results import FlowOutcome, collapse_units, to_table_row
 from .state import IncrementalEvaluator, ReferenceSearchState, SearchState
 from .schedule import (
@@ -80,9 +91,11 @@ __all__ = [
     "AnnealingExplorer",
     "ApplicationResult",
     "ArchitectureTemplate",
+    "BoundApplication",
     "BranchBoundExplorer",
     "ComponentEntry",
     "ComponentLibrary",
+    "DEFAULT_LINEAGE_SIZE",
     "Evaluation",
     "ExhaustiveExplorer",
     "ExplorationResult",
@@ -92,15 +105,19 @@ __all__ = [
     "ImplKind",
     "IncrementalEvaluator",
     "IncrementalResult",
+    "Lineage",
     "Mapping",
+    "ParallelSpaceExplorer",
     "PortfolioExplorer",
     "ProblemFamily",
+    "RacingPortfolioExplorer",
     "ReferenceSearchState",
     "Schedule",
     "ScheduledTask",
     "SearchExplorer",
     "SearchState",
     "SelectionResult",
+    "SelectionTask",
     "SoftwareOption",
     "SpaceExploration",
     "SynthesisProblem",
@@ -121,13 +138,16 @@ __all__ = [
     "memory_of_units",
     "origin_from_name",
     "origins_of_graph",
+    "parallel_map",
     "problem_for_graph",
     "processor_memory",
     "processor_utilization",
     "serialization_flow",
+    "shard_lineages",
     "sharing_saving",
     "superposition_flow",
     "synthesize_application",
+    "tasks_from_space",
     "to_table_row",
     "units_of_graph",
     "utilization_of_units",

@@ -31,7 +31,8 @@ from .mapping import (
     Mapping as SynthMapping,
     SynthesisProblem,
     Target,
-    problem_for_graph,
+    VariantOrigin,
+    origins_of_graph,
     units_of_graph,
 )
 from .methods import variant_units
@@ -85,6 +86,39 @@ class IncrementalResult:
     steps: List[ExplorationResult]
 
 
+@dataclass(frozen=True)
+class BoundApplication:
+    """One application prebound to picklable synthesis inputs.
+
+    The flows bind each graph exactly once (units + variant origins)
+    and from then on ride the batch problem machinery — no re-binding
+    per permutation, and the bound form crosses process boundaries.
+    """
+
+    name: str
+    units: Tuple[str, ...]
+    origins: Tuple[Tuple[str, "VariantOrigin"], ...]
+
+    @staticmethod
+    def from_graph(name: str, graph: ModelGraph) -> "BoundApplication":
+        return BoundApplication(
+            name=name,
+            units=units_of_graph(graph),
+            origins=tuple(sorted(origins_of_graph(graph).items())),
+        )
+
+
+def _bind_sequence(
+    apps: Sequence[Tuple[str, ModelGraph]]
+) -> List[BoundApplication]:
+    return [
+        app
+        if isinstance(app, BoundApplication)
+        else BoundApplication.from_graph(app[0], app[1])
+        for app in apps
+    ]
+
+
 def incremental_flow(
     apps: Sequence[Tuple[str, ModelGraph]],
     library: ComponentLibrary,
@@ -95,30 +129,39 @@ def incremental_flow(
 
     ``apps`` is an *ordered* sequence — the order is the point: shared
     units are decided by the first application that contains them and
-    later applications must live with those choices.
+    later applications must live with those choices.  Entries may be
+    ``(name, graph)`` pairs or prebound :class:`BoundApplication`\\ s;
+    each step seeds the next as a warm-start incumbent (the frozen
+    shared units make it near-feasible), shrinking the search without
+    changing the exact optimum of each step.
     """
     if not apps:
         raise SynthesisError("incremental flow needs at least one application")
     chosen = explorer if explorer is not None else BranchBoundExplorer()
 
+    bound = _bind_sequence(apps)
     frozen: Dict[str, Target] = {}
     steps: List[ExplorationResult] = []
     considered_units: List[str] = []
-    for name, graph in apps:
-        app_units = units_of_graph(graph)
+    previous_best: Optional[SynthMapping] = None
+    for app in bound:
         fixed = {
-            unit: frozen[unit] for unit in app_units if unit in frozen
+            unit: frozen[unit] for unit in app.units if unit in frozen
         }
-        problem = problem_for_graph(
-            name,
-            graph,
-            library,
-            architecture,
+        problem = SynthesisProblem(
+            name=app.name,
+            units=app.units,
+            library=library,
+            architecture=architecture,
+            origins=dict(app.origins),
             fixed=fixed,
         )
-        exploration = chosen.explore(problem).require_feasible()
+        exploration = chosen.explore(
+            problem, warm_start=previous_best
+        ).require_feasible()
         steps.append(exploration)
-        for unit in app_units:
+        previous_best = exploration.mapping
+        for unit in app.units:
             if unit not in frozen:
                 frozen[unit] = exploration.mapping.target_of(unit)
                 considered_units.append(unit)
@@ -136,7 +179,7 @@ def incremental_flow(
         library.entry(unit).hardware.cost for unit in hardware
     )
     software_cost = processors * architecture.processor_cost
-    order = tuple(name for name, _ in apps)
+    order = tuple(app.name for app in bound)
     outcome = FlowOutcome(
         flow=f"incremental[5]({'>'.join(order)})",
         software_parts=software,
@@ -150,24 +193,55 @@ def incremental_flow(
     return IncrementalResult(order=order, outcome=outcome, steps=steps)
 
 
+def _explore_order(
+    order: Tuple[str, ...],
+    bound: Mapping[str, BoundApplication],
+    library: ComponentLibrary,
+    architecture: ArchitectureTemplate,
+    explorer: Explorer,
+) -> IncrementalResult:
+    """One permutation of the incremental flow (picklable worker)."""
+    return incremental_flow(
+        [bound[name] for name in order], library, architecture, explorer
+    )
+
+
 def incremental_order_spread(
     apps: Mapping[str, ModelGraph],
     library: ComponentLibrary,
     architecture: ArchitectureTemplate,
     explorer: Optional[Explorer] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[Tuple[str, ...], IncrementalResult]:
     """Run the incremental flow under every application order.
 
     The spread of total costs across orders quantifies the "dominant
-    influence of the serialization order" the paper cites as motivation.
+    influence of the serialization order" the paper cites as
+    motivation.  Each application is bound exactly once (not once per
+    permutation); the permutations are independent, so ``jobs`` runs
+    them over a process pool with a deterministic merge order.
     """
+    import functools
     import itertools
 
-    results: Dict[Tuple[str, ...], IncrementalResult] = {}
+    from .parallel import parallel_map
+
     names = sorted(apps)
-    for order in itertools.permutations(names):
-        sequence = [(name, apps[name]) for name in order]
-        results[tuple(order)] = incremental_flow(
-            sequence, library, architecture, explorer
-        )
-    return results
+    bound = {
+        name: BoundApplication.from_graph(name, apps[name])
+        for name in names
+    }
+    chosen = explorer if explorer is not None else BranchBoundExplorer()
+    orders = [tuple(order) for order in itertools.permutations(names)]
+    results = parallel_map(
+        functools.partial(
+            _explore_order,
+            bound=bound,
+            library=library,
+            architecture=architecture,
+            explorer=chosen,
+        ),
+        orders,
+        jobs=jobs if jobs is not None else 1,
+    )
+    return dict(zip(orders, results))

@@ -21,11 +21,11 @@ apart semantically, and the property suite cross-checks them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
 from ..errors import SynthesisError
-from .mapping import Mapping, SynthesisProblem, Target, VariantOrigin
+from .mapping import Mapping, SynthesisProblem, Target
 
 #: Slack applied to capacity comparisons so float noise never flips
 #: feasibility; shared with the incremental evaluator.

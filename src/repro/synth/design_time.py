@@ -17,7 +17,7 @@ efforts over all units *considered*, with multiplicity:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Iterable, Mapping, Sequence
 
 from .library import ComponentLibrary
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 import math
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping as TMapping, Optional, Tuple, Union
 
 from ..errors import SynthesisError

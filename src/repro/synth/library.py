@@ -12,9 +12,8 @@ to be considered n times".
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from types import MappingProxyType
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..errors import SynthesisError
 from ..spi.graph import ModelGraph

@@ -123,6 +123,23 @@ class SynthesisProblem:
                 f"{sorted(unknown_fixed)}"
             )
 
+    def __reduce__(self):
+        # The origins/fixed mapping proxies are not picklable; rebuild
+        # from plain dicts so problems can cross process boundaries
+        # (the parallel explorers ship problems to pool workers).
+        return (
+            SynthesisProblem,
+            (
+                self.name,
+                self.units,
+                self.library,
+                self.architecture,
+                dict(self.origins),
+                dict(self.fixed),
+                self.use_exclusion,
+            ),
+        )
+
     @property
     def free_units(self) -> Tuple[str, ...]:
         """Units the explorer may still decide."""
@@ -186,6 +203,10 @@ class Mapping:
         object.__setattr__(
             self, "assignment", MappingProxyType(dict(self.assignment))
         )
+
+    def __reduce__(self):
+        # MappingProxyType is not picklable; rebuild from a plain dict.
+        return (Mapping, (dict(self.assignment),))
 
     def target_of(self, unit: str) -> Target:
         """The target of one unit."""

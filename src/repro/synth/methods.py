@@ -18,7 +18,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SynthesisError
@@ -33,6 +33,7 @@ from .mapping import (
     SynthesisProblem,
     Target,
     VariantOrigin,
+    origins_of_graph,
     problem_for_graph,
     units_of_graph,
 )
@@ -100,16 +101,70 @@ def independent_flow(
     library: ComponentLibrary,
     architecture: ArchitectureTemplate,
     explorer: Optional[Explorer] = None,
+    warm_start: bool = True,
+    jobs: Optional[int] = None,
+    lineage_size: Optional[int] = None,
 ) -> Dict[str, ApplicationResult]:
-    """Synthesize every application separately."""
+    """Synthesize every application separately.
+
+    Rides the same batch machinery as :func:`explore_space`: each
+    application is prebound once into a picklable task, consecutive
+    applications chain warm starts (the shared common part keeps its
+    targets, so each exploration starts from a near-feasible
+    incumbent), and ``jobs`` shards the chain into parallel lineages.
+
+    With an *exact* explorer (the default branch-and-bound) a warm
+    start only shrinks the search, so each application's outcome
+    matches synthesizing it from scratch.  A heuristic explorer
+    (annealing) is trajectory-sensitive: pass ``warm_start=False`` to
+    keep its per-application runs strictly independent of each other.
+    """
+    from .parallel import (
+        DEFAULT_LINEAGE_SIZE,
+        ParallelSpaceExplorer,
+        SelectionTask,
+    )
+
     if not apps:
         raise SynthesisError("independent flow needs at least one application")
-    return {
-        name: synthesize_application(
-            name, graph, library, architecture, explorer
+    tasks = [
+        SelectionTask(
+            index=index,
+            selection=(("application", name),),
+            name=name,
+            units=units_of_graph(graph),
+            origins=tuple(sorted(origins_of_graph(graph).items())),
         )
-        for name, graph in apps.items()
-    }
+        for index, (name, graph) in enumerate(apps.items())
+    ]
+    family = ProblemFamily(
+        name="independent", library=library, architecture=architecture
+    )
+    if jobs is None and lineage_size is None:
+        size = max(1, len(tasks))
+    else:
+        size = (
+            lineage_size if lineage_size is not None
+            else DEFAULT_LINEAGE_SIZE
+        )
+    runner = ParallelSpaceExplorer(
+        explorer=_default_explorer(explorer),
+        jobs=jobs if jobs is not None else 1,
+        lineage_size=size,
+        warm_start=warm_start,
+    )
+    results = runner.explore_tasks(family, tasks)
+    flow_results: Dict[str, ApplicationResult] = {}
+    for task, selection_result in zip(tasks, results):
+        exploration = selection_result.exploration
+        design_time = design_time_of_units(library, task.units)
+        outcome = _outcome_from_exploration(
+            flow=task.name, exploration=exploration, design_time=design_time
+        )
+        flow_results[task.name] = ApplicationResult(
+            name=task.name, exploration=exploration, outcome=outcome
+        )
+    return flow_results
 
 
 # ----------------------------------------------------------------------
@@ -239,6 +294,29 @@ class ProblemFamily:
             fixed=fixed,
         )
 
+    def problem_for_units(
+        self,
+        name: str,
+        units: Sequence[str],
+        origins=(),
+        fixed: Mapping[str, Target] = (),
+    ) -> SynthesisProblem:
+        """The synthesis problem of a prebound unit set.
+
+        What pool workers use to rebuild a problem (and through it the
+        incremental search state) from the shared family without
+        shipping or re-binding model graphs.
+        """
+        return SynthesisProblem(
+            name=name,
+            units=tuple(units),
+            library=self.library,
+            architecture=self.architecture,
+            origins=dict(origins),
+            fixed=dict(fixed),
+            use_exclusion=self.use_exclusion,
+        )
+
 
 @dataclass
 class SelectionResult:
@@ -332,6 +410,8 @@ def explore_space(
     space: VariantSpace,
     explorer: Optional[Explorer] = None,
     warm_start: bool = True,
+    jobs: Optional[int] = None,
+    lineage_size: Optional[int] = None,
 ) -> SpaceExploration:
     """Explore every consistent selection of a variant space.
 
@@ -342,27 +422,40 @@ def explore_space(
     selection's best mapping: shared units (the common part plus every
     unchanged cluster) keep their targets, so the explorer starts from
     a near-feasible incumbent instead of from scratch.
+
+    With ``jobs``/``lineage_size`` set, the selections are sharded
+    into contiguous warm-start lineages and dispatched over a process
+    pool (see :class:`~repro.synth.parallel.ParallelSpaceExplorer`).
+    Results are merged in enumeration order and are byte-identical for
+    every jobs count; the default (both ``None``) keeps the single
+    unsharded warm-start chain.
     """
+    from .parallel import (
+        DEFAULT_LINEAGE_SIZE,
+        ParallelSpaceExplorer,
+        tasks_from_space,
+    )
+
     chosen = _default_explorer(explorer)
-    results: List[SelectionResult] = []
-    previous_best = None
-    for selection, graph in space.iter_applications(
-        prefix=problem_family.name
-    ):
-        problem = problem_family.problem_for(graph)
-        seed_mapping = previous_best if warm_start else None
-        exploration = chosen.explore(problem, warm_start=seed_mapping)
-        results.append(
-            SelectionResult(
-                selection=dict(selection),
-                problem=problem,
-                exploration=exploration,
-                warm_started=seed_mapping is not None,
-            )
+    tasks = tasks_from_space(problem_family, space)
+    if jobs is None and lineage_size is None:
+        # One unsharded warm-start chain — the sequential semantics.
+        size = max(1, len(tasks))
+    else:
+        size = (
+            lineage_size if lineage_size is not None
+            else DEFAULT_LINEAGE_SIZE
         )
-        if exploration.feasible:
-            previous_best = exploration.mapping
-    return SpaceExploration(family=problem_family, results=results)
+    runner = ParallelSpaceExplorer(
+        explorer=chosen,
+        jobs=jobs if jobs is not None else 1,
+        lineage_size=size,
+        warm_start=warm_start,
+    )
+    return SpaceExploration(
+        family=problem_family,
+        results=runner.explore_tasks(problem_family, tasks),
+    )
 
 
 def variant_aware_flow(

@@ -1,0 +1,584 @@
+"""Process-parallel variant-space exploration and racing portfolios.
+
+The variant-space representation makes each selection's mapping
+problem independent — only the warm-start chaining of
+:func:`~repro.synth.methods.explore_space` couples neighbors.  This
+module exploits that:
+
+* :func:`shard_lineages` splits a space's selections into contiguous
+  **warm-start lineages**: within a lineage each exploration seeds the
+  next (the PR-1 chaining), across lineages there is no coupling, so
+  lineages are embarrassingly parallel.
+* :class:`ParallelSpaceExplorer` dispatches lineages over a
+  ``multiprocessing`` pool.  Workers receive the (picklable)
+  :class:`~repro.synth.methods.ProblemFamily` once, rebuild each
+  :class:`~repro.synth.mapping.SynthesisProblem` (and through it the
+  delta-cost :class:`~repro.synth.state.SearchState`) locally, and
+  stream lineage results back; the parent merges them in lineage-index
+  order, so the output is **byte-identical for every jobs count** —
+  ``jobs`` changes wall-clock only, never results.  The lineage
+  decomposition is controlled solely by ``lineage_size``; with an
+  exact explorer the per-selection costs also equal the unsharded
+  sequential chain's.
+* :class:`RacingPortfolioExplorer` runs annealing and budgeted
+  branch-and-bound as **racing** process members on one problem:
+  the first member to return a *provably optimal* result cancels the
+  rest; otherwise the cheapest finisher wins (deterministic member-
+  order tie-break).  Provenance records each member's fate, including
+  cancellation.
+* :func:`parallel_map` is the shared order-preserving process map with
+  worker-crash surfacing, reused by the flows (e.g.
+  :func:`~repro.synth.baselines.incremental_order_spread`).
+
+A worker exception never vanishes into the pool: it is captured with
+its traceback and re-raised in the parent as a
+:class:`~repro.errors.SynthesisError` naming the lineage/member.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import sys
+import traceback
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import SynthesisError
+from ..variants.variant_space import VariantSpace
+from .explorer import (
+    AnnealingExplorer,
+    BranchBoundExplorer,
+    ExplorationResult,
+    Explorer,
+    SearchExplorer,
+)
+from .mapping import (
+    Mapping,
+    SynthesisProblem,
+    VariantOrigin,
+    origins_of_graph,
+    units_of_graph,
+)
+
+#: Selections per warm-start lineage.  The lineage decomposition — not
+#: the worker count — defines the result, so this default is
+#: deliberately independent of ``jobs``.
+DEFAULT_LINEAGE_SIZE = 4
+
+
+def _mp_context(name: Optional[str] = None):
+    """The multiprocessing context.
+
+    Prefers ``fork`` on Linux (cheap, no re-import); everywhere else
+    the platform default stands — macOS lists ``fork`` as available
+    but defaults to ``spawn`` because forking its runtime is unsafe.
+    """
+    if name is not None:
+        return multiprocessing.get_context(name)
+    if (
+        sys.platform.startswith("linux")
+        and "fork" in multiprocessing.get_all_start_methods()
+    ):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context(None)
+
+
+# ----------------------------------------------------------------------
+# Tasks and lineages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectionTask:
+    """One selection's synthesis problem, reduced to picklable parts.
+
+    The parent binds the graph (cheap) and keeps only what a worker
+    needs to rebuild the problem from the shared family: the unit
+    names and their variant origins.
+    """
+
+    index: int
+    selection: Tuple[Tuple[str, str], ...]
+    name: str
+    units: Tuple[str, ...]
+    origins: Tuple[Tuple[str, VariantOrigin], ...]
+
+
+@dataclass(frozen=True)
+class Lineage:
+    """A contiguous run of selections chained by warm starts."""
+
+    index: int
+    tasks: Tuple[SelectionTask, ...]
+
+
+def tasks_from_space(family, space: VariantSpace) -> List[SelectionTask]:
+    """Bind every consistent selection into a picklable task list.
+
+    Streams :meth:`VariantSpace.iter_applications` (graphs are
+    discarded as soon as their unit set is extracted), preserving the
+    neighbor-friendly enumeration order that makes contiguous chunks
+    good warm-start lineages.
+    """
+    tasks: List[SelectionTask] = []
+    for index, (selection, graph) in enumerate(
+        space.iter_applications(prefix=family.name)
+    ):
+        tasks.append(
+            SelectionTask(
+                index=index,
+                selection=VariantSpace.selection_key(selection),
+                name=graph.name,
+                units=units_of_graph(graph),
+                origins=tuple(sorted(origins_of_graph(graph).items())),
+            )
+        )
+    return tasks
+
+
+def shard_lineages(
+    tasks: Sequence[SelectionTask], lineage_size: int
+) -> List[Lineage]:
+    """Contiguous, deterministic lineage decomposition."""
+    if lineage_size < 1:
+        raise SynthesisError("lineage_size must be >= 1")
+    return [
+        Lineage(
+            index=start // lineage_size,
+            tasks=tuple(tasks[start : start + lineage_size]),
+        )
+        for start in range(0, len(tasks), lineage_size)
+    ]
+
+
+def run_lineage(family, explorer: Explorer, warm_start: bool, lineage):
+    """Explore one lineage with warm-start chaining.
+
+    The single shared implementation of the batch semantics: the
+    sequential path runs it inline, pool workers run it remotely —
+    which is what makes the parallel output byte-identical.
+    """
+    from .methods import SelectionResult
+
+    results: List[SelectionResult] = []
+    previous_best: Optional[Mapping] = None
+    for task in lineage.tasks:
+        problem = family.problem_for_units(
+            task.name, task.units, origins=task.origins
+        )
+        seed = previous_best if warm_start else None
+        exploration = explorer.explore(problem, warm_start=seed)
+        results.append(
+            SelectionResult(
+                selection=dict(task.selection),
+                problem=problem,
+                exploration=exploration,
+                warm_started=seed is not None,
+            )
+        )
+        if exploration.feasible:
+            previous_best = exploration.mapping
+    return results
+
+
+# ----------------------------------------------------------------------
+# Pool plumbing
+# ----------------------------------------------------------------------
+#: Per-worker shared setup, installed once by the pool initializer so
+#: the family/explorer are shipped per worker, not per lineage.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_space_worker(family, explorer, warm_start) -> None:
+    _WORKER_STATE["family"] = family
+    _WORKER_STATE["explorer"] = explorer
+    _WORKER_STATE["warm_start"] = warm_start
+
+
+def _explore_lineage_remote(lineage: Lineage):
+    try:
+        results = run_lineage(
+            _WORKER_STATE["family"],
+            _WORKER_STATE["explorer"],
+            _WORKER_STATE["warm_start"],
+            lineage,
+        )
+        return lineage.index, None, results
+    except Exception as exc:  # surfaced in the parent
+        detail = (
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        )
+        return lineage.index, detail, None
+
+
+def _init_map_worker(fn) -> None:
+    _WORKER_STATE["map_fn"] = fn
+
+
+def _apply_indexed(packed):
+    index, item = packed
+    try:
+        return index, None, _WORKER_STATE["map_fn"](item)
+    except Exception as exc:
+        detail = (
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        )
+        return index, detail, None
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    jobs: int = 1,
+    mp_context: Optional[str] = None,
+):
+    """Order-preserving process map with worker-crash surfacing.
+
+    ``fn`` must be picklable (a module-level callable or a
+    ``functools.partial`` of one); it is shipped once per worker via
+    the pool initializer, so a closed-over library/explorer is not
+    re-pickled per item.  Results stream back unordered and are merged
+    by item index, so the output order never depends on scheduling.  A
+    worker exception is re-raised in the parent as
+    :class:`SynthesisError` carrying the worker traceback.
+    """
+    if jobs < 1:
+        raise SynthesisError("jobs must be >= 1")
+    items = list(items)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    ctx = _mp_context(mp_context)
+    collected: Dict[int, object] = {}
+    with ctx.Pool(
+        processes=min(jobs, len(items)),
+        initializer=_init_map_worker,
+        initargs=(fn,),
+    ) as pool:
+        for index, error, result in pool.imap_unordered(
+            _apply_indexed, list(enumerate(items))
+        ):
+            if error is not None:
+                pool.terminate()
+                raise SynthesisError(
+                    f"parallel worker failed on item {index}: {error}"
+                )
+            collected[index] = result
+    return [collected[index] for index in range(len(items))]
+
+
+# ----------------------------------------------------------------------
+# Parallel space exploration
+# ----------------------------------------------------------------------
+class ParallelSpaceExplorer:
+    """Batch-explore a variant space over a process pool.
+
+    Parameters
+    ----------
+    explorer:
+        The per-problem optimizer (must be picklable; every built-in
+        explorer is).  Defaults to :class:`BranchBoundExplorer`.
+    jobs:
+        Worker processes.  ``jobs=1`` runs the identical lineage
+        machinery in-process — results are byte-identical for every
+        jobs count because only the lineage decomposition (not the
+        worker count) defines them.
+    lineage_size:
+        Selections per warm-start lineage.  Larger lineages reuse more
+        warm starts; smaller ones expose more parallelism.
+    warm_start:
+        Chain warm starts within each lineage (off = every selection
+        explored cold, matching ``explore_space(warm_start=False)``).
+    mp_context:
+        Multiprocessing start method (default: ``fork`` if available).
+    """
+
+    def __init__(
+        self,
+        explorer: Optional[Explorer] = None,
+        jobs: int = 1,
+        lineage_size: int = DEFAULT_LINEAGE_SIZE,
+        warm_start: bool = True,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise SynthesisError("jobs must be >= 1")
+        if lineage_size < 1:
+            raise SynthesisError("lineage_size must be >= 1")
+        self.explorer = (
+            explorer if explorer is not None else BranchBoundExplorer()
+        )
+        self.jobs = jobs
+        self.lineage_size = lineage_size
+        self.warm_start = warm_start
+        self.mp_context = mp_context
+
+    def explore(self, family, space: VariantSpace):
+        """Explore every consistent selection; deterministic output."""
+        from .methods import SpaceExploration
+
+        tasks = tasks_from_space(family, space)
+        results = self.explore_tasks(family, tasks)
+        return SpaceExploration(family=family, results=results)
+
+    def explore_tasks(self, family, tasks: Sequence[SelectionTask]):
+        """Run a prepared task list through the lineage machinery."""
+        lineages = shard_lineages(list(tasks), self.lineage_size)
+        if self.jobs == 1 or len(lineages) <= 1:
+            per_lineage = [
+                run_lineage(family, self.explorer, self.warm_start, lin)
+                for lin in lineages
+            ]
+        else:
+            per_lineage = self._run_pool(family, lineages)
+        return [result for chunk in per_lineage for result in chunk]
+
+    def _run_pool(self, family, lineages: List[Lineage]):
+        ctx = _mp_context(self.mp_context)
+        collected: Dict[int, List] = {}
+        with ctx.Pool(
+            processes=min(self.jobs, len(lineages)),
+            initializer=_init_space_worker,
+            initargs=(family, self.explorer, self.warm_start),
+        ) as pool:
+            for index, error, results in pool.imap_unordered(
+                _explore_lineage_remote, lineages
+            ):
+                if error is not None:
+                    pool.terminate()
+                    raise SynthesisError(
+                        f"exploration worker failed on lineage {index} "
+                        f"(selections "
+                        f"{[t.name for t in lineages[index].tasks]}): "
+                        f"{error}"
+                    )
+                collected[index] = results
+        # Merge in lineage order — results streamed back unordered.
+        return [collected[index] for index in range(len(lineages))]
+
+
+# ----------------------------------------------------------------------
+# Racing portfolio
+# ----------------------------------------------------------------------
+def _race_member(result_queue, name, explorer, problem, warm_start):
+    try:
+        result = explorer.explore(problem, warm_start=warm_start)
+        result_queue.put((name, None, result))
+    except Exception as exc:
+        detail = (
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        )
+        result_queue.put((name, detail, None))
+
+
+class RacingPortfolioExplorer(SearchExplorer):
+    """Race portfolio members as parallel processes.
+
+    Unlike the sequential :class:`~repro.synth.explorer.PortfolioExplorer`
+    (annealing first, its best seeding branch-and-bound), the racing
+    mode runs the members *independently and concurrently*:
+
+    * the first member to return a **provably optimal** result wins
+      immediately and the remaining members are cancelled;
+    * if no member proves optimality, every member finishes and the
+      cheapest result wins (ties broken by member order, so the
+      returned mapping is deterministic).
+
+    Only branch-and-bound can prove optimality (annealing always
+    reports ``optimal=False``), so a proof-cancelled race returns a
+    deterministic result as well; which losers got as far as finishing
+    is timing-dependent and recorded in the provenance only.
+
+    With ``parallel=False`` the members run sequentially in member
+    order with the same first-to-prove-optimal early exit — the
+    single-core fallback with identical result semantics.
+    """
+
+    def __init__(
+        self,
+        node_budget: Optional[int] = 200_000,
+        time_budget: Optional[float] = None,
+        seed: int = 0,
+        iterations: int = 4000,
+        incremental: bool = True,
+        parallel: bool = True,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        super().__init__(incremental=incremental)
+        self.node_budget = node_budget
+        self.time_budget = time_budget
+        self.seed = seed
+        self.iterations = iterations
+        self.parallel = parallel
+        self.mp_context = mp_context
+
+    def members(self) -> Tuple[Tuple[str, Explorer], ...]:
+        """The racing members, in deterministic tie-break order."""
+        return (
+            (
+                "branch_and_bound",
+                BranchBoundExplorer(
+                    incremental=self.incremental,
+                    node_budget=self.node_budget,
+                    time_budget=self.time_budget,
+                ),
+            ),
+            (
+                "annealing",
+                AnnealingExplorer(
+                    seed=self.seed,
+                    iterations=self.iterations,
+                    incremental=self.incremental,
+                ),
+            ),
+        )
+
+    def explore(
+        self,
+        problem: SynthesisProblem,
+        warm_start: Optional[Mapping] = None,
+    ) -> ExplorationResult:
+        members = self.members()
+        # Daemonic pool workers may not spawn children; inside one
+        # (e.g. racing per selection under ParallelSpaceExplorer) the
+        # race degrades to the sequential early-exit with identical
+        # result semantics.
+        in_daemon = multiprocessing.current_process().daemon
+        if self.parallel and not in_daemon:
+            finished, cancelled = self._race_processes(
+                members, problem, warm_start
+            )
+        else:
+            finished, cancelled = self._race_sequential(
+                members, problem, warm_start
+            )
+        return self._assemble(problem, members, finished, cancelled)
+
+    # -- member execution ----------------------------------------------
+    def _race_sequential(self, members, problem, warm_start):
+        finished: Dict[str, ExplorationResult] = {}
+        cancelled: List[str] = []
+        proven = False
+        for name, explorer in members:
+            if proven:
+                cancelled.append(name)
+                continue
+            result = explorer.explore(problem, warm_start=warm_start)
+            finished[name] = result
+            if result.optimal:
+                proven = True
+        return finished, cancelled
+
+    def _race_processes(self, members, problem, warm_start):
+        ctx = _mp_context(self.mp_context)
+        result_queue = ctx.Queue()
+        processes = {}
+        for name, explorer in members:
+            process = ctx.Process(
+                target=_race_member,
+                args=(result_queue, name, explorer, problem, warm_start),
+            )
+            process.daemon = True
+            process.start()
+            processes[name] = process
+        finished: Dict[str, ExplorationResult] = {}
+
+        def consume(message) -> bool:
+            """Record one member message; True = optimality proved."""
+            name, error, result = message
+            if error is not None:
+                raise SynthesisError(
+                    f"racing portfolio member {name!r} failed on "
+                    f"problem {problem.name!r}: {error}"
+                )
+            finished[name] = result
+            return result.optimal
+
+        try:
+            proved = False
+            while len(finished) < len(members) and not proved:
+                try:
+                    proved = consume(result_queue.get(timeout=0.05))
+                    continue
+                except queue_module.Empty:
+                    pass
+                if any(
+                    processes[n].is_alive()
+                    for n, _ in members
+                    if n not in finished
+                ):
+                    continue
+                # Every unfinished member has exited.  A result may
+                # still be in flight (put just after our get timed
+                # out), so drain the queue before judging them dead.
+                while len(finished) < len(members) and not proved:
+                    try:
+                        proved = consume(result_queue.get(timeout=0.25))
+                    except queue_module.Empty:
+                        pending = [
+                            n for n, _ in members if n not in finished
+                        ]
+                        raise SynthesisError(
+                            f"racing portfolio member(s) {pending} "
+                            f"died without reporting a result on "
+                            f"problem {problem.name!r}"
+                        )
+        finally:
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
+            for process in processes.values():
+                process.join()
+            result_queue.close()
+        cancelled = [n for n, _ in members if n not in finished]
+        return finished, cancelled
+
+    # -- result assembly ------------------------------------------------
+    def _assemble(self, problem, members, finished, cancelled):
+        if not finished:
+            raise SynthesisError(
+                f"racing portfolio produced no result for problem "
+                f"{problem.name!r}"
+            )
+        proved = [
+            name for name, _ in members
+            if name in finished and finished[name].optimal
+        ]
+        if proved:
+            winner_name = proved[0]
+        else:
+            winner_name = min(
+                (name for name, _ in members if name in finished),
+                key=lambda name: (
+                    finished[name].cost,
+                    [n for n, _ in members].index(name),
+                ),
+            )
+        winner = finished[winner_name]
+        parts = []
+        for name, _ in members:
+            if name in finished:
+                result = finished[name]
+                note = " (proved optimal)" if result.optimal else ""
+                parts.append(f"{name} cost={result.cost:g}{note}")
+            else:
+                parts.append(f"{name} cancelled")
+        provenance = (
+            f"racing_portfolio[{winner_name}]: " + ", ".join(parts)
+        )
+        return ExplorationResult(
+            problem=problem,
+            mapping=winner.mapping,
+            evaluation=winner.evaluation,
+            nodes_explored=sum(
+                r.nodes_explored for r in finished.values()
+            ),
+            optimal=winner.optimal,
+            evaluations=sum(r.evaluations for r in finished.values()),
+            provenance=provenance,
+        )

@@ -9,7 +9,7 @@ labels the way the paper writes "γ1" for the whole cluster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 

@@ -11,7 +11,7 @@ latency-based view for tests and ablations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping as TMapping, Optional, Tuple
+from typing import Dict, List, Mapping as TMapping, Optional
 
 from ..errors import SchedulingError
 from ..spi.analysis import topological_order

@@ -18,13 +18,10 @@ process execution latency for this execution".  The simulator
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from types import MappingProxyType
-from typing import Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from ..errors import VariantError
-from ..spi.activation import ActivationFunction
-from ..spi.modes import ProcessMode
 from ..spi.process import Process
 
 

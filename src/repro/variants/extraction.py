@@ -27,14 +27,14 @@ knowledge allows abstraction at different levels of detail", §4):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..errors import ExtractionError
 from ..spi.activation import ActivationFunction, ActivationRule
 from ..spi.analysis import balance_equations, is_determinate_dataflow, topological_order
-from ..spi.channels import Channel, ChannelKind, register
-from ..spi.intervals import Interval, hull_all
+from ..spi.channels import Channel, register
+from ..spi.intervals import Interval
 from ..spi.modes import ProcessMode
 from ..spi.predicates import And, HasTag, NumAvailable, Predicate
 from ..spi.tags import TagSet

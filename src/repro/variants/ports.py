@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Tuple
 
 from ..errors import VariantError
 

@@ -23,7 +23,7 @@ Two transformations take a variant graph back into plain SPI:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from ..errors import VariantError
 from ..spi.channels import Channel

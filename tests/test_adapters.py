@@ -16,7 +16,7 @@ from repro.spi.builder import GraphBuilder
 from repro.spi.semantics import StepSemantics
 from repro.spi.tags import TagSet
 from repro.spi.timing import check
-from repro.spi.tokens import Token, make_tokens
+from repro.spi.tokens import make_tokens
 
 
 class TestSdf:

@@ -1,6 +1,5 @@
 """Tests for the Figure 1 reproduction: graph, intervals, determinacy."""
 
-import pytest
 
 from repro.apps import figure1
 from repro.sim.engine import simulate

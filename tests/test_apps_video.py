@@ -3,7 +3,6 @@
 import pytest
 
 from repro.apps import video
-from repro.sim.monitors import FrameValidityMonitor
 
 
 @pytest.fixture(scope="module")

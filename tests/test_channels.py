@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ModelError, SimulationError
-from repro.spi.channels import Channel, ChannelKind, queue, register
+from repro.spi.channels import ChannelKind, queue, register
 from repro.spi.tags import TagSet
 from repro.spi.tokens import Token, make_tokens
 

@@ -1,0 +1,167 @@
+"""Tests for the bench-history regression gate (benchmarks/)."""
+
+import importlib.util
+import json
+import pathlib
+
+spec = importlib.util.spec_from_file_location(
+    "check_regression",
+    pathlib.Path(__file__).parent.parent
+    / "benchmarks"
+    / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def bench_payload(nodes_per_sec=1000.0, quick=False):
+    return {
+        "quick_mode": quick,
+        "explorers": {
+            "branch_and_bound_incremental": {
+                "nodes_per_sec": nodes_per_sec,
+                "evals_per_sec": nodes_per_sec / 10,
+            },
+            "annealing_incremental": {"evals_per_sec": 500.0},
+        },
+        "evaluation_microbench": {
+            "incremental_evals_per_sec": 9000.0
+        },
+        "parallel_jobs_sweep": {
+            "sweep": [
+                {"jobs": 1, "selections_per_sec": 4.0},
+                {"jobs": 4, "selections_per_sec": 8.0},
+            ]
+        },
+    }
+
+
+def write_current(tmp_path, payload):
+    current = tmp_path / "BENCH_explorer.json"
+    current.write_text(json.dumps(payload))
+    return current
+
+
+class TestMetricExtraction:
+    def test_extracts_all_gated_metrics(self):
+        metrics = check_regression.extract_metrics(bench_payload())
+        assert metrics == {
+            "bnb_incremental_nodes_per_sec": 1000.0,
+            "bnb_incremental_evals_per_sec": 100.0,
+            "annealing_incremental_evals_per_sec": 500.0,
+            "microbench_incremental_evals_per_sec": 9000.0,
+            "parallel_jobs1_selections_per_sec": 4.0,
+        }
+
+    def test_missing_sections_are_skipped(self):
+        assert check_regression.extract_metrics({}) == {}
+
+
+class TestGate:
+    def test_no_baseline_passes(self, tmp_path, capsys):
+        current = write_current(tmp_path, bench_payload())
+        code = check_regression.main(
+            ["--current", str(current),
+             "--history", str(tmp_path / "bench_history")]
+        )
+        assert code == 0
+        assert "nothing to gate against" in capsys.readouterr().out
+
+    def test_write_then_pass(self, tmp_path):
+        current = write_current(tmp_path, bench_payload())
+        history = tmp_path / "bench_history"
+        assert check_regression.main(
+            ["--current", str(current), "--history", str(history),
+             "--write"]
+        ) == 0
+        baselines = list(history.glob("*.json"))
+        assert len(baselines) == 1
+        recorded = json.loads(baselines[0].read_text())
+        assert recorded["metrics"][
+            "bnb_incremental_nodes_per_sec"
+        ] == 1000.0
+        assert check_regression.main(
+            ["--current", str(current), "--history", str(history)]
+        ) == 0
+
+    def test_over_2x_regression_fails(self, tmp_path, capsys):
+        history = tmp_path / "bench_history"
+        fast = write_current(tmp_path, bench_payload(nodes_per_sec=1000))
+        check_regression.main(
+            ["--current", str(fast), "--history", str(history),
+             "--write"]
+        )
+        slow = write_current(
+            tmp_path, bench_payload(nodes_per_sec=400.0)
+        )
+        code = check_regression.main(
+            ["--current", str(slow), "--history", str(history)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "bnb_incremental_nodes_per_sec" in out
+
+    def test_under_2x_slowdown_passes(self, tmp_path):
+        history = tmp_path / "bench_history"
+        fast = write_current(tmp_path, bench_payload(nodes_per_sec=1000))
+        check_regression.main(
+            ["--current", str(fast), "--history", str(history),
+             "--write"]
+        )
+        slower = write_current(
+            tmp_path, bench_payload(nodes_per_sec=600.0)
+        )
+        assert check_regression.main(
+            ["--current", str(slower), "--history", str(history)]
+        ) == 0
+
+    def test_quick_and_full_baselines_are_separate(self, tmp_path):
+        """A quick CI run never gates against a full local baseline."""
+        history = tmp_path / "bench_history"
+        full = write_current(
+            tmp_path, bench_payload(nodes_per_sec=100000.0, quick=False)
+        )
+        check_regression.main(
+            ["--current", str(full), "--history", str(history),
+             "--write"]
+        )
+        quick = write_current(
+            tmp_path, bench_payload(nodes_per_sec=100.0, quick=True)
+        )
+        # 1000x below the full baseline, but it is the first quick-mode
+        # record, so there is nothing to gate against
+        assert check_regression.main(
+            ["--current", str(quick), "--history", str(history)]
+        ) == 0
+
+    def test_latest_baseline_wins(self, tmp_path):
+        history = tmp_path / "bench_history"
+        history.mkdir()
+        for sequence, rate in ((1, 10000.0), (2, 400.0)):
+            (history / f"{sequence:06d}-abc.json").write_text(
+                json.dumps(
+                    {
+                        "commit": "abc",
+                        "sequence": sequence,
+                        "quick_mode": False,
+                        "metrics": {
+                            "bnb_incremental_nodes_per_sec": rate
+                        },
+                    }
+                )
+            )
+        # 500 would fail vs the seq-1 baseline (10000) but passes vs
+        # the newer seq-2 baseline (400)
+        current = write_current(
+            tmp_path, bench_payload(nodes_per_sec=500.0)
+        )
+        assert check_regression.main(
+            ["--current", str(current), "--history", str(history)]
+        ) == 0
+
+    def test_missing_current_reports_error(self, tmp_path):
+        assert check_regression.main(
+            ["--current", str(tmp_path / "missing.json"),
+             "--history", str(tmp_path)]
+        ) == 2

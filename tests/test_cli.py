@@ -61,6 +61,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "reference" in out
 
+    def test_explore_jobs_matches_sequential(self, capsys):
+        assert main(["explore"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["explore", "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        # identical per-selection rows and best/worst lines; only the
+        # title (and its ruler line) advertises the jobs count
+        assert parallel.splitlines()[2:] == sequential.splitlines()[2:]
+        assert "jobs=4" in parallel
+
+    def test_explore_racing_explorer(self, capsys):
+        assert main(
+            ["explore", "--space", "generated", "--variants", "2",
+             "--explorer", "racing", "--jobs", "2", "--lineage-size", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "theta=var0" in out
+        assert "racing" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

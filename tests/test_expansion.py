@@ -5,8 +5,6 @@ import pytest
 from repro.errors import VariantError
 from repro.sim.engine import Simulator, simulate
 from repro.spi.builder import GraphBuilder
-from repro.spi.tags import TagSet
-from repro.spi.tokens import Token, make_tokens
 from repro.spi.virtuality import sink, source
 from repro.variants.expansion import attach_expanded_interface
 from repro.variants.interface import Interface

@@ -4,7 +4,7 @@
 import pytest
 
 from repro.errors import VariantError
-from repro.spi.predicates import HasTag, MappingView, NumAvailable
+from repro.spi.predicates import MappingView, NumAvailable
 from repro.variants.interface import Interface
 from repro.variants.selection import ClusterSelectionFunction, SelectionRule
 from repro.variants.types import VariantKind

@@ -1,6 +1,5 @@
 """Unit tests for repro.spi.intervals."""
 
-import math
 
 import pytest
 

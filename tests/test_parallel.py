@@ -1,0 +1,428 @@
+"""Tests for process-parallel exploration and the racing portfolio.
+
+The contract under test: the lineage decomposition — never the worker
+count — defines the results.  ``jobs`` may only change wall-clock, so
+every output (costs, mappings, node counts, warm flags, order) must be
+byte-identical across jobs counts, and worker failures must surface as
+:class:`SynthesisError` in the parent instead of vanishing in the pool.
+"""
+
+import json
+import pickle
+import time
+
+import pytest
+
+from repro.apps import figure2
+from repro.apps.generators import generate_system
+from repro.errors import SynthesisError
+from repro.synth.baselines import incremental_order_spread
+from repro.synth.explorer import (
+    AnnealingExplorer,
+    BranchBoundExplorer,
+    Explorer,
+    PortfolioExplorer,
+)
+from repro.synth.mapping import Mapping, SynthesisProblem, Target
+from repro.synth.methods import (
+    ProblemFamily,
+    explore_space,
+    independent_flow,
+    superposition_flow,
+    synthesize_application,
+    variant_units,
+)
+from repro.synth.parallel import (
+    DEFAULT_LINEAGE_SIZE,
+    ParallelSpaceExplorer,
+    RacingPortfolioExplorer,
+    SelectionTask,
+    parallel_map,
+    shard_lineages,
+    tasks_from_space,
+)
+from repro.variants.variant_space import VariantSpace
+
+
+def canonical_bytes(outcome) -> bytes:
+    """Byte-exact canonical serialization of a space exploration.
+
+    Includes everything observable per selection — selection, cost,
+    mapping, optimality, node/evaluation counts, warm flag — so two
+    equal serializations mean byte-identical results.
+    """
+    rows = []
+    for result in outcome.results:
+        exploration = result.exploration
+        mapping = exploration.mapping
+        rows.append(
+            {
+                "selection": sorted(result.selection.items()),
+                "cost": exploration.cost,
+                "mapping": (
+                    sorted(
+                        (unit, repr(target))
+                        for unit, target in mapping.assignment.items()
+                    )
+                    if mapping is not None
+                    else None
+                ),
+                "optimal": exploration.optimal,
+                "nodes": exploration.nodes_explored,
+                "evaluations": exploration.evaluations,
+                "warm": result.warm_started,
+            }
+        )
+    return json.dumps(rows, sort_keys=True).encode()
+
+
+def generated_space(seed=3, n_variants=6, cluster_size=3):
+    system = generate_system(
+        seed=seed, n_variants=n_variants, cluster_size=cluster_size
+    )
+    family = ProblemFamily(
+        name="gen",
+        library=system.library,
+        architecture=system.architecture,
+    )
+    return family, VariantSpace(system.vgraph)
+
+
+class SleepyExplorer(BranchBoundExplorer):
+    """Finishes early lineages *last* to exercise out-of-order merge."""
+
+    def explore(self, problem, warm_start=None):
+        if problem.name.endswith("app1"):
+            time.sleep(0.3)
+        return super().explore(problem, warm_start=warm_start)
+
+
+class CrashingExplorer(Explorer):
+    """Raises on a chosen selection (inside the worker process)."""
+
+    def __init__(self, crash_suffix: str) -> None:
+        self.crash_suffix = crash_suffix
+
+    def explore(self, problem, warm_start=None):
+        if problem.name.endswith(self.crash_suffix):
+            raise RuntimeError(f"injected crash on {problem.name}")
+        return BranchBoundExplorer().explore(problem, warm_start)
+
+
+def _boom(item):
+    raise ValueError(f"bad item {item}")
+
+
+def table1_problem() -> SynthesisProblem:
+    vgraph = figure2.build_variant_graph()
+    units, origins = variant_units(vgraph)
+    return SynthesisProblem(
+        name="table1",
+        units=units,
+        library=figure2.table1_library(),
+        architecture=figure2.table1_architecture(),
+        origins=origins,
+    )
+
+
+class TestPicklability:
+    """The parallel path ships these across process boundaries."""
+
+    def test_problem_round_trips(self):
+        problem = table1_problem()
+        clone = pickle.loads(pickle.dumps(problem))
+        assert clone.units == problem.units
+        assert dict(clone.origins) == dict(problem.origins)
+        assert clone.use_exclusion == problem.use_exclusion
+
+    def test_mapping_round_trips(self):
+        mapping = Mapping({"a": Target.hw(), "b": Target.sw(1)})
+        clone = pickle.loads(pickle.dumps(mapping))
+        assert dict(clone.assignment) == dict(mapping.assignment)
+
+    def test_family_explorers_and_results_round_trip(self):
+        family = figure2.table1_family()
+        assert pickle.loads(pickle.dumps(family)).name == family.name
+        for explorer in (
+            BranchBoundExplorer(node_budget=10),
+            AnnealingExplorer(seed=2),
+            PortfolioExplorer(),
+            RacingPortfolioExplorer(),
+        ):
+            pickle.loads(pickle.dumps(explorer))
+        result = BranchBoundExplorer().explore(table1_problem())
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.cost == result.cost
+        assert dict(clone.mapping.assignment) == dict(
+            result.mapping.assignment
+        )
+
+
+class TestLineages:
+    def test_shard_lineages_contiguous_and_deterministic(self):
+        family, space = generated_space()
+        tasks = tasks_from_space(family, space)
+        lineages = shard_lineages(tasks, 4)
+        flattened = [t for lin in lineages for t in lin.tasks]
+        assert flattened == tasks
+        assert [lin.index for lin in lineages] == list(
+            range(len(lineages))
+        )
+        assert all(len(lin.tasks) <= 4 for lin in lineages)
+        assert shard_lineages(tasks, 4) == lineages
+
+    def test_tasks_preserve_enumeration_order(self):
+        family, space = generated_space()
+        tasks = tasks_from_space(family, space)
+        selections = [dict(t.selection) for t in tasks]
+        assert selections == list(space.selections())
+        assert [t.index for t in tasks] == list(range(len(tasks)))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SynthesisError):
+            ParallelSpaceExplorer(jobs=0)
+        with pytest.raises(SynthesisError):
+            ParallelSpaceExplorer(lineage_size=0)
+        with pytest.raises(SynthesisError):
+            shard_lineages([], 0)
+
+
+class TestByteIdenticalResults:
+    def test_table1_jobs_sweep_matches_sequential(self):
+        """`--jobs N` output is byte-identical to the sequential path."""
+        sequential = figure2.explore_table1_space()
+        reference = canonical_bytes(sequential)
+        for jobs in (1, 2, 4):
+            parallel = figure2.explore_table1_space(jobs=jobs)
+            assert canonical_bytes(parallel) == reference
+        assert sequential.best().cost == 34.0
+
+    def test_generated_space_jobs_invariant(self):
+        family, space = generated_space()
+        reference = None
+        for jobs in (1, 2, 4):
+            outcome = explore_space(
+                family, space, jobs=jobs, lineage_size=2
+            )
+            payload = canonical_bytes(outcome)
+            if reference is None:
+                reference = payload
+            assert payload == reference
+
+    def test_lineage_path_costs_match_sequential_chain(self):
+        family, space = generated_space()
+        sequential = explore_space(family, space)
+        sharded = explore_space(family, space, jobs=2, lineage_size=2)
+        assert [r.cost for r in sharded.results] == [
+            r.cost for r in sequential.results
+        ]
+        assert [dict(r.exploration.mapping.assignment)
+                for r in sharded.results] == [
+            dict(r.exploration.mapping.assignment)
+            for r in sequential.results
+        ]
+
+    def test_warm_start_off_matches_cold_sequential(self):
+        family, space = generated_space()
+        cold = explore_space(family, space, warm_start=False)
+        parallel_cold = explore_space(
+            family, space, warm_start=False, jobs=2, lineage_size=1
+        )
+        assert canonical_bytes(parallel_cold) == canonical_bytes(cold)
+
+
+class TestDeterministicMerge:
+    def test_results_merge_in_enumeration_order(self):
+        """Lineages that finish out of order still merge in order."""
+        family, space = generated_space(n_variants=3)
+        fast = ParallelSpaceExplorer(
+            explorer=BranchBoundExplorer(), jobs=3, lineage_size=1
+        ).explore(family, space)
+        sleepy = ParallelSpaceExplorer(
+            explorer=SleepyExplorer(), jobs=3, lineage_size=1
+        ).explore(family, space)
+        assert canonical_bytes(sleepy) == canonical_bytes(fast)
+        assert [dict(t.selection) for t in
+                tasks_from_space(family, space)] == [
+            r.selection for r in sleepy.results
+        ]
+
+
+class TestWorkerCrashes:
+    def test_worker_exception_surfaces_with_context(self):
+        family, space = generated_space(n_variants=4)
+        runner = ParallelSpaceExplorer(
+            explorer=CrashingExplorer("app3"), jobs=2, lineage_size=1
+        )
+        with pytest.raises(SynthesisError) as excinfo:
+            runner.explore(family, space)
+        message = str(excinfo.value)
+        assert "exploration worker failed on lineage" in message
+        assert "injected crash" in message
+        assert "RuntimeError" in message
+
+    def test_parallel_map_surfaces_crashes(self):
+        with pytest.raises(SynthesisError) as excinfo:
+            parallel_map(_boom, [1, 2, 3], jobs=2)
+        assert "parallel worker failed" in str(excinfo.value)
+        assert "ValueError" in str(excinfo.value)
+
+    def test_parallel_map_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(str, items, jobs=4) == [
+            str(i) for i in items
+        ]
+        with pytest.raises(SynthesisError):
+            parallel_map(str, items, jobs=0)
+
+
+class TestRacingPortfolio:
+    def test_proof_cancels_losers_with_provenance(self):
+        problem = table1_problem()
+        # An annealing budget far beyond the race horizon: the only way
+        # it leaves the race is cancellation by branch-and-bound's
+        # optimality proof.
+        racing = RacingPortfolioExplorer(iterations=2_000_000)
+        result = racing.explore(problem)
+        assert result.cost == 41.0
+        assert result.optimal
+        assert result.provenance.startswith(
+            "racing_portfolio[branch_and_bound]"
+        )
+        assert "proved optimal" in result.provenance
+        assert "annealing cancelled" in result.provenance
+
+    def test_sequential_fallback_same_result(self):
+        problem = table1_problem()
+        parallel = RacingPortfolioExplorer(iterations=2_000_000).explore(
+            problem
+        )
+        sequential = RacingPortfolioExplorer(
+            iterations=2_000_000, parallel=False
+        ).explore(problem)
+        assert sequential.cost == parallel.cost == 41.0
+        assert dict(sequential.mapping.assignment) == dict(
+            parallel.mapping.assignment
+        )
+        assert "annealing cancelled" in sequential.provenance
+
+    def test_no_proof_waits_for_all_members(self):
+        problem = table1_problem()
+        # node_budget=1 truncates branch-and-bound: no proof, so both
+        # members finish and the cheapest feasible result wins.
+        racing = RacingPortfolioExplorer(node_budget=1, iterations=500)
+        result = racing.explore(problem)
+        sequential = RacingPortfolioExplorer(
+            node_budget=1, iterations=500, parallel=False
+        ).explore(problem)
+        assert not result.optimal
+        assert result.feasible
+        assert "cancelled" not in result.provenance
+        assert result.cost == sequential.cost
+        assert dict(result.mapping.assignment) == dict(
+            sequential.mapping.assignment
+        )
+
+    def test_racing_inside_pool_worker_degrades_gracefully(self):
+        """Racing under ParallelSpaceExplorer (daemonic workers)."""
+        family, space = generated_space(n_variants=3)
+        outcome = ParallelSpaceExplorer(
+            explorer=RacingPortfolioExplorer(),
+            jobs=2,
+            lineage_size=1,
+        ).explore(family, space)
+        exact = explore_space(family, space)
+        assert [r.cost for r in outcome.results] == [
+            r.cost for r in exact.results
+        ]
+
+    def test_racing_in_explore_space(self):
+        family, space = generated_space(n_variants=3)
+        outcome = explore_space(
+            family, space, RacingPortfolioExplorer()
+        )
+        exact = explore_space(family, space, BranchBoundExplorer())
+        assert [r.cost for r in outcome.results] == [
+            r.cost for r in exact.results
+        ]
+
+
+class TestFlowsThroughBatch:
+    """The flows ride the batch machinery; results must be unchanged."""
+
+    def test_independent_flow_reproduces_table1_rows(self):
+        apps = figure2.applications()
+        library = figure2.table1_library()
+        architecture = figure2.table1_architecture()
+        batch = independent_flow(apps, library, architecture)
+        for name, graph in apps.items():
+            scratch = synthesize_application(
+                name, graph, library, architecture
+            )
+            assert batch[name].outcome == scratch.outcome
+        assert batch["application1"].outcome.total_cost == 34.0
+        assert batch["application2"].outcome.total_cost == 38.0
+        assert batch["application1"].outcome.design_time == 67.0
+        assert batch["application2"].outcome.design_time == 73.0
+        # warm-start chaining only shrinks the later searches
+        assert batch["application2"].exploration.nodes_explored <= (
+            synthesize_application(
+                "application2",
+                apps["application2"],
+                library,
+                architecture,
+            ).exploration.nodes_explored
+        )
+
+    def test_independent_flow_jobs_invariant(self):
+        apps = figure2.applications()
+        library = figure2.table1_library()
+        architecture = figure2.table1_architecture()
+        sequential = independent_flow(apps, library, architecture)
+        for jobs in (1, 2):
+            parallel = independent_flow(
+                apps, library, architecture, jobs=jobs, lineage_size=1
+            )
+            for name in apps:
+                assert (
+                    parallel[name].outcome.total_cost
+                    == sequential[name].outcome.total_cost
+                )
+                assert dict(
+                    parallel[name].exploration.mapping.assignment
+                ) == dict(sequential[name].exploration.mapping.assignment)
+
+    def test_superposition_over_batch_independent_unchanged(self):
+        apps = figure2.applications()
+        library = figure2.table1_library()
+        architecture = figure2.table1_architecture()
+        independent = independent_flow(apps, library, architecture)
+        superposed = superposition_flow(
+            independent, library, architecture
+        )
+        assert superposed.total_cost == 57.0
+        assert superposed.design_time == 140.0
+
+    def test_order_spread_jobs_invariant(self):
+        system = generate_system(seed=7, n_variants=3)
+        apps = system.applications()
+        sequential = incremental_order_spread(
+            apps, system.library, system.architecture
+        )
+        parallel = incremental_order_spread(
+            apps, system.library, system.architecture, jobs=2
+        )
+        assert list(sequential) == list(parallel)
+        for order in sequential:
+            assert (
+                sequential[order].outcome == parallel[order].outcome
+            )
+
+    def test_default_lineage_size_documented(self):
+        assert DEFAULT_LINEAGE_SIZE == 4
+        task = SelectionTask(
+            index=0, selection=(), name="t", units=("u",), origins=()
+        )
+        assert shard_lineages([task], DEFAULT_LINEAGE_SIZE)[0].tasks == (
+            task,
+        )

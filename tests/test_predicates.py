@@ -8,7 +8,6 @@ from repro.spi.predicates import (
     HasAnyTag,
     HasTag,
     MappingView,
-    Not,
     NumAvailable,
     Or,
     TruePredicate,

@@ -21,7 +21,7 @@ from repro.synth.cost import (
     utilization_of_units,
 )
 from repro.synth.library import ComponentLibrary
-from repro.synth.mapping import Mapping, SynthesisProblem, Target, VariantOrigin
+from repro.synth.mapping import SynthesisProblem, Target, VariantOrigin
 from repro.synth.state import SearchState
 
 

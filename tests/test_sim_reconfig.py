@@ -1,6 +1,5 @@
 """Unit tests for the Def.-4 reconfiguration rule in the simulator."""
 
-import pytest
 
 from repro.sim.engine import Simulator, simulate
 from repro.spi.activation import rules
@@ -8,7 +7,7 @@ from repro.spi.builder import GraphBuilder
 from repro.spi.modes import ProcessMode
 from repro.spi.predicates import HasTag, NumAvailable
 from repro.spi.tags import TagSet
-from repro.spi.tokens import Token, make_tokens
+from repro.spi.tokens import Token
 from repro.variants.configuration import (
     Configuration,
     ConfigurationSet,

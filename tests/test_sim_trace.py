@@ -2,8 +2,7 @@
 
 from repro.sim.engine import simulate
 from repro.sim.trace import FiringRecord, Trace
-from repro.spi.builder import GraphBuilder
-from repro.spi.tokens import Token, make_tokens
+from repro.spi.tokens import Token
 from tests.conftest import chain_graph
 
 
