@@ -33,42 +33,61 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 DEFAULT_CURRENT = REPO_ROOT / "BENCH_explorer.json"
 DEFAULT_HISTORY = REPO_ROOT / "bench_history"
 
-#: Throughput metrics under the gate (higher is better).  Keys absent
-#: from either side are skipped, so old baselines stay comparable when
-#: new metrics are added.
-GATED_METRICS = (
-    "bnb_incremental_nodes_per_sec",
-    "bnb_incremental_evals_per_sec",
-    "annealing_incremental_evals_per_sec",
-    "microbench_incremental_evals_per_sec",
-    "parallel_jobs1_selections_per_sec",
-)
+#: Metrics under the gate, with the direction that counts as a
+#: regression.  ``higher``: throughput, fails when the fresh value
+#: drops below ``baseline / max_regression``.  ``lower``: work
+#: counters (e.g. nodes expanded to prove optimality), fails when the
+#: fresh value climbs above ``baseline * max_regression``.  Keys
+#: absent from either side — or ``null`` (a bench may withhold a rate
+#: measured from a statistically meaningless sample) — are skipped,
+#: so old baselines stay comparable when new metrics are added.
+GATED_METRICS = {
+    "bnb_incremental_nodes_per_sec": "higher",
+    "bnb_incremental_evals_per_sec": "higher",
+    "annealing_incremental_evals_per_sec": "higher",
+    "microbench_incremental_evals_per_sec": "higher",
+    "parallel_jobs1_selections_per_sec": "higher",
+    "bnb_nodes_to_optimal": "lower",
+}
 
 
 def extract_metrics(payload: dict) -> Dict[str, float]:
-    """The gated throughput numbers of one BENCH_explorer.json."""
+    """The gated numbers of one BENCH_explorer.json.
+
+    ``null`` rates (below the bench's minimum-sample threshold) are
+    dropped here, so neither a fresh run nor a recorded baseline ever
+    gates on noise.
+    """
     metrics: Dict[str, float] = {}
+
+    def put(name: str, value) -> None:
+        if value is not None:
+            metrics[name] = value
+
     explorers = payload.get("explorers", {})
     bnb = explorers.get("branch_and_bound_incremental", {})
-    if "nodes_per_sec" in bnb:
-        metrics["bnb_incremental_nodes_per_sec"] = bnb["nodes_per_sec"]
-    if "evals_per_sec" in bnb:
-        metrics["bnb_incremental_evals_per_sec"] = bnb["evals_per_sec"]
+    put("bnb_incremental_nodes_per_sec", bnb.get("nodes_per_sec"))
+    put("bnb_incremental_evals_per_sec", bnb.get("evals_per_sec"))
     annealing = explorers.get("annealing_incremental", {})
-    if "evals_per_sec" in annealing:
-        metrics["annealing_incremental_evals_per_sec"] = annealing[
-            "evals_per_sec"
-        ]
+    put(
+        "annealing_incremental_evals_per_sec",
+        annealing.get("evals_per_sec"),
+    )
     microbench = payload.get("evaluation_microbench", {})
-    if "incremental_evals_per_sec" in microbench:
-        metrics["microbench_incremental_evals_per_sec"] = microbench[
-            "incremental_evals_per_sec"
-        ]
+    put(
+        "microbench_incremental_evals_per_sec",
+        microbench.get("incremental_evals_per_sec"),
+    )
     for level in payload.get("parallel_jobs_sweep", {}).get("sweep", ()):
-        if level.get("jobs") == 1 and "selections_per_sec" in level:
-            metrics["parallel_jobs1_selections_per_sec"] = level[
-                "selections_per_sec"
-            ]
+        if level.get("jobs") == 1:
+            put(
+                "parallel_jobs1_selections_per_sec",
+                level.get("selections_per_sec"),
+            )
+    tightness = payload.get("bound_tightness", {})
+    capacity = tightness.get("capacity_bound", {})
+    if capacity.get("optimal"):
+        put("bnb_nodes_to_optimal", capacity.get("nodes"))
     return metrics
 
 
@@ -165,15 +184,20 @@ def check(
         f"{baseline['_path']} (commit {baseline['commit'][:12]})"
     )
     failures = []
-    for name in GATED_METRICS:
+    for name, direction in GATED_METRICS.items():
         old = baseline.get("metrics", {}).get(name)
         new = current_metrics.get(name)
         if old is None or new is None:
             continue
         ratio = new / old if old else float("inf")
         verdict = "ok"
-        if new * max_regression < old:
-            verdict = f"REGRESSION (>{max_regression:g}x)"
+        if direction == "higher":
+            regressed = new * max_regression < old
+        else:
+            regressed = new > old * max_regression
+        if regressed:
+            verdict = f"REGRESSION (>{max_regression:g}x, {direction} is "
+            verdict += "better)"
             failures.append(name)
         print(f"  {name:<42} {old:>12.1f} -> {new:>12.1f} "
               f"({ratio:.2f}x)  {verdict}")

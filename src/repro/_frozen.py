@@ -1,0 +1,42 @@
+"""Pickling support for frozen model objects that hold mapping proxies.
+
+The model layer freezes its mappings behind ``MappingProxyType``,
+which CPython refuses to pickle — but the parallel explorers ship
+model objects (variant spaces, graphs, problems) across process
+boundaries.  Rather than changing pickling semantics globally (a
+``copyreg`` hook would make *every* mapping proxy in the host process
+silently picklable), each frozen class that owns proxies declares them
+explicitly:
+
+    class ProcessMode:
+        __getstate__, __setstate__ = proxy_pickle_methods(
+            "consumes", "produces", "out_tags"
+        )
+
+The proxies pickle as their dict payload and rehydrate as proxies;
+``__post_init__`` validation is not re-run (the values were validated
+before pickling).
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+
+
+def proxy_pickle_methods(*proxy_fields: str):
+    """A ``(__getstate__, __setstate__)`` pair for the named fields."""
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for name in proxy_fields:
+            state[name] = dict(state[name])
+        return state
+
+    def __setstate__(self, state):
+        for name in proxy_fields:
+            state[name] = MappingProxyType(state[name])
+        # Direct __dict__ update: frozen dataclasses block __setattr__,
+        # not state restoration.
+        self.__dict__.update(state)
+
+    return __getstate__, __setstate__

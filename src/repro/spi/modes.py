@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Iterable, Mapping, Optional, Tuple
 
+from .._frozen import proxy_pickle_methods
 from ..errors import ModelError
 from .intervals import Interval, as_interval, hull_all
 from .tags import TagSet, as_tagset
@@ -79,6 +80,10 @@ class ProcessMode:
     produces: Mapping[str, Interval] = field(default_factory=dict)
     out_tags: Mapping[str, TagSet] = field(default_factory=dict)
     pass_tags: Tuple[str, ...] = ()
+
+    __getstate__, __setstate__ = proxy_pickle_methods(
+        "consumes", "produces", "out_tags"
+    )
 
     def __post_init__(self) -> None:
         if not self.name:

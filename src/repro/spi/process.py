@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Mapping, Optional, Sequence, Tuple
 
+from .._frozen import proxy_pickle_methods
 from ..errors import ModelError
 from .activation import ActivationFunction
 from .intervals import Interval, hull_all
@@ -60,6 +61,8 @@ class Process:
     period: Optional[float] = None
     max_firings: Optional[int] = None
     release_time: float = 0.0
+
+    __getstate__, __setstate__ = proxy_pickle_methods("modes")
 
     def __post_init__(self) -> None:
         if not self.name:

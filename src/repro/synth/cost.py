@@ -21,6 +21,7 @@ apart semantically, and the property suite cross-checks them.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
@@ -30,6 +31,52 @@ from .mapping import Mapping, SynthesisProblem, Target
 #: Slack applied to capacity comparisons so float noise never flips
 #: feasibility; shared with the incremental evaluator.
 CAPACITY_EPS = 1e-9
+
+# ----------------------------------------------------------------------
+# Fixed-point quantization (the integer cost kernel's vocabulary)
+# ----------------------------------------------------------------------
+#: Fixed-point shift of the integer cost kernel: loads, memories and
+#: costs are represented as integer multiples of ``2**-QUANT_SHIFT``.
+#: A power of two keeps ``iquantity / QUANT_SCALE`` an exact float for
+#: every accumulator below 2**53 quanta, so reads are deterministic.
+QUANT_SHIFT = 32
+
+#: ``2**QUANT_SHIFT`` — one unit of load/cost equals this many quanta.
+QUANT_SCALE = 1 << QUANT_SHIFT
+
+#: Extra integer slack (in quanta) granted on capacity comparisons, on
+#: top of :data:`CAPACITY_EPS`.  Each quantized value carries at most
+#: half a quantum of rounding, so a bucket of ``n`` units drifts at
+#: most ``n/2`` quanta from the exact float sum; 64 quanta (~1.5e-8)
+#: absorbs that drift for any realistic bucket without becoming
+#: observable on value grids coarser than ~2e-8 (every bench library
+#: uses >= 1e-4 grids; the property suite uses 1/64 grids).
+CAPACITY_SLACK_QUANTA = 64
+
+
+def quantize(value: float) -> int:
+    """One load/memory/cost value as an integer number of quanta.
+
+    Exact (no rounding) whenever ``value`` is a binary fraction with at
+    most :data:`QUANT_SHIFT` fractional bits — in that regime the
+    integer kernel reproduces the float reference oracle bit for bit,
+    in any accumulation order.
+    """
+    return round(value * QUANT_SCALE)
+
+
+def quantize_capacity(capacity: float) -> int:
+    """A capacity threshold in quanta, slack included.
+
+    Mirrors the reference comparison ``value > capacity +
+    CAPACITY_EPS``: a quantized load is infeasible iff it exceeds this
+    integer.  :data:`CAPACITY_SLACK_QUANTA` keeps accumulated rounding
+    from flipping feasibility against the float oracle.
+    """
+    return (
+        math.floor((capacity + CAPACITY_EPS) * QUANT_SCALE)
+        + CAPACITY_SLACK_QUANTA
+    )
 
 
 @dataclass(frozen=True)

@@ -163,15 +163,29 @@ class SearchExplorer(Explorer):
     re-evaluation of the best mapping by the reference oracle.
     """
 
-    def __init__(self, incremental: bool = True) -> None:
+    def __init__(
+        self, incremental: bool = True, capacity_bound: bool = True
+    ) -> None:
         self.incremental = incremental
+        self.capacity_bound = capacity_bound
 
     # -- state ----------------------------------------------------------
     def _new_state(
-        self, problem: SynthesisProblem, exact: bool = False
+        self,
+        problem: SynthesisProblem,
+        exact: bool = False,
+        capacity_bound: Optional[bool] = None,
     ) -> _SearchStateT:
         if self.incremental:
-            state = SearchState(problem, exact=exact)
+            state = SearchState(
+                problem,
+                exact=exact,
+                capacity_bound=(
+                    self.capacity_bound
+                    if capacity_bound is None
+                    else capacity_bound
+                ),
+            )
         else:
             state = ReferenceSearchState(problem)
         for unit, target in problem.fixed.items():
@@ -291,7 +305,8 @@ class ExhaustiveExplorer(SearchExplorer):
         warm_start: Optional[Mapping] = None,
     ) -> ExplorationResult:
         free = problem.free_units
-        state = self._new_state(problem)
+        # Enumeration never reads the lower bound — skip its upkeep.
+        state = self._new_state(problem, capacity_bound=False)
         best: Optional[Mapping] = None
         best_cost = float("inf")
         nodes = 0
@@ -335,7 +350,9 @@ class BranchBoundExplorer(SearchExplorer):
     ``node_budget`` / ``time_budget`` (seconds) truncate the search;
     a truncated run reports ``optimal=False`` and the best incumbent
     found so far.  ``warm_start`` seeds the incumbent, tightening
-    pruning from the first node.
+    pruning from the first node.  ``capacity_bound=False`` falls back
+    to the capacity-blind basic bound (the pre-knapsack behavior) —
+    benchmarks use it to measure the bound-tightness win.
     """
 
     def __init__(
@@ -343,8 +360,11 @@ class BranchBoundExplorer(SearchExplorer):
         incremental: bool = True,
         node_budget: Optional[int] = None,
         time_budget: Optional[float] = None,
+        capacity_bound: bool = True,
     ) -> None:
-        super().__init__(incremental=incremental)
+        super().__init__(
+            incremental=incremental, capacity_bound=capacity_bound
+        )
         if node_budget is not None and node_budget < 1:
             raise SynthesisError("node_budget must be >= 1")
         if time_budget is not None and time_budget <= 0:
@@ -431,11 +451,12 @@ class AnnealingExplorer(SearchExplorer):
     """Simulated annealing with an infeasibility penalty.
 
     Deterministic for a given ``seed``: repeated runs (and separate
-    process invocations) produce byte-identical results.  ``optimal``
-    is reported False: the result is a (usually excellent) heuristic
-    solution.  A ``warm_start`` replaces the random initial
-    configuration; without one the trajectory is identical to the seed
-    implementation's.
+    process invocations) produce byte-identical results — the integer
+    cost kernel makes every move energy order-independent, so the
+    trajectory no longer depends on how the state was mutated into
+    place.  ``optimal`` is reported False: the result is a (usually
+    excellent) heuristic solution.  A ``warm_start`` replaces the
+    random initial configuration.
     """
 
     def __init__(
@@ -475,10 +496,11 @@ class AnnealingExplorer(SearchExplorer):
     ) -> ExplorationResult:
         rng = random.Random(self.seed)
         free = list(problem.free_units)
-        # Exact mode keeps every float bit-identical to the reference
-        # oracle, so accept/reject decisions reproduce the seed
-        # implementation's trajectory exactly.
-        state = self._new_state(problem, exact=True)
+        # The integer kernel makes every accept/reject energy
+        # order-independent, so repeated runs (and separate processes)
+        # replay the identical trajectory; annealing never reads the
+        # lower bound, so its knapsack maintenance is skipped.
+        state = self._new_state(problem, exact=True, capacity_bound=False)
         warm = self._warm_assignment(problem, warm_start)
         if warm is not None:
             for unit in free:

@@ -425,22 +425,21 @@ def explore_space(
 
     With ``jobs``/``lineage_size`` set, the selections are sharded
     into contiguous warm-start lineages and dispatched over a process
-    pool (see :class:`~repro.synth.parallel.ParallelSpaceExplorer`).
-    Results are merged in enumeration order and are byte-identical for
-    every jobs count; the default (both ``None``) keeps the single
-    unsharded warm-start chain.
+    pool via the selection-index task protocol (see
+    :class:`~repro.synth.parallel.ParallelSpaceExplorer`): workers
+    receive the family + space once and re-enumerate their
+    ``(start, count)`` shard locally instead of unpickling
+    per-selection unit/origin tuples.  Results are merged in
+    enumeration order and are byte-identical for every jobs count; the
+    default (both ``None``) keeps the single unsharded warm-start
+    chain.
     """
-    from .parallel import (
-        DEFAULT_LINEAGE_SIZE,
-        ParallelSpaceExplorer,
-        tasks_from_space,
-    )
+    from .parallel import DEFAULT_LINEAGE_SIZE, ParallelSpaceExplorer
 
     chosen = _default_explorer(explorer)
-    tasks = tasks_from_space(problem_family, space)
     if jobs is None and lineage_size is None:
         # One unsharded warm-start chain — the sequential semantics.
-        size = max(1, len(tasks))
+        size = max(1, space.count())
     else:
         size = (
             lineage_size if lineage_size is not None
@@ -452,10 +451,7 @@ def explore_space(
         lineage_size=size,
         warm_start=warm_start,
     )
-    return SpaceExploration(
-        family=problem_family,
-        results=runner.explore_tasks(problem_family, tasks),
-    )
+    return runner.explore(problem_family, space)
 
 
 def variant_aware_flow(

@@ -10,16 +10,25 @@ module exploits that:
   next (the PR-1 chaining), across lineages there is no coupling, so
   lineages are embarrassingly parallel.
 * :class:`ParallelSpaceExplorer` dispatches lineages over a
-  ``multiprocessing`` pool.  Workers receive the (picklable)
-  :class:`~repro.synth.methods.ProblemFamily` once, rebuild each
+  ``multiprocessing`` pool using a **selection-index task protocol**:
+  the (picklable) :class:`~repro.synth.methods.ProblemFamily` and
+  :class:`~repro.variants.variant_space.VariantSpace` ship **once per
+  worker** (fork-inherited on Linux, pickled once by the pool
+  initializer elsewhere), and each lineage crosses the process
+  boundary as a tiny :class:`LineageShard` — ``(start_index, count)``
+  into the space's canonical selection enumeration.  Workers
+  re-enumerate their shard locally (:func:`tasks_for_range`, binding
+  only their own selections), rebuild each
   :class:`~repro.synth.mapping.SynthesisProblem` (and through it the
-  delta-cost :class:`~repro.synth.state.SearchState`) locally, and
-  stream lineage results back; the parent merges them in lineage-index
+  delta-cost :class:`~repro.synth.state.SearchState`), and stream
+  lineage results back; the parent merges them in lineage-index
   order, so the output is **byte-identical for every jobs count** —
   ``jobs`` changes wall-clock only, never results.  The lineage
   decomposition is controlled solely by ``lineage_size``; with an
   exact explorer the per-selection costs also equal the unsharded
-  sequential chain's.
+  sequential chain's.  Pre-materialized task lists (e.g. the
+  independent flow's applications, which have no backing space) keep
+  the per-task shipping path via :meth:`ParallelSpaceExplorer.explore_tasks`.
 * :class:`RacingPortfolioExplorer` runs annealing and budgeted
   branch-and-bound as **racing** process members on one problem:
   the first member to return a *provably optimal* result cancels the
@@ -118,18 +127,43 @@ class Lineage:
     tasks: Tuple[SelectionTask, ...]
 
 
-def tasks_from_space(family, space: VariantSpace) -> List[SelectionTask]:
-    """Bind every consistent selection into a picklable task list.
+@dataclass(frozen=True)
+class LineageShard:
+    """One lineage as indices into the canonical selection enumeration.
 
-    Streams :meth:`VariantSpace.iter_applications` (graphs are
-    discarded as soon as their unit set is extracted), preserving the
-    neighbor-friendly enumeration order that makes contiguous chunks
-    good warm-start lineages.
+    The shared-memory task protocol: instead of pickling every
+    selection's unit/origin tuples, the parent sends this constant-size
+    triple and the worker re-enumerates ``[start, start + count)`` from
+    its fork-inherited (or initializer-shipped) family + space — see
+    :func:`tasks_for_range`.
     """
+
+    index: int
+    start: int
+    count: int
+
+
+def tasks_for_range(
+    family, space: VariantSpace, start: int, count: Optional[int] = None
+) -> List[SelectionTask]:
+    """Bind one contiguous selection range into picklable tasks.
+
+    Decodes each index directly via
+    :meth:`VariantSpace.selection_at` (mixed-radix, O(axes) per
+    selection — no skip-enumeration of the space's prefix), so a
+    worker materializing its shard does O(count) work however deep
+    into a 10^5-selection space the shard starts.  The decoded order —
+    and with it the task indices and application names — is identical
+    to :meth:`VariantSpace.selections`, which is what keeps the index
+    protocol byte-compatible with shipping the tasks themselves.
+    """
+    stop = space.count() if count is None else start + count
     tasks: List[SelectionTask] = []
-    for index, (selection, graph) in enumerate(
-        space.iter_applications(prefix=family.name)
-    ):
+    for index in range(start, stop):
+        selection = space.selection_at(index)
+        graph = space.vgraph.bind(
+            selection, name=f"{family.name}.app{index + 1}"
+        )
         tasks.append(
             SelectionTask(
                 index=index,
@@ -140,6 +174,11 @@ def tasks_from_space(family, space: VariantSpace) -> List[SelectionTask]:
             )
         )
     return tasks
+
+
+def tasks_from_space(family, space: VariantSpace) -> List[SelectionTask]:
+    """Bind every consistent selection into a picklable task list."""
+    return tasks_for_range(family, space, 0)
 
 
 def shard_lineages(
@@ -154,6 +193,20 @@ def shard_lineages(
             tasks=tuple(tasks[start : start + lineage_size]),
         )
         for start in range(0, len(tasks), lineage_size)
+    ]
+
+
+def shard_indices(total: int, lineage_size: int) -> List[LineageShard]:
+    """The index-protocol twin of :func:`shard_lineages`."""
+    if lineage_size < 1:
+        raise SynthesisError("lineage_size must be >= 1")
+    return [
+        LineageShard(
+            index=start // lineage_size,
+            start=start,
+            count=min(lineage_size, total - start),
+        )
+        for start in range(0, total, lineage_size)
     ]
 
 
@@ -195,10 +248,11 @@ def run_lineage(family, explorer: Explorer, warm_start: bool, lineage):
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _init_space_worker(family, explorer, warm_start) -> None:
+def _init_space_worker(family, explorer, warm_start, space=None) -> None:
     _WORKER_STATE["family"] = family
     _WORKER_STATE["explorer"] = explorer
     _WORKER_STATE["warm_start"] = warm_start
+    _WORKER_STATE["space"] = space
 
 
 def _explore_lineage_remote(lineage: Lineage):
@@ -215,6 +269,27 @@ def _explore_lineage_remote(lineage: Lineage):
             f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
         )
         return lineage.index, detail, None
+
+
+def _explore_shard_remote(shard: LineageShard):
+    """Index-protocol worker: re-enumerate the shard, then explore it."""
+    try:
+        family = _WORKER_STATE["family"]
+        tasks = tasks_for_range(
+            family, _WORKER_STATE["space"], shard.start, shard.count
+        )
+        results = run_lineage(
+            family,
+            _WORKER_STATE["explorer"],
+            _WORKER_STATE["warm_start"],
+            Lineage(index=shard.index, tasks=tuple(tasks)),
+        )
+        return shard.index, None, results
+    except Exception as exc:  # surfaced in the parent
+        detail = (
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        )
+        return shard.index, detail, None
 
 
 def _init_map_worker(fn) -> None:
@@ -319,15 +394,38 @@ class ParallelSpaceExplorer:
         self.mp_context = mp_context
 
     def explore(self, family, space: VariantSpace):
-        """Explore every consistent selection; deterministic output."""
+        """Explore every consistent selection; deterministic output.
+
+        Uses the selection-index task protocol: lineages cross the
+        process boundary as ``(start, count)`` shards and workers
+        re-enumerate them from the once-shipped family + space.
+        """
         from .methods import SpaceExploration
 
-        tasks = tasks_from_space(family, space)
-        results = self.explore_tasks(family, tasks)
+        shards = shard_indices(space.count(), self.lineage_size)
+        if self.jobs == 1 or len(shards) <= 1:
+            # In-process: nothing to ship, so enumerate the space once
+            # and shard the task list directly (the worker-side
+            # re-enumeration would redo it per shard).
+            lineages = shard_lineages(
+                tasks_from_space(family, space), self.lineage_size
+            )
+            per_lineage = [
+                run_lineage(family, self.explorer, self.warm_start, lin)
+                for lin in lineages
+            ]
+        else:
+            per_lineage = self._run_index_pool(family, space, shards)
+        results = [result for chunk in per_lineage for result in chunk]
         return SpaceExploration(family=family, results=results)
 
     def explore_tasks(self, family, tasks: Sequence[SelectionTask]):
-        """Run a prepared task list through the lineage machinery."""
+        """Run a prepared task list through the lineage machinery.
+
+        The per-task shipping path, for task lists with no backing
+        :class:`VariantSpace` to re-enumerate from (e.g. the
+        independent flow's prebound applications).
+        """
         lineages = shard_lineages(list(tasks), self.lineage_size)
         if self.jobs == 1 or len(lineages) <= 1:
             per_lineage = [
@@ -338,28 +436,55 @@ class ParallelSpaceExplorer:
             per_lineage = self._run_pool(family, lineages)
         return [result for chunk in per_lineage for result in chunk]
 
+    def _run_index_pool(
+        self, family, space: VariantSpace, shards: List[LineageShard]
+    ):
+        return self._collect_over_pool(
+            worker=_explore_shard_remote,
+            payloads=shards,
+            initargs=(family, self.explorer, self.warm_start, space),
+            describe=lambda index: (
+                f"selections {shards[index].start}.."
+                f"{shards[index].start + shards[index].count - 1}"
+            ),
+        )
+
     def _run_pool(self, family, lineages: List[Lineage]):
+        return self._collect_over_pool(
+            worker=_explore_lineage_remote,
+            payloads=lineages,
+            initargs=(family, self.explorer, self.warm_start),
+            describe=lambda index: (
+                f"selections {[t.name for t in lineages[index].tasks]}"
+            ),
+        )
+
+    def _collect_over_pool(self, worker, payloads, initargs, describe):
+        """Shared pool loop of both task protocols.
+
+        Streams results back unordered, surfaces the first worker
+        error as :class:`SynthesisError` naming the lineage, and
+        merges in lineage-index order so scheduling never shows in
+        the output.
+        """
         ctx = _mp_context(self.mp_context)
         collected: Dict[int, List] = {}
         with ctx.Pool(
-            processes=min(self.jobs, len(lineages)),
+            processes=min(self.jobs, len(payloads)),
             initializer=_init_space_worker,
-            initargs=(family, self.explorer, self.warm_start),
+            initargs=initargs,
         ) as pool:
             for index, error, results in pool.imap_unordered(
-                _explore_lineage_remote, lineages
+                worker, payloads
             ):
                 if error is not None:
                     pool.terminate()
                     raise SynthesisError(
                         f"exploration worker failed on lineage {index} "
-                        f"(selections "
-                        f"{[t.name for t in lineages[index].tasks]}): "
-                        f"{error}"
+                        f"({describe(index)}): {error}"
                     )
                 collected[index] = results
-        # Merge in lineage order — results streamed back unordered.
-        return [collected[index] for index in range(len(lineages))]
+        return [collected[index] for index in range(len(payloads))]
 
 
 # ----------------------------------------------------------------------

@@ -5,15 +5,24 @@ by assigning units to targets one at a time.  The seed implementation
 re-ran the from-scratch :func:`repro.synth.cost.evaluate` at every
 search node — O(units × processors) per node, rebuilding per-processor
 buckets and the per-interface max-exclusion aggregation each time.
-:class:`SearchState` replaces that with O(1)-amortized deltas:
+:class:`SearchState` replaces that with O(1)-amortized deltas over an
+**integerized fixed-point kernel**:
 
+* every utilization, memory and cost contribution is quantized once at
+  construction to an integer number of ``2**-QUANT_SHIFT`` quanta
+  (:func:`repro.synth.cost.quantize`), so the per-processor aggregates
+  are integer accumulators — associative and commutative *by
+  construction*.  Any sequence of assign/unassign/reassign calls that
+  reaches the same assignment reads byte-identical state, in any
+  mutation order, with no re-aggregation;
 * per-processor utilization under the paper's exclusion rule
   (``common + Σ_interfaces max_cluster Σ_units``),
 * per-processor memory footprints (``variants_resident`` both ways),
 * hardware cost and allocated-processor count,
 * capacity-violation counters (so feasibility of the current partial
   mapping is an O(1) read), and
-* an O(1) admissible lower bound for branch-and-bound pruning.
+* an incremental admissible lower bound for branch-and-bound pruning,
+  with an optional **capacity-aware** knapsack term (below).
 
 The "amortized" caveat is the interface max: removing the cluster that
 currently dominates an interface's exclusion load re-scans that
@@ -25,16 +34,39 @@ interface (for benchmarking the speedup instead of asserting it), and
 the property suite cross-checks both paths on randomized problems and
 assign/unassign sequences.
 
-Exact mode
-----------
-With ``exact=True`` every mutation re-aggregates the touched
-processor's bucket in canonical (``problem.units``) order through the
-same helpers the reference oracle uses, so utilization, memory, and
-hardware-cost floats are *bit-identical* to ``evaluate()`` — this is
-what keeps the refactored simulated annealing byte-reproducible against
-the seed implementation.  Delta mode is the fast path for depth-first
-search, where assignments nest LIFO and the 1e-9 capacity slack
-dominates any float residue by seven orders of magnitude.
+Quantization contract
+---------------------
+For library values that are binary fractions with at most
+``QUANT_SHIFT`` fractional bits (e.g. the ``k/64`` grids of the
+property suite), the integer kernel reproduces the float oracle **bit
+for bit**.  For arbitrary decimal values it agrees within quantization
+tolerance (``~n·2**-(QUANT_SHIFT+1)`` per aggregate of ``n`` units,
+i.e. ~1e-8 for realistic buckets) while remaining exactly
+deterministic across mutation orders and process boundaries.  The
+``exact`` constructor flag of the pre-integer kernel is retained for
+API compatibility; every mode is exact now, so it is a no-op.
+
+Capacity-aware lower bound
+--------------------------
+``lower_bound()`` = committed hardware + hardware-only pending cost +
+allocated-processor cost (the *basic* bound) **plus** a fractional-
+knapsack relaxation of the remaining capacity constraint: undecided
+software-capable load that provably cannot fit the architecture's
+total remaining processor capacity must buy hardware, and the cheapest
+way to do that (sorted by hardware-cost-per-load density, last unit
+fractional) lower-bounds the extra cost of *any* completion.
+
+Mutual exclusion makes a naive load sum inadmissible (cluster loads
+shadow each other), so the relaxation only counts units whose load is
+guaranteed to consume capacity in every completion: common units plus,
+per interface, one statically *chosen* cluster (the one with the
+largest total software load).  For any fixed choice ``c_θ`` the true
+per-processor utilization satisfies ``Σ_p util_p ≥ common_load +
+Σ_θ load(c_θ)``, so the relaxed constraint is valid and the bound
+stays admissible — branch-and-bound remains provably optimal (up to
+quantization tolerance).  The knapsack state is maintained
+incrementally per decision in a Fenwick tree over the density-sorted
+undecided units: O(log n) per mutation, O(log n) per bound read.
 """
 
 from __future__ import annotations
@@ -43,12 +75,12 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import SynthesisError
 from .cost import (
-    CAPACITY_EPS,
     Evaluation,
+    QUANT_SCALE,
     evaluate,
     lower_bound,
-    memory_of_units,
-    utilization_of_units,
+    quantize,
+    quantize_capacity,
 )
 from .mapping import Mapping, SynthesisProblem, Target
 
@@ -60,33 +92,29 @@ _GroupKey = Optional[Tuple[str, str]]
 class _ExclusionLoad:
     """Delta-maintained ``common + Σ_iface max_cluster Σ`` aggregate.
 
-    The unit counts per cluster (and for the common part) let each
-    group snap back to exactly ``0.0`` when it empties, and ``total``
-    is derived from the per-group aggregates on read (interfaces per
-    processor are few), so float residue cannot leak between the
-    common part and the exclusion groups.
+    All loads are integers (quanta), so accumulation is exact and
+    order-independent; ``total`` is derived from the per-group
+    aggregates on read (interfaces per processor are few).
     """
 
-    __slots__ = ("common", "ncommon", "groups", "imax")
+    __slots__ = ("common", "groups", "imax")
 
     def __init__(self) -> None:
-        self.common = 0.0
-        self.ncommon = 0
+        self.common = 0
         #: interface -> {cluster: [load, unit_count]}
-        self.groups: Dict[str, Dict[str, List[float]]] = {}
+        self.groups: Dict[str, Dict[str, List[int]]] = {}
         #: interface -> current max cluster load
-        self.imax: Dict[str, float] = {}
+        self.imax: Dict[str, int] = {}
 
     @property
-    def total(self) -> float:
+    def total(self) -> int:
         if not self.imax:
             return self.common
         return self.common + sum(self.imax.values())
 
-    def add(self, key: _GroupKey, value: float) -> None:
+    def add(self, key: _GroupKey, value: int) -> None:
         if key is None:
             self.common += value
-            self.ncommon += 1
             return
         interface, cluster = key
         group = self.groups.setdefault(interface, {})
@@ -102,13 +130,9 @@ class _ExclusionLoad:
         if current_max is None or new_load > current_max:
             self.imax[interface] = new_load
 
-    def remove(self, key: _GroupKey, value: float) -> None:
+    def remove(self, key: _GroupKey, value: int) -> None:
         if key is None:
-            self.ncommon -= 1
-            if self.ncommon == 0:
-                self.common = 0.0
-            else:
-                self.common -= value
+            self.common -= value
             return
         interface, cluster = key
         group = self.groups[interface]
@@ -131,15 +155,131 @@ class _ExclusionLoad:
                 del self.imax[interface]
 
 
+class _KnapsackBound:
+    """Fenwick tree over density-sorted undecided flexible units.
+
+    Supports the capacity-aware bound: point add/remove as units are
+    decided/undecided, and an O(log n) prefix descent answering "how
+    much hardware cost can at most be *avoided* within a remaining
+    capacity budget" — the fractional-knapsack LP optimum, floored
+    towards admissibility.
+    """
+
+    __slots__ = (
+        "size",
+        "loads",
+        "costs",
+        "bit_load",
+        "bit_cost",
+        "total_load",
+        "total_cost",
+        "_top_bit",
+    )
+
+    def __init__(self, entries: List[Tuple[int, int]]) -> None:
+        # ``entries`` are (load, cost) pairs already sorted by
+        # descending cost/load density; index 0 of the static arrays
+        # is unused (Fenwick trees are 1-based).  Every entry carries
+        # a strictly positive load (zero-load units never force
+        # hardware and are excluded by the pool builder) — the
+        # boundary-slot argument in :meth:`forced_cost` relies on it.
+        self.size = len(entries)
+        self.loads = [0] + [load for load, _ in entries]
+        self.costs = [0] + [cost for _, cost in entries]
+        self.bit_load = [0] * (self.size + 1)
+        self.bit_cost = [0] * (self.size + 1)
+        self.total_load = 0
+        self.total_cost = 0
+        for slot in range(1, self.size + 1):
+            self.bit_load[slot] += self.loads[slot]
+            self.bit_cost[slot] += self.costs[slot]
+            parent = slot + (slot & -slot)
+            if parent <= self.size:
+                self.bit_load[parent] += self.bit_load[slot]
+                self.bit_cost[parent] += self.bit_cost[slot]
+            self.total_load += self.loads[slot]
+            self.total_cost += self.costs[slot]
+        top = 1
+        while top * 2 <= self.size:
+            top *= 2
+        self._top_bit = top
+
+    def remove(self, slot: int) -> None:
+        """Take one unit out of the undecided pool."""
+        load, cost = self.loads[slot], self.costs[slot]
+        self.total_load -= load
+        self.total_cost -= cost
+        index = slot
+        while index <= self.size:
+            self.bit_load[index] -= load
+            self.bit_cost[index] -= cost
+            index += index & -index
+
+    def add(self, slot: int) -> None:
+        """Return one unit to the undecided pool."""
+        load, cost = self.loads[slot], self.costs[slot]
+        self.total_load += load
+        self.total_cost += cost
+        index = slot
+        while index <= self.size:
+            self.bit_load[index] += load
+            self.bit_cost[index] += cost
+            index += index & -index
+
+    def forced_cost(self, budget: int) -> int:
+        """Minimum hardware cost forced by a capacity ``budget``.
+
+        Fractional-knapsack LP bound: keep the densest (most expensive
+        hardware per unit load) prefix in software while it fits, buy
+        the rest, refund the boundary unit fractionally (rounded *up*,
+        so the result never exceeds the LP optimum — admissible).
+        """
+        total_load = self.total_load
+        if total_load <= budget:
+            return 0
+        # Largest density-ordered prefix with cumulative load <= budget.
+        position = 0
+        remaining = budget
+        kept_cost = 0
+        bit = self._top_bit
+        bit_load = self.bit_load
+        bit_cost = self.bit_cost
+        size = self.size
+        while bit:
+            probe = position + bit
+            if probe <= size and bit_load[probe] <= remaining:
+                remaining -= bit_load[probe]
+                kept_cost += bit_cost[probe]
+                position = probe
+            bit >>= 1
+        forced = self.total_cost - kept_cost
+        if remaining > 0 and position < size:
+            # Fractionally keep the boundary unit.  The descent is
+            # maximal, so slot ``position + 1`` must contribute load
+            # (an undecided pool member): were it removed (zeroed) or
+            # zero-load, its prefix would equal ``position``'s and the
+            # descent would have advanced past it.
+            slot = position + 1
+            cost, load = self.costs[slot], self.loads[slot]
+            forced -= -((-remaining * cost) // load)  # ceil division
+        return forced
+
+
 class SearchState:
     """Delta-cost evaluation state over one :class:`SynthesisProblem`.
 
     ``assign(unit, target)`` / ``unassign(unit)`` maintain every cost
-    and feasibility aggregate incrementally; ``feasible``, ``leaf()``
-    and ``lower_bound()`` are O(1) reads.  ``evaluation()`` assembles a
-    full :class:`~repro.synth.cost.Evaluation` (reference semantics,
+    and feasibility aggregate incrementally on the integer kernel;
+    ``feasible``, ``leaf()`` and ``lower_bound()`` are O(1)/O(log n)
+    reads.  ``evaluation()`` assembles a full
+    :class:`~repro.synth.cost.Evaluation` (reference semantics,
     including the truncated-utilizations shape on violation) from the
     maintained aggregates.
+
+    ``exact`` is accepted for API compatibility and ignored: integer
+    accumulation made every mode order-independent and byte-stable.
+    ``capacity_bound=False`` skips the knapsack maintenance (useful for
+    explorers that never read ``lower_bound()``, e.g. annealing).
     """
 
     #: Partial-mapping infeasibility is monotone (loads only grow along
@@ -151,54 +291,156 @@ class SearchState:
         problem: SynthesisProblem,
         variants_resident: bool = True,
         exact: bool = False,
+        capacity_bound: bool = True,
     ) -> None:
         self.problem = problem
         self.variants_resident = variants_resident
         self.exact = exact
+        self.capacity_bound = capacity_bound
         arch = problem.architecture
-        self._pcost = arch.processor_cost
-        self._ucap = arch.processor_capacity + CAPACITY_EPS
-        self._mcap = (
-            arch.memory_capacity + CAPACITY_EPS
+        self._ipcost = quantize(arch.processor_cost)
+        self._icap = quantize_capacity(arch.processor_capacity)
+        self._imcap = (
+            quantize_capacity(arch.memory_capacity)
             if arch.memory_capacity > 0
             else None
         )
         self._index: Dict[str, int] = {
             unit: index for index, unit in enumerate(problem.units)
         }
-        #: unit -> (sw_load, sw_memory, hw_cost, util_key, mem_key)
+        #: unit -> (iload, imem, ihw_cost, util_key, mem_key)
         self._info: Dict[str, tuple] = {}
-        pending_hwonly = 0.0
+        pending_hwonly = 0
         unassigned_swonly = 0
         for unit in problem.units:
             entry = problem.entry(unit)
-            load = entry.software.utilization if entry.software else None
-            memory = entry.software.memory if entry.software else None
-            hw_cost = entry.hardware.cost if entry.hardware else None
+            software = entry.software
+            iload = (
+                quantize(software.utilization)
+                if software is not None
+                else None
+            )
+            imem = (
+                quantize(software.memory) if software is not None else None
+            )
+            ihw = (
+                quantize(entry.hardware.cost)
+                if entry.hardware is not None
+                else None
+            )
             self._info[unit] = (
-                load,
-                memory,
-                hw_cost,
+                iload,
+                imem,
+                ihw,
                 problem.exclusion_group(unit),
                 None if variants_resident else problem.variant_group(unit),
             )
-            if load is None and hw_cost is not None:
-                pending_hwonly += hw_cost
-            if hw_cost is None:
+            if iload is None and ihw is not None:
+                pending_hwonly += ihw
+            if ihw is None:
                 unassigned_swonly += 1
 
         self.assignment: Dict[str, Target] = {}
         self._buckets: Dict[int, Dict[str, None]] = {}
         self._uload: Dict[int, _ExclusionLoad] = {}
         self._mload: Dict[int, _ExclusionLoad] = {}
-        self._uexact: Dict[int, float] = {}
-        self._mexact: Dict[int, float] = {}
         self._hw_units: Set[str] = set()
-        self._hwcost = 0.0
-        self._pending_hwonly = pending_hwonly
+        self._ihwcost = 0
+        self._ipending_hwonly = pending_hwonly
         self._unassigned_swonly = unassigned_swonly
         self._util_viol = 0
         self._mem_viol = 0
+        if capacity_bound:
+            self._init_capacity_bound()
+        else:
+            self._flex_slot: Dict[str, Tuple[int, int, bool]] = {}
+            self._pools: List[_KnapsackBound] = []
+            self._ibudget_base: List[int] = []
+            self._iassigned_sw: List[int] = []
+            self._icommon_floor = 0
+            self._icommon_sw = 0
+
+    def _init_capacity_bound(self) -> None:
+        """Static setup of the capacity-aware knapsack relaxation.
+
+        Builds one knapsack *pool* per valid capacity constraint, over
+        pairwise-disjoint unit sets (so their forced costs add):
+
+        * pool 0 — common units plus, per interface, the *chosen*
+          cluster (largest total software load): for any fixed choice
+          ``c_θ``, ``common + Σ_θ S_{c_θ} ≤ P·cap`` holds in every
+          completion, and the heaviest choice gives the tightest root
+          bound;
+        * one pool per remaining cluster ``c`` — ``common + S_c ≤
+          P·cap`` also holds for every cluster individually; its
+          budget subtracts the *provably resident* common load
+          (software-only floor plus already-assigned flexible units,
+          which keep their targets in all completions of this
+          subtree).
+
+        Each pool tracks a constant software-only load floor, the
+        counted flexible load currently assigned to software, and a
+        density-sorted Fenwick tree of the undecided flexible units.
+        """
+        cluster_loads: Dict[Tuple[str, str], int] = {}
+        for unit, (iload, _imem, _ihw, ukey, _mkey) in self._info.items():
+            if iload is not None and ukey is not None:
+                cluster_loads[ukey] = cluster_loads.get(ukey, 0) + iload
+        chosen: Dict[str, Tuple[str, str]] = {}
+        for key in sorted(cluster_loads):
+            interface = key[0]
+            best = chosen.get(interface)
+            if best is None or cluster_loads[key] > cluster_loads[best]:
+                chosen[interface] = key
+        pool_of_cluster: Dict[Tuple[str, str], int] = {}
+        next_pool = 1
+        for key in sorted(cluster_loads):
+            if chosen[key[0]] == key:
+                pool_of_cluster[key] = 0
+            else:
+                pool_of_cluster[key] = next_pool
+                next_pool += 1
+
+        n_pools = next_pool
+        floors = [0] * n_pools
+        members: List[List[Tuple[float, int, str, int, int]]] = [
+            [] for _ in range(n_pools)
+        ]
+        common_floor = 0
+        for unit, (iload, _imem, ihw, ukey, _mkey) in self._info.items():
+            if iload is None:
+                continue  # hardware-only: no capacity consumption
+            pool = 0 if ukey is None else pool_of_cluster[ukey]
+            if ihw is None:
+                floors[pool] += iload
+                if ukey is None:
+                    common_floor += iload
+            elif iload > 0:
+                members[pool].append(
+                    (-(ihw / iload), self._index[unit], unit, iload, ihw)
+                )
+        #: unit -> (pool index, Fenwick slot, counted-as-common flag)
+        self._flex_slot = {}
+        self._pools: List[_KnapsackBound] = []
+        for pool, entries in enumerate(members):
+            entries.sort()
+            for slot, entry in enumerate(entries, start=1):
+                unit, ukey = entry[2], self._info[entry[2]][3]
+                self._flex_slot[unit] = (pool, slot, ukey is None)
+            self._pools.append(
+                _KnapsackBound(
+                    [(iload, ihw) for _d, _i, _u, iload, ihw in entries]
+                )
+            )
+        icap_total = (
+            self.problem.architecture.max_processors * self._icap
+        )
+        self._ibudget_base = [icap_total - floor for floor in floors]
+        self._icommon_floor = common_floor
+        #: per pool: counted flexible load currently assigned to SW.
+        self._iassigned_sw = [0] * n_pools
+        #: common flexible load currently assigned to software.
+        self._icommon_sw = 0
 
     # ------------------------------------------------------------------
     # mutation
@@ -218,58 +460,17 @@ class SearchState:
         self._remove(unit, target)
 
     def reassign(self, unit: str, target: Target) -> None:
-        """Move one unit to a new target (one aggregate update, not two).
+        """Move one unit to a new target.
 
-        Equivalent to ``unassign(unit); assign(unit, target)`` but in
-        exact mode each touched processor is re-aggregated only once —
-        the hot operation of simulated annealing moves.
+        Equivalent to ``unassign(unit); assign(unit, target)`` — the
+        hot operation of simulated annealing moves; with the integer
+        kernel both steps are O(1) accumulator updates.
         """
         old = self.assignment.get(unit)
         if old is None:
             raise SynthesisError(f"unit {unit!r} is not assigned")
-        if not self.exact:
-            self._remove(unit, old)
-            self._add(unit, target)
-            self.assignment[unit] = target
-            return
-        load, memory, hw_cost, _ukey, _mkey = self._info[unit]
-        touched = set()
-        hw_changed = False
-        if old.is_software:
-            processor = old.processor
-            bucket = self._buckets[processor]
-            del bucket[unit]
-            if not bucket:
-                self._drop_processor(processor)
-            else:
-                touched.add(processor)
-        else:
-            self._hw_units.discard(unit)
-            hw_changed = True
-        if target.is_software:
-            if load is None:
-                raise SynthesisError(
-                    f"unit {unit!r} mapped to software without a software "
-                    f"option"
-                )
-            processor = target.processor
-            bucket = self._buckets.get(processor)
-            if bucket is None:
-                bucket = self._buckets[processor] = {}
-            bucket[unit] = None
-            touched.add(processor)
-        else:
-            if hw_cost is None:
-                raise SynthesisError(
-                    f"unit {unit!r} mapped to hardware without a hardware "
-                    f"option"
-                )
-            self._hw_units.add(unit)
-            hw_changed = True
-        for processor in touched:
-            self._refresh(processor)
-        if hw_changed:
-            self._hwcost = self._sorted_hw_cost()
+        self._remove(unit, old)
+        self._add(unit, target)
         self.assignment[unit] = target
 
     def _add(self, unit: str, target: Target) -> None:
@@ -278,9 +479,9 @@ class SearchState:
             raise SynthesisError(
                 f"problem {self.problem.name!r} has no unit {unit!r}"
             )
-        load, memory, hw_cost, ukey, mkey = info
+        iload, imem, ihw, ukey, mkey = info
         if target.is_software:
-            if load is None:
+            if iload is None:
                 raise SynthesisError(
                     f"unit {unit!r} mapped to software without a software "
                     f"option"
@@ -290,150 +491,117 @@ class SearchState:
             if bucket is None:
                 bucket = self._buckets[processor] = {}
             bucket[unit] = None
-            if self.exact:
-                self._refresh(processor)
-            else:
-                uload = self._uload.get(processor)
-                if uload is None:
-                    uload = self._uload[processor] = _ExclusionLoad()
-                    self._mload[processor] = _ExclusionLoad()
-                util_before = uload.total
-                mem_before = self._mload[processor].total
-                uload.add(ukey, load)
-                self._mload[processor].add(mkey, memory)
-                self._update_violations(processor, util_before, mem_before)
+            uload = self._uload.get(processor)
+            if uload is None:
+                uload = self._uload[processor] = _ExclusionLoad()
+                self._mload[processor] = _ExclusionLoad()
+            util_before = uload.total
+            mem_before = self._mload[processor].total
+            uload.add(ukey, iload)
+            self._mload[processor].add(mkey, imem)
+            self._update_violations(processor, util_before, mem_before)
+            entry = self._flex_slot.get(unit)
+            if entry is not None:
+                pool, slot, is_common = entry
+                self._pools[pool].remove(slot)
+                self._iassigned_sw[pool] += iload
+                if is_common:
+                    self._icommon_sw += iload
         else:
-            if hw_cost is None:
+            if ihw is None:
                 raise SynthesisError(
                     f"unit {unit!r} mapped to hardware without a hardware "
                     f"option"
                 )
             self._hw_units.add(unit)
-            if self.exact:
-                self._hwcost = self._sorted_hw_cost()
-            else:
-                self._hwcost += hw_cost
-        if load is None and hw_cost is not None:
-            self._pending_hwonly -= hw_cost
-        if hw_cost is None:
+            self._ihwcost += ihw
+            entry = self._flex_slot.get(unit)
+            if entry is not None:
+                self._pools[entry[0]].remove(entry[1])
+        if iload is None and ihw is not None:
+            self._ipending_hwonly -= ihw
+        if ihw is None:
             self._unassigned_swonly -= 1
 
     def _remove(self, unit: str, target: Target) -> None:
-        load, memory, hw_cost, ukey, mkey = self._info[unit]
+        iload, imem, ihw, ukey, mkey = self._info[unit]
         if target.is_software:
             processor = target.processor
             bucket = self._buckets[processor]
             del bucket[unit]
             if not bucket:
                 self._drop_processor(processor)
-            elif self.exact:
-                self._refresh(processor)
             else:
                 uload = self._uload[processor]
                 util_before = uload.total
                 mem_before = self._mload[processor].total
-                uload.remove(ukey, load)
-                self._mload[processor].remove(mkey, memory)
+                uload.remove(ukey, iload)
+                self._mload[processor].remove(mkey, imem)
                 self._update_violations(processor, util_before, mem_before)
+            entry = self._flex_slot.get(unit)
+            if entry is not None:
+                pool, slot, is_common = entry
+                self._pools[pool].add(slot)
+                self._iassigned_sw[pool] -= iload
+                if is_common:
+                    self._icommon_sw -= iload
         else:
             self._hw_units.discard(unit)
-            if self.exact:
-                self._hwcost = self._sorted_hw_cost()
-            else:
-                self._hwcost -= hw_cost
-                if not self._hw_units:
-                    self._hwcost = 0.0
-        if load is None and hw_cost is not None:
-            self._pending_hwonly += hw_cost
-        if hw_cost is None:
+            self._ihwcost -= ihw
+            entry = self._flex_slot.get(unit)
+            if entry is not None:
+                self._pools[entry[0]].add(entry[1])
+        if iload is None and ihw is not None:
+            self._ipending_hwonly += ihw
+        if ihw is None:
             self._unassigned_swonly += 1
 
     def _drop_processor(self, processor: int) -> None:
-        """Forget an emptied processor's aggregates.
-
-        Dropping (instead of decrementing to ~0) resets any float
-        residue exactly to zero, and keeps violation counters honest.
-        """
+        """Forget an emptied processor's aggregates."""
         del self._buckets[processor]
-        if self.exact:
-            self._uexact.pop(processor, None)
-            self._mexact.pop(processor, None)
-            return
         uload = self._uload.pop(processor)
         mload = self._mload.pop(processor)
-        self._util_viol -= uload.total > self._ucap
-        if self._mcap is not None:
-            self._mem_viol -= mload.total > self._mcap
-
-    def _refresh(self, processor: int) -> None:
-        """Exact mode: re-aggregate one processor in canonical order.
-
-        Memory is aggregated only under an active memory constraint;
-        :meth:`memory` computes it on demand otherwise.
-        """
-        bucket = self._buckets.get(processor)
-        if not bucket:
-            self._uexact.pop(processor, None)
-            self._mexact.pop(processor, None)
-            return
-        ordered = sorted(bucket, key=self._index.__getitem__)
-        self._uexact[processor] = utilization_of_units(self.problem, ordered)
-        if self._mcap is not None:
-            self._mexact[processor] = memory_of_units(
-                self.problem, ordered, self.variants_resident
-            )
-
-    def _sorted_hw_cost(self) -> float:
-        """Hardware cost summed in sorted-unit order (oracle parity)."""
-        info = self._info
-        return sum(info[unit][2] for unit in sorted(self._hw_units))
+        self._util_viol -= uload.total > self._icap
+        if self._imcap is not None:
+            self._mem_viol -= mload.total > self._imcap
 
     def _update_violations(
-        self, processor: int, util_before: float, mem_before: float
+        self, processor: int, util_before: int, mem_before: int
     ) -> None:
         self._util_viol += (
-            self._uload[processor].total > self._ucap
-        ) - (util_before > self._ucap)
-        if self._mcap is not None:
+            self._uload[processor].total > self._icap
+        ) - (util_before > self._icap)
+        if self._imcap is not None:
             self._mem_viol += (
-                self._mload[processor].total > self._mcap
-            ) - (mem_before > self._mcap)
+                self._mload[processor].total > self._imcap
+            ) - (mem_before > self._imcap)
 
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
     def utilization(self, processor: int) -> float:
         """Current software utilization of one processor."""
-        if self.exact:
-            return self._uexact.get(processor, 0.0)
         uload = self._uload.get(processor)
-        return uload.total if uload is not None else 0.0
+        if uload is None:
+            return 0.0
+        return uload.total / QUANT_SCALE
 
     def memory(self, processor: int) -> float:
         """Current memory footprint of one processor."""
-        if self.exact:
-            cached = self._mexact.get(processor)
-            if cached is not None:
-                return cached
-            bucket = self._buckets.get(processor)
-            if not bucket:
-                return 0.0
-            ordered = sorted(bucket, key=self._index.__getitem__)
-            return memory_of_units(
-                self.problem, ordered, self.variants_resident
-            )
         mload = self._mload.get(processor)
-        return mload.total if mload is not None else 0.0
+        if mload is None:
+            return 0.0
+        return mload.total / QUANT_SCALE
 
     @property
     def hardware_cost(self) -> float:
         """Total hardware cost of the HW-assigned units."""
-        return self._hwcost
+        return self._ihwcost / QUANT_SCALE
 
     @property
     def software_cost(self) -> float:
         """Processor-allocation cost of the current partial mapping."""
-        return len(self._buckets) * self._pcost
+        return len(self._buckets) * self._ipcost / QUANT_SCALE
 
     @property
     def processor_count(self) -> int:
@@ -457,14 +625,6 @@ class SearchState:
         """
         if len(self._buckets) > self.problem.architecture.max_processors:
             return False
-        if self.exact:
-            if any(load > self._ucap for load in self._uexact.values()):
-                return False
-            if self._mcap is not None and any(
-                load > self._mcap for load in self._mexact.values()
-            ):
-                return False
-            return True
         return self._util_viol == 0 and self._mem_viol == 0
 
     @property
@@ -477,22 +637,65 @@ class SearchState:
         ok = self.feasible
         if not ok:
             return False, float("inf")
-        return True, len(self._buckets) * self._pcost + self._hwcost
+        return (
+            True,
+            (len(self._buckets) * self._ipcost + self._ihwcost)
+            / QUANT_SCALE,
+        )
 
-    def lower_bound(self) -> float:
-        """O(1) admissible lower bound on any completion's total cost.
-
-        Tightens :func:`repro.synth.cost.lower_bound` by paying every
-        *already allocated* processor (assigned units keep their
-        targets in all completions of this subtree), which never
-        overestimates, so branch-and-bound stays provably optimal.
-        """
+    def _processor_floor(self) -> int:
         processors = len(self._buckets)
         if processors == 0 and self._unassigned_swonly:
             processors = 1
+        return processors
+
+    def basic_lower_bound(self) -> float:
+        """The capacity-blind admissible bound (pre-knapsack behavior).
+
+        Pays committed hardware, the cheapest hardware of undecided
+        hardware-only units, and every *already allocated* processor
+        (assigned units keep their targets in all completions of this
+        subtree).
+        """
         return (
-            self._hwcost + self._pending_hwonly + processors * self._pcost
+            self._ihwcost
+            + self._ipending_hwonly
+            + self._processor_floor() * self._ipcost
+        ) / QUANT_SCALE
+
+    def lower_bound(self) -> float:
+        """Admissible lower bound on any completion's total cost.
+
+        :meth:`basic_lower_bound` plus the capacity-aware term: per
+        knapsack pool, the cheapest hardware cost (fractional-knapsack
+        relaxation) of the counted undecided software-capable load
+        that cannot fit the architecture's total remaining processor
+        capacity.  Pools cover disjoint unit sets, so their forced
+        costs add.  Returns ``inf`` when even the provably resident
+        load cannot fit — no completion of this subtree is feasible.
+        """
+        base = (
+            self._ihwcost
+            + self._ipending_hwonly
+            + self._processor_floor() * self._ipcost
         )
+        pools = self._pools
+        if pools:
+            budgets = self._ibudget_base
+            assigned = self._iassigned_sw
+            # Common load that provably stays software in every
+            # completion of this subtree: software-only floor plus
+            # flexible units already committed to software.
+            resident_common = self._icommon_floor + self._icommon_sw
+            for pool, knapsack in enumerate(pools):
+                budget = budgets[pool] - assigned[pool]
+                if pool:
+                    budget -= resident_common
+                if budget < 0:
+                    return float("inf")
+                if knapsack.total_load > budget:
+                    base += knapsack.forced_cost(budget)
+        return base / QUANT_SCALE
 
     def to_mapping(self) -> Mapping:
         """Snapshot the current assignment as an immutable Mapping."""
@@ -504,7 +707,7 @@ class SearchState:
         Mirrors the reference oracle's semantics — including the
         truncated utilization tuple and violation message of the first
         offending processor — but reads every aggregate from the
-        incrementally maintained state.
+        incrementally maintained integer state.
         """
         if not self.complete:
             missing = [
@@ -513,6 +716,7 @@ class SearchState:
             raise SynthesisError(f"mapping does not cover units {missing}")
         arch = self.problem.architecture
         processors = sorted(self._buckets)
+        hardware_cost = self._ihwcost / QUANT_SCALE
         if len(processors) > arch.max_processors:
             return self._infeasible(
                 f"{len(processors)} processors used, template allows "
@@ -520,30 +724,35 @@ class SearchState:
             )
         utilizations: List[float] = []
         for processor in processors:
-            load = self.utilization(processor)
+            iload = self._uload[processor].total
+            load = iload / QUANT_SCALE
             utilizations.append(load)
-            if load > arch.processor_capacity + CAPACITY_EPS:
+            if iload > self._icap:
                 return self._infeasible(
                     f"processor {processor} utilization {load:.3f} exceeds "
                     f"capacity {arch.processor_capacity:.3f}",
-                    partial_hw=self._hwcost,
+                    partial_hw=hardware_cost,
                     utilizations=tuple(utilizations),
                 )
-            if arch.memory_capacity > 0:
-                footprint = self.memory(processor)
-                if footprint > arch.memory_capacity + CAPACITY_EPS:
+            if self._imcap is not None:
+                imem = self._mload[processor].total
+                if imem > self._imcap:
+                    footprint = imem / QUANT_SCALE
                     return self._infeasible(
                         f"processor {processor} memory {footprint:.3f} "
                         f"exceeds capacity {arch.memory_capacity:.3f}",
-                        partial_hw=self._hwcost,
+                        partial_hw=hardware_cost,
                         utilizations=tuple(utilizations),
                     )
-        software_cost = len(processors) * arch.processor_cost
+        software_cost = len(processors) * self._ipcost / QUANT_SCALE
         return Evaluation(
             feasible=True,
-            total_cost=software_cost + self._hwcost,
+            total_cost=(
+                len(processors) * self._ipcost + self._ihwcost
+            )
+            / QUANT_SCALE,
             software_cost=software_cost,
-            hardware_cost=self._hwcost,
+            hardware_cost=hardware_cost,
             processors_used=len(processors),
             utilizations=tuple(utilizations),
         )
@@ -588,6 +797,7 @@ class ReferenceSearchState:
         problem: SynthesisProblem,
         variants_resident: bool = True,
         exact: bool = True,
+        capacity_bound: bool = False,
     ) -> None:
         self.problem = problem
         self.variants_resident = variants_resident

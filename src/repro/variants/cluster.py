@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Dict, Mapping, Optional, Tuple
 
+from .._frozen import proxy_pickle_methods
 from ..errors import VariantError
 from ..spi.graph import ModelGraph
 from ..spi.intervals import Interval
@@ -57,6 +58,10 @@ class Cluster:
     interfaces: Mapping[str, object] = field(default_factory=dict)
     interface_bindings: Mapping[str, Mapping[str, str]] = field(
         default_factory=dict
+    )
+
+    __getstate__, __setstate__ = proxy_pickle_methods(
+        "interfaces", "interface_bindings"
     )
 
     def __post_init__(self) -> None:

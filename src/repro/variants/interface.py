@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Dict, Mapping, Optional, Tuple
 
+from .._frozen import proxy_pickle_methods
 from ..errors import VariantError
 from .cluster import Cluster
 from .ports import PortSignature
@@ -60,6 +61,10 @@ class Interface:
     config_latency: Mapping[str, float] = field(default_factory=dict)
     initial_cluster: Optional[str] = None
     kind: VariantKind = VariantKind.PRODUCTION
+
+    __getstate__, __setstate__ = proxy_pickle_methods(
+        "clusters", "config_latency"
+    )
 
     def __post_init__(self) -> None:
         if not self.name:

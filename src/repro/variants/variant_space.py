@@ -98,25 +98,53 @@ class VariantSpace:
             total *= self.vgraph.interface(iface).variant_count
         return total
 
-    def selections(self) -> Iterator[Dict[str, str]]:
-        """Yield every consistent selection as one flat mapping."""
-        group_axes: List[List[Mapping[str, str]]] = [
+    def _axes(self) -> List[List[Mapping[str, str]]]:
+        """The enumeration axes, outermost first (last varies fastest)."""
+        axes: List[List[Mapping[str, str]]] = [
             list(group.choices) for group in self.groups
         ]
-        free_axes: List[List[Tuple[str, str]]] = [
+        axes.extend(
             [
-                (iface, cluster)
+                {iface: cluster}
                 for cluster in self.vgraph.interface(iface).cluster_names()
             ]
             for iface in self._free
-        ]
-        for group_combo in itertools.product(*group_axes) if group_axes else [()]:
-            for free_combo in itertools.product(*free_axes) if free_axes else [()]:
-                selection: Dict[str, str] = {}
-                for choice in group_combo:
-                    selection.update(choice)
-                selection.update(dict(free_combo))
-                yield selection
+        )
+        return axes
+
+    def selections(self) -> Iterator[Dict[str, str]]:
+        """Yield every consistent selection as one flat mapping."""
+        for combo in itertools.product(*self._axes()):
+            selection: Dict[str, str] = {}
+            for choice in combo:
+                selection.update(choice)
+            yield selection
+
+    def selection_at(self, index: int) -> Dict[str, str]:
+        """The ``index``-th consistent selection, in O(axes) time.
+
+        Mixed-radix decoding of the :meth:`selections` enumeration
+        order (the last axis varies fastest) — what lets a parallel
+        worker materialize its ``(start, count)`` shard directly
+        instead of skip-enumerating the whole space.
+        """
+        if index < 0:
+            raise VariantError("selection index must be >= 0")
+        axes = self._axes()
+        digits: List[int] = []
+        remainder = index
+        for axis in reversed(axes):
+            remainder, digit = divmod(remainder, len(axis))
+            digits.append(digit)
+        if remainder:
+            raise VariantError(
+                f"selection index {index} out of range for a space of "
+                f"{self.count()} selections"
+            )
+        selection: Dict[str, str] = {}
+        for axis, digit in zip(axes, reversed(digits)):
+            selection.update(axis[digit])
+        return selection
 
     def iter_applications(
         self, prefix: Optional[str] = None

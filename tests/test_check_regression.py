@@ -165,3 +165,94 @@ class TestGate:
             ["--current", str(tmp_path / "missing.json"),
              "--history", str(tmp_path)]
         ) == 2
+
+
+def bench_payload_with_extras(nodes_to_optimal=3000.0, optimal=True,
+                              bnb_evals_per_sec=None):
+    payload = bench_payload()
+    payload["explorers"]["branch_and_bound_incremental"][
+        "evals_per_sec"
+    ] = bnb_evals_per_sec
+    payload["bound_tightness"] = {
+        "capacity_bound": {
+            "nodes": nodes_to_optimal,
+            "optimal": optimal,
+        }
+    }
+    return payload
+
+
+class TestNullAndTinySampleMetrics:
+    def test_null_rates_are_not_extracted(self):
+        metrics = check_regression.extract_metrics(
+            bench_payload_with_extras(bnb_evals_per_sec=None)
+        )
+        assert "bnb_incremental_evals_per_sec" not in metrics
+        assert metrics["bnb_incremental_nodes_per_sec"] == 1000.0
+
+    def test_non_optimal_runs_do_not_gate_nodes(self):
+        metrics = check_regression.extract_metrics(
+            bench_payload_with_extras(optimal=False)
+        )
+        assert "bnb_nodes_to_optimal" not in metrics
+
+    def test_gate_skips_metric_that_went_null(self, tmp_path):
+        """A baseline with a real rate never gates a null fresh rate."""
+        history = tmp_path / "bench_history"
+        with_rate = write_current(
+            tmp_path, bench_payload_with_extras(bnb_evals_per_sec=900.0)
+        )
+        check_regression.main(
+            ["--current", str(with_rate), "--history", str(history),
+             "--write"]
+        )
+        without_rate = write_current(
+            tmp_path, bench_payload_with_extras(bnb_evals_per_sec=None)
+        )
+        assert check_regression.main(
+            ["--current", str(without_rate), "--history", str(history)]
+        ) == 0
+
+
+class TestLowerIsBetterMetrics:
+    def test_nodes_to_optimal_extracted(self):
+        metrics = check_regression.extract_metrics(
+            bench_payload_with_extras(nodes_to_optimal=2959)
+        )
+        assert metrics["bnb_nodes_to_optimal"] == 2959
+
+    def test_node_blowup_fails_gate(self, tmp_path, capsys):
+        history = tmp_path / "bench_history"
+        tight = write_current(
+            tmp_path, bench_payload_with_extras(nodes_to_optimal=3000)
+        )
+        check_regression.main(
+            ["--current", str(tight), "--history", str(history),
+             "--write"]
+        )
+        loose = write_current(
+            tmp_path, bench_payload_with_extras(nodes_to_optimal=9000)
+        )
+        code = check_regression.main(
+            ["--current", str(loose), "--history", str(history)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "bnb_nodes_to_optimal" in out
+        assert "REGRESSION" in out
+
+    def test_node_drop_passes_gate(self, tmp_path):
+        history = tmp_path / "bench_history"
+        loose = write_current(
+            tmp_path, bench_payload_with_extras(nodes_to_optimal=9000)
+        )
+        check_regression.main(
+            ["--current", str(loose), "--history", str(history),
+             "--write"]
+        )
+        tight = write_current(
+            tmp_path, bench_payload_with_extras(nodes_to_optimal=900)
+        )
+        assert check_regression.main(
+            ["--current", str(tight), "--history", str(history)]
+        ) == 0

@@ -38,7 +38,9 @@ from repro.synth.parallel import (
     RacingPortfolioExplorer,
     SelectionTask,
     parallel_map,
+    shard_indices,
     shard_lineages,
+    tasks_for_range,
     tasks_from_space,
 )
 from repro.variants.variant_space import VariantSpace
@@ -426,3 +428,78 @@ class TestFlowsThroughBatch:
         assert shard_lineages([task], DEFAULT_LINEAGE_SIZE)[0].tasks == (
             task,
         )
+
+
+class TestIndexProtocol:
+    """Selection-index task shipping: (start, count) shards that
+    workers re-enumerate must be byte-compatible with shipping the
+    tasks themselves, at a fraction of the pickling volume."""
+
+    def test_shard_indices_mirrors_shard_lineages(self):
+        family, space = generated_space()
+        tasks = tasks_from_space(family, space)
+        legacy = shard_lineages(tasks, 4)
+        shards = shard_indices(len(tasks), 4)
+        assert [s.index for s in shards] == [lin.index for lin in legacy]
+        assert [s.count for s in shards] == [
+            len(lin.tasks) for lin in legacy
+        ]
+        assert [s.start for s in shards] == [
+            lin.tasks[0].index for lin in legacy
+        ]
+        with pytest.raises(SynthesisError):
+            shard_indices(8, 0)
+
+    def test_tasks_for_range_matches_full_enumeration(self):
+        family, space = generated_space()
+        tasks = tasks_from_space(family, space)
+        for start, count in ((0, 2), (3, 2), (4, None), (0, None)):
+            window = tasks_for_range(family, space, start, count)
+            stop = len(tasks) if count is None else start + count
+            assert window == tasks[start:stop]
+
+    def test_index_explore_matches_task_explore(self):
+        family, space = generated_space()
+        runner = ParallelSpaceExplorer(jobs=2, lineage_size=2)
+        via_index = runner.explore(family, space)
+        via_tasks = runner.explore_tasks(
+            family, tasks_from_space(family, space)
+        )
+        assert canonical_bytes(via_index) == canonical_bytes(
+            type(via_index)(family=family, results=via_tasks)
+        )
+
+    def test_shards_pickle_much_smaller_than_tasks(self):
+        family, space = generated_space()
+        tasks = tasks_from_space(family, space)
+        legacy = shard_lineages(tasks, 2)
+        shards = shard_indices(len(tasks), 2)
+        task_bytes = sum(len(pickle.dumps(lin)) for lin in legacy)
+        index_bytes = sum(len(pickle.dumps(s)) for s in shards)
+        # Constant-size shards: at least 2x less traffic per lineage
+        # on this small space; the gap grows with units per selection.
+        assert index_bytes * 2 <= task_bytes
+
+    def test_variant_space_pickle_round_trip(self):
+        """The once-per-worker payload of the index protocol."""
+        family, space = generated_space()
+        clone = pickle.loads(pickle.dumps(space))
+        assert clone.count() == space.count()
+        assert list(clone.selections()) == list(space.selections())
+        outcome = ParallelSpaceExplorer(lineage_size=2).explore(
+            family, clone
+        )
+        reference = explore_space(family, space, lineage_size=2)
+        assert canonical_bytes(outcome) == canonical_bytes(reference)
+
+    def test_index_worker_crash_surfaces_with_range(self):
+        family, space = generated_space(n_variants=4)
+        runner = ParallelSpaceExplorer(
+            explorer=CrashingExplorer("app3"), jobs=2, lineage_size=1
+        )
+        with pytest.raises(SynthesisError) as excinfo:
+            runner.explore(family, space)
+        message = str(excinfo.value)
+        assert "exploration worker failed on lineage" in message
+        assert "selections 2..2" in message
+        assert "injected crash" in message

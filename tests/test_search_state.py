@@ -220,21 +220,75 @@ class TestReassignAndExactMode:
         assert moved.assignment == stepped.assignment
         assert moved.evaluation() == stepped.evaluation()
 
-    def test_exact_mode_matches_reference_bit_for_bit(self):
+    def test_matches_reference_within_quantization_tolerance(self):
+        """Off-binary-grid values agree with the oracle to ~2**-32."""
         problem = variant_problem()
         state = SearchState(problem, exact=True)
         targets = {"K": Target.sw(0), "A1": Target.sw(0), "B1": Target.sw(1)}
         for unit, target in targets.items():
             state.assign(unit, target)
         mapping = Mapping(targets)
-        assert state.evaluation() == evaluate(problem, mapping)
+        reference = evaluate(problem, mapping)
+        result = state.evaluation()
+        assert result.feasible == reference.feasible
+        assert result.total_cost == pytest.approx(
+            reference.total_cost, abs=1e-8
+        )
         for processor in (0, 1):
-            assert state.utilization(processor) == processor_utilization(
-                problem, mapping, processor
+            assert state.utilization(processor) == pytest.approx(
+                processor_utilization(problem, mapping, processor),
+                abs=1e-8,
             )
-            assert state.memory(processor) == processor_memory(
-                problem, mapping, processor
+            assert state.memory(processor) == pytest.approx(
+                processor_memory(problem, mapping, processor), abs=1e-8
             )
+
+    def test_binary_grid_values_match_reference_bit_for_bit(self):
+        """On a 2**-6 grid the integer kernel is exact, any order."""
+        library = ComponentLibrary()
+        library.component("K", sw_utilization=19 / 64, hw_cost=30,
+                          sw_memory=16 / 64)
+        library.component("A1", sw_utilization=32 / 64, hw_cost=10,
+                          sw_memory=32 / 64)
+        library.component("B1", sw_utilization=38 / 64, hw_cost=12,
+                          sw_memory=48 / 64)
+        problem = variant_problem(library=library)
+        targets = {"K": Target.sw(0), "A1": Target.sw(0), "B1": Target.sw(1)}
+        mapping = Mapping(targets)
+        reference = evaluate(problem, mapping)
+        for order in (("K", "A1", "B1"), ("B1", "K", "A1")):
+            state = SearchState(problem)
+            for unit in order:
+                state.assign(unit, targets[unit])
+            assert state.evaluation() == reference
+            for processor in (0, 1):
+                assert state.utilization(processor) == (
+                    processor_utilization(problem, mapping, processor)
+                )
+                assert state.memory(processor) == processor_memory(
+                    problem, mapping, processor
+                )
+
+    def test_reads_byte_identical_across_mutation_orders(self):
+        """Same assignment, different mutation history => same bytes."""
+        problem = variant_problem()
+        targets = {"K": Target.sw(0), "A1": Target.sw(0), "B1": Target.hw()}
+        direct = SearchState(problem)
+        for unit in ("K", "A1", "B1"):
+            direct.assign(unit, targets[unit])
+        detoured = SearchState(problem)
+        detoured.assign("B1", Target.sw(1))
+        detoured.assign("A1", Target.sw(1))
+        detoured.assign("K", Target.hw())
+        detoured.reassign("A1", Target.sw(0))
+        detoured.reassign("K", Target.sw(0))
+        detoured.reassign("B1", Target.hw())
+        assert direct.evaluation() == detoured.evaluation()
+        assert direct.leaf() == detoured.leaf()
+        assert direct.lower_bound() == detoured.lower_bound()
+        assert direct.utilization(0) == detoured.utilization(0)
+        assert direct.memory(0) == detoured.memory(0)
+        assert direct.hardware_cost == detoured.hardware_cost
 
     def test_incremental_evaluator_alias(self):
         assert IncrementalEvaluator is SearchState
@@ -293,8 +347,18 @@ class TestReferenceSearchState:
         for unit, target in targets.items():
             incremental.assign(unit, target)
             reference.assign(unit, target)
-        assert incremental.leaf() == reference.leaf()
-        assert incremental.evaluation() == reference.evaluation()
+        assert incremental.leaf()[0] == reference.leaf()[0]
+        assert incremental.leaf()[1] == pytest.approx(
+            reference.leaf()[1], abs=1e-8
+        )
+        result, oracle = incremental.evaluation(), reference.evaluation()
+        assert result.feasible == oracle.feasible
+        assert result.total_cost == pytest.approx(
+            oracle.total_cost, abs=1e-8
+        )
+        assert result.utilizations == pytest.approx(
+            oracle.utilizations, abs=1e-8
+        )
         assert incremental.to_mapping().assignment == (
             reference.to_mapping().assignment
         )
@@ -306,3 +370,99 @@ class TestReferenceSearchState:
         reference.assign("B1", Target.sw(0))
         assert reference.feasible  # unknown for partials: stays True
         assert not reference.can_prune_infeasible
+
+
+class TestCapacityAwareBound:
+    def knapsack_problem(self, max_processors=1, processor_cost=0.0):
+        """Three flexible units, total load 1.2, capacity 0.5: at
+        least 0.7 of load must buy hardware in every completion."""
+        library = ComponentLibrary()
+        library.component("a", sw_utilization=0.5, hw_cost=20)
+        library.component("b", sw_utilization=0.4, hw_cost=4)
+        library.component("c", sw_utilization=0.3, hw_cost=2)
+        return SynthesisProblem(
+            name="knap",
+            units=("a", "b", "c"),
+            library=library,
+            architecture=ArchitectureTemplate(
+                max_processors=max_processors,
+                processor_cost=processor_cost,
+                processor_capacity=0.5,
+            ),
+        )
+
+    def test_root_bound_charges_unavoidable_hardware(self):
+        state = SearchState(self.knapsack_problem())
+        # Keeping "a" (density 40/load) in software is optimal for the
+        # adversary; "b" and "c" (0.7 load) must be bought: 4 + 2 = 6.
+        assert state.lower_bound() == pytest.approx(6.0, abs=1e-6)
+        assert state.basic_lower_bound() == 0.0
+
+    def test_bound_tightens_as_software_commits(self):
+        state = SearchState(self.knapsack_problem())
+        root = state.lower_bound()
+        state.assign("a", Target.sw(0))
+        # All remaining capacity is gone: b and c are forced out.
+        assert state.lower_bound() >= root
+        assert state.lower_bound() == pytest.approx(6.0, abs=1e-6)
+        state.assign("b", Target.hw())
+        assert state.lower_bound() == pytest.approx(
+            4.0 + 2.0, abs=1e-6
+        )
+
+    def test_fractional_refund_keeps_bound_admissible(self):
+        state = SearchState(self.knapsack_problem(max_processors=2))
+        # Two processors: capacity 1.0, load 1.2 — only a 0.2 sliver
+        # must go to hardware; the cheapest-density sliver is from "c"
+        # (2 / 0.3 per load): 0.2 * (2 / 0.3) ≈ 1.33.
+        bound = state.lower_bound()
+        assert bound <= 2.0 + 1e-9  # admissible vs buying all of "c"
+        assert bound == pytest.approx(0.2 * 2 / 0.3, abs=1e-3)
+
+    def test_software_only_overload_is_infinite(self):
+        library = ComponentLibrary()
+        library.component("x", sw_utilization=0.4)
+        library.component("y", sw_utilization=0.4)
+        problem = SynthesisProblem(
+            name="dead",
+            units=("x", "y"),
+            library=library,
+            architecture=ArchitectureTemplate(
+                max_processors=1, processor_cost=1.0,
+                processor_capacity=0.5,
+            ),
+        )
+        state = SearchState(problem)
+        assert state.lower_bound() == float("inf")
+
+    def test_exclusion_shadowed_clusters_are_not_counted(self):
+        """Only the heaviest cluster per interface consumes budget in
+        pool 0 — a lighter shadowable cluster must not inflate it."""
+        library = ComponentLibrary()
+        library.component("h", sw_utilization=0.5, hw_cost=10)
+        library.component("l", sw_utilization=0.45, hw_cost=10)
+        problem = SynthesisProblem(
+            name="shadow",
+            units=("h", "l"),
+            library=library,
+            architecture=ArchitectureTemplate(
+                max_processors=1, processor_cost=0.0,
+                processor_capacity=0.5,
+            ),
+            origins={
+                "h": VariantOrigin("theta", "A"),
+                "l": VariantOrigin("theta", "B"),
+            },
+        )
+        state = SearchState(problem)
+        # Both fit together in software (max(0.5, 0.45) = 0.5): no
+        # hardware is forced, and the bound must know that.
+        assert state.lower_bound() == 0.0
+        state.assign("h", Target.sw(0))
+        state.assign("l", Target.sw(0))
+        assert state.feasible
+
+    def test_disabled_capacity_bound_falls_back_to_basic(self):
+        state = SearchState(self.knapsack_problem(), capacity_bound=False)
+        assert state.lower_bound() == state.basic_lower_bound()
+        assert state.lower_bound() == 0.0

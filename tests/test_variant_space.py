@@ -143,3 +143,30 @@ class TestVariantSpace:
 
     def test_len_protocol(self):
         assert len(VariantSpace(tv_like_vgraph())) == 4
+
+
+class TestSelectionAt:
+    """Mixed-radix decoding must replay the enumeration order."""
+
+    def _spaces(self):
+        from repro.apps.generators import generate_system
+
+        yield VariantSpace(tv_like_vgraph())
+        yield VariantSpace(tv_like_vgraph(), groups=[standards_group()])
+        generated = generate_system(seed=5, n_variants=4)
+        yield VariantSpace(generated.vgraph)
+
+    def test_matches_enumeration_order(self):
+        for space in self._spaces():
+            enumerated = list(space.selections())
+            assert [
+                space.selection_at(index)
+                for index in range(space.count())
+            ] == enumerated
+
+    def test_out_of_range_rejected(self):
+        for space in self._spaces():
+            with pytest.raises(VariantError):
+                space.selection_at(space.count())
+            with pytest.raises(VariantError):
+                space.selection_at(-1)
