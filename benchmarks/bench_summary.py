@@ -1,0 +1,97 @@
+"""Print the basic/capacity/adaptive nodes comparison of one bench run.
+
+CI runs this after the explorer bench so the branching-order and
+bound-tightness wins are readable straight from the job log (next to
+the uploaded ``BENCH_explorer.json`` artifact) without downloading
+anything::
+
+    python benchmarks/bench_summary.py [path/to/BENCH_explorer.json]
+
+The table covers the whole pruning story on the knapsack-hard
+workload: the capacity-blind *basic* bound, the PR 3 *capacity* bound
+under the static order, and each PR 4 branching-order mode up to the
+default adaptive-order + dynamic-pool configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "BENCH_explorer.json"
+
+#: (label, section, key) rows of the comparison, pruning-weakest first.
+ROWS = (
+    ("basic bound (capacity-blind)", "bound_tightness", "basic_bound"),
+    ("capacity bound, static order", "branching_order", "static"),
+    ("capacity bound, density order", "branching_order", "density"),
+    ("capacity bound, adaptive order", "branching_order", "adaptive"),
+    (
+        "capacity bound + dynamic pool, static order",
+        "branching_order",
+        "static_dynamic_pool",
+    ),
+    (
+        "adaptive order + dynamic pool (default)",
+        "branching_order",
+        "adaptive_dynamic",
+    ),
+)
+
+
+def comparison_lines(payload: dict) -> List[str]:
+    """The rendered comparison table of one BENCH_explorer payload."""
+    entries = []
+    for label, section_name, key in ROWS:
+        stats = payload.get(section_name, {}).get(key)
+        if stats is None:
+            continue
+        entries.append((label, stats))
+    if not entries:
+        return ["bench_summary: no nodes data in the payload"]
+    reference: Optional[float] = None
+    for label, stats in entries:
+        if stats.get("optimal") and label.startswith("basic bound"):
+            reference = stats["nodes"]
+            break
+    if reference is None and entries[0][1].get("optimal"):
+        reference = entries[0][1]["nodes"]
+    width = max(len(label) for label, _ in entries)
+    lines = [
+        "nodes to proven optimum on the knapsack-hard workload "
+        f"({payload.get('workload', {}).get('problem', 'unknown')}):"
+    ]
+    for label, stats in entries:
+        nodes = stats["nodes"]
+        proved = "proved" if stats.get("optimal") else "TRUNCATED"
+        shrink = (
+            f"  ({reference / nodes:7.1f}x fewer than basic)"
+            if reference
+            and stats.get("optimal")
+            and nodes != reference
+            else ""
+        )
+        lines.append(f"  {label:<{width}}  {nodes:>8} {proved}{shrink}")
+    return lines
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    current = pathlib.Path(args[0]) if args else DEFAULT_CURRENT
+    if not current.exists():
+        print(
+            f"bench_summary: {current} not found — run the explorer "
+            f"bench first."
+        )
+        return 2
+    payload = json.loads(current.read_text())
+    for line in comparison_lines(payload):
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,8 +47,18 @@ GATED_METRICS = {
     "annealing_incremental_evals_per_sec": "higher",
     "microbench_incremental_evals_per_sec": "higher",
     "parallel_jobs1_selections_per_sec": "higher",
+    "parallel_jobs4_efficiency": "higher",
     "bnb_nodes_to_optimal": "lower",
+    "bnb_adaptive_nodes_to_optimal": "lower",
+    "dispatch_index_bytes_per_lineage": "lower",
 }
+
+#: Metrics that only compare between runs recorded on the same number
+#: of CPUs: parallel efficiency on a 1-CPU container measures pool
+#: overhead, not scaling, and efficiency at N workers is simply not
+#: the same quantity on 1, 2 or 16 cores.  The gate skips these when
+#: the baseline's recorded ``cpus`` differs from the current run's.
+CPU_SENSITIVE_METRICS = frozenset({"parallel_jobs4_efficiency"})
 
 
 def extract_metrics(payload: dict) -> Dict[str, float]:
@@ -78,17 +88,43 @@ def extract_metrics(payload: dict) -> Dict[str, float]:
         "microbench_incremental_evals_per_sec",
         microbench.get("incremental_evals_per_sec"),
     )
-    for level in payload.get("parallel_jobs_sweep", {}).get("sweep", ()):
+    sweep_section = payload.get("parallel_jobs_sweep", {})
+    for level in sweep_section.get("sweep", ()):
         if level.get("jobs") == 1:
             put(
                 "parallel_jobs1_selections_per_sec",
                 level.get("selections_per_sec"),
             )
+        elif level.get("jobs") == 4 and sweep_section.get(
+            "efficiency_meaningful"
+        ):
+            # Never extracted on a 1-CPU container (the bench marks
+            # the whole column meaningless there).
+            put(
+                "parallel_jobs4_efficiency",
+                level.get("parallel_efficiency"),
+            )
     tightness = payload.get("bound_tightness", {})
     capacity = tightness.get("capacity_bound", {})
     if capacity.get("optimal"):
         put("bnb_nodes_to_optimal", capacity.get("nodes"))
+    adaptive = payload.get("branching_order", {}).get(
+        "adaptive_dynamic", {}
+    )
+    if adaptive.get("optimal"):
+        put("bnb_adaptive_nodes_to_optimal", adaptive.get("nodes"))
+    put(
+        "dispatch_index_bytes_per_lineage",
+        payload.get("dispatch_volume", {}).get(
+            "index_protocol_bytes_per_lineage"
+        ),
+    )
     return metrics
+
+
+def recorded_cpus(payload: dict):
+    """The CPU count a bench payload was produced on (None if absent)."""
+    return payload.get("parallel_jobs_sweep", {}).get("cpus")
 
 
 def _git(args, default: str) -> str:
@@ -125,6 +161,7 @@ def write_baseline(
         "commit": commit,
         "sequence": sequence,
         "quick_mode": quick,
+        "cpus": recorded_cpus(payload),
         "recorded_unix": int(time.time()),
         "metrics": extract_metrics(payload),
     }
@@ -183,11 +220,23 @@ def check(
         f"check_regression: comparing against "
         f"{baseline['_path']} (commit {baseline['commit'][:12]})"
     )
+    current_cpus = recorded_cpus(payload)
+    baseline_cpus = baseline.get("cpus")
+    cpus_match = (
+        current_cpus is not None and current_cpus == baseline_cpus
+    )
     failures = []
     for name, direction in GATED_METRICS.items():
         old = baseline.get("metrics", {}).get(name)
         new = current_metrics.get(name)
         if old is None or new is None:
+            continue
+        if name in CPU_SENSITIVE_METRICS and not cpus_match:
+            print(
+                f"  {name:<42} skipped (baseline cpus="
+                f"{baseline_cpus}, current cpus={current_cpus}: "
+                f"efficiency is not comparable across CPU counts)"
+            )
             continue
         ratio = new / old if old else float("inf")
         verdict = "ok"

@@ -9,6 +9,8 @@ Usage::
     python -m repro stats
     python -m repro explore [--space figure2|generated] [--explorer E]
                             [--jobs N] [--lineage-size K]
+                            [--ordering static|density|adaptive]
+                            [--no-dynamic-pool] [--share-incumbent]
 """
 
 from __future__ import annotations
@@ -64,7 +66,13 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_explorer(name: str, reference: bool):
+def _make_explorer(
+    name: str,
+    reference: bool,
+    ordering: str = "adaptive",
+    dynamic_pool: bool = True,
+    share_incumbent: bool = False,
+):
     from .synth.explorer import (
         AnnealingExplorer,
         BranchBoundExplorer,
@@ -76,12 +84,21 @@ def _make_explorer(name: str, reference: bool):
     incremental = not reference
     factories = {
         "exhaustive": lambda: ExhaustiveExplorer(incremental=incremental),
-        "bnb": lambda: BranchBoundExplorer(incremental=incremental),
+        "bnb": lambda: BranchBoundExplorer(
+            incremental=incremental,
+            ordering=ordering,
+            dynamic_pool=dynamic_pool,
+        ),
         "annealing": lambda: AnnealingExplorer(
             seed=0, iterations=4000, incremental=incremental
         ),
         "portfolio": lambda: PortfolioExplorer(incremental=incremental),
-        "racing": lambda: RacingPortfolioExplorer(incremental=incremental),
+        # --share-incumbent also wires the racing members to each
+        # other (annealing publishes, branch-and-bound prunes), not
+        # just the cross-lineage cell of explore_space.
+        "racing": lambda: RacingPortfolioExplorer(
+            incremental=incremental, share_incumbent=share_incumbent
+        ),
     }
     return factories[name]()
 
@@ -111,7 +128,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         )
         space = VariantSpace(system.vgraph)
 
-    explorer = _make_explorer(args.explorer, args.reference)
+    explorer = _make_explorer(
+        args.explorer,
+        args.reference,
+        ordering=args.ordering,
+        dynamic_pool=not args.no_dynamic_pool,
+        share_incumbent=args.share_incumbent,
+    )
     outcome = explore_space(
         family,
         space,
@@ -119,6 +142,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         warm_start=not args.no_warm_start,
         jobs=args.jobs,
         lineage_size=args.lineage_size,
+        share_incumbent=args.share_incumbent,
     )
     jobs_note = f", jobs={args.jobs}" if args.jobs is not None else ""
     title = (
@@ -227,6 +251,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-warm-start",
         action="store_true",
         help="disable warm-start reuse between neighboring selections",
+    )
+    explore.add_argument(
+        "--ordering",
+        choices=["static", "density", "adaptive"],
+        default="adaptive",
+        help=(
+            "branch-and-bound branching order: static descending "
+            "hardware cost, knapsack-density, or adaptive (density + "
+            "strong branching + value ordering; the default)"
+        ),
+    )
+    explore.add_argument(
+        "--no-dynamic-pool",
+        action="store_true",
+        help=(
+            "freeze the capacity bound's per-interface cluster "
+            "election to the static choice (ablation of the "
+            "re-elected knapsack pool)"
+        ),
+    )
+    explore.add_argument(
+        "--share-incumbent",
+        action="store_true",
+        help=(
+            "publish the fleet-wide best cost so every lineage's "
+            "search prunes against it (best selection unchanged; "
+            "node counts become timing-dependent with --jobs > 1)"
+        ),
     )
     explore.add_argument(
         "--reference",

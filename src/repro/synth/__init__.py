@@ -68,12 +68,21 @@ from .methods import (
     variant_aware_flow,
     variant_units,
 )
+from .ordering import (
+    ORDERINGS,
+    density_order,
+    hardware_cost_order,
+    unit_order,
+)
 from .parallel import (
     DEFAULT_LINEAGE_SIZE,
     Lineage,
+    LocalIncumbent,
     ParallelSpaceExplorer,
     RacingPortfolioExplorer,
     SelectionTask,
+    SharedIncumbent,
+    attach_incumbent,
     parallel_map,
     shard_lineages,
     tasks_from_space,
@@ -106,7 +115,9 @@ __all__ = [
     "IncrementalEvaluator",
     "IncrementalResult",
     "Lineage",
+    "LocalIncumbent",
     "Mapping",
+    "ORDERINGS",
     "ParallelSpaceExplorer",
     "PortfolioExplorer",
     "ProblemFamily",
@@ -118,17 +129,21 @@ __all__ = [
     "SearchState",
     "SelectionResult",
     "SelectionTask",
+    "SharedIncumbent",
     "SoftwareOption",
     "SpaceExploration",
     "SynthesisProblem",
     "Target",
     "VariantOrigin",
+    "attach_incumbent",
     "bucket_by_processor",
     "collapse_units",
+    "density_order",
     "design_time_of_units",
     "durations_from_graph",
     "evaluate",
     "explore_space",
+    "hardware_cost_order",
     "incremental_flow",
     "incremental_order_spread",
     "independent_design_time",
@@ -149,6 +164,7 @@ __all__ = [
     "synthesize_application",
     "tasks_from_space",
     "to_table_row",
+    "unit_order",
     "units_of_graph",
     "utilization_of_units",
     "variant_aware_design_time",

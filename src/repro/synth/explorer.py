@@ -40,6 +40,13 @@ from typing import Dict, List, Mapping as TMapping, Optional, Tuple, Union
 from ..errors import SynthesisError
 from .cost import Evaluation, evaluate
 from .mapping import Mapping, SynthesisProblem, Target
+from .ordering import (
+    STRONG_BRANCH_DEPTH,
+    probe_targets,
+    strong_branch,
+    unit_order,
+    validate_ordering,
+)
 from .state import ReferenceSearchState, SearchState
 
 _SearchStateT = Union[SearchState, ReferenceSearchState]
@@ -56,6 +63,13 @@ class ExplorationResult:
     optimal: bool
     evaluations: int = 0
     provenance: str = ""
+    #: The cost this run *proved* no complete mapping can beat:
+    #: ``-inf`` for heuristic/truncated runs (no proof), the optimal
+    #: cost for complete exact runs, and — under shared-incumbent
+    #: pruning — the lowest pruning threshold used, so a fleet of
+    #: searches can combine proofs (a member that got pruned by a
+    #: foreign incumbent still certifies everything below that floor).
+    proof_floor: float = float("-inf")
 
     @property
     def feasible(self) -> bool:
@@ -164,10 +178,14 @@ class SearchExplorer(Explorer):
     """
 
     def __init__(
-        self, incremental: bool = True, capacity_bound: bool = True
+        self,
+        incremental: bool = True,
+        capacity_bound: bool = True,
+        dynamic_pool: bool = True,
     ) -> None:
         self.incremental = incremental
         self.capacity_bound = capacity_bound
+        self.dynamic_pool = dynamic_pool
 
     # -- state ----------------------------------------------------------
     def _new_state(
@@ -185,6 +203,7 @@ class SearchExplorer(Explorer):
                     if capacity_bound is None
                     else capacity_bound
                 ),
+                dynamic_pool=self.dynamic_pool,
             )
         else:
             state = ReferenceSearchState(problem)
@@ -276,6 +295,7 @@ class SearchExplorer(Explorer):
         evaluations: int,
         optimal: bool,
         provenance: str,
+        proof_floor: float = float("-inf"),
     ) -> ExplorationResult:
         """Re-evaluate the best mapping with the reference oracle."""
         evaluation = (
@@ -289,6 +309,7 @@ class SearchExplorer(Explorer):
             optimal=optimal,
             evaluations=evaluations,
             provenance=provenance,
+            proof_floor=proof_floor,
         )
 
 
@@ -336,7 +357,14 @@ class ExhaustiveExplorer(SearchExplorer):
             evaluations,
             optimal=True,
             provenance="exhaustive",
+            proof_floor=best_cost,
         )
+
+
+#: Refresh the fleet-wide shared incumbent every this-many nodes: the
+#: read takes a cross-process lock, and a stale value is merely a
+#: conservative (still valid) pruning threshold.
+_SHARED_REFRESH_MASK = 63
 
 
 class BranchBoundExplorer(SearchExplorer):
@@ -353,7 +381,39 @@ class BranchBoundExplorer(SearchExplorer):
     pruning from the first node.  ``capacity_bound=False`` falls back
     to the capacity-blind basic bound (the pre-knapsack behavior) —
     benchmarks use it to measure the bound-tightness win.
+
+    ``ordering`` picks the branching order (:mod:`repro.synth.ordering`):
+
+    * ``"static"`` — fixed descending-hardware-cost unit order, targets
+      in generation order (the historical behavior);
+    * ``"density"`` — forced units first, flexible units by descending
+      knapsack density; targets still in generation order;
+    * ``"adaptive"`` (default) — density unit order with shallow-depth
+      strong-branching re-sorts, plus value ordering while hunting the
+      first incumbent: each unit's candidate targets are probed
+      through the incremental bound and descended
+      cheapest-bound-first, so the first dive lands a near-optimal
+      leaf; children whose probed bound already meets the incumbent
+      are skipped without becoming nodes.  Once an incumbent exists
+      (found or warm-started) the deep probes stop — entry-check
+      pruning against it is strictly cheaper.
+
+    ``dynamic_pool=False`` freezes the capacity bound's per-interface
+    cluster election to the static choice (the PR 3 pools).
+
+    ``shared_incumbent`` accepts an object with ``get()``/``offer(cost)``
+    (e.g. :class:`repro.synth.parallel.SharedIncumbent`): the search
+    prunes against the *fleet-wide* best cost published by concurrent
+    searches and publishes its own improvements.  Every pruning
+    threshold it ever uses is a then-current upper bound, so the search
+    still proves there is no completion cheaper than
+    ``min(own best, lowest foreign cost seen)``; ``optimal`` is only
+    claimed when the returned cost itself meets that proof.
     """
+
+    #: Duck-typing marker for the parallel dispatcher: worker-side
+    #: copies of this explorer may be handed a shared incumbent.
+    accepts_shared_incumbent = True
 
     def __init__(
         self,
@@ -361,9 +421,14 @@ class BranchBoundExplorer(SearchExplorer):
         node_budget: Optional[int] = None,
         time_budget: Optional[float] = None,
         capacity_bound: bool = True,
+        ordering: str = "adaptive",
+        dynamic_pool: bool = True,
+        shared_incumbent=None,
     ) -> None:
         super().__init__(
-            incremental=incremental, capacity_bound=capacity_bound
+            incremental=incremental,
+            capacity_bound=capacity_bound,
+            dynamic_pool=dynamic_pool,
         )
         if node_budget is not None and node_budget < 1:
             raise SynthesisError("node_budget must be >= 1")
@@ -371,21 +436,15 @@ class BranchBoundExplorer(SearchExplorer):
             raise SynthesisError("time_budget must be positive")
         self.node_budget = node_budget
         self.time_budget = time_budget
+        self.ordering = validate_ordering(ordering)
+        self.shared_incumbent = shared_incumbent
 
     def explore(
         self,
         problem: SynthesisProblem,
         warm_start: Optional[Mapping] = None,
     ) -> ExplorationResult:
-        # Deciding expensive units first tightens the bound early.
-        free = sorted(
-            problem.free_units,
-            key=lambda u: -(
-                problem.entry(u).hardware.cost
-                if problem.entry(u).hardware
-                else 0.0
-            ),
-        )
+        free = unit_order(problem, problem.free_units, self.ordering)
         state = self._new_state(problem)
         best, best_cost = self._warm_incumbent(problem, warm_start)
         warm_started = best is not None
@@ -399,9 +458,20 @@ class BranchBoundExplorer(SearchExplorer):
         )
         state_targets = self.state_targets
         prune_infeasible = state.can_prune_infeasible
+        shared = self.shared_incumbent
+        if shared is not None and best is not None:
+            shared.offer(best_cost)
+        # The fleet-wide floor only ever decreases, so the last read is
+        # the tightest foreign threshold any pruning step used.
+        shared_floor = (
+            shared.get() if shared is not None else float("inf")
+        )
+        adaptive = self.ordering == "adaptive"
+        total = len(free)
 
-        def recurse(index: int) -> None:
-            nonlocal best, best_cost, nodes, evaluations
+        def _tick() -> None:
+            """Node accounting + budget/shared-incumbent upkeep."""
+            nonlocal nodes, shared_floor
             nodes += 1
             if node_budget is not None and nodes > node_budget:
                 raise _BudgetExceeded
@@ -411,15 +481,35 @@ class BranchBoundExplorer(SearchExplorer):
                 and time.monotonic() > deadline
             ):
                 raise _BudgetExceeded
-            if best is not None and state.lower_bound() >= best_cost:
+            if (
+                shared is not None
+                and (nodes & _SHARED_REFRESH_MASK) == 0
+            ):
+                shared_floor = shared.get()
+
+        def _leaf() -> None:
+            nonlocal best, best_cost, evaluations
+            evaluations += 1
+            feasible, cost = state.leaf()
+            if feasible and cost < best_cost:
+                best, best_cost = state.to_mapping(), cost
+                if shared is not None:
+                    shared.offer(best_cost)
+
+        def recurse(index: int) -> None:
+            _tick()
+            limit = (
+                best_cost if best_cost < shared_floor else shared_floor
+            )
+            if (
+                limit < float("inf")
+                and state.lower_bound() >= limit
+            ):
                 return
             if prune_infeasible and not state.feasible:
                 return
-            if index == len(free):
-                evaluations += 1
-                feasible, cost = state.leaf()
-                if feasible and cost < best_cost:
-                    best, best_cost = state.to_mapping(), cost
+            if index == total:
+                _leaf()
                 return
             unit = free[index]
             for target in state_targets(problem, unit, state):
@@ -427,14 +517,81 @@ class BranchBoundExplorer(SearchExplorer):
                 recurse(index + 1)
                 state.unassign(unit)
 
+        def recurse_adaptive(depth: int, checked: bool) -> None:
+            # ``checked`` means the parent probed this exact state's
+            # bound and feasibility and re-compared the probe against
+            # the current incumbent just before descending, so the
+            # entry checks would be redundant.
+            _tick()
+            if not checked:
+                limit = (
+                    best_cost
+                    if best_cost < shared_floor
+                    else shared_floor
+                )
+                if state.lower_bound() >= limit:
+                    return
+                if prune_infeasible and not state.feasible:
+                    return
+            if depth == total:
+                _leaf()
+                return
+            assignment = state.assignment
+            # Probing (strong branching + value ordering) serves the
+            # incumbent hunt: it steers the first dive onto a
+            # near-optimal leaf.  Once any incumbent exists (a found
+            # leaf or a warm start) the probes stop paying — plain
+            # density-order descent with entry-check pruning against
+            # the incumbent is strictly cheaper per node.
+            if best is None and depth < STRONG_BRANCH_DEPTH:
+                undecided = [u for u in free if u not in assignment]
+                unit, scored = strong_branch(
+                    state, problem, undecided, state_targets
+                )
+            elif best is None:
+                unit = next(u for u in free if u not in assignment)
+                scored = probe_targets(
+                    state, unit, state_targets(problem, unit, state)
+                )
+            else:
+                unit = next(u for u in free if u not in assignment)
+                for target in state_targets(problem, unit, state):
+                    state.assign(unit, target)
+                    recurse_adaptive(depth + 1, False)
+                    state.unassign(unit)
+                return
+            for bound, _index, target in scored:
+                # Probed bounds are admissible for the child subtree
+                # whenever they were computed, so comparing against the
+                # *current* incumbent is sound — skipped children never
+                # become nodes.
+                if bound >= best_cost or bound >= shared_floor:
+                    continue
+                state.assign(unit, target)
+                recurse_adaptive(depth + 1, True)
+                state.unassign(unit)
+
         truncated = False
         try:
-            recurse(0)
+            if adaptive:
+                recurse_adaptive(0, False)
+            else:
+                recurse(0)
         except _BudgetExceeded:
             truncated = True
+        # Foreign thresholds can cut subtrees our own incumbent would
+        # have kept; the per-problem optimality claim survives only
+        # when the returned cost meets every threshold used.
+        proved = not truncated and best_cost <= shared_floor
         provenance = "branch_and_bound"
+        if self.ordering != "static":
+            provenance += f"[{self.ordering}]"
         if warm_started:
             provenance += "+warm_start"
+        if shared is not None:
+            provenance += "+shared_incumbent"
+            if not truncated and not proved:
+                provenance += " (pruned by fleet incumbent)"
         if truncated:
             provenance += " (budget-truncated)"
         return self._finish(
@@ -442,8 +599,13 @@ class BranchBoundExplorer(SearchExplorer):
             best,
             nodes,
             evaluations,
-            optimal=not truncated,
+            optimal=proved,
             provenance=provenance,
+            proof_floor=(
+                float("-inf")
+                if truncated
+                else min(best_cost, shared_floor)
+            ),
         )
 
 
@@ -457,7 +619,14 @@ class AnnealingExplorer(SearchExplorer):
     place.  ``optimal`` is reported False: the result is a (usually
     excellent) heuristic solution.  A ``warm_start`` replaces the
     random initial configuration.
+
+    ``shared_incumbent`` is publish-only: every improved feasible cost
+    is offered to the fleet (so concurrent branch-and-bound searches
+    can prune against it), but the annealing trajectory itself never
+    reads the cell — the walk stays byte-deterministic for a seed.
     """
+
+    accepts_shared_incumbent = True
 
     def __init__(
         self,
@@ -467,6 +636,7 @@ class AnnealingExplorer(SearchExplorer):
         cooling: float = 0.995,
         penalty: float = 1000.0,
         incremental: bool = True,
+        shared_incumbent=None,
     ) -> None:
         super().__init__(incremental=incremental)
         if iterations < 1:
@@ -478,6 +648,7 @@ class AnnealingExplorer(SearchExplorer):
         self.initial_temperature = initial_temperature
         self.cooling = cooling
         self.penalty = penalty
+        self.shared_incumbent = shared_incumbent
 
     def _energy(self, state: _SearchStateT) -> Tuple[float, Evaluation]:
         result = state.evaluation()
@@ -517,6 +688,9 @@ class AnnealingExplorer(SearchExplorer):
         best_energy = (
             current_energy if current_eval.feasible else float("inf")
         )
+        shared = self.shared_incumbent
+        if shared is not None and best_mapping is not None:
+            shared.offer(best_energy)
         temperature = self.initial_temperature
         nodes = 1
         evaluations = 1
@@ -545,6 +719,8 @@ class AnnealingExplorer(SearchExplorer):
                 if evaluation.feasible and energy < best_energy:
                     best_mapping = state.to_mapping()
                     best_energy = energy
+                    if shared is not None:
+                        shared.offer(best_energy)
             else:
                 state.reassign(unit, old)
             temperature *= self.cooling

@@ -412,6 +412,7 @@ def explore_space(
     warm_start: bool = True,
     jobs: Optional[int] = None,
     lineage_size: Optional[int] = None,
+    share_incumbent: bool = False,
 ) -> SpaceExploration:
     """Explore every consistent selection of a variant space.
 
@@ -433,6 +434,13 @@ def explore_space(
     enumeration order and are byte-identical for every jobs count; the
     default (both ``None``) keeps the single unsharded warm-start
     chain.
+
+    ``share_incumbent=True`` additionally publishes the fleet-wide
+    best cost across lineages (and worker processes), letting every
+    branch-and-bound search prune against the best selection found so
+    far anywhere in the space.  The best selection and its cost are
+    unchanged; per-selection node counts become timing-dependent under
+    ``jobs > 1``, so the flag defaults to off.
     """
     from .parallel import DEFAULT_LINEAGE_SIZE, ParallelSpaceExplorer
 
@@ -450,6 +458,7 @@ def explore_space(
         jobs=jobs if jobs is not None else 1,
         lineage_size=size,
         warm_start=warm_start,
+        share_incumbent=share_incumbent,
     )
     return runner.explore(problem_family, space)
 

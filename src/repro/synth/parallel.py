@@ -38,6 +38,16 @@ module exploits that:
 * :func:`parallel_map` is the shared order-preserving process map with
   worker-crash surfacing, reused by the flows (e.g.
   :func:`~repro.synth.baselines.incremental_order_spread`).
+* :class:`SharedIncumbent` (and its in-process twin
+  :class:`LocalIncumbent`) is the opt-in **cross-lineage incumbent
+  channel**: one ``multiprocessing.Value`` holding the fleet-wide best
+  cost, published by every worker's search and read back as an extra
+  pruning threshold.  ``share_incumbent=True`` on
+  :class:`ParallelSpaceExplorer`/:func:`~repro.synth.methods.explore_space`
+  (across selections) and on :class:`RacingPortfolioExplorer` (between
+  racing members on one problem) turns it on; the default stays off
+  because fleet pruning makes per-search *node counts* — never the
+  proven best cost — timing-dependent.
 
 A worker exception never vanishes into the pool: it is captured with
 its traceback and re-raised in the parent as a
@@ -46,6 +56,7 @@ its traceback and re-raised in the parent as a
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
 import queue as queue_module
 import sys
@@ -98,6 +109,81 @@ def _mp_context(name: Optional[str] = None):
     ):
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context(None)
+
+
+# ----------------------------------------------------------------------
+# Incumbent sharing
+# ----------------------------------------------------------------------
+class LocalIncumbent:
+    """In-process best-cost cell — the ``jobs=1``/sequential twin of
+    :class:`SharedIncumbent`, so single-process runs share incumbents
+    across lineages through the identical interface."""
+
+    __slots__ = ("_cost",)
+
+    def __init__(self) -> None:
+        self._cost = float("inf")
+
+    def get(self) -> float:
+        """The best cost published so far (``inf`` when none)."""
+        return self._cost
+
+    def offer(self, cost: float) -> bool:
+        """Publish a cost; True when it improved the incumbent."""
+        if cost < self._cost:
+            self._cost = cost
+            return True
+        return False
+
+
+class SharedIncumbent:
+    """Fleet-wide best-cost cell over multiprocessing shared memory.
+
+    One ``multiprocessing.Value('d')`` guarded by its lock: workers
+    ``offer()`` every improvement and read the floor with ``get()``.
+    The cell is monotone non-increasing, so a stale read is always a
+    *valid* (merely conservative) pruning threshold — searches refresh
+    it periodically instead of locking per node.  Shared ctypes may
+    only cross process boundaries by inheritance, so the cell travels
+    through pool initializers / ``Process`` arguments, never through
+    task queues.
+    """
+
+    __slots__ = ("_cell",)
+
+    def __init__(self, ctx=None) -> None:
+        context = ctx if ctx is not None else multiprocessing
+        self._cell = context.Value("d", float("inf"))
+
+    def get(self) -> float:
+        """The fleet-wide best cost published so far."""
+        with self._cell.get_lock():
+            return self._cell.value
+
+    def offer(self, cost: float) -> bool:
+        """Publish a cost; True when it improved the fleet incumbent."""
+        with self._cell.get_lock():
+            if cost < self._cell.value:
+                self._cell.value = cost
+                return True
+        return False
+
+
+def attach_incumbent(explorer: Explorer, incumbent) -> Explorer:
+    """A shallow copy of ``explorer`` wired to the incumbent cell.
+
+    Explorers opt in via the ``accepts_shared_incumbent`` marker
+    (branch-and-bound prunes against the cell, annealing publishes to
+    it); anything else is returned unchanged.  The copy keeps the
+    caller's explorer reusable without a lingering cell reference.
+    """
+    if incumbent is None or not getattr(
+        explorer, "accepts_shared_incumbent", False
+    ):
+        return explorer
+    clone = copy.copy(explorer)
+    clone.shared_incumbent = incumbent
+    return clone
 
 
 # ----------------------------------------------------------------------
@@ -248,9 +334,11 @@ def run_lineage(family, explorer: Explorer, warm_start: bool, lineage):
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _init_space_worker(family, explorer, warm_start, space=None) -> None:
+def _init_space_worker(
+    family, explorer, warm_start, space=None, incumbent=None
+) -> None:
     _WORKER_STATE["family"] = family
-    _WORKER_STATE["explorer"] = explorer
+    _WORKER_STATE["explorer"] = attach_incumbent(explorer, incumbent)
     _WORKER_STATE["warm_start"] = warm_start
     _WORKER_STATE["space"] = space
 
@@ -369,6 +457,14 @@ class ParallelSpaceExplorer:
     warm_start:
         Chain warm starts within each lineage (off = every selection
         explored cold, matching ``explore_space(warm_start=False)``).
+    share_incumbent:
+        Publish every lineage's best cost through a
+        :class:`SharedIncumbent` cell so all workers' branch-and-bound
+        searches prune against the **fleet-wide** best (workers only
+        keep exploring selections that could still beat it).  The best
+        selection and its proven-optimal cost are unchanged; *node
+        counts* become timing-dependent, which is why the default
+        (``False``) keeps the byte-identical-for-every-jobs contract.
     mp_context:
         Multiprocessing start method (default: ``fork`` if available).
     """
@@ -379,6 +475,7 @@ class ParallelSpaceExplorer:
         jobs: int = 1,
         lineage_size: int = DEFAULT_LINEAGE_SIZE,
         warm_start: bool = True,
+        share_incumbent: bool = False,
         mp_context: Optional[str] = None,
     ) -> None:
         if jobs < 1:
@@ -391,7 +488,19 @@ class ParallelSpaceExplorer:
         self.jobs = jobs
         self.lineage_size = lineage_size
         self.warm_start = warm_start
+        self.share_incumbent = share_incumbent
         self.mp_context = mp_context
+
+    def _sequential_explorer(self) -> Explorer:
+        """The in-process explorer, incumbent-wired when sharing.
+
+        A :class:`LocalIncumbent` spanning the sequential lineage loop
+        gives ``jobs=1`` the same cross-lineage pruning semantics as
+        the pool path — deterministically, since there is no timing.
+        """
+        if not self.share_incumbent:
+            return self.explorer
+        return attach_incumbent(self.explorer, LocalIncumbent())
 
     def explore(self, family, space: VariantSpace):
         """Explore every consistent selection; deterministic output.
@@ -407,11 +516,12 @@ class ParallelSpaceExplorer:
             # In-process: nothing to ship, so enumerate the space once
             # and shard the task list directly (the worker-side
             # re-enumeration would redo it per shard).
+            explorer = self._sequential_explorer()
             lineages = shard_lineages(
                 tasks_from_space(family, space), self.lineage_size
             )
             per_lineage = [
-                run_lineage(family, self.explorer, self.warm_start, lin)
+                run_lineage(family, explorer, self.warm_start, lin)
                 for lin in lineages
             ]
         else:
@@ -428,8 +538,9 @@ class ParallelSpaceExplorer:
         """
         lineages = shard_lineages(list(tasks), self.lineage_size)
         if self.jobs == 1 or len(lineages) <= 1:
+            explorer = self._sequential_explorer()
             per_lineage = [
-                run_lineage(family, self.explorer, self.warm_start, lin)
+                run_lineage(family, explorer, self.warm_start, lin)
                 for lin in lineages
             ]
         else:
@@ -453,7 +564,7 @@ class ParallelSpaceExplorer:
         return self._collect_over_pool(
             worker=_explore_lineage_remote,
             payloads=lineages,
-            initargs=(family, self.explorer, self.warm_start),
+            initargs=(family, self.explorer, self.warm_start, None),
             describe=lambda index: (
                 f"selections {[t.name for t in lineages[index].tasks]}"
             ),
@@ -465,9 +576,13 @@ class ParallelSpaceExplorer:
         Streams results back unordered, surfaces the first worker
         error as :class:`SynthesisError` naming the lineage, and
         merges in lineage-index order so scheduling never shows in
-        the output.
+        the output.  With ``share_incumbent`` a :class:`SharedIncumbent`
+        cell rides the pool initializer (shared ctypes must cross by
+        inheritance) into every worker's explorer.
         """
         ctx = _mp_context(self.mp_context)
+        if self.share_incumbent:
+            initargs = initargs + (SharedIncumbent(ctx),)
         collected: Dict[int, List] = {}
         with ctx.Pool(
             processes=min(self.jobs, len(payloads)),
@@ -522,6 +637,13 @@ class RacingPortfolioExplorer(SearchExplorer):
     With ``parallel=False`` the members run sequentially in member
     order with the same first-to-prove-optimal early exit — the
     single-core fallback with identical result semantics.
+
+    With ``share_incumbent=True`` the members race *cooperatively*:
+    annealing publishes every improved feasible cost to a
+    :class:`SharedIncumbent` cell and branch-and-bound prunes against
+    it, so the exact member proves the same optimum over a (typically
+    much) smaller tree.  The winning cost is unchanged; per-member
+    node counts become timing-dependent, so the default stays off.
     """
 
     def __init__(
@@ -532,6 +654,7 @@ class RacingPortfolioExplorer(SearchExplorer):
         iterations: int = 4000,
         incremental: bool = True,
         parallel: bool = True,
+        share_incumbent: bool = False,
         mp_context: Optional[str] = None,
     ) -> None:
         super().__init__(incremental=incremental)
@@ -540,6 +663,7 @@ class RacingPortfolioExplorer(SearchExplorer):
         self.seed = seed
         self.iterations = iterations
         self.parallel = parallel
+        self.share_incumbent = share_incumbent
         self.mp_context = mp_context
 
     def members(self) -> Tuple[Tuple[str, Explorer], ...]:
@@ -586,6 +710,12 @@ class RacingPortfolioExplorer(SearchExplorer):
 
     # -- member execution ----------------------------------------------
     def _race_sequential(self, members, problem, warm_start):
+        if self.share_incumbent:
+            incumbent = LocalIncumbent()
+            members = [
+                (name, attach_incumbent(explorer, incumbent))
+                for name, explorer in members
+            ]
         finished: Dict[str, ExplorationResult] = {}
         cancelled: List[str] = []
         proven = False
@@ -601,6 +731,12 @@ class RacingPortfolioExplorer(SearchExplorer):
 
     def _race_processes(self, members, problem, warm_start):
         ctx = _mp_context(self.mp_context)
+        if self.share_incumbent:
+            incumbent = SharedIncumbent(ctx)
+            members = [
+                (name, attach_incumbent(explorer, incumbent))
+                for name, explorer in members
+            ]
         result_queue = ctx.Queue()
         processes = {}
         for name, explorer in members:
@@ -685,6 +821,19 @@ class RacingPortfolioExplorer(SearchExplorer):
                 ),
             )
         winner = finished[winner_name]
+        # Combine the members' proofs: a branch-and-bound member that
+        # was pruned by a foreign (shared-incumbent) cost still
+        # certifies that nothing beats the lowest threshold it used,
+        # so a heuristic winner matching that floor is fleet-proved.
+        proof_floor = max(
+            (r.proof_floor for r in finished.values()),
+            default=float("-inf"),
+        )
+        fleet_proved = (
+            not winner.optimal
+            and winner.feasible
+            and winner.cost <= proof_floor
+        )
         parts = []
         for name, _ in members:
             if name in finished:
@@ -696,6 +845,8 @@ class RacingPortfolioExplorer(SearchExplorer):
         provenance = (
             f"racing_portfolio[{winner_name}]: " + ", ".join(parts)
         )
+        if fleet_proved:
+            provenance += " (fleet-proved optimal)"
         return ExplorationResult(
             problem=problem,
             mapping=winner.mapping,
@@ -703,7 +854,8 @@ class RacingPortfolioExplorer(SearchExplorer):
             nodes_explored=sum(
                 r.nodes_explored for r in finished.values()
             ),
-            optimal=winner.optimal,
+            optimal=winner.optimal or fleet_proved,
             evaluations=sum(r.evaluations for r in finished.values()),
             provenance=provenance,
+            proof_floor=proof_floor,
         )

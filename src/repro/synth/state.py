@@ -67,6 +67,23 @@ stays admissible — branch-and-bound remains provably optimal (up to
 quantization tolerance).  The knapsack state is maintained
 incrementally per decision in a Fenwick tree over the density-sorted
 undecided units: O(log n) per mutation, O(log n) per bound read.
+
+Dynamic cluster election (``dynamic_pool=True``)
+------------------------------------------------
+The admissibility argument holds for *any* per-interface cluster
+choice, not just the static largest-total-load one.  Deep in the tree
+the static choice goes stale: once the search sends most of the chosen
+cluster to hardware, another cluster carries more *live* software load
+(committed-to-software plus still-undecided), and selecting it would
+force more hardware.  :class:`_DynamicPools` therefore re-elects each
+interface's cluster by live load as decisions commit — O(clusters of
+the touched interface) bookkeeping per move, with the rare election
+flip toggling the flipped clusters' undecided units in a joint
+activation Fenwick tree.  ``lower_bound()`` takes the **max** of the
+static-election and re-elected formulations (both admissible), so the
+dynamic bound is pointwise at least as tight as the static one; the
+election is a pure function of the committed loads, which is what
+makes backtracking restore it exactly.
 """
 
 from __future__ import annotations
@@ -265,6 +282,229 @@ class _KnapsackBound:
         return forced
 
 
+class _DynamicPools:
+    """Re-elected knapsack pools for the capacity-aware bound.
+
+    Mirrors the static pool family with one crucial difference: which
+    cluster represents each interface in the *joint* constraint
+    (``common + Σ_θ S_{c_θ} ≤ P·cap``) is re-elected as the search
+    commits decisions.  The election key of a cluster is its **live
+    load** — software-only floor plus every flexible unit not (yet)
+    sent to hardware — the total software load the cluster can still
+    put on processors in some completion.  At the root this equals the
+    static total-load choice (same tie-break), so elections start
+    identical to the static pools and only diverge once hardware
+    commitments drain the statically chosen cluster.
+
+    Structures:
+
+    * ``joint`` — one Fenwick tree over *all* flexible
+      capacity-consuming units in global density order, where only the
+      undecided units of the common part and of the currently elected
+      clusters are present (activation toggles on election flips);
+    * one per-cluster tree for every cluster, read for the clusters
+      currently *not* elected (their individual ``common + S_c``
+      constraints stay valid and their unit sets are disjoint from the
+      joint pool, so the forced costs add).
+
+    The election is a pure function of the committed per-cluster
+    loads, so any assign/unassign round-trip restores the elections —
+    and with them the activation sets and every Fenwick accumulator —
+    exactly.
+    """
+
+    __slots__ = (
+        "icap_total",
+        "joint",
+        "cluster_pool",
+        "floors",
+        "committed_sw",
+        "committed_hw",
+        "live",
+        "undecided",
+        "elected",
+        "static_chosen",
+        "interfaces",
+        "differs",
+        "_unit",
+    )
+
+    def __init__(
+        self,
+        icap_total: int,
+        common_entries: List[Tuple[int, str, int, int]],
+        cluster_entries: Dict[
+            Tuple[str, str], List[Tuple[int, str, int, int]]
+        ],
+        cluster_floors: Dict[Tuple[str, str], int],
+        static_chosen: Dict[str, Tuple[str, str]],
+    ) -> None:
+        # Entries are (global_index, unit, iload, ihw); density sorting
+        # uses the same (-density, global_index) key as the static
+        # pools, so identical unit multisets produce identical
+        # fractional-knapsack results in either structure.
+        self.icap_total = icap_total
+        self.static_chosen = dict(static_chosen)
+        self.interfaces: Dict[str, List[Tuple[str, str]]] = {}
+        for key in sorted(cluster_entries):
+            self.interfaces.setdefault(key[0], []).append(key)
+        self.floors = dict(cluster_floors)
+        self.committed_sw = {key: 0 for key in cluster_entries}
+        self.committed_hw = {key: 0 for key in cluster_entries}
+        self.live = {
+            key: self.floors[key]
+            + sum(iload for _g, _u, iload, _c in cluster_entries[key])
+            for key in cluster_entries
+        }
+        #: cluster key -> {unit: joint slot} of its undecided units.
+        self.undecided: Dict[Tuple[str, str], Dict[str, int]] = {
+            key: {} for key in cluster_entries
+        }
+        self.elected = {
+            interface: self._argmax(interface)
+            for interface in self.interfaces
+        }
+        self.differs = sum(
+            self.elected[interface] != self.static_chosen[interface]
+            for interface in self.interfaces
+        )
+
+        joint_members: List[Tuple[float, int, str, int, int, object]] = []
+        for gindex, unit, iload, ihw in common_entries:
+            joint_members.append(
+                (-(ihw / iload), gindex, unit, iload, ihw, None)
+            )
+        for key, entries in cluster_entries.items():
+            for gindex, unit, iload, ihw in entries:
+                joint_members.append(
+                    (-(ihw / iload), gindex, unit, iload, ihw, key)
+                )
+        joint_members.sort(key=lambda m: (m[0], m[1]))
+        #: unit -> (joint slot, cluster key or None, iload, ihw,
+        #:          per-cluster slot or 0)
+        self._unit: Dict[str, Tuple[int, object, int, int, int]] = {}
+        for slot, member in enumerate(joint_members, start=1):
+            _d, _g, unit, iload, ihw, key = member
+            self._unit[unit] = (slot, key, iload, ihw, 0)
+            if key is not None:
+                self.undecided[key][unit] = slot
+        self.joint = _KnapsackBound(
+            [(iload, ihw) for _d, _g, _u, iload, ihw, _k in joint_members]
+        )
+        self.cluster_pool: Dict[Tuple[str, str], _KnapsackBound] = {}
+        for key, entries in cluster_entries.items():
+            ordered = sorted(
+                entries, key=lambda e: (-(e[3] / e[2]), e[0])
+            )
+            for cslot, (_g, unit, iload, ihw) in enumerate(
+                ordered, start=1
+            ):
+                jslot = self._unit[unit][0]
+                self._unit[unit] = (jslot, key, iload, ihw, cslot)
+            self.cluster_pool[key] = _KnapsackBound(
+                [(iload, ihw) for _g, _u, iload, ihw in ordered]
+            )
+        # Deactivate the units of every initially non-elected cluster:
+        # the joint tree starts as "common + elected clusters".
+        elected = set(self.elected.values())
+        for key, units in self.undecided.items():
+            if key not in elected:
+                for slot in units.values():
+                    self.joint.remove(slot)
+
+    def _argmax(self, interface: str) -> Tuple[str, str]:
+        """Deterministic live-load election (static tie-break order)."""
+        best = None
+        best_live = -1
+        for key in self.interfaces[interface]:
+            live = self.live[key]
+            if best is None or live > best_live:
+                best, best_live = key, live
+        return best
+
+    def _reelect(self, interface: str) -> None:
+        new = self._argmax(interface)
+        old = self.elected[interface]
+        if new == old:
+            return
+        self.elected[interface] = new
+        joint = self.joint
+        for slot in self.undecided[old].values():
+            joint.remove(slot)
+        for slot in self.undecided[new].values():
+            joint.add(slot)
+        chosen = self.static_chosen[interface]
+        if old == chosen:
+            self.differs += 1
+        elif new == chosen:
+            self.differs -= 1
+
+    def decide(self, unit: str, to_software: bool) -> None:
+        jslot, key, iload, _ihw, cslot = self._unit[unit]
+        if key is None:
+            self.joint.remove(jslot)
+            return
+        if self.elected[key[0]] == key:
+            self.joint.remove(jslot)
+        self.cluster_pool[key].remove(cslot)
+        del self.undecided[key][unit]
+        if to_software:
+            self.committed_sw[key] += iload
+        else:
+            self.committed_hw[key] += iload
+            self.live[key] -= iload
+            self._reelect(key[0])
+
+    def undecide(self, unit: str, was_software: bool) -> None:
+        jslot, key, iload, _ihw, cslot = self._unit[unit]
+        if key is None:
+            self.joint.add(jslot)
+            return
+        if was_software:
+            self.committed_sw[key] -= iload
+        else:
+            self.committed_hw[key] -= iload
+            self.live[key] += iload
+            self._reelect(key[0])
+        self.undecided[key][unit] = jslot
+        self.cluster_pool[key].add(cslot)
+        if self.elected[key[0]] == key:
+            self.joint.add(jslot)
+
+    def forced(self, resident_common: int) -> Optional[int]:
+        """Forced hardware cost under the current elections.
+
+        ``None`` means the provably resident load alone exceeds some
+        constraint — no completion of this subtree is feasible.
+        """
+        budget = self.icap_total - resident_common
+        for key in self.elected.values():
+            budget -= self.floors[key] + self.committed_sw[key]
+        if budget < 0:
+            return None
+        joint = self.joint
+        extra = (
+            joint.forced_cost(budget)
+            if joint.total_load > budget
+            else 0
+        )
+        elected = set(self.elected.values())
+        for key, pool in self.cluster_pool.items():
+            if key in elected:
+                continue
+            cluster_budget = (
+                self.icap_total
+                - resident_common
+                - self.floors[key]
+                - self.committed_sw[key]
+            )
+            if cluster_budget < 0:
+                return None
+            if pool.total_load > cluster_budget:
+                extra += pool.forced_cost(cluster_budget)
+        return extra
+
+
 class SearchState:
     """Delta-cost evaluation state over one :class:`SynthesisProblem`.
 
@@ -280,6 +520,9 @@ class SearchState:
     accumulation made every mode order-independent and byte-stable.
     ``capacity_bound=False`` skips the knapsack maintenance (useful for
     explorers that never read ``lower_bound()``, e.g. annealing).
+    ``dynamic_pool=False`` keeps the capacity bound but freezes the
+    joint pool's per-interface cluster choice to the static election
+    (the PR 3 behavior) — the ablation lever of the re-elected bound.
     """
 
     #: Partial-mapping infeasibility is monotone (loads only grow along
@@ -292,11 +535,13 @@ class SearchState:
         variants_resident: bool = True,
         exact: bool = False,
         capacity_bound: bool = True,
+        dynamic_pool: bool = True,
     ) -> None:
         self.problem = problem
         self.variants_resident = variants_resident
         self.exact = exact
         self.capacity_bound = capacity_bound
+        self.dynamic_pool = dynamic_pool
         arch = problem.architecture
         self._ipcost = quantize(arch.processor_cost)
         self._icap = quantize_capacity(arch.processor_capacity)
@@ -350,6 +595,7 @@ class SearchState:
         self._unassigned_swonly = unassigned_swonly
         self._util_viol = 0
         self._mem_viol = 0
+        self._dyn: Optional[_DynamicPools] = None
         if capacity_bound:
             self._init_capacity_bound()
         else:
@@ -441,6 +687,49 @@ class SearchState:
         self._iassigned_sw = [0] * n_pools
         #: common flexible load currently assigned to software.
         self._icommon_sw = 0
+        if self.dynamic_pool and cluster_loads:
+            self._init_dynamic_pools(icap_total, chosen)
+
+    def _init_dynamic_pools(
+        self,
+        icap_total: int,
+        static_chosen: Dict[str, Tuple[str, str]],
+    ) -> None:
+        """Build the re-elected twin of the static pool family.
+
+        Same member set as the static pools (flexible positive-load
+        units) and the same density key (``-ihw/iload`` with the
+        unit-enumeration index as tie-break), so when every election
+        matches the static choice the two formulations agree exactly
+        and the dynamic read is skipped.
+        """
+        common_entries: List[Tuple[int, str, int, int]] = []
+        cluster_entries: Dict[
+            Tuple[str, str], List[Tuple[int, str, int, int]]
+        ] = {}
+        cluster_floors: Dict[Tuple[str, str], int] = {}
+        for unit, (iload, _imem, ihw, ukey, _mkey) in self._info.items():
+            if iload is None:
+                continue
+            if ukey is not None:
+                cluster_entries.setdefault(ukey, [])
+                cluster_floors.setdefault(ukey, 0)
+            if ihw is None:
+                if ukey is not None:
+                    cluster_floors[ukey] += iload
+            elif iload > 0:
+                entry = (self._index[unit], unit, iload, ihw)
+                if ukey is None:
+                    common_entries.append(entry)
+                else:
+                    cluster_entries[ukey].append(entry)
+        self._dyn = _DynamicPools(
+            icap_total,
+            common_entries,
+            cluster_entries,
+            cluster_floors,
+            static_chosen,
+        )
 
     # ------------------------------------------------------------------
     # mutation
@@ -507,6 +796,8 @@ class SearchState:
                 self._iassigned_sw[pool] += iload
                 if is_common:
                     self._icommon_sw += iload
+                if self._dyn is not None:
+                    self._dyn.decide(unit, to_software=True)
         else:
             if ihw is None:
                 raise SynthesisError(
@@ -518,6 +809,8 @@ class SearchState:
             entry = self._flex_slot.get(unit)
             if entry is not None:
                 self._pools[entry[0]].remove(entry[1])
+                if self._dyn is not None:
+                    self._dyn.decide(unit, to_software=False)
         if iload is None and ihw is not None:
             self._ipending_hwonly -= ihw
         if ihw is None:
@@ -545,12 +838,16 @@ class SearchState:
                 self._iassigned_sw[pool] -= iload
                 if is_common:
                     self._icommon_sw -= iload
+                if self._dyn is not None:
+                    self._dyn.undecide(unit, was_software=True)
         else:
             self._hw_units.discard(unit)
             self._ihwcost -= ihw
             entry = self._flex_slot.get(unit)
             if entry is not None:
                 self._pools[entry[0]].add(entry[1])
+                if self._dyn is not None:
+                    self._dyn.undecide(unit, was_software=False)
         if iload is None and ihw is not None:
             self._ipending_hwonly += ihw
         if ihw is None:
@@ -673,6 +970,12 @@ class SearchState:
         capacity.  Pools cover disjoint unit sets, so their forced
         costs add.  Returns ``inf`` when even the provably resident
         load cannot fit — no completion of this subtree is feasible.
+
+        With ``dynamic_pool=True`` the forced term is the max of the
+        static-election pools and the live-load re-elected pools
+        (skipped — it is provably equal — while every election still
+        matches the static choice), so the dynamic bound is pointwise
+        at least as tight as the static one.
         """
         base = (
             self._ihwcost
@@ -687,6 +990,7 @@ class SearchState:
             # completion of this subtree: software-only floor plus
             # flexible units already committed to software.
             resident_common = self._icommon_floor + self._icommon_sw
+            forced = 0
             for pool, knapsack in enumerate(pools):
                 budget = budgets[pool] - assigned[pool]
                 if pool:
@@ -694,7 +998,15 @@ class SearchState:
                 if budget < 0:
                     return float("inf")
                 if knapsack.total_load > budget:
-                    base += knapsack.forced_cost(budget)
+                    forced += knapsack.forced_cost(budget)
+            dyn = self._dyn
+            if dyn is not None and dyn.differs:
+                dyn_forced = dyn.forced(resident_common)
+                if dyn_forced is None:
+                    return float("inf")
+                if dyn_forced > forced:
+                    forced = dyn_forced
+            base += forced
         return base / QUANT_SCALE
 
     def to_mapping(self) -> Mapping:
@@ -798,6 +1110,7 @@ class ReferenceSearchState:
         variants_resident: bool = True,
         exact: bool = True,
         capacity_bound: bool = False,
+        dynamic_pool: bool = False,
     ) -> None:
         self.problem = problem
         self.variants_resident = variants_resident

@@ -214,6 +214,159 @@ class TestNullAndTinySampleMetrics:
         ) == 0
 
 
+def bench_payload_with_parallel(
+    cpus=4, efficiency=0.8, meaningful=True
+):
+    payload = bench_payload()
+    payload["parallel_jobs_sweep"] = {
+        "cpus": cpus,
+        "efficiency_meaningful": meaningful,
+        "sweep": [
+            {"jobs": 1, "selections_per_sec": 4.0},
+            {"jobs": 4, "selections_per_sec": 8.0,
+             "parallel_efficiency": efficiency},
+        ],
+    }
+    return payload
+
+
+class TestCpuAwareEfficiencyGating:
+    def test_efficiency_extracted_only_when_meaningful(self):
+        metrics = check_regression.extract_metrics(
+            bench_payload_with_parallel(cpus=4, efficiency=0.8)
+        )
+        assert metrics["parallel_jobs4_efficiency"] == 0.8
+        single = check_regression.extract_metrics(
+            bench_payload_with_parallel(
+                cpus=1, efficiency=0.09, meaningful=False
+            )
+        )
+        assert "parallel_jobs4_efficiency" not in single
+
+    def test_efficiency_regression_fails_on_same_cpus(
+        self, tmp_path, capsys
+    ):
+        history = tmp_path / "bench_history"
+        good = write_current(
+            tmp_path, bench_payload_with_parallel(cpus=4, efficiency=0.8)
+        )
+        check_regression.main(
+            ["--current", str(good), "--history", str(history),
+             "--write"]
+        )
+        recorded = json.loads(next(history.glob("*.json")).read_text())
+        assert recorded["cpus"] == 4
+        bad = write_current(
+            tmp_path,
+            bench_payload_with_parallel(cpus=4, efficiency=0.2),
+        )
+        code = check_regression.main(
+            ["--current", str(bad), "--history", str(history)]
+        )
+        assert code == 1
+        assert "parallel_jobs4_efficiency" in capsys.readouterr().out
+
+    def test_efficiency_skipped_when_cpus_differ(self, tmp_path, capsys):
+        """A 16-core baseline never gates a 4-core run's efficiency."""
+        history = tmp_path / "bench_history"
+        good = write_current(
+            tmp_path,
+            bench_payload_with_parallel(cpus=16, efficiency=0.9),
+        )
+        check_regression.main(
+            ["--current", str(good), "--history", str(history),
+             "--write"]
+        )
+        other_box = write_current(
+            tmp_path,
+            bench_payload_with_parallel(cpus=4, efficiency=0.2),
+        )
+        code = check_regression.main(
+            ["--current", str(other_box), "--history", str(history)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
+        assert "not comparable across CPU counts" in out
+
+
+def bench_payload_with_dispatch(index_bytes=90.0):
+    payload = bench_payload()
+    payload["dispatch_volume"] = {
+        "index_protocol_bytes_per_lineage": index_bytes,
+        "task_protocol_bytes_per_lineage": 1352.0,
+    }
+    return payload
+
+
+class TestDispatchVolumeGate:
+    def test_index_bytes_extracted(self):
+        metrics = check_regression.extract_metrics(
+            bench_payload_with_dispatch(index_bytes=90.0)
+        )
+        assert metrics["dispatch_index_bytes_per_lineage"] == 90.0
+
+    def test_dispatch_blowup_fails_gate(self, tmp_path, capsys):
+        history = tmp_path / "bench_history"
+        small = write_current(
+            tmp_path, bench_payload_with_dispatch(index_bytes=90.0)
+        )
+        check_regression.main(
+            ["--current", str(small), "--history", str(history),
+             "--write"]
+        )
+        fat = write_current(
+            tmp_path, bench_payload_with_dispatch(index_bytes=900.0)
+        )
+        code = check_regression.main(
+            ["--current", str(fat), "--history", str(history)]
+        )
+        assert code == 1
+        assert "dispatch_index_bytes_per_lineage" in (
+            capsys.readouterr().out
+        )
+
+
+def bench_payload_with_branching(nodes=36.0, optimal=True):
+    payload = bench_payload()
+    payload["branching_order"] = {
+        "adaptive_dynamic": {"nodes": nodes, "optimal": optimal}
+    }
+    return payload
+
+
+class TestAdaptiveNodesGate:
+    def test_adaptive_nodes_extracted_only_when_proved(self):
+        metrics = check_regression.extract_metrics(
+            bench_payload_with_branching(nodes=36.0)
+        )
+        assert metrics["bnb_adaptive_nodes_to_optimal"] == 36.0
+        truncated = check_regression.extract_metrics(
+            bench_payload_with_branching(nodes=36.0, optimal=False)
+        )
+        assert "bnb_adaptive_nodes_to_optimal" not in truncated
+
+    def test_adaptive_node_blowup_fails_gate(self, tmp_path, capsys):
+        history = tmp_path / "bench_history"
+        tight = write_current(
+            tmp_path, bench_payload_with_branching(nodes=36.0)
+        )
+        check_regression.main(
+            ["--current", str(tight), "--history", str(history),
+             "--write"]
+        )
+        loose = write_current(
+            tmp_path, bench_payload_with_branching(nodes=300.0)
+        )
+        code = check_regression.main(
+            ["--current", str(loose), "--history", str(history)]
+        )
+        assert code == 1
+        assert "bnb_adaptive_nodes_to_optimal" in (
+            capsys.readouterr().out
+        )
+
+
 class TestLowerIsBetterMetrics:
     def test_nodes_to_optimal_extracted(self):
         metrics = check_regression.extract_metrics(

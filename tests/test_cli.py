@@ -71,6 +71,27 @@ class TestCommands:
         assert parallel.splitlines()[2:] == sequential.splitlines()[2:]
         assert "jobs=4" in parallel
 
+    def test_explore_ordering_ablation_matches_default(self, capsys):
+        assert main(["explore"]) == 0
+        adaptive = capsys.readouterr().out
+        assert main(
+            ["explore", "--ordering", "static", "--no-dynamic-pool"]
+        ) == 0
+        static = capsys.readouterr().out
+        # same best selection and cost whatever the branching order
+        assert "theta1=gamma1" in static
+        assert [line for line in static.splitlines()
+                if "best selection" in line] == [
+            line for line in adaptive.splitlines()
+            if "best selection" in line
+        ]
+
+    def test_explore_share_incumbent(self, capsys):
+        assert main(["explore", "--share-incumbent"]) == 0
+        out = capsys.readouterr().out
+        assert "theta1=gamma1" in out
+        assert "34" in out
+
     def test_explore_racing_explorer(self, capsys):
         assert main(
             ["explore", "--space", "generated", "--variants", "2",

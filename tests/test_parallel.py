@@ -34,9 +34,12 @@ from repro.synth.methods import (
 )
 from repro.synth.parallel import (
     DEFAULT_LINEAGE_SIZE,
+    LocalIncumbent,
     ParallelSpaceExplorer,
     RacingPortfolioExplorer,
     SelectionTask,
+    SharedIncumbent,
+    attach_incumbent,
     parallel_map,
     shard_indices,
     shard_lineages,
@@ -347,6 +350,116 @@ class TestRacingPortfolio:
         assert [r.cost for r in outcome.results] == [
             r.cost for r in exact.results
         ]
+
+
+class TestIncumbentSharing:
+    """share_incumbent=True: fleet pruning may shrink the per-search
+    trees but never changes the best selection or its proven cost."""
+
+    def test_incumbent_cells_are_monotone(self):
+        for cell in (LocalIncumbent(), SharedIncumbent()):
+            assert cell.get() == float("inf")
+            assert cell.offer(10.0)
+            assert not cell.offer(12.0)
+            assert cell.get() == 10.0
+            assert cell.offer(7.5)
+            assert cell.get() == 7.5
+
+    def test_attach_incumbent_copies_supporting_explorers(self):
+        cell = LocalIncumbent()
+        bnb = BranchBoundExplorer()
+        wired = attach_incumbent(bnb, cell)
+        assert wired is not bnb
+        assert wired.shared_incumbent is cell
+        assert bnb.shared_incumbent is None
+        annealing = AnnealingExplorer()
+        assert attach_incumbent(annealing, cell).shared_incumbent is cell
+        # explorers without the marker pass through untouched
+        from repro.synth.explorer import ExhaustiveExplorer
+
+        exhaustive = ExhaustiveExplorer()
+        assert attach_incumbent(exhaustive, cell) is exhaustive
+        assert attach_incumbent(bnb, None) is bnb
+
+    def test_explore_space_share_keeps_best_cost_sequential(self):
+        family, space = generated_space()
+        base = explore_space(family, space)
+        shared = explore_space(family, space, share_incumbent=True)
+        assert shared.best().cost == base.best().cost
+        assert shared.best().exploration.optimal
+        assert dict(shared.best().exploration.mapping.assignment) == (
+            dict(base.best().exploration.mapping.assignment)
+        )
+        # sequential sharing is deterministic: repeat runs agree
+        again = explore_space(family, space, share_incumbent=True)
+        assert canonical_bytes(again) == canonical_bytes(shared)
+
+    def test_explore_space_share_keeps_best_cost_across_jobs(self):
+        family, space = generated_space()
+        base = explore_space(family, space, jobs=2, lineage_size=2)
+        for jobs in (1, 2, 4):
+            shared = explore_space(
+                family,
+                space,
+                jobs=jobs,
+                lineage_size=2,
+                share_incumbent=True,
+            )
+            best = shared.best()
+            assert best.cost == base.best().cost
+            assert best.exploration.optimal
+
+    def test_share_off_remains_byte_identical_across_jobs(self):
+        """The default mode keeps the PR 2 determinism contract."""
+        family, space = generated_space()
+        reference = canonical_bytes(
+            explore_space(family, space, jobs=1, lineage_size=2)
+        )
+        for jobs in (2, 4):
+            assert canonical_bytes(
+                explore_space(family, space, jobs=jobs, lineage_size=2)
+            ) == reference
+
+    def test_racing_share_incumbent_proves_same_optimum(self):
+        problem = table1_problem()
+        plain = RacingPortfolioExplorer(iterations=400).explore(problem)
+        shared = RacingPortfolioExplorer(
+            iterations=400, share_incumbent=True
+        ).explore(problem)
+        sequential = RacingPortfolioExplorer(
+            iterations=400, share_incumbent=True, parallel=False
+        ).explore(problem)
+        assert plain.cost == shared.cost == sequential.cost == 41.0
+        assert shared.optimal
+        assert sequential.optimal
+
+    def test_foreign_floor_below_optimum_is_reported_honestly(self):
+        """A search pruned below its own optimum must not claim a
+        per-problem proof — but the fleet's knowledge (cell + proof
+        floor) still pins the optimal cost."""
+        problem = table1_problem()
+        cell = LocalIncumbent()
+        cell.offer(40.0)  # below the true optimum of 41
+        result = BranchBoundExplorer(
+            shared_incumbent=cell
+        ).explore(problem)
+        assert not result.optimal
+        assert result.proof_floor == 40.0
+        assert not result.feasible
+        assert "pruned by fleet incumbent" in result.provenance
+
+    def test_shared_incumbent_cell_crosses_processes(self):
+        """Workers publish through the mp.Value; the parent observes
+        the fleet-wide best after the pool finishes."""
+        family, space = generated_space()
+        runner = ParallelSpaceExplorer(
+            jobs=2, lineage_size=2, share_incumbent=True
+        )
+        outcome = runner.explore(family, space)
+        best = outcome.best()
+        assert best.exploration.optimal
+        reference = explore_space(family, space)
+        assert best.cost == reference.best().cost
 
 
 class TestFlowsThroughBatch:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.apps.generators import generate_system
 from repro.errors import SynthesisError
 from repro.synth.architecture import ArchitectureTemplate
 from repro.synth.explorer import (
@@ -11,6 +12,12 @@ from repro.synth.explorer import (
 )
 from repro.synth.library import ComponentLibrary
 from repro.synth.mapping import SynthesisProblem, Target, VariantOrigin
+from repro.synth.methods import variant_units
+from repro.synth.ordering import (
+    ORDERINGS,
+    density_order,
+    hardware_cost_order,
+)
 
 
 def toy_problem(**overrides):
@@ -117,6 +124,165 @@ class TestAnnealing:
             AnnealingExplorer(iterations=0)
         with pytest.raises(SynthesisError):
             AnnealingExplorer(cooling=1.5)
+
+
+def knapsack_problem(n_variants=4, cluster_size=4):
+    """A capacity-tight generated problem with a non-trivial tree."""
+    system = generate_system(
+        seed=3,
+        n_variants=n_variants,
+        cluster_size=cluster_size,
+        common_processes=4,
+    )
+    units, origins = variant_units(system.vgraph)
+    architecture = ArchitectureTemplate(
+        name="edge",
+        max_processors=1,
+        processor_cost=0.0,
+        processor_capacity=0.45,
+    )
+    return SynthesisProblem(
+        name="edge",
+        units=units,
+        library=system.library,
+        architecture=architecture,
+        origins=origins,
+    )
+
+
+class TestBranchingOrder:
+    def test_all_orderings_reach_the_same_optimum(self):
+        problem = knapsack_problem()
+        reference = ExhaustiveExplorer().explore(knapsack_problem(2, 2))
+        small = knapsack_problem(2, 2)
+        for ordering in ORDERINGS:
+            for dynamic_pool in (True, False):
+                result = BranchBoundExplorer(
+                    ordering=ordering, dynamic_pool=dynamic_pool
+                ).explore(small)
+                assert result.optimal
+                assert result.cost == reference.cost
+        costs = {
+            ordering: BranchBoundExplorer(ordering=ordering)
+            .explore(problem)
+            .cost
+            for ordering in ORDERINGS
+        }
+        assert len(set(costs.values())) == 1
+
+    def test_adaptive_shrinks_the_knapsack_tree(self):
+        problem = knapsack_problem()
+        static = BranchBoundExplorer(
+            ordering="static", dynamic_pool=False
+        ).explore(problem)
+        adaptive = BranchBoundExplorer().explore(problem)
+        assert adaptive.optimal and static.optimal
+        assert adaptive.cost == static.cost
+        assert adaptive.nodes_explored < static.nodes_explored
+
+    def test_adaptive_provenance_names_the_mode(self):
+        result = BranchBoundExplorer().explore(toy_problem())
+        assert result.provenance.startswith("branch_and_bound[adaptive]")
+        static = BranchBoundExplorer(ordering="static").explore(
+            toy_problem()
+        )
+        assert static.provenance.startswith("branch_and_bound")
+        assert "[static]" not in static.provenance
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(SynthesisError):
+            BranchBoundExplorer(ordering="zigzag")
+
+    def test_unit_orders_are_permutations(self):
+        problem = knapsack_problem()
+        units = problem.free_units
+        for order in (
+            hardware_cost_order(problem, units),
+            density_order(problem, units),
+        ):
+            assert sorted(order) == sorted(units)
+
+    def test_density_order_decides_forced_units_first(self):
+        library = ComponentLibrary()
+        library.component("hwonly", hw_cost=5)
+        library.component("swonly", sw_utilization=0.4)
+        library.component("flex", sw_utilization=0.5, hw_cost=20)
+        problem = SynthesisProblem(
+            name="forced",
+            units=("flex", "swonly", "hwonly"),
+            library=library,
+            architecture=ArchitectureTemplate(processor_cost=1),
+        )
+        assert density_order(problem, problem.units) == [
+            "hwonly",
+            "swonly",
+            "flex",
+        ]
+
+
+class TestBudgetEdges:
+    def test_node_budget_boundary_is_inclusive(self):
+        """``nodes == node_budget`` completes; one less truncates."""
+        problem = knapsack_problem()
+        full = BranchBoundExplorer().explore(problem)
+        assert full.optimal and full.nodes_explored > 1
+        exact = BranchBoundExplorer(
+            node_budget=full.nodes_explored
+        ).explore(problem)
+        assert exact.optimal
+        assert exact.nodes_explored == full.nodes_explored
+        assert "(budget-truncated)" not in exact.provenance
+        under = BranchBoundExplorer(
+            node_budget=full.nodes_explored - 1
+        ).explore(problem)
+        assert not under.optimal
+        assert under.provenance.endswith("(budget-truncated)")
+        # the budget check fires on entering the first over-budget node
+        assert under.nodes_explored == full.nodes_explored
+
+    def test_time_budget_deadline_truncates(self):
+        """An expired deadline stops the search at the next poll.
+
+        The deadline is polled every 256 nodes, so a static-order
+        basic-bound run (a tree far beyond 256 nodes) must stop at
+        exactly the first poll.
+        """
+        problem = knapsack_problem()
+        big_tree = BranchBoundExplorer(
+            ordering="static", capacity_bound=False, node_budget=100_000
+        ).explore(problem)
+        assert big_tree.nodes_explored > 256
+        result = BranchBoundExplorer(
+            ordering="static",
+            capacity_bound=False,
+            time_budget=1e-9,
+        ).explore(problem)
+        assert not result.optimal
+        assert result.provenance.endswith("(budget-truncated)")
+        assert result.nodes_explored == 256
+
+    def test_truncated_warm_start_provenance_and_incumbent(self):
+        """A truncated warm-started run keeps the warm incumbent."""
+        problem = knapsack_problem()
+        full = BranchBoundExplorer().explore(problem)
+        truncated = BranchBoundExplorer(node_budget=1).explore(
+            problem, warm_start=full.mapping
+        )
+        assert not truncated.optimal
+        assert truncated.provenance == (
+            "branch_and_bound[adaptive]+warm_start (budget-truncated)"
+        )
+        assert truncated.cost == full.cost
+        # the budget check fires on entering the first over-budget node
+        assert truncated.nodes_explored == 2
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(SynthesisError):
+            BranchBoundExplorer(node_budget=0)
+        with pytest.raises(SynthesisError):
+            BranchBoundExplorer(time_budget=0.0)
+        with pytest.raises(SynthesisError):
+            BranchBoundExplorer(time_budget=-1.0)
 
 
 class TestExclusionInExploration:
