@@ -387,6 +387,42 @@ def run_branching_order(completion_budget: int = 500_000):
     return section
 
 
+def run_frontier_comparison(completion_budget: int = 500_000):
+    """Nodes to prove optimality under each search frontier.
+
+    All runs use the default adaptive ordering + dynamic pool, so the
+    node counts isolate the *frontier* win (which open node expands
+    next) from the ordering win (how a node's children are ranked).
+    ``best_first`` is the headline: it expands only nodes whose bound
+    beats the optimum, so its proven-optimal count is gated
+    lower-is-better as ``bnb_bestfirst_nodes_to_optimal``.
+    """
+    problem = throughput_problem()
+    section = {
+        "workload": problem.name,
+        "completion_budget": completion_budget,
+    }
+    for name, frontier in (
+        ("dfs", "dfs"),
+        ("best_first", "best-first"),
+        ("lds", "lds"),
+    ):
+        section[name] = _timed(
+            BranchBoundExplorer(
+                node_budget=completion_budget, frontier=frontier
+            ),
+            problem,
+        )
+    if section["dfs"]["optimal"]:
+        reference = section["dfs"]["nodes"]
+        section["nodes_ratio_vs_dfs"] = {
+            name: round(reference / section[name]["nodes"], 2)
+            for name in ("best_first", "lds")
+            if section[name]["optimal"]
+        }
+    return section
+
+
 def run_incumbent_sharing(lineage_size: int = 2, jobs: int = 2):
     """Fleet-wide incumbent sharing across a space's lineages.
 
@@ -492,6 +528,9 @@ def test_incremental_speedup_recorded(benchmark):
     branching_order = run_branching_order(
         completion_budget=200_000 if quick_mode() else 500_000
     )
+    frontier = run_frontier_comparison(
+        completion_budget=200_000 if quick_mode() else 500_000
+    )
     incumbent_sharing = run_incumbent_sharing()
     dispatch_volume = run_dispatch_volume()
     payload = {
@@ -526,6 +565,9 @@ def test_incremental_speedup_recorded(benchmark):
         "bound_tightness": bound_tightness,
         # Nodes to prove optimality per branching-order mode.
         "branching_order": branching_order,
+        # Nodes to prove optimality per search frontier (adaptive
+        # ordering + dynamic pool throughout).
+        "frontier": frontier,
         # Fleet-wide incumbent sharing across lineages (opt-in path).
         "incumbent_sharing": incumbent_sharing,
         # Bytes pickled per lineage, index vs task protocol.
@@ -581,6 +623,25 @@ def test_incremental_speedup_recorded(benchmark):
     write_artifact("explorer_branching_order.txt", order_text)
     print("\n" + order_text)
 
+    frontier_rows = [
+        [
+            mode,
+            str(frontier[mode]["nodes"]),
+            "yes" if frontier[mode]["optimal"] else "no",
+            str(
+                frontier.get("nodes_ratio_vs_dfs", {}).get(mode, "1.0")
+            ),
+        ]
+        for mode in ("dfs", "best_first", "lds")
+    ]
+    frontier_text = render_table(
+        ["frontier", "nodes to optimal", "proved", "shrink vs dfs"],
+        frontier_rows,
+        title="X3: search-frontier ablation (adaptive ordering)",
+    )
+    write_artifact("explorer_frontier.txt", frontier_text)
+    print("\n" + frontier_text)
+
     # Same budget, same machine.  The end-to-end search-stack ratio is
     # the acceptance metric; the microbench isolates the evaluator.
     # A None ratio means a side proved optimality in fewer nodes than
@@ -621,6 +682,23 @@ def test_incremental_speedup_recorded(benchmark):
     assert (
         branching_order["adaptive_dynamic"]["nodes"] * 1.5
         <= branching_order["static"]["nodes"]
+    )
+    # Every frontier must prove the identical optimum.  Best-first
+    # expands only nodes whose bound beats the optimum, so on this
+    # pinned workload it must stay within the DFS node count — an
+    # empirical acceptance gate (the two frontiers shape their trees
+    # differently, so this is a measured property of the workload,
+    # not a theorem).
+    assert frontier["dfs"]["optimal"]
+    assert frontier["best_first"]["optimal"]
+    assert frontier["lds"]["optimal"]
+    assert frontier["best_first"]["cost"] == frontier["dfs"]["cost"]
+    assert frontier["lds"]["cost"] == frontier["dfs"]["cost"]
+    assert frontier["best_first"]["nodes"] <= frontier["dfs"]["nodes"]
+    # The DFS frontier row must mirror the default branching-order row
+    # (same explorer configuration, same workload).
+    assert frontier["dfs"]["nodes"] == (
+        branching_order["adaptive_dynamic"]["nodes"]
     )
     # Fleet pruning may never change the proven-optimal best cost.
     assert incumbent_sharing["best_cost_shared"] == (

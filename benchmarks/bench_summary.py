@@ -9,8 +9,11 @@ anything::
 
 The table covers the whole pruning story on the knapsack-hard
 workload: the capacity-blind *basic* bound, the PR 3 *capacity* bound
-under the static order, and each PR 4 branching-order mode up to the
-default adaptive-order + dynamic-pool configuration.
+under the static order, each PR 4 branching-order mode up to the
+default adaptive-order + dynamic-pool configuration, and the PR 5
+search frontiers (best-first / LDS) on top of the adaptive order —
+the ``frontier`` column of the story (the default DFS frontier is the
+``adaptive order + dynamic pool`` row itself).
 """
 
 from __future__ import annotations
@@ -39,6 +42,8 @@ ROWS = (
         "branching_order",
         "adaptive_dynamic",
     ),
+    ("best-first frontier, adaptive order", "frontier", "best_first"),
+    ("LDS frontier, adaptive order", "frontier", "lds"),
 )
 
 

@@ -50,6 +50,7 @@ GATED_METRICS = {
     "parallel_jobs4_efficiency": "higher",
     "bnb_nodes_to_optimal": "lower",
     "bnb_adaptive_nodes_to_optimal": "lower",
+    "bnb_bestfirst_nodes_to_optimal": "lower",
     "dispatch_index_bytes_per_lineage": "lower",
 }
 
@@ -113,6 +114,9 @@ def extract_metrics(payload: dict) -> Dict[str, float]:
     )
     if adaptive.get("optimal"):
         put("bnb_adaptive_nodes_to_optimal", adaptive.get("nodes"))
+    best_first = payload.get("frontier", {}).get("best_first", {})
+    if best_first.get("optimal"):
+        put("bnb_bestfirst_nodes_to_optimal", best_first.get("nodes"))
     put(
         "dispatch_index_bytes_per_lineage",
         payload.get("dispatch_volume", {}).get(

@@ -10,6 +10,7 @@ Usage::
     python -m repro explore [--space figure2|generated] [--explorer E]
                             [--jobs N] [--lineage-size K]
                             [--ordering static|density|adaptive]
+                            [--frontier dfs|best-first|lds]
                             [--no-dynamic-pool] [--share-incumbent]
 """
 
@@ -72,6 +73,7 @@ def _make_explorer(
     ordering: str = "adaptive",
     dynamic_pool: bool = True,
     share_incumbent: bool = False,
+    frontier: str = "dfs",
 ):
     from .synth.explorer import (
         AnnealingExplorer,
@@ -88,6 +90,7 @@ def _make_explorer(
             incremental=incremental,
             ordering=ordering,
             dynamic_pool=dynamic_pool,
+            frontier=frontier,
         ),
         "annealing": lambda: AnnealingExplorer(
             seed=0, iterations=4000, incremental=incremental
@@ -95,9 +98,12 @@ def _make_explorer(
         "portfolio": lambda: PortfolioExplorer(incremental=incremental),
         # --share-incumbent also wires the racing members to each
         # other (annealing publishes, branch-and-bound prunes), not
-        # just the cross-lineage cell of explore_space.
+        # just the cross-lineage cell of explore_space.  --frontier
+        # adds a second exact member racing the DFS one.
         "racing": lambda: RacingPortfolioExplorer(
-            incremental=incremental, share_incumbent=share_incumbent
+            incremental=incremental,
+            share_incumbent=share_incumbent,
+            frontier=frontier,
         ),
     }
     return factories[name]()
@@ -134,6 +140,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         ordering=args.ordering,
         dynamic_pool=not args.no_dynamic_pool,
         share_incumbent=args.share_incumbent,
+        frontier=args.frontier,
     )
     outcome = explore_space(
         family,
@@ -260,6 +267,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             "branch-and-bound branching order: static descending "
             "hardware cost, knapsack-density, or adaptive (density + "
             "strong branching + value ordering; the default)"
+        ),
+    )
+    explore.add_argument(
+        "--frontier",
+        choices=["dfs", "best-first", "lds"],
+        default="dfs",
+        help=(
+            "branch-and-bound search frontier: depth-first (default, "
+            "byte-identical to previous releases), best-first over "
+            "the incremental lower bound, or limited discrepancy "
+            "search over the probed child ordering; with --explorer "
+            "racing a non-default frontier races a second exact "
+            "member against the DFS one"
         ),
     )
     explore.add_argument(

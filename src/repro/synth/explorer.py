@@ -31,6 +31,7 @@ Table 1 space.
 
 from __future__ import annotations
 
+import heapq
 import math
 import random
 import time
@@ -45,9 +46,10 @@ from .ordering import (
     probe_targets,
     strong_branch,
     unit_order,
+    validate_frontier,
     validate_ordering,
 )
-from .state import ReferenceSearchState, SearchState
+from .state import PathTrail, ReferenceSearchState, SearchState
 
 _SearchStateT = Union[SearchState, ReferenceSearchState]
 
@@ -367,6 +369,51 @@ class ExhaustiveExplorer(SearchExplorer):
 _SHARED_REFRESH_MASK = 63
 
 
+class _BudgetClock:
+    """Node accounting + budget/shared-incumbent upkeep.
+
+    One implementation shared by every search frontier, so truncation
+    semantics can never drift between them: ``tick()`` counts the
+    entered node, raises :class:`_BudgetExceeded` on the first
+    over-budget node (the boundary itself is inclusive), polls the
+    deadline every 256 nodes, and refreshes the fleet-wide shared
+    floor every :data:`_SHARED_REFRESH_MASK` + 1 nodes.
+    ``shared_floor`` only ever decreases, so the last refresh is the
+    tightest foreign threshold any pruning step used.
+    """
+
+    __slots__ = ("nodes", "shared_floor", "_budget", "_deadline", "_shared")
+
+    def __init__(self, node_budget, time_budget, shared) -> None:
+        self.nodes = 0
+        self._budget = node_budget
+        self._deadline = (
+            time.monotonic() + time_budget
+            if time_budget is not None
+            else None
+        )
+        self._shared = shared
+        self.shared_floor = (
+            shared.get() if shared is not None else float("inf")
+        )
+
+    def tick(self) -> None:
+        self.nodes += 1
+        if self._budget is not None and self.nodes > self._budget:
+            raise _BudgetExceeded
+        if (
+            self._deadline is not None
+            and (self.nodes & 255) == 0
+            and time.monotonic() > self._deadline
+        ):
+            raise _BudgetExceeded
+        if (
+            self._shared is not None
+            and (self.nodes & _SHARED_REFRESH_MASK) == 0
+        ):
+            self.shared_floor = self._shared.get()
+
+
 class BranchBoundExplorer(SearchExplorer):
     """Depth-first search with admissible lower-bound pruning.
 
@@ -401,6 +448,34 @@ class BranchBoundExplorer(SearchExplorer):
     ``dynamic_pool=False`` freezes the capacity bound's per-interface
     cluster election to the static choice (the PR 3 pools).
 
+    ``frontier`` picks the search *frontier* — which open node is
+    expanded next — independently of ``ordering`` (which ranks a
+    node's children):
+
+    * ``"dfs"`` (default) — the depth-first walk; byte-identical to
+      the pre-frontier behavior in results, node counts and
+      provenance;
+    * ``"best-first"`` — a priority queue keyed on each open node's
+      incremental lower bound (push-order tie-break, so the expansion
+      order is deterministic).  Nodes are snapshotted as decision
+      paths and restored by :class:`~repro.synth.state.PathTrail`
+      delta replay; the search stops — with a complete optimality
+      proof — as soon as the cheapest open bound meets the incumbent,
+      so it expands only nodes whose bound beats the optimum;
+    * ``"lds"`` — limited discrepancy search: iteratively widened
+      passes that follow the probed cheapest-bound child ordering
+      (plus, under ``ordering="adaptive"``, the same shallow-depth
+      strong-branching unit re-sorts the other frontiers use) and
+      spend one discrepancy per rank a decision deviates from it.
+      Bound-pruned children never consume the allowance; a pass the
+      allowance never truncates is a complete bound-pruned search, so
+      the run ends provably optimal.
+
+    Node/time budgets, warm starts, incumbent sharing, ``optimal``
+    and ``proof_floor`` semantics are uniform across frontiers; a
+    non-default frontier is recorded in the provenance tag (e.g.
+    ``branch_and_bound[adaptive,best-first]``).
+
     ``shared_incumbent`` accepts an object with ``get()``/``offer(cost)``
     (e.g. :class:`repro.synth.parallel.SharedIncumbent`): the search
     prunes against the *fleet-wide* best cost published by concurrent
@@ -423,6 +498,7 @@ class BranchBoundExplorer(SearchExplorer):
         capacity_bound: bool = True,
         ordering: str = "adaptive",
         dynamic_pool: bool = True,
+        frontier: str = "dfs",
         shared_incumbent=None,
     ) -> None:
         super().__init__(
@@ -437,6 +513,7 @@ class BranchBoundExplorer(SearchExplorer):
         self.node_budget = node_budget
         self.time_budget = time_budget
         self.ordering = validate_ordering(ordering)
+        self.frontier = validate_frontier(frontier)
         self.shared_incumbent = shared_incumbent
 
     def explore(
@@ -444,48 +521,107 @@ class BranchBoundExplorer(SearchExplorer):
         problem: SynthesisProblem,
         warm_start: Optional[Mapping] = None,
     ) -> ExplorationResult:
+        if self.frontier == "best-first":
+            return self._explore_best_first(problem, warm_start)
+        if self.frontier == "lds":
+            return self._explore_lds(problem, warm_start)
+        return self._explore_dfs(problem, warm_start)
+
+    def _begin_search(self, problem, warm_start):
+        """Shared search prologue of every frontier.
+
+        Builds the unit order and search state, reference-evaluates
+        the warm-start incumbent (publishing it to the fleet when
+        sharing), and arms the budget clock.
+        """
         free = unit_order(problem, problem.free_units, self.ordering)
         state = self._new_state(problem)
         best, best_cost = self._warm_incumbent(problem, warm_start)
-        warm_started = best is not None
-        nodes = 0
-        evaluations = 0
-        node_budget = self.node_budget
-        deadline = (
-            time.monotonic() + self.time_budget
-            if self.time_budget is not None
-            else None
-        )
-        state_targets = self.state_targets
-        prune_infeasible = state.can_prune_infeasible
         shared = self.shared_incumbent
         if shared is not None and best is not None:
             shared.offer(best_cost)
-        # The fleet-wide floor only ever decreases, so the last read is
-        # the tightest foreign threshold any pruning step used.
-        shared_floor = (
-            shared.get() if shared is not None else float("inf")
+        clock = _BudgetClock(self.node_budget, self.time_budget, shared)
+        return free, state, best, best_cost, clock, shared
+
+    def _finish_search(
+        self,
+        problem,
+        best,
+        best_cost,
+        clock,
+        evaluations,
+        shared,
+        warm_started,
+        truncated,
+    ) -> ExplorationResult:
+        """Shared search epilogue: proof bookkeeping + provenance.
+
+        Foreign thresholds can cut subtrees our own incumbent would
+        have kept; the per-problem optimality claim survives only
+        when the returned cost meets every threshold used.
+        """
+        proved = not truncated and best_cost <= clock.shared_floor
+        return self._finish(
+            problem,
+            best,
+            clock.nodes,
+            evaluations,
+            optimal=proved,
+            provenance=self._provenance(
+                warm_started, shared, truncated, proved
+            ),
+            proof_floor=(
+                float("-inf")
+                if truncated
+                else min(best_cost, clock.shared_floor)
+            ),
         )
+
+    def _provenance(
+        self,
+        warm_started: bool,
+        shared,
+        truncated: bool,
+        proved: bool,
+    ) -> str:
+        """The uniform provenance string of every frontier.
+
+        ``frontier="dfs"`` reproduces the pre-frontier strings byte
+        for byte; non-default frontiers join the tag list (e.g.
+        ``branch_and_bound[adaptive,lds]``).
+        """
+        tags = []
+        if self.ordering != "static":
+            tags.append(self.ordering)
+        if self.frontier != "dfs":
+            tags.append(self.frontier)
+        provenance = "branch_and_bound"
+        if tags:
+            provenance += f"[{','.join(tags)}]"
+        if warm_started:
+            provenance += "+warm_start"
+        if shared is not None:
+            provenance += "+shared_incumbent"
+            if not truncated and not proved:
+                provenance += " (pruned by fleet incumbent)"
+        if truncated:
+            provenance += " (budget-truncated)"
+        return provenance
+
+    def _explore_dfs(
+        self,
+        problem: SynthesisProblem,
+        warm_start: Optional[Mapping] = None,
+    ) -> ExplorationResult:
+        free, state, best, best_cost, clock, shared = (
+            self._begin_search(problem, warm_start)
+        )
+        warm_started = best is not None
+        evaluations = 0
+        state_targets = self.state_targets
+        prune_infeasible = state.can_prune_infeasible
         adaptive = self.ordering == "adaptive"
         total = len(free)
-
-        def _tick() -> None:
-            """Node accounting + budget/shared-incumbent upkeep."""
-            nonlocal nodes, shared_floor
-            nodes += 1
-            if node_budget is not None and nodes > node_budget:
-                raise _BudgetExceeded
-            if (
-                deadline is not None
-                and (nodes & 255) == 0
-                and time.monotonic() > deadline
-            ):
-                raise _BudgetExceeded
-            if (
-                shared is not None
-                and (nodes & _SHARED_REFRESH_MASK) == 0
-            ):
-                shared_floor = shared.get()
 
         def _leaf() -> None:
             nonlocal best, best_cost, evaluations
@@ -497,7 +633,8 @@ class BranchBoundExplorer(SearchExplorer):
                     shared.offer(best_cost)
 
         def recurse(index: int) -> None:
-            _tick()
+            clock.tick()
+            shared_floor = clock.shared_floor
             limit = (
                 best_cost if best_cost < shared_floor else shared_floor
             )
@@ -522,8 +659,9 @@ class BranchBoundExplorer(SearchExplorer):
             # bound and feasibility and re-compared the probe against
             # the current incumbent just before descending, so the
             # entry checks would be redundant.
-            _tick()
+            clock.tick()
             if not checked:
+                shared_floor = clock.shared_floor
                 limit = (
                     best_cost
                     if best_cost < shared_floor
@@ -565,7 +703,7 @@ class BranchBoundExplorer(SearchExplorer):
                 # whenever they were computed, so comparing against the
                 # *current* incumbent is sound — skipped children never
                 # become nodes.
-                if bound >= best_cost or bound >= shared_floor:
+                if bound >= best_cost or bound >= clock.shared_floor:
                     continue
                 state.assign(unit, target)
                 recurse_adaptive(depth + 1, True)
@@ -579,33 +717,219 @@ class BranchBoundExplorer(SearchExplorer):
                 recurse(0)
         except _BudgetExceeded:
             truncated = True
-        # Foreign thresholds can cut subtrees our own incumbent would
-        # have kept; the per-problem optimality claim survives only
-        # when the returned cost meets every threshold used.
-        proved = not truncated and best_cost <= shared_floor
-        provenance = "branch_and_bound"
-        if self.ordering != "static":
-            provenance += f"[{self.ordering}]"
-        if warm_started:
-            provenance += "+warm_start"
-        if shared is not None:
-            provenance += "+shared_incumbent"
-            if not truncated and not proved:
-                provenance += " (pruned by fleet incumbent)"
-        if truncated:
-            provenance += " (budget-truncated)"
-        return self._finish(
+        return self._finish_search(
             problem,
             best,
-            nodes,
+            best_cost,
+            clock,
             evaluations,
-            optimal=proved,
-            provenance=provenance,
-            proof_floor=(
-                float("-inf")
-                if truncated
-                else min(best_cost, shared_floor)
-            ),
+            shared,
+            warm_started,
+            truncated,
+        )
+
+    def _explore_best_first(
+        self,
+        problem: SynthesisProblem,
+        warm_start: Optional[Mapping] = None,
+    ) -> ExplorationResult:
+        """Priority-queue search over the incremental lower bound.
+
+        Every open node rides the heap as ``(bound, tie, path)``: the
+        bound probed when its parent pushed it, a monotone push
+        counter (equal bounds pop in deterministic push order), and
+        the decision path that :class:`PathTrail` replays to restore
+        the node's search state.  Expanding the cheapest bound first
+        means the moment the cheapest open bound meets the incumbent,
+        *every* open node is prunable — the search returns with a
+        complete optimality proof after expanding only nodes whose
+        bound beats the optimum.
+        """
+        free, state, best, best_cost, clock, shared = (
+            self._begin_search(problem, warm_start)
+        )
+        warm_started = best is not None
+        evaluations = 0
+        state_targets = self.state_targets
+        prune_infeasible = state.can_prune_infeasible
+        adaptive = self.ordering == "adaptive"
+        total = len(free)
+        trail = PathTrail(state)
+        pushes = 0
+        truncated = False
+        root_bound = (
+            float("inf")
+            if prune_infeasible and not state.feasible
+            else state.lower_bound()
+        )
+        heap: List[tuple] = [(root_bound, pushes, ())]
+
+        try:
+            while heap:
+                bound, _tie, path = heapq.heappop(heap)
+                shared_floor = clock.shared_floor
+                limit = (
+                    best_cost if best_cost < shared_floor else shared_floor
+                )
+                if bound >= limit:
+                    # The heap is bound-ordered: every other open node
+                    # is at least as expensive, so nothing left can
+                    # beat the incumbent — the proof is complete.  The
+                    # popped node is never restored or expanded, so it
+                    # does not count as a search node.
+                    break
+                clock.tick()
+                trail.restore(path)
+                if len(path) == total:
+                    evaluations += 1
+                    feasible, cost = state.leaf()
+                    if feasible and cost < best_cost:
+                        best, best_cost = state.to_mapping(), cost
+                        if shared is not None:
+                            shared.offer(best_cost)
+                    continue
+                assignment = state.assignment
+                if adaptive and len(path) < STRONG_BRANCH_DEPTH:
+                    undecided = [u for u in free if u not in assignment]
+                    unit, scored = strong_branch(
+                        state, problem, undecided, state_targets
+                    )
+                else:
+                    unit = next(u for u in free if u not in assignment)
+                    scored = probe_targets(
+                        state, unit, state_targets(problem, unit, state)
+                    )
+                for child_bound, _index, target in scored:
+                    # Probed child bounds are admissible for the child
+                    # subtree; one already at the incumbent (or fleet
+                    # floor) never enters the frontier.
+                    if (
+                        child_bound >= best_cost
+                        or child_bound >= clock.shared_floor
+                    ):
+                        continue
+                    pushes += 1
+                    heapq.heappush(
+                        heap,
+                        (child_bound, pushes, path + ((unit, target),)),
+                    )
+        except _BudgetExceeded:
+            truncated = True
+        return self._finish_search(
+            problem,
+            best,
+            best_cost,
+            clock,
+            evaluations,
+            shared,
+            warm_started,
+            truncated,
+        )
+
+    def _explore_lds(
+        self,
+        problem: SynthesisProblem,
+        warm_start: Optional[Mapping] = None,
+    ) -> ExplorationResult:
+        """Limited discrepancy search over the probed child ordering.
+
+        Each pass walks the tree depth-first following the
+        cheapest-probed-bound child order (with the adaptive mode's
+        shallow strong-branching unit choice), spending ``rank``
+        discrepancies to take a child ``rank`` places off that
+        heuristic preference; a pass that cuts a *viable* child on
+        its allowance sets ``limited`` and the allowance widens by
+        one — bound-pruned children are excluded for good and never
+        force a pass.  The run ends at the first pass the allowance
+        never truncated: that pass was a complete bound-pruned
+        search, so the usual optimality proof holds.  Node/budget
+        accounting accumulates across passes — re-expansions are real
+        work.
+        """
+        free, state, best, best_cost, clock, shared = (
+            self._begin_search(problem, warm_start)
+        )
+        warm_started = best is not None
+        evaluations = 0
+        state_targets = self.state_targets
+        prune_infeasible = state.can_prune_infeasible
+        adaptive = self.ordering == "adaptive"
+        total = len(free)
+        truncated = False
+        limited = False
+
+        def _leaf() -> None:
+            nonlocal best, best_cost, evaluations
+            evaluations += 1
+            feasible, cost = state.leaf()
+            if feasible and cost < best_cost:
+                best, best_cost = state.to_mapping(), cost
+                if shared is not None:
+                    shared.offer(best_cost)
+
+        def recurse(depth: int, allowance: int) -> None:
+            nonlocal limited
+            clock.tick()
+            shared_floor = clock.shared_floor
+            limit = (
+                best_cost if best_cost < shared_floor else shared_floor
+            )
+            if (
+                limit < float("inf")
+                and state.lower_bound() >= limit
+            ):
+                return
+            if prune_infeasible and not state.feasible:
+                return
+            if depth == total:
+                _leaf()
+                return
+            assignment = state.assignment
+            if adaptive and depth < STRONG_BRANCH_DEPTH:
+                undecided = [u for u in free if u not in assignment]
+                unit, scored = strong_branch(
+                    state, problem, undecided, state_targets
+                )
+            else:
+                unit = next(u for u in free if u not in assignment)
+                scored = probe_targets(
+                    state, unit, state_targets(problem, unit, state)
+                )
+            for rank, (bound, _index, target) in enumerate(scored):
+                # Bound-pruned children are excluded for good — they
+                # never consume the allowance and never force another
+                # pass (only a *viable* child cut by the allowance
+                # does).
+                if bound >= best_cost or bound >= clock.shared_floor:
+                    continue
+                if rank > allowance:
+                    # A viable deeper discrepancy waits for the wider
+                    # next pass.
+                    limited = True
+                    break
+                state.assign(unit, target)
+                recurse(depth + 1, allowance - rank)
+                state.unassign(unit)
+
+        allowance = 0
+        try:
+            while True:
+                limited = False
+                recurse(0, allowance)
+                if not limited:
+                    break
+                allowance += 1
+        except _BudgetExceeded:
+            truncated = True
+        return self._finish_search(
+            problem,
+            best,
+            best_cost,
+            clock,
+            evaluations,
+            shared,
+            warm_started,
+            truncated,
         )
 
 

@@ -49,8 +49,14 @@ class ApplicationResult:
     outcome: FlowOutcome
 
 
-def _default_explorer(explorer: Optional[Explorer]) -> Explorer:
-    return explorer if explorer is not None else BranchBoundExplorer()
+def _default_explorer(
+    explorer: Optional[Explorer], frontier: str = "dfs"
+) -> Explorer:
+    return (
+        explorer
+        if explorer is not None
+        else BranchBoundExplorer(frontier=frontier)
+    )
 
 
 def _outcome_from_exploration(
@@ -413,6 +419,7 @@ def explore_space(
     jobs: Optional[int] = None,
     lineage_size: Optional[int] = None,
     share_incumbent: bool = False,
+    frontier: str = "dfs",
 ) -> SpaceExploration:
     """Explore every consistent selection of a variant space.
 
@@ -441,10 +448,16 @@ def explore_space(
     far anywhere in the space.  The best selection and its cost are
     unchanged; per-selection node counts become timing-dependent under
     ``jobs > 1``, so the flag defaults to off.
+
+    ``frontier`` picks the default branch-and-bound explorer's search
+    frontier (``"dfs"``/``"best-first"``/``"lds"``, see
+    :class:`~repro.synth.explorer.BranchBoundExplorer`); it is ignored
+    when an explicit ``explorer`` is passed — configure that explorer
+    directly instead.
     """
     from .parallel import DEFAULT_LINEAGE_SIZE, ParallelSpaceExplorer
 
-    chosen = _default_explorer(explorer)
+    chosen = _default_explorer(explorer, frontier=frontier)
     if jobs is None and lineage_size is None:
         # One unsharded warm-start chain — the sequential semantics.
         size = max(1, space.count())

@@ -46,6 +46,11 @@ from .mapping import SynthesisProblem, Target
 #: Valid ``ordering=`` values of :class:`BranchBoundExplorer`.
 ORDERINGS = ("static", "density", "adaptive")
 
+#: Valid ``frontier=`` values of :class:`BranchBoundExplorer`:
+#: depth-first (the default), best-first over the incremental lower
+#: bound, and limited discrepancy search over the probed child order.
+FRONTIERS = ("dfs", "best-first", "lds")
+
 #: Depths (0-based) at which ``adaptive`` re-sorts the undecided units
 #: via :func:`strong_branch` instead of following the precomputed
 #: density order.  Near the root a unit choice multiplies through the
@@ -65,6 +70,14 @@ def validate_ordering(ordering: str) -> str:
             f"unknown ordering {ordering!r}; expected one of {ORDERINGS}"
         )
     return ordering
+
+
+def validate_frontier(frontier: str) -> str:
+    if frontier not in FRONTIERS:
+        raise SynthesisError(
+            f"unknown frontier {frontier!r}; expected one of {FRONTIERS}"
+        )
+    return frontier
 
 
 def hardware_cost_order(

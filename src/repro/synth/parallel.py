@@ -87,6 +87,7 @@ from .mapping import (
     origins_of_graph,
     units_of_graph,
 )
+from .ordering import validate_frontier
 
 #: Selections per warm-start lineage.  The lineage decomposition — not
 #: the worker count — defines the result, so this default is
@@ -465,6 +466,12 @@ class ParallelSpaceExplorer:
         selection and its proven-optimal cost are unchanged; *node
         counts* become timing-dependent, which is why the default
         (``False``) keeps the byte-identical-for-every-jobs contract.
+    frontier:
+        Search frontier of the *default* branch-and-bound explorer
+        (``"dfs"``/``"best-first"``/``"lds"``); ignored when an
+        explicit ``explorer`` is passed.  Every frontier keeps the
+        byte-identical-for-every-jobs contract — frontier expansion
+        order is deterministic, and lineages stay the unit of work.
     mp_context:
         Multiprocessing start method (default: ``fork`` if available).
     """
@@ -476,6 +483,7 @@ class ParallelSpaceExplorer:
         lineage_size: int = DEFAULT_LINEAGE_SIZE,
         warm_start: bool = True,
         share_incumbent: bool = False,
+        frontier: str = "dfs",
         mp_context: Optional[str] = None,
     ) -> None:
         if jobs < 1:
@@ -483,7 +491,9 @@ class ParallelSpaceExplorer:
         if lineage_size < 1:
             raise SynthesisError("lineage_size must be >= 1")
         self.explorer = (
-            explorer if explorer is not None else BranchBoundExplorer()
+            explorer
+            if explorer is not None
+            else BranchBoundExplorer(frontier=validate_frontier(frontier))
         )
         self.jobs = jobs
         self.lineage_size = lineage_size
@@ -644,6 +654,16 @@ class RacingPortfolioExplorer(SearchExplorer):
     it, so the exact member proves the same optimum over a (typically
     much) smaller tree.  The winning cost is unchanged; per-member
     node counts become timing-dependent, so the default stays off.
+
+    ``frontier`` (``"dfs"`` default) adds a second exact member when
+    non-default: a branch-and-bound search on that frontier racing
+    the DFS member under the same budgets — on spaces where the first
+    dive is misled, the best-first member typically proves the
+    optimum first and cancels the rest.  Both exact members prove the
+    identical optimal *cost*; under ``parallel=True`` which one
+    finishes its proof first (and therefore whose optimal mapping is
+    returned) is timing-dependent, exactly like the existing
+    cancellation provenance.
     """
 
     def __init__(
@@ -655,6 +675,7 @@ class RacingPortfolioExplorer(SearchExplorer):
         incremental: bool = True,
         parallel: bool = True,
         share_incumbent: bool = False,
+        frontier: str = "dfs",
         mp_context: Optional[str] = None,
     ) -> None:
         super().__init__(incremental=incremental)
@@ -664,11 +685,12 @@ class RacingPortfolioExplorer(SearchExplorer):
         self.iterations = iterations
         self.parallel = parallel
         self.share_incumbent = share_incumbent
+        self.frontier = validate_frontier(frontier)
         self.mp_context = mp_context
 
     def members(self) -> Tuple[Tuple[str, Explorer], ...]:
         """The racing members, in deterministic tie-break order."""
-        return (
+        members = [
             (
                 "branch_and_bound",
                 BranchBoundExplorer(
@@ -677,6 +699,20 @@ class RacingPortfolioExplorer(SearchExplorer):
                     time_budget=self.time_budget,
                 ),
             ),
+        ]
+        if self.frontier != "dfs":
+            members.append(
+                (
+                    f"branch_and_bound_{self.frontier.replace('-', '_')}",
+                    BranchBoundExplorer(
+                        incremental=self.incremental,
+                        node_budget=self.node_budget,
+                        time_budget=self.time_budget,
+                        frontier=self.frontier,
+                    ),
+                )
+            )
+        members.append(
             (
                 "annealing",
                 AnnealingExplorer(
@@ -684,8 +720,9 @@ class RacingPortfolioExplorer(SearchExplorer):
                     iterations=self.iterations,
                     incremental=self.incremental,
                 ),
-            ),
+            )
         )
+        return tuple(members)
 
     def explore(
         self,

@@ -1091,6 +1091,56 @@ class SearchState:
 IncrementalEvaluator = SearchState
 
 
+class PathTrail:
+    """Delta-replay cursor over search-tree paths of one state.
+
+    Non-depth-first frontiers (best-first, LDS restarts) revisit
+    search nodes out of tree order; materializing a fresh state per
+    node would rebuild every Fenwick pool each time.  A trail instead
+    snapshots a node as its *decision path* — the ``(unit, target)``
+    pairs from the root — and restores any node by unwinding to the
+    longest common prefix with the currently applied path and
+    replaying the divergent suffix through the state's own
+    ``assign``/``unassign`` machinery: O(distance between the nodes)
+    mutations, never a rebuild.
+
+    Soundness leans on the state's own contracts: the integer kernel
+    makes every aggregate order-independent, and dynamic-pool
+    elections are a pure function of the committed loads — so a
+    restored node reads byte-identical bounds and feasibility however
+    the trail got there.
+    """
+
+    __slots__ = ("state", "_applied")
+
+    def __init__(self, state) -> None:
+        self.state = state
+        #: The decision path currently applied on top of the state's
+        #: base assignment (``problem.fixed`` plus anything assigned
+        #: before the trail took over).
+        self._applied: List[Tuple[str, Target]] = []
+
+    @property
+    def path(self) -> Tuple[Tuple[str, Target], ...]:
+        """The currently applied decision path (root excluded)."""
+        return tuple(self._applied)
+
+    def restore(self, path: Tuple[Tuple[str, Target], ...]) -> None:
+        """Mutate the state so exactly ``path`` is applied."""
+        applied = self._applied
+        common = 0
+        for have, want in zip(applied, path):
+            if have != want:
+                break
+            common += 1
+        state = self.state
+        while len(applied) > common:
+            state.unassign(applied.pop()[0])
+        for pair in path[common:]:
+            state.assign(pair[0], pair[1])
+            applied.append(pair)
+
+
 class ReferenceSearchState:
     """Full-recompute twin of :class:`SearchState` (the seed behavior).
 

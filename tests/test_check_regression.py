@@ -13,6 +13,15 @@ spec = importlib.util.spec_from_file_location(
 check_regression = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(check_regression)
 
+_summary_spec = importlib.util.spec_from_file_location(
+    "bench_summary",
+    pathlib.Path(__file__).parent.parent
+    / "benchmarks"
+    / "bench_summary.py",
+)
+bench_summary = importlib.util.module_from_spec(_summary_spec)
+_summary_spec.loader.exec_module(bench_summary)
+
 
 def bench_payload(nodes_per_sec=1000.0, quick=False):
     return {
@@ -367,6 +376,73 @@ class TestAdaptiveNodesGate:
         )
 
 
+def bench_payload_with_frontier(nodes=36.0, optimal=True):
+    payload = bench_payload()
+    payload["frontier"] = {
+        "best_first": {"nodes": nodes, "optimal": optimal},
+        "lds": {"nodes": 69.0, "optimal": True},
+    }
+    return payload
+
+
+class TestBestFirstNodesGate:
+    def test_bestfirst_nodes_extracted_only_when_proved(self):
+        metrics = check_regression.extract_metrics(
+            bench_payload_with_frontier(nodes=36.0)
+        )
+        assert metrics["bnb_bestfirst_nodes_to_optimal"] == 36.0
+        truncated = check_regression.extract_metrics(
+            bench_payload_with_frontier(nodes=36.0, optimal=False)
+        )
+        assert "bnb_bestfirst_nodes_to_optimal" not in truncated
+        # only the gated best-first count is extracted, not LDS
+        assert not any("lds" in key for key in metrics)
+
+    def test_bestfirst_is_a_lower_is_better_gate(self):
+        assert (
+            check_regression.GATED_METRICS[
+                "bnb_bestfirst_nodes_to_optimal"
+            ]
+            == "lower"
+        )
+
+    def test_bestfirst_node_blowup_fails_gate(self, tmp_path, capsys):
+        history = tmp_path / "bench_history"
+        tight = write_current(
+            tmp_path, bench_payload_with_frontier(nodes=36.0)
+        )
+        check_regression.main(
+            ["--current", str(tight), "--history", str(history),
+             "--write"]
+        )
+        loose = write_current(
+            tmp_path, bench_payload_with_frontier(nodes=300.0)
+        )
+        code = check_regression.main(
+            ["--current", str(loose), "--history", str(history)]
+        )
+        assert code == 1
+        assert "bnb_bestfirst_nodes_to_optimal" in (
+            capsys.readouterr().out
+        )
+
+    def test_bestfirst_node_drop_passes_gate(self, tmp_path):
+        history = tmp_path / "bench_history"
+        loose = write_current(
+            tmp_path, bench_payload_with_frontier(nodes=300.0)
+        )
+        check_regression.main(
+            ["--current", str(loose), "--history", str(history),
+             "--write"]
+        )
+        tight = write_current(
+            tmp_path, bench_payload_with_frontier(nodes=30.0)
+        )
+        assert check_regression.main(
+            ["--current", str(tight), "--history", str(history)]
+        ) == 0
+
+
 class TestLowerIsBetterMetrics:
     def test_nodes_to_optimal_extracted(self):
         metrics = check_regression.extract_metrics(
@@ -409,3 +485,37 @@ class TestLowerIsBetterMetrics:
         assert check_regression.main(
             ["--current", str(tight), "--history", str(history)]
         ) == 0
+
+
+class TestBenchSummaryFrontierRows:
+    """bench_summary prints the frontier column next to the ordering
+    rows so the whole pruning story reads from one table."""
+
+    def payload(self):
+        return {
+            "workload": {"problem": "throughput"},
+            "bound_tightness": {
+                "basic_bound": {"nodes": 107485, "optimal": True}
+            },
+            "branching_order": {
+                "static": {"nodes": 2959, "optimal": True},
+                "adaptive_dynamic": {"nodes": 36, "optimal": True},
+            },
+            "frontier": {
+                "best_first": {"nodes": 36, "optimal": True},
+                "lds": {"nodes": 69, "optimal": True},
+            },
+        }
+
+    def test_frontier_rows_rendered(self):
+        lines = "\n".join(bench_summary.comparison_lines(self.payload()))
+        assert "best-first frontier" in lines
+        assert "LDS frontier" in lines
+        assert "adaptive order + dynamic pool (default)" in lines
+
+    def test_missing_frontier_section_still_renders(self):
+        payload = self.payload()
+        del payload["frontier"]
+        lines = "\n".join(bench_summary.comparison_lines(payload))
+        assert "best-first frontier" not in lines
+        assert "adaptive order + dynamic pool (default)" in lines

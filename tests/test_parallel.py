@@ -236,6 +236,83 @@ class TestByteIdenticalResults:
         assert canonical_bytes(parallel_cold) == canonical_bytes(cold)
 
 
+class TestFrontierJobsDeterminism:
+    """Non-default frontiers keep the PR 2 determinism contract with
+    ``share_incumbent=False``: the best-first heap tie-break is the
+    deterministic push counter (never object identity or timing), so
+    the selection order — and with it every cost, mapping and node
+    count — is byte-identical at any ``--jobs``."""
+
+    @pytest.mark.parametrize("frontier", ["best-first", "lds"])
+    def test_jobs_sweep_byte_identical(self, frontier):
+        family, space = generated_space()
+        explorer = BranchBoundExplorer(frontier=frontier)
+        reference = None
+        for jobs in (1, 2, 4):
+            outcome = ParallelSpaceExplorer(
+                explorer=explorer, jobs=jobs, lineage_size=2
+            ).explore(family, space)
+            payload = canonical_bytes(outcome)
+            if reference is None:
+                reference = payload
+            assert payload == reference
+
+    def test_best_first_repeat_runs_identical(self):
+        """Two sequential sweeps replay the identical expansion order:
+        every observable (including node counts) matches byte for
+        byte, and crossing a process boundary changes nothing."""
+        family, space = generated_space()
+        explorer = BranchBoundExplorer(frontier="best-first")
+        first = explore_space(family, space, explorer)
+        second = explore_space(family, space, explorer)
+        assert canonical_bytes(first) == canonical_bytes(second)
+        # same lineage decomposition across a process boundary: the
+        # pooled run must replay the jobs=1 run byte for byte
+        sharded = explore_space(
+            family, space, explorer, jobs=1, lineage_size=2
+        )
+        pooled = explore_space(
+            family, space, explorer, jobs=2, lineage_size=2
+        )
+        assert canonical_bytes(pooled) == canonical_bytes(sharded)
+
+    def test_frontier_default_explorer_threads_through(self):
+        """ParallelSpaceExplorer(frontier=...) configures the default
+        branch-and-bound explorer; explore_space(frontier=...) does
+        the same for the sequential path."""
+        family, space = generated_space(n_variants=3)
+        runner = ParallelSpaceExplorer(frontier="best-first")
+        assert runner.explorer.frontier == "best-first"
+        via_runner = runner.explore(family, space)
+        via_explore = explore_space(
+            family, space, frontier="best-first"
+        )
+        assert canonical_bytes(via_runner) == canonical_bytes(
+            via_explore
+        )
+        for result in via_explore.results:
+            assert "best-first" in result.exploration.provenance
+        with pytest.raises(SynthesisError):
+            ParallelSpaceExplorer(frontier="sideways")
+
+    @pytest.mark.parametrize("frontier", ["best-first", "lds"])
+    def test_frontier_matches_dfs_costs_across_the_space(
+        self, frontier
+    ):
+        """Every frontier proves the same per-selection optima the
+        DFS sweep proves (mappings may differ between equal-cost
+        optima; costs and proofs may not)."""
+        family, space = generated_space()
+        dfs = explore_space(family, space)
+        other = explore_space(family, space, frontier=frontier)
+        assert [r.cost for r in other.results] == [
+            r.cost for r in dfs.results
+        ]
+        assert [r.exploration.optimal for r in other.results] == [
+            r.exploration.optimal for r in dfs.results
+        ]
+
+
 class TestDeterministicMerge:
     def test_results_merge_in_enumeration_order(self):
         """Lineages that finish out of order still merge in order."""
@@ -340,6 +417,48 @@ class TestRacingPortfolio:
         assert [r.cost for r in outcome.results] == [
             r.cost for r in exact.results
         ]
+
+    def test_frontier_member_joins_the_race(self):
+        """A non-default frontier adds a second exact member racing
+        the DFS one; member order stays deterministic."""
+        racing = RacingPortfolioExplorer(frontier="best-first")
+        names = [name for name, _ in racing.members()]
+        assert names == [
+            "branch_and_bound",
+            "branch_and_bound_best_first",
+            "annealing",
+        ]
+        explorers = dict(racing.members())
+        assert explorers["branch_and_bound"].frontier == "dfs"
+        assert (
+            explorers["branch_and_bound_best_first"].frontier
+            == "best-first"
+        )
+        assert [n for n, _ in RacingPortfolioExplorer().members()] == [
+            "branch_and_bound",
+            "annealing",
+        ]
+        with pytest.raises(SynthesisError):
+            RacingPortfolioExplorer(frontier="zigzag")
+
+    def test_frontier_race_proves_the_same_optimum(self):
+        problem = table1_problem()
+        sequential = RacingPortfolioExplorer(
+            frontier="best-first", iterations=400, parallel=False
+        ).explore(problem)
+        assert sequential.optimal
+        assert sequential.cost == 41.0
+        # sequential fallback runs members in order: the DFS member
+        # proves first and cancels both the best-first member and
+        # annealing.
+        assert "branch_and_bound_best_first cancelled" in (
+            sequential.provenance
+        )
+        parallel = RacingPortfolioExplorer(
+            frontier="best-first", iterations=400
+        ).explore(problem)
+        assert parallel.optimal
+        assert parallel.cost == 41.0
 
     def test_racing_in_explore_space(self):
         family, space = generated_space(n_variants=3)

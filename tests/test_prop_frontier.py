@@ -1,0 +1,207 @@
+"""Property harness: every search frontier equals the exhaustive oracle.
+
+Each new frontier (and each flag it composes with) multiplies the
+configuration matrix of the exact search; this suite is the safety
+net that keeps the whole matrix provably equivalent to exhaustive
+enumeration.  Three contracts, all on exact ``k/64`` binary-grid
+values (no quantization error):
+
+* **full flag matrix** — branch-and-bound under every ``frontier`` ×
+  ``ordering`` × ``dynamic_pool`` × ``capacity_bound`` combination
+  proves the exhaustive optimum (cost, feasibility, and a
+  reference-oracle-validated mapping), and every proven-optimal run
+  reports the identical ``proof_floor``;
+* **frontier semantics** — warm starts never change what a frontier
+  proves, and the :class:`PathTrail` replay the best-first frontier
+  rides restores bounds and feasibility exactly at every hop;
+* **determinism** — repeated runs of every frontier return
+  byte-identical mappings and node counts (the best-first heap
+  tie-break is the deterministic push order, not object identity).
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.synth.architecture import ArchitectureTemplate
+from repro.synth.cost import evaluate
+from repro.synth.explorer import BranchBoundExplorer, ExhaustiveExplorer
+from repro.synth.library import ComponentLibrary
+from repro.synth.mapping import SynthesisProblem, Target, VariantOrigin
+from repro.synth.ordering import FRONTIERS, ORDERINGS
+from repro.synth.state import PathTrail, SearchState
+
+
+@st.composite
+def small_problems(draw):
+    """Tight-capacity problems small enough to enumerate exhaustively."""
+    n_units = draw(st.integers(min_value=1, max_value=5))
+    library = ComponentLibrary()
+    units = []
+    origins = {}
+    for index in range(n_units):
+        name = f"u{index}"
+        units.append(name)
+        has_sw = draw(st.booleans())
+        has_hw = draw(st.booleans()) or not has_sw
+        library.component(
+            name,
+            sw_utilization=(
+                draw(st.integers(min_value=1, max_value=96)) / 64
+                if has_sw
+                else None
+            ),
+            hw_cost=(
+                draw(st.integers(min_value=0, max_value=40))
+                if has_hw
+                else None
+            ),
+        )
+        if draw(st.booleans()):
+            origins[name] = VariantOrigin(
+                draw(st.sampled_from(["t1", "t2"])),
+                draw(st.sampled_from(["A", "B", "C"])),
+            )
+    architecture = ArchitectureTemplate(
+        max_processors=draw(st.integers(min_value=1, max_value=2)),
+        processor_cost=draw(st.integers(min_value=0, max_value=20)),
+        # Deliberately tight so bound pruning actually engages.
+        processor_capacity=draw(st.sampled_from([0.5, 0.75, 1.0])),
+    )
+    return SynthesisProblem(
+        name="frontier",
+        units=tuple(units),
+        library=library,
+        architecture=architecture,
+        origins=origins,
+        use_exclusion=draw(st.booleans()),
+    )
+
+
+def _targets(problem, unit):
+    entry = problem.entry(unit)
+    targets = []
+    if entry.software is not None:
+        targets.extend(
+            Target.sw(cpu)
+            for cpu in range(problem.architecture.max_processors)
+        )
+    if entry.hardware is not None:
+        targets.append(Target.hw())
+    return targets
+
+
+class TestFullFlagMatrix:
+    @given(small_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_every_frontier_flag_combination_matches_the_oracle(
+        self, problem
+    ):
+        oracle = ExhaustiveExplorer().explore(problem)
+        floors = []
+        combos = itertools.product(
+            FRONTIERS, ORDERINGS, (True, False), (True, False)
+        )
+        for frontier, ordering, dynamic_pool, capacity_bound in combos:
+            result = BranchBoundExplorer(
+                frontier=frontier,
+                ordering=ordering,
+                dynamic_pool=dynamic_pool,
+                capacity_bound=capacity_bound,
+            ).explore(problem)
+            assert result.optimal
+            assert result.cost == oracle.cost
+            floors.append(result.proof_floor)
+            if oracle.feasible:
+                assert result.feasible
+                ev = evaluate(problem, result.mapping)
+                assert ev.feasible
+                assert ev.total_cost == oracle.cost
+        # every proven-optimal run certifies the same floor: the
+        # optimal cost itself (inf when nothing is feasible).
+        assert set(floors) == {oracle.cost}
+        assert oracle.proof_floor == oracle.cost
+
+    @given(small_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_warm_starts_never_change_what_a_frontier_proves(
+        self, problem
+    ):
+        oracle = ExhaustiveExplorer().explore(problem)
+        if not oracle.feasible:
+            return
+        for frontier in FRONTIERS:
+            result = BranchBoundExplorer(frontier=frontier).explore(
+                problem, warm_start=oracle.mapping
+            )
+            assert result.optimal
+            assert result.cost == oracle.cost
+            assert result.proof_floor == oracle.cost
+            assert "+warm_start" in result.provenance
+
+
+class TestFrontierDeterminism:
+    @given(small_problems())
+    @settings(max_examples=20, deadline=None)
+    def test_repeated_runs_are_byte_identical(self, problem):
+        for frontier in FRONTIERS:
+            first = BranchBoundExplorer(frontier=frontier).explore(
+                problem
+            )
+            second = BranchBoundExplorer(frontier=frontier).explore(
+                problem
+            )
+            assert first.cost == second.cost
+            assert first.nodes_explored == second.nodes_explored
+            assert first.evaluations == second.evaluations
+            assert first.provenance == second.provenance
+            if first.mapping is not None:
+                assert dict(first.mapping.assignment) == dict(
+                    second.mapping.assignment
+                )
+            else:
+                assert second.mapping is None
+
+
+@st.composite
+def trail_scenarios(draw):
+    """A problem plus a few random decision paths to hop between."""
+    problem = draw(small_problems())
+    order = list(problem.units)
+    draw(st.randoms(use_true_random=False)).shuffle(order)
+    paths = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        depth = draw(st.integers(min_value=0, max_value=len(order)))
+        path = tuple(
+            (unit, draw(st.sampled_from(_targets(problem, unit))))
+            for unit in order[:depth]
+        )
+        paths.append(path)
+    return problem, paths
+
+
+class TestPathTrailReplay:
+    @given(trail_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_trail_restores_bounds_and_feasibility_exactly(
+        self, scenario
+    ):
+        """Hopping between arbitrary nodes reads the same state a
+        fresh replay of each node would — the property the best-first
+        frontier's snapshot/restore leans on."""
+        problem, paths = scenario
+        state = SearchState(problem)
+        trail = PathTrail(state)
+        for path in paths:
+            trail.restore(path)
+            assert trail.path == path
+            assert dict(state.assignment) == dict(path)
+            fresh = SearchState(problem)
+            for unit, target in path:
+                fresh.assign(unit, target)
+            assert state.lower_bound() == fresh.lower_bound()
+            assert state.feasible == fresh.feasible
+        # unwinding to the root leaves a pristine state
+        trail.restore(())
+        assert state.lower_bound() == SearchState(problem).lower_bound()
+        assert not state.assignment

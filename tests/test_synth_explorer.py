@@ -14,6 +14,7 @@ from repro.synth.library import ComponentLibrary
 from repro.synth.mapping import SynthesisProblem, Target, VariantOrigin
 from repro.synth.methods import variant_units
 from repro.synth.ordering import (
+    FRONTIERS,
     ORDERINGS,
     density_order,
     hardware_cost_order,
@@ -218,6 +219,152 @@ class TestBranchingOrder:
             "swonly",
             "flex",
         ]
+
+
+class TestSearchFrontiers:
+    def test_default_frontier_is_dfs(self):
+        assert BranchBoundExplorer().frontier == "dfs"
+        assert FRONTIERS == ("dfs", "best-first", "lds")
+
+    def test_invalid_frontier_rejected(self):
+        with pytest.raises(SynthesisError):
+            BranchBoundExplorer(frontier="breadth-first")
+
+    def test_all_frontiers_prove_the_same_optimum(self):
+        problem = knapsack_problem()
+        reference = BranchBoundExplorer().explore(problem)
+        for frontier in FRONTIERS:
+            result = BranchBoundExplorer(frontier=frontier).explore(
+                problem
+            )
+            assert result.optimal
+            assert result.cost == reference.cost
+            assert result.proof_floor == reference.proof_floor
+
+    def test_best_first_never_needs_more_nodes_than_dfs(self):
+        """Best-first expands only nodes whose bound beats the
+        optimum; on this pinned knapsack-hard tree that is no more
+        work than the depth-first dive (an empirical regression
+        guard — the two frontiers shape their trees differently, so
+        the inequality is measured, not derived)."""
+        problem = knapsack_problem()
+        dfs = BranchBoundExplorer().explore(problem)
+        best_first = BranchBoundExplorer(
+            frontier="best-first"
+        ).explore(problem)
+        assert best_first.optimal
+        assert best_first.nodes_explored <= dfs.nodes_explored
+
+    def test_frontier_provenance_tags(self):
+        problem = toy_problem()
+        best_first = BranchBoundExplorer(
+            frontier="best-first"
+        ).explore(problem)
+        assert best_first.provenance.startswith(
+            "branch_and_bound[adaptive,best-first]"
+        )
+        lds_static = BranchBoundExplorer(
+            frontier="lds", ordering="static"
+        ).explore(problem)
+        assert lds_static.provenance.startswith(
+            "branch_and_bound[lds]"
+        )
+        dfs = BranchBoundExplorer().explore(problem)
+        assert dfs.provenance.startswith("branch_and_bound[adaptive]")
+        assert "dfs" not in dfs.provenance
+
+    def test_frontiers_work_on_the_reference_state(self):
+        """incremental=False (full-recompute oracle state) still
+        reaches the optimum under every frontier."""
+        problem = toy_problem()
+        for frontier in FRONTIERS:
+            result = BranchBoundExplorer(
+                frontier=frontier, incremental=False
+            ).explore(problem)
+            assert result.optimal
+            assert result.cost == 18.0
+
+
+class TestFrontierBudgetEdges:
+    """The new frontiers mirror the DFS budget semantics exactly."""
+
+    @pytest.mark.parametrize("frontier", ["best-first", "lds"])
+    def test_node_budget_boundary_is_inclusive(self, frontier):
+        """``nodes == node_budget`` completes; one less truncates."""
+        problem = knapsack_problem()
+        full = BranchBoundExplorer(frontier=frontier).explore(problem)
+        assert full.optimal and full.nodes_explored > 1
+        exact = BranchBoundExplorer(
+            frontier=frontier, node_budget=full.nodes_explored
+        ).explore(problem)
+        assert exact.optimal
+        assert exact.nodes_explored == full.nodes_explored
+        assert "(budget-truncated)" not in exact.provenance
+        under = BranchBoundExplorer(
+            frontier=frontier, node_budget=full.nodes_explored - 1
+        ).explore(problem)
+        assert not under.optimal
+        assert under.provenance.endswith("(budget-truncated)")
+        assert under.proof_floor == float("-inf")
+        # the budget check fires on entering the first over-budget node
+        assert under.nodes_explored == full.nodes_explored
+
+    @pytest.mark.parametrize("frontier", ["best-first", "lds"])
+    def test_time_budget_deadline_truncates(self, frontier):
+        """An expired deadline stops the search at the next poll.
+
+        The deadline is polled every 256 nodes; under the basic bound
+        every frontier's tree is far beyond 256 nodes on this
+        problem, so the expired run stops at exactly the first poll.
+        """
+        problem = knapsack_problem()
+        big_tree = BranchBoundExplorer(
+            frontier=frontier,
+            capacity_bound=False,
+            node_budget=100_000,
+        ).explore(problem)
+        assert big_tree.nodes_explored > 256
+        result = BranchBoundExplorer(
+            frontier=frontier,
+            capacity_bound=False,
+            time_budget=1e-9,
+        ).explore(problem)
+        assert not result.optimal
+        assert result.provenance.endswith("(budget-truncated)")
+        assert result.nodes_explored == 256
+
+    @pytest.mark.parametrize("frontier", ["best-first", "lds"])
+    def test_truncated_warm_start_keeps_the_incumbent(self, frontier):
+        """A truncated warm-started run keeps the warm incumbent and
+        names both the warm start and the truncation, exactly like
+        the DFS frontier."""
+        problem = knapsack_problem()
+        full = BranchBoundExplorer().explore(problem)
+        truncated = BranchBoundExplorer(
+            frontier=frontier, node_budget=1
+        ).explore(problem, warm_start=full.mapping)
+        assert not truncated.optimal
+        assert truncated.provenance == (
+            f"branch_and_bound[adaptive,{frontier}]"
+            "+warm_start (budget-truncated)"
+        )
+        assert truncated.cost == full.cost
+        # the budget check fires on entering the first over-budget node
+        assert truncated.nodes_explored == 2
+
+    @pytest.mark.parametrize("frontier", ["best-first", "lds"])
+    def test_warm_started_full_run_still_proves(self, frontier):
+        """Warm-start incumbent seeding mirrors DFS: the seeded run
+        proves the same optimum in no more nodes than the cold one."""
+        problem = knapsack_problem()
+        cold = BranchBoundExplorer(frontier=frontier).explore(problem)
+        warm = BranchBoundExplorer(frontier=frontier).explore(
+            problem, warm_start=cold.mapping
+        )
+        assert warm.optimal
+        assert warm.cost == cold.cost
+        assert warm.nodes_explored <= cold.nodes_explored
+        assert "+warm_start" in warm.provenance
 
 
 class TestBudgetEdges:
