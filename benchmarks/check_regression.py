@@ -48,6 +48,7 @@ GATED_METRICS = {
     "microbench_incremental_evals_per_sec": "higher",
     "parallel_jobs1_selections_per_sec": "higher",
     "parallel_jobs4_efficiency": "higher",
+    "batch_probe_speedup": "higher",
     "bnb_nodes_to_optimal": "lower",
     "bnb_adaptive_nodes_to_optimal": "lower",
     "bnb_bestfirst_nodes_to_optimal": "lower",
@@ -117,6 +118,12 @@ def extract_metrics(payload: dict) -> Dict[str, float]:
     best_first = payload.get("frontier", {}).get("best_first", {})
     if best_first.get("optimal"):
         put("bnb_bestfirst_nodes_to_optimal", best_first.get("nodes"))
+    # None when numpy is absent (the bench cannot measure the batch
+    # kernel at all) — skipped rather than gated on a missing backend.
+    put(
+        "batch_probe_speedup",
+        payload.get("batch_kernel", {}).get("batch_probe_speedup"),
+    )
     put(
         "dispatch_index_bytes_per_lineage",
         payload.get("dispatch_volume", {}).get(

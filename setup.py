@@ -1,3 +1,11 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    # The core package is dependency-free; the "fast" extra enables
+    # the structure-of-arrays NumPy evaluation backend (the scalar
+    # pure-python kernel is always available as the fallback).
+    extras_require={"fast": ["numpy"]},
+)

@@ -74,6 +74,7 @@ def _make_explorer(
     dynamic_pool: bool = True,
     share_incumbent: bool = False,
     frontier: str = "dfs",
+    backend: Optional[str] = None,
 ):
     from .synth.explorer import (
         AnnealingExplorer,
@@ -85,17 +86,22 @@ def _make_explorer(
 
     incremental = not reference
     factories = {
-        "exhaustive": lambda: ExhaustiveExplorer(incremental=incremental),
+        "exhaustive": lambda: ExhaustiveExplorer(
+            incremental=incremental, backend=backend
+        ),
         "bnb": lambda: BranchBoundExplorer(
             incremental=incremental,
             ordering=ordering,
             dynamic_pool=dynamic_pool,
             frontier=frontier,
+            backend=backend,
         ),
         "annealing": lambda: AnnealingExplorer(
-            seed=0, iterations=4000, incremental=incremental
+            seed=0, iterations=4000, incremental=incremental, backend=backend
         ),
-        "portfolio": lambda: PortfolioExplorer(incremental=incremental),
+        "portfolio": lambda: PortfolioExplorer(
+            incremental=incremental, backend=backend
+        ),
         # --share-incumbent also wires the racing members to each
         # other (annealing publishes, branch-and-bound prunes), not
         # just the cross-lineage cell of explore_space.  --frontier
@@ -104,6 +110,7 @@ def _make_explorer(
             incremental=incremental,
             share_incumbent=share_incumbent,
             frontier=frontier,
+            backend=backend,
         ),
     }
     return factories[name]()
@@ -141,6 +148,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         dynamic_pool=not args.no_dynamic_pool,
         share_incumbent=args.share_incumbent,
         frontier=args.frontier,
+        backend=None if args.backend == "auto" else args.backend,
     )
     outcome = explore_space(
         family,
@@ -298,6 +306,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             "publish the fleet-wide best cost so every lineage's "
             "search prunes against it (best selection unchanged; "
             "node counts become timing-dependent with --jobs > 1)"
+        ),
+    )
+    explore.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "python"],
+        default="auto",
+        help=(
+            "search-state evaluation backend: numpy uses the "
+            "structure-of-arrays kernel with vectorized candidate "
+            "scoring (errors if numpy is missing), python the scalar "
+            "reference kernel, auto (default) lets each explorer pick "
+            "its measured winner (numpy on probe-heavy frontiers when "
+            "available, scalar otherwise); results are byte-identical "
+            "either way"
         ),
     )
     explore.add_argument(

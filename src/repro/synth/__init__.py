@@ -7,6 +7,7 @@ mechanism behind Table 1's "With variants" row.
 """
 
 from .architecture import ArchitectureTemplate
+from .backend import BACKENDS, HAS_NUMPY, resolve_backend
 from .baselines import (
     BoundApplication,
     IncrementalResult,
@@ -100,6 +101,7 @@ __all__ = [
     "AnnealingExplorer",
     "ApplicationResult",
     "ArchitectureTemplate",
+    "BACKENDS",
     "BoundApplication",
     "BranchBoundExplorer",
     "ComponentEntry",
@@ -110,6 +112,7 @@ __all__ = [
     "ExplorationResult",
     "Explorer",
     "FlowOutcome",
+    "HAS_NUMPY",
     "HardwareOption",
     "ImplKind",
     "IncrementalEvaluator",
@@ -157,6 +160,7 @@ __all__ = [
     "problem_for_graph",
     "processor_memory",
     "processor_utilization",
+    "resolve_backend",
     "serialization_flow",
     "shard_lineages",
     "sharing_saving",

@@ -147,19 +147,19 @@ def probe_targets(
     ascending — the cheapest-looking child first, generation order as
     the deterministic tie-break.  A child whose tentative assignment is
     already infeasible (monotone loads: no completion can recover) is
-    scored ``inf``, so callers can skip it outright.  Every probe is a
-    paired assign/unassign, restoring the state exactly.
+    scored ``inf``, so callers can skip it outright.  The whole sibling
+    batch is scored through ``state.score_candidates`` — one vectorized
+    pass on the NumPy backend, paired assign/unassign probes on the
+    scalar one — and the state is restored exactly either way.
     """
     scored: List[Tuple[float, int, Target]] = []
     prune_infeasible = state.can_prune_infeasible
-    for index, target in enumerate(targets):
-        state.assign(unit, target)
-        if prune_infeasible and not state.feasible:
+    for index, (bound, feasible) in enumerate(
+        state.score_candidates(unit, targets)
+    ):
+        if prune_infeasible and not feasible:
             bound = float("inf")
-        else:
-            bound = state.lower_bound()
-        state.unassign(unit)
-        scored.append((bound, index, target))
+        scored.append((bound, index, targets[index]))
     scored.sort(key=lambda item: (item[0], item[1]))
     return scored
 

@@ -485,6 +485,7 @@ class ParallelSpaceExplorer:
         share_incumbent: bool = False,
         frontier: str = "dfs",
         mp_context: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise SynthesisError("jobs must be >= 1")
@@ -493,7 +494,9 @@ class ParallelSpaceExplorer:
         self.explorer = (
             explorer
             if explorer is not None
-            else BranchBoundExplorer(frontier=validate_frontier(frontier))
+            else BranchBoundExplorer(
+                frontier=validate_frontier(frontier), backend=backend
+            )
         )
         self.jobs = jobs
         self.lineage_size = lineage_size
@@ -677,8 +680,9 @@ class RacingPortfolioExplorer(SearchExplorer):
         share_incumbent: bool = False,
         frontier: str = "dfs",
         mp_context: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
-        super().__init__(incremental=incremental)
+        super().__init__(incremental=incremental, backend=backend)
         self.node_budget = node_budget
         self.time_budget = time_budget
         self.seed = seed
@@ -697,6 +701,7 @@ class RacingPortfolioExplorer(SearchExplorer):
                     incremental=self.incremental,
                     node_budget=self.node_budget,
                     time_budget=self.time_budget,
+                    backend=self.backend,
                 ),
             ),
         ]
@@ -709,6 +714,11 @@ class RacingPortfolioExplorer(SearchExplorer):
                         node_budget=self.node_budget,
                         time_budget=self.time_budget,
                         frontier=self.frontier,
+                        # The raw request, not the resolved backend:
+                        # under ``auto`` a probe-heavy frontier member
+                        # picks the vectorized backend even though the
+                        # DFS member resolves to the scalar one.
+                        backend=self.backend_request,
                     ),
                 )
             )
@@ -719,6 +729,7 @@ class RacingPortfolioExplorer(SearchExplorer):
                     seed=self.seed,
                     iterations=self.iterations,
                     incremental=self.incremental,
+                    backend=self.backend,
                 ),
             )
         )

@@ -88,9 +88,12 @@ makes backtracking restore it exactly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+import warnings
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import SynthesisError
+from . import backend as _backend
+from .backend import resolve_backend
 from .cost import (
     Evaluation,
     QUANT_SCALE,
@@ -99,11 +102,26 @@ from .cost import (
     quantize,
     quantize_capacity,
 )
+from .library import ImplKind
 from .mapping import Mapping, SynthesisProblem, Target
 
 #: Grouping key: ``(interface, cluster)`` for exclusion-aware loads,
 #: ``None`` for common (always-concurrent) load.
 _GroupKey = Optional[Tuple[str, str]]
+
+#: Sentinel distinguishing "``exact=`` not passed" from any real value
+#: (the flag is deprecated: every mode is exact since the integer
+#: kernel, so passing it only triggers a :class:`DeprecationWarning`).
+_UNSET = object()
+
+_EXACT_DEPRECATION = (
+    "the 'exact' flag is deprecated and has no effect: the integer "
+    "kernel made every evaluation mode exact and byte-stable"
+)
+
+
+def _warn_exact() -> None:
+    warnings.warn(_EXACT_DEPRECATION, DeprecationWarning, stacklevel=3)
 
 
 class _ExclusionLoad:
@@ -516,30 +534,63 @@ class SearchState:
     including the truncated-utilizations shape on violation) from the
     maintained aggregates.
 
-    ``exact`` is accepted for API compatibility and ignored: integer
-    accumulation made every mode order-independent and byte-stable.
+    ``exact`` is deprecated (a no-op since the integer kernel — every
+    mode is exact now); passing it emits a :class:`DeprecationWarning`.
     ``capacity_bound=False`` skips the knapsack maintenance (useful for
     explorers that never read ``lower_bound()``, e.g. annealing).
     ``dynamic_pool=False`` keeps the capacity bound but freezes the
     joint pool's per-interface cluster choice to the static election
     (the PR 3 behavior) — the ablation lever of the re-elected bound.
+
+    ``backend`` selects the bookkeeping implementation
+    (:mod:`repro.synth.backend`): ``"python"`` is this scalar kernel;
+    ``"numpy"`` (the default whenever NumPy is importable) constructs
+    the structure-of-arrays subclass whose
+    :meth:`score_candidates` evaluates a whole sibling batch in one
+    vectorized pass.  Both backends are byte-identical — the scalar
+    kernel is the oracle the property suite checks the arrays against.
     """
 
     #: Partial-mapping infeasibility is monotone (loads only grow along
     #: a search path), so explorers may prune on it.
     can_prune_infeasible = True
 
+    #: Concrete backend name of this class (subclass overrides).
+    backend = "python"
+
+    def __new__(
+        cls,
+        problem: Optional[SynthesisProblem] = None,
+        variants_resident: bool = True,
+        exact: object = _UNSET,
+        capacity_bound: bool = True,
+        dynamic_pool: bool = True,
+        backend: Optional[str] = None,
+    ) -> "SearchState":
+        # Auto-dispatch to the array backend; constructing the
+        # subclass (or passing backend="python") bypasses it.
+        if (
+            cls is SearchState
+            and problem is not None
+            and resolve_backend(backend) == "numpy"
+        ):
+            cls = _NumpySearchState
+        return object.__new__(cls)
+
     def __init__(
         self,
         problem: SynthesisProblem,
         variants_resident: bool = True,
-        exact: bool = False,
+        exact: object = _UNSET,
         capacity_bound: bool = True,
         dynamic_pool: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
+        if exact is not _UNSET:
+            _warn_exact()
         self.problem = problem
         self.variants_resident = variants_resident
-        self.exact = exact
+        self.exact = False if exact is _UNSET else exact
         self.capacity_bound = capacity_bound
         self.dynamic_pool = dynamic_pool
         arch = problem.architecture
@@ -775,29 +826,8 @@ class SearchState:
                     f"unit {unit!r} mapped to software without a software "
                     f"option"
                 )
-            processor = target.processor
-            bucket = self._buckets.get(processor)
-            if bucket is None:
-                bucket = self._buckets[processor] = {}
-            bucket[unit] = None
-            uload = self._uload.get(processor)
-            if uload is None:
-                uload = self._uload[processor] = _ExclusionLoad()
-                self._mload[processor] = _ExclusionLoad()
-            util_before = uload.total
-            mem_before = self._mload[processor].total
-            uload.add(ukey, iload)
-            self._mload[processor].add(mkey, imem)
-            self._update_violations(processor, util_before, mem_before)
-            entry = self._flex_slot.get(unit)
-            if entry is not None:
-                pool, slot, is_common = entry
-                self._pools[pool].remove(slot)
-                self._iassigned_sw[pool] += iload
-                if is_common:
-                    self._icommon_sw += iload
-                if self._dyn is not None:
-                    self._dyn.decide(unit, to_software=True)
+            self._proc_add(target.processor, unit, iload, imem, ukey, mkey)
+            self._pool_decide(unit, iload, to_software=True)
         else:
             if ihw is None:
                 raise SynthesisError(
@@ -806,11 +836,7 @@ class SearchState:
                 )
             self._hw_units.add(unit)
             self._ihwcost += ihw
-            entry = self._flex_slot.get(unit)
-            if entry is not None:
-                self._pools[entry[0]].remove(entry[1])
-                if self._dyn is not None:
-                    self._dyn.decide(unit, to_software=False)
+            self._pool_decide(unit, iload, to_software=False)
         if iload is None and ihw is not None:
             self._ipending_hwonly -= ihw
         if ihw is None:
@@ -819,39 +845,98 @@ class SearchState:
     def _remove(self, unit: str, target: Target) -> None:
         iload, imem, ihw, ukey, mkey = self._info[unit]
         if target.is_software:
-            processor = target.processor
-            bucket = self._buckets[processor]
-            del bucket[unit]
-            if not bucket:
-                self._drop_processor(processor)
-            else:
-                uload = self._uload[processor]
-                util_before = uload.total
-                mem_before = self._mload[processor].total
-                uload.remove(ukey, iload)
-                self._mload[processor].remove(mkey, imem)
-                self._update_violations(processor, util_before, mem_before)
-            entry = self._flex_slot.get(unit)
-            if entry is not None:
-                pool, slot, is_common = entry
-                self._pools[pool].add(slot)
-                self._iassigned_sw[pool] -= iload
-                if is_common:
-                    self._icommon_sw -= iload
-                if self._dyn is not None:
-                    self._dyn.undecide(unit, was_software=True)
+            self._proc_remove(
+                target.processor, unit, iload, imem, ukey, mkey
+            )
+            self._pool_undecide(unit, iload, was_software=True)
         else:
             self._hw_units.discard(unit)
             self._ihwcost -= ihw
-            entry = self._flex_slot.get(unit)
-            if entry is not None:
-                self._pools[entry[0]].add(entry[1])
-                if self._dyn is not None:
-                    self._dyn.undecide(unit, was_software=False)
+            self._pool_undecide(unit, iload, was_software=False)
         if iload is None and ihw is not None:
             self._ipending_hwonly += ihw
         if ihw is None:
             self._unassigned_swonly += 1
+
+    # -- per-processor bookkeeping (backend-specific) -------------------
+    def _proc_add(
+        self,
+        processor: int,
+        unit: str,
+        iload: int,
+        imem: int,
+        ukey: _GroupKey,
+        mkey: _GroupKey,
+    ) -> None:
+        """Put one software unit's load on a processor column."""
+        bucket = self._buckets.get(processor)
+        if bucket is None:
+            bucket = self._buckets[processor] = {}
+        bucket[unit] = None
+        uload = self._uload.get(processor)
+        if uload is None:
+            uload = self._uload[processor] = _ExclusionLoad()
+            self._mload[processor] = _ExclusionLoad()
+        util_before = uload.total
+        mem_before = self._mload[processor].total
+        uload.add(ukey, iload)
+        self._mload[processor].add(mkey, imem)
+        self._update_violations(processor, util_before, mem_before)
+
+    def _proc_remove(
+        self,
+        processor: int,
+        unit: str,
+        iload: int,
+        imem: int,
+        ukey: _GroupKey,
+        mkey: _GroupKey,
+    ) -> None:
+        """Take one software unit's load off a processor column."""
+        bucket = self._buckets[processor]
+        del bucket[unit]
+        if not bucket:
+            self._drop_processor(processor)
+        else:
+            uload = self._uload[processor]
+            util_before = uload.total
+            mem_before = self._mload[processor].total
+            uload.remove(ukey, iload)
+            self._mload[processor].remove(mkey, imem)
+            self._update_violations(processor, util_before, mem_before)
+
+    # -- knapsack-pool bookkeeping (backend-shared) ---------------------
+    def _pool_decide(
+        self, unit: str, iload: Optional[int], to_software: bool
+    ) -> None:
+        """Commit one flexible unit's decision to the bound pools."""
+        entry = self._flex_slot.get(unit)
+        if entry is None:
+            return
+        pool, slot, is_common = entry
+        self._pools[pool].remove(slot)
+        if to_software:
+            self._iassigned_sw[pool] += iload
+            if is_common:
+                self._icommon_sw += iload
+        if self._dyn is not None:
+            self._dyn.decide(unit, to_software=to_software)
+
+    def _pool_undecide(
+        self, unit: str, iload: Optional[int], was_software: bool
+    ) -> None:
+        """Return one flexible unit's decision to the bound pools."""
+        entry = self._flex_slot.get(unit)
+        if entry is None:
+            return
+        pool, slot, is_common = entry
+        self._pools[pool].add(slot)
+        if was_software:
+            self._iassigned_sw[pool] -= iload
+            if is_common:
+                self._icommon_sw -= iload
+        if self._dyn is not None:
+            self._dyn.undecide(unit, was_software=was_software)
 
     def _drop_processor(self, processor: int) -> None:
         """Forget an emptied processor's aggregates."""
@@ -876,19 +961,23 @@ class SearchState:
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
+    def _iutil(self, processor: int) -> int:
+        """Integer (quanta) software utilization of one processor."""
+        uload = self._uload.get(processor)
+        return 0 if uload is None else uload.total
+
+    def _imem(self, processor: int) -> int:
+        """Integer (quanta) memory footprint of one processor."""
+        mload = self._mload.get(processor)
+        return 0 if mload is None else mload.total
+
     def utilization(self, processor: int) -> float:
         """Current software utilization of one processor."""
-        uload = self._uload.get(processor)
-        if uload is None:
-            return 0.0
-        return uload.total / QUANT_SCALE
+        return self._iutil(processor) / QUANT_SCALE
 
     def memory(self, processor: int) -> float:
         """Current memory footprint of one processor."""
-        mload = self._mload.get(processor)
-        if mload is None:
-            return 0.0
-        return mload.total / QUANT_SCALE
+        return self._imem(processor) / QUANT_SCALE
 
     @property
     def hardware_cost(self) -> float:
@@ -898,7 +987,7 @@ class SearchState:
     @property
     def software_cost(self) -> float:
         """Processor-allocation cost of the current partial mapping."""
-        return len(self._buckets) * self._ipcost / QUANT_SCALE
+        return self.processor_count * self._ipcost / QUANT_SCALE
 
     @property
     def processor_count(self) -> int:
@@ -907,7 +996,7 @@ class SearchState:
 
     def processors_used(self) -> Tuple[int, ...]:
         """Sorted processor indices currently hosting software."""
-        return tuple(sorted(self._buckets))
+        return tuple(self.used_processors())
 
     def used_processors(self) -> List[int]:
         """Sorted processor indices — O(allocated), not O(assigned)."""
@@ -920,7 +1009,7 @@ class SearchState:
         Loads are monotone along a search path, so ``False`` here means
         no completion of the current partial mapping is feasible.
         """
-        if len(self._buckets) > self.problem.architecture.max_processors:
+        if self.processor_count > self.problem.architecture.max_processors:
             return False
         return self._util_viol == 0 and self._mem_viol == 0
 
@@ -936,12 +1025,12 @@ class SearchState:
             return False, float("inf")
         return (
             True,
-            (len(self._buckets) * self._ipcost + self._ihwcost)
+            (self.processor_count * self._ipcost + self._ihwcost)
             / QUANT_SCALE,
         )
 
     def _processor_floor(self) -> int:
-        processors = len(self._buckets)
+        processors = self.processor_count
         if processors == 0 and self._unassigned_swonly:
             processors = 1
         return processors
@@ -977,37 +1066,51 @@ class SearchState:
         matches the static choice), so the dynamic bound is pointwise
         at least as tight as the static one.
         """
-        base = (
+        forced = self._forced_term()
+        if forced is None:
+            return float("inf")
+        return (
             self._ihwcost
             + self._ipending_hwonly
             + self._processor_floor() * self._ipcost
-        )
+            + forced
+        ) / QUANT_SCALE
+
+    def _forced_term(self) -> Optional[int]:
+        """Integer forced-hardware term of the capacity-aware bound.
+
+        ``None`` means some pool's provably resident load exceeds its
+        budget — no completion of this subtree is feasible (the float
+        bound reads it as ``inf``).  Processor-independent, so batch
+        candidate scoring shares one computation across all software
+        placements of a unit.
+        """
         pools = self._pools
-        if pools:
-            budgets = self._ibudget_base
-            assigned = self._iassigned_sw
-            # Common load that provably stays software in every
-            # completion of this subtree: software-only floor plus
-            # flexible units already committed to software.
-            resident_common = self._icommon_floor + self._icommon_sw
-            forced = 0
-            for pool, knapsack in enumerate(pools):
-                budget = budgets[pool] - assigned[pool]
-                if pool:
-                    budget -= resident_common
-                if budget < 0:
-                    return float("inf")
-                if knapsack.total_load > budget:
-                    forced += knapsack.forced_cost(budget)
-            dyn = self._dyn
-            if dyn is not None and dyn.differs:
-                dyn_forced = dyn.forced(resident_common)
-                if dyn_forced is None:
-                    return float("inf")
-                if dyn_forced > forced:
-                    forced = dyn_forced
-            base += forced
-        return base / QUANT_SCALE
+        if not pools:
+            return 0
+        budgets = self._ibudget_base
+        assigned = self._iassigned_sw
+        # Common load that provably stays software in every
+        # completion of this subtree: software-only floor plus
+        # flexible units already committed to software.
+        resident_common = self._icommon_floor + self._icommon_sw
+        forced = 0
+        for pool, knapsack in enumerate(pools):
+            budget = budgets[pool] - assigned[pool]
+            if pool:
+                budget -= resident_common
+            if budget < 0:
+                return None
+            if knapsack.total_load > budget:
+                forced += knapsack.forced_cost(budget)
+        dyn = self._dyn
+        if dyn is not None and dyn.differs:
+            dyn_forced = dyn.forced(resident_common)
+            if dyn_forced is None:
+                return None
+            if dyn_forced > forced:
+                forced = dyn_forced
+        return forced
 
     def to_mapping(self) -> Mapping:
         """Snapshot the current assignment as an immutable Mapping."""
@@ -1027,7 +1130,7 @@ class SearchState:
             ]
             raise SynthesisError(f"mapping does not cover units {missing}")
         arch = self.problem.architecture
-        processors = sorted(self._buckets)
+        processors = self.used_processors()
         hardware_cost = self._ihwcost / QUANT_SCALE
         if len(processors) > arch.max_processors:
             return self._infeasible(
@@ -1036,7 +1139,7 @@ class SearchState:
             )
         utilizations: List[float] = []
         for processor in processors:
-            iload = self._uload[processor].total
+            iload = self._iutil(processor)
             load = iload / QUANT_SCALE
             utilizations.append(load)
             if iload > self._icap:
@@ -1047,7 +1150,7 @@ class SearchState:
                     utilizations=tuple(utilizations),
                 )
             if self._imcap is not None:
-                imem = self._mload[processor].total
+                imem = self._imem(processor)
                 if imem > self._imcap:
                     footprint = imem / QUANT_SCALE
                     return self._infeasible(
@@ -1080,15 +1183,484 @@ class SearchState:
             total_cost=float("inf"),
             software_cost=0.0,
             hardware_cost=partial_hw,
-            processors_used=len(self._buckets),
+            processors_used=self.processor_count,
             utilizations=utilizations,
             violation=reason,
         )
+
+    # ------------------------------------------------------------------
+    # batch evaluation API
+    # ------------------------------------------------------------------
+    def score_candidates(
+        self, unit: str, targets: Sequence[Target]
+    ) -> List[Tuple[float, bool]]:
+        """Score sibling candidate targets of one undecided unit.
+
+        Returns one ``(lower_bound, feasible)`` pair per target — the
+        state's :meth:`lower_bound` and :attr:`feasible` reads after
+        hypothetically assigning ``unit`` to that target.  The state
+        is restored exactly on return (and on any per-target error).
+
+        The scalar implementation probes each candidate through a
+        paired assign/unassign; the NumPy backend overrides it with
+        one vectorized pass over all sibling deltas.  Both paths are
+        byte-identical — the bound is computed from the same integer
+        accumulators even for infeasible candidates, so callers may
+        apply their own infeasibility policy.
+        """
+        results: List[Tuple[float, bool]] = []
+        for target in targets:
+            self.assign(unit, target)
+            try:
+                results.append((self.lower_bound(), self.feasible))
+            finally:
+                self.unassign(unit)
+        return results
+
+    def probe_move(self, unit: str, target: Target) -> Evaluation:
+        """Evaluation after hypothetically reassigning one unit.
+
+        The move-proposal probe of simulated annealing: returns
+        exactly what ``reassign(unit, target); evaluation()`` would,
+        with the state restored on return — callers commit accepted
+        moves with a single :meth:`reassign`.
+        """
+        old = self.assignment.get(unit)
+        if old is None:
+            raise SynthesisError(f"unit {unit!r} is not assigned")
+        self.reassign(unit, target)
+        try:
+            return self.evaluation()
+        finally:
+            self.reassign(unit, old)
 
 
 #: Public alias — the delta-cost search state *is* the incremental
 #: evaluator of the subsystem.
 IncrementalEvaluator = SearchState
+
+
+class _ArrayExclusion:
+    """Structure-of-arrays twin of :class:`_ExclusionLoad`.
+
+    One instance covers *all* processors at once: column ``p`` of each
+    ``int64`` array is processor ``p``'s aggregate, and
+    ``total[p] == common + Σ_iface imax[iface, p]`` is maintained as
+    an invariant on every mutation.  The row layout (one row per
+    interface / per ``(interface, cluster)`` group, fixed at
+    construction from the problem's group keys) is what lets
+    :meth:`probe_add` evaluate "total after adding this load" for a
+    whole vector of candidate processors in one fused pass — the
+    vectorized half of :meth:`SearchState.score_candidates`.
+
+    All entries are integer quanta, exactly the scalar kernel's
+    accumulators, so every read is byte-identical to
+    :class:`_ExclusionLoad` by construction (the property suite
+    asserts it against the oracle).
+    """
+
+    __slots__ = (
+        "total",
+        "imax",
+        "gload",
+        "gcnt",
+        "_iface_row",
+        "_group_row",
+        "_iface_groups",
+        "_np",
+    )
+
+    def __init__(self, np_mod, keys, columns: int) -> None:
+        self._np = np_mod
+        ifaces = sorted({key[0] for key in keys})
+        groups = sorted(set(keys))
+        self._iface_row = {
+            iface: row for row, iface in enumerate(ifaces)
+        }
+        self._group_row = {group: row for row, group in enumerate(groups)}
+        self._iface_groups = [
+            np_mod.array(
+                [
+                    self._group_row[group]
+                    for group in groups
+                    if group[0] == iface
+                ],
+                dtype=np_mod.intp,
+            )
+            for iface in ifaces
+        ]
+        self.total = np_mod.zeros(columns, dtype=np_mod.int64)
+        self.imax = np_mod.zeros((len(ifaces), columns), dtype=np_mod.int64)
+        self.gload = np_mod.zeros(
+            (len(groups), columns), dtype=np_mod.int64
+        )
+        self.gcnt = np_mod.zeros((len(groups), columns), dtype=np_mod.int64)
+
+    def grow(self, columns: int) -> None:
+        """Widen every array to ``columns`` processor columns."""
+        np_mod = self._np
+
+        def wide(array):
+            fresh = np_mod.zeros(
+                array.shape[:-1] + (columns,), dtype=np_mod.int64
+            )
+            fresh[..., : array.shape[-1]] = array
+            return fresh
+
+        self.total = wide(self.total)
+        self.imax = wide(self.imax)
+        self.gload = wide(self.gload)
+        self.gcnt = wide(self.gcnt)
+
+    def add(self, key: _GroupKey, value: int, processor: int) -> None:
+        if key is None:
+            self.total[processor] += value
+            return
+        iface = self._iface_row[key[0]]
+        group = self._group_row[key]
+        gload = self.gload
+        new_load = gload[group, processor] + value
+        gload[group, processor] = new_load
+        self.gcnt[group, processor] += 1
+        old_max = self.imax[iface, processor]
+        if new_load > old_max:
+            self.imax[iface, processor] = new_load
+            self.total[processor] += new_load - old_max
+
+    def remove(self, key: _GroupKey, value: int, processor: int) -> None:
+        if key is None:
+            self.total[processor] -= value
+            return
+        iface = self._iface_row[key[0]]
+        group = self._group_row[key]
+        gload = self.gload
+        old_load = gload[group, processor]
+        gload[group, processor] = old_load - value
+        self.gcnt[group, processor] -= 1
+        if old_load >= self.imax[iface, processor]:
+            # The removed-from cluster was (tied for) the interface
+            # max: re-scan this interface's cluster rows.  Emptied
+            # clusters sit at exactly zero (integer accumulators), so
+            # the plain row max *is* the max over populated clusters.
+            rows = self._iface_groups[iface]
+            new_max = int(gload[rows, processor].max())
+            self.total[processor] += new_max - old_load
+            self.imax[iface, processor] = new_max
+
+    def probe_add(self, key: _GroupKey, value: int, ps):
+        """Vector of per-processor totals *after* adding one load.
+
+        ``ps`` is an index array of candidate processors; nothing is
+        mutated.  For a grouped load the new total swaps the
+        interface's current max for ``max(current max, cluster+value)``
+        — the same delta :meth:`add` applies, evaluated lazily for
+        every candidate column at once.
+        """
+        if key is None:
+            return self.total[ps] + value
+        iface = self._iface_row[key[0]]
+        group = self._group_row[key]
+        cur_max = self.imax[iface, ps]
+        new_load = self.gload[group, ps] + value
+        return (
+            self.total[ps]
+            - cur_max
+            + self._np.maximum(cur_max, new_load)
+        )
+
+
+class _NumpySearchState(SearchState):
+    """NumPy structure-of-arrays backend of :class:`SearchState`.
+
+    Same integer kernel, different layout: the per-processor dicts of
+    the scalar backend become ``int64`` columns (`_ArrayExclusion` for
+    utilization and memory, plus unit-count and total vectors), which
+    makes :meth:`score_candidates` a single vectorized pass over all
+    sibling candidates — the knapsack forced term is
+    processor-independent, so one pool round-trip is shared by every
+    software placement while the per-processor deltas, violation
+    counters and processor floors evaluate as array expressions.
+
+    Scalar mutations pay a small constant for array indexing; batch
+    candidate scoring is where the backend wins (see
+    ``benchmarks/bench_explorer.py``'s ``batch_kernel`` section).
+    Every read is byte-identical to the scalar backend — same integer
+    accumulators, same Python-int division at the float edges.
+    """
+
+    backend = "numpy"
+
+    def __init__(
+        self,
+        problem: SynthesisProblem,
+        variants_resident: bool = True,
+        exact: object = _UNSET,
+        capacity_bound: bool = True,
+        dynamic_pool: bool = True,
+        backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            problem,
+            variants_resident=variants_resident,
+            exact=exact,
+            capacity_bound=capacity_bound,
+            dynamic_pool=dynamic_pool,
+        )
+        np_mod = _backend.numpy
+        if np_mod is None:  # pragma: no cover - dispatch guards this
+            raise SynthesisError("numpy backend constructed without numpy")
+        self._np = np_mod
+        # One column per template processor plus the first
+        # symmetry-broken fresh slot; tests and warm starts may address
+        # higher indices, so every entry point grows on demand.
+        columns = problem.architecture.max_processors + 1
+        self._columns = columns
+        self._nprocs = 0
+        self._nunits = np_mod.zeros(columns, dtype=np_mod.int64)
+        placeable = [
+            info for info in self._info.values() if info[0] is not None
+        ]
+        self._autil = _ArrayExclusion(
+            np_mod,
+            [info[3] for info in placeable if info[3] is not None],
+            columns,
+        )
+        self._amem = _ArrayExclusion(
+            np_mod,
+            [info[4] for info in placeable if info[4] is not None],
+            columns,
+        )
+        # Candidate-processor index vectors, keyed by the processor
+        # tuple: sibling batches re-probe the same few target lists
+        # thousands of times, so the array build is worth caching.
+        self._ps_cache: Dict[Tuple[int, ...], object] = {}
+
+    def _ensure_processor(self, processor: int) -> None:
+        if processor < self._columns:
+            return
+        columns = max(processor + 1, self._columns * 2)
+        self._columns = columns
+        fresh = self._np.zeros(columns, dtype=self._np.int64)
+        fresh[: self._nunits.shape[0]] = self._nunits
+        self._nunits = fresh
+        self._autil.grow(columns)
+        self._amem.grow(columns)
+
+    # -- per-processor bookkeeping (array columns) ----------------------
+    def _proc_add(
+        self,
+        processor: int,
+        unit: str,
+        iload: int,
+        imem: int,
+        ukey: _GroupKey,
+        mkey: _GroupKey,
+    ) -> None:
+        self._ensure_processor(processor)
+        autil, amem = self._autil, self._amem
+        util_before = autil.total[processor]
+        mem_before = amem.total[processor]
+        autil.add(ukey, iload, processor)
+        amem.add(mkey, imem, processor)
+        count = self._nunits[processor]
+        if count == 0:
+            self._nprocs += 1
+        self._nunits[processor] = count + 1
+        self._util_viol += bool(autil.total[processor] > self._icap) - bool(
+            util_before > self._icap
+        )
+        if self._imcap is not None:
+            self._mem_viol += bool(
+                amem.total[processor] > self._imcap
+            ) - bool(mem_before > self._imcap)
+
+    def _proc_remove(
+        self,
+        processor: int,
+        unit: str,
+        iload: int,
+        imem: int,
+        ukey: _GroupKey,
+        mkey: _GroupKey,
+    ) -> None:
+        autil, amem = self._autil, self._amem
+        util_before = autil.total[processor]
+        mem_before = amem.total[processor]
+        autil.remove(ukey, iload, processor)
+        amem.remove(mkey, imem, processor)
+        count = self._nunits[processor] - 1
+        self._nunits[processor] = count
+        if count == 0:
+            self._nprocs -= 1
+        # Unlike the dict backend (which forgets an emptied column
+        # wholesale), the arrays always subtract — an emptied column
+        # returns to exactly zero, so the violation accounting is
+        # identical either way.
+        self._util_viol += bool(autil.total[processor] > self._icap) - bool(
+            util_before > self._icap
+        )
+        if self._imcap is not None:
+            self._mem_viol += bool(
+                amem.total[processor] > self._imcap
+            ) - bool(mem_before > self._imcap)
+
+    # -- reads ----------------------------------------------------------
+    def _iutil(self, processor: int) -> int:
+        if processor >= self._columns:
+            return 0
+        return int(self._autil.total[processor])
+
+    def _imem(self, processor: int) -> int:
+        if processor >= self._columns:
+            return 0
+        return int(self._amem.total[processor])
+
+    @property
+    def processor_count(self) -> int:
+        return self._nprocs
+
+    def used_processors(self) -> List[int]:
+        return [int(p) for p in self._np.flatnonzero(self._nunits)]
+
+    # -- batch evaluation ----------------------------------------------
+    def score_candidates(
+        self, unit: str, targets: Sequence[Target]
+    ) -> List[Tuple[float, bool]]:
+        """All sibling candidate scores in one vectorized pass.
+
+        Byte-identical to the scalar probe loop: same integer
+        accumulators, same Python-int division at the float edge, same
+        errors for inadmissible units/targets.
+        """
+        if unit in self.assignment:
+            raise SynthesisError(f"unit {unit!r} is already assigned")
+        info = self._info.get(unit)
+        if info is None:
+            raise SynthesisError(
+                f"problem {self.problem.name!r} has no unit {unit!r}"
+            )
+        iload, imem, ihw, ukey, mkey = info
+        sw_positions: List[int] = []
+        sw_procs: List[int] = []
+        hw_positions: List[int] = []
+        sw_kind = ImplKind.SOFTWARE
+        for position, target in enumerate(targets):
+            if target.kind is sw_kind:
+                if iload is None:
+                    raise SynthesisError(
+                        f"unit {unit!r} mapped to software without a "
+                        f"software option"
+                    )
+                sw_positions.append(position)
+                sw_procs.append(target.processor)
+            else:
+                if ihw is None:
+                    raise SynthesisError(
+                        f"unit {unit!r} mapped to hardware without a "
+                        f"hardware option"
+                    )
+                hw_positions.append(position)
+
+        np_mod = self._np
+        max_processors = self.problem.architecture.max_processors
+        nprocs = self._nprocs
+        results: List[Optional[Tuple[float, bool]]] = [None] * len(targets)
+
+        if hw_positions:
+            # Hardware placement touches no processor column: current
+            # feasibility carries over, and only the pools move.
+            self._pool_decide(unit, iload, to_software=False)
+            forced = self._forced_term()
+            self._pool_undecide(unit, iload, was_software=False)
+            feasible_now = self.feasible
+            if forced is None:
+                hw_score = (float("inf"), feasible_now)
+            else:
+                pending = self._ipending_hwonly - (
+                    ihw if iload is None else 0
+                )
+                floor = nprocs
+                if floor == 0 and self._unassigned_swonly:
+                    floor = 1
+                hw_score = (
+                    (
+                        self._ihwcost
+                        + ihw
+                        + pending
+                        + floor * self._ipcost
+                        + forced
+                    )
+                    / QUANT_SCALE,
+                    feasible_now,
+                )
+            for position in hw_positions:
+                results[position] = hw_score
+
+        if sw_positions:
+            self._pool_decide(unit, iload, to_software=True)
+            forced = self._forced_term()
+            self._pool_undecide(unit, iload, was_software=True)
+            self._ensure_processor(max(sw_procs))
+            key = tuple(sw_procs)
+            ps = self._ps_cache.get(key)
+            if ps is None:
+                ps = np_mod.array(sw_procs, dtype=np_mod.intp)
+                self._ps_cache[key] = ps
+            nprocs_after = nprocs + (self._nunits[ps] == 0)
+            autil = self._autil
+            util_after = autil.probe_add(ukey, iload, ps)
+            icap = self._icap
+            util_viol = self._util_viol
+            if util_viol:
+                int64 = np_mod.int64
+                viol_after = (
+                    util_viol
+                    + (util_after > icap).astype(int64)
+                    - (autil.total[ps] > icap).astype(int64)
+                )
+                ok = (nprocs_after <= max_processors) & (viol_after == 0)
+            else:
+                # No column violates now, and a probe only ever raises
+                # the probed column: the global violation count after
+                # the move is zero exactly when that column stays
+                # within capacity.
+                ok = (nprocs_after <= max_processors) & (
+                    util_after <= icap
+                )
+            imcap = self._imcap
+            if imcap is not None:
+                amem = self._amem
+                mem_after = amem.probe_add(mkey, imem, ps)
+                mem_viol = self._mem_viol
+                if mem_viol:
+                    int64 = np_mod.int64
+                    mem_viol_after = (
+                        mem_viol
+                        + (mem_after > imcap).astype(int64)
+                        - (amem.total[ps] > imcap).astype(int64)
+                    )
+                    ok &= mem_viol_after == 0
+                else:
+                    ok &= mem_after <= imcap
+            # ``tolist()`` hands back Python ints/bools in one C pass
+            # (per-element ``array[i]`` indexing would dominate the
+            # batch); the trailing ``int / QUANT_SCALE`` divisions stay
+            # Python-int exact, same as the scalar kernel's float edge.
+            if forced is None:
+                inf = float("inf")
+                for position, okay in zip(sw_positions, ok.tolist()):
+                    results[position] = (inf, okay)
+            else:
+                # A software placement always hosts >= 1 processor, so
+                # the software-only floor special case never applies.
+                bounds = (
+                    self._ihwcost + self._ipending_hwonly + forced
+                ) + nprocs_after * self._ipcost
+                for position, ibound, okay in zip(
+                    sw_positions, bounds.tolist(), ok.tolist()
+                ):
+                    results[position] = (ibound / QUANT_SCALE, okay)
+        return results
 
 
 class PathTrail:
@@ -1154,14 +1726,19 @@ class ReferenceSearchState:
 
     can_prune_infeasible = False
 
+    backend = "python"
+
     def __init__(
         self,
         problem: SynthesisProblem,
         variants_resident: bool = True,
-        exact: bool = True,
+        exact: object = _UNSET,
         capacity_bound: bool = False,
         dynamic_pool: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
+        if exact is not _UNSET:
+            _warn_exact()
         self.problem = problem
         self.variants_resident = variants_resident
         self.assignment: Dict[str, Target] = {}
@@ -1214,3 +1791,32 @@ class ReferenceSearchState:
         return evaluate(
             self.problem, self.to_mapping(), self.variants_resident
         )
+
+    def score_candidates(
+        self, unit: str, targets: Sequence[Target]
+    ) -> List[Tuple[float, bool]]:
+        """Batch-API twin of :meth:`SearchState.score_candidates`.
+
+        Probes through the full-recompute oracle — explorers running
+        ``incremental=False`` still route every candidate loop through
+        the one batch entry point.
+        """
+        results: List[Tuple[float, bool]] = []
+        for target in targets:
+            self.assign(unit, target)
+            try:
+                results.append((self.lower_bound(), self.feasible))
+            finally:
+                self.unassign(unit)
+        return results
+
+    def probe_move(self, unit: str, target: Target) -> Evaluation:
+        """Batch-API twin of :meth:`SearchState.probe_move`."""
+        old = self.assignment.get(unit)
+        if old is None:
+            raise SynthesisError(f"unit {unit!r} is not assigned")
+        self.reassign(unit, target)
+        try:
+            return self.evaluation()
+        finally:
+            self.reassign(unit, old)

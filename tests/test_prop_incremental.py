@@ -142,14 +142,18 @@ def _assert_state_matches_reference(state, problem, variants_resident):
 
 
 class TestIncrementalMatchesReference:
-    @given(scenarios(), st.booleans(), st.booleans())
+    @given(
+        scenarios(),
+        st.booleans(),
+        st.sampled_from(["auto", "python"]),
+    )
     @settings(max_examples=250, deadline=None)
     def test_cross_check_after_builds_and_moves(
-        self, scenario, variants_resident, exact
+        self, scenario, variants_resident, backend
     ):
         problem, targets, order, moves = scenario
         state = SearchState(
-            problem, variants_resident=variants_resident, exact=exact
+            problem, variants_resident=variants_resident, backend=backend
         )
         for unit in order:
             state.assign(unit, targets[unit])

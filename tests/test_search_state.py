@@ -205,11 +205,11 @@ class TestLowerBound:
 
 
 class TestReassignAndExactMode:
-    @pytest.mark.parametrize("exact", [False, True])
-    def test_reassign_equals_unassign_assign(self, exact):
+    @pytest.mark.parametrize("backend", ["auto", "python"])
+    def test_reassign_equals_unassign_assign(self, backend):
         problem = variant_problem()
-        moved = SearchState(problem, exact=exact)
-        stepped = SearchState(problem, exact=exact)
+        moved = SearchState(problem, backend=backend)
+        stepped = SearchState(problem, backend=backend)
         for state in (moved, stepped):
             state.assign("K", Target.sw(0))
             state.assign("A1", Target.sw(0))
@@ -223,7 +223,7 @@ class TestReassignAndExactMode:
     def test_matches_reference_within_quantization_tolerance(self):
         """Off-binary-grid values agree with the oracle to ~2**-32."""
         problem = variant_problem()
-        state = SearchState(problem, exact=True)
+        state = SearchState(problem)
         targets = {"K": Target.sw(0), "A1": Target.sw(0), "B1": Target.sw(1)}
         for unit, target in targets.items():
             state.assign(unit, target)
