@@ -122,6 +122,29 @@ def comparison_lines(payload: dict) -> List[str]:
     return lines
 
 
+def serve_lines(payload: dict) -> List[str]:
+    """The serve-daemon summary of one BENCH_explorer payload."""
+    section = payload.get("serve")
+    if not section:
+        return []
+    load = section.get("load", {})
+    lines = [
+        "serve daemon under synthetic many-client load "
+        f"({load.get('clients', '?')} clients):"
+    ]
+    lines.append(
+        f"  sustained throughput: {load.get('jobs_per_sec', '?')} "
+        f"jobs/s (hit fraction {load.get('hit_fraction', '?')})"
+    )
+    lines.append(
+        f"  exact cache hit: {section.get('hit_latency_seconds', '?')}s "
+        f"vs {section.get('cold_latency_seconds', '?')}s cold "
+        f"({section.get('cache_hit_speedup', '?')}x, byte-identical="
+        f"{section.get('hit_byte_identical', '?')})"
+    )
+    return lines
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     current = pathlib.Path(args[0]) if args else DEFAULT_CURRENT
@@ -135,6 +158,8 @@ def main(argv=None) -> int:
     for line in comparison_lines(payload):
         print(line)
     for line in batch_kernel_lines(payload):
+        print(line)
+    for line in serve_lines(payload):
         print(line)
     return 0
 

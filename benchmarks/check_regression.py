@@ -49,6 +49,8 @@ GATED_METRICS = {
     "parallel_jobs1_selections_per_sec": "higher",
     "parallel_jobs4_efficiency": "higher",
     "batch_probe_speedup": "higher",
+    "serve_jobs_per_sec": "higher",
+    "serve_cache_hit_speedup": "higher",
     "bnb_nodes_to_optimal": "lower",
     "bnb_adaptive_nodes_to_optimal": "lower",
     "bnb_bestfirst_nodes_to_optimal": "lower",
@@ -130,6 +132,9 @@ def extract_metrics(payload: dict) -> Dict[str, float]:
             "index_protocol_bytes_per_lineage"
         ),
     )
+    serve = payload.get("serve", {})
+    put("serve_jobs_per_sec", serve.get("load", {}).get("jobs_per_sec"))
+    put("serve_cache_hit_speedup", serve.get("cache_hit_speedup"))
     return metrics
 
 

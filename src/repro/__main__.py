@@ -12,6 +12,8 @@ Usage::
                             [--ordering static|density|adaptive]
                             [--frontier dfs|best-first|lds]
                             [--no-dynamic-pool] [--share-incumbent]
+    python -m repro serve   [--host H] [--port P] [--workers N]
+                            [--cache-size N] [--max-queue N]
 """
 
 from __future__ import annotations
@@ -179,6 +181,18 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.http import serve_main
+
+    return serve_main(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        max_queue=args.max_queue,
+    )
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .apps import figure2
 
@@ -328,6 +342,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="use the full-recompute reference evaluator (seed behavior)",
     )
     explore.set_defaults(run=_cmd_explore)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the exploration service: an HTTP daemon with a "
+            "priority job queue, content-addressed result cache, and "
+            "SSE progress streaming (see docs/serving.md)"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8752)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="resident worker coroutines/threads draining the queue",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="LRU bound of the exact result cache (entries)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help="queued-job bound; submissions beyond it get HTTP 503",
+    )
+    serve.set_defaults(run=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.run(args)

@@ -1,0 +1,35 @@
+"""Exploration-as-a-service: the resident `repro serve` daemon.
+
+Layers (each importable on its own):
+
+* :mod:`repro.serve.canonical` — deterministic job serialization and
+  the content-hash keys the cache is addressed by.
+* :mod:`repro.serve.cache` — exact result store (byte-identical
+  replay) + warm-start-adjacent incumbent store.
+* :mod:`repro.serve.jobs` — job schema validation, workload building,
+  canonical result payloads, job records.
+* :mod:`repro.serve.engine` — asyncio priority queue + worker fleet
+  reusing the lineage machinery from :mod:`repro.synth.parallel`.
+* :mod:`repro.serve.http` — the stdlib HTTP/SSE edge
+  (``python -m repro serve``).
+* :mod:`repro.serve.client` — blocking client for tests and benches.
+"""
+
+from .cache import ResultCache
+from .client import ServeClient, ServeClientError
+from .engine import ServeEngine, ServiceUnavailable, UnknownJob
+from .jobs import JobSpec, JobValidationError
+from .http import ServeHTTP, serve_main
+
+__all__ = [
+    "ResultCache",
+    "ServeClient",
+    "ServeClientError",
+    "ServeEngine",
+    "ServeHTTP",
+    "ServiceUnavailable",
+    "UnknownJob",
+    "JobSpec",
+    "JobValidationError",
+    "serve_main",
+]

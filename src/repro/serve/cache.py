@@ -1,0 +1,101 @@
+"""Content-addressed result cache of the exploration service.
+
+Two stores, two reuse granularities (see :mod:`repro.serve.canonical`
+for why the keys are sound):
+
+* **Exact store** — job content hash → the canonical result JSON
+  *text* produced by the cold run.  A hit returns those bytes
+  verbatim, which is what makes the byte-identity acceptance test a
+  simple string comparison: the service never re-serializes a cached
+  result.  LRU-bounded (``max_entries``), because under heavy traffic
+  the exact store is the working set.
+* **Warm store** — family key → the best feasible mapping payload
+  seen for that family, with its cost.  A warm hit does not answer a
+  job; it seeds the incumbent of a *different* job over the same
+  library/architecture so exact explorers start pruning against a
+  known-feasible cost from node one.  Only the cheapest mapping per
+  family is kept (a monotone improvement cell, like
+  ``SharedIncumbent`` but across requests instead of across workers).
+
+The cache is mutated only from the event loop thread (the engine
+publishes results after the executor hands them back), so there is no
+locking here; the counters exist for ``/stats``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+
+class ResultCache:
+    """Exact + warm-start-adjacent stores with hit accounting."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._exact: "OrderedDict[str, str]" = OrderedDict()
+        self._warm: Dict[str, Tuple[float, Dict[str, str]]] = {}
+        self.exact_hits = 0
+        self.exact_misses = 0
+        self.warm_hits = 0
+        self.evictions = 0
+
+    # -- exact store ---------------------------------------------------
+    def lookup(self, job_key: str) -> Optional[str]:
+        """The cached canonical result text, or None (counts a miss)."""
+        text = self._exact.get(job_key)
+        if text is None:
+            self.exact_misses += 1
+            return None
+        self._exact.move_to_end(job_key)
+        self.exact_hits += 1
+        return text
+
+    def store(self, job_key: str, result_text: str) -> None:
+        """Insert (or refresh) one cold run's canonical result text."""
+        self._exact[job_key] = result_text
+        self._exact.move_to_end(job_key)
+        while len(self._exact) > self.max_entries:
+            self._exact.popitem(last=False)
+            self.evictions += 1
+
+    # -- warm store ----------------------------------------------------
+    def warm_seed(
+        self, family_key: str
+    ) -> Optional[Tuple[float, Dict[str, str]]]:
+        """Best known ``(cost, mapping payload)`` of a family, if any."""
+        seed = self._warm.get(family_key)
+        if seed is not None:
+            self.warm_hits += 1
+        return seed
+
+    def offer_warm(
+        self, family_key: str, cost: float, mapping: Dict[str, str]
+    ) -> bool:
+        """Offer a feasible mapping; kept only if it improves the cell."""
+        current = self._warm.get(family_key)
+        if current is not None and current[0] <= cost:
+            return False
+        self._warm[family_key] = (cost, dict(mapping))
+        return True
+
+    # -- accounting ----------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.exact_hits + self.exact_misses
+        return self.exact_hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` view of the cache."""
+        return {
+            "exact_entries": len(self._exact),
+            "exact_hits": self.exact_hits,
+            "exact_misses": self.exact_misses,
+            "hit_rate": round(self.hit_rate, 6),
+            "warm_families": len(self._warm),
+            "warm_hits": self.warm_hits,
+            "evictions": self.evictions,
+            "max_entries": self.max_entries,
+        }

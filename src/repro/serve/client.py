@@ -1,0 +1,150 @@
+"""Blocking HTTP client of the exploration service.
+
+A thin stdlib (:mod:`http.client`) wrapper used by the test suite and
+the serve bench — one connection per call, matching the server's
+one-request-per-connection framing.  Nothing here is async: the client
+is what a plain consumer (a test, a load generator, a shell script via
+``curl``) looks like from the daemon's point of view.
+
+:meth:`ServeClient.result_text` deliberately returns the raw body
+*text* rather than parsed JSON — the cache byte-identity contract is
+about bytes on the wire, and tests compare exactly what this returns.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class ServeClientError(RuntimeError):
+    """An HTTP-level failure (unexpected status) from the service."""
+
+    def __init__(self, status: int, body: str) -> None:
+        super().__init__(f"HTTP {status}: {body.strip()}")
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Blocking client bound to one ``host:port``."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8752, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        ok: Tuple[int, ...] = (200, 202),
+    ) -> Tuple[int, str]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            text = response.read().decode("utf-8")
+        finally:
+            conn.close()
+        if response.status not in ok:
+            raise ServeClientError(response.status, text)
+        return response.status, text
+
+    # -- API -------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        return json.loads(self._request("GET", "/healthz")[1])
+
+    def stats(self) -> Dict[str, object]:
+        return json.loads(self._request("GET", "/stats")[1])
+
+    def submit(self, job: Dict[str, object]) -> Dict[str, object]:
+        """POST a job payload; returns the job's status view."""
+        return json.loads(self._request("POST", "/jobs", payload=job)[1])
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return json.loads(self._request("GET", f"/jobs/{job_id}")[1])
+
+    def result_text(self, job_id: str) -> str:
+        """The canonical result body, verbatim (trailing newline kept)."""
+        return self._request("GET", f"/jobs/{job_id}/result")[1]
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        return json.loads(self.result_text(job_id))
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll: float = 0.02
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["state"] in ("done", "failed", "timeout"):
+                return view
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{job_id} still {view['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def events(
+        self, job_id: str, timeout: float = 60.0
+    ) -> Iterator[Dict[str, object]]:
+        """Stream the job's SSE events until the terminal one.
+
+        Parses the ``event:``/``data:`` frames of one streaming
+        response; yields each event's JSON payload.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServeClientError(
+                    response.status,
+                    response.read().decode("utf-8"),
+                )
+            name: Optional[str] = None
+            data: List[str] = []
+            while True:
+                raw = response.fp.readline()
+                if not raw:
+                    return
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith("event:"):
+                    name = line[len("event:") :].strip()
+                elif line.startswith("data:"):
+                    data.append(line[len("data:") :].strip())
+                elif line == "" and data:
+                    event = json.loads("\n".join(data))
+                    yield event
+                    data = []
+                    if name in ("done", "failed", "timeout"):
+                        return
+                    name = None
+        finally:
+            conn.close()
+
+    def run(
+        self, job: Dict[str, object], timeout: float = 60.0
+    ) -> Dict[str, object]:
+        """Submit and wait; returns the terminal status view."""
+        view = self.submit(job)
+        if view["state"] in ("done", "failed", "timeout"):
+            return view
+        return self.wait(view["job_id"], timeout=timeout)

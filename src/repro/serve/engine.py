@@ -1,0 +1,399 @@
+"""The resident exploration engine: queue, worker fleet, lifecycle.
+
+This is the transport-free core of the service — the HTTP layer
+(:mod:`repro.serve.http`) only translates requests into these calls,
+which is what lets the test suite drive full job lifecycles without a
+socket.
+
+Structure:
+
+* One :class:`asyncio.PriorityQueue` of ``(-priority, seq, job)``
+  items: higher ``priority`` drains sooner, the submission sequence
+  number breaks ties FIFO.
+* A fleet of worker coroutines pulls jobs and runs each lineage in a
+  dedicated :class:`~concurrent.futures.ThreadPoolExecutor` via
+  ``run_in_executor``, so the event loop stays responsive while the
+  search burns CPU; between lineages the worker is back on the loop
+  and publishes a progress event (the SSE stream's payload) and
+  checks the job's wall-clock deadline.
+* All engine state (jobs table, cache, counters) is touched only from
+  the event loop thread — workers marshal results back before
+  mutating anything — so the engine needs no locks.
+
+Cache integration (:mod:`repro.serve.cache`): exact hits are resolved
+*at submit time* and return an already-terminal job whose result text
+is the cold run's bytes verbatim; warm-start-adjacent hits seed the
+first lineage's incumbent, and only for exact explorers, where a warm
+seed can change node counts but never the proven cost.
+
+Graceful shutdown: :meth:`ServeEngine.shutdown` flips ``draining`` so
+new submissions are rejected (HTTP 503), waits for the queue and
+in-flight jobs to drain, then stops the workers and executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import json
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from ..errors import SynthesisError
+from ..synth.parallel import (
+    LocalIncumbent,
+    attach_incumbent,
+    run_lineage,
+    shard_lineages,
+)
+from .cache import ResultCache
+from .canonical import canonical_json
+from .jobs import (
+    JobRecord,
+    JobSpec,
+    TERMINAL_STATES,
+    Workload,
+    build_workload,
+    job_result_payload,
+    mapping_from_payload,
+)
+
+
+class ServiceUnavailable(SynthesisError):
+    """Submission rejected: draining or queue full (HTTP 503)."""
+
+
+class UnknownJob(SynthesisError):
+    """No job with the requested id (HTTP 404)."""
+
+
+class ServeEngine:
+    """Job queue + worker fleet + cache, owned by one event loop."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_size: int = 1024,
+        max_queue: int = 256,
+    ) -> None:
+        if workers < 1:
+            raise SynthesisError("workers must be >= 1")
+        if max_queue < 1:
+            raise SynthesisError("max_queue must be >= 1")
+        self.workers = workers
+        self.max_queue = max_queue
+        self.cache = ResultCache(max_entries=cache_size)
+        self.jobs: Dict[str, JobRecord] = {}
+        self.draining = False
+        self.started_at = time.monotonic()
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_timed_out = 0
+        # Created lazily from inside the event loop: on Python 3.9
+        # asyncio primitives bind their loop at construction time, and
+        # the engine may be built on a different thread than it runs.
+        self._queue: Optional["asyncio.PriorityQueue"] = None
+        self._seq = 0
+        self._in_flight = 0
+        self._workers: List[asyncio.Task] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._subscribers: Dict[str, List[asyncio.Queue]] = {}
+
+    def _ensure_queue(self) -> "asyncio.PriorityQueue":
+        if self._queue is None:
+            self._queue = asyncio.PriorityQueue()
+        return self._queue
+
+    def _queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the worker fleet (idempotent)."""
+        if self._workers:
+            return
+        self._ensure_queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._workers = [
+            asyncio.ensure_future(self._worker_loop())
+            for _ in range(self.workers)
+        ]
+
+    async def shutdown(self) -> None:
+        """Drain in-flight work, then stop workers and executor."""
+        self.draining = True
+        while self._queue_depth() or self._in_flight:
+            await asyncio.sleep(0.01)
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- submission ----------------------------------------------------
+    def submit(self, payload: object) -> JobRecord:
+        """Validate, cache-check, and enqueue one job payload.
+
+        Raises :class:`~repro.serve.jobs.JobValidationError` on a
+        malformed payload (400) and :class:`ServiceUnavailable` when
+        draining or over the queue bound (503).  Exact cache hits
+        return an already-``done`` record without touching the queue.
+        """
+        if self.draining:
+            raise ServiceUnavailable("service is draining; retry later")
+        spec = JobSpec.from_payload(payload)
+        workload = build_workload(spec)
+        job = JobRecord(
+            spec=spec, workload=workload, created=time.monotonic()
+        )
+        self.jobs[job.job_id] = job
+        self.jobs_submitted += 1
+
+        if spec.use_cache:
+            cached = self.cache.lookup(workload.job_key)
+            if cached is not None:
+                job.cache_status = "hit"
+                job.started = job.created
+                job.finished = time.monotonic()
+                job.result_text = cached
+                job.result = json.loads(cached)
+                job.state = "done"
+                self.jobs_completed += 1
+                self._publish(job, {"event": "queued", "job": job.job_id})
+                self._publish(
+                    job,
+                    {
+                        "event": "done",
+                        "job": job.job_id,
+                        "cache": "hit",
+                        "best": job.result.get("best"),
+                    },
+                )
+                return job
+
+        if self._ensure_queue().qsize() >= self.max_queue:
+            # The record stays queryable so clients can see the
+            # rejection, but it never enters the queue.
+            job.state = "failed"
+            job.error = "queue full"
+            self.jobs_failed += 1
+            self._publish(
+                job,
+                {
+                    "event": "failed",
+                    "job": job.job_id,
+                    "error": job.error,
+                },
+            )
+            raise ServiceUnavailable("job queue is full; retry later")
+
+        self._seq += 1
+        self._ensure_queue().put_nowait((-spec.priority, self._seq, job))
+        self._publish(job, {"event": "queued", "job": job.job_id})
+        return job
+
+    # -- queries -------------------------------------------------------
+    def get(self, job_id: str) -> JobRecord:
+        """The job record of ``job_id`` (raises :class:`UnknownJob`)."""
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise UnknownJob(f"no job named {job_id!r}") from None
+
+    def subscribe(self, job_id: str) -> "asyncio.Queue":
+        """An event queue replaying the job's history, then live.
+
+        Terminal events are the stream's natural end; subscribers to
+        already-terminal jobs get the full replay immediately.
+        """
+        job = self.get(job_id)
+        queue: "asyncio.Queue" = asyncio.Queue()
+        for event in job.events:
+            queue.put_nowait(event)
+        if job.state not in TERMINAL_STATES:
+            self._subscribers.setdefault(job_id, []).append(queue)
+        return queue
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` payload: queue, throughput, cache."""
+        uptime = max(time.monotonic() - self.started_at, 1e-9)
+        return {
+            "uptime_seconds": round(uptime, 3),
+            "draining": self.draining,
+            "workers": self.workers,
+            "queue_depth": self._queue_depth(),
+            "in_flight": self._in_flight,
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "jobs_timed_out": self.jobs_timed_out,
+            "jobs_per_sec": round(self.jobs_completed / uptime, 6),
+            "cache": self.cache.stats(),
+        }
+
+    # -- internals -----------------------------------------------------
+    def _publish(self, job: JobRecord, event: Dict[str, object]) -> None:
+        job.events.append(event)
+        for queue in self._subscribers.get(job.job_id, ()):
+            queue.put_nowait(event)
+        if event.get("event") in TERMINAL_STATES:
+            self._subscribers.pop(job.job_id, None)
+
+    async def _worker_loop(self) -> None:
+        while True:
+            _, _, job = await self._ensure_queue().get()
+            self._in_flight += 1
+            try:
+                await self._run_job(job)
+            except Exception as exc:  # pragma: no cover - backstop
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "failed"
+                self.jobs_failed += 1
+                self._publish(
+                    job,
+                    {
+                        "event": "failed",
+                        "job": job.job_id,
+                        "error": job.error,
+                    },
+                )
+                traceback.print_exc()
+            finally:
+                self._in_flight -= 1
+                self._queue.task_done()
+
+    def _seed_for(self, workload: Workload):
+        """The warm-adjacent incumbent of this job's family, if sound."""
+        spec = workload.spec
+        if not (spec.warm_cache and spec.is_exact):
+            return None
+        seed = self.cache.warm_seed(workload.family_key)
+        if seed is None:
+            return None
+        return mapping_from_payload(seed[1])
+
+    def _lineage_explorer(self, job: JobRecord, deadline: Optional[float]):
+        """A per-job explorer copy with the remaining budget applied."""
+        explorer = job.workload.explorer
+        if deadline is None or not hasattr(explorer, "time_budget"):
+            return explorer
+        remaining = max(deadline - time.monotonic(), 1e-3)
+        clone = copy.copy(explorer)
+        if clone.time_budget is None or clone.time_budget > remaining:
+            clone.time_budget = remaining
+        return clone
+
+    async def _run_job(self, job: JobRecord) -> None:
+        loop = asyncio.get_event_loop()
+        spec = job.spec
+        workload = job.workload
+        job.state = "running"
+        job.started = time.monotonic()
+        deadline = (
+            job.started + spec.time_budget
+            if spec.time_budget is not None
+            else None
+        )
+        seed = self._seed_for(workload)
+        if seed is not None:
+            job.cache_status = "warm"
+        self._publish(
+            job,
+            {
+                "event": "running",
+                "job": job.job_id,
+                "cache": job.cache_status,
+                "selections": workload.selection_count,
+            },
+        )
+
+        lineages = shard_lineages(workload.tasks, spec.lineage_size)
+        incumbent = LocalIncumbent() if spec.share_incumbent else None
+        results = []
+        for lineage in lineages:
+            if deadline is not None and time.monotonic() >= deadline:
+                job.finished = time.monotonic()
+                job.state = "timeout"
+                job.error = (
+                    f"time budget {spec.time_budget}s exhausted after "
+                    f"{len(results)} of {workload.selection_count} selections"
+                )
+                self.jobs_timed_out += 1
+                self._publish(
+                    job,
+                    {
+                        "event": "timeout",
+                        "job": job.job_id,
+                        "error": job.error,
+                        "completed_selections": len(results),
+                    },
+                )
+                return
+            explorer = attach_incumbent(
+                self._lineage_explorer(job, deadline), incumbent
+            )
+            lineage_results = await loop.run_in_executor(
+                self._executor,
+                run_lineage,
+                workload.family,
+                explorer,
+                spec.warm_start,
+                lineage,
+                seed,
+            )
+            results.extend(lineage_results)
+            best = min(
+                (
+                    r.exploration.cost
+                    for r in results
+                    if r.exploration.feasible
+                ),
+                default=None,
+            )
+            self._publish(
+                job,
+                {
+                    "event": "lineage",
+                    "job": job.job_id,
+                    "lineage": lineage.index,
+                    "completed_selections": len(results),
+                    "total_selections": workload.selection_count,
+                    "best_cost": best,
+                },
+            )
+
+        payload = job_result_payload(results)
+        text = canonical_json(payload)
+        job.result = payload
+        job.result_text = text
+        job.finished = time.monotonic()
+        job.state = "done"
+        self.jobs_completed += 1
+        if spec.use_cache:
+            self.cache.store(workload.job_key, text)
+        best = payload.get("best")
+        if best is not None:
+            self.cache.offer_warm(
+                workload.family_key, best["cost"], best["mapping"]
+            )
+        self._publish(
+            job,
+            {
+                "event": "done",
+                "job": job.job_id,
+                "cache": job.cache_status,
+                "elapsed_seconds": round(job.finished - job.started, 6),
+                "best": best,
+            },
+        )

@@ -1,0 +1,336 @@
+"""The HTTP edge of the exploration service (stdlib asyncio only).
+
+A deliberately small hand-rolled HTTP/1.1 server over
+:func:`asyncio.start_server` — one request per connection, explicit
+``Content-Length`` framing, no keep-alive — because the stdlib has no
+async HTTP server and the job API needs exactly five routes:
+
+========================  =============================================
+``POST /jobs``            submit a job payload; 202 with the job id
+                          (200 immediately on an exact cache hit),
+                          400 on validation errors, 503 when draining
+                          or the queue is full
+``GET /jobs/<id>``        job status view (state, cache, timings,
+                          result once terminal)
+``GET /jobs/<id>/result`` the canonical result **text** verbatim —
+                          the byte-identity contract lives here —
+                          409 while the job is not ``done``
+``GET /jobs/<id>/events`` SSE stream (``text/event-stream``):
+                          replays the job's event history, then live
+                          events until a terminal one
+``GET /healthz``          200 ``ok`` while serving, 503 while
+                          draining
+``GET /stats``            queue depth, jobs/sec, cache hit rate
+========================  =============================================
+
+The server owns a :class:`~repro.serve.engine.ServeEngine` and simply
+translates; everything testable lives in the engine.  SIGINT/SIGTERM
+trigger the graceful drain: in-flight jobs finish, new submissions see
+503, then the loop stops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Dict, Optional, Tuple
+
+from .engine import ServeEngine, ServiceUnavailable, UnknownJob
+from .jobs import TERMINAL_STATES, JobValidationError
+
+#: Upper bound on accepted request bodies; job specs are tiny, so
+#: anything bigger is a client error (or abuse), not a real job.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    503: "Service Unavailable",
+}
+
+
+def _response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_response(status: int, payload: object) -> bytes:
+    body = (json.dumps(payload) + "\n").encode("utf-8")
+    return _response_bytes(status, body)
+
+
+def _sse_event(payload: Dict[str, object]) -> bytes:
+    name = payload.get("event", "message")
+    data = json.dumps(payload)
+    return f"event: {name}\ndata: {data}\n\n".encode("utf-8")
+
+
+async def _read_request(
+    reader: "asyncio.StreamReader",
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one request: ``(method, path, headers, body)`` or None."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        return None
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, _, value = text.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        return method, path, headers, b"\x00"  # sentinel: too large
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+class ServeHTTP:
+    """Bind a :class:`ServeEngine` to a host/port and serve the API."""
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        host: str = "127.0.0.1",
+        port: int = 8752,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self._server: Optional["asyncio.AbstractServer"] = None
+        # Lazy: py3.9 asyncio.Event binds its loop at construction,
+        # and the server object may be built off-loop (tests do).
+        self._stop: Optional["asyncio.Event"] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (useful when constructed with port=0)."""
+        if self._server is None:
+            return self.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._stop is None:
+            self._stop = asyncio.Event()
+        await self.engine.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain the engine, then close the socket."""
+        await self.engine.shutdown()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._stop is not None:
+            self._stop.set()
+
+    def request_stop(self) -> None:
+        """Signal-handler entry: trigger the async shutdown."""
+        if self._stop is None or not self._stop.is_set():
+            asyncio.ensure_future(self.stop())
+
+    async def serve_forever(self, install_signals: bool = True) -> None:
+        """Run until SIGINT/SIGTERM (or :meth:`request_stop`)."""
+        await self.start()
+        if install_signals:
+            loop = asyncio.get_event_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, self.request_stop)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        await self._stop.wait()
+
+    # -- request handling ------------------------------------------
+    async def _handle(
+        self,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+    ) -> None:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            method, path, _, body = request
+            if body == b"\x00":
+                writer.write(
+                    _json_response(413, {"error": "body too large"})
+                )
+                return
+            await self._route(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+            except (OSError, RuntimeError):
+                pass
+            try:
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: "asyncio.StreamWriter",
+    ) -> None:
+        engine = self.engine
+        if path == "/healthz" and method == "GET":
+            if engine.draining:
+                writer.write(
+                    _json_response(503, {"status": "draining"})
+                )
+            else:
+                writer.write(_json_response(200, {"status": "ok"}))
+            return
+        if path == "/stats" and method == "GET":
+            writer.write(_json_response(200, engine.stats()))
+            return
+        if path == "/jobs" and method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                writer.write(
+                    _json_response(400, {"error": "body is not JSON"})
+                )
+                return
+            try:
+                job = engine.submit(payload)
+            except JobValidationError as exc:
+                writer.write(_json_response(400, {"error": str(exc)}))
+                return
+            except ServiceUnavailable as exc:
+                writer.write(_json_response(503, {"error": str(exc)}))
+                return
+            status = 200 if job.state in TERMINAL_STATES else 202
+            writer.write(_json_response(status, job.describe()))
+            return
+        if path.startswith("/jobs/") and method == "GET":
+            await self._route_job(path[len("/jobs/") :], writer)
+            return
+        writer.write(
+            _json_response(
+                405 if path in ("/jobs", "/healthz", "/stats") else 404,
+                {"error": f"no route for {method} {path}"},
+            )
+        )
+
+    async def _route_job(
+        self, tail: str, writer: "asyncio.StreamWriter"
+    ) -> None:
+        engine = self.engine
+        job_id, _, action = tail.partition("/")
+        try:
+            job = engine.get(job_id)
+        except UnknownJob as exc:
+            writer.write(_json_response(404, {"error": str(exc)}))
+            return
+        if action == "":
+            writer.write(_json_response(200, job.describe()))
+            return
+        if action == "result":
+            if job.state != "done" or job.result_text is None:
+                writer.write(
+                    _json_response(
+                        409,
+                        {
+                            "error": f"job is {job.state}, not done",
+                            "state": job.state,
+                        },
+                    )
+                )
+                return
+            # The cached canonical text, byte-for-byte — never
+            # re-serialized, so exact hits are byte-identical to the
+            # cold run that produced them.
+            writer.write(
+                _response_bytes(
+                    200, job.result_text.encode("utf-8") + b"\n"
+                )
+            )
+            return
+        if action == "events":
+            queue = engine.subscribe(job_id)
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii"))
+            await writer.drain()
+            while True:
+                event = await queue.get()
+                writer.write(_sse_event(event))
+                await writer.drain()
+                if event.get("event") in TERMINAL_STATES:
+                    return
+        writer.write(_json_response(404, {"error": f"no action {action!r}"}))
+
+
+async def run_server(
+    host: str,
+    port: int,
+    workers: int,
+    cache_size: int,
+    max_queue: int,
+) -> None:
+    """Build engine + HTTP edge and serve until signalled."""
+    engine = ServeEngine(
+        workers=workers, cache_size=cache_size, max_queue=max_queue
+    )
+    server = ServeHTTP(engine, host=host, port=port)
+    await server.serve_forever()
+
+
+def serve_main(
+    host: str = "127.0.0.1",
+    port: int = 8752,
+    workers: int = 2,
+    cache_size: int = 1024,
+    max_queue: int = 256,
+) -> int:
+    """Blocking entry point of ``python -m repro serve``."""
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"({workers} workers, cache {cache_size}, queue {max_queue})",
+        flush=True,
+    )
+    try:
+        asyncio.run(run_server(host, port, workers, cache_size, max_queue))
+    except KeyboardInterrupt:
+        pass
+    print("repro serve: drained and stopped", flush=True)
+    return 0

@@ -323,6 +323,21 @@ class ProblemFamily:
             use_exclusion=self.use_exclusion,
         )
 
+    def canonical_payload(self) -> Dict[str, object]:
+        """Deterministic serialization of this family's content.
+
+        The serve layer's content-addressed cache keys jobs by this
+        payload (plus the target selection/space and explorer
+        config): two families with equal payloads define identical
+        feasible regions and costs for every selection, whatever
+        their names.  See :mod:`repro.serve.canonical`.
+        """
+        from ..serve.canonical import family_payload
+
+        return family_payload(
+            self.library, self.architecture, self.use_exclusion
+        )
+
 
 @dataclass
 class SelectionResult:

@@ -297,29 +297,43 @@ def shard_indices(total: int, lineage_size: int) -> List[LineageShard]:
     ]
 
 
-def run_lineage(family, explorer: Explorer, warm_start: bool, lineage):
+def run_lineage(
+    family,
+    explorer: Explorer,
+    warm_start: bool,
+    lineage,
+    seed: Optional[Mapping] = None,
+):
     """Explore one lineage with warm-start chaining.
 
     The single shared implementation of the batch semantics: the
     sequential path runs it inline, pool workers run it remotely —
     which is what makes the parallel output byte-identical.
+
+    ``seed`` optionally provides an external incumbent mapping (for
+    example from the serve layer's cross-request warm cache) used
+    before the lineage has produced a feasible result of its own.
+    The default ``None`` preserves the historical behavior exactly.
+    For exact explorers a seed only tightens pruning — the proven
+    cost is unchanged — though node counts may differ from an
+    unseeded run.
     """
     from .methods import SelectionResult
 
     results: List[SelectionResult] = []
-    previous_best: Optional[Mapping] = None
+    previous_best: Optional[Mapping] = seed
     for task in lineage.tasks:
         problem = family.problem_for_units(
             task.name, task.units, origins=task.origins
         )
-        seed = previous_best if warm_start else None
-        exploration = explorer.explore(problem, warm_start=seed)
+        warm = previous_best if warm_start else seed
+        exploration = explorer.explore(problem, warm_start=warm)
         results.append(
             SelectionResult(
                 selection=dict(task.selection),
                 problem=problem,
                 exploration=exploration,
-                warm_started=seed is not None,
+                warm_started=warm is not None,
             )
         )
         if exploration.feasible:

@@ -1,0 +1,387 @@
+"""End-to-end lifecycle tests of the exploration service.
+
+Engine tests drive :class:`repro.serve.engine.ServeEngine` directly
+inside ``asyncio.run`` (no socket); HTTP tests boot the real server on
+an ephemeral port in a background event-loop thread and talk to it
+through the blocking :class:`repro.serve.client.ServeClient` — the
+same path ``curl`` takes.
+"""
+
+import asyncio
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.apps import figure2
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.engine import ServeEngine, ServiceUnavailable, UnknownJob
+from repro.serve.http import ServeHTTP
+
+FIG2 = {"space": {"kind": "figure2"}}
+GENERATED = {"space": {"kind": "generated", "n_variants": 3}}
+
+
+async def _drain_events(engine, job_id, timeout=60.0):
+    queue = engine.subscribe(job_id)
+    events = []
+    while True:
+        event = await asyncio.wait_for(queue.get(), timeout=timeout)
+        events.append(event)
+        if event["event"] in ("done", "failed", "timeout"):
+            return events
+
+
+async def _run_job(engine, payload):
+    job = engine.submit(payload)
+    if job.state in ("done", "failed", "timeout"):
+        return job, job.events
+    events = await _drain_events(engine, job.job_id)
+    return job, events
+
+
+# ----------------------------------------------------------------------
+# Engine lifecycle
+# ----------------------------------------------------------------------
+def test_job_lifecycle_events_and_result():
+    async def main():
+        engine = ServeEngine(workers=1)
+        await engine.start()
+        job, events = await _run_job(engine, FIG2)
+        names = [e["event"] for e in events]
+        assert names[0] == "queued"
+        assert names[1] == "running"
+        assert names[-1] == "done"
+        assert "lineage" in names
+        assert job.state == "done"
+        assert job.cache_status == "miss"
+        assert job.result["best"]["cost"] > 0
+        assert job.result["feasible_count"] >= 1
+        view = job.describe()
+        assert view["state"] == "done"
+        assert view["elapsed_seconds"] >= 0
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_exact_hit_is_byte_identical_and_instant():
+    async def main():
+        engine = ServeEngine(workers=1)
+        await engine.start()
+        cold, _ = await _run_job(engine, FIG2)
+        hit = engine.submit(FIG2)
+        assert hit.state == "done"
+        assert hit.cache_status == "hit"
+        assert hit.result_text == cold.result_text
+        names = [e["event"] for e in hit.events]
+        assert names == ["queued", "done"]  # never ran
+        assert engine.cache.exact_hits == 1
+        miss = engine.submit({**FIG2, "use_cache": False})
+        assert miss.state != "done"  # bypasses the cache
+        await _drain_events(engine, miss.job_id)
+        assert miss.cache_status in ("miss", "warm")
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_warm_adjacent_hit_keeps_cost_and_optimality():
+    space = figure2.variant_space()
+    selection = dict(space.selection_at(1))
+    single = {"space": {"kind": "figure2"}, "selection": selection}
+
+    async def cold_run():
+        engine = ServeEngine(workers=1)
+        await engine.start()
+        job, _ = await _run_job(engine, single)
+        await engine.shutdown()
+        return job.result
+
+    async def warm_run():
+        engine = ServeEngine(workers=1)
+        await engine.start()
+        # The space job populates the warm store for the family...
+        await _run_job(engine, FIG2)
+        # ...so the selection job (an exact-store miss) seeds from it.
+        job, _ = await _run_job(engine, single)
+        await engine.shutdown()
+        assert job.cache_status == "warm"
+        assert engine.cache.warm_hits >= 1
+        return job.result
+
+    cold = asyncio.run(cold_run())
+    warm = asyncio.run(warm_run())
+    assert warm["best"]["cost"] == cold["best"]["cost"]
+    assert warm["best"]["mapping"] == cold["best"]["mapping"]
+    assert warm["best"]["optimal"] and cold["best"]["optimal"]
+
+
+def test_warm_seeding_skipped_for_heuristic_explorers():
+    async def main():
+        engine = ServeEngine(workers=1)
+        await engine.start()
+        await _run_job(engine, FIG2)
+        job, _ = await _run_job(
+            engine,
+            {"space": {"kind": "figure2"}, "explorer": {"name": "annealing"}},
+        )
+        # A warm seed could change the annealing trajectory, so
+        # heuristic jobs never take one.
+        assert job.cache_status == "miss"
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_priority_orders_the_queue():
+    async def main():
+        engine = ServeEngine(workers=1)
+        # Submit before starting workers: both jobs sit in the queue,
+        # so the high-priority one must run first despite FIFO order.
+        low = engine.submit({**FIG2, "priority": 0})
+        high = engine.submit({**GENERATED, "priority": 5})
+        await engine.start()
+        await _drain_events(engine, low.job_id)
+        await _drain_events(engine, high.job_id)
+        assert high.started < low.started
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_timeout_budget_yields_timeout_state():
+    async def main():
+        engine = ServeEngine(workers=1)
+        await engine.start()
+        job, events = await _run_job(
+            engine, {**GENERATED, "time_budget": 1e-9}
+        )
+        assert job.state == "timeout"
+        assert "time budget" in job.error
+        assert events[-1]["event"] == "timeout"
+        assert engine.stats()["jobs_timed_out"] == 1
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_queue_full_rejects_with_service_unavailable():
+    async def main():
+        engine = ServeEngine(workers=1, max_queue=2)
+        # Workers not started: nothing drains, so the bound is hit.
+        engine.submit(FIG2)
+        engine.submit(GENERATED)
+        with pytest.raises(ServiceUnavailable):
+            engine.submit({**FIG2, "use_cache": False})
+        assert engine.stats()["jobs_failed"] == 1
+        await engine.start()
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_graceful_shutdown_drains_then_rejects():
+    async def main():
+        engine = ServeEngine(workers=1)
+        jobs = [
+            engine.submit(
+                {"space": {"kind": "generated", "n_variants": 3, "seed": s}}
+            )
+            for s in (1, 2, 3)
+        ]
+        await engine.start()
+        await engine.shutdown()
+        assert all(job.state == "done" for job in jobs)
+        with pytest.raises(ServiceUnavailable):
+            engine.submit(FIG2)
+        assert engine.stats()["draining"] is True
+
+    asyncio.run(main())
+
+
+def test_unknown_job_and_subscribe_replay():
+    async def main():
+        engine = ServeEngine(workers=1)
+        await engine.start()
+        with pytest.raises(UnknownJob):
+            engine.get("job-999999")
+        job, events = await _run_job(engine, FIG2)
+        # Late subscribers replay the full terminal history.
+        replay = await _drain_events(engine, job.job_id, timeout=1.0)
+        assert [e["event"] for e in replay] == [
+            e["event"] for e in events
+        ]
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# HTTP edge
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def serve_client():
+    loop = asyncio.new_event_loop()
+    engine = ServeEngine(workers=2, max_queue=16)
+    server = ServeHTTP(engine, host="127.0.0.1", port=0)
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+
+    async def boot():
+        await server.start()
+        return server.bound_port
+
+    port = asyncio.run_coroutine_threadsafe(boot(), loop).result(30)
+    client = ServeClient(host="127.0.0.1", port=port)
+    try:
+        yield client
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+def test_http_submit_stream_result(serve_client):
+    client = serve_client
+    assert client.healthz() == {"status": "ok"}
+    view = client.submit(FIG2)
+    assert view["state"] in ("queued", "running", "done")
+    events = [e["event"] for e in client.events(view["job_id"])]
+    assert events[0] == "queued" and events[-1] == "done"
+    final = client.job(view["job_id"])
+    assert final["state"] == "done"
+    text = client.result_text(view["job_id"])
+
+    hit = client.submit(FIG2)
+    assert hit["state"] == "done" and hit["cache"] == "hit"
+    assert client.result_text(hit["job_id"]) == text
+
+    stats = client.stats()
+    assert stats["jobs_completed"] >= 2
+    assert stats["cache"]["exact_hits"] >= 1
+    assert stats["jobs_per_sec"] > 0
+
+
+def test_http_error_paths(serve_client):
+    client = serve_client
+    with pytest.raises(ServeClientError) as err:
+        client.submit({"bogus": True})
+    assert err.value.status == 400
+    with pytest.raises(ServeClientError) as err:
+        client.job("job-999999")
+    assert err.value.status == 404
+    with pytest.raises(ServeClientError) as err:
+        client._request("PUT", "/jobs", payload={})
+    assert err.value.status == 405
+    # result of a non-done job conflicts
+    timed = client.run({**GENERATED, "time_budget": 1e-9})
+    assert timed["state"] == "timeout"
+    with pytest.raises(ServeClientError) as err:
+        client.result_text(timed["job_id"])
+    assert err.value.status == 409
+
+
+def test_http_healthz_503_while_draining():
+    loop = asyncio.new_event_loop()
+    engine = ServeEngine(workers=1)
+    server = ServeHTTP(engine, host="127.0.0.1", port=0)
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+
+    async def boot():
+        await server.start()
+        return server.bound_port
+
+    port = asyncio.run_coroutine_threadsafe(boot(), loop).result(30)
+    client = ServeClient(port=port)
+    assert client.healthz()["status"] == "ok"
+
+    async def drain_only():
+        engine.draining = True
+
+    asyncio.run_coroutine_threadsafe(drain_only(), loop).result(10)
+    try:
+        with pytest.raises(ServeClientError) as err:
+            client.healthz()
+        assert err.value.status == 503
+        with pytest.raises(ServeClientError) as err:
+            client.submit(FIG2)
+        assert err.value.status == 503
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+def test_serve_cli_help_exits_zero():
+    from repro.__main__ import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve", "--help"])
+    assert excinfo.value.code == 0
+
+
+def test_serve_daemon_boots_and_drains_on_sigterm():
+    import os
+    import signal
+    import socket
+    import time
+    from pathlib import Path
+    from urllib.request import urlopen
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            str(port),
+            "--workers",
+            "1",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 20
+        status = None
+        while time.monotonic() < deadline:
+            try:
+                status = urlopen(
+                    f"http://127.0.0.1:{port}/healthz", timeout=2
+                ).status
+                break
+            except OSError:
+                time.sleep(0.1)
+        assert status == 200
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=20) == 0
+        out = proc.stdout.read()
+        assert "drained and stopped" in out
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)

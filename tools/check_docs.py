@@ -1,0 +1,152 @@
+"""Docs gate: intra-repo markdown links resolve + CLI --help works.
+
+Stdlib only; run from the repo root (CI's docs job)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Two checks, both about surfaces that rot silently:
+
+* **Markdown links.**  Every relative link/image target in the
+  repo's markdown files (README, docs/, ROADMAP, ...) must exist on
+  disk.  External URLs and pure ``#anchor`` links are skipped — the
+  gate is about files moving out from under docs, not about the
+  internet.
+* **CLI help.**  ``python -m repro <subcommand> --help`` must exit 0
+  for the bare program and for every registered subcommand.  The
+  subcommand list is discovered from the argparse parser itself, so a
+  new subcommand is gated the day it is added.
+
+Exit status: 0 clean, 1 with a findings list on stderr.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Markdown files under these roots are checked (directories are
+#: walked; files are taken as-is).
+MARKDOWN_ROOTS = (
+    "README.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "PAPER.md",
+    "docs",
+)
+
+#: Inline links/images: [text](target) — target up to the first
+#: closing paren (markdown targets here never contain parens).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def markdown_files() -> list:
+    files = []
+    for root in MARKDOWN_ROOTS:
+        path = REPO_ROOT / root
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def check_links() -> list:
+    """Every relative link target must exist; returns findings."""
+    findings = []
+    for md in markdown_files():
+        text = md.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if "://" in target or target.startswith(
+                ("mailto:", "#", "data:")
+            ):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = (md.parent / target_path).resolve()
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                findings.append(
+                    f"{md.relative_to(REPO_ROOT)}:{line}: broken link "
+                    f"-> {target}"
+                )
+    return findings
+
+
+def cli_subcommands() -> list:
+    """The registered subcommands, read from the top-level --help.
+
+    Parsing the usage line (``{table1,figure1,...}``) instead of
+    importing the module keeps this script runnable without PYTHONPATH
+    tricks and guarantees a new subcommand is gated the day argparse
+    learns about it.
+    """
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=_env(),
+    )
+    if out.returncode != 0:
+        return []
+    match = re.search(r"\{([a-z0-9_,\-]+)\}", out.stdout)
+    return match.group(1).split(",") if match else []
+
+
+def _env() -> dict:
+    import os
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def check_cli_help() -> list:
+    """``--help`` must exit 0 for the program and every subcommand."""
+    findings = []
+    commands = cli_subcommands()
+    if not commands:
+        findings.append("cli: could not discover any subcommands")
+    for args in [["--help"]] + [[cmd, "--help"] for cmd in commands]:
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=_env(),
+        )
+        if out.returncode != 0:
+            findings.append(
+                f"cli: `python -m repro {' '.join(args)}` exited "
+                f"{out.returncode}: {out.stderr.strip()[:200]}"
+            )
+    return findings
+
+
+def main() -> int:
+    findings = check_links() + check_cli_help()
+    if findings:
+        for finding in findings:
+            print(finding, file=sys.stderr)
+        print(
+            f"check_docs: {len(findings)} finding(s)", file=sys.stderr
+        )
+        return 1
+    files = len(markdown_files())
+    commands = cli_subcommands()
+    print(
+        f"check_docs: ok ({files} markdown files, "
+        f"{len(commands)} subcommands: {', '.join(commands)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
