@@ -14,6 +14,7 @@ Usage::
                             [--no-dynamic-pool] [--share-incumbent]
     python -m repro serve   [--host H] [--port P] [--workers N]
                             [--cache-size N] [--max-queue N]
+                            [--max-jobs N]
 """
 
 from __future__ import annotations
@@ -190,6 +191,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_size=args.cache_size,
         max_queue=args.max_queue,
+        max_jobs=args.max_jobs,
     )
 
 
@@ -373,6 +375,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=256,
         metavar="N",
         help="queued-job bound; submissions beyond it get HTTP 503",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=4096,
+        metavar="N",
+        help=(
+            "retained terminal job records; older ones are evicted "
+            "oldest-first and their ids return HTTP 404"
+        ),
     )
     serve.set_defaults(run=_cmd_serve)
 

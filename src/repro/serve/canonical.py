@@ -19,7 +19,13 @@ that sound:
   the selection (or the whole space's axes), and the normalized
   explorer configuration including budgets and warm-start chaining.
   Equal hashes therefore imply equal results for deterministic
-  explorers — the exact-hit contract.
+  explorers — the exact-hit contract.  The job-level ``time_budget``
+  is deliberately *not* keyed: the engine only ever stores results
+  that are provably budget-independent
+  (:func:`repro.serve.engine.result_is_cacheable` — complete,
+  unseeded runs), so a budgeted and an unbudgeted submission of the
+  same search may soundly share one entry, and wall-clock truncation
+  can never leak machine-speed-dependent bytes into the store.
 * **Two key granularities.**  :func:`job_key` addresses exact result
   reuse; :func:`family_key` hashes only the family-level inputs
   (library + architecture + exclusion semantics) and addresses

@@ -24,7 +24,25 @@ Cache integration (:mod:`repro.serve.cache`): exact hits are resolved
 *at submit time* and return an already-terminal job whose result text
 is the cold run's bytes verbatim; warm-start-adjacent hits seed the
 first lineage's incumbent, and only for exact explorers, where a warm
-seed can change node counts but never the proven cost.
+seed can change node counts but never the proven cost.  The exact
+store only ever holds results that are pure functions of the job key
+(:func:`result_is_cacheable`): warm-seeded runs and wall-clock
+truncated runs are served to their own client but never stored, so
+equal keys always map to the deterministic cold-run bytes regardless
+of daemon history.
+
+Budget granularity: a job's ``time_budget`` is enforced *between*
+lineages — the job flips to ``timeout`` at the first lineage boundary
+past the deadline — and the remaining wall clock is clamped onto the
+per-exploration budget of explorers that accept one (``bnb``,
+``portfolio``).  Explorers without a time budget (``exhaustive``,
+``annealing``) run each lineage to completion, so the timeout can
+overshoot by up to one lineage; small ``lineage_size`` values tighten
+the granularity.
+
+The jobs table is bounded: terminal :class:`JobRecord`\\ s beyond
+``max_jobs`` are evicted oldest-first (their ids then 404), so a
+long-running daemon's memory does not grow with lifetime traffic.
 
 Graceful shutdown: :meth:`ServeEngine.shutdown` flips ``draining`` so
 new submissions are rejected (HTTP 503), waits for the queue and
@@ -38,8 +56,9 @@ import copy
 import json
 import time
 import traceback
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from ..errors import SynthesisError
 from ..synth.parallel import (
@@ -69,6 +88,33 @@ class UnknownJob(SynthesisError):
     """No job with the requested id (HTTP 404)."""
 
 
+def result_is_cacheable(
+    spec: JobSpec, payload: Dict[str, object], warm_seeded: bool
+) -> bool:
+    """Whether a finished job's bytes may enter the exact store.
+
+    The exact store promises equal keys → equal bytes, so only results
+    that are pure functions of the job key qualify:
+
+    * a warm-adjacent seed changes node counts and provenance (daemon
+      history leaking into the bytes), so seeded runs are served to
+      their client but never stored;
+    * a wall-clock budget — job-level ``time_budget`` (excluded from
+      the key) or the keyed ``explorer.time_budget`` — can truncate
+      the search at a machine-speed-dependent point, so a budgeted
+      run is stored only when every selection still proved optimality
+      (then its bytes match the budget-free search exactly).
+
+    Deterministic truncation (node budgets) and deterministic
+    heuristics (seeded annealing) remain cacheable.
+    """
+    if warm_seeded:
+        return False
+    if spec.time_budget is None and spec.explorer["time_budget"] is None:
+        return True
+    return all(s["optimal"] for s in payload["selections"])
+
+
 class ServeEngine:
     """Job queue + worker fleet + cache, owned by one event loop."""
 
@@ -77,15 +123,20 @@ class ServeEngine:
         workers: int = 2,
         cache_size: int = 1024,
         max_queue: int = 256,
+        max_jobs: int = 4096,
     ) -> None:
         if workers < 1:
             raise SynthesisError("workers must be >= 1")
         if max_queue < 1:
             raise SynthesisError("max_queue must be >= 1")
+        if max_jobs < 1:
+            raise SynthesisError("max_jobs must be >= 1")
         self.workers = workers
         self.max_queue = max_queue
+        self.max_jobs = max_jobs
         self.cache = ResultCache(max_entries=cache_size)
         self.jobs: Dict[str, JobRecord] = {}
+        self._retired: Deque[str] = deque()
         self.draining = False
         self.started_at = time.monotonic()
         self.jobs_submitted = 0
@@ -232,6 +283,7 @@ class ServeEngine:
             "uptime_seconds": round(uptime, 3),
             "draining": self.draining,
             "workers": self.workers,
+            "jobs_tracked": len(self.jobs),
             "queue_depth": self._queue_depth(),
             "in_flight": self._in_flight,
             "jobs_submitted": self.jobs_submitted,
@@ -249,6 +301,21 @@ class ServeEngine:
             queue.put_nowait(event)
         if event.get("event") in TERMINAL_STATES:
             self._subscribers.pop(job.job_id, None)
+            self._retire(job)
+
+    def _retire(self, job: JobRecord) -> None:
+        """Bound the jobs table: evict the oldest terminal records.
+
+        Every terminal transition publishes exactly one terminal
+        event, so each job is retired once.  Only terminal jobs enter
+        the eviction queue — queued/running records are bounded by
+        ``max_queue`` + the worker count and never evicted.
+        """
+        self._retired.append(job.job_id)
+        while len(self._retired) > self.max_jobs:
+            evicted = self._retired.popleft()
+            self.jobs.pop(evicted, None)
+            self._subscribers.pop(evicted, None)
 
     async def _worker_loop(self) -> None:
         while True:
@@ -380,7 +447,9 @@ class ServeEngine:
         job.finished = time.monotonic()
         job.state = "done"
         self.jobs_completed += 1
-        if spec.use_cache:
+        if spec.use_cache and result_is_cacheable(
+            spec, payload, warm_seeded=seed is not None
+        ):
             self.cache.store(workload.job_key, text)
         best = payload.get("best")
         if best is not None:

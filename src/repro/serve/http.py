@@ -82,27 +82,46 @@ def _sse_event(payload: Dict[str, object]) -> bytes:
     return f"event: {name}\ndata: {data}\n\n".encode("utf-8")
 
 
+class _BadRequest(Exception):
+    """Malformed request framing, answered with a 400 (not a drop)."""
+
+
 async def _read_request(
     reader: "asyncio.StreamReader",
 ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-    """Parse one request: ``(method, path, headers, body)`` or None."""
+    """Parse one request: ``(method, path, headers, body)`` or None.
+
+    Raises :class:`_BadRequest` for malformed-but-parseable framing
+    (bad ``Content-Length``, over-limit request/header lines) so the
+    client gets a 400 instead of a dropped connection; returns None
+    when the peer disconnected mid-request.
+    """
     try:
         request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            text = line.decode("latin-1").strip()
+            if not text:
+                break
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
     except (ConnectionError, asyncio.IncompleteReadError):
         return None
-    parts = request_line.decode("latin-1").split()
-    if len(parts) != 3:
-        return None
-    method, path = parts[0].upper(), parts[1]
-    headers: Dict[str, str] = {}
-    while True:
-        line = await reader.readline()
-        text = line.decode("latin-1").strip()
-        if not text:
-            break
-        name, _, value = text.partition(":")
-        headers[name.strip().lower()] = value.strip()
-    length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        # StreamReader.readline raises ValueError when a line exceeds
+        # the stream's limit (LimitOverrunError folded in).
+        raise _BadRequest("request or header line too long") from None
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise _BadRequest("malformed Content-Length header") from None
+    if length < 0:
+        raise _BadRequest("malformed Content-Length header")
     if length > MAX_BODY_BYTES:
         return method, path, headers, b"\x00"  # sentinel: too large
     body = await reader.readexactly(length) if length else b""
@@ -175,7 +194,11 @@ class ServeHTTP:
         writer: "asyncio.StreamWriter",
     ) -> None:
         try:
-            request = await _read_request(reader)
+            try:
+                request = await _read_request(reader)
+            except _BadRequest as exc:
+                writer.write(_json_response(400, {"error": str(exc)}))
+                return
             if request is None:
                 return
             method, path, _, body = request
@@ -185,7 +208,7 @@ class ServeHTTP:
                 )
                 return
             await self._route(method, path, body, writer)
-        except (ConnectionError, asyncio.IncompleteReadError):
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
             pass
         finally:
             try:
@@ -306,10 +329,14 @@ async def run_server(
     workers: int,
     cache_size: int,
     max_queue: int,
+    max_jobs: int = 4096,
 ) -> None:
     """Build engine + HTTP edge and serve until signalled."""
     engine = ServeEngine(
-        workers=workers, cache_size=cache_size, max_queue=max_queue
+        workers=workers,
+        cache_size=cache_size,
+        max_queue=max_queue,
+        max_jobs=max_jobs,
     )
     server = ServeHTTP(engine, host=host, port=port)
     await server.serve_forever()
@@ -321,15 +348,21 @@ def serve_main(
     workers: int = 2,
     cache_size: int = 1024,
     max_queue: int = 256,
+    max_jobs: int = 4096,
 ) -> int:
     """Blocking entry point of ``python -m repro serve``."""
     print(
         f"repro serve: listening on http://{host}:{port} "
-        f"({workers} workers, cache {cache_size}, queue {max_queue})",
+        f"({workers} workers, cache {cache_size}, queue {max_queue}, "
+        f"jobs {max_jobs})",
         flush=True,
     )
     try:
-        asyncio.run(run_server(host, port, workers, cache_size, max_queue))
+        asyncio.run(
+            run_server(
+                host, port, workers, cache_size, max_queue, max_jobs
+            )
+        )
     except KeyboardInterrupt:
         pass
     print("repro serve: drained and stopped", flush=True)

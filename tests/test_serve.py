@@ -8,6 +8,7 @@ same path ``curl`` takes.
 """
 
 import asyncio
+import socket
 import subprocess
 import sys
 import threading
@@ -116,6 +117,59 @@ def test_warm_adjacent_hit_keeps_cost_and_optimality():
     assert warm["best"]["cost"] == cold["best"]["cost"]
     assert warm["best"]["mapping"] == cold["best"]["mapping"]
     assert warm["best"]["optimal"] and cold["best"]["optimal"]
+
+
+def test_warm_seeded_result_never_enters_exact_store():
+    space = figure2.variant_space()
+    selection = dict(space.selection_at(1))
+    single = {"space": {"kind": "figure2"}, "selection": selection}
+
+    async def main():
+        engine = ServeEngine(workers=1)
+        await engine.start()
+        # The space job stores its cold bytes and seeds the warm store.
+        await _run_job(engine, FIG2)
+        job, _ = await _run_job(engine, single)
+        assert job.cache_status == "warm"
+        # Seeded bytes depend on daemon history (node counts,
+        # "+warm_start" provenance), so only the cold space job's
+        # entry may live in the exact store.
+        assert engine.cache.stats()["exact_entries"] == 1
+        # A resubmission therefore re-runs (warm again), not a hit.
+        again = engine.submit(single)
+        assert again.state != "done"
+        await _drain_events(engine, again.job_id)
+        assert again.cache_status == "warm"
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_terminal_jobs_evicted_beyond_max_jobs():
+    async def main():
+        engine = ServeEngine(workers=1, max_jobs=2)
+        await engine.start()
+        ids = []
+        for seed in (1, 2, 3):
+            job, _ = await _run_job(
+                engine,
+                {
+                    "space": {
+                        "kind": "generated",
+                        "n_variants": 3,
+                        "seed": seed,
+                    }
+                },
+            )
+            ids.append(job.job_id)
+        assert len(engine.jobs) == 2
+        assert engine.stats()["jobs_tracked"] == 2
+        with pytest.raises(UnknownJob):
+            engine.get(ids[0])
+        assert engine.get(ids[-1]).state == "done"
+        await engine.shutdown()
+
+    asyncio.run(main())
 
 
 def test_warm_seeding_skipped_for_heuristic_explorers():
@@ -287,6 +341,35 @@ def test_http_error_paths(serve_client):
     with pytest.raises(ServeClientError) as err:
         client.result_text(timed["job_id"])
     assert err.value.status == 409
+
+
+def _raw_request(host, port, data: bytes) -> bytes:
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(data)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def test_http_malformed_framing_gets_400_not_a_drop(serve_client):
+    client = serve_client
+    bad_length = b"POST /jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+    reply = _raw_request(client.host, client.port, bad_length)
+    assert reply.startswith(b"HTTP/1.1 400 ")
+    negative = b"POST /jobs HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+    reply = _raw_request(client.host, client.port, negative)
+    assert reply.startswith(b"HTTP/1.1 400 ")
+    # A request line over the stream limit (64 KiB default) must be
+    # answered, not surfaced as an unhandled ValueError.
+    long_line = b"GET /" + b"x" * (1 << 17) + b" HTTP/1.1\r\n\r\n"
+    reply = _raw_request(client.host, client.port, long_line)
+    assert reply.startswith(b"HTTP/1.1 400 ")
+    # The server stays healthy afterwards.
+    assert client.healthz() == {"status": "ok"}
 
 
 def test_http_healthz_503_while_draining():

@@ -221,6 +221,34 @@ def test_result_payload_has_no_timing_fields():
 
 
 # ----------------------------------------------------------------------
+# Exact-store admission (equal keys -> equal bytes)
+# ----------------------------------------------------------------------
+def test_result_is_cacheable_gate():
+    from repro.serve.engine import result_is_cacheable
+
+    free = JobSpec.from_payload({})
+    job_budget = JobSpec.from_payload({"time_budget": 5.0})
+    explorer_budget = JobSpec.from_payload(
+        {"explorer": {"time_budget": 5.0}}
+    )
+    complete = {"selections": [{"optimal": True}, {"optimal": True}]}
+    truncated = {"selections": [{"optimal": True}, {"optimal": False}]}
+
+    # No wall clock in play: even non-optimal (annealing, node-budget
+    # truncated) results are deterministic, hence cacheable.
+    assert result_is_cacheable(free, truncated, warm_seeded=False)
+    # A budgeted run is cacheable only when it still proved
+    # optimality everywhere (bytes equal the budget-free search).
+    assert result_is_cacheable(job_budget, complete, warm_seeded=False)
+    assert not result_is_cacheable(job_budget, truncated, warm_seeded=False)
+    assert not result_is_cacheable(
+        explorer_budget, truncated, warm_seeded=False
+    )
+    # Warm-adjacent seeds leak daemon history into the bytes.
+    assert not result_is_cacheable(free, complete, warm_seeded=True)
+
+
+# ----------------------------------------------------------------------
 # ResultCache
 # ----------------------------------------------------------------------
 def test_exact_store_lru_eviction_and_counters():
