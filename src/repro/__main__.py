@@ -14,7 +14,7 @@ Usage::
                             [--no-dynamic-pool] [--share-incumbent]
     python -m repro serve   [--host H] [--port P] [--workers N]
                             [--cache-size N] [--max-queue N]
-                            [--max-jobs N]
+                            [--max-jobs N] [--state-dir DIR]
 """
 
 from __future__ import annotations
@@ -192,6 +192,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         max_queue=args.max_queue,
         max_jobs=args.max_jobs,
+        state_dir=args.state_dir,
     )
 
 
@@ -384,6 +385,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=(
             "retained terminal job records; older ones are evicted "
             "oldest-first and their ids return HTTP 404"
+        ),
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "journal submissions and cache entries to DIR for crash "
+            "recovery: a restarted daemon replays the journal, "
+            "restores the exact cache verbatim, and re-enqueues "
+            "interrupted jobs (see docs/fault-tolerance.md)"
         ),
     )
     serve.set_defaults(run=_cmd_serve)

@@ -1,0 +1,194 @@
+"""Deterministic, seeded fault injection for the chaos test suite.
+
+Fault tolerance that is only exercised when real hardware misbehaves
+is fault tolerance that rots.  This module lets the test suite (and
+only the test suite) inject faults *on purpose* at deterministic
+points: kill worker processes at a chosen task, delay a lineage,
+raise inside an evaluator, or tear the serve journal's tail mid-write.
+
+A **fault plan** is a seed plus a list of operation records:
+
+``{"op": "kill",  "scope": "pool",    "index": 2, "attempt": 0}``
+    The worker running pool task 2 (first attempt) dies hard
+    (``os._exit``) — exercises crash detection + shard re-dispatch.
+``{"op": "raise", "scope": "pool",    "index": 1, "attempt": 0}``
+    The evaluator raises on task 1's first attempt — exercises
+    retry-on-exception.
+``{"op": "delay", "scope": "pool",    "index": 0, "seconds": 0.1}``
+    Sleep before running the task — exercises scheduling races.
+``{"op": "delay", "scope": "serve",   "lineage": 1, "seconds": 0.2}``
+    Sleep before a serve job's lineage (``"lineage": null`` = every
+    lineage) — drives deterministic timeouts and SIGKILL windows.
+``{"op": "torn-tail", "scope": "journal", "at": 3, "fraction": 0.5}``
+    The journal's 4th append writes only half its bytes and the
+    journal goes dead — simulates a crash mid-``write``.
+
+Plans are activated either in-process via :func:`install` (the module
+global is fork-inherited, so pool workers see it) or through the
+``REPRO_FAULTS`` environment variable holding the plan as JSON (for
+daemon subprocesses).  Matching is by explicit indices — **never** by
+timing or randomness — so a chaos test replays the identical failure
+every run; the ``seed`` field keys any jitter a hook wants to apply.
+
+Production code paths call the ``on_*`` hooks unconditionally; with no
+plan installed they return immediately (one dict lookup), so the
+instrumentation is free when faults are off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Environment variable holding a JSON fault plan (test-only).
+ENV_VAR = "REPRO_FAULTS"
+
+_VALID_OPS = frozenset({"kill", "raise", "delay", "torn-tail"})
+_VALID_SCOPES = frozenset({"pool", "serve", "journal"})
+
+
+class FaultInjected(RuntimeError):
+    """An exception raised on purpose by a ``raise`` fault op."""
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic list of fault operations."""
+
+    seed: int = 0
+    ops: List[Dict[str, object]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for op in self.ops:
+            kind = op.get("op")
+            if kind not in _VALID_OPS:
+                raise ValueError(f"unknown fault op {kind!r}")
+            scope = op.get("scope")
+            if scope not in _VALID_SCOPES:
+                raise ValueError(f"unknown fault scope {scope!r}")
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("fault plan must be a JSON object")
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            ops=list(payload.get("ops", [])),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps({"seed": self.seed, "ops": self.ops})
+
+    def matching(self, scope: str, **keys: object):
+        """The ops of ``scope`` whose keys match (absent key = any)."""
+        for op in self.ops:
+            if op.get("scope") != scope:
+                continue
+            if all(
+                op.get(name) is None or op.get(name) == value
+                for name, value in keys.items()
+            ):
+                yield op
+
+
+#: The installed plan.  ``_UNSET`` means "not resolved yet": the first
+#: hook call falls back to parsing :data:`ENV_VAR`.  Fork-started
+#: workers inherit whichever is set, so one :func:`install` covers the
+#: whole process tree on Linux; spawned daemons use the env var.
+_UNSET = object()
+_plan: object = _UNSET
+
+#: Journal tear ops that already fired (they are one-shot by nature:
+#: the torn append kills the journal).
+_fired: set = set()
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install a fault plan for this process (and its forks)."""
+    global _plan
+    _plan = plan
+    _fired.clear()
+
+
+def clear() -> None:
+    """Remove any installed plan and re-arm env resolution."""
+    global _plan
+    _plan = _UNSET
+    _fired.clear()
+
+
+def active() -> Optional[FaultPlan]:
+    """The currently active plan, resolving the env var lazily."""
+    global _plan
+    if _plan is _UNSET:
+        text = os.environ.get(ENV_VAR)
+        _plan = FaultPlan.from_json(text) if text else None
+    return _plan  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Hooks (called unconditionally by production code)
+# ----------------------------------------------------------------------
+def on_pool_task(index: int, attempt: int) -> None:
+    """Pool-worker hook, called before running task ``index``.
+
+    ``delay`` sleeps, ``raise`` raises :class:`FaultInjected` (caught
+    and surfaced like any evaluator error), ``kill`` exits the worker
+    process hard — no cleanup, no goodbye message — which is exactly
+    what a segfault or OOM kill looks like to the supervisor.
+    """
+    plan = active()
+    if plan is None:
+        return
+    for op in plan.matching("pool", index=index, attempt=attempt):
+        kind = op["op"]
+        if kind == "delay":
+            time.sleep(float(op.get("seconds", 0.01)))
+        elif kind == "raise":
+            raise FaultInjected(
+                str(
+                    op.get(
+                        "message",
+                        f"injected evaluator fault at task {index}",
+                    )
+                )
+            )
+        elif kind == "kill":
+            os._exit(int(op.get("exitcode", 137)))
+
+
+def on_serve_lineage(lineage_index: int) -> None:
+    """Serve-engine hook, called before running one job lineage."""
+    plan = active()
+    if plan is None:
+        return
+    for op in plan.matching("serve", lineage=lineage_index):
+        if op["op"] == "delay":
+            time.sleep(float(op.get("seconds", 0.01)))
+
+
+def journal_tear(append_index: int) -> Optional[float]:
+    """Journal hook: fraction of bytes to write for this append.
+
+    Returns ``None`` for a normal append, or a fraction in ``(0, 1)``
+    meaning "write only this much of the record, then go dead" —
+    the on-disk result is exactly a crash between ``write`` and
+    ``fsync``.  Each tear op fires at most once.
+    """
+    plan = active()
+    if plan is None:
+        return None
+    for position, op in enumerate(plan.ops):
+        if op.get("scope") != "journal" or op.get("op") != "torn-tail":
+            continue
+        if op.get("at") is not None and op.get("at") != append_index:
+            continue
+        if position in _fired:
+            continue
+        _fired.add(position)
+        return float(op.get("fraction", 0.5))
+    return None

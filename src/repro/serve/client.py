@@ -29,14 +29,35 @@ class ServeClientError(RuntimeError):
 
 
 class ServeClient:
-    """Blocking client bound to one ``host:port``."""
+    """Blocking client bound to one ``host:port``.
+
+    Connection-level failures (refused, reset, timed out sockets) are
+    retried ``retries`` times with capped exponential backoff before
+    surfacing — a daemon restarting under ``--state-dir`` looks like a
+    brief connection blackout, and every request here is idempotent:
+    jobs are content-addressed, so resubmitting one after an ambiguous
+    failure lands on the exact cache or re-runs to identical bytes.
+    HTTP-level errors (:class:`ServeClientError`) are real answers and
+    are never retried.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8752, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8752,
+        timeout: float = 30.0,
+        retries: int = 2,
+        retry_backoff: float = 0.05,
+        retry_backoff_cap: float = 2.0,
     ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
 
     # -- plumbing --------------------------------------------------
     def _request(
@@ -45,6 +66,27 @@ class ServeClient:
         path: str,
         payload: Optional[object] = None,
         ok: Tuple[int, ...] = (200, 202),
+    ) -> Tuple[int, str]:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload, ok)
+            except (OSError, http.client.HTTPException):
+                if attempt >= self.retries:
+                    raise
+                delay = min(
+                    self.retry_backoff_cap,
+                    self.retry_backoff * (2.0 ** attempt),
+                )
+                attempt += 1
+                time.sleep(delay)
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object],
+        ok: Tuple[int, ...],
     ) -> Tuple[int, str]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout

@@ -47,6 +47,18 @@ long-running daemon's memory does not grow with lifetime traffic.
 Graceful shutdown: :meth:`ServeEngine.shutdown` flips ``draining`` so
 new submissions are rejected (HTTP 503), waits for the queue and
 in-flight jobs to drain, then stops the workers and executor.
+
+Crash safety (``state_dir``): with a state directory the engine
+journals job submissions, terminal transitions and cache stores to an
+append-only fsync'd log (:mod:`repro.serve.persist`).  On boot it
+replays the journal — re-installing exact-cache entries *verbatim*
+(the byte-identity contract survives the crash) and re-enqueueing
+jobs that were submitted but never reached a terminal state, under
+their original ids.  Jobs killed mid-run also leave a *partial*
+result: the deadline path stores the completed selections plus a
+``partial`` marker on the job record, so a ``timeout`` status view
+shows what was proven before the clock ran out and where a resubmit
+would pick up.
 """
 
 from __future__ import annotations
@@ -54,12 +66,14 @@ from __future__ import annotations
 import asyncio
 import copy
 import json
+import os
 import time
 import traceback
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Set
 
+from .. import faults
 from ..errors import SynthesisError
 from ..synth.parallel import (
     LocalIncumbent,
@@ -67,6 +81,7 @@ from ..synth.parallel import (
     run_lineage,
     shard_lineages,
 )
+from . import persist
 from .cache import ResultCache
 from .canonical import canonical_json
 from .jobs import (
@@ -75,9 +90,17 @@ from .jobs import (
     TERMINAL_STATES,
     Workload,
     build_workload,
+    ensure_job_ids_above,
     job_result_payload,
     mapping_from_payload,
+    spec_payload,
 )
+
+
+def _run_lineage_guarded(family, explorer, warm_start, lineage, seed):
+    """Executor entry point: fault hook, then the real lineage run."""
+    faults.on_serve_lineage(lineage.index)
+    return run_lineage(family, explorer, warm_start, lineage, seed)
 
 
 class ServiceUnavailable(SynthesisError):
@@ -124,6 +147,7 @@ class ServeEngine:
         cache_size: int = 1024,
         max_queue: int = 256,
         max_jobs: int = 4096,
+        state_dir: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise SynthesisError("workers must be >= 1")
@@ -134,6 +158,12 @@ class ServeEngine:
         self.workers = workers
         self.max_queue = max_queue
         self.max_jobs = max_jobs
+        self.state_dir = state_dir
+        self._journal: Optional[persist.Journal] = None
+        # Only jobs with a journaled ``submit`` get an ``end`` record
+        # (cache hits and queue-full rejections never touch the disk).
+        self._journaled: Set[str] = set()
+        self.jobs_recovered = 0
         self.cache = ResultCache(max_entries=cache_size)
         self.jobs: Dict[str, JobRecord] = {}
         self._retired: Deque[str] = deque()
@@ -163,10 +193,18 @@ class ServeEngine:
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
-        """Spawn the worker fleet (idempotent)."""
+        """Spawn the worker fleet (idempotent).
+
+        With a ``state_dir`` this first runs crash recovery: journal
+        replay, cache re-install, compaction, and re-enqueueing of
+        interrupted jobs — all before the first worker wakes up, so
+        recovered jobs keep their submission order at the queue head.
+        """
         if self._workers:
             return
         self._ensure_queue()
+        if self.state_dir is not None and self._journal is None:
+            self._recover()
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve"
         )
@@ -174,6 +212,27 @@ class ServeEngine:
             asyncio.ensure_future(self._worker_loop())
             for _ in range(self.workers)
         ]
+
+    def _recover(self) -> None:
+        """Replay the journal, seed the cache, re-enqueue survivors."""
+        os.makedirs(self.state_dir, exist_ok=True)
+        path = persist.journal_path(self.state_dir)
+        recovered = persist.replay(path)
+        for key, text in recovered.cache_entries.items():
+            self.cache.store(key, text)
+        for family, (cost, mapping) in recovered.warm_entries.items():
+            self.cache.offer_warm(family, cost, mapping)
+        persist.compact(path, recovered)
+        self._journal = persist.Journal(path)
+        ensure_job_ids_above(recovered.max_job_number)
+        for job_id, payload in recovered.pending.items():
+            try:
+                self.submit(payload, _job_id=job_id)
+            except SynthesisError:
+                # A journaled spec the current build rejects (schema
+                # drift, full queue) is dropped, not fatal to boot.
+                continue
+            self.jobs_recovered += 1
 
     async def shutdown(self) -> None:
         """Drain in-flight work, then stop workers and executor."""
@@ -191,23 +250,39 @@ class ServeEngine:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
 
     # -- submission ----------------------------------------------------
-    def submit(self, payload: object) -> JobRecord:
+    def submit(
+        self, payload: object, _job_id: Optional[str] = None
+    ) -> JobRecord:
         """Validate, cache-check, and enqueue one job payload.
 
         Raises :class:`~repro.serve.jobs.JobValidationError` on a
         malformed payload (400) and :class:`ServiceUnavailable` when
         draining or over the queue bound (503).  Exact cache hits
         return an already-``done`` record without touching the queue.
+
+        ``_job_id`` is recovery-only: a journal replay re-enqueues an
+        interrupted job under the id its original client was given.
         """
         if self.draining:
             raise ServiceUnavailable("service is draining; retry later")
         spec = JobSpec.from_payload(payload)
         workload = build_workload(spec)
-        job = JobRecord(
-            spec=spec, workload=workload, created=time.monotonic()
-        )
+        if _job_id is None:
+            job = JobRecord(
+                spec=spec, workload=workload, created=time.monotonic()
+            )
+        else:
+            job = JobRecord(
+                spec=spec,
+                workload=workload,
+                created=time.monotonic(),
+                job_id=_job_id,
+            )
         self.jobs[job.job_id] = job
         self.jobs_submitted += 1
 
@@ -249,6 +324,12 @@ class ServeEngine:
             )
             raise ServiceUnavailable("job queue is full; retry later")
 
+        if self._journal is not None:
+            # Journal before enqueueing: once a worker can see the
+            # job, a crash must find it in the log.  Cache hits and
+            # rejections above never touch the disk.
+            self._journal.submit(job.job_id, spec_payload(spec))
+            self._journaled.add(job.job_id)
         self._seq += 1
         self._ensure_queue().put_nowait((-spec.priority, self._seq, job))
         self._publish(job, {"event": "queued", "job": job.job_id})
@@ -290,6 +371,8 @@ class ServeEngine:
             "jobs_completed": self.jobs_completed,
             "jobs_failed": self.jobs_failed,
             "jobs_timed_out": self.jobs_timed_out,
+            "jobs_recovered": self.jobs_recovered,
+            "persistent": self.state_dir is not None,
             "jobs_per_sec": round(self.jobs_completed / uptime, 6),
             "cache": self.cache.stats(),
         }
@@ -300,6 +383,9 @@ class ServeEngine:
         for queue in self._subscribers.get(job.job_id, ()):
             queue.put_nowait(event)
         if event.get("event") in TERMINAL_STATES:
+            if self._journal is not None and job.job_id in self._journaled:
+                self._journaled.discard(job.job_id)
+                self._journal.end(job.job_id, job.state)
             self._subscribers.pop(job.job_id, None)
             self._retire(job)
 
@@ -396,6 +482,18 @@ class ServeEngine:
                     f"time budget {spec.time_budget}s exhausted after "
                     f"{len(results)} of {workload.selection_count} selections"
                 )
+                # Between-lineage checkpoint: the completed selections
+                # become a *partial* result on the status view (but
+                # never ``result_text`` — ``/result`` stays 409 and
+                # partial bytes never enter the exact cache).
+                partial = job_result_payload(results)
+                partial["partial"] = {
+                    "completed_selections": len(results),
+                    "total_selections": workload.selection_count,
+                    "next_lineage": lineage.index,
+                    "resumable": True,
+                }
+                job.result = partial
                 self.jobs_timed_out += 1
                 self._publish(
                     job,
@@ -404,6 +502,7 @@ class ServeEngine:
                         "job": job.job_id,
                         "error": job.error,
                         "completed_selections": len(results),
+                        "partial": partial["partial"],
                     },
                 )
                 return
@@ -412,7 +511,7 @@ class ServeEngine:
             )
             lineage_results = await loop.run_in_executor(
                 self._executor,
-                run_lineage,
+                _run_lineage_guarded,
                 workload.family,
                 explorer,
                 spec.warm_start,
@@ -451,11 +550,17 @@ class ServeEngine:
             spec, payload, warm_seeded=seed is not None
         ):
             self.cache.store(workload.job_key, text)
+            if self._journal is not None:
+                self._journal.cache(workload.job_key, text)
         best = payload.get("best")
         if best is not None:
-            self.cache.offer_warm(
+            improved = self.cache.offer_warm(
                 workload.family_key, best["cost"], best["mapping"]
             )
+            if improved and self._journal is not None:
+                self._journal.warm(
+                    workload.family_key, best["cost"], best["mapping"]
+                )
         self._publish(
             job,
             {

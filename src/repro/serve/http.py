@@ -330,6 +330,7 @@ async def run_server(
     cache_size: int,
     max_queue: int,
     max_jobs: int = 4096,
+    state_dir: Optional[str] = None,
 ) -> None:
     """Build engine + HTTP edge and serve until signalled."""
     engine = ServeEngine(
@@ -337,6 +338,7 @@ async def run_server(
         cache_size=cache_size,
         max_queue=max_queue,
         max_jobs=max_jobs,
+        state_dir=state_dir,
     )
     server = ServeHTTP(engine, host=host, port=port)
     await server.serve_forever()
@@ -349,18 +351,26 @@ def serve_main(
     cache_size: int = 1024,
     max_queue: int = 256,
     max_jobs: int = 4096,
+    state_dir: Optional[str] = None,
 ) -> int:
     """Blocking entry point of ``python -m repro serve``."""
+    durable = f", state {state_dir}" if state_dir else ""
     print(
         f"repro serve: listening on http://{host}:{port} "
         f"({workers} workers, cache {cache_size}, queue {max_queue}, "
-        f"jobs {max_jobs})",
+        f"jobs {max_jobs}{durable})",
         flush=True,
     )
     try:
         asyncio.run(
             run_server(
-                host, port, workers, cache_size, max_queue, max_jobs
+                host,
+                port,
+                workers,
+                cache_size,
+                max_queue,
+                max_jobs,
+                state_dir,
             )
         )
     except KeyboardInterrupt:

@@ -269,6 +269,30 @@ class JobSpec:
         return self.explorer["name"] in EXACT_EXPLORERS
 
 
+def spec_payload(spec: JobSpec) -> Dict[str, object]:
+    """A spec back in submitted-payload form (journal round-trip).
+
+    ``JobSpec.from_payload(spec_payload(s))`` rebuilds an identical
+    spec — every field is already normalized and JSON-shaped — which
+    is what lets a recovering daemon re-enqueue an interrupted job
+    with the same job key and the same canonical result bytes.
+    """
+    payload: Dict[str, object] = {
+        "space": dict(spec.space),
+        "explorer": dict(spec.explorer),
+        "warm_start": spec.warm_start,
+        "lineage_size": spec.lineage_size,
+        "share_incumbent": spec.share_incumbent,
+        "priority": spec.priority,
+        "time_budget": spec.time_budget,
+        "use_cache": spec.use_cache,
+        "warm_cache": spec.warm_cache,
+    }
+    if spec.selection is not None:
+        payload["selection"] = dict(spec.selection)
+    return payload
+
+
 def build_explorer(config: Dict[str, object]) -> Explorer:
     """The live explorer of one normalized explorer config."""
     name = config["name"]
@@ -548,6 +572,17 @@ def canonical_selection(selection_record: Dict[str, object]) -> str:
 TERMINAL_STATES = frozenset({"done", "failed", "timeout"})
 
 _JOB_IDS = itertools.count(1)
+
+
+def ensure_job_ids_above(minimum: int) -> None:
+    """Advance the job-id counter past ``minimum``.
+
+    Called by a recovering engine after journal replay so fresh ids
+    never collide with the recovered ones it is about to re-enqueue.
+    """
+    global _JOB_IDS
+    current = next(_JOB_IDS)
+    _JOB_IDS = itertools.count(max(current, minimum + 1))
 
 
 @dataclass

@@ -1,0 +1,253 @@
+"""Crash-safe persistence of the exploration service (append-only WAL).
+
+A ``--state-dir`` daemon journals its durable facts to one JSON-lines
+file, ``journal.jsonl``, fsync'd per append.  Four record types:
+
+==========  ==========================================================
+``submit``  a job entered the queue: ``{"t", "job", "spec"}`` where
+            ``spec`` is the normalized payload — enough to rebuild
+            the exact same job (same key, same canonical bytes)
+``end``     the job reached a terminal state: ``{"t", "job", "state"}``
+``cache``   an exact-store entry: ``{"t", "key", "text"}`` with the
+            canonical result text **verbatim** — recovery re-installs
+            these bytes, preserving the byte-identity contract
+``warm``    a warm-adjacent incumbent: ``{"t", "family", "cost",
+            "mapping"}``
+==========  ==========================================================
+
+Recovery (:func:`replay`) is tolerant of a torn tail: a SIGKILL can
+land mid-``write``, so replay stops at the first line that is not
+complete valid JSON and reports ``torn=True`` — everything before the
+tear was fsync'd and is trusted, everything after it never happened.
+A job with a ``submit`` but no ``end`` was in flight when the daemon
+died; the engine re-enqueues it under its original id on boot.
+
+Boot then **compacts**: the surviving cache/warm facts are rewritten
+to a fresh journal (tmp + fsync + rename, atomic on POSIX), dropping
+ended submissions and the torn tail so the file does not grow with
+daemon lifetime.  Pending jobs are *not* copied — re-submitting them
+journals a fresh ``submit`` record in the compacted file.
+
+Fault injection: :func:`Journal.append` consults
+:func:`repro.faults.journal_tear`, which (under a test-only plan)
+truncates one append to a byte prefix and kills the journal — the
+chaos suite's way of manufacturing torn tails deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, TextIO, Tuple
+
+from .. import faults
+
+#: The journal file inside a daemon's ``--state-dir``.
+JOURNAL_NAME = "journal.jsonl"
+
+_RECORD_TYPES = frozenset({"submit", "end", "cache", "warm"})
+
+
+def journal_path(state_dir: str) -> str:
+    """The journal's path inside ``state_dir``."""
+    return os.path.join(state_dir, JOURNAL_NAME)
+
+
+def _encode(record: Dict[str, object]) -> bytes:
+    line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return (line + "\n").encode("utf-8")
+
+
+class Journal:
+    """Append-only writer: one fsync'd JSON line per durable fact.
+
+    A journal that suffered an injected tear goes *dead*: subsequent
+    appends are dropped silently, modeling a daemon whose disk state
+    froze at the kill point while the process (briefly) lived on.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file: Optional[TextIO] = open(path, "ab")
+        self._appends = 0
+        self._dead = False
+
+    def append(self, record: Dict[str, object]) -> None:
+        if self._file is None or self._dead:
+            return
+        data = _encode(record)
+        tear = faults.journal_tear(self._appends)
+        self._appends += 1
+        if tear is not None:
+            cut = max(1, int(len(data) * tear))
+            self._file.write(data[: min(cut, len(data) - 1)])
+            self._file.flush()
+            self._dead = True
+            return
+        self._file.write(data)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def submit(self, job_id: str, spec_payload: Dict[str, object]) -> None:
+        self.append({"t": "submit", "job": job_id, "spec": spec_payload})
+
+    def end(self, job_id: str, state: str) -> None:
+        self.append({"t": "end", "job": job_id, "state": state})
+
+    def cache(self, key: str, text: str) -> None:
+        self.append({"t": "cache", "key": key, "text": text})
+
+    def warm(
+        self, family: str, cost: float, mapping: Dict[str, str]
+    ) -> None:
+        self.append(
+            {"t": "warm", "family": family, "cost": cost,
+             "mapping": mapping}
+        )
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+@dataclass
+class JournalReplay:
+    """Everything a booting daemon recovers from its journal."""
+
+    #: job_key -> canonical result text, oldest first (LRU seeding).
+    cache_entries: "OrderedDict[str, str]" = field(
+        default_factory=OrderedDict
+    )
+    #: family_key -> (best cost, mapping payload).
+    warm_entries: Dict[str, Tuple[float, Dict[str, str]]] = field(
+        default_factory=dict
+    )
+    #: job_id -> spec payload for submitted-but-never-ended jobs,
+    #: in submission order.
+    pending: "OrderedDict[str, Dict[str, object]]" = field(
+        default_factory=OrderedDict
+    )
+    #: Largest numeric suffix among journaled job ids (0 if none) —
+    #: the booting engine bumps its id counter past this so recovered
+    #: and fresh ids never collide.
+    max_job_number: int = 0
+    #: Whether replay stopped at a torn (incomplete) tail line.
+    torn: bool = False
+    #: Complete records successfully replayed.
+    records: int = 0
+
+
+def _job_number(job_id: object) -> int:
+    if isinstance(job_id, str) and job_id.startswith("job-"):
+        try:
+            return int(job_id[len("job-"):])
+        except ValueError:
+            return 0
+    return 0
+
+
+def replay(path: str) -> JournalReplay:
+    """Replay a journal, stopping at the first torn line.
+
+    Never raises on corrupt content: the tail past the first
+    unparseable or schema-invalid line is simply not trusted (the
+    fsync barrier guarantees every *complete* line before it is).
+    """
+    out = JournalReplay()
+    if not os.path.exists(path):
+        return out
+    with open(path, "rb") as handle:
+        for raw in handle:
+            if not raw.endswith(b"\n"):
+                out.torn = True
+                break
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                out.torn = True
+                break
+            if not isinstance(record, dict):
+                out.torn = True
+                break
+            kind = record.get("t")
+            if kind not in _RECORD_TYPES:
+                out.torn = True
+                break
+            out.records += 1
+            if kind == "submit":
+                job_id, spec = record.get("job"), record.get("spec")
+                if isinstance(job_id, str) and isinstance(spec, dict):
+                    out.pending[job_id] = spec
+                    out.max_job_number = max(
+                        out.max_job_number, _job_number(job_id)
+                    )
+            elif kind == "end":
+                job_id = record.get("job")
+                out.pending.pop(job_id, None)
+                out.max_job_number = max(
+                    out.max_job_number, _job_number(job_id)
+                )
+            elif kind == "cache":
+                key, text = record.get("key"), record.get("text")
+                if isinstance(key, str) and isinstance(text, str):
+                    out.cache_entries[key] = text
+                    out.cache_entries.move_to_end(key)
+            else:  # warm
+                family = record.get("family")
+                cost = record.get("cost")
+                mapping = record.get("mapping")
+                if (
+                    isinstance(family, str)
+                    and isinstance(cost, (int, float))
+                    and isinstance(mapping, dict)
+                ):
+                    held = out.warm_entries.get(family)
+                    if held is None or cost < held[0]:
+                        out.warm_entries[family] = (cost, mapping)
+    return out
+
+
+def compact(path: str, state: JournalReplay) -> None:
+    """Atomically rewrite the journal to just the surviving facts.
+
+    Cache and warm records are carried over; ended submissions and
+    any torn tail are dropped.  Pending jobs are intentionally *not*
+    written — the engine re-submits them on boot, which journals them
+    afresh into this compacted file.
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=".journal-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            for key, text in state.cache_entries.items():
+                handle.write(
+                    _encode({"t": "cache", "key": key, "text": text})
+                )
+            for family, (cost, mapping) in sorted(
+                state.warm_entries.items()
+            ):
+                handle.write(
+                    _encode(
+                        {
+                            "t": "warm",
+                            "family": family,
+                            "cost": cost,
+                            "mapping": mapping,
+                        }
+                    )
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

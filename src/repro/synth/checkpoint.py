@@ -1,0 +1,957 @@
+"""Checkpoint/resume for in-flight branch-and-bound searches.
+
+A multi-minute proof search that dies at 99% used to restart from
+node one.  This module serializes the *live* search state of a
+:class:`~repro.synth.explorer.BranchBoundExplorer` — incumbent, proof
+floor, node/evaluation counts, and the open frontier — to a versioned
+JSON blob, and drives checkpoint-capable twins of the three search
+frontiers that can resume from one.
+
+The open frontier serializes as **decision paths** (PR 5's
+:class:`~repro.synth.state.PathTrail` snapshot form): a search node is
+its ``(unit, target)`` assignments from the root, nothing more.  That
+works because the integer cost kernel makes every aggregate
+order-independent and pool elections are pure functions of the
+committed loads — a node restored by delta replay reads byte-identical
+bounds and feasibility however the search got there.  No evaluator
+state, Fenwick pool, or numpy array ever touches disk.
+
+Equivalence contract (property-tested against the exhaustive oracle):
+
+* With no resume, a checkpoint-driven search returns byte-identical
+  results — same best mapping, proven cost, node and evaluation
+  counts — as the plain recursive/heap drivers in ``explorer.py``.
+* A search killed by its budget at an *arbitrary* node, then resumed
+  from the emitted checkpoint, reaches the same proven optimum as an
+  uninterrupted run, and the resumed run's final node count equals the
+  uninterrupted one's (node budgets are **totals across segments**:
+  the clock resumes from the recorded count).
+
+The depth-first and LDS drivers replay the recursive control flow with
+an explicit stack whose entries are either open *nodes* or resumable
+*sibling groups* — a group re-applies the recursion's loop-time
+incumbent checks when it is popped, not when it was pushed, which is
+what keeps node counts identical when an earlier sibling's subtree
+improves the incumbent in between.
+
+What is **not** byte-identical after a resume: provenance strings
+(a truncated segment reports itself truncated) and wall-clock timing.
+Shared-incumbent runs checkpoint the fleet floor they last saw, but
+their node counts are timing-dependent with or without checkpoints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SynthesisError
+from .mapping import Mapping, SynthesisProblem, Target
+from .ordering import STRONG_BRANCH_DEPTH, probe_targets, strong_branch
+from .state import PathTrail
+
+#: Blob format version.  Bump on any change to the payload shape; a
+#: mismatched resume is refused, never misread.
+CHECKPOINT_VERSION = 1
+
+_INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Encoding helpers (JSON-safe targets, paths, infinities)
+# ----------------------------------------------------------------------
+def _encode_target(target: Target) -> str:
+    return "hw" if target.is_hardware else f"sw:{target.processor}"
+
+
+def _decode_target(text: str) -> Target:
+    if text == "hw":
+        return Target.hw()
+    if text.startswith("sw:"):
+        return Target.sw(int(text[3:]))
+    raise SynthesisError(f"unknown target encoding {text!r}")
+
+
+def _encode_path(path: Tuple[Tuple[str, Target], ...]) -> List[List[str]]:
+    return [[unit, _encode_target(target)] for unit, target in path]
+
+
+def _decode_path(rows: List[List[str]]) -> Tuple[Tuple[str, Target], ...]:
+    return tuple((unit, _decode_target(text)) for unit, text in rows)
+
+
+def _encode_num(value: Optional[float]):
+    """JSON-safe number: ``inf`` crosses as the string ``"inf"``."""
+    if value is None:
+        return None
+    if value == _INF:
+        return "inf"
+    if value == -_INF:
+        return "-inf"
+    return value
+
+
+def _decode_num(value) -> Optional[float]:
+    if value is None:
+        return None
+    if value == "inf":
+        return _INF
+    if value == "-inf":
+        return -_INF
+    return float(value)
+
+
+def problem_fingerprint(problem: SynthesisProblem) -> str:
+    """A stable content hash of everything the search depends on.
+
+    Resuming a checkpoint against a *different* problem would silently
+    produce garbage (paths replayed onto the wrong units); the
+    fingerprint turns that into a refusal.  Covers the unit set, the
+    per-unit implementation options, the architecture envelope, the
+    fixed targets, and the exclusion semantics.
+    """
+    payload = {
+        "name": problem.name,
+        "units": list(problem.units),
+        "fixed": {
+            unit: _encode_target(target)
+            for unit, target in sorted(problem.fixed.items())
+        },
+        "architecture": repr(problem.architecture),
+        "entries": {
+            unit: repr(problem.entry(unit)) for unit in problem.units
+        },
+        "use_exclusion": problem.use_exclusion,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The checkpoint blob
+# ----------------------------------------------------------------------
+@dataclass
+class SearchCheckpoint:
+    """One serialized moment of an in-flight (or finished) search."""
+
+    frontier: str
+    ordering: str
+    fingerprint: str
+    nodes: int
+    evaluations: int
+    best_cost: float
+    best_mapping: Optional[Dict[str, str]]
+    warm_started: bool
+    shared_floor: float
+    complete: bool
+    frontier_state: Dict[str, object]
+    version: int = CHECKPOINT_VERSION
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "frontier": self.frontier,
+            "ordering": self.ordering,
+            "fingerprint": self.fingerprint,
+            "nodes": self.nodes,
+            "evaluations": self.evaluations,
+            "best_cost": _encode_num(self.best_cost),
+            "best_mapping": self.best_mapping,
+            "warm_started": self.warm_started,
+            "shared_floor": _encode_num(self.shared_floor),
+            "complete": self.complete,
+            "frontier_state": self.frontier_state,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "SearchCheckpoint":
+        if not isinstance(payload, dict):
+            raise SynthesisError("checkpoint payload must be an object")
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise SynthesisError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        return cls(
+            frontier=payload["frontier"],
+            ordering=payload["ordering"],
+            fingerprint=payload["fingerprint"],
+            nodes=int(payload["nodes"]),
+            evaluations=int(payload["evaluations"]),
+            best_cost=_decode_num(payload["best_cost"]),
+            best_mapping=payload["best_mapping"],
+            warm_started=bool(payload["warm_started"]),
+            shared_floor=_decode_num(payload["shared_floor"]),
+            complete=bool(payload["complete"]),
+            frontier_state=payload["frontier_state"],
+            version=version,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SearchCheckpoint":
+        return cls.from_payload(json.loads(text))
+
+    def save(self, path: str) -> None:
+        """Atomic write: tmp file + fsync + rename.
+
+        A crash mid-save leaves either the old checkpoint or the new
+        one, never a torn blob — resuming from a half-written
+        checkpoint is the one failure mode this layer must not have.
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(
+            prefix=".checkpoint-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(self.to_json() + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    @classmethod
+    def load(cls, path: str) -> "SearchCheckpoint":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+class Checkpointer:
+    """Checkpoint policy + sink handed to ``explore(checkpoint=)``.
+
+    Parameters
+    ----------
+    path:
+        Atomic save target of every emitted checkpoint (optional).
+    every_nodes:
+        Emit a checkpoint each time this many *new* nodes have been
+        expanded since the last emission (0 = only on completion and
+        budget exhaustion, which are always emitted).
+    sink:
+        Callback receiving every emitted :class:`SearchCheckpoint`
+        (tests use this to capture mid-flight snapshots).
+    resume:
+        A :class:`SearchCheckpoint` (or a path to one) to resume
+        from.  The search continues exactly where the checkpoint
+        stopped; node budgets count the recorded nodes, so a budget
+        is a total across segments.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        every_nodes: int = 0,
+        sink: Optional[Callable[[SearchCheckpoint], None]] = None,
+        resume: Optional[object] = None,
+    ) -> None:
+        if every_nodes < 0:
+            raise SynthesisError("every_nodes must be >= 0")
+        if isinstance(resume, (str, os.PathLike)):
+            resume = SearchCheckpoint.load(os.fspath(resume))
+        if resume is not None and not isinstance(resume, SearchCheckpoint):
+            raise SynthesisError(
+                "resume must be a SearchCheckpoint or a path to one"
+            )
+        self.path = path
+        self.every_nodes = every_nodes
+        self.sink = sink
+        self.resume = resume
+        #: The most recently emitted checkpoint (or the resume source
+        #: until the first emission).
+        self.latest: Optional[SearchCheckpoint] = resume
+        self._last_nodes = resume.nodes if resume is not None else 0
+
+    def due(self, nodes: int) -> bool:
+        return (
+            self.every_nodes > 0
+            and nodes - self._last_nodes >= self.every_nodes
+        )
+
+    def emit(self, checkpoint: SearchCheckpoint) -> None:
+        self.latest = checkpoint
+        self._last_nodes = checkpoint.nodes
+        if self.sink is not None:
+            self.sink(checkpoint)
+        if self.path is not None:
+            checkpoint.save(self.path)
+
+
+# ----------------------------------------------------------------------
+# Driver scaffolding
+# ----------------------------------------------------------------------
+@dataclass
+class _Search:
+    """The live search context shared by the three drivers."""
+
+    explorer: object
+    problem: SynthesisProblem
+    free: List[str]
+    state: object
+    trail: PathTrail
+    clock: object
+    shared: object
+    best: Optional[Mapping]
+    best_cost: float
+    evaluations: int
+    warm_started: bool
+    fingerprint: str
+    adaptive: bool = field(init=False)
+    prune_infeasible: bool = field(init=False)
+    batch_scoring: bool = field(init=False)
+    total: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.adaptive = self.explorer.ordering == "adaptive"
+        self.prune_infeasible = self.state.can_prune_infeasible
+        self.batch_scoring = self.state.backend == "numpy"
+        self.total = len(self.free)
+
+    def offer_leaf(self) -> None:
+        """Evaluate the restored full assignment as a leaf."""
+        self.evaluations += 1
+        feasible, cost = self.state.leaf()
+        if feasible and cost < self.best_cost:
+            self.best, self.best_cost = self.state.to_mapping(), cost
+            if self.shared is not None:
+                self.shared.offer(self.best_cost)
+
+    def limit(self) -> float:
+        floor = self.clock.shared_floor
+        return self.best_cost if self.best_cost < floor else floor
+
+    def snapshot(
+        self,
+        frontier_state: Dict[str, object],
+        nodes: int,
+        complete: bool,
+    ) -> SearchCheckpoint:
+        return SearchCheckpoint(
+            frontier=self.explorer.frontier,
+            ordering=self.explorer.ordering,
+            fingerprint=self.fingerprint,
+            nodes=nodes,
+            evaluations=self.evaluations,
+            best_cost=self.best_cost,
+            best_mapping=(
+                {
+                    unit: _encode_target(target)
+                    for unit, target in sorted(
+                        self.best.assignment.items()
+                    )
+                }
+                if self.best is not None
+                else None
+            ),
+            warm_started=self.warm_started,
+            shared_floor=self.clock.shared_floor,
+            complete=complete,
+            frontier_state=frontier_state,
+        )
+
+
+def _begin(explorer, problem, warm_start, ck: Checkpointer) -> _Search:
+    """Shared prologue: plain search setup + resume reconciliation."""
+    free, state, best, best_cost, clock, shared = explorer._begin_search(
+        problem, warm_start
+    )
+    fingerprint = problem_fingerprint(problem)
+    search = _Search(
+        explorer=explorer,
+        problem=problem,
+        free=free,
+        state=state,
+        trail=PathTrail(state),
+        clock=clock,
+        shared=shared,
+        best=best,
+        best_cost=best_cost,
+        evaluations=0,
+        warm_started=best is not None,
+        fingerprint=fingerprint,
+    )
+    resume = ck.resume
+    if resume is None:
+        return search
+    if resume.frontier != explorer.frontier:
+        raise SynthesisError(
+            f"checkpoint was taken on frontier {resume.frontier!r}, "
+            f"cannot resume on {explorer.frontier!r}"
+        )
+    if resume.ordering != explorer.ordering:
+        raise SynthesisError(
+            f"checkpoint was taken under ordering {resume.ordering!r}, "
+            f"cannot resume under {explorer.ordering!r}"
+        )
+    if resume.fingerprint != fingerprint:
+        raise SynthesisError(
+            f"checkpoint does not belong to problem {problem.name!r} "
+            f"(problem fingerprint mismatch)"
+        )
+    clock.nodes = resume.nodes
+    search.evaluations = resume.evaluations
+    search.warm_started = resume.warm_started
+    if resume.best_cost < search.best_cost:
+        search.best_cost = resume.best_cost
+        search.best = (
+            Mapping(
+                {
+                    unit: _decode_target(text)
+                    for unit, text in resume.best_mapping.items()
+                }
+            )
+            if resume.best_mapping is not None
+            else None
+        )
+        if shared is not None and search.best is not None:
+            shared.offer(search.best_cost)
+    # The recorded floor only ever tightens the live one; min keeps
+    # both segments' pruning thresholds honest.
+    if resume.shared_floor < clock.shared_floor:
+        clock.shared_floor = resume.shared_floor
+    return search
+
+
+def drive(explorer, problem, warm_start, ck: Checkpointer):
+    """Run one checkpointed exploration; the ``explore()`` twin."""
+    search = _begin(explorer, problem, warm_start, ck)
+    if explorer.frontier == "best-first":
+        truncated = _drive_best_first(search, ck)
+    elif explorer.frontier == "lds":
+        truncated = _drive_lds(search, ck)
+    else:
+        truncated = _drive_dfs(search, ck)
+    return explorer._finish_search(
+        problem,
+        search.best,
+        search.best_cost,
+        search.clock,
+        search.evaluations,
+        search.shared,
+        search.warm_started,
+        truncated,
+    )
+
+
+# ----------------------------------------------------------------------
+# Depth-first driver (stack of nodes + resumable sibling groups)
+# ----------------------------------------------------------------------
+# Stack entry shapes (bottom -> top, popped LIFO):
+#   ("node", path, checked, bound, feasible)
+#       An open node to enter: tick, entry checks (skipped when the
+#       parent probe already ``checked`` it), then leaf or expansion.
+#   ("group", path, unit, scored, pos)
+#       A probed sibling set mid-iteration: popping it re-applies the
+#       recursion's loop-time incumbent filter from ``pos`` on, pushes
+#       the next viable child plus its own continuation, and otherwise
+#       ends the group.  This is what keeps incumbent improvements made
+#       *inside* an earlier sibling's subtree visible to later siblings
+#       exactly as in the recursive driver.
+
+
+def _encode_dfs_stack(stack) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for entry in stack:
+        if entry[0] == "node":
+            _, path, checked, bound, feasible = entry
+            rows.append(
+                {
+                    "kind": "node",
+                    "path": _encode_path(path),
+                    "checked": checked,
+                    "bound": _encode_num(bound),
+                    "feasible": feasible,
+                }
+            )
+        else:
+            _, path, unit, scored, pos = entry
+            rows.append(
+                {
+                    "kind": "group",
+                    "path": _encode_path(path),
+                    "unit": unit,
+                    "scored": [
+                        [_encode_num(bound), _encode_target(target)]
+                        for bound, target in scored
+                    ],
+                    "pos": pos,
+                }
+            )
+    return rows
+
+
+def _decode_dfs_stack(rows) -> List[tuple]:
+    stack: List[tuple] = []
+    for row in rows:
+        if row["kind"] == "node":
+            stack.append(
+                (
+                    "node",
+                    _decode_path(row["path"]),
+                    bool(row["checked"]),
+                    _decode_num(row["bound"]),
+                    row["feasible"],
+                )
+            )
+        else:
+            stack.append(
+                (
+                    "group",
+                    _decode_path(row["path"]),
+                    row["unit"],
+                    tuple(
+                        (_decode_num(bound), _decode_target(target))
+                        for bound, target in row["scored"]
+                    ),
+                    int(row["pos"]),
+                )
+            )
+    return stack
+
+
+def _probe_children(search: _Search, path) -> Tuple[str, tuple]:
+    """The probed (unit, scored-children) of the restored state."""
+    state, problem = search.state, search.problem
+    assignment = state.assignment
+    if search.adaptive and len(path) < STRONG_BRANCH_DEPTH:
+        undecided = [u for u in search.free if u not in assignment]
+        unit, scored = strong_branch(
+            state, problem, undecided, search.explorer.state_targets
+        )
+    else:
+        unit = next(u for u in search.free if u not in assignment)
+        scored = probe_targets(
+            state,
+            unit,
+            search.explorer.state_targets(problem, unit, state),
+        )
+    return unit, tuple((bound, target) for bound, _i, target in scored)
+
+
+def _push_plain_children(search: _Search, stack, path, unit) -> None:
+    """Push entry-checked children (the incumbent-exists descent)."""
+    state = search.state
+    targets = search.explorer.state_targets(search.problem, unit, state)
+    if search.batch_scoring and search.limit() < _INF:
+        scored = state.score_candidates(unit, targets)
+        children = [
+            (target, bound, feasible)
+            for target, (bound, feasible) in zip(targets, scored)
+        ]
+    else:
+        children = [(target, None, None) for target in targets]
+    for target, bound, feasible in reversed(children):
+        stack.append(
+            ("node", path + ((unit, target),), False, bound, feasible)
+        )
+
+
+def _drive_dfs(search: _Search, ck: Checkpointer) -> bool:
+    from .explorer import _BudgetExceeded
+
+    resume = ck.resume
+    if resume is not None:
+        stack = _decode_dfs_stack(resume.frontier_state["stack"])
+    else:
+        stack = [("node", (), False, None, None)]
+
+    def expand(path, checked, bound, feasible) -> None:
+        state = search.state
+        if search.adaptive:
+            # Mirrors ``recurse_adaptive``: entry checks only when the
+            # parent's probe did not already vet this exact state (the
+            # adaptive entry computes the bound unconditionally);
+            # probing — and hence sibling groups — only while hunting
+            # the first incumbent.
+            if not checked:
+                limit = search.limit()
+                if bound is None:
+                    bound = state.lower_bound()
+                if bound >= limit:
+                    return
+                if search.prune_infeasible:
+                    if feasible is None:
+                        feasible = state.feasible
+                    if not feasible:
+                        return
+            if len(path) == search.total:
+                search.offer_leaf()
+                return
+            if search.best is None:
+                unit, scored = _probe_children(search, path)
+                stack.append(("group", path, unit, scored, 0))
+                return
+            assignment = state.assignment
+            unit = next(u for u in search.free if u not in assignment)
+            _push_plain_children(search, stack, path, unit)
+            return
+        # Mirrors the non-adaptive ``recurse``: the bound is only
+        # read once an incumbent (or fleet floor) exists.
+        limit = search.limit()
+        if limit < _INF:
+            if bound is None:
+                bound = state.lower_bound()
+            if bound >= limit:
+                return
+        if search.prune_infeasible:
+            if feasible is None:
+                feasible = state.feasible
+            if not feasible:
+                return
+        if len(path) == search.total:
+            search.offer_leaf()
+            return
+        _push_plain_children(search, stack, path, search.free[len(path)])
+
+    truncated = False
+    entry = None
+    try:
+        while stack:
+            entry = stack.pop()
+            if entry[0] == "group":
+                _, path, unit, scored, pos = entry
+                floor = search.clock.shared_floor
+                for rank in range(pos, len(scored)):
+                    bound, target = scored[rank]
+                    if bound >= search.best_cost or bound >= floor:
+                        continue
+                    stack.append(("group", path, unit, scored, rank + 1))
+                    stack.append(
+                        (
+                            "node",
+                            path + ((unit, target),),
+                            True,
+                            bound,
+                            None,
+                        )
+                    )
+                    break
+            else:
+                _, path, checked, bound, feasible = entry
+                search.clock.tick()
+                search.trail.restore(path)
+                expand(path, checked, bound, feasible)
+            if ck.due(search.clock.nodes):
+                ck.emit(
+                    search.snapshot(
+                        {"stack": _encode_dfs_stack(stack)},
+                        search.clock.nodes,
+                        complete=False,
+                    )
+                )
+    except _BudgetExceeded:
+        # The in-flight node was counted by tick() but never expanded;
+        # push it back and record the pre-tick count so the resumed
+        # run's total matches an uninterrupted one exactly.
+        truncated = True
+        stack.append(entry)
+        ck.emit(
+            search.snapshot(
+                {"stack": _encode_dfs_stack(stack)},
+                search.clock.nodes - 1,
+                complete=False,
+            )
+        )
+    else:
+        ck.emit(
+            search.snapshot(
+                {"stack": []}, search.clock.nodes, complete=True
+            )
+        )
+    return truncated
+
+
+# ----------------------------------------------------------------------
+# Limited discrepancy driver
+# ----------------------------------------------------------------------
+# Same stack machinery as DFS, with two extra slots: every entry
+# carries its remaining discrepancy allowance, and the frontier state
+# records the pass-wide ``allowance`` / ``limited`` flags that decide
+# whether another widened pass runs.
+#   ("node", path, allowance, bound)
+#   ("group", path, unit, scored, pos, allowance)
+
+
+def _encode_lds_stack(stack) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for entry in stack:
+        if entry[0] == "node":
+            _, path, allowance, bound = entry
+            rows.append(
+                {
+                    "kind": "node",
+                    "path": _encode_path(path),
+                    "allowance": allowance,
+                    "bound": _encode_num(bound),
+                }
+            )
+        else:
+            _, path, unit, scored, pos, allowance = entry
+            rows.append(
+                {
+                    "kind": "group",
+                    "path": _encode_path(path),
+                    "unit": unit,
+                    "scored": [
+                        [_encode_num(bound), _encode_target(target)]
+                        for bound, target in scored
+                    ],
+                    "pos": pos,
+                    "allowance": allowance,
+                }
+            )
+    return rows
+
+
+def _decode_lds_stack(rows) -> List[tuple]:
+    stack: List[tuple] = []
+    for row in rows:
+        if row["kind"] == "node":
+            stack.append(
+                (
+                    "node",
+                    _decode_path(row["path"]),
+                    int(row["allowance"]),
+                    _decode_num(row["bound"]),
+                )
+            )
+        else:
+            stack.append(
+                (
+                    "group",
+                    _decode_path(row["path"]),
+                    row["unit"],
+                    tuple(
+                        (_decode_num(bound), _decode_target(target))
+                        for bound, target in row["scored"]
+                    ),
+                    int(row["pos"]),
+                    int(row["allowance"]),
+                )
+            )
+    return stack
+
+
+def _drive_lds(search: _Search, ck: Checkpointer) -> bool:
+    from .explorer import _BudgetExceeded
+
+    resume = ck.resume
+    if resume is not None:
+        frontier = resume.frontier_state
+        stack = _decode_lds_stack(frontier["stack"])
+        allowance = int(frontier["allowance"])
+        limited = bool(frontier["limited"])
+    else:
+        allowance = 0
+        limited = False
+        stack = [("node", (), allowance, None)]
+
+    def lds_state() -> Dict[str, object]:
+        return {
+            "stack": _encode_lds_stack(stack),
+            "allowance": allowance,
+            "limited": limited,
+        }
+
+    truncated = False
+    entry = None
+    try:
+        while True:
+            while stack:
+                entry = stack.pop()
+                if entry[0] == "group":
+                    _, path, unit, scored, pos, group_allowance = entry
+                    floor = search.clock.shared_floor
+                    for rank in range(pos, len(scored)):
+                        bound, target = scored[rank]
+                        if bound >= search.best_cost or bound >= floor:
+                            # Bound-pruned children are excluded for
+                            # good: no allowance spent, no wider pass
+                            # forced.
+                            continue
+                        if rank > group_allowance:
+                            limited = True
+                            break
+                        stack.append(
+                            (
+                                "group",
+                                path,
+                                unit,
+                                scored,
+                                rank + 1,
+                                group_allowance,
+                            )
+                        )
+                        stack.append(
+                            (
+                                "node",
+                                path + ((unit, target),),
+                                group_allowance - rank,
+                                bound,
+                            )
+                        )
+                        break
+                else:
+                    _, path, node_allowance, bound = entry
+                    search.clock.tick()
+                    search.trail.restore(path)
+                    state = search.state
+                    limit = search.limit()
+                    viable = True
+                    if limit < _INF:
+                        if bound is None:
+                            bound = state.lower_bound()
+                        if bound >= limit:
+                            viable = False
+                    if viable and search.prune_infeasible:
+                        viable = state.feasible
+                    if viable:
+                        if len(path) == search.total:
+                            search.offer_leaf()
+                        else:
+                            unit, scored = _probe_children(search, path)
+                            stack.append(
+                                (
+                                    "group",
+                                    path,
+                                    unit,
+                                    scored,
+                                    0,
+                                    node_allowance,
+                                )
+                            )
+                if ck.due(search.clock.nodes):
+                    ck.emit(
+                        search.snapshot(
+                            lds_state(),
+                            search.clock.nodes,
+                            complete=False,
+                        )
+                    )
+            if not limited:
+                break
+            allowance += 1
+            limited = False
+            stack.append(("node", (), allowance, None))
+    except _BudgetExceeded:
+        truncated = True
+        stack.append(entry)
+        ck.emit(
+            search.snapshot(
+                lds_state(),
+                search.clock.nodes - 1,
+                complete=False,
+            )
+        )
+    else:
+        ck.emit(
+            search.snapshot(
+                lds_state(),
+                search.clock.nodes,
+                complete=True,
+            )
+        )
+    return truncated
+
+
+# ----------------------------------------------------------------------
+# Best-first driver (the heap is already path-shaped)
+# ----------------------------------------------------------------------
+def _encode_heap(heap) -> List[List[object]]:
+    return [
+        [_encode_num(bound), tie, _encode_path(path)]
+        for bound, tie, path in heap
+    ]
+
+
+def _decode_heap(rows) -> List[tuple]:
+    heap = [
+        (_decode_num(bound), int(tie), _decode_path(path))
+        for bound, tie, path in rows
+    ]
+    heapq.heapify(heap)
+    return heap
+
+
+def _drive_best_first(search: _Search, ck: Checkpointer) -> bool:
+    from .explorer import _BudgetExceeded
+
+    state = search.state
+    resume = ck.resume
+    if resume is not None:
+        frontier = resume.frontier_state
+        heap = _decode_heap(frontier["heap"])
+        pushes = int(frontier["pushes"])
+    else:
+        pushes = 0
+        root_bound = (
+            _INF
+            if search.prune_infeasible and not state.feasible
+            else state.lower_bound()
+        )
+        heap = [(root_bound, pushes, ())]
+
+    def bf_state() -> Dict[str, object]:
+        return {"heap": _encode_heap(heap), "pushes": pushes}
+
+    truncated = False
+    popped = None
+    try:
+        while heap:
+            popped = heapq.heappop(heap)
+            bound, _tie, path = popped
+            if bound >= search.limit():
+                # Bound-ordered heap: nothing left can beat the
+                # incumbent, the proof is complete.
+                break
+            search.clock.tick()
+            search.trail.restore(path)
+            if len(path) == search.total:
+                search.offer_leaf()
+            else:
+                unit, scored = _probe_children(search, path)
+                floor = search.clock.shared_floor
+                for child_bound, target in scored:
+                    if (
+                        child_bound >= search.best_cost
+                        or child_bound >= floor
+                    ):
+                        continue
+                    pushes += 1
+                    heapq.heappush(
+                        heap,
+                        (child_bound, pushes, path + ((unit, target),)),
+                    )
+            if ck.due(search.clock.nodes):
+                ck.emit(
+                    search.snapshot(
+                        bf_state(), search.clock.nodes, complete=False
+                    )
+                )
+    except _BudgetExceeded:
+        truncated = True
+        heapq.heappush(heap, popped)
+        ck.emit(
+            search.snapshot(
+                bf_state(), search.clock.nodes - 1, complete=False
+            )
+        )
+    else:
+        ck.emit(
+            search.snapshot(
+                {"heap": [], "pushes": pushes},
+                search.clock.nodes,
+                complete=True,
+            )
+        )
+    return truncated

@@ -73,6 +73,12 @@ class ExplorationResult:
     #: searches can combine proofs (a member that got pruned by a
     #: foreign incumbent still certifies everything below that floor).
     proof_floor: float = float("-inf")
+    #: Worker-crash/evaluator-fault retries this result absorbed on
+    #: its way through a process pool (0 for in-process runs).  Honest
+    #: operational metadata: deliberately *outside* the canonical
+    #: result payload, which stays byte-identical whether or not a
+    #: crash was recovered along the way.
+    retries: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -554,7 +560,21 @@ class BranchBoundExplorer(SearchExplorer):
         self,
         problem: SynthesisProblem,
         warm_start: Optional[Mapping] = None,
+        checkpoint=None,
     ) -> ExplorationResult:
+        """Search the mapping space of ``problem``.
+
+        ``checkpoint`` is an optional
+        :class:`~repro.synth.checkpoint.Checkpointer`: the search then
+        runs on the checkpointable stack drivers — byte-identical
+        results and node counts — emitting resumable snapshots
+        periodically and on budget exhaustion, and resuming from
+        ``checkpoint.resume`` when set (see ``synth/checkpoint.py``).
+        """
+        if checkpoint is not None:
+            from .checkpoint import drive
+
+            return drive(self, problem, warm_start, checkpoint)
         if self.frontier == "best-first":
             return self._explore_best_first(problem, warm_start)
         if self.frontier == "lds":

@@ -435,6 +435,7 @@ def explore_space(
     lineage_size: Optional[int] = None,
     share_incumbent: bool = False,
     frontier: str = "dfs",
+    max_retries: int = 0,
 ) -> SpaceExploration:
     """Explore every consistent selection of a variant space.
 
@@ -469,6 +470,12 @@ def explore_space(
     :class:`~repro.synth.explorer.BranchBoundExplorer`); it is ignored
     when an explicit ``explorer`` is passed — configure that explorer
     directly instead.
+
+    ``max_retries`` re-dispatches a lineage whose worker process
+    crashed (up to that many times per lineage, with capped
+    exponential backoff) instead of aborting the whole run — results
+    stay byte-identical because lineages are pure functions of the
+    space; see :class:`~repro.synth.parallel.ParallelSpaceExplorer`.
     """
     from .parallel import DEFAULT_LINEAGE_SIZE, ParallelSpaceExplorer
 
@@ -487,6 +494,7 @@ def explore_space(
         lineage_size=size,
         warm_start=warm_start,
         share_incumbent=share_incumbent,
+        max_retries=max_retries,
     )
     return runner.explore(problem_family, space)
 

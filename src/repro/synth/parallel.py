@@ -56,10 +56,15 @@ its traceback and re-raised in the parent as a
 
 from __future__ import annotations
 
+import collections
 import copy
+import heapq
 import multiprocessing
 import queue as queue_module
+from multiprocessing import connection as mp_connection
+import random
 import sys
+import time
 import traceback
 from dataclasses import dataclass
 from typing import (
@@ -71,6 +76,7 @@ from typing import (
     Tuple,
 )
 
+from .. import faults
 from ..errors import SynthesisError
 from ..variants.variant_space import VariantSpace
 from .explorer import (
@@ -410,43 +416,272 @@ def _apply_indexed(packed):
         return index, detail, None
 
 
+def _supervised_worker(
+    worker_id, initializer, initargs, worker_fn, conn
+) -> None:
+    """Resident worker loop of the crash-tolerant supervisor.
+
+    Pulls ``(index, attempt, payload)`` tasks from its *private* duplex
+    pipe (``None`` = shut down), runs the fault-injection hook and then
+    the worker function, and reports ``(worker_id, index, attempt,
+    error, result)`` on the same pipe.  Every exception — including an
+    injected one — becomes an error report; a hard death (``os._exit``,
+    segfault, OOM kill) is detected by the parent via process liveness
+    instead.
+
+    The pipe is deliberately a raw :func:`multiprocessing.Pipe`, not a
+    ``multiprocessing.Queue``: a queue's shared write lock is held by a
+    background feeder thread, so a worker dying at the wrong instant
+    leaves the lock acquired forever and deadlocks every *surviving*
+    worker's result delivery.  With one private pipe per worker —
+    written from the worker's main thread, no feeder, no shared lock —
+    a crash can only ever break the crashed worker's own channel, which
+    the parent observes as EOF and reaps.
+    """
+    initializer(*initargs)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        index, attempt, payload = task
+        try:
+            faults.on_pool_task(index, attempt)
+            _, error, result = worker_fn(payload)
+        except Exception as exc:
+            error = (
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+            )
+            result = None
+        conn.send((worker_id, index, attempt, error, result))
+
+
+def _retry_delay(
+    attempt: int, backoff: float, cap: float, rng: random.Random
+) -> float:
+    """Capped exponential backoff with deterministic seeded jitter."""
+    return min(cap, backoff * (2.0 ** attempt)) * (0.5 + rng.random())
+
+
+def _run_supervised(
+    worker_fn,
+    initializer,
+    initargs,
+    payloads: Sequence,
+    jobs: int,
+    ctx,
+    max_retries: int,
+    retry_backoff: float,
+    retry_backoff_cap: float,
+    retry_seed: int,
+    error_for: Callable[[int, str], str],
+) -> Tuple[Dict[int, object], Dict[int, int]]:
+    """Dispatch ``payloads`` over a crash-tolerant process fleet.
+
+    The replacement for ``Pool.imap_unordered``: a ``multiprocessing``
+    pool aborts wholesale when any worker dies hard, so recovery needs
+    manually supervised processes.  Each worker gets a *private* duplex
+    pipe — the parent therefore always knows exactly which task a
+    dead worker held (no claim-message race against ``os._exit``) and
+    re-dispatches it to survivors with capped exponential backoff +
+    seeded jitter, up to ``max_retries`` per task.  A task failing
+    beyond its budget (or outliving every worker) raises
+    :class:`SynthesisError` via ``error_for(index, detail)``.
+
+    No channel is shared between workers (see
+    :func:`_supervised_worker`), so one worker's death — at any instant
+    — cannot wedge another worker's result delivery.
+
+    Returns ``(results by task index, retry counts by task index)`` —
+    callers merge by index, so scheduling and recovery never reorder
+    results.
+    """
+    n_workers = min(jobs, len(payloads))
+    conns: Dict[int, object] = {}
+    workers: Dict[int, object] = {}
+    for wid in range(n_workers):
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_supervised_worker,
+            args=(wid, initializer, initargs, worker_fn, child_conn),
+        )
+        process.daemon = True
+        process.start()
+        child_conn.close()
+        conns[wid] = parent_conn
+        workers[wid] = process
+
+    pending = set(range(len(payloads)))
+    collected: Dict[int, object] = {}
+    retries: Dict[int, int] = {}
+    busy: Dict[int, Tuple[int, int]] = {}
+    idle = collections.deque(sorted(workers))
+    ready = collections.deque((i, 0) for i in range(len(payloads)))
+    delayed: List[Tuple[float, int, int]] = []
+    rng = random.Random(retry_seed)
+
+    def fail_task(index: int, attempt: int, detail: str) -> None:
+        if attempt >= max_retries:
+            raise SynthesisError(error_for(index, detail))
+        retries[index] = attempt + 1
+        delay = _retry_delay(
+            attempt, retry_backoff, retry_backoff_cap, rng
+        )
+        heapq.heappush(
+            delayed, (time.monotonic() + delay, index, attempt + 1)
+        )
+
+    def handle(message) -> None:
+        wid, index, attempt, error, result = message
+        if busy.get(wid) == (index, attempt):
+            del busy[wid]
+            idle.append(wid)
+        if index not in pending:
+            return
+        if error is None:
+            collected[index] = result
+            pending.discard(index)
+        else:
+            fail_task(index, attempt, error)
+
+    def reap_dead() -> None:
+        dead = [w for w, p in workers.items() if not p.is_alive()]
+        if not dead:
+            return
+        # A dying worker may have flushed its final report before the
+        # end: drain everything in flight first, so an already-done
+        # task is never retried as a phantom crash.
+        for conn in conns.values():
+            try:
+                while conn.poll(0):
+                    handle(conn.recv())
+            except (EOFError, OSError):
+                pass
+        for wid in dead:
+            process = workers.pop(wid)
+            conns.pop(wid).close()
+            if wid in idle:
+                idle.remove(wid)
+            claim = busy.pop(wid, None)
+            if claim is not None:
+                index, attempt = claim
+                if index in pending:
+                    fail_task(
+                        index,
+                        attempt,
+                        f"worker process died while running this "
+                        f"task (exit code {process.exitcode})",
+                    )
+        if not workers and pending:
+            raise SynthesisError(
+                error_for(
+                    min(pending),
+                    f"every worker process died ({n_workers} started, "
+                    f"0 left) with tasks outstanding",
+                )
+            )
+
+    try:
+        while pending:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, index, attempt = heapq.heappop(delayed)
+                ready.append((index, attempt))
+            while idle and ready:
+                wid = idle.popleft()
+                index, attempt = ready.popleft()
+                busy[wid] = (index, attempt)
+                try:
+                    conns[wid].send(
+                        (index, attempt, payloads[index])
+                    )
+                except (BrokenPipeError, OSError):
+                    # The worker died between dispatches; the claim
+                    # stays on it and reap_dead fails the task over.
+                    pass
+            ready_conns = mp_connection.wait(
+                list(conns.values()), timeout=0.05
+            )
+            saw_eof = not ready_conns
+            for conn in ready_conns:
+                try:
+                    handle(conn.recv())
+                except (EOFError, OSError):
+                    # EOF = that worker died; its pipe stays readable
+                    # forever, so reap it now rather than spin.
+                    saw_eof = True
+            if saw_eof:
+                reap_dead()
+    finally:
+        for wid, process in workers.items():
+            if process.is_alive():
+                try:
+                    conns[wid].send(None)
+                except (BrokenPipeError, OSError, ValueError):
+                    pass
+        for process in workers.values():
+            process.join(timeout=1.0)
+        for process in workers.values():
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for conn in conns.values():
+            conn.close()
+    return collected, retries
+
+
 def parallel_map(
     fn: Callable,
     items: Sequence,
     jobs: int = 1,
     mp_context: Optional[str] = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.05,
+    retry_backoff_cap: float = 1.0,
+    retry_seed: int = 0,
 ):
-    """Order-preserving process map with worker-crash surfacing.
+    """Order-preserving process map with worker-crash recovery.
 
     ``fn`` must be picklable (a module-level callable or a
     ``functools.partial`` of one); it is shipped once per worker via
     the pool initializer, so a closed-over library/explorer is not
     re-pickled per item.  Results stream back unordered and are merged
-    by item index, so the output order never depends on scheduling.  A
-    worker exception is re-raised in the parent as
-    :class:`SynthesisError` carrying the worker traceback.
+    by item index, so the output order never depends on scheduling.
+
+    ``max_retries`` re-dispatches a failed item — a worker exception
+    *or* a hard worker death — up to that many times per item, with
+    ``retry_backoff``-seconds capped exponential backoff and
+    deterministic ``retry_seed``-keyed jitter.  A failure beyond the
+    budget is re-raised in the parent as :class:`SynthesisError`
+    naming the item and carrying the worker traceback (or the dead
+    worker's exit code).  Retries only apply to the pool path: with
+    ``jobs=1`` the map runs in-process, where an exception is the
+    caller's own.
     """
     if jobs < 1:
         raise SynthesisError("jobs must be >= 1")
+    if max_retries < 0:
+        raise SynthesisError("max_retries must be >= 0")
     items = list(items)
     if jobs == 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    ctx = _mp_context(mp_context)
-    collected: Dict[int, object] = {}
-    with ctx.Pool(
-        processes=min(jobs, len(items)),
+    collected, _retries = _run_supervised(
+        worker_fn=_apply_indexed,
         initializer=_init_map_worker,
         initargs=(fn,),
-    ) as pool:
-        for index, error, result in pool.imap_unordered(
-            _apply_indexed, list(enumerate(items))
-        ):
-            if error is not None:
-                pool.terminate()
-                raise SynthesisError(
-                    f"parallel worker failed on item {index}: {error}"
-                )
-            collected[index] = result
+        payloads=list(enumerate(items)),
+        jobs=jobs,
+        ctx=_mp_context(mp_context),
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+        retry_backoff_cap=retry_backoff_cap,
+        retry_seed=retry_seed,
+        error_for=lambda index, detail: (
+            f"parallel worker failed on item {index}: {detail}"
+        ),
+    )
     return [collected[index] for index in range(len(items))]
 
 
@@ -488,6 +723,17 @@ class ParallelSpaceExplorer:
         order is deterministic, and lineages stay the unit of work.
     mp_context:
         Multiprocessing start method (default: ``fork`` if available).
+    max_retries:
+        Re-dispatch a lineage whose worker crashed (hard death or
+        evaluator exception) up to this many times, with
+        ``retry_backoff``-seconds capped exponential backoff and
+        deterministic ``retry_seed``-keyed jitter.  Lineages are pure
+        functions of the space, so a re-run returns byte-identical
+        results and the lineage-order merge keeps the output unchanged
+        at any jobs count; recovered retry counts are recorded on each
+        :class:`~repro.synth.explorer.ExplorationResult` (``retries``)
+        — honest provenance *outside* the canonical result payload.
+        Crashes beyond the budget still raise, naming the shard.
     """
 
     def __init__(
@@ -500,11 +746,17 @@ class ParallelSpaceExplorer:
         frontier: str = "dfs",
         mp_context: Optional[str] = None,
         backend: Optional[str] = None,
+        max_retries: int = 0,
+        retry_backoff: float = 0.05,
+        retry_backoff_cap: float = 1.0,
+        retry_seed: int = 0,
     ) -> None:
         if jobs < 1:
             raise SynthesisError("jobs must be >= 1")
         if lineage_size < 1:
             raise SynthesisError("lineage_size must be >= 1")
+        if max_retries < 0:
+            raise SynthesisError("max_retries must be >= 0")
         self.explorer = (
             explorer
             if explorer is not None
@@ -517,6 +769,10 @@ class ParallelSpaceExplorer:
         self.warm_start = warm_start
         self.share_incumbent = share_incumbent
         self.mp_context = mp_context
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
+        self.retry_seed = retry_seed
 
     def _sequential_explorer(self) -> Explorer:
         """The in-process explorer, incumbent-wired when sharing.
@@ -598,34 +854,39 @@ class ParallelSpaceExplorer:
         )
 
     def _collect_over_pool(self, worker, payloads, initargs, describe):
-        """Shared pool loop of both task protocols.
+        """Shared supervised-fleet loop of both task protocols.
 
-        Streams results back unordered, surfaces the first worker
-        error as :class:`SynthesisError` naming the lineage, and
-        merges in lineage-index order so scheduling never shows in
-        the output.  With ``share_incumbent`` a :class:`SharedIncumbent`
-        cell rides the pool initializer (shared ctypes must cross by
+        Streams results back unordered, re-dispatches crashed
+        lineages to surviving workers (``max_retries``), surfaces an
+        unrecovered worker error as :class:`SynthesisError` naming the
+        lineage *and its shard*, and merges in lineage-index order so
+        neither scheduling nor recovery ever shows in the output.
+        With ``share_incumbent`` a :class:`SharedIncumbent` cell rides
+        the worker initializer (shared ctypes must cross by
         inheritance) into every worker's explorer.
         """
         ctx = _mp_context(self.mp_context)
         if self.share_incumbent:
             initargs = initargs + (SharedIncumbent(ctx),)
-        collected: Dict[int, List] = {}
-        with ctx.Pool(
-            processes=min(self.jobs, len(payloads)),
+        collected, retries = _run_supervised(
+            worker_fn=worker,
             initializer=_init_space_worker,
             initargs=initargs,
-        ) as pool:
-            for index, error, results in pool.imap_unordered(
-                worker, payloads
-            ):
-                if error is not None:
-                    pool.terminate()
-                    raise SynthesisError(
-                        f"exploration worker failed on lineage {index} "
-                        f"({describe(index)}): {error}"
-                    )
-                collected[index] = results
+            payloads=payloads,
+            jobs=self.jobs,
+            ctx=ctx,
+            max_retries=self.max_retries,
+            retry_backoff=self.retry_backoff,
+            retry_backoff_cap=self.retry_backoff_cap,
+            retry_seed=self.retry_seed,
+            error_for=lambda index, detail: (
+                f"exploration worker failed on lineage {index} "
+                f"({describe(index)}): {detail}"
+            ),
+        )
+        for index, count in retries.items():
+            for sel_result in collected[index]:
+                sel_result.exploration.retries = count
         return [collected[index] for index in range(len(payloads))]
 
 
