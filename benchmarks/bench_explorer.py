@@ -22,6 +22,7 @@ tracking):
 Set ``BENCH_QUICK=1`` for the reduced CI workload.
 """
 
+import math
 import os
 import random
 import threading
@@ -732,6 +733,114 @@ def run_frontier_comparison(completion_budget: int = 500_000):
     return section
 
 
+def scaled_knapsack_problem() -> SynthesisProblem:
+    """The throughput regime scaled to a ~100x larger variant system.
+
+    Same knapsack-hard shape as :func:`throughput_problem` (zero
+    processor cost, tight capacity), but 9 variants x 6-process
+    clusters instead of 6 x 5 — 59 units instead of 35.  Under the
+    *basic* bound (no capacity term) and the static order the
+    best-first frontier on this instance grows past fifteen thousand
+    open entries before any budget a bench can afford, which is the
+    memory regime ``max_open`` exists for.
+    """
+    system = generate_system(
+        seed=3, n_variants=9, cluster_size=6, common_processes=5
+    )
+    units, origins = variant_units(system.vgraph)
+    architecture = ArchitectureTemplate(
+        name="bounded-memory-bench",
+        max_processors=1,
+        processor_cost=0.0,
+        processor_capacity=0.45,
+    )
+    return SynthesisProblem(
+        name="scaled_knapsack",
+        units=units,
+        library=system.library,
+        architecture=architecture,
+        origins=origins,
+    )
+
+
+def _bounded_timed(explorer, problem):
+    """Like :func:`_timed` but also records the bounded-memory gauges."""
+    start = time.perf_counter()
+    result = _explore_in_fresh_stack(explorer, problem)
+    elapsed = time.perf_counter() - start
+    return {
+        "cost": result.cost if result.feasible else None,
+        "optimal": result.optimal,
+        "nodes": result.nodes_explored,
+        "seconds": round(elapsed, 6),
+        "nodes_per_sec": _rate(result.nodes_explored, elapsed),
+        "open_high_water": result.open_high_water,
+        "evicted_subtrees": result.evicted_subtrees,
+        "proof_floor": (
+            round(result.proof_floor, 6)
+            if math.isfinite(result.proof_floor)
+            else None
+        ),
+        "provenance": result.provenance,
+    }
+
+
+def run_bounded_memory(node_budget: int = 20_000, max_open: int = 64):
+    """Graceful degradation under a frontier cap vs frontier blow-up.
+
+    All three runs share the loose-bound configuration (basic bound,
+    static order) on the scaled knapsack instance.  The uncapped
+    best-first search must exhaust the node budget with an open
+    frontier far beyond ``max_open`` — the run a memory-bounded box
+    would OOM on (:mod:`tests.test_memory_pressure` proves that with
+    a real rlimit).  The capped best-first and hybrid runs must
+    *complete* under the same budget with their high-water mark at or
+    below the cap, a feasible answer, and a ``proof_floor`` that
+    honestly brackets it from below despite the evicted subtrees.
+    """
+    problem = scaled_knapsack_problem()
+    base = dict(
+        capacity_bound=False, ordering="static", dynamic_pool=False
+    )
+    section = {
+        "workload": problem.name,
+        "units": len(problem.units),
+        "node_budget": node_budget,
+        "max_open": max_open,
+        "uncapped_best_first": _bounded_timed(
+            BranchBoundExplorer(
+                frontier="best-first", node_budget=node_budget, **base
+            ),
+            problem,
+        ),
+        "capped_best_first": _bounded_timed(
+            BranchBoundExplorer(
+                frontier="best-first",
+                node_budget=node_budget,
+                max_open=max_open,
+                **base,
+            ),
+            problem,
+        ),
+        "capped_hybrid": _bounded_timed(
+            BranchBoundExplorer(
+                frontier="hybrid",
+                node_budget=node_budget,
+                max_open=max_open,
+                **base,
+            ),
+            problem,
+        ),
+    }
+    uncapped = section["uncapped_best_first"]
+    section["frontier_reduction"] = round(
+        uncapped["open_high_water"]
+        / max(1, section["capped_hybrid"]["open_high_water"]),
+        1,
+    )
+    return section
+
+
 def run_incumbent_sharing(lineage_size: int = 2, jobs: int = 2):
     """Fleet-wide incumbent sharing across a space's lineages.
 
@@ -840,6 +949,9 @@ def test_incremental_speedup_recorded(benchmark):
     frontier = run_frontier_comparison(
         completion_budget=200_000 if quick_mode() else 500_000
     )
+    bounded_memory = run_bounded_memory(
+        node_budget=6_000 if quick_mode() else 20_000
+    )
     incumbent_sharing = run_incumbent_sharing()
     dispatch_volume = run_dispatch_volume()
     batch_kernel = run_batch_kernel(
@@ -881,6 +993,9 @@ def test_incremental_speedup_recorded(benchmark):
         # Nodes to prove optimality per search frontier (adaptive
         # ordering + dynamic pool throughout).
         "frontier": frontier,
+        # Bounded-memory degradation: uncapped best-first frontier
+        # blow-up vs capped completion on the scaled knapsack.
+        "bounded_memory": bounded_memory,
         # Fleet-wide incumbent sharing across lineages (opt-in path).
         "incumbent_sharing": incumbent_sharing,
         # Bytes pickled per lineage, index vs task protocol.
@@ -958,6 +1073,33 @@ def test_incremental_speedup_recorded(benchmark):
     write_artifact("explorer_frontier.txt", frontier_text)
     print("\n" + frontier_text)
 
+    bounded_rows = [
+        [
+            mode,
+            str(bounded_memory[mode]["nodes"]),
+            str(bounded_memory[mode]["open_high_water"]),
+            str(bounded_memory[mode]["evicted_subtrees"]),
+            str(bounded_memory[mode]["cost"]),
+            str(bounded_memory[mode]["proof_floor"]),
+        ]
+        for mode in (
+            "uncapped_best_first",
+            "capped_best_first",
+            "capped_hybrid",
+        )
+    ]
+    bounded_text = render_table(
+        ["mode", "nodes", "open high-water", "evicted", "cost", "floor"],
+        bounded_rows,
+        title=(
+            "X3: bounded-memory degradation "
+            f"(max_open {bounded_memory['max_open']}, frontier shrink "
+            f"{bounded_memory['frontier_reduction']}x)"
+        ),
+    )
+    write_artifact("explorer_bounded_memory.txt", bounded_text)
+    print("\n" + bounded_text)
+
     # Same budget, same machine.  The end-to-end search-stack ratio is
     # the acceptance metric; the microbench isolates the evaluator.
     # A None ratio means a side proved optimality in fewer nodes than
@@ -1016,6 +1158,24 @@ def test_incremental_speedup_recorded(benchmark):
     assert frontier["dfs"]["nodes"] == (
         branching_order["adaptive_dynamic"]["nodes"]
     )
+    # Bounded memory: the uncapped frontier must actually blow past
+    # the cap and the budget (that is the regime being defended),
+    # while both capped runs complete under the identical budget with
+    # the high-water mark at the cap and an honest floor below the
+    # feasible answer they return.
+    uncapped = bounded_memory["uncapped_best_first"]
+    assert not uncapped["optimal"]
+    assert uncapped["nodes"] >= bounded_memory["node_budget"]
+    assert uncapped["open_high_water"] > 10 * bounded_memory["max_open"]
+    for mode in ("capped_best_first", "capped_hybrid"):
+        capped = bounded_memory[mode]
+        assert capped["nodes"] < bounded_memory["node_budget"]
+        assert capped["open_high_water"] <= bounded_memory["max_open"]
+        assert capped["evicted_subtrees"] > 0
+        assert capped["cost"] is not None
+        assert capped["proof_floor"] is not None
+        assert capped["proof_floor"] <= capped["cost"] + 1e-6
+        assert "memory-truncated" in capped["provenance"]
     # Fleet pruning may never change the proven-optimal best cost.
     assert incumbent_sharing["best_cost_shared"] == (
         incumbent_sharing["best_cost"]

@@ -10,11 +10,13 @@ Usage::
     python -m repro explore [--space figure2|generated] [--explorer E]
                             [--jobs N] [--lineage-size K]
                             [--ordering static|density|adaptive]
-                            [--frontier dfs|best-first|lds]
+                            [--frontier dfs|best-first|lds|beam|hybrid]
+                            [--max-open N]
                             [--no-dynamic-pool] [--share-incumbent]
     python -m repro serve   [--host H] [--port P] [--workers N]
                             [--cache-size N] [--max-queue N]
                             [--max-jobs N] [--state-dir DIR]
+                            [--max-open-nodes N] [--queue-deadline S]
 """
 
 from __future__ import annotations
@@ -78,6 +80,7 @@ def _make_explorer(
     share_incumbent: bool = False,
     frontier: str = "dfs",
     backend: Optional[str] = None,
+    max_open: Optional[int] = None,
 ):
     from .synth.explorer import (
         AnnealingExplorer,
@@ -98,12 +101,13 @@ def _make_explorer(
             dynamic_pool=dynamic_pool,
             frontier=frontier,
             backend=backend,
+            max_open=max_open,
         ),
         "annealing": lambda: AnnealingExplorer(
             seed=0, iterations=4000, incremental=incremental, backend=backend
         ),
         "portfolio": lambda: PortfolioExplorer(
-            incremental=incremental, backend=backend
+            incremental=incremental, backend=backend, max_open=max_open
         ),
         # --share-incumbent also wires the racing members to each
         # other (annealing publishes, branch-and-bound prunes), not
@@ -152,6 +156,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         share_incumbent=args.share_incumbent,
         frontier=args.frontier,
         backend=None if args.backend == "auto" else args.backend,
+        max_open=args.max_open,
     )
     outcome = explore_space(
         family,
@@ -193,6 +198,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         max_jobs=args.max_jobs,
         state_dir=args.state_dir,
+        max_open_nodes=args.max_open_nodes,
+        queue_deadline=args.queue_deadline,
     )
 
 
@@ -296,15 +303,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     explore.add_argument(
         "--frontier",
-        choices=["dfs", "best-first", "lds"],
+        choices=["dfs", "best-first", "lds", "beam", "hybrid"],
         default="dfs",
         help=(
             "branch-and-bound search frontier: depth-first (default, "
             "byte-identical to previous releases), best-first over "
-            "the incremental lower bound, or limited discrepancy "
-            "search over the probed child ordering; with --explorer "
-            "racing a non-default frontier races a second exact "
-            "member against the DFS one"
+            "the incremental lower bound, limited discrepancy "
+            "search over the probed child ordering, level-by-level "
+            "beam (width-limited only with --max-open), or hybrid "
+            "(one greedy dive for an incumbent, then best-first); "
+            "with --explorer racing a non-default frontier races a "
+            "second exact member against the DFS one"
+        ),
+    )
+    explore.add_argument(
+        "--max-open",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "bounded-memory search: cap the open frontier at N "
+            "entries, deterministically evicting the worst-bound "
+            "entries (best-first/hybrid heap, beam level width); "
+            "evicted subtrees are recorded so proof_floor stays "
+            "honest and provenance says memory-truncated when "
+            "optimality could have been lost"
         ),
     )
     explore.add_argument(
@@ -396,6 +419,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             "recovery: a restarted daemon replays the journal, "
             "restores the exact cache verbatim, and re-enqueues "
             "interrupted jobs (see docs/fault-tolerance.md)"
+        ),
+    )
+    serve.add_argument(
+        "--max-open-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "daemon-wide bounded-memory cap: exact-explorer jobs "
+            "without a tighter explorer.max_open run with their open "
+            "frontier capped at N (capped runs that evict subtrees "
+            "bypass the result cache)"
+        ),
+    )
+    serve.add_argument(
+        "--queue-deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "shed jobs that waited more than S seconds in the queue "
+            "(or longer than their own time_budget) instead of "
+            "running them; shed is a distinct terminal state and "
+            "counts in /stats"
         ),
     )
     serve.set_defaults(run=_cmd_serve)

@@ -22,6 +22,15 @@ A **fault plan** is a seed plus a list of operation records:
 ``{"op": "torn-tail", "scope": "journal", "at": 3, "fraction": 0.5}``
     The journal's 4th append writes only half its bytes and the
     journal goes dead — simulates a crash mid-``write``.
+``{"op": "evict", "scope": "search", "at_node": 50, "keep": 4}``
+    From search node 50 on, force the capped frontiers down to 4 open
+    entries (tighter of this and the explorer's own ``max_open``) —
+    exercises worst-bound eviction and proof-floor accounting without
+    needing a problem big enough to overflow a real cap.
+``{"op": "oom", "scope": "search", "at_node": 50}``
+    Raise :class:`MemoryError` at the frontier hook of node 50 — the
+    search answers by shedding the worst half of the open frontier,
+    exactly its degraded-mode response to real allocation failure.
 
 Plans are activated either in-process via :func:`install` (the module
 global is fork-inherited, so pool workers see it) or through the
@@ -46,8 +55,8 @@ from typing import Dict, List, Optional
 #: Environment variable holding a JSON fault plan (test-only).
 ENV_VAR = "REPRO_FAULTS"
 
-_VALID_OPS = frozenset({"kill", "raise", "delay", "torn-tail"})
-_VALID_SCOPES = frozenset({"pool", "serve", "journal"})
+_VALID_OPS = frozenset({"kill", "raise", "delay", "torn-tail", "evict", "oom"})
+_VALID_SCOPES = frozenset({"pool", "serve", "journal", "search"})
 
 
 class FaultInjected(RuntimeError):
@@ -169,6 +178,42 @@ def on_serve_lineage(lineage_index: int) -> None:
     for op in plan.matching("serve", lineage=lineage_index):
         if op["op"] == "delay":
             time.sleep(float(op.get("seconds", 0.01)))
+
+
+def on_search_frontier(nodes: int) -> Optional[int]:
+    """Search hook, called at every capped-frontier expansion.
+
+    Returns an extra frontier cap to apply at this expansion (the
+    caller takes the tighter of this and its own ``max_open``), or
+    ``None`` to leave the frontier alone.  ``evict`` ops force a cap
+    once the node counter reaches ``at_node`` (absent = always);
+    ``oom`` ops raise :class:`MemoryError` exactly once when the
+    counter reaches or passes ``at_node`` — callers treat that as a
+    real allocation failure and shed frontier mass.
+    """
+    plan = active()
+    if plan is None:
+        return None
+    cap: Optional[int] = None
+    for position, op in enumerate(plan.ops):
+        if op.get("scope") != "search":
+            continue
+        kind = op.get("op")
+        at_node = op.get("at_node")
+        if at_node is not None and nodes < int(at_node):  # type: ignore[arg-type]
+            continue
+        if kind == "evict":
+            keep = int(op.get("keep", 1))  # type: ignore[arg-type]
+            if cap is None or keep < cap:
+                cap = max(1, keep)
+        elif kind == "oom":
+            if position in _fired:
+                continue
+            _fired.add(position)
+            raise MemoryError(
+                f"injected allocation failure at search node {nodes}"
+            )
+    return cap
 
 
 def journal_tear(append_index: int) -> Optional[float]:

@@ -15,8 +15,13 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Job states a poll/stream stops on, mirroring the server's
+#: ``TERMINAL_STATES`` (``shed`` is admission control's refusal).
+TERMINAL = ("done", "failed", "timeout", "shed")
 
 
 class ServeClientError(RuntimeError):
@@ -28,6 +33,16 @@ class ServeClientError(RuntimeError):
         self.body = body
 
 
+def _retry_after_hint(body: str) -> Optional[float]:
+    """The server's ``retry_after`` field of one 503 body, if any."""
+    try:
+        payload = json.loads(body)
+        hint = payload.get("retry_after")
+        return float(hint) if hint is not None else None
+    except (ValueError, AttributeError):
+        return None
+
+
 class ServeClient:
     """Blocking client bound to one ``host:port``.
 
@@ -37,8 +52,13 @@ class ServeClient:
     brief connection blackout, and every request here is idempotent:
     jobs are content-addressed, so resubmitting one after an ambiguous
     failure lands on the exact cache or re-runs to identical bytes.
-    HTTP-level errors (:class:`ServeClientError`) are real answers and
-    are never retried.
+
+    503 load-shed answers (draining, queue full) retry the same way,
+    honoring the server's ``retry_after`` hint when the body carries
+    one (capped at ``retry_backoff_cap``, plus a small deterministic
+    jitter so a rejected herd doesn't resubmit in lockstep).  Other
+    HTTP-level errors (:class:`ServeClientError`) are real answers
+    and are never retried.
     """
 
     def __init__(
@@ -49,6 +69,7 @@ class ServeClient:
         retries: int = 2,
         retry_backoff: float = 0.05,
         retry_backoff_cap: float = 2.0,
+        jitter_seed: int = 0,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -58,6 +79,7 @@ class ServeClient:
         self.retries = retries
         self.retry_backoff = retry_backoff
         self.retry_backoff_cap = retry_backoff_cap
+        self._jitter = random.Random(jitter_seed)
 
     # -- plumbing --------------------------------------------------
     def _request(
@@ -69,17 +91,23 @@ class ServeClient:
     ) -> Tuple[int, str]:
         attempt = 0
         while True:
+            hint = None
             try:
                 return self._request_once(method, path, payload, ok)
             except (OSError, http.client.HTTPException):
                 if attempt >= self.retries:
                     raise
-                delay = min(
-                    self.retry_backoff_cap,
-                    self.retry_backoff * (2.0 ** attempt),
-                )
-                attempt += 1
-                time.sleep(delay)
+            except ServeClientError as exc:
+                if exc.status != 503 or attempt >= self.retries:
+                    raise
+                hint = _retry_after_hint(exc.body)
+            backoff = self.retry_backoff * (2.0 ** attempt)
+            if hint is not None and hint > backoff:
+                backoff = hint
+            delay = min(self.retry_backoff_cap, backoff)
+            delay += delay * 0.1 * self._jitter.random()
+            attempt += 1
+            time.sleep(delay)
 
     def _request_once(
         self,
@@ -134,7 +162,7 @@ class ServeClient:
         deadline = time.monotonic() + timeout
         while True:
             view = self.job(job_id)
-            if view["state"] in ("done", "failed", "timeout"):
+            if view["state"] in TERMINAL:
                 return view
             if time.monotonic() >= deadline:
                 raise TimeoutError(
@@ -176,7 +204,7 @@ class ServeClient:
                     event = json.loads("\n".join(data))
                     yield event
                     data = []
-                    if name in ("done", "failed", "timeout"):
+                    if name in TERMINAL:
                         return
                     name = None
         finally:
@@ -187,6 +215,6 @@ class ServeClient:
     ) -> Dict[str, object]:
         """Submit and wait; returns the terminal status view."""
         view = self.submit(job)
-        if view["state"] in ("done", "failed", "timeout"):
+        if view["state"] in TERMINAL:
             return view
         return self.wait(view["job_id"], timeout=timeout)

@@ -31,14 +31,24 @@ truncated runs are served to their own client but never stored, so
 equal keys always map to the deterministic cold-run bytes regardless
 of daemon history.
 
-Budget granularity: a job's ``time_budget`` is enforced *between*
-lineages — the job flips to ``timeout`` at the first lineage boundary
-past the deadline — and the remaining wall clock is clamped onto the
-per-exploration budget of explorers that accept one (``bnb``,
-``portfolio``).  Explorers without a time budget (``exhaustive``,
-``annealing``) run each lineage to completion, so the timeout can
-overshoot by up to one lineage; small ``lineage_size`` values tighten
-the granularity.
+Budget granularity: a job's ``time_budget`` is enforced *inside*
+lineages — the absolute deadline is threaded onto the explorer
+(every explorer polls it at 256-node granularity) and into
+:func:`~repro.synth.parallel.run_lineage` (which stops between tasks
+and drops a task the deadline interrupted), so a ``timeout`` lands
+within one poll interval of the budget instead of overshooting by up
+to one lineage.  The completed selections become the same
+resumable-partial payload either way.
+
+Admission control: ``max_open_nodes`` clamps every explorer that
+takes a ``max_open`` frontier cap (results that actually evicted
+under an engine-imposed cap are served but never cached — the bytes
+would depend on daemon flags, not the job key); ``queue_deadline``
+sheds jobs that waited in queue longer than that (or whose own
+``time_budget`` already elapsed before a worker picked them up) with
+the distinct terminal state ``shed`` instead of silently running
+them late.  503 rejections carry a ``retry_after`` hint derived from
+queue depth × a completion-time EMA.
 
 The jobs table is bounded: terminal :class:`JobRecord`\\ s beyond
 ``max_jobs`` are evicted oldest-first (their ids then 404), so a
@@ -97,14 +107,27 @@ from .jobs import (
 )
 
 
-def _run_lineage_guarded(family, explorer, warm_start, lineage, seed):
+def _run_lineage_guarded(
+    family, explorer, warm_start, lineage, seed, deadline=None
+):
     """Executor entry point: fault hook, then the real lineage run."""
     faults.on_serve_lineage(lineage.index)
-    return run_lineage(family, explorer, warm_start, lineage, seed)
+    return run_lineage(
+        family, explorer, warm_start, lineage, seed, deadline=deadline
+    )
 
 
 class ServiceUnavailable(SynthesisError):
-    """Submission rejected: draining or queue full (HTTP 503)."""
+    """Submission rejected: draining, shedding, or queue full (503).
+
+    ``retry_after`` is the server's backoff hint in seconds; the HTTP
+    layer surfaces it as a ``Retry-After`` header plus a JSON field,
+    and :class:`~repro.serve.client.ServeClient` honors it.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class UnknownJob(SynthesisError):
@@ -148,6 +171,8 @@ class ServeEngine:
         max_queue: int = 256,
         max_jobs: int = 4096,
         state_dir: Optional[str] = None,
+        max_open_nodes: Optional[int] = None,
+        queue_deadline: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise SynthesisError("workers must be >= 1")
@@ -155,9 +180,15 @@ class ServeEngine:
             raise SynthesisError("max_queue must be >= 1")
         if max_jobs < 1:
             raise SynthesisError("max_jobs must be >= 1")
+        if max_open_nodes is not None and max_open_nodes < 1:
+            raise SynthesisError("max_open_nodes must be >= 1")
+        if queue_deadline is not None and queue_deadline <= 0:
+            raise SynthesisError("queue_deadline must be > 0")
         self.workers = workers
         self.max_queue = max_queue
         self.max_jobs = max_jobs
+        self.max_open_nodes = max_open_nodes
+        self.queue_deadline = queue_deadline
         self.state_dir = state_dir
         self._journal: Optional[persist.Journal] = None
         # Only jobs with a journaled ``submit`` get an ``end`` record
@@ -173,6 +204,15 @@ class ServeEngine:
         self.jobs_completed = 0
         self.jobs_failed = 0
         self.jobs_timed_out = 0
+        self.jobs_shed = 0
+        #: Largest open-frontier size any exploration reported and the
+        #: total subtrees evicted under ``max_open`` caps — the
+        #: ``/stats`` gauges that show how close the fleet runs to its
+        #: memory ceiling and how often degradation actually engages.
+        self.frontier_high_water = 0
+        self.subtrees_evicted = 0
+        #: EMA of completed-job wall seconds, feeding ``retry_after``.
+        self._job_seconds_ema: Optional[float] = None
         # Created lazily from inside the event loop: on Python 3.9
         # asyncio primitives bind their loop at construction time, and
         # the engine may be built on a different thread than it runs.
@@ -269,7 +309,9 @@ class ServeEngine:
         interrupted job under the id its original client was given.
         """
         if self.draining:
-            raise ServiceUnavailable("service is draining; retry later")
+            raise ServiceUnavailable(
+                "service is draining; retry later", retry_after=2.0
+            )
         spec = JobSpec.from_payload(payload)
         workload = build_workload(spec)
         if _job_id is None:
@@ -322,7 +364,10 @@ class ServeEngine:
                     "error": job.error,
                 },
             )
-            raise ServiceUnavailable("job queue is full; retry later")
+            raise ServiceUnavailable(
+                "job queue is full; retry later",
+                retry_after=self._retry_hint(),
+            )
 
         if self._journal is not None:
             # Journal before enqueueing: once a worker can see the
@@ -358,7 +403,7 @@ class ServeEngine:
         return queue
 
     def stats(self) -> Dict[str, object]:
-        """The ``/stats`` payload: queue, throughput, cache."""
+        """The ``/stats`` payload: queue, throughput, cache, limits."""
         uptime = max(time.monotonic() - self.started_at, 1e-9)
         return {
             "uptime_seconds": round(uptime, 3),
@@ -371,11 +416,29 @@ class ServeEngine:
             "jobs_completed": self.jobs_completed,
             "jobs_failed": self.jobs_failed,
             "jobs_timed_out": self.jobs_timed_out,
+            "jobs_shed": self.jobs_shed,
             "jobs_recovered": self.jobs_recovered,
             "persistent": self.state_dir is not None,
             "jobs_per_sec": round(self.jobs_completed / uptime, 6),
             "cache": self.cache.stats(),
+            "frontier_high_water": self.frontier_high_water,
+            "subtrees_evicted": self.subtrees_evicted,
+            "max_open_nodes": self.max_open_nodes,
+            "queue_deadline": self.queue_deadline,
         }
+
+    def _retry_hint(self) -> float:
+        """Seconds until the queue likely has room again.
+
+        Queue depth × the completion-time EMA spread over the worker
+        fleet, clamped to [1, 60] — rough, but it turns a thundering
+        herd of instant resubmits into a paced one.
+        """
+        ema = self._job_seconds_ema
+        if ema is None:
+            return 1.0
+        estimate = self._queue_depth() * ema / self.workers
+        return min(60.0, max(1.0, estimate))
 
     # -- internals -----------------------------------------------------
     def _publish(self, job: JobRecord, event: Dict[str, object]) -> None:
@@ -408,7 +471,10 @@ class ServeEngine:
             _, _, job = await self._ensure_queue().get()
             self._in_flight += 1
             try:
-                await self._run_job(job)
+                if self._should_shed(job):
+                    self._shed(job)
+                else:
+                    await self._run_job(job)
             except Exception as exc:  # pragma: no cover - backstop
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.state = "failed"
@@ -436,16 +502,110 @@ class ServeEngine:
             return None
         return mapping_from_payload(seed[1])
 
+    def _should_shed(self, job: JobRecord) -> bool:
+        """Whether admission control refuses to start this job now.
+
+        Only with a configured ``queue_deadline``: a job that waited
+        past it — or whose own ``time_budget`` fully elapsed before a
+        worker freed up — would start already doomed, so it is shed
+        instead of run late.
+        """
+        if self.queue_deadline is None:
+            return False
+        now = time.monotonic()
+        if now - job.created > self.queue_deadline:
+            return True
+        budget = job.spec.time_budget
+        return budget is not None and now >= job.created + budget
+
+    def _shed(self, job: JobRecord) -> None:
+        """Load-shed one queued job: distinct terminal state, no run."""
+        now = time.monotonic()
+        waited = now - job.created
+        job.finished = now
+        job.state = "shed"
+        job.error = (
+            f"shed after {waited:.3f}s in queue "
+            f"(queue_deadline={self.queue_deadline}s)"
+        )
+        self.jobs_shed += 1
+        self._publish(
+            job,
+            {
+                "event": "shed",
+                "job": job.job_id,
+                "error": job.error,
+                "waited_seconds": round(waited, 6),
+                "retry_after": self._retry_hint(),
+            },
+        )
+
     def _lineage_explorer(self, job: JobRecord, deadline: Optional[float]):
-        """A per-job explorer copy with the remaining budget applied."""
+        """A per-job explorer copy with deadline + daemon cap applied.
+
+        Returns ``(explorer, engine_capped)``.  The job deadline is
+        threaded as an absolute instant (every explorer polls it at
+        256-node granularity, so the in-search overshoot is bounded by
+        one poll interval, not one lineage).  ``engine_capped`` flags
+        that the daemon-wide ``max_open_nodes`` tightened the
+        explorer's frontier cap below what the job key asked for —
+        the caller must keep such results out of the exact cache if
+        the cap actually evicted, because the bytes then depend on
+        daemon flags rather than the key alone.
+        """
         explorer = job.workload.explorer
-        if deadline is None or not hasattr(explorer, "time_budget"):
-            return explorer
-        remaining = max(deadline - time.monotonic(), 1e-3)
+        cap = self.max_open_nodes
+        can_cap = cap is not None and hasattr(explorer, "max_open")
+        if deadline is None and not can_cap:
+            return explorer, False
         clone = copy.copy(explorer)
-        if clone.time_budget is None or clone.time_budget > remaining:
-            clone.time_budget = remaining
-        return clone
+        engine_capped = False
+        if deadline is not None:
+            clone.deadline = deadline
+        if can_cap and (clone.max_open is None or clone.max_open > cap):
+            clone.max_open = cap
+            engine_capped = True
+        return clone, engine_capped
+
+    def _timeout_job(
+        self, job: JobRecord, results, next_lineage: int
+    ) -> None:
+        """Flip a deadline-hit job to ``timeout`` with its partial.
+
+        The completed selections become a *partial* result on the
+        status view (but never ``result_text`` — ``/result`` stays
+        409 and partial bytes never enter the exact cache).
+        ``next_lineage`` is the first lineage a resubmission must
+        redo: the one the deadline landed in (its finished tasks, if
+        any, ride along in the partial but are re-proven on resume).
+        """
+        spec = job.spec
+        workload = job.workload
+        job.finished = time.monotonic()
+        job.state = "timeout"
+        job.error = (
+            f"time budget {spec.time_budget}s exhausted after "
+            f"{len(results)} of {workload.selection_count} selections"
+        )
+        partial = job_result_payload(results)
+        partial["partial"] = {
+            "completed_selections": len(results),
+            "total_selections": workload.selection_count,
+            "next_lineage": next_lineage,
+            "resumable": True,
+        }
+        job.result = partial
+        self.jobs_timed_out += 1
+        self._publish(
+            job,
+            {
+                "event": "timeout",
+                "job": job.job_id,
+                "error": job.error,
+                "completed_selections": len(results),
+                "partial": partial["partial"],
+            },
+        )
 
     async def _run_job(self, job: JobRecord) -> None:
         loop = asyncio.get_event_loop()
@@ -474,41 +634,15 @@ class ServeEngine:
         lineages = shard_lineages(workload.tasks, spec.lineage_size)
         incumbent = LocalIncumbent() if spec.share_incumbent else None
         results = []
+        evicted = 0
         for lineage in lineages:
             if deadline is not None and time.monotonic() >= deadline:
-                job.finished = time.monotonic()
-                job.state = "timeout"
-                job.error = (
-                    f"time budget {spec.time_budget}s exhausted after "
-                    f"{len(results)} of {workload.selection_count} selections"
-                )
-                # Between-lineage checkpoint: the completed selections
-                # become a *partial* result on the status view (but
-                # never ``result_text`` — ``/result`` stays 409 and
-                # partial bytes never enter the exact cache).
-                partial = job_result_payload(results)
-                partial["partial"] = {
-                    "completed_selections": len(results),
-                    "total_selections": workload.selection_count,
-                    "next_lineage": lineage.index,
-                    "resumable": True,
-                }
-                job.result = partial
-                self.jobs_timed_out += 1
-                self._publish(
-                    job,
-                    {
-                        "event": "timeout",
-                        "job": job.job_id,
-                        "error": job.error,
-                        "completed_selections": len(results),
-                        "partial": partial["partial"],
-                    },
-                )
+                self._timeout_job(job, results, lineage.index)
                 return
-            explorer = attach_incumbent(
-                self._lineage_explorer(job, deadline), incumbent
+            explorer, engine_capped = self._lineage_explorer(
+                job, deadline
             )
+            explorer = attach_incumbent(explorer, incumbent)
             lineage_results = await loop.run_in_executor(
                 self._executor,
                 _run_lineage_guarded,
@@ -517,8 +651,22 @@ class ServeEngine:
                 spec.warm_start,
                 lineage,
                 seed,
+                deadline,
             )
             results.extend(lineage_results)
+            for r in lineage_results:
+                exploration = r.exploration
+                if exploration.open_high_water > self.frontier_high_water:
+                    self.frontier_high_water = exploration.open_high_water
+                self.subtrees_evicted += exploration.evicted_subtrees
+                if engine_capped:
+                    evicted += exploration.evicted_subtrees
+            if len(lineage_results) < len(lineage.tasks):
+                # The deadline interrupted this lineage mid-flight:
+                # run_lineage returned only the tasks it finished
+                # cleanly, and this lineage must be redone on resume.
+                self._timeout_job(job, results, lineage.index)
+                return
             best = min(
                 (
                     r.exploration.cost
@@ -546,7 +694,17 @@ class ServeEngine:
         job.finished = time.monotonic()
         job.state = "done"
         self.jobs_completed += 1
-        if spec.use_cache and result_is_cacheable(
+        elapsed = job.finished - job.started
+        self._job_seconds_ema = (
+            elapsed
+            if self._job_seconds_ema is None
+            else 0.8 * self._job_seconds_ema + 0.2 * elapsed
+        )
+        # A daemon-imposed frontier cap that actually evicted makes
+        # the bytes a function of daemon flags, not the job key alone;
+        # a cap that never engaged leaves them byte-identical to the
+        # uncapped run (gauges live outside the canonical payload).
+        if spec.use_cache and evicted == 0 and result_is_cacheable(
             spec, payload, warm_seeded=seed is not None
         ):
             self.cache.store(workload.job_key, text)

@@ -8,8 +8,9 @@ async HTTP server and the job API needs exactly five routes:
 ========================  =============================================
 ``POST /jobs``            submit a job payload; 202 with the job id
                           (200 immediately on an exact cache hit),
-                          400 on validation errors, 503 when draining
-                          or the queue is full
+                          400 on validation errors, 503 with a
+                          ``Retry-After`` header + ``retry_after``
+                          field when draining or the queue is full
 ``GET /jobs/<id>``        job status view (state, cache, timings,
                           result once terminal)
 ``GET /jobs/<id>/result`` the canonical result **text** verbatim —
@@ -33,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import signal
 from typing import Dict, Optional, Tuple
 
@@ -255,7 +257,28 @@ class ServeHTTP:
                 writer.write(_json_response(400, {"error": str(exc)}))
                 return
             except ServiceUnavailable as exc:
-                writer.write(_json_response(503, {"error": str(exc)}))
+                # Load-shedding 503: the Retry-After header (integer
+                # seconds, ceiling) paces standards-aware clients, the
+                # JSON field carries the precise hint for ours.
+                retry_after = float(getattr(exc, "retry_after", 1.0))
+                body_bytes = (
+                    json.dumps(
+                        {"error": str(exc), "retry_after": retry_after}
+                    )
+                    + "\n"
+                ).encode("utf-8")
+                writer.write(
+                    _response_bytes(
+                        503,
+                        body_bytes,
+                        extra=(
+                            (
+                                "Retry-After",
+                                str(max(1, math.ceil(retry_after))),
+                            ),
+                        ),
+                    )
+                )
                 return
             status = 200 if job.state in TERMINAL_STATES else 202
             writer.write(_json_response(status, job.describe()))
@@ -331,6 +354,8 @@ async def run_server(
     max_queue: int,
     max_jobs: int = 4096,
     state_dir: Optional[str] = None,
+    max_open_nodes: Optional[int] = None,
+    queue_deadline: Optional[float] = None,
 ) -> None:
     """Build engine + HTTP edge and serve until signalled."""
     engine = ServeEngine(
@@ -339,6 +364,8 @@ async def run_server(
         max_queue=max_queue,
         max_jobs=max_jobs,
         state_dir=state_dir,
+        max_open_nodes=max_open_nodes,
+        queue_deadline=queue_deadline,
     )
     server = ServeHTTP(engine, host=host, port=port)
     await server.serve_forever()
@@ -352,13 +379,20 @@ def serve_main(
     max_queue: int = 256,
     max_jobs: int = 4096,
     state_dir: Optional[str] = None,
+    max_open_nodes: Optional[int] = None,
+    queue_deadline: Optional[float] = None,
 ) -> int:
     """Blocking entry point of ``python -m repro serve``."""
     durable = f", state {state_dir}" if state_dir else ""
+    limits = ""
+    if max_open_nodes is not None:
+        limits += f", max-open {max_open_nodes}"
+    if queue_deadline is not None:
+        limits += f", queue-deadline {queue_deadline}s"
     print(
         f"repro serve: listening on http://{host}:{port} "
         f"({workers} workers, cache {cache_size}, queue {max_queue}, "
-        f"jobs {max_jobs}{durable})",
+        f"jobs {max_jobs}{durable}{limits})",
         flush=True,
     )
     try:
@@ -371,6 +405,8 @@ def serve_main(
                 max_queue,
                 max_jobs,
                 state_dir,
+                max_open_nodes,
+                queue_deadline,
             )
         )
     except KeyboardInterrupt:

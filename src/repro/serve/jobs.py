@@ -78,6 +78,7 @@ _EXPLORER_DEFAULTS = {
     "backend": None,
     "node_budget": None,
     "time_budget": None,
+    "max_open": None,
     "seed": 0,
     "iterations": 4000,
 }
@@ -203,6 +204,16 @@ class JobSpec:
             or (isinstance(node_budget, int) and node_budget >= 1),
             "explorer.node_budget must be null or an integer >= 1",
         )
+        max_open = explorer["max_open"]
+        _require(
+            max_open is None
+            or (
+                isinstance(max_open, int)
+                and not isinstance(max_open, bool)
+                and max_open >= 1
+            ),
+            "explorer.max_open must be null or an integer >= 1",
+        )
         for key in ("seed", "iterations"):
             _require(
                 isinstance(explorer[key], int)
@@ -304,6 +315,7 @@ def build_explorer(config: Dict[str, object]) -> Explorer:
             backend=config["backend"],
             node_budget=config["node_budget"],
             time_budget=config["time_budget"],
+            max_open=config["max_open"],
         )
     if name == "exhaustive":
         return ExhaustiveExplorer(backend=config["backend"])
@@ -320,6 +332,7 @@ def build_explorer(config: Dict[str, object]) -> Explorer:
         seed=config["seed"],
         iterations=config["iterations"],
         backend=config["backend"],
+        max_open=config["max_open"],
     )
 
 
@@ -569,7 +582,10 @@ def canonical_selection(selection_record: Dict[str, object]) -> str:
 # Job records
 # ----------------------------------------------------------------------
 #: Terminal job states; a job in one of these never changes again.
-TERMINAL_STATES = frozenset({"done", "failed", "timeout"})
+#: ``shed`` is admission control's refusal: the job waited past the
+#: daemon's ``queue_deadline`` (or its own ``time_budget``) and never
+#: ran at all — resubmission is safe and cheap by content addressing.
+TERMINAL_STATES = frozenset({"done", "failed", "timeout", "shed"})
 
 _JOB_IDS = itertools.count(1)
 
@@ -589,8 +605,9 @@ def ensure_job_ids_above(minimum: int) -> None:
 class JobRecord:
     """One job's lifecycle: spec, state machine, events, result.
 
-    States: ``queued → running → done | failed | timeout``.  Exact
-    cache hits go ``queued → done`` without ever running.  The
+    States: ``queued → running → done | failed | timeout``, plus
+    ``queued → shed`` when admission control refuses a stale job.
+    Exact cache hits go ``queued → done`` without ever running.  The
     ``events`` list is the replayable SSE history; ``result`` holds
     the parsed canonical result payload once terminal.
     """

@@ -53,11 +53,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..errors import SynthesisError
 from .mapping import Mapping, SynthesisProblem, Target
 from .ordering import STRONG_BRANCH_DEPTH, probe_targets, strong_branch
-from .state import PathTrail
+from .state import EvictionLog, PathTrail
 
 #: Blob format version.  Bump on any change to the payload shape; a
-#: mismatched resume is refused, never misread.
-CHECKPOINT_VERSION = 1
+#: mismatched resume is refused, never misread.  Version 2 added the
+#: resource-governance fields (eviction gauges, the beam/hybrid
+#: frontier states) — version-1 blobs predate ``max_open`` and cannot
+#: express what a capped search dropped, so they are refused.
+CHECKPOINT_VERSION = 2
 
 _INF = float("inf")
 
@@ -151,6 +154,12 @@ class SearchCheckpoint:
     complete: bool
     frontier_state: Dict[str, object]
     version: int = CHECKPOINT_VERSION
+    #: Eviction gauges: a resumed capped search must keep reporting
+    #: the subtrees its earlier segments dropped, or its proof floor
+    #: would silently forget them across the resume boundary.
+    open_high_water: int = 0
+    evicted_subtrees: int = 0
+    evicted_floor: float = _INF
 
     def to_payload(self) -> Dict[str, object]:
         return {
@@ -166,6 +175,9 @@ class SearchCheckpoint:
             "shared_floor": _encode_num(self.shared_floor),
             "complete": self.complete,
             "frontier_state": self.frontier_state,
+            "open_high_water": self.open_high_water,
+            "evicted_subtrees": self.evicted_subtrees,
+            "evicted_floor": _encode_num(self.evicted_floor),
         }
 
     @classmethod
@@ -191,6 +203,11 @@ class SearchCheckpoint:
             complete=bool(payload["complete"]),
             frontier_state=payload["frontier_state"],
             version=version,
+            open_high_water=int(payload.get("open_high_water", 0)),
+            evicted_subtrees=int(payload.get("evicted_subtrees", 0)),
+            evicted_floor=_decode_num(
+                payload.get("evicted_floor", "inf")
+            ),
         )
 
     def to_json(self) -> str:
@@ -357,6 +374,9 @@ class _Search:
             shared_floor=self.clock.shared_floor,
             complete=complete,
             frontier_state=frontier_state,
+            open_high_water=self.clock.open_high_water,
+            evicted_subtrees=self.clock.evictions.count,
+            evicted_floor=self.clock.evictions.floor,
         )
 
 
@@ -399,6 +419,10 @@ def _begin(explorer, problem, warm_start, ck: Checkpointer) -> _Search:
             f"(problem fingerprint mismatch)"
         )
     clock.nodes = resume.nodes
+    clock.open_high_water = resume.open_high_water
+    clock.evictions = EvictionLog(
+        resume.evicted_subtrees, resume.evicted_floor
+    )
     search.evaluations = resume.evaluations
     search.warm_started = resume.warm_started
     if resume.best_cost < search.best_cost:
@@ -427,8 +451,12 @@ def drive(explorer, problem, warm_start, ck: Checkpointer):
     search = _begin(explorer, problem, warm_start, ck)
     if explorer.frontier == "best-first":
         truncated = _drive_best_first(search, ck)
+    elif explorer.frontier == "hybrid":
+        truncated = _drive_hybrid(search, ck)
     elif explorer.frontier == "lds":
         truncated = _drive_lds(search, ck)
+    elif explorer.frontier == "beam":
+        truncated = _drive_beam(search, ck)
     else:
         truncated = _drive_dfs(search, ck)
     return explorer._finish_search(
@@ -743,7 +771,7 @@ def _decode_lds_stack(rows) -> List[tuple]:
 
 
 def _drive_lds(search: _Search, ck: Checkpointer) -> bool:
-    from .explorer import _BudgetExceeded
+    from .explorer import _BudgetExceeded, _cap_children
 
     resume = ck.resume
     if resume is not None:
@@ -755,6 +783,14 @@ def _drive_lds(search: _Search, ck: Checkpointer) -> bool:
         allowance = 0
         limited = False
         stack = [("node", (), allowance, None)]
+    # Open (not-yet-descended) children across the active groups — the
+    # quantity the recursive driver's ``max_open`` cap reads.  The
+    # stack *is* the recursion, so the count reconstructs exactly from
+    # each group's remaining slice; a resumed segment therefore caps
+    # at the same points the uninterrupted run would.
+    open_count = sum(
+        len(entry[3]) - entry[4] for entry in stack if entry[0] == "group"
+    )
 
     def lds_state() -> Dict[str, object]:
         return {
@@ -771,6 +807,7 @@ def _drive_lds(search: _Search, ck: Checkpointer) -> bool:
                 entry = stack.pop()
                 if entry[0] == "group":
                     _, path, unit, scored, pos, group_allowance = entry
+                    open_count -= len(scored) - pos
                     floor = search.clock.shared_floor
                     for rank in range(pos, len(scored)):
                         bound, target = scored[rank]
@@ -792,6 +829,7 @@ def _drive_lds(search: _Search, ck: Checkpointer) -> bool:
                                 group_allowance,
                             )
                         )
+                        open_count += len(scored) - (rank + 1)
                         stack.append(
                             (
                                 "node",
@@ -820,6 +858,14 @@ def _drive_lds(search: _Search, ck: Checkpointer) -> bool:
                             search.offer_leaf()
                         else:
                             unit, scored = _probe_children(search, path)
+                            scored = _cap_children(
+                                scored,
+                                search.clock,
+                                search.explorer.max_open,
+                                open_count,
+                            )
+                            open_count += len(scored)
+                            search.clock.note_open(open_count)
                             stack.append(
                                 (
                                     "group",
@@ -865,7 +911,7 @@ def _drive_lds(search: _Search, ck: Checkpointer) -> bool:
 
 
 # ----------------------------------------------------------------------
-# Best-first driver (the heap is already path-shaped)
+# Best-first / hybrid / beam drivers (path-shaped frontiers)
 # ----------------------------------------------------------------------
 def _encode_heap(heap) -> List[List[object]]:
     return [
@@ -874,35 +920,28 @@ def _encode_heap(heap) -> List[List[object]]:
     ]
 
 
-def _decode_heap(rows) -> List[tuple]:
-    heap = [
+def _decode_entries(rows) -> List[tuple]:
+    """Decode ``(bound, tie, path)`` entries preserving list order."""
+    return [
         (_decode_num(bound), int(tie), _decode_path(path))
         for bound, tie, path in rows
     ]
+
+
+def _decode_heap(rows) -> List[tuple]:
+    heap = _decode_entries(rows)
     heapq.heapify(heap)
     return heap
 
 
-def _drive_best_first(search: _Search, ck: Checkpointer) -> bool:
-    from .explorer import _BudgetExceeded
+def _heap_loop(search: _Search, ck: Checkpointer, heap, pushes, make_state):
+    """The heap pump shared by the best-first and hybrid drivers.
 
-    state = search.state
-    resume = ck.resume
-    if resume is not None:
-        frontier = resume.frontier_state
-        heap = _decode_heap(frontier["heap"])
-        pushes = int(frontier["pushes"])
-    else:
-        pushes = 0
-        root_bound = (
-            _INF
-            if search.prune_infeasible and not state.feasible
-            else state.lower_bound()
-        )
-        heap = [(root_bound, pushes, ())]
-
-    def bf_state() -> Dict[str, object]:
-        return {"heap": _encode_heap(heap), "pushes": pushes}
+    ``make_state(heap, pushes)`` builds the frontier_state dict of an
+    emitted checkpoint (the hybrid driver wraps it with its phase
+    tag).  Returns the truncation flag.
+    """
+    from .explorer import _BudgetExceeded, _cap_frontier
 
     truncated = False
     popped = None
@@ -932,10 +971,16 @@ def _drive_best_first(search: _Search, ck: Checkpointer) -> bool:
                         heap,
                         (child_bound, pushes, path + ((unit, target),)),
                     )
+                _cap_frontier(
+                    heap, search.clock, search.explorer.max_open
+                )
+                search.clock.note_open(len(heap))
             if ck.due(search.clock.nodes):
                 ck.emit(
                     search.snapshot(
-                        bf_state(), search.clock.nodes, complete=False
+                        make_state(heap, pushes),
+                        search.clock.nodes,
+                        complete=False,
                     )
                 )
     except _BudgetExceeded:
@@ -943,13 +988,228 @@ def _drive_best_first(search: _Search, ck: Checkpointer) -> bool:
         heapq.heappush(heap, popped)
         ck.emit(
             search.snapshot(
-                bf_state(), search.clock.nodes - 1, complete=False
+                make_state(heap, pushes),
+                search.clock.nodes - 1,
+                complete=False,
             )
         )
     else:
         ck.emit(
             search.snapshot(
-                {"heap": [], "pushes": pushes},
+                make_state([], pushes),
+                search.clock.nodes,
+                complete=True,
+            )
+        )
+    return truncated
+
+
+def _drive_best_first(search: _Search, ck: Checkpointer) -> bool:
+    state = search.state
+    resume = ck.resume
+    if resume is not None:
+        frontier = resume.frontier_state
+        heap = _decode_heap(frontier["heap"])
+        pushes = int(frontier["pushes"])
+    else:
+        pushes = 0
+        root_bound = (
+            _INF
+            if search.prune_infeasible and not state.feasible
+            else state.lower_bound()
+        )
+        heap = [(root_bound, pushes, ())]
+
+    def bf_state(heap_now, pushes_now) -> Dict[str, object]:
+        return {"heap": _encode_heap(heap_now), "pushes": pushes_now}
+
+    return _heap_loop(search, ck, heap, pushes, bf_state)
+
+
+def _drive_hybrid(search: _Search, ck: Checkpointer) -> bool:
+    """Dive-then-best-first: the dive is its own checkpoint phase.
+
+    A checkpoint emitted mid-dive records ``{"phase": "dive", "path"}``
+    — the single open node of the walk; one emitted afterwards records
+    the usual heap shape under ``{"phase": "heap"}``.  Resume re-enters
+    whichever phase the blob froze.
+    """
+    state = search.state
+    resume = ck.resume
+    pushes = 0
+    heap = None
+    dive_path = None
+    if resume is not None:
+        frontier = resume.frontier_state
+        if frontier["phase"] == "heap":
+            heap = _decode_heap(frontier["heap"])
+            pushes = int(frontier["pushes"])
+        else:
+            dive_path = _decode_path(frontier["path"])
+    elif search.best is None and not (
+        search.prune_infeasible and not state.feasible
+    ):
+        dive_path = ()
+
+    if dive_path is not None:
+        if _hybrid_dive(search, ck, dive_path):
+            return True
+        search.trail.restore(())
+    if heap is None:
+        root_bound = (
+            _INF
+            if search.prune_infeasible and not state.feasible
+            else state.lower_bound()
+        )
+        heap = [(root_bound, pushes, ())]
+
+    def hybrid_state(heap_now, pushes_now) -> Dict[str, object]:
+        return {
+            "phase": "heap",
+            "heap": _encode_heap(heap_now),
+            "pushes": pushes_now,
+        }
+
+    return _heap_loop(search, ck, heap, pushes, hybrid_state)
+
+
+def _hybrid_dive(search: _Search, ck: Checkpointer, path) -> bool:
+    """The hybrid frontier's incumbent-seeding greedy dive."""
+    from .explorer import _BudgetExceeded
+
+    def dive_state(path_now) -> Dict[str, object]:
+        return {"phase": "dive", "path": _encode_path(path_now)}
+
+    try:
+        while True:
+            search.clock.tick()
+            search.trail.restore(path)
+            if len(path) == search.total:
+                search.offer_leaf()
+                return False
+            unit, scored = _probe_children(search, path)
+            bound, target = scored[0]
+            if (
+                bound >= search.best_cost
+                or bound >= search.clock.shared_floor
+            ):
+                return False
+            path += ((unit, target),)
+            if ck.due(search.clock.nodes):
+                ck.emit(
+                    search.snapshot(
+                        dive_state(path),
+                        search.clock.nodes,
+                        complete=False,
+                    )
+                )
+    except _BudgetExceeded:
+        ck.emit(
+            search.snapshot(
+                dive_state(path),
+                search.clock.nodes - 1,
+                complete=False,
+            )
+        )
+        return True
+
+
+def _drive_beam(search: _Search, ck: Checkpointer) -> bool:
+    """Level-synchronous beam driver; the two buffers checkpoint
+    verbatim (``level``/``pos``/``next`` plus the push counter)."""
+    from .explorer import _BudgetExceeded, _cap_frontier
+
+    state = search.state
+    resume = ck.resume
+    if resume is not None:
+        frontier = resume.frontier_state
+        level = _decode_entries(frontier["level"])
+        pos = int(frontier["pos"])
+        next_buf = _decode_entries(frontier["next"])
+        pushes = int(frontier["pushes"])
+    else:
+        pushes = 0
+        pos = 0
+        root_bound = (
+            _INF
+            if search.prune_infeasible and not state.feasible
+            else state.lower_bound()
+        )
+        level = [(root_bound, pushes, ())]
+        next_buf = []
+
+    def beam_state(pos_now) -> Dict[str, object]:
+        return {
+            "level": _encode_heap(level),
+            "pos": pos_now,
+            "next": _encode_heap(next_buf),
+            "pushes": pushes,
+        }
+
+    truncated = False
+    try:
+        while True:
+            if pos >= len(level):
+                if not next_buf:
+                    break
+                next_buf.sort()
+                level, next_buf, pos = next_buf, [], 0
+            bound, _tie, path = level[pos]
+            pos += 1
+            if bound >= search.limit():
+                # The level is bound-sorted: its remainder prunes too.
+                pos = len(level)
+            else:
+                search.clock.tick()
+                search.trail.restore(path)
+                if len(path) == search.total:
+                    search.offer_leaf()
+                else:
+                    unit, scored = _probe_children(search, path)
+                    floor = search.clock.shared_floor
+                    for child_bound, target in scored:
+                        if (
+                            child_bound >= search.best_cost
+                            or child_bound >= floor
+                        ):
+                            continue
+                        pushes += 1
+                        next_buf.append(
+                            (
+                                child_bound,
+                                pushes,
+                                path + ((unit, target),),
+                            )
+                        )
+                    _cap_frontier(
+                        next_buf, search.clock, search.explorer.max_open
+                    )
+                    search.clock.note_open(
+                        len(level) - pos + len(next_buf)
+                    )
+            if ck.due(search.clock.nodes):
+                ck.emit(
+                    search.snapshot(
+                        beam_state(pos),
+                        search.clock.nodes,
+                        complete=False,
+                    )
+                )
+    except _BudgetExceeded:
+        # The in-flight entry is level[pos - 1]: rewind one slot and
+        # record the pre-tick node count, as every driver does.
+        truncated = True
+        ck.emit(
+            search.snapshot(
+                beam_state(pos - 1),
+                search.clock.nodes - 1,
+                complete=False,
+            )
+        )
+    else:
+        ck.emit(
+            search.snapshot(
+                {"level": [], "pos": 0, "next": [], "pushes": pushes},
                 search.clock.nodes,
                 complete=True,
             )

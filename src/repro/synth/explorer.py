@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping as TMapping, Optional, Tuple, Union
 
+from .. import faults
 from ..errors import SynthesisError
 from .backend import HAS_NUMPY
 from .cost import Evaluation, evaluate
@@ -50,7 +51,12 @@ from .ordering import (
     validate_frontier,
     validate_ordering,
 )
-from .state import PathTrail, ReferenceSearchState, SearchState
+from .state import (
+    EvictionLog,
+    PathTrail,
+    ReferenceSearchState,
+    SearchState,
+)
 
 _SearchStateT = Union[SearchState, ReferenceSearchState]
 
@@ -79,6 +85,17 @@ class ExplorationResult:
     #: result payload, which stays byte-identical whether or not a
     #: crash was recovered along the way.
     retries: int = 0
+    #: Peak retained open-frontier size of the run (0 for frontiers
+    #: that keep their open set on the call stack, i.e. plain DFS).
+    #: Operational metadata like :attr:`retries` — outside the
+    #: canonical payload; the serve layer exports the daemon-wide
+    #: maximum as a ``/stats`` gauge.
+    open_high_water: int = 0
+    #: Open subtrees dropped by ``max_open`` frontier eviction.  Any
+    #: nonzero count that compromised the proof is already reflected
+    #: in ``optimal``/``proof_floor``/provenance; the raw count is
+    #: operational metadata outside the canonical payload.
+    evicted_subtrees: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -217,6 +234,17 @@ class SearchExplorer(Explorer):
         #: whose shape differs from their own, so each member resolves
         #: ``auto`` for its own configuration.
         self.backend_request = backend
+        #: Optional *absolute* :func:`time.monotonic` deadline.  Not a
+        #: constructor argument: callers that enforce a wall-clock
+        #: deadline across many explorations (the serve engine's
+        #: per-job budget threading into ``run_lineage``) set it on a
+        #: per-lineage copy.  Deliberately outside every canonical
+        #: job key — it is operational, like ``retries``.  Budgeted
+        #: searches fold it into their :class:`_BudgetClock`;
+        #: exhaustive and annealing runs poll it every 256 nodes /
+        #: iterations and report a deadline-truncated, non-optimal
+        #: result when it fires.
+        self.deadline: Optional[float] = None
 
     # -- state ----------------------------------------------------------
     def _new_state(
@@ -326,6 +354,8 @@ class SearchExplorer(Explorer):
         optimal: bool,
         provenance: str,
         proof_floor: float = float("-inf"),
+        open_high_water: int = 0,
+        evicted_subtrees: int = 0,
     ) -> ExplorationResult:
         """Re-evaluate the best mapping with the reference oracle."""
         evaluation = (
@@ -340,6 +370,8 @@ class SearchExplorer(Explorer):
             evaluations=evaluations,
             provenance=provenance,
             proof_floor=proof_floor,
+            open_high_water=open_high_water,
+            evicted_subtrees=evicted_subtrees,
         )
 
 
@@ -348,6 +380,9 @@ class ExhaustiveExplorer(SearchExplorer):
 
     Ground truth for the other explorers, so it never prunes — every
     symmetry-distinct mapping is visited (``warm_start`` is ignored).
+    An externally set :attr:`deadline` is the one thing that can stop
+    it early; a truncated run honestly reports ``optimal=False`` with
+    a ``(deadline-truncated)`` provenance and no proof floor.
     """
 
     def explore(
@@ -360,13 +395,13 @@ class ExhaustiveExplorer(SearchExplorer):
         state = self._new_state(problem, capacity_bound=False)
         best: Optional[Mapping] = None
         best_cost = float("inf")
-        nodes = 0
         evaluations = 0
         state_targets = self.state_targets
+        clock = _BudgetClock(None, None, None, deadline=self.deadline)
 
         def recurse(index: int) -> None:
-            nonlocal best, best_cost, nodes, evaluations
-            nodes += 1
+            nonlocal best, best_cost, evaluations
+            clock.tick()
             if index == len(free):
                 evaluations += 1
                 feasible, cost = state.leaf()
@@ -379,15 +414,23 @@ class ExhaustiveExplorer(SearchExplorer):
                 recurse(index + 1)
                 state.unassign(unit)
 
-        recurse(0)
+        truncated = False
+        try:
+            recurse(0)
+        except _BudgetExceeded:
+            truncated = True
         return self._finish(
             problem,
             best,
-            nodes,
+            clock.nodes,
             evaluations,
-            optimal=True,
-            provenance="exhaustive",
-            proof_floor=best_cost,
+            optimal=not truncated,
+            provenance=(
+                "exhaustive (deadline-truncated)"
+                if truncated
+                else "exhaustive"
+            ),
+            proof_floor=float("-inf") if truncated else best_cost,
         )
 
 
@@ -408,22 +451,51 @@ class _BudgetClock:
     floor every :data:`_SHARED_REFRESH_MASK` + 1 nodes.
     ``shared_floor`` only ever decreases, so the last refresh is the
     tightest foreign threshold any pruning step used.
+
+    ``deadline`` is an *absolute* :func:`time.monotonic` instant (the
+    serve layer's in-lineage job deadline); it composes with the
+    relative ``time_budget`` by taking whichever expires first, and
+    shares the 256-node poll granularity.
+
+    The clock also carries the run's resource-governance gauges:
+    ``open_high_water`` (peak retained open-frontier size) and the
+    :class:`~repro.synth.state.EvictionLog` of ``max_open`` frontier
+    evictions, whose floor is what keeps ``proof_floor`` honest when
+    memory pressure drops open subtrees.
     """
 
-    __slots__ = ("nodes", "shared_floor", "_budget", "_deadline", "_shared")
+    __slots__ = (
+        "nodes",
+        "shared_floor",
+        "open_high_water",
+        "evictions",
+        "_budget",
+        "_deadline",
+        "_shared",
+    )
 
-    def __init__(self, node_budget, time_budget, shared) -> None:
+    def __init__(
+        self, node_budget, time_budget, shared, deadline=None
+    ) -> None:
         self.nodes = 0
         self._budget = node_budget
-        self._deadline = (
+        relative = (
             time.monotonic() + time_budget
             if time_budget is not None
             else None
         )
+        if relative is None:
+            self._deadline = deadline
+        elif deadline is None:
+            self._deadline = relative
+        else:
+            self._deadline = min(relative, deadline)
         self._shared = shared
         self.shared_floor = (
             shared.get() if shared is not None else float("inf")
         )
+        self.open_high_water = 0
+        self.evictions = EvictionLog()
 
     def tick(self) -> None:
         self.nodes += 1
@@ -440,6 +512,63 @@ class _BudgetClock:
             and (self.nodes & _SHARED_REFRESH_MASK) == 0
         ):
             self.shared_floor = self._shared.get()
+
+    def note_open(self, count: int) -> None:
+        """Track the peak retained open-frontier size."""
+        if count > self.open_high_water:
+            self.open_high_water = count
+
+
+def _cap_frontier(entries, clock, max_open) -> None:
+    """Deterministic worst-bound eviction of a sorted-tuple frontier.
+
+    ``entries`` is a list of ``(bound, tie, ...)`` tuples (a heap or a
+    beam buffer; ties are unique push counters, so sorting never
+    compares payloads).  When the list exceeds the cap, it is sorted
+    and the worst-bound tail evicted — a sorted list is a valid heap,
+    so heap callers keep popping untouched.  Evicted bounds land in
+    the clock's :class:`EvictionLog`, which is what keeps the run's
+    ``proof_floor`` honest.
+
+    The fault harness's ``search`` scope hooks in here: an ``evict``
+    op forces the cap down at a chosen node, and an ``oom`` op
+    simulates an allocation failure — answered by shedding the worst
+    half of the frontier and carrying on, which *is* the production
+    graceful-degradation path under real memory pressure.
+    """
+    cap = max_open
+    try:
+        forced = faults.on_search_frontier(clock.nodes)
+    except MemoryError:
+        forced = max(1, len(entries) // 2)
+    if forced is not None:
+        cap = forced if cap is None else min(cap, forced)
+    if cap is not None and len(entries) > cap:
+        entries.sort()
+        clock.evictions.record(entry[0] for entry in entries[cap:])
+        del entries[cap:]
+
+
+def _cap_children(scored, clock, max_open, open_count):
+    """LDS group-creation eviction: bound the total open children.
+
+    Keeps at most ``max(1, max_open - open_count)`` of a new sibling
+    group's (ascending-bound-sorted) children — always at least the
+    cheapest child, so the dive can never starve — and records the
+    evicted tail's bounds.  Evicted children are excluded for good:
+    they never set ``limited`` and never force a wider LDS pass, so a
+    capped run terminates exactly like an uncapped one, just with a
+    possibly-degraded proof.
+    """
+    if max_open is None:
+        return scored
+    allowed = max_open - open_count
+    if allowed < 1:
+        allowed = 1
+    if len(scored) <= allowed:
+        return scored
+    clock.evictions.record(entry[0] for entry in scored[allowed:])
+    return scored[:allowed]
 
 
 class BranchBoundExplorer(SearchExplorer):
@@ -497,7 +626,32 @@ class BranchBoundExplorer(SearchExplorer):
       spend one discrepancy per rank a decision deviates from it.
       Bound-pruned children never consume the allowance; a pass the
       allowance never truncates is a complete bound-pruned search, so
-      the run ends provably optimal.
+      the run ends provably optimal;
+    * ``"beam"`` — level-synchronous search: the whole open level is
+      expanded cheapest-bound-first and its children become the next
+      level.  Without ``max_open`` it is a complete bound-pruned
+      breadth-first search (full optimality proof); with ``max_open``
+      it is the classical width-limited beam whose eviction honesty
+      is described below;
+    * ``"hybrid"`` — a greedy depth-first dive (always following the
+      cheapest probed child) seeds the incumbent, then a best-first
+      pass — typically capped by ``max_open`` — finishes the proof.
+      The dive costs at most one node per depth and lands near the
+      optimum, so the following best-first frontier stays small: the
+      bounded-memory way to both a good answer *and* a proof.
+
+    ``max_open`` bounds the retained open frontier of the memory-bound
+    frontiers (best-first, LDS, beam, hybrid; plain DFS keeps its
+    frontier on the call stack and ignores the cap).  When the open
+    set would exceed it, the worst-bound nodes are evicted
+    *deterministically* and their bounds recorded: the run degrades
+    gracefully instead of aborting, ``proof_floor`` drops to the
+    minimum evicted bound (everything below it is still certified),
+    and ``optimal`` survives exactly when the final cost meets that
+    floor — otherwise the provenance says ``(memory-truncated)``
+    rather than silently losing optimality.  Peak retained frontier
+    size and eviction counts ride the result as
+    ``open_high_water``/``evicted_subtrees``.
 
     Node/time budgets, warm starts, incumbent sharing, ``optimal``
     and ``proof_floor`` semantics are uniform across frontiers; a
@@ -529,6 +683,7 @@ class BranchBoundExplorer(SearchExplorer):
         frontier: str = "dfs",
         shared_incumbent=None,
         backend: Optional[str] = None,
+        max_open: Optional[int] = None,
     ) -> None:
         # Frontier-aware auto resolution: best-first and LDS probe the
         # whole sibling batch at every expansion (that is their
@@ -550,11 +705,14 @@ class BranchBoundExplorer(SearchExplorer):
             raise SynthesisError("node_budget must be >= 1")
         if time_budget is not None and time_budget <= 0:
             raise SynthesisError("time_budget must be positive")
+        if max_open is not None and max_open < 1:
+            raise SynthesisError("max_open must be >= 1")
         self.node_budget = node_budget
         self.time_budget = time_budget
         self.ordering = validate_ordering(ordering)
         self.frontier = validate_frontier(frontier)
         self.shared_incumbent = shared_incumbent
+        self.max_open = max_open
 
     def explore(
         self,
@@ -576,9 +734,13 @@ class BranchBoundExplorer(SearchExplorer):
 
             return drive(self, problem, warm_start, checkpoint)
         if self.frontier == "best-first":
-            return self._explore_best_first(problem, warm_start)
+            return self._explore_heap(problem, warm_start, dive=False)
+        if self.frontier == "hybrid":
+            return self._explore_heap(problem, warm_start, dive=True)
         if self.frontier == "lds":
             return self._explore_lds(problem, warm_start)
+        if self.frontier == "beam":
+            return self._explore_beam(problem, warm_start)
         return self._explore_dfs(problem, warm_start)
 
     def _begin_search(self, problem, warm_start):
@@ -594,7 +756,12 @@ class BranchBoundExplorer(SearchExplorer):
         shared = self.shared_incumbent
         if shared is not None and best is not None:
             shared.offer(best_cost)
-        clock = _BudgetClock(self.node_budget, self.time_budget, shared)
+        clock = _BudgetClock(
+            self.node_budget,
+            self.time_budget,
+            shared,
+            deadline=self.deadline,
+        )
         return free, state, best, best_cost, clock, shared
 
     def _finish_search(
@@ -611,10 +778,20 @@ class BranchBoundExplorer(SearchExplorer):
         """Shared search epilogue: proof bookkeeping + provenance.
 
         Foreign thresholds can cut subtrees our own incumbent would
-        have kept; the per-problem optimality claim survives only
-        when the returned cost meets every threshold used.
+        have kept, and ``max_open`` eviction can drop open subtrees
+        whose bounds were still below the returned cost; the
+        per-problem optimality claim survives only when that cost
+        meets every threshold used *and* every evicted bound.  An
+        eviction whose bound the final cost does meet loses nothing —
+        graceful degradation, not a silent lie.
         """
-        proved = not truncated and best_cost <= clock.shared_floor
+        evicted_floor = clock.evictions.floor
+        proved = (
+            not truncated
+            and best_cost <= clock.shared_floor
+            and best_cost <= evicted_floor
+        )
+        memory_truncated = not truncated and evicted_floor < best_cost
         return self._finish(
             problem,
             best,
@@ -622,13 +799,15 @@ class BranchBoundExplorer(SearchExplorer):
             evaluations,
             optimal=proved,
             provenance=self._provenance(
-                warm_started, shared, truncated, proved
+                warm_started, shared, truncated, proved, memory_truncated
             ),
             proof_floor=(
                 float("-inf")
                 if truncated
-                else min(best_cost, clock.shared_floor)
+                else min(best_cost, clock.shared_floor, evicted_floor)
             ),
+            open_high_water=clock.open_high_water,
+            evicted_subtrees=clock.evictions.count,
         )
 
     def _provenance(
@@ -637,12 +816,16 @@ class BranchBoundExplorer(SearchExplorer):
         shared,
         truncated: bool,
         proved: bool,
+        memory_truncated: bool = False,
     ) -> str:
         """The uniform provenance string of every frontier.
 
         ``frontier="dfs"`` reproduces the pre-frontier strings byte
         for byte; non-default frontiers join the tag list (e.g.
-        ``branch_and_bound[adaptive,lds]``).
+        ``branch_and_bound[adaptive,lds]``).  ``(memory-truncated)``
+        marks a run whose ``max_open`` evictions dropped a subtree the
+        proof needed — the result may still be the optimum, but the
+        run can no longer certify it.
         """
         tags = []
         if self.ordering != "static":
@@ -656,10 +839,12 @@ class BranchBoundExplorer(SearchExplorer):
             provenance += "+warm_start"
         if shared is not None:
             provenance += "+shared_incumbent"
-            if not truncated and not proved:
+            if not truncated and not proved and not memory_truncated:
                 provenance += " (pruned by fleet incumbent)"
         if truncated:
             provenance += " (budget-truncated)"
+        elif memory_truncated:
+            provenance += " (memory-truncated)"
         return provenance
 
     def _explore_dfs(
@@ -839,10 +1024,11 @@ class BranchBoundExplorer(SearchExplorer):
             truncated,
         )
 
-    def _explore_best_first(
+    def _explore_heap(
         self,
         problem: SynthesisProblem,
         warm_start: Optional[Mapping] = None,
+        dive: bool = False,
     ) -> ExplorationResult:
         """Priority-queue search over the incremental lower bound.
 
@@ -855,6 +1041,15 @@ class BranchBoundExplorer(SearchExplorer):
         *every* open node is prunable — the search returns with a
         complete optimality proof after expanding only nodes whose
         bound beats the optimum.
+
+        ``dive=True`` is the ``hybrid`` frontier: a greedy depth-first
+        dive runs first to seed the incumbent (best-first finds its
+        first leaf late, so a capped heap otherwise evicts half the
+        tree before it has any prune threshold), then the heap pass
+        finishes the proof.  With ``max_open`` set, the heap is
+        truncated to the cheapest ``max_open`` entries after every
+        expansion — streaming top-K eviction is exact, an evicted
+        entry could never have re-entered a smaller frontier.
         """
         free, state, best, best_cost, clock, shared = (
             self._begin_search(problem, warm_start)
@@ -868,14 +1063,27 @@ class BranchBoundExplorer(SearchExplorer):
         trail = PathTrail(state)
         pushes = 0
         truncated = False
-        root_bound = (
-            float("inf")
-            if prune_infeasible and not state.feasible
-            else state.lower_bound()
-        )
-        heap: List[tuple] = [(root_bound, pushes, ())]
 
         try:
+            if dive and best is None:
+                best, best_cost, evaluations = self._greedy_dive(
+                    problem,
+                    free,
+                    state,
+                    trail,
+                    clock,
+                    shared,
+                    best,
+                    best_cost,
+                    evaluations,
+                )
+                trail.restore(())
+            root_bound = (
+                float("inf")
+                if prune_infeasible and not state.feasible
+                else state.lower_bound()
+            )
+            heap: List[tuple] = [(root_bound, pushes, ())]
             while heap:
                 bound, _tie, path = heapq.heappop(heap)
                 shared_floor = clock.shared_floor
@@ -924,6 +1132,171 @@ class BranchBoundExplorer(SearchExplorer):
                         heap,
                         (child_bound, pushes, path + ((unit, target),)),
                     )
+                # A sorted list is a valid min-heap, so capping (which
+                # sorts in place) preserves the pop order.
+                _cap_frontier(heap, clock, self.max_open)
+                clock.note_open(len(heap))
+        except _BudgetExceeded:
+            truncated = True
+        return self._finish_search(
+            problem,
+            best,
+            best_cost,
+            clock,
+            evaluations,
+            shared,
+            warm_started,
+            truncated,
+        )
+
+    def _greedy_dive(
+        self,
+        problem: SynthesisProblem,
+        free,
+        state,
+        trail,
+        clock,
+        shared,
+        best,
+        best_cost,
+        evaluations,
+    ):
+        """Root-to-leaf dive along the cheapest probed child.
+
+        The hybrid frontier's incumbent seed: one walk taking the
+        best-looking child at every level — the same path a DFS
+        explores first — so the subsequent (typically capped) heap
+        pass starts with a strong prune threshold instead of an
+        open-ended one.  A dead end (every child bound at or above
+        the incumbent/fleet floor) abandons the dive; the heap pass
+        still covers the whole space, so nothing is lost.
+        """
+        state_targets = self.state_targets
+        prune_infeasible = state.can_prune_infeasible
+        adaptive = self.ordering == "adaptive"
+        total = len(free)
+        if prune_infeasible and not state.feasible:
+            return best, best_cost, evaluations
+        path: tuple = ()
+        while True:
+            clock.tick()
+            trail.restore(path)
+            if len(path) == total:
+                evaluations += 1
+                feasible, cost = state.leaf()
+                if feasible and cost < best_cost:
+                    best, best_cost = state.to_mapping(), cost
+                    if shared is not None:
+                        shared.offer(best_cost)
+                return best, best_cost, evaluations
+            assignment = state.assignment
+            if adaptive and len(path) < STRONG_BRANCH_DEPTH:
+                undecided = [u for u in free if u not in assignment]
+                unit, scored = strong_branch(
+                    state, problem, undecided, state_targets
+                )
+            else:
+                unit = next(u for u in free if u not in assignment)
+                scored = probe_targets(
+                    state, unit, state_targets(problem, unit, state)
+                )
+            bound, _index, target = scored[0]
+            if bound >= best_cost or bound >= clock.shared_floor:
+                return best, best_cost, evaluations
+            path += ((unit, target),)
+
+    def _explore_beam(
+        self,
+        problem: SynthesisProblem,
+        warm_start: Optional[Mapping] = None,
+    ) -> ExplorationResult:
+        """Level-synchronous beam search over the probed child bounds.
+
+        Expands the tree one depth level at a time: the current
+        level's nodes are visited in ascending ``(bound, push)`` order
+        and their viable children accumulate into the next level's
+        buffer, which sorts when the level rolls over.  Uncapped,
+        every viable child survives, so the search is a complete
+        branch-and-bound — level order changes *when* nodes expand,
+        never whether.  With ``max_open`` the buffer is truncated to
+        the cheapest ``max_open`` entries after every expansion
+        (streaming top-K is exact: an evicted entry could never
+        re-enter), bounding the beam width — and therefore memory —
+        while :class:`EvictionLog` keeps the proof floor honest.
+        """
+        free, state, best, best_cost, clock, shared = (
+            self._begin_search(problem, warm_start)
+        )
+        warm_started = best is not None
+        evaluations = 0
+        state_targets = self.state_targets
+        prune_infeasible = state.can_prune_infeasible
+        adaptive = self.ordering == "adaptive"
+        total = len(free)
+        trail = PathTrail(state)
+        pushes = 0
+        truncated = False
+        root_bound = (
+            float("inf")
+            if prune_infeasible and not state.feasible
+            else state.lower_bound()
+        )
+        level: List[tuple] = [(root_bound, pushes, ())]
+        pos = 0
+        next_buf: List[tuple] = []
+
+        try:
+            while True:
+                if pos >= len(level):
+                    if not next_buf:
+                        break
+                    next_buf.sort()
+                    level, next_buf, pos = next_buf, [], 0
+                bound, _tie, path = level[pos]
+                pos += 1
+                shared_floor = clock.shared_floor
+                limit = (
+                    best_cost if best_cost < shared_floor else shared_floor
+                )
+                if bound >= limit:
+                    # The level is bound-sorted, so its remainder is
+                    # prunable too; children already buffered for the
+                    # next level keep their own pop-time check.
+                    pos = len(level)
+                    continue
+                clock.tick()
+                trail.restore(path)
+                if len(path) == total:
+                    evaluations += 1
+                    feasible, cost = state.leaf()
+                    if feasible and cost < best_cost:
+                        best, best_cost = state.to_mapping(), cost
+                        if shared is not None:
+                            shared.offer(best_cost)
+                    continue
+                assignment = state.assignment
+                if adaptive and len(path) < STRONG_BRANCH_DEPTH:
+                    undecided = [u for u in free if u not in assignment]
+                    unit, scored = strong_branch(
+                        state, problem, undecided, state_targets
+                    )
+                else:
+                    unit = next(u for u in free if u not in assignment)
+                    scored = probe_targets(
+                        state, unit, state_targets(problem, unit, state)
+                    )
+                for child_bound, _index, target in scored:
+                    if (
+                        child_bound >= best_cost
+                        or child_bound >= clock.shared_floor
+                    ):
+                        continue
+                    pushes += 1
+                    next_buf.append(
+                        (child_bound, pushes, path + ((unit, target),))
+                    )
+                _cap_frontier(next_buf, clock, self.max_open)
+                clock.note_open(len(level) - pos + len(next_buf))
         except _BudgetExceeded:
             truncated = True
         return self._finish_search(
@@ -956,6 +1329,13 @@ class BranchBoundExplorer(SearchExplorer):
         search, so the usual optimality proof holds.  Node/budget
         accounting accumulates across passes — re-expansions are real
         work.
+
+        With ``max_open`` set, each new sibling group is trimmed so
+        the total count of open (not-yet-descended) children across
+        the active recursion never exceeds the cap: the cheapest
+        children survive, evicted ones are logged (they never set
+        ``limited`` — a capped pass must still terminate) and the
+        proof floor accounts for them.
         """
         free, state, best, best_cost, clock, shared = (
             self._begin_search(problem, warm_start)
@@ -968,6 +1348,7 @@ class BranchBoundExplorer(SearchExplorer):
         total = len(free)
         truncated = False
         limited = False
+        open_count = 0
 
         def _leaf() -> None:
             nonlocal best, best_cost, evaluations
@@ -987,7 +1368,7 @@ class BranchBoundExplorer(SearchExplorer):
             # the parent's batch probe) — reusing it skips the entry
             # recomputation; an ``inf`` probe (infeasibility-mapped)
             # returns here exactly where the feasibility check would.
-            nonlocal limited
+            nonlocal limited, open_count
             clock.tick()
             shared_floor = clock.shared_floor
             limit = (
@@ -1014,7 +1395,11 @@ class BranchBoundExplorer(SearchExplorer):
                 scored = probe_targets(
                     state, unit, state_targets(problem, unit, state)
                 )
+            scored = _cap_children(scored, clock, self.max_open, open_count)
+            open_count += len(scored)
+            clock.note_open(open_count)
             for rank, (bound, _index, target) in enumerate(scored):
+                open_count -= 1
                 # Bound-pruned children are excluded for good — they
                 # never consume the allowance and never force another
                 # pass (only a *viable* child cut by the allowance
@@ -1025,6 +1410,7 @@ class BranchBoundExplorer(SearchExplorer):
                     # A viable deeper discrepancy waits for the wider
                     # next pass.
                     limited = True
+                    open_count -= len(scored) - rank - 1
                     break
                 state.assign(unit, target)
                 recurse(depth + 1, allowance - rank, bound)
@@ -1150,9 +1536,21 @@ class AnnealingExplorer(SearchExplorer):
         temperature = self.initial_temperature
         nodes = 1
         evaluations = 1
+        deadline = self.deadline
+        truncated = False
 
-        for _ in range(self.iterations):
+        for iteration in range(self.iterations):
             if not free:
+                break
+            if (
+                deadline is not None
+                and (iteration & 255) == 0
+                and time.monotonic() > deadline
+            ):
+                # Same poll granularity as the exact frontiers: the
+                # serve deadline cuts the walk mid-run instead of
+                # letting it finish all remaining iterations.
+                truncated = True
                 break
             unit = rng.choice(free)
             old = state.assignment[unit]
@@ -1187,13 +1585,16 @@ class AnnealingExplorer(SearchExplorer):
                         shared.offer(best_energy)
             temperature *= self.cooling
 
+        provenance = f"annealing(seed={self.seed})"
+        if truncated:
+            provenance += " (deadline-truncated)"
         return self._finish(
             problem,
             best_mapping,
             nodes,
             evaluations,
             optimal=False,
-            provenance=f"annealing(seed={self.seed})",
+            provenance=provenance,
         )
 
 
@@ -1216,12 +1617,14 @@ class PortfolioExplorer(SearchExplorer):
         iterations: int = 4000,
         incremental: bool = True,
         backend: Optional[str] = None,
+        max_open: Optional[int] = None,
     ) -> None:
         super().__init__(incremental=incremental, backend=backend)
         self.node_budget = node_budget
         self.time_budget = time_budget
         self.seed = seed
         self.iterations = iterations
+        self.max_open = max_open
 
     def explore(
         self,
@@ -1234,13 +1637,17 @@ class PortfolioExplorer(SearchExplorer):
             incremental=self.incremental,
             backend=self.backend,
         )
+        annealing.deadline = self.deadline
         heuristic = annealing.explore(problem, warm_start=warm_start)
-        exact = BranchBoundExplorer(
+        exact_member = BranchBoundExplorer(
             incremental=self.incremental,
             node_budget=self.node_budget,
             time_budget=self.time_budget,
             backend=self.backend,
-        ).explore(
+            max_open=self.max_open,
+        )
+        exact_member.deadline = self.deadline
+        exact = exact_member.explore(
             problem,
             warm_start=heuristic.mapping
             if heuristic.feasible
@@ -1269,4 +1676,6 @@ class PortfolioExplorer(SearchExplorer):
             optimal=exact.optimal,
             evaluations=heuristic.evaluations + exact.evaluations,
             provenance=provenance,
+            open_high_water=exact.open_high_water,
+            evicted_subtrees=exact.evicted_subtrees,
         )

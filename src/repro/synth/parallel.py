@@ -309,6 +309,7 @@ def run_lineage(
     warm_start: bool,
     lineage,
     seed: Optional[Mapping] = None,
+    deadline: Optional[float] = None,
 ):
     """Explore one lineage with warm-start chaining.
 
@@ -323,17 +324,29 @@ def run_lineage(
     For exact explorers a seed only tightens pruning — the proven
     cost is unchanged — though node counts may differ from an
     unseeded run.
+
+    ``deadline`` (absolute ``time.monotonic`` instant) stops the
+    lineage between tasks once it passes, returning the tasks finished
+    so far.  A task that was still running when the deadline hit is
+    dropped rather than kept: its explorer was deadline-truncated
+    mid-proof, and the serve layer's resumable-partial contract
+    re-runs incomplete tasks anyway — a suspect result is worth less
+    than an honest "not done".
     """
     from .methods import SelectionResult
 
     results: List[SelectionResult] = []
     previous_best: Optional[Mapping] = seed
     for task in lineage.tasks:
+        if deadline is not None and time.monotonic() >= deadline:
+            break
         problem = family.problem_for_units(
             task.name, task.units, origins=task.origins
         )
         warm = previous_best if warm_start else seed
         exploration = explorer.explore(problem, warm_start=warm)
+        if deadline is not None and time.monotonic() >= deadline:
+            break
         results.append(
             SelectionResult(
                 selection=dict(task.selection),

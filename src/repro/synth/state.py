@@ -1713,6 +1713,48 @@ class PathTrail:
             applied.append(pair)
 
 
+class EvictionLog:
+    """Bounded record of frontier evictions for honest proof floors.
+
+    Memory-capped frontiers (``max_open=``, beam widths) shed open
+    nodes by worst bound; what the search must remember about a shed
+    subtree is *only* the admissible bound it was evicted at — the
+    minimum over all evicted bounds is exactly the cost below which
+    the run can no longer claim a complete proof.  This log keeps
+    that minimum plus a count, O(1) space however many subtrees are
+    dropped, and round-trips through search checkpoints (a resumed
+    segment inherits the earlier segment's honesty obligations).
+
+    Infinite bounds are ignored: an evicted node whose bound is
+    ``inf`` had no feasible completion, so dropping it loses nothing
+    and must not poison the floor (``min`` would be unaffected) or
+    inflate the count.
+    """
+
+    __slots__ = ("count", "floor")
+
+    def __init__(
+        self, count: int = 0, floor: float = float("inf")
+    ) -> None:
+        self.count = count
+        self.floor = floor
+
+    def record(self, bounds) -> None:
+        """Fold one eviction batch (an iterable of bounds) in."""
+        inf = float("inf")
+        for bound in bounds:
+            if bound == inf:
+                continue
+            self.count += 1
+            if bound < self.floor:
+                self.floor = bound
+
+    @property
+    def compromised(self) -> bool:
+        """True once any finite-bound subtree has been dropped."""
+        return self.count > 0
+
+
 class ReferenceSearchState:
     """Full-recompute twin of :class:`SearchState` (the seed behavior).
 

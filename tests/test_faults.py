@@ -266,3 +266,152 @@ class TestParallelMapRecovery:
         )
         with pytest.raises(SynthesisError, match="died"):
             parallel_map(_square, list(range(4)), jobs=2)
+
+
+# ----------------------------------------------------------------------
+# Search-scope ops: injected eviction pressure and allocation failure.
+# ----------------------------------------------------------------------
+def _search_problem(n_units=6):
+    from repro.synth.architecture import ArchitectureTemplate
+    from repro.synth.library import ComponentLibrary
+    from repro.synth.mapping import SynthesisProblem
+
+    library = ComponentLibrary()
+    units = []
+    for i in range(n_units):
+        name = f"u{i}"
+        units.append(name)
+        sw = (8 + 11 * i) % 64 / 64 if i % 3 != 2 else None
+        hw = (5 + 9 * i) % 37 if i % 4 != 1 else None
+        if sw is None and hw is None:
+            hw = 3
+        library.component(name, sw_utilization=sw, hw_cost=hw)
+    arch = ArchitectureTemplate(
+        max_processors=2, processor_cost=7, processor_capacity=0.75
+    )
+    return SynthesisProblem(
+        name="chaos-search", units=tuple(units), library=library,
+        architecture=arch,
+    )
+
+
+class TestSearchFaults:
+    def test_evict_op_forces_cap_and_keeps_floor_honest(self):
+        from repro.synth.explorer import (
+            BranchBoundExplorer,
+            ExhaustiveExplorer,
+        )
+
+        problem = _search_problem()
+        oracle = ExhaustiveExplorer().explore(problem)
+        plan = faults.FaultPlan(
+            ops=[{"op": "evict", "scope": "search", "at_node": 2,
+                  "keep": 1}]
+        )
+        faults.install(plan)
+        result = BranchBoundExplorer(frontier="best-first").explore(
+            problem
+        )
+        assert result.evicted_subtrees > 0
+        assert result.proof_floor <= oracle.cost
+        if result.mapping is not None:
+            assert result.cost >= oracle.cost
+        if not result.optimal:
+            assert "memory-truncated" in result.provenance
+        # Same plan, same bytes: the fault is a coordinate, not a race.
+        faults.install(plan)
+        again = BranchBoundExplorer(frontier="best-first").explore(
+            problem
+        )
+        assert again.cost == result.cost
+        assert again.nodes_explored == result.nodes_explored
+        assert again.evicted_subtrees == result.evicted_subtrees
+        assert again.provenance == result.provenance
+
+    def test_evict_op_tightens_but_never_loosens_max_open(self):
+        from repro.synth.explorer import BranchBoundExplorer
+
+        problem = _search_problem()
+        faults.install(
+            faults.FaultPlan(
+                ops=[{"op": "evict", "scope": "search", "at_node": 0,
+                      "keep": 50}]
+            )
+        )
+        # keep=50 is looser than max_open=1: the explorer's own cap
+        # must win (min of the two).
+        loose = BranchBoundExplorer(
+            frontier="best-first", max_open=1
+        ).explore(problem)
+        faults.clear()
+        capped = BranchBoundExplorer(
+            frontier="best-first", max_open=1
+        ).explore(problem)
+        assert loose.nodes_explored == capped.nodes_explored
+        assert loose.cost == capped.cost
+        assert loose.evicted_subtrees == capped.evicted_subtrees
+
+    def test_oom_op_fires_once_and_search_degrades(self):
+        from repro.synth.explorer import (
+            BranchBoundExplorer,
+            ExhaustiveExplorer,
+        )
+
+        problem = _search_problem()
+        oracle = ExhaustiveExplorer().explore(problem)
+        faults.install(
+            faults.FaultPlan(
+                ops=[{"op": "oom", "scope": "search", "at_node": 3}]
+            )
+        )
+        result = BranchBoundExplorer(frontier="best-first").explore(
+            problem
+        )
+        # The injected MemoryError is answered by halving the open
+        # frontier once; the search then completes with an honest
+        # floor instead of crashing.
+        assert result.proof_floor <= oracle.cost
+        if result.mapping is not None:
+            assert result.cost >= oracle.cost
+
+    def test_dfs_ignores_search_scope_plans(self):
+        from repro.synth.explorer import BranchBoundExplorer
+
+        problem = _search_problem()
+        clean = BranchBoundExplorer(frontier="dfs").explore(problem)
+        faults.install(
+            faults.FaultPlan(
+                ops=[
+                    {"op": "evict", "scope": "search", "at_node": 0,
+                     "keep": 1},
+                    {"op": "oom", "scope": "search", "at_node": 1},
+                ]
+            )
+        )
+        chaotic = BranchBoundExplorer(frontier="dfs").explore(problem)
+        assert chaotic.optimal and clean.optimal
+        assert chaotic.nodes_explored == clean.nodes_explored
+        assert chaotic.provenance == clean.provenance
+
+    def test_drive_matches_explore_under_search_faults(self):
+        from repro.synth.checkpoint import Checkpointer
+        from repro.synth.explorer import BranchBoundExplorer
+
+        problem = _search_problem()
+        plan = faults.FaultPlan(
+            ops=[{"op": "evict", "scope": "search", "at_node": 2,
+                  "keep": 2}]
+        )
+        for frontier in ("best-first", "beam", "hybrid"):
+            faults.install(plan)
+            plain = BranchBoundExplorer(frontier=frontier).explore(
+                problem
+            )
+            faults.install(plan)
+            driven = BranchBoundExplorer(frontier=frontier).explore(
+                problem, checkpoint=Checkpointer(every_nodes=3)
+            )
+            assert driven.cost == plain.cost
+            assert driven.nodes_explored == plain.nodes_explored
+            assert driven.evicted_subtrees == plain.evicted_subtrees
+            assert driven.provenance == plain.provenance

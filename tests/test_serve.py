@@ -468,3 +468,299 @@ def test_serve_daemon_boots_and_drains_on_sigterm():
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Admission control: queue deadlines, engine caps, Retry-After.
+# ----------------------------------------------------------------------
+async def _drain_terminal(engine, job_id, timeout=60.0):
+    """Like :func:`_drain_events` but ``shed`` also terminates."""
+    queue = engine.subscribe(job_id)
+    events = []
+    while True:
+        event = await asyncio.wait_for(queue.get(), timeout=timeout)
+        events.append(event)
+        if event["event"] in ("done", "failed", "timeout", "shed"):
+            return events
+
+
+def test_queue_deadline_sheds_stale_jobs():
+    async def main():
+        engine = ServeEngine(workers=1, queue_deadline=0.05)
+        # Queue before starting workers, then let the deadline lapse:
+        # the worker's first act must be to shed, not run.
+        job = engine.submit({**FIG2, "use_cache": False})
+        await asyncio.sleep(0.15)
+        await engine.start()
+        events = await _drain_terminal(engine, job.job_id)
+        assert job.state == "shed"
+        assert "shed after" in job.error
+        last = events[-1]
+        assert last["event"] == "shed"
+        assert last["waited_seconds"] >= 0.05
+        assert last["retry_after"] >= 1.0
+        stats = engine.stats()
+        assert stats["jobs_shed"] == 1
+        assert stats["queue_deadline"] == 0.05
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_time_budget_exhausted_in_queue_is_shed():
+    async def main():
+        # The queue deadline itself is generous; the job's own
+        # time_budget expires while it waits, so running it could
+        # only ever return a useless instant-timeout.
+        engine = ServeEngine(workers=1, queue_deadline=30.0)
+        job = engine.submit(
+            {**FIG2, "use_cache": False, "time_budget": 0.01}
+        )
+        await asyncio.sleep(0.1)
+        await engine.start()
+        await _drain_terminal(engine, job.job_id)
+        assert job.state == "shed"
+        assert engine.stats()["jobs_shed"] == 1
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_no_queue_deadline_never_sheds():
+    async def main():
+        engine = ServeEngine(workers=1)
+        job = engine.submit(
+            {**FIG2, "use_cache": False, "time_budget": 1e-9}
+        )
+        await asyncio.sleep(0.05)
+        await engine.start()
+        await _drain_terminal(engine, job.job_id)
+        # Without the knob the job still runs (and times out inside
+        # the search) -- shedding is strictly opt-in.
+        assert job.state == "timeout"
+        assert engine.stats()["jobs_shed"] == 0
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_stats_reports_frontier_gauges():
+    payload = {
+        **GENERATED,
+        "explorer": {"name": "bnb", "frontier": "best-first"},
+    }
+
+    async def main():
+        engine = ServeEngine(workers=1)
+        await engine.start()
+        job, _ = await _run_job(engine, payload)
+        assert job.state == "done"
+        stats = engine.stats()
+        assert stats["frontier_high_water"] > 0
+        assert stats["jobs_shed"] == 0
+        assert stats["max_open_nodes"] is None
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_engine_cap_applies_and_evicting_runs_bypass_cache():
+    payload = {
+        **GENERATED,
+        "explorer": {"name": "bnb", "frontier": "best-first"},
+    }
+
+    async def main():
+        engine = ServeEngine(workers=1, max_open_nodes=1)
+        await engine.start()
+        first, _ = await _run_job(engine, payload)
+        assert first.state == "done"
+        stats = engine.stats()
+        assert stats["frontier_high_water"] <= 1
+        assert stats["subtrees_evicted"] > 0
+        # The daemon cap shaped this result, so caching it would let
+        # an uncapped daemon later serve capped bytes: resubmission
+        # must miss.
+        second = engine.submit(payload)
+        assert second.cache_status != "hit"
+        if second.state not in ("done", "failed", "timeout"):
+            await _drain_terminal(engine, second.job_id)
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_spec_keyed_max_open_stays_cacheable():
+    payload = {
+        **GENERATED,
+        "explorer": {
+            "name": "bnb",
+            "frontier": "best-first",
+            "max_open": 1,
+        },
+    }
+
+    async def main():
+        engine = ServeEngine(workers=1)
+        await engine.start()
+        first, _ = await _run_job(engine, payload)
+        assert first.state == "done"
+        # max_open in the spec is part of the job key, so the capped
+        # bytes are deterministic for that key: exact hits are sound.
+        hit = engine.submit(payload)
+        assert hit.state == "done"
+        assert hit.cache_status == "hit"
+        assert hit.result_text == first.result_text
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_engine_cap_without_eviction_still_caches():
+    # DFS carries a max_open attribute but never evicts: the capped
+    # run's bytes equal the uncapped run's, so caching stays sound.
+    payload = {
+        **GENERATED,
+        "explorer": {"name": "bnb", "frontier": "dfs"},
+    }
+
+    async def main():
+        engine = ServeEngine(workers=1, max_open_nodes=2)
+        await engine.start()
+        first, _ = await _run_job(engine, payload)
+        assert first.state == "done"
+        assert engine.stats()["subtrees_evicted"] == 0
+        hit = engine.submit(payload)
+        assert hit.state == "done" and hit.cache_status == "hit"
+        await engine.shutdown()
+
+    asyncio.run(main())
+
+
+def test_rejects_bad_admission_config():
+    from repro.errors import SynthesisError
+    from repro.serve.jobs import JobSpec
+
+    with pytest.raises(SynthesisError, match="max_open_nodes"):
+        ServeEngine(max_open_nodes=0)
+    with pytest.raises(SynthesisError, match="queue_deadline"):
+        ServeEngine(queue_deadline=0.0)
+    for bad in (0, -3, True, "many"):
+        with pytest.raises(SynthesisError, match="max_open"):
+            JobSpec.from_payload(
+                {**FIG2, "explorer": {"name": "bnb", "max_open": bad}}
+            )
+
+
+def test_http_503_carries_retry_after_header_and_body():
+    import http.client
+    import json as json_mod
+
+    loop = asyncio.new_event_loop()
+    engine = ServeEngine(workers=1, max_queue=1)
+    server = ServeHTTP(engine, host="127.0.0.1", port=0)
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+
+    async def boot():
+        await server.start()
+        return server.bound_port
+
+    port = asyncio.run_coroutine_threadsafe(boot(), loop).result(30)
+
+    async def drain_only():
+        # Flip the draining flag without shutting down: submissions
+        # now 503 deterministically (no queue race) while the server
+        # keeps answering.
+        engine.draining = True
+
+    asyncio.run_coroutine_threadsafe(drain_only(), loop).result(10)
+    try:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        body = json_mod.dumps({**GENERATED, "use_cache": False})
+        conn.request(
+            "POST",
+            "/jobs",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        text = response.read().decode()
+        assert response.status == 503
+        header = response.getheader("Retry-After")
+        assert header is not None and int(header) >= 1
+        payload = json_mod.loads(text)
+        assert payload["retry_after"] >= 1.0
+        assert "draining" in payload["error"]
+        conn.close()
+    finally:
+        engine.draining = False
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+def test_client_retries_503_honoring_hint(monkeypatch):
+    import json as json_mod
+
+    from repro.serve import client as client_mod
+
+    sleeps = []
+    monkeypatch.setattr(
+        client_mod.time, "sleep", lambda s: sleeps.append(s)
+    )
+    answers = [
+        ServeClientError(
+            503, json_mod.dumps({"error": "full", "retry_after": 0.7})
+        ),
+        ServeClientError(503, "not json"),
+        (200, "{}"),
+    ]
+
+    calls = {"n": 0}
+
+    def fake_request_once(self, method, path, payload, ok):
+        answer = answers[calls["n"]]
+        calls["n"] += 1
+        if isinstance(answer, ServeClientError):
+            raise answer
+        return answer
+
+    monkeypatch.setattr(
+        client_mod.ServeClient, "_request_once", fake_request_once
+    )
+    client = ServeClient(retries=2, retry_backoff=0.05)
+    status, text = client._request("GET", "/stats")
+    assert (status, text) == (200, "{}")
+    assert calls["n"] == 3
+    assert len(sleeps) == 2
+    # First delay honors the server hint (0.7 > 0.05 backoff), with
+    # at most 10% jitter on top; second falls back to exponential
+    # backoff because the body carried no hint.
+    assert 0.7 <= sleeps[0] <= 0.7 * 1.1 + 1e-9
+    assert 0.1 <= sleeps[1] <= 0.1 * 1.1 + 1e-9
+
+
+def test_client_does_not_retry_non_503(monkeypatch):
+    from repro.serve import client as client_mod
+
+    calls = {"n": 0}
+
+    def fake_request_once(self, method, path, payload, ok):
+        calls["n"] += 1
+        raise ServeClientError(400, "bad")
+
+    monkeypatch.setattr(
+        client_mod.ServeClient, "_request_once", fake_request_once
+    )
+    client = ServeClient(retries=3)
+    with pytest.raises(ServeClientError) as err:
+        client._request("GET", "/stats")
+    assert err.value.status == 400
+    assert calls["n"] == 1

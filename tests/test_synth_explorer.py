@@ -224,7 +224,7 @@ class TestBranchingOrder:
 class TestSearchFrontiers:
     def test_default_frontier_is_dfs(self):
         assert BranchBoundExplorer().frontier == "dfs"
-        assert FRONTIERS == ("dfs", "best-first", "lds")
+        assert FRONTIERS == ("dfs", "best-first", "lds", "beam", "hybrid")
 
     def test_invalid_frontier_rejected(self):
         with pytest.raises(SynthesisError):
