@@ -145,6 +145,33 @@ def serve_lines(payload: dict) -> List[str]:
     return lines
 
 
+def zoo_lines(payload: dict) -> List[str]:
+    """The zoo-matrix summary of one BENCH_explorer payload."""
+    section = payload.get("zoo")
+    if not section:
+        return []
+    families = section.get("families", {})
+    if not families:
+        return []
+    lines = [
+        f"zoo matrix ({section.get('size', '?')} scenarios, nodes to "
+        "proven optimum per explorer config):"
+    ]
+    width = max(len(name) for name in families)
+    for name, row in families.items():
+        cells = row.get("configs", {})
+        rendered = "  ".join(
+            f"{label}={cell.get('nodes', '?')}"
+            + ("" if cell.get("optimal") else "(TRUNCATED)")
+            for label, cell in cells.items()
+        )
+        lines.append(
+            f"  {name:<{width}}  units={row.get('units', '?'):>3} "
+            f"sel={row.get('selections', '?'):>3}  {rendered}"
+        )
+    return lines
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     current = pathlib.Path(args[0]) if args else DEFAULT_CURRENT
@@ -160,6 +187,8 @@ def main(argv=None) -> int:
     for line in batch_kernel_lines(payload):
         print(line)
     for line in serve_lines(payload):
+        print(line)
+    for line in zoo_lines(payload):
         print(line)
     return 0
 

@@ -61,6 +61,13 @@ GATED_METRICS = {
     # Both absent from pre-PR-9 baselines — skipped there.
     "bnb_capped_hybrid_nodes_to_done": "lower",
     "bnb_capped_hybrid_nodes_per_sec": "higher",
+    # Zoo matrix (PR 10): adaptive-ordering nodes-to-optimal on the
+    # generator families — deterministic searches, so any climb is a
+    # real pruning/ordering regression.  Absent from older baselines
+    # — skipped there.
+    "zoo_deep_chain_nodes_to_optimal": "lower",
+    "zoo_chained_nodes_to_optimal": "lower",
+    "zoo_hetero_multiproc_nodes_to_optimal": "lower",
 }
 
 #: Metrics that only compare between runs recorded on the same number
@@ -154,6 +161,15 @@ def extract_metrics(payload: dict) -> Dict[str, float]:
     serve = payload.get("serve", {})
     put("serve_jobs_per_sec", serve.get("load", {}).get("jobs_per_sec"))
     put("serve_cache_hit_speedup", serve.get("cache_hit_speedup"))
+    zoo = payload.get("zoo", {}).get("families", {})
+    for family in ("deep_chain", "chained", "hetero_multiproc"):
+        cell = (
+            zoo.get(family, {})
+            .get("configs", {})
+            .get("adaptive_dynamic", {})
+        )
+        if cell.get("optimal"):
+            put(f"zoo_{family}_nodes_to_optimal", cell.get("nodes"))
     return metrics
 
 

@@ -180,3 +180,110 @@ def generate_system(
             "common_fraction": common_fraction,
         },
     )
+
+
+def generate_chained_system(
+    seed: int = 0,
+    n_interfaces: int = 2,
+    n_variants: int = 2,
+    common_processes: int = 2,
+    cluster_size: int = 1,
+    processor_cost: float = 12.0,
+    processor_capacity: float = 1.0,
+) -> GeneratedSystem:
+    """A chain of ``n_interfaces`` variant sets on one common stream.
+
+    Generalizes :func:`generate_system` (kept byte-stable for the
+    committed bench baselines) to several interfaces ``theta0 …
+    theta<n-1>`` spliced back to back: interface ``i`` reads channel
+    ``Cm<i>`` and writes ``Cm<i+1>``.  Selections are independent, so
+    the variant space enumerates ``n_variants ** n_interfaces``
+    consistent selections — the multi-variant-set system of paper §1.
+
+    Degenerate shapes are supported deliberately: ``n_variants=1``
+    yields a single-variant space (exactly one selection), and
+    ``n_interfaces`` with ``common_processes`` at their minimums give
+    the smallest pipelines the zoo's edge-case tests lean on.
+    """
+    if n_interfaces < 1:
+        raise ValueError("n_interfaces must be >= 1")
+    if n_variants < 1:
+        raise ValueError("n_variants must be >= 1")
+    if common_processes < 1:
+        raise ValueError("common_processes must be >= 1")
+    if cluster_size < 1:
+        raise ValueError("cluster_size must be >= 1")
+    rng = random.Random(seed)
+
+    vgraph = VariantGraph(f"chain{seed}_i{n_interfaces}_v{n_variants}")
+    builder = GraphBuilder("common")
+    builder.queue("Cin")
+    for index in range(n_interfaces + 1):
+        builder.queue(f"Cm{index}")
+    builder.process(source("VSrc", "Cin", max_firings=8))
+    builder.process(sink("VSnk", f"Cm{n_interfaces}"))
+    for index in range(common_processes):
+        inp = "Cin" if index == 0 else f"Cc{index - 1}"
+        out = "Cm0" if index == common_processes - 1 else f"Cc{index}"
+        if out != "Cm0":
+            builder.queue(out)
+        builder.simple(
+            f"K{index}",
+            latency=round(rng.uniform(1.0, 4.0), 2),
+            consumes={inp: 1},
+            produces={out: 1},
+        )
+    vgraph.base = builder.build(validate=False)
+
+    library = ComponentLibrary()
+    for index in range(common_processes):
+        library.component(
+            f"K{index}",
+            sw_utilization=rng.randint(2, 8) / 64,
+            hw_cost=rng.randint(4, 12),
+        )
+
+    for iface_index in range(n_interfaces):
+        clusters = {
+            f"var{v}": _pipeline_cluster(
+                f"var{v}", cluster_size, rng
+            )
+            for v in range(n_variants)
+        }
+        interface = Interface(
+            name=f"theta{iface_index}",
+            inputs=("i",),
+            outputs=("o",),
+            clusters=clusters,
+            kind=VariantKind.PRODUCTION,
+        )
+        vgraph.add_interface(
+            interface,
+            {"i": f"Cm{iface_index}", "o": f"Cm{iface_index + 1}"},
+        )
+        for variant, cluster in clusters.items():
+            for process_name in cluster.process_names():
+                library.component(
+                    f"theta{iface_index}.{variant}.{process_name}",
+                    sw_utilization=rng.randint(2, 12) / 64,
+                    hw_cost=rng.randint(5, 15),
+                )
+
+    architecture = ArchitectureTemplate(
+        name="gen-chained",
+        max_processors=1,
+        processor_cost=processor_cost,
+        processor_capacity=processor_capacity,
+    )
+    return GeneratedSystem(
+        vgraph=vgraph,
+        library=library,
+        architecture=architecture,
+        params={
+            "seed": seed,
+            "n_interfaces": n_interfaces,
+            "n_variants": n_variants,
+            "common_processes": common_processes,
+            "cluster_size": cluster_size,
+        },
+    )

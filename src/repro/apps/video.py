@@ -486,6 +486,137 @@ def run_video(
     return trace, graph
 
 
+def video_synthesis_system(
+    n_stages: int = 2,
+    variants_per_stage: int = 2,
+    seed: int = 0,
+    frame_period: float = 40.0,
+    max_processors: int = 1,
+    processor_cost: float = 8.0,
+):
+    """The video chain as a *synthesis* workload (variant graph form).
+
+    Where :func:`build_video_system` reproduces Figure 4 for the
+    simulator, this builds the same ``VIn -> PIn -> P1 … Pn -> POut ->
+    VOut`` chain as a :class:`~repro.variants.vgraph.VariantGraph` for
+    the co-synthesis layer: every chain stage is a variant interface
+    whose clusters are the stage's function variants, and the valves
+    are common (variant-independent) units.  Utilizations derive from
+    per-variant processing latencies against ``frame_period`` (WCET /
+    period), quantized onto the exact ``1/64`` grid so the integer
+    kernel is bit-exact; hardware costs scale with how demanding the
+    variant is.  Seeded and deterministic.
+
+    Degenerate shapes are first-class (the scenario zoo leans on
+    them): ``variants_per_stage=1`` yields a single-variant space
+    (one consistent selection, empty choice), and ``n_stages=1`` a
+    minimal pipeline.  Returns a
+    :class:`~repro.apps.generators.GeneratedSystem`.
+    """
+    import random
+
+    from ..synth.architecture import ArchitectureTemplate
+    from ..synth.library import ComponentLibrary
+    from ..variants.vgraph import VariantGraph
+    from .generators import GeneratedSystem
+
+    if n_stages < 1:
+        raise ValueError("n_stages must be >= 1")
+    if variants_per_stage < 1:
+        raise ValueError("variants_per_stage must be >= 1")
+    rng = random.Random(seed)
+
+    vgraph = VariantGraph(f"video{seed}_p{n_stages}")
+    builder = GraphBuilder("common")
+    builder.queue("CVin")
+    for stage in range(n_stages + 1):
+        builder.queue(f"CV{stage}")
+    builder.queue("CVout")
+    builder.process(
+        source("VIn", "CVin", tags="img", period=frame_period, max_firings=4)
+    )
+    builder.process(sink("VOut", "CVout"))
+    builder.simple(
+        "PIn",
+        latency=0.5,
+        consumes={"CVin": 1},
+        produces={"CV0": 1},
+        out_tags={"CV0": "img"},
+    )
+    builder.simple(
+        "POut",
+        latency=0.5,
+        consumes={f"CV{n_stages}": 1},
+        produces={"CVout": 1},
+        out_tags={"CVout": "img"},
+    )
+    vgraph.base = builder.build(validate=False)
+
+    library = ComponentLibrary()
+    for valve in ("PIn", "POut"):
+        library.component(
+            valve,
+            sw_utilization=rng.randint(1, 3) / 64,
+            hw_cost=rng.randint(2, 6),
+        )
+
+    for stage in range(1, n_stages + 1):
+        variants = {
+            f"v{stage}{chr(ord('a') + v)}": float(
+                rng.randint(4, 16)
+            )  # per-variant processing latency, ms
+            for v in range(variants_per_stage)
+        }
+        clusters = {
+            name: _stage_cluster(name, latency)
+            for name, latency in variants.items()
+        }
+        vgraph.add_interface(
+            Interface(
+                name=f"thetaP{stage}",
+                inputs=("i",),
+                outputs=("o",),
+                clusters=clusters,
+                selection=ClusterSelectionFunction.by_tag(
+                    f"CV{stage - 1}",
+                    {f"Q_{name}": name for name in sorted(clusters)},
+                ),
+                kind=VariantKind.RUNTIME,
+            ),
+            {"i": f"CV{stage - 1}", "o": f"CV{stage}"},
+        )
+        for name, latency in variants.items():
+            # WCET/period on the exact grid; faster variants cost more
+            # silicon when moved to hardware.
+            utilization = (
+                max(1, round(latency / frame_period * 64)) / 64
+            )
+            library.component(
+                f"thetaP{stage}.{name}.proc",
+                sw_utilization=utilization,
+                hw_cost=rng.randint(8, 14)
+                + round(16 * (1 - latency / 16)),
+            )
+
+    architecture = ArchitectureTemplate(
+        name="video-platform",
+        max_processors=max_processors,
+        processor_cost=processor_cost,
+        processor_capacity=1.0,
+    )
+    return GeneratedSystem(
+        vgraph=vgraph,
+        library=library,
+        architecture=architecture,
+        params={
+            "seed": seed,
+            "n_stages": n_stages,
+            "variants_per_stage": variants_per_stage,
+            "frame_period": frame_period,
+        },
+    )
+
+
 def video_report(trace: Trace) -> Dict[str, object]:
     """Frame accounting and reconfiguration summary of one run."""
     monitor = FrameValidityMonitor(

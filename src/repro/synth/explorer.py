@@ -1676,6 +1676,11 @@ class PortfolioExplorer(SearchExplorer):
             optimal=exact.optimal,
             evaluations=heuristic.evaluations + exact.evaluations,
             provenance=provenance,
+            # The exact member searched the whole space (the annealing
+            # result only seeded its incumbent), so its certificate is
+            # the portfolio's certificate — without this, a complete
+            # run would claim optimal=True with proof_floor at -inf.
+            proof_floor=exact.proof_floor,
             open_high_water=exact.open_high_water,
             evicted_subtrees=exact.evicted_subtrees,
         )

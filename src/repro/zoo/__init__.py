@@ -1,0 +1,64 @@
+"""Scenario zoo: seeded generator families for differential testing.
+
+Every family is a function ``(seed, size) -> ZooScenario`` where
+``size`` is one of :data:`repro.zoo.base.SIZES` (``small`` instances
+are oracle-checkable by exhaustive enumeration, ``medium`` stretches
+the explorers, ``bench`` feeds the benchmark matrix).  Scenarios are
+pure functions of ``(family, seed, size)`` — regenerating with the
+same arguments reproduces the identical problem, which is what lets
+the fuzz corpus store only coordinates instead of whole systems.
+
+All numeric workload values live on the 1/64 binary grid with integer
+hardware costs, so the integer fixed-point kernel is bit-exact against
+the reference evaluator and differential checks can use ``==``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import SIZES, ZooScenario, check_size
+from .chained import chained
+from .hetero import hetero_multiproc
+from .hierarchy import deep_chain
+from .pathological import exclusion_pathology, memory_ladder
+from .streaming import streaming_pipeline
+
+#: Family name -> generator.  Keep insertion order stable: sweeps and
+#: benches iterate this dict and their output order is part of the
+#: committed artifacts.
+FAMILIES: Dict[str, Callable[..., ZooScenario]] = {
+    "deep_chain": deep_chain,
+    "hetero_multiproc": hetero_multiproc,
+    "exclusion_pathology": exclusion_pathology,
+    "memory_ladder": memory_ladder,
+    "streaming_pipeline": streaming_pipeline,
+    "chained": chained,
+}
+
+
+def generate(family: str, seed: int, size: str = "small") -> ZooScenario:
+    """Build the scenario at coordinates ``(family, seed, size)``."""
+    try:
+        make = FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise ValueError(
+            f"unknown zoo family {family!r} (known: {known})"
+        ) from None
+    return make(seed, size)
+
+
+__all__ = [
+    "FAMILIES",
+    "SIZES",
+    "ZooScenario",
+    "check_size",
+    "chained",
+    "deep_chain",
+    "exclusion_pathology",
+    "generate",
+    "hetero_multiproc",
+    "memory_ladder",
+    "streaming_pipeline",
+]

@@ -1,0 +1,188 @@
+"""Randomly chained systems in the Csynth style.
+
+Csynth's synthesizer grows a program by repeatedly drawing functions
+from a FunctionDB and chaining them (SNIPPETS.md, snippet 2, with
+``MAX_CHAIN_NUM`` bounding the chain).  The zoo analogue draws from a
+small template pool of *segment* kinds and splices a seeded random
+chain of them onto one stream:
+
+* ``common`` — a variant-independent processing block;
+* ``interface`` — a variant set with 2–3 clusters;
+* ``tied`` — two consecutive variant sets whose selections are
+  related through a :class:`SelectionGroup` (aligned choices).
+
+Every draw (segment kind, cluster counts, library numbers) comes from
+one seeded :class:`random.Random`, so a scenario is fully replayable
+from ``(seed, size)`` — the property the fuzz corpus leans on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..synth.architecture import ArchitectureTemplate
+from ..synth.library import ComponentLibrary
+from ..synth.methods import ProblemFamily
+from ..variants.interface import Interface
+from ..variants.types import VariantKind
+from ..variants.variant_space import SelectionGroup, VariantSpace
+from ..variants.vgraph import VariantGraph
+from .base import (
+    ZooScenario,
+    check_size,
+    common_chain,
+    component_for_cluster,
+    grid64,
+    linear_cluster,
+)
+
+#: (max_chain, max_selections, max_joint_units) per size — the chain
+#: grows until a segment would blow one of the budgets.
+_BUDGETS = {
+    "small": (4, 6, 7),
+    "medium": (8, 16, 18),
+    "bench": (12, 32, 40),
+}
+
+_SEGMENT_KINDS = ("common", "interface", "interface", "tied")
+
+
+def chained(seed: int, size: str = "small") -> ZooScenario:
+    """A seeded random chain of segment templates on one stream."""
+    check_size(size)
+    max_chain, max_selections, max_units = _BUDGETS[size]
+    rng = random.Random(seed)
+
+    # Draw the chain plan first (a pure function of the seed), then
+    # build the graph: segment draws must not interleave with library
+    # draws or the plan would shift whenever a template changes.
+    plan = []
+    selections = 1
+    units = 2  # the common chain built below
+    for _ in range(max_chain):
+        kind = rng.choice(_SEGMENT_KINDS)
+        if kind == "common":
+            cost = 1
+            growth = 1
+        elif kind == "interface":
+            width = rng.randint(2, 3)
+            cost = width
+            growth = width
+        else:
+            width = rng.randint(2, 3)
+            cost = width  # tied: one joint choice axis
+            growth = 2 * width
+        if selections * cost > max_selections or units + growth > max_units:
+            continue
+        selections *= cost
+        units += growth
+        plan.append(
+            (kind, width if kind != "common" else 1)
+        )
+    if not any(kind != "common" for kind, _ in plan):
+        # Guarantee at least one variant set, whatever the draws did.
+        plan.append(("interface", 2))
+
+    n_interfaces = sum(
+        (2 if kind == "tied" else 1)
+        for kind, _ in plan
+        if kind != "common"
+    )
+    vgraph = VariantGraph(f"chain{seed}")
+    builder = common_chain("common", 2, n_stages=max(1, n_interfaces))
+    # Common segments ride as extra library-only units on the base
+    # chain processes; structural commons stay two (K0, K1).
+    vgraph.base = builder.build(validate=False)
+
+    library = ComponentLibrary()
+    for index in range(2):
+        library.component(
+            f"K{index}",
+            sw_utilization=grid64(rng, 2, 8),
+            hw_cost=rng.randint(4, 12),
+        )
+
+    groups = []
+    stage = 0
+    iface_index = 0
+
+    def add_interface(width: int) -> str:
+        nonlocal stage, iface_index
+        name = f"t{iface_index}"
+        clusters = {
+            f"v{v}": linear_cluster(f"v{v}", 1) for v in range(width)
+        }
+        vgraph.add_interface(
+            Interface(
+                name=name,
+                inputs=("i",),
+                outputs=("o",),
+                clusters=clusters,
+                kind=VariantKind.PRODUCTION,
+            ),
+            {"i": f"S{stage}", "o": f"S{stage + 1}"},
+        )
+        for cluster in clusters.values():
+            component_for_cluster(
+                library,
+                name,
+                cluster,
+                rng,
+                util_lo=2,
+                util_hi=16,
+                hw_lo=3,
+                hw_hi=14,
+                hw_only_chance=0.1,
+                sw_only_chance=0.1,
+            )
+        stage += 1
+        iface_index += 1
+        return name
+
+    for kind, width in plan:
+        if kind == "common":
+            # An extra common unit: pure library weight, no structure.
+            index = len(library.names())
+            library.component(
+                f"X{index}",
+                sw_utilization=grid64(rng, 1, 6),
+                hw_cost=rng.randint(3, 10),
+            )
+        elif kind == "interface":
+            add_interface(width)
+        else:
+            first = add_interface(width)
+            second = add_interface(width)
+            groups.append(
+                SelectionGroup(
+                    name=f"g{first}",
+                    choices=tuple(
+                        {first: f"v{v}", second: f"v{v}"}
+                        for v in range(width)
+                    ),
+                )
+            )
+
+    space = VariantSpace(vgraph, tuple(groups))
+    architecture = ArchitectureTemplate(
+        name="chain-core",
+        max_processors=1,
+        processor_cost=rng.randint(2, 8),
+        processor_capacity=0.75,
+    )
+    family = ProblemFamily(
+        name=f"zoo-chained-s{seed}",
+        library=library,
+        architecture=architecture,
+    )
+    return ZooScenario(
+        family="chained",
+        seed=seed,
+        size=size,
+        problem_family=family,
+        space=space,
+        params={
+            "plan": [list(entry) for entry in plan],
+            "interfaces": n_interfaces,
+        },
+    )

@@ -1,0 +1,127 @@
+"""Heterogeneous multi-processor workloads with a real memory axis.
+
+The knapsack-hard bench family lives on a single processor with
+utilization as the only shared resource.  This family stresses the
+other half of the architecture envelope: several allocatable
+processors (symmetry-broken by the explorers), a binding
+``memory_capacity``, and a *heterogeneous* unit population —
+controller-ish units (low utilization, fat memory footprint),
+DSP-ish units (high utilization, slim memory), and accelerator units
+that only exist in hardware.  Processor allocation, packing across
+cores, and the two-resource feasibility frontier all engage at once.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..synth.architecture import ArchitectureTemplate
+from ..synth.library import ComponentLibrary
+from ..synth.methods import ProblemFamily
+from ..variants.interface import Interface
+from ..variants.types import VariantKind
+from ..variants.variant_space import VariantSpace
+from ..variants.vgraph import VariantGraph
+from .base import (
+    ZooScenario,
+    check_size,
+    common_chain,
+    grid64,
+    linear_cluster,
+    runtime_selection,
+)
+
+#: (processors, variants, cluster_size, common_processes) per size.
+_SHAPES = {
+    "small": (2, 2, 1, 2),
+    "medium": (3, 3, 2, 3),
+    "bench": (2, 4, 4, 5),
+}
+
+
+def _profiled_entry(
+    library: ComponentLibrary, name: str, rng: random.Random
+) -> None:
+    """One unit drawn from the heterogeneous profile population."""
+    profile = rng.choice(("controller", "dsp", "accelerator"))
+    if profile == "controller":
+        # Cheap cycles, fat code: memory is what binds.
+        library.component(
+            name,
+            sw_utilization=grid64(rng, 1, 6),
+            sw_memory=grid64(rng, 16, 40),
+            hw_cost=rng.randint(8, 20),
+        )
+    elif profile == "dsp":
+        # Hot loops, slim code: utilization is what binds.
+        library.component(
+            name,
+            sw_utilization=grid64(rng, 16, 44),
+            sw_memory=grid64(rng, 1, 6),
+            hw_cost=rng.randint(6, 16),
+        )
+    else:
+        # Fixed-function block: hardware is the only home.
+        library.component(name, hw_cost=rng.randint(2, 10))
+
+
+def hetero_multiproc(seed: int, size: str = "small") -> ZooScenario:
+    """Multi-core + memory-capacity workload over one variant set."""
+    check_size(size)
+    processors, variants, cluster_size, common_processes = _SHAPES[size]
+    rng = random.Random(seed)
+
+    vgraph = VariantGraph(f"hetero{seed}")
+    builder = common_chain("common", common_processes, n_stages=1)
+    vgraph.base = builder.build(validate=False)
+
+    library = ComponentLibrary()
+    for index in range(common_processes):
+        _profiled_entry(library, f"K{index}", rng)
+
+    clusters = {
+        f"v{variant}": linear_cluster(f"v{variant}", cluster_size)
+        for variant in range(variants)
+    }
+    vgraph.add_interface(
+        Interface(
+            name="t0",
+            inputs=("i",),
+            outputs=("o",),
+            clusters=clusters,
+            selection=runtime_selection(clusters),
+            kind=VariantKind.RUNTIME,
+        ),
+        {"i": "S0", "o": "S1"},
+    )
+    for cluster in clusters.values():
+        for process_name in cluster.process_names():
+            _profiled_entry(
+                library, f"t0.{cluster.name}.{process_name}", rng
+            )
+
+    architecture = ArchitectureTemplate(
+        name="hetero-cores",
+        max_processors=processors,
+        processor_cost=rng.randint(4, 10),
+        processor_capacity=0.75,
+        memory_capacity=0.75,
+    )
+    family = ProblemFamily(
+        name=f"zoo-hetero_multiproc-s{seed}",
+        library=library,
+        architecture=architecture,
+    )
+    return ZooScenario(
+        family="hetero_multiproc",
+        seed=seed,
+        size=size,
+        problem_family=family,
+        space=VariantSpace(vgraph),
+        params={
+            "processors": processors,
+            "variants": variants,
+            "cluster_size": cluster_size,
+            "common_processes": common_processes,
+        },
+    )

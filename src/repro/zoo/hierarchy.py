@@ -1,0 +1,128 @@
+"""Deep variant hierarchies: chained interfaces with related selections.
+
+The paper's §1 motivates *related* variant sets ("the variant
+selection for these sets may be related or independent"); this family
+stresses depth: a processing chain of ``depth`` variant interfaces,
+each with ``width`` mutually exclusive clusters, where the first two
+stages are tied by a :class:`~repro.variants.variant_space.SelectionGroup`
+(aligned choices, the multi-standard-TV shape) and the remaining
+stages vary freely.  The joint problem therefore carries
+``depth × width`` clusters of exclusion structure, and the space
+enumerates ``width^(depth-1)`` consistent selections.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..synth.architecture import ArchitectureTemplate
+from ..synth.library import ComponentLibrary
+from ..synth.methods import ProblemFamily
+from ..variants.interface import Interface
+from ..variants.types import VariantKind
+from ..variants.variant_space import SelectionGroup, VariantSpace
+from ..variants.vgraph import VariantGraph
+from .base import (
+    ZooScenario,
+    check_size,
+    common_chain,
+    component_for_cluster,
+    grid64,
+    linear_cluster,
+)
+
+#: (depth, width, cluster_size, common_processes) per size.  The
+#: bench shape is sized so every matrix configuration proves
+#: optimality in seconds on one core (depth 6 × cluster 3 already
+#: pushes best-first past 3 minutes — too slow for a CI bench row).
+_SHAPES = {
+    "small": (3, 2, 1, 2),
+    "medium": (4, 2, 2, 3),
+    "bench": (5, 2, 2, 3),
+}
+
+
+def deep_chain(seed: int, size: str = "small") -> ZooScenario:
+    """A depth-``D`` chain of width-``k`` interfaces, stages 0/1 tied."""
+    check_size(size)
+    depth, width, cluster_size, common_processes = _SHAPES[size]
+    rng = random.Random(seed)
+
+    vgraph = VariantGraph(f"deep{seed}")
+    builder = common_chain("common", common_processes, n_stages=depth)
+    vgraph.base = builder.build(validate=False)
+
+    library = ComponentLibrary()
+    for index in range(common_processes):
+        library.component(
+            f"K{index}",
+            sw_utilization=grid64(rng, 2, 10),
+            hw_cost=rng.randint(4, 12),
+        )
+
+    for stage in range(depth):
+        clusters = {
+            f"v{variant}": linear_cluster(f"v{variant}", cluster_size)
+            for variant in range(width)
+        }
+        interface = Interface(
+            name=f"t{stage}",
+            inputs=("i",),
+            outputs=("o",),
+            clusters=clusters,
+            kind=VariantKind.PRODUCTION,
+        )
+        vgraph.add_interface(
+            interface, {"i": f"S{stage}", "o": f"S{stage + 1}"}
+        )
+        for cluster in clusters.values():
+            component_for_cluster(
+                library,
+                f"t{stage}",
+                cluster,
+                rng,
+                util_lo=2,
+                util_hi=14,
+                hw_lo=3,
+                hw_hi=15,
+                hw_only_chance=0.15,
+            )
+
+    groups = ()
+    if depth >= 2:
+        # Stages 0 and 1 select together, aligned by variant index —
+        # the "same standard at both ends" relation.
+        groups = (
+            SelectionGroup(
+                name="aligned",
+                choices=tuple(
+                    {"t0": f"v{v}", "t1": f"v{v}"} for v in range(width)
+                ),
+            ),
+        )
+    space = VariantSpace(vgraph, groups)
+
+    architecture = ArchitectureTemplate(
+        name="deep-core",
+        max_processors=1,
+        processor_cost=rng.randint(3, 9),
+        processor_capacity=1.0,
+    )
+    family = ProblemFamily(
+        name=f"zoo-deep_chain-s{seed}",
+        library=library,
+        architecture=architecture,
+    )
+    return ZooScenario(
+        family="deep_chain",
+        seed=seed,
+        size=size,
+        problem_family=family,
+        space=space,
+        params={
+            "depth": depth,
+            "width": width,
+            "cluster_size": cluster_size,
+            "common_processes": common_processes,
+        },
+    )

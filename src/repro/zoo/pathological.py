@@ -1,0 +1,219 @@
+"""Pathological exclusion and memory structures.
+
+Two families designed to make the exclusion-aware cost terms — not
+plain knapsack packing — the deciding factor:
+
+* :func:`exclusion_pathology` — one interface with many heavy
+  clusters, each close to a full processor on its own.  Under the
+  run-time exclusion rule the software load of an interface is the
+  *maximum* over its clusters, so the joint problem is feasible in
+  software exactly because the clusters are mutually exclusive; with
+  ``use_exclusion=False`` (the scenario's twin, selectable via the
+  ``use_exclusion`` param) the same mappings blow the capacity and
+  the optimizer is pushed into hardware.  Any explorer that
+  mis-accounts the exclusion group of a unit shows up against the
+  oracle immediately.
+* :func:`memory_ladder` — a tight ``memory_capacity`` over units
+  whose footprints form a ladder of near-complementary sizes: the
+  software subset choice is a two-resource (utilization + memory)
+  knapsack where most utilization-feasible subsets are
+  memory-infeasible.  Stresses the memory side of the feasibility
+  check and of the incremental kernel's accumulators.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..synth.architecture import ArchitectureTemplate
+from ..synth.library import ComponentLibrary
+from ..synth.methods import ProblemFamily
+from ..variants.interface import Interface
+from ..variants.types import VariantKind
+from ..variants.variant_space import VariantSpace
+from ..variants.vgraph import VariantGraph
+from .base import (
+    ZooScenario,
+    check_size,
+    common_chain,
+    grid64,
+    linear_cluster,
+    runtime_selection,
+)
+
+#: (clusters, cluster_size, common_processes) per size.
+_EXCLUSION_SHAPES = {
+    "small": (3, 1, 1),
+    "medium": (5, 2, 2),
+    "bench": (8, 3, 3),
+}
+
+#: (rungs, variants, common_processes) per size.
+_MEMORY_SHAPES = {
+    "small": (3, 2, 1),
+    "medium": (6, 2, 2),
+    "bench": (10, 2, 4),
+}
+
+
+def exclusion_pathology(
+    seed: int, size: str = "small", use_exclusion: bool = True
+) -> ZooScenario:
+    """One interface, many near-capacity clusters, exclusion decisive."""
+    check_size(size)
+    n_clusters, cluster_size, common_processes = _EXCLUSION_SHAPES[size]
+    rng = random.Random(seed)
+
+    vgraph = VariantGraph(f"excl{seed}")
+    builder = common_chain("common", common_processes, n_stages=1)
+    vgraph.base = builder.build(validate=False)
+
+    library = ComponentLibrary()
+    for index in range(common_processes):
+        # A slim common part: the capacity head-room belongs to the
+        # exclusive clusters.
+        library.component(
+            f"K{index}",
+            sw_utilization=grid64(rng, 1, 4),
+            hw_cost=rng.randint(6, 14),
+        )
+
+    clusters = {
+        f"v{variant}": linear_cluster(f"v{variant}", cluster_size)
+        for variant in range(n_clusters)
+    }
+    vgraph.add_interface(
+        Interface(
+            name="t0",
+            inputs=("i",),
+            outputs=("o",),
+            clusters=clusters,
+            selection=runtime_selection(clusters),
+            kind=VariantKind.RUNTIME,
+        ),
+        {"i": "S0", "o": "S1"},
+    )
+    for cluster in clusters.values():
+        # Each cluster alone nearly fills the processor: 44..56 of 64
+        # split over its processes.  Concurrently they are hopeless —
+        # only the exclusion rule (max over clusters, not sum) makes
+        # an all-software mapping feasible.
+        budget = rng.randint(44, 56)
+        for index, process_name in enumerate(cluster.process_names()):
+            share = budget // cluster_size + (
+                1 if index < budget % cluster_size else 0
+            )
+            library.component(
+                f"t0.{cluster.name}.{process_name}",
+                sw_utilization=share / 64,
+                hw_cost=rng.randint(10, 24),
+            )
+
+    architecture = ArchitectureTemplate(
+        name="excl-core",
+        max_processors=1,
+        processor_cost=rng.randint(2, 8),
+        processor_capacity=1.0,
+    )
+    family = ProblemFamily(
+        name=f"zoo-exclusion_pathology-s{seed}",
+        library=library,
+        architecture=architecture,
+        use_exclusion=use_exclusion,
+    )
+    return ZooScenario(
+        family="exclusion_pathology",
+        seed=seed,
+        size=size,
+        problem_family=family,
+        space=VariantSpace(vgraph),
+        params={
+            "clusters": n_clusters,
+            "cluster_size": cluster_size,
+            "common_processes": common_processes,
+            "use_exclusion": use_exclusion,
+        },
+    )
+
+
+def memory_ladder(seed: int, size: str = "small") -> ZooScenario:
+    """Tight memory capacity over ladder-shaped footprints."""
+    check_size(size)
+    rungs, variants, common_processes = _MEMORY_SHAPES[size]
+    rng = random.Random(seed)
+
+    vgraph = VariantGraph(f"mem{seed}")
+    builder = common_chain("common", common_processes + rungs, n_stages=1)
+    vgraph.base = builder.build(validate=False)
+
+    library = ComponentLibrary()
+    # Ladder rungs: utilization stays cheap, memory footprints are
+    # near-complementary halves/quarters of the capacity so subset
+    # feasibility flips on single swaps.
+    total = common_processes + rungs
+    for index in range(total):
+        if index < common_processes:
+            library.component(
+                f"K{index}",
+                sw_utilization=grid64(rng, 1, 4),
+                sw_memory=grid64(rng, 2, 6),
+                hw_cost=rng.randint(8, 16),
+            )
+        else:
+            rung = index - common_processes
+            footprint = 32 >> (rung % 4)  # 32, 16, 8, 4, 32, ...
+            library.component(
+                f"K{index}",
+                sw_utilization=grid64(rng, 1, 6),
+                sw_memory=(footprint + rng.randint(0, 3)) / 64,
+                hw_cost=rng.randint(5, 18),
+            )
+
+    clusters = {
+        f"v{variant}": linear_cluster(f"v{variant}", 1)
+        for variant in range(variants)
+    }
+    vgraph.add_interface(
+        Interface(
+            name="t0",
+            inputs=("i",),
+            outputs=("o",),
+            clusters=clusters,
+            selection=runtime_selection(clusters),
+            kind=VariantKind.RUNTIME,
+        ),
+        {"i": "S0", "o": "S1"},
+    )
+    for cluster in clusters.values():
+        for process_name in cluster.process_names():
+            library.component(
+                f"t0.{cluster.name}.{process_name}",
+                sw_utilization=grid64(rng, 2, 8),
+                sw_memory=grid64(rng, 8, 24),
+                hw_cost=rng.randint(6, 16),
+            )
+
+    architecture = ArchitectureTemplate(
+        name="mem-core",
+        max_processors=1,
+        processor_cost=rng.randint(2, 6),
+        processor_capacity=1.0,
+        memory_capacity=48 / 64,
+    )
+    family = ProblemFamily(
+        name=f"zoo-memory_ladder-s{seed}",
+        library=library,
+        architecture=architecture,
+    )
+    return ZooScenario(
+        family="memory_ladder",
+        seed=seed,
+        size=size,
+        problem_family=family,
+        space=VariantSpace(vgraph),
+        params={
+            "rungs": rungs,
+            "variants": variants,
+            "common_processes": common_processes,
+        },
+    )

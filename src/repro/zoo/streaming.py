@@ -1,0 +1,53 @@
+"""Streaming/video pipeline workloads, built on the apps layer.
+
+Wraps :func:`repro.apps.video.video_synthesis_system` (the Figure-4
+chain as a synthesis workload: rate-derived utilizations, valves as
+common units, one variant interface per chain stage) into the zoo's
+scenario contract.  The family's distinguishing stress is *rate
+coupling*: every stage's utilization comes from the same frame
+period, so software feasibility is a chain-wide budget rather than a
+per-unit lottery — the shape real streaming pipelines have.
+"""
+
+from __future__ import annotations
+
+from ..apps.video import video_synthesis_system
+from ..synth.methods import ProblemFamily
+from ..variants.variant_space import VariantSpace
+from .base import ZooScenario, check_size
+
+#: (n_stages, variants_per_stage, max_processors) per size.
+_SHAPES = {
+    "small": (2, 2, 1),
+    "medium": (3, 2, 2),
+    "bench": (4, 3, 1),
+}
+
+
+def streaming_pipeline(seed: int, size: str = "small") -> ZooScenario:
+    """A video-style chain of variant stages under one frame rate."""
+    check_size(size)
+    n_stages, variants_per_stage, max_processors = _SHAPES[size]
+    system = video_synthesis_system(
+        n_stages=n_stages,
+        variants_per_stage=variants_per_stage,
+        seed=seed,
+        max_processors=max_processors,
+    )
+    family = ProblemFamily(
+        name=f"zoo-streaming_pipeline-s{seed}",
+        library=system.library,
+        architecture=system.architecture,
+    )
+    return ZooScenario(
+        family="streaming_pipeline",
+        seed=seed,
+        size=size,
+        problem_family=family,
+        space=VariantSpace(system.vgraph),
+        params={
+            "n_stages": n_stages,
+            "variants_per_stage": variants_per_stage,
+            "max_processors": max_processors,
+        },
+    )

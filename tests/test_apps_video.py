@@ -122,3 +122,89 @@ class TestAblations:
         assert trace.modes_used("PControl").count("finish") == 1
         report = video.video_report(trace)
         assert report["invalid_frames_displayed"] == 0
+
+
+class TestVideoSynthesisSystem:
+    def test_deterministic(self):
+        first = video.video_synthesis_system(seed=3, n_stages=2)
+        second = video.video_synthesis_system(seed=3, n_stages=2)
+        assert first.library.names() == second.library.names()
+        for name in first.library.names():
+            a = first.library.entry(name)
+            b = second.library.entry(name)
+            assert a.software.utilization == b.software.utilization
+            assert a.hardware.cost == b.hardware.cost
+
+    def test_stage_count_shapes_space(self):
+        system = video.video_synthesis_system(
+            n_stages=3, variants_per_stage=2, seed=0
+        )
+        selections = list(system.vgraph.enumerate_selections())
+        assert len(selections) == 2**3
+
+    def test_single_variant_space_degenerates(self):
+        system = video.video_synthesis_system(
+            n_stages=2, variants_per_stage=1, seed=0
+        )
+        selections = list(system.vgraph.enumerate_selections())
+        assert len(selections) == 1
+
+    def test_minimal_pipeline(self):
+        system = video.video_synthesis_system(
+            n_stages=1, variants_per_stage=1, seed=0
+        )
+        assert len(system.vgraph.interfaces) == 1
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError, match="n_stages"):
+            video.video_synthesis_system(n_stages=0)
+        with pytest.raises(ValueError, match="variants_per_stage"):
+            video.video_synthesis_system(variants_per_stage=0)
+
+    def test_rate_derived_utilization_on_grid(self):
+        system = video.video_synthesis_system(
+            seed=5, n_stages=2, frame_period=40.0
+        )
+        for name in system.library.names():
+            entry = system.library.entry(name)
+            utilization = entry.software.utilization
+            assert utilization > 0
+            assert utilization == round(utilization * 64) / 64
+
+    def test_faster_variants_cost_more_silicon(self):
+        system = video.video_synthesis_system(
+            seed=1, n_stages=1, variants_per_stage=3
+        )
+        stage_entries = [
+            (
+                system.library.entry(name).software.utilization,
+                system.library.entry(name).hardware.cost,
+            )
+            for name in system.library.names()
+            if name.startswith("thetaP1.")
+        ]
+        assert len(stage_entries) == 3
+        by_util = sorted(stage_entries)
+        assert by_util[0][1] >= by_util[-1][1]
+
+    def test_joint_problem_matches_oracle(self):
+        from repro.synth.explorer import (
+            BranchBoundExplorer,
+            ExhaustiveExplorer,
+        )
+        from repro.synth.methods import ProblemFamily, variant_units
+
+        system = video.video_synthesis_system(seed=2, n_stages=2)
+        units, origins = variant_units(system.vgraph)
+        family = ProblemFamily(
+            name="video-joint",
+            library=system.library,
+            architecture=system.architecture,
+        )
+        problem = family.problem_for_units(
+            "video-joint", units, origins=tuple(sorted(origins.items()))
+        )
+        exact = BranchBoundExplorer().explore(problem)
+        oracle = ExhaustiveExplorer().explore(problem)
+        assert exact.cost == oracle.cost
+        assert exact.proof_floor == oracle.cost

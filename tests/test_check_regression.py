@@ -519,3 +519,100 @@ class TestBenchSummaryFrontierRows:
         lines = "\n".join(bench_summary.comparison_lines(payload))
         assert "best-first frontier" not in lines
         assert "adaptive order + dynamic pool (default)" in lines
+
+
+def zoo_payload(nodes=897.0, optimal=True):
+    return {
+        "zoo": {
+            "size": "bench",
+            "families": {
+                "deep_chain": {
+                    "units": 23,
+                    "selections": 16,
+                    "configs": {
+                        "basic": {
+                            "cost": 78.0,
+                            "nodes": 7550,
+                            "optimal": True,
+                        },
+                        "adaptive_dynamic": {
+                            "cost": 78.0,
+                            "nodes": nodes,
+                            "optimal": optimal,
+                        },
+                    },
+                },
+            },
+        },
+    }
+
+
+class TestZooMatrixGate:
+    """The zoo nodes-to-optimal metrics gate lower-is-better and are
+    skipped on baselines that predate the zoo section."""
+
+    def test_extracted_when_optimal(self):
+        metrics = check_regression.extract_metrics(zoo_payload())
+        assert metrics["zoo_deep_chain_nodes_to_optimal"] == 897.0
+
+    def test_not_extracted_when_truncated(self):
+        metrics = check_regression.extract_metrics(
+            zoo_payload(optimal=False)
+        )
+        assert "zoo_deep_chain_nodes_to_optimal" not in metrics
+
+    def test_absent_section_skipped(self):
+        assert (
+            "zoo_deep_chain_nodes_to_optimal"
+            not in check_regression.extract_metrics(bench_payload())
+        )
+
+    def test_gated_direction_is_lower(self):
+        assert (
+            check_regression.GATED_METRICS[
+                "zoo_deep_chain_nodes_to_optimal"
+            ]
+            == "lower"
+        )
+
+    def test_node_count_climb_fails_gate(self, tmp_path):
+        history = tmp_path / "hist"
+        history.mkdir()
+        baseline = dict(zoo_payload(nodes=100.0))
+        (history / "000001-aaaa.json").write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "commit": "aaaa",
+                    "quick_mode": False,
+                    "metrics": check_regression.extract_metrics(
+                        baseline
+                    ),
+                }
+            )
+        )
+        worse = write_current(tmp_path, zoo_payload(nodes=500.0))
+        assert (
+            check_regression.main(
+                ["--current", str(worse), "--history", str(history)]
+            )
+            == 1
+        )
+        same = write_current(tmp_path, zoo_payload(nodes=100.0))
+        assert (
+            check_regression.main(
+                ["--current", str(same), "--history", str(history)]
+            )
+            == 0
+        )
+
+
+class TestBenchSummaryZooRows:
+    def test_zoo_rows_rendered(self):
+        lines = "\n".join(bench_summary.zoo_lines(zoo_payload()))
+        assert "zoo matrix" in lines
+        assert "deep_chain" in lines
+        assert "adaptive_dynamic=897" in lines
+
+    def test_absent_zoo_section_renders_nothing(self):
+        assert bench_summary.zoo_lines({}) == []

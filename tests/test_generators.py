@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.apps.generators import generate_system
+from repro.apps.generators import (
+    generate_chained_system,
+    generate_system,
+)
 from repro.synth.explorer import BranchBoundExplorer
 from repro.synth.methods import (
     independent_flow,
@@ -112,3 +115,77 @@ class TestFeasibilityAndShape:
             )
             savings.append(total_independent - variant.design_time)
         assert savings[1] > savings[0]
+
+
+class TestChainedGenerator:
+    def test_deterministic(self):
+        first = generate_chained_system(seed=4, n_interfaces=3)
+        second = generate_chained_system(seed=4, n_interfaces=3)
+        assert first.library.names() == second.library.names()
+        for name in first.library.names():
+            a = first.library.entry(name)
+            b = second.library.entry(name)
+            assert a.software.utilization == b.software.utilization
+            assert a.hardware.cost == b.hardware.cost
+
+    def test_selection_count_is_product(self):
+        system = generate_chained_system(
+            seed=1, n_interfaces=3, n_variants=2
+        )
+        assert len(system.applications()) == 2**3
+
+    def test_single_variant_space_degenerates(self):
+        system = generate_chained_system(
+            seed=0, n_interfaces=2, n_variants=1
+        )
+        apps = system.applications()
+        assert len(apps) == 1
+
+    def test_minimal_pipeline(self):
+        system = generate_chained_system(
+            seed=0,
+            n_interfaces=1,
+            n_variants=1,
+            common_processes=1,
+            cluster_size=1,
+        )
+        (app,) = system.applications().values()
+        assert app.processes
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError, match="n_interfaces"):
+            generate_chained_system(n_interfaces=0)
+        with pytest.raises(ValueError, match="n_variants"):
+            generate_chained_system(n_variants=0)
+        with pytest.raises(ValueError, match="common_processes"):
+            generate_chained_system(common_processes=0)
+        with pytest.raises(ValueError, match="cluster_size"):
+            generate_chained_system(cluster_size=0)
+
+    def test_values_live_on_the_grid(self):
+        system = generate_chained_system(seed=6, n_interfaces=2)
+        for name in system.library.names():
+            entry = system.library.entry(name)
+            utilization = entry.software.utilization
+            assert utilization == round(utilization * 64) / 64
+            assert entry.hardware.cost == int(entry.hardware.cost)
+
+    def test_joint_problem_explorable(self):
+        from repro.synth.explorer import ExhaustiveExplorer
+        from repro.synth.methods import ProblemFamily, variant_units
+
+        system = generate_chained_system(seed=2, n_interfaces=2)
+        units, origins = variant_units(system.vgraph)
+        family = ProblemFamily(
+            name="chained-joint",
+            library=system.library,
+            architecture=system.architecture,
+        )
+        problem = family.problem_for_units(
+            "chained-joint",
+            units,
+            origins=tuple(sorted(origins.items())),
+        )
+        exact = BranchBoundExplorer().explore(problem)
+        oracle = ExhaustiveExplorer().explore(problem)
+        assert exact.cost == oracle.cost

@@ -1,0 +1,198 @@
+"""Differential fuzzing CLI over the scenario zoo.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/fuzz_stack.py sweep --seed 3
+    PYTHONPATH=src python tools/fuzz_stack.py sweep --time-budget 90
+    PYTHONPATH=src python tools/fuzz_stack.py cross --seed 0
+    PYTHONPATH=src python tools/fuzz_stack.py replay tests/corpus
+    PYTHONPATH=src python tools/fuzz_stack.py minimize tests/corpus/X.json
+
+Subcommands:
+
+* ``sweep`` — oracle-checked differential fuzzing of small scenarios
+  across the explorer matrix (``--full-matrix`` for the whole cross
+  product).  Failures are minimized (ddmin over the unit set) and
+  written to ``--corpus-out`` as replayable JSON cases.
+* ``cross`` — cost-only cross-agreement on medium scenarios (too big
+  for the exhaustive oracle).
+* ``replay`` — re-run every corpus case in a directory (or a single
+  ``.json`` file) from scratch; exit 1 if any fails.
+* ``minimize`` — re-minimize one case file in place.
+
+Everything is seeded: the same command line reproduces the same
+checks, which is what makes the CI fuzz job a gate rather than a
+lottery.  Exit status: 0 clean, 1 with findings on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.zoo.fuzz import (  # noqa: E402  (path bootstrap above)
+    CorpusCase,
+    cross_sweep,
+    minimize_case,
+    replay_case,
+    save_case,
+    sweep,
+)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    report = sweep(
+        seed=args.seed,
+        scenarios_per_family=args.scenarios_per_family,
+        families=args.family or None,
+        time_budget=args.time_budget,
+        full_matrix=args.full_matrix,
+        minimize=not args.no_minimize,
+    )
+    print(
+        f"sweep: {report.checks} checks over {report.problems} problems "
+        f"({report.scenarios} scenarios) in {report.elapsed:.1f}s"
+    )
+    for case in report.failures:
+        path = save_case(case, pathlib.Path(args.corpus_out))
+        print(f"FAIL {case.id}: {case.note}", file=sys.stderr)
+        print(f"  -> saved {path}", file=sys.stderr)
+    for message in report.messages:
+        if message not in {case.note for case in report.failures}:
+            print(f"note: {message}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_cross(args: argparse.Namespace) -> int:
+    report = cross_sweep(
+        seed=args.seed,
+        families=args.family or None,
+        size=args.size,
+        node_budget=args.node_budget,
+    )
+    print(
+        f"cross: {report.checks} runs over {report.problems} joint "
+        f"problems in {report.elapsed:.1f}s"
+    )
+    for message in report.messages:
+        print(f"FAIL {message}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _case_paths(target: pathlib.Path):
+    if target.is_dir():
+        return sorted(target.glob("*.json"))
+    return [target]
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    target = pathlib.Path(args.corpus)
+    failures = 0
+    count = 0
+    for path in _case_paths(target):
+        with open(path, "r", encoding="utf-8") as handle:
+            case = CorpusCase.from_json(json.load(handle))
+        problems = replay_case(case)
+        count += 1
+        if problems:
+            failures += 1
+            for message in problems:
+                print(f"FAIL {case.id}: {message}", file=sys.stderr)
+        elif args.verbose:
+            print(f"ok {case.id}")
+    print(f"replayed {count} corpus cases, {failures} failing")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    path = pathlib.Path(args.case)
+    with open(path, "r", encoding="utf-8") as handle:
+        case = CorpusCase.from_json(json.load(handle))
+    minimized = minimize_case(case)
+    save_case(minimized, path.parent)
+    before = case.units
+    after = minimized.units
+    print(
+        f"{case.id}: units "
+        f"{'full' if before is None else len(before)} -> "
+        f"{'full' if after is None else len(after)}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fuzz_stack",
+        description="differential fuzzing of the explorer stack",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="oracle-checked fuzz sweep on small scenarios"
+    )
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--scenarios-per-family", type=int, default=2
+    )
+    sweep_parser.add_argument(
+        "--family", action="append", help="restrict to a zoo family"
+    )
+    sweep_parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS"
+    )
+    sweep_parser.add_argument("--full-matrix", action="store_true")
+    sweep_parser.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="record failures without ddmin minimization",
+    )
+    sweep_parser.add_argument(
+        "--corpus-out",
+        default=str(REPO_ROOT / "tests" / "corpus"),
+        help="directory for newly found failure cases",
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    cross_parser = sub.add_parser(
+        "cross", help="cost-only cross-agreement on larger scenarios"
+    )
+    cross_parser.add_argument("--seed", type=int, default=0)
+    cross_parser.add_argument(
+        "--family", action="append", help="restrict to a zoo family"
+    )
+    cross_parser.add_argument("--size", default="medium")
+    cross_parser.add_argument("--node-budget", type=int, default=50_000)
+    cross_parser.set_defaults(func=_cmd_cross)
+
+    replay_parser = sub.add_parser(
+        "replay", help="re-run corpus cases from scratch"
+    )
+    replay_parser.add_argument(
+        "corpus",
+        nargs="?",
+        default=str(REPO_ROOT / "tests" / "corpus"),
+        help="corpus directory or single case file",
+    )
+    replay_parser.add_argument("--verbose", action="store_true")
+    replay_parser.set_defaults(func=_cmd_replay)
+
+    minimize_parser = sub.add_parser(
+        "minimize", help="re-minimize one corpus case in place"
+    )
+    minimize_parser.add_argument("case", help="case .json path")
+    minimize_parser.set_defaults(func=_cmd_minimize)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
